@@ -1,0 +1,51 @@
+//! Criterion benches for the analytic pipeline: special functions, the full
+//! waiting-time report (including two quantile solves), and the calibration
+//! fit — the operations a capacity-planning service would run per request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rjms_core::calibrate::{fit_cost_params, Observation};
+use rjms_core::model::ServerModel;
+use rjms_core::params::CostParams;
+use rjms_core::waiting::WaitingTimeAnalysis;
+use rjms_queueing::replication::ReplicationModel;
+use rjms_queueing::special::{gamma_p, ln_gamma};
+
+fn bench_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special_functions");
+    g.bench_function("ln_gamma", |b| b.iter(|| ln_gamma(black_box(42.5))));
+    g.bench_function("gamma_p_series", |b| b.iter(|| gamma_p(black_box(10.0), black_box(5.0))));
+    g.bench_function("gamma_p_contfrac", |b| b.iter(|| gamma_p(black_box(10.0), black_box(50.0))));
+    g.finish();
+}
+
+fn bench_waiting_report(c: &mut Criterion) {
+    let model = ServerModel::new(CostParams::CORRELATION_ID, 100);
+    let replication = ReplicationModel::binomial(100.0, 0.1);
+    c.bench_function("waiting_time_report", |b| {
+        b.iter(|| {
+            WaitingTimeAnalysis::for_model(black_box(&model), replication, 0.9)
+                .unwrap()
+                .report()
+        })
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let truth = CostParams::CORRELATION_ID;
+    let mut obs = Vec::new();
+    for n in [5u32, 10, 20, 40, 80, 160] {
+        for r in [1.0f64, 2.0, 5.0, 10.0, 20.0, 40.0] {
+            obs.push(Observation {
+                n_fltr: n + r as u32,
+                mean_replication: r,
+                received_per_sec: 1.0 / truth.mean_service_time(n + r as u32, r),
+            });
+        }
+    }
+    c.bench_function("calibration_fit_36_points", |b| {
+        b.iter(|| fit_cost_params(black_box(&obs)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_special, bench_waiting_report, bench_calibration);
+criterion_main!(benches);

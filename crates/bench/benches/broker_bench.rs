@@ -1,0 +1,94 @@
+//! Criterion benches for the broker: end-to-end dispatch throughput as a
+//! function of the number of installed filters and the replication grade —
+//! the in-vivo analogue of the paper's Fig. 4 on our own substrate (native
+//! speed, no synthetic cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rjms_broker::{Broker, BrokerConfig, Filter, Message};
+use std::time::Duration;
+
+/// Publishes `count` messages matching exactly `r` of `n_fltr` correlation
+/// filters and waits until all copies are consumed.
+fn run_batch(broker: &Broker, subs: &[rjms_broker::Subscriber], r: usize, count: usize) {
+    let publisher = broker.publisher("bench").unwrap();
+    for _ in 0..count {
+        publisher
+            .publish(Message::builder().correlation_id("#0").build())
+            .unwrap();
+    }
+    // The first `r` subscribers match; drain them.
+    for sub in subs.iter().take(r) {
+        for _ in 0..count {
+            sub.receive_timeout(Duration::from_secs(10)).expect("delivery");
+        }
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker_dispatch");
+    g.measurement_time(Duration::from_secs(5));
+    for &(n_fltr, r) in &[(1usize, 1usize), (16, 1), (128, 1), (16, 16), (128, 16)] {
+        let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(65_536));
+        broker.create_topic("bench").unwrap();
+        // r matching subscribers (filter #0) + (n_fltr - r) non-matching.
+        let mut subs = Vec::new();
+        for _ in 0..r {
+            subs.push(broker.subscribe("bench", Filter::correlation_id("#0").unwrap()).unwrap());
+        }
+        for i in r..n_fltr {
+            subs.push(
+                broker
+                    .subscribe("bench", Filter::correlation_id(&format!("#{i}")).unwrap())
+                    .unwrap(),
+            );
+        }
+        let batch = 256usize;
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(
+            BenchmarkId::new("n_fltr_r", format!("{n_fltr}x{r}")),
+            &(),
+            |b, ()| b.iter(|| run_batch(&broker, &subs, r, batch)),
+        );
+        drop(subs);
+        broker.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_selector_dispatch(c: &mut Criterion) {
+    // Application-property filtering path (full selector evaluation).
+    let mut g = c.benchmark_group("broker_dispatch_selector");
+    g.measurement_time(Duration::from_secs(5));
+    for &n_fltr in &[16usize, 128] {
+        let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(65_536));
+        broker.create_topic("bench").unwrap();
+        let mut subs = Vec::new();
+        subs.push(broker.subscribe("bench", Filter::selector("key = 0").unwrap()).unwrap());
+        for i in 1..n_fltr {
+            subs.push(
+                broker.subscribe("bench", Filter::selector(&format!("key = {i}")).unwrap()).unwrap(),
+            );
+        }
+        let batch = 256usize;
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n_fltr), &(), |b, ()| {
+            b.iter(|| {
+                let publisher = broker.publisher("bench").unwrap();
+                for _ in 0..batch {
+                    publisher
+                        .publish(Message::builder().property("key", 0i64).build())
+                        .unwrap();
+                }
+                for _ in 0..batch {
+                    subs[0].receive_timeout(Duration::from_secs(10)).expect("delivery");
+                }
+            })
+        });
+        drop(subs);
+        broker.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_selector_dispatch);
+criterion_main!(benches);

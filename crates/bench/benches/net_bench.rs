@@ -1,0 +1,59 @@
+//! Criterion benches for the wire codec and the TCP path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rjms_broker::{BrokerConfig, Message};
+use rjms_net::client::RemoteBroker;
+use rjms_net::server::BrokerServer;
+use rjms_net::wire::{
+    decode_request, encode_request, Request, WireFilter, WireMessage,
+};
+use std::time::Duration;
+
+fn sample_message() -> WireMessage {
+    WireMessage::from_message(
+        &Message::builder()
+            .correlation_id("#7")
+            .property("symbol", "ACME")
+            .property("price", 42.5)
+            .property("urgent", true)
+            .body(vec![0u8; 128])
+            .build(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let req = Request::Publish { request_id: 1, topic: "stocks".into(), message: sample_message() };
+    g.bench_function("encode_publish", |b| b.iter(|| encode_request(black_box(&req))));
+    let frame = encode_request(&req);
+    g.bench_function("decode_publish", |b| {
+        b.iter(|| decode_request(black_box(frame.slice(4..))).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_tcp_roundtrip(c: &mut Criterion) {
+    let server = BrokerServer::start(BrokerConfig::default(), "127.0.0.1:0").unwrap();
+    let client = RemoteBroker::connect(server.local_addr()).unwrap();
+    client.create_topic("bench").unwrap();
+    let sub = client.subscribe("bench", WireFilter::None).unwrap();
+    let msg = Message::builder().property("k", 1i64).body(vec![0u8; 128]).build();
+
+    let mut g = c.benchmark_group("tcp_path");
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("publish_receive_roundtrip", |b| {
+        b.iter(|| {
+            client.publish("bench", &msg).unwrap();
+            sub.receive_timeout(Duration::from_secs(5)).expect("delivery")
+        })
+    });
+    g.bench_function("ping", |b| b.iter(|| client.ping().unwrap()));
+    g.finish();
+    drop(sub);
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_codec, bench_tcp_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the selector language: parse cost and per-message
+//! evaluation cost — the in-vivo `t_fltr` of our broker substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rjms_selector::value::Value;
+use rjms_selector::Selector;
+use std::collections::HashMap;
+
+const SIMPLE: &str = "color = 'red'";
+const MEDIUM: &str = "color = 'red' AND weight BETWEEN 2 AND 5";
+const COMPLEX: &str = "msgType = 'presence' AND (userId IN ('alice', 'bob', 'carol') OR \
+                       broadcast = TRUE) AND priority BETWEEN 3 AND 9 AND device NOT LIKE 'test%'";
+
+fn props() -> HashMap<String, Value> {
+    let mut p = HashMap::new();
+    p.insert("color".to_owned(), Value::from("red"));
+    p.insert("weight".to_owned(), Value::from(3i64));
+    p.insert("msgType".to_owned(), Value::from("presence"));
+    p.insert("userId".to_owned(), Value::from("alice"));
+    p.insert("priority".to_owned(), Value::from(5i64));
+    p.insert("device".to_owned(), Value::from("phone-17"));
+    p
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selector_parse");
+    for (name, src) in [("simple", SIMPLE), ("medium", MEDIUM), ("complex", COMPLEX)] {
+        g.bench_function(name, |b| b.iter(|| Selector::parse(black_box(src)).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selector_eval");
+    let p = props();
+    for (name, src) in [("simple", SIMPLE), ("medium", MEDIUM), ("complex", COMPLEX)] {
+        let sel = Selector::parse(src).unwrap();
+        g.bench_function(name, |b| b.iter(|| sel.matches(black_box(&p))));
+    }
+    // Correlation-ID filters are the cheap path.
+    let corr: rjms_selector::CorrelationFilter = "[7;13]".parse().unwrap();
+    g.bench_function("correlation_range", |b| {
+        b.iter(|| corr.matches(black_box("#9")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_eval);
+criterion_main!(benches);

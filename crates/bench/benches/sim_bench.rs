@@ -1,0 +1,42 @@
+//! Criterion benches for the simulators: Lindley-recursion and
+//! event-driven M/G/1 sample rates, and the saturated-testbed message rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rjms_desim::mg1sim::{simulate_event_driven, simulate_lindley, Mg1SimConfig};
+use rjms_desim::random::ExponentialService;
+use rjms_desim::testbed::{run_measurement, TestbedConfig};
+use rjms_queueing::replication::ReplicationModel;
+use std::time::Duration;
+
+fn bench_mg1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mg1_simulator");
+    g.measurement_time(Duration::from_secs(5));
+    let samples = 50_000usize;
+    g.throughput(Throughput::Elements(samples as u64));
+    let cfg = Mg1SimConfig { arrival_rate: 0.9, samples, warmup: 1_000, seed: 1 };
+    g.bench_function("lindley", |b| {
+        b.iter(|| simulate_lindley(&cfg, &ExponentialService { mean: 1.0 }))
+    });
+    g.bench_function("event_driven", |b| {
+        b.iter(|| simulate_event_driven(&cfg, ExponentialService { mean: 1.0 }))
+    });
+    g.finish();
+}
+
+fn bench_testbed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("testbed_simulator");
+    g.measurement_time(Duration::from_secs(5));
+    let mut cfg = TestbedConfig::quick(8.52e-7, 7.02e-6, 1.70e-5);
+    cfg.window_secs = 1.0;
+    cfg.warmup_secs = 0.1;
+    g.bench_function("deterministic_R5_n50", |b| {
+        b.iter(|| run_measurement(&cfg, 50, &ReplicationModel::deterministic(5.0)))
+    });
+    g.bench_function("binomial_R_n50", |b| {
+        b.iter(|| run_measurement(&cfg, 50, &ReplicationModel::binomial(50.0, 0.1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mg1, bench_testbed);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Reproduces the **Eq. 3 filter-benefit thresholds** (paper §IV-A.2):
+//! a consumer's filters increase server capacity only if
+//! `n_fltr^q · t_fltr < (1 − p_match^q) · t_tx`. The paper quotes break-even
+//! match probabilities of 58.7% / 17.4% for one / two correlation-ID filters
+//! (three or more never help) and 9.9% for a single application-property
+//! filter (two or more never help).
+
+use rjms_bench::{experiment_header, Table};
+use rjms_core::capacity::{break_even_match_probability, filter_benefit};
+use rjms_core::params::CostParams;
+
+fn main() {
+    experiment_header(
+        "eq3_filter_benefit",
+        "Eq. 3 thresholds",
+        "break-even match probability per consumer filter count",
+    );
+
+    let mut table = Table::new(&[
+        "filter type",
+        "n_fltr^q",
+        "break-even p_match",
+        "paper",
+    ]);
+
+    let paper_corr = ["58.7%", "17.4%", "never"];
+    for (i, n) in (1u32..=3).enumerate() {
+        let p = break_even_match_probability(&CostParams::CORRELATION_ID, n);
+        table.row_strings(vec![
+            "corr. ID".to_owned(),
+            n.to_string(),
+            p.map_or("never beneficial".to_owned(), |v| format!("{:.1}%", v * 100.0)),
+            paper_corr[i].to_owned(),
+        ]);
+    }
+    let paper_app = ["9.9%", "never"];
+    for (i, n) in (1u32..=2).enumerate() {
+        let p = break_even_match_probability(&CostParams::APPLICATION_PROPERTY, n);
+        table.row_strings(vec![
+            "app. prop.".to_owned(),
+            n.to_string(),
+            p.map_or("never beneficial".to_owned(), |v| format!("{:.1}%", v * 100.0)),
+            paper_app[i].to_owned(),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!("Spot checks of the raw inequality (Eq. 3):");
+    for (label, params, n, p) in [
+        ("corr-ID", CostParams::CORRELATION_ID, 1, 0.5),
+        ("corr-ID", CostParams::CORRELATION_ID, 1, 0.65),
+        ("corr-ID", CostParams::CORRELATION_ID, 3, 0.0),
+        ("app-prop", CostParams::APPLICATION_PROPERTY, 1, 0.05),
+    ] {
+        let b = filter_benefit(&params, n, p);
+        println!(
+            "  {label}: n={n}, p_match={p:.2} → cost {:.2e}s vs saving {:.2e}s → {}",
+            b.filter_cost,
+            b.transmission_saving,
+            if b.beneficial { "beneficial" } else { "harmful" }
+        );
+    }
+    println!();
+    println!("(Filters primarily protect consumers and the network; they raise server");
+    println!(" capacity only under the thresholds above.)");
+}

@@ -1,0 +1,46 @@
+//! Reproduces **Fig. 10**: the normalized mean waiting time `E[W]/E[B]`
+//! depending on the server utilization ρ, for service-time coefficients of
+//! variation `c_var[B] ∈ {0, 0.2, 0.4, 0.65}`. By Pollaczek–Khinchine,
+//! `E[W]/E[B] = ρ(1 + c_var²)/(2(1−ρ))` — the diagram is a lookup table
+//! valid for any application scenario.
+
+use rjms_bench::{experiment_header, Table};
+use rjms_queueing::mg1::Mg1;
+use rjms_queueing::moments::Moments3;
+
+/// Service-time moments with E[B] = 1 and the requested cvar; the third
+/// moment is irrelevant for E[W].
+fn unit_service(cvar: f64) -> Moments3 {
+    let m2 = 1.0 + cvar * cvar;
+    Moments3::new(1.0, m2, m2 * m2) // any consistent third moment
+}
+
+fn main() {
+    experiment_header(
+        "fig10_mean_waiting",
+        "Fig. 10",
+        "normalized mean waiting time E[W]/E[B] vs utilization rho",
+    );
+
+    let cvars = [0.0, 0.2, 0.4, 0.65];
+    let rhos: Vec<f64> =
+        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99].to_vec();
+
+    let mut table = Table::new(&["rho", "cvar=0", "cvar=0.2", "cvar=0.4", "cvar=0.65"]);
+    for &rho in &rhos {
+        let mut cells = vec![format!("{rho:.2}")];
+        for &c in &cvars {
+            let q = Mg1::with_utilization(rho, unit_service(c)).expect("stable");
+            cells.push(format!("{:.3}", q.mean_waiting_time()));
+        }
+        table.row_strings(cells);
+    }
+    table.print();
+
+    println!();
+    println!("Closed form: E[W]/E[B] = rho·(1 + c_var²)/(2(1 − rho)).");
+    println!("Paper observations reproduced:");
+    println!("  - the utilization dominates: the c_var spread is at most a factor");
+    println!("    (1 + 0.65²)/1 ≈ 1.42 while rho spans orders of magnitude,");
+    println!("  - at rho = 0.9 the mean wait is ≈ 4.5–6.4 service times.");
+}

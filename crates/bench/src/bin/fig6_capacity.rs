@@ -1,0 +1,48 @@
+//! Reproduces **Fig. 6**: the server capacity `λ_max = ρ/E[B]` (Eq. 2) at a
+//! CPU budget of ρ = 0.9, for correlation-ID filtering, depending on
+//! `n_fltr` and `E[R]` — including the equivalence annotations (`E[R] = 10`
+//! without filters costs as much as 22 filters at `E[R] = 1`, and
+//! `E[R] = 100` as much as 240).
+
+use rjms_bench::{experiment_header, Table};
+use rjms_core::capacity::{equivalent_filter_count, server_capacity};
+use rjms_core::params::CostParams;
+
+fn main() {
+    experiment_header(
+        "fig6_capacity",
+        "Fig. 6",
+        "server capacity (received msgs/s) at rho = 0.9 vs n_fltr for E[R] in {1, 10, 100}",
+    );
+
+    let params = CostParams::CORRELATION_ID;
+    let rho = 0.9;
+    let sweep: Vec<u32> =
+        [0u32, 1, 2, 5, 10, 22, 50, 100, 240, 500, 1_000, 2_000, 5_000, 10_000].to_vec();
+
+    let mut table = Table::new(&["n_fltr", "E[R]=1", "E[R]=10", "E[R]=100"]);
+    for &n in &sweep {
+        table.row_strings(vec![
+            n.to_string(),
+            format!("{:.1}", server_capacity(&params, n, 1.0, rho)),
+            format!("{:.1}", server_capacity(&params, n, 10.0, rho)),
+            format!("{:.1}", server_capacity(&params, n, 100.0, rho)),
+        ]);
+    }
+    table.print();
+
+    println!();
+    let eq10 = equivalent_filter_count(&params, 10.0, 1.0);
+    let eq100 = equivalent_filter_count(&params, 100.0, 1.0);
+    println!("Equivalence annotations (paper: 22 and 240 filters):");
+    println!("  E[R] = 10 without extra filters ≙ E[R] = 1 with {eq10:.1} filters");
+    println!("  E[R] = 100 without extra filters ≙ E[R] = 1 with {eq100:.1} filters");
+
+    // Verify numerically: capacities coincide at the computed equivalents.
+    let cap_r10 = server_capacity(&params, 0, 10.0, rho);
+    let cap_eq10 = server_capacity(&params, eq10.round() as u32, 1.0, rho);
+    println!(
+        "  check: capacity(E[R]=10, n=0) = {cap_r10:.1} vs capacity(E[R]=1, n={:.0}) = {cap_eq10:.1}",
+        eq10.round()
+    );
+}

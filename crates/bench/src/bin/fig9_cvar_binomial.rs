@@ -1,0 +1,60 @@
+//! Reproduces **Fig. 9**: the coefficient of variation `c_var[B]` of the
+//! message processing time when the `n_fltr` filters match *independently*
+//! (binomial replication grade). The paper reports a quick rise to small
+//! plateau values — 0.064 for correlation-ID and 0.033 for
+//! application-property filtering — far below the Bernoulli worst case,
+//! which is why service-time variability barely matters in Fig. 10–12.
+
+use rjms_bench::{experiment_header, Table};
+use rjms_core::model::ServerModel;
+use rjms_core::params::CostParams;
+use rjms_queueing::replication::ReplicationModel;
+
+fn cvar_for(params: CostParams, n_fltr: u32, p_match: f64) -> f64 {
+    ServerModel::new(params, n_fltr)
+        .service_time(ReplicationModel::binomial(n_fltr as f64, p_match))
+        .cvar()
+}
+
+fn main() {
+    experiment_header(
+        "fig9_cvar_binomial",
+        "Fig. 9",
+        "c_var[B] vs n_fltr for binomial R, p_match in {0.1, 0.3, 0.5, 0.9}",
+    );
+
+    let p_values = [0.1, 0.3, 0.5, 0.9];
+    let sweep: Vec<u32> = [1u32, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 10_000].to_vec();
+
+    for (label, params) in [
+        ("correlation-ID", CostParams::CORRELATION_ID),
+        ("application-property", CostParams::APPLICATION_PROPERTY),
+    ] {
+        println!("\n[{label}]");
+        let mut table = Table::new(&["n_fltr", "p=0.1", "p=0.3", "p=0.5", "p=0.9"]);
+        for &n in &sweep {
+            let mut cells = vec![n.to_string()];
+            for &p in &p_values {
+                cells.push(format!("{:.4}", cvar_for(params, n, p)));
+            }
+            table.row_strings(cells);
+        }
+        table.print();
+    }
+
+    println!();
+    println!(
+        "reference values at n_fltr = 100 (the shoulder of the paper's measured \
+         range, where Fig. 9's quoted plateaus sit):"
+    );
+    println!(
+        "  corr-ID, p=0.3:  {:.3} (paper ≈0.064)",
+        cvar_for(CostParams::CORRELATION_ID, 100, 0.3)
+    );
+    println!(
+        "  app-prop, p=0.5: {:.3} (paper ≈0.033)",
+        cvar_for(CostParams::APPLICATION_PROPERTY, 100, 0.5)
+    );
+    println!("Independent filter matching averages out: c_var[B] stays tiny, so the");
+    println!("waiting time is governed almost entirely by the utilization (Fig. 10).");
+}

@@ -1,0 +1,70 @@
+//! Reproduces **Table I**: the fitted per-message cost constants.
+//!
+//! Runs the paper's full measurement grid (§III-B.2) on the simulated
+//! testbed — whose ground truth is the Table I constants plus 2% jitter —
+//! and fits `(t_rcv, t_fltr, t_tx)` by least squares, exactly how the paper
+//! derived the table from its FioranoMQ measurements. The fit must recover
+//! the ground truth; residual diagnostics quantify how well.
+
+use rjms_bench::{experiment_header, Table};
+use rjms_core::calibrate::{fit_cost_params, Observation};
+use rjms_core::params::CostParams;
+use rjms_desim::testbed::{run_paper_grid, TestbedConfig};
+
+fn main() {
+    experiment_header(
+        "table1_calibration",
+        "Table I",
+        "fit (t_rcv, t_fltr, t_tx) from simulated saturated-throughput measurements",
+    );
+
+    let mut table = Table::new(&[
+        "overhead type",
+        "t_rcv (s)",
+        "t_fltr (s)",
+        "t_tx (s)",
+        "R^2",
+        "rms resid (s)",
+    ]);
+
+    for (label, truth) in [
+        ("corr. ID filtering", CostParams::CORRELATION_ID),
+        ("app. prop. filtering", CostParams::APPLICATION_PROPERTY),
+    ] {
+        let cfg = TestbedConfig::paper_methodology(truth.t_rcv, truth.t_fltr, truth.t_tx);
+        let grid = run_paper_grid(&cfg);
+        let obs: Vec<Observation> = grid
+            .iter()
+            .map(|m| Observation {
+                n_fltr: m.n_fltr,
+                mean_replication: m.mean_replication,
+                received_per_sec: m.received_per_sec,
+            })
+            .collect();
+        let cal = fit_cost_params(&obs).expect("calibration must succeed on the paper grid");
+        table.row_strings(vec![
+            format!("{label} (fitted)"),
+            format!("{:.3e}", cal.params.t_rcv),
+            format!("{:.3e}", cal.params.t_fltr),
+            format!("{:.3e}", cal.params.t_tx),
+            format!("{:.6}", cal.r_squared),
+            format!("{:.2e}", cal.residual_rms),
+        ]);
+        table.row_strings(vec![
+            format!("{label} (paper)"),
+            format!("{:.3e}", truth.t_rcv),
+            format!("{:.3e}", truth.t_fltr),
+            format!("{:.3e}", truth.t_tx),
+            "-".to_owned(),
+            "-".to_owned(),
+        ]);
+    }
+
+    table.print();
+    println!();
+    println!(
+        "Paper Table I: corr-ID (8.52e-7, 7.02e-6, 1.70e-5); app-prop (4.10e-6, 1.46e-5, 1.62e-5)."
+    );
+    println!("The fit recovers the slopes (t_fltr, t_tx) to within the injected 2% noise;");
+    println!("the tiny intercept t_rcv is the least identified, as in any linear fit.");
+}

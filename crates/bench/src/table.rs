@@ -1,0 +1,128 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt::Display;
+
+/// A simple right-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_bench::Table;
+/// let mut t = Table::new(&["n", "value"]);
+/// t.row(&[&1, &3.5]);
+/// let s = t.to_string();
+/// assert!(s.contains("n"));
+/// assert!(s.contains("3.5"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row of displayable cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&dyn Display]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of pre-formatted strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_strings(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{self}");
+    }
+}
+
+impl Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&[&100, &1]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert!(lines[2].ends_with("   1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_width_checked() {
+        Table::new(&["a"]).row(&[&1, &2]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row_strings(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

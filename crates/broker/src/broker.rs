@@ -1,0 +1,1184 @@
+//! The broker: topic registry, dispatcher thread, publisher and subscriber
+//! handles.
+//!
+//! The broker mirrors the structure the paper measured:
+//!
+//! * Publishers send messages into one bounded *publish queue*; when the
+//!   server cannot keep up, the full queue blocks publishers — the push-back
+//!   mechanism the paper observed (no server-side loss).
+//! * A single *dispatcher thread* (the paper's server is CPU-bound on a
+//!   single-CPU machine) pops each message, evaluates **every** subscription
+//!   filter of the message's topic — FioranoMQ performs no filter-identity
+//!   optimization, and the paper verified identical and distinct filters cost
+//!   the same — and enqueues one copy per matching subscriber.
+//! * Subscribers consume from bounded per-subscription queues.
+//!
+//! With a [`CostModel`](crate::cost::CostModel) installed, the dispatcher
+//! additionally burns `t_rcv` per message, `t_fltr` per filter evaluation and
+//! `t_tx` per forwarded copy, so a saturated broker reproduces Eq. 1 in wall
+//! clock time.
+
+use crate::config::{BrokerConfig, OverflowPolicy};
+use crate::error::{BrokerError, ReceiveError};
+use crate::filter::Filter;
+use crate::message::Message;
+use crate::pattern::TopicPattern;
+use crate::stats::BrokerStats;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Unique id of a subscription within a broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub-{}", self.0)
+    }
+}
+
+/// One subscriber's registration on a topic.
+struct Subscription {
+    filter: Filter,
+    sender: Sender<Arc<Message>>,
+    /// Cleared when the subscriber handle is dropped; the dispatcher prunes
+    /// inactive subscriptions lazily.
+    active: Arc<AtomicBool>,
+}
+
+/// A topic: a named set of subscriptions plus named durable subscriptions.
+struct Topic {
+    name: String,
+    subscriptions: RwLock<Vec<Arc<Subscription>>>,
+    durables: RwLock<Vec<Arc<DurableState>>>,
+    received: AtomicU64,
+    dispatched: AtomicU64,
+}
+
+impl Topic {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            subscriptions: RwLock::new(Vec::new()),
+            durables: RwLock::new(Vec::new()),
+            received: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-topic message counters (see [`Broker::topic_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Messages received on this topic.
+    pub received: u64,
+    /// Message copies dispatched from this topic.
+    pub dispatched: u64,
+}
+
+impl TopicStats {
+    /// Mean replication grade on this topic; `None` before the first
+    /// message.
+    pub fn replication_grade(&self) -> Option<f64> {
+        if self.received > 0 {
+            Some(self.dispatched as f64 / self.received as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Server-side state of a named durable subscription (paper §II-A: in the
+/// durable mode, messages are also forwarded to subscribers that are
+/// currently not connected — the broker retains them).
+struct DurableState {
+    name: String,
+    filter: Mutex<Filter>,
+    /// Messages retained while no consumer is connected (bounded by
+    /// `durable_buffer_capacity`, oldest dropped on overflow).
+    retained: Mutex<VecDeque<Arc<Message>>>,
+    /// The connected consumer's queue, if any.
+    connection: Mutex<Option<Sender<Arc<Message>>>>,
+}
+
+/// Work items for the dispatcher thread.
+enum DispatchItem {
+    Publish { topic: Arc<Topic>, message: Arc<Message> },
+    Shutdown,
+}
+
+/// Shared broker state.
+struct BrokerInner {
+    config: BrokerConfig,
+    stats: Arc<BrokerStats>,
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    /// Wildcard subscriptions, attached to future topics on creation.
+    patterns: RwLock<Vec<PatternSubscription>>,
+    next_subscription_id: AtomicU64,
+    stopped: AtomicBool,
+}
+
+/// A wildcard subscription waiting to be attached to future topics.
+struct PatternSubscription {
+    pattern: TopicPattern,
+    subscription: Weak<Subscription>,
+}
+
+/// A JMS-style publish/subscribe message broker.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::{Broker, BrokerConfig, Filter, Message};
+///
+/// # fn main() -> Result<(), rjms_broker::BrokerError> {
+/// let broker = Broker::start(BrokerConfig::default());
+/// broker.create_topic("presence")?;
+///
+/// let subscriber = broker.subscribe("presence", Filter::selector("user = 'alice'").unwrap())?;
+/// let publisher = broker.publisher("presence")?;
+/// publisher.publish(Message::builder().property("user", "alice").build())?;
+///
+/// let received = subscriber.receive_timeout(std::time::Duration::from_secs(1));
+/// assert!(received.is_some());
+/// broker.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+    publish_tx: Sender<DispatchItem>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Broker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("topics", &self.topic_names())
+            .field("stopped", &self.inner.stopped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Broker {
+    /// Starts a broker with the given configuration; spawns the dispatcher
+    /// thread.
+    pub fn start(config: BrokerConfig) -> Broker {
+        let (publish_tx, publish_rx) = bounded(config.publish_queue_capacity);
+        let inner = Arc::new(BrokerInner {
+            config,
+            stats: Arc::new(BrokerStats::new()),
+            topics: RwLock::new(HashMap::new()),
+            patterns: RwLock::new(Vec::new()),
+            next_subscription_id: AtomicU64::new(1),
+            stopped: AtomicBool::new(false),
+        });
+        let dispatcher_inner = Arc::clone(&inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("rjms-dispatcher".to_owned())
+            .spawn(move || dispatch_loop(dispatcher_inner, publish_rx))
+            .expect("failed to spawn dispatcher thread");
+        Broker { inner, publish_tx, dispatcher: Some(dispatcher) }
+    }
+
+    /// Creates a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::TopicExists`] for duplicates,
+    /// [`BrokerError::InvalidTopicName`] for empty/control-character names,
+    /// and [`BrokerError::Stopped`] after shutdown.
+    pub fn create_topic(&self, name: &str) -> Result<(), BrokerError> {
+        self.ensure_running()?;
+        if name.is_empty() || name.chars().any(|c| c.is_control()) {
+            return Err(BrokerError::InvalidTopicName { topic: name.to_owned() });
+        }
+        let mut topics = self.inner.topics.write();
+        if topics.contains_key(name) {
+            return Err(BrokerError::TopicExists { topic: name.to_owned() });
+        }
+        let topic = Arc::new(Topic::new(name));
+        // Attach live wildcard subscriptions that match the new topic,
+        // pruning dead pattern entries on the way.
+        {
+            let mut patterns = self.inner.patterns.write();
+            patterns.retain(|p| match p.subscription.upgrade() {
+                None => false,
+                Some(sub) => {
+                    if sub.active.load(Ordering::Relaxed) {
+                        if p.pattern.matches(name) {
+                            topic.subscriptions.write().push(sub);
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                }
+            });
+        }
+        topics.insert(name.to_owned(), topic);
+        Ok(())
+    }
+
+    /// The names of all topics, sorted.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The number of live subscriptions on a topic (0 for unknown topics).
+    pub fn subscription_count(&self, topic: &str) -> usize {
+        match self.inner.topics.read().get(topic) {
+            None => 0,
+            Some(t) => t
+                .subscriptions
+                .read()
+                .iter()
+                .filter(|s| s.active.load(Ordering::Relaxed))
+                .count(),
+        }
+    }
+
+    /// Creates a publisher handle for a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::TopicNotFound`] for unknown topics and
+    /// [`BrokerError::Stopped`] after shutdown.
+    pub fn publisher(&self, topic: &str) -> Result<Publisher, BrokerError> {
+        self.ensure_running()?;
+        let topic = self.lookup(topic)?;
+        Ok(Publisher {
+            topic,
+            publish_tx: self.publish_tx.clone(),
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Subscribes to a topic with a filter; returns the consuming handle.
+    ///
+    /// The subscription is removed automatically when the returned
+    /// [`Subscriber`] is dropped (the paper's *non-durable* mode: messages
+    /// are only forwarded to subscribers that are presently online).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::TopicNotFound`] for unknown topics and
+    /// [`BrokerError::Stopped`] after shutdown.
+    pub fn subscribe(&self, topic: &str, filter: Filter) -> Result<Subscriber, BrokerError> {
+        self.ensure_running()?;
+        let topic = self.lookup(topic)?;
+        let (tx, rx) = bounded(self.inner.config.subscriber_queue_capacity);
+        let id = SubscriptionId(self.inner.next_subscription_id.fetch_add(1, Ordering::Relaxed));
+        let active = Arc::new(AtomicBool::new(true));
+        let sub = Arc::new(Subscription {
+            filter,
+            sender: tx,
+            active: Arc::clone(&active),
+        });
+        topic.subscriptions.write().push(sub);
+        Ok(Subscriber {
+            id,
+            topic_name: topic.name.clone(),
+            receiver: rx,
+            active,
+            durable: None,
+            pending: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Subscribes to every topic — current *and future* — whose name
+    /// matches a hierarchical [`TopicPattern`] (`orders.*`, `sensors.>`).
+    ///
+    /// All matching topics feed the one returned [`Subscriber`]; dropping
+    /// it cancels the subscription everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Stopped`] after shutdown. Unlike
+    /// [`Broker::subscribe`], an unknown (not-yet-created) topic is not an
+    /// error — matching is by pattern.
+    pub fn subscribe_pattern(
+        &self,
+        pattern: &TopicPattern,
+        filter: Filter,
+    ) -> Result<Subscriber, BrokerError> {
+        self.ensure_running()?;
+        let (tx, rx) = bounded(self.inner.config.subscriber_queue_capacity);
+        let id = SubscriptionId(self.inner.next_subscription_id.fetch_add(1, Ordering::Relaxed));
+        let active = Arc::new(AtomicBool::new(true));
+        let sub = Arc::new(Subscription { filter, sender: tx, active: Arc::clone(&active) });
+
+        // Attach to all existing matching topics.
+        {
+            let topics = self.inner.topics.read();
+            for (name, topic) in topics.iter() {
+                if pattern.matches(name) {
+                    topic.subscriptions.write().push(Arc::clone(&sub));
+                }
+            }
+        }
+        // Register for topics created later.
+        self.inner.patterns.write().push(PatternSubscription {
+            pattern: pattern.clone(),
+            subscription: Arc::downgrade(&sub),
+        });
+
+        Ok(Subscriber {
+            id,
+            topic_name: pattern.to_string(),
+            receiver: rx,
+            active,
+            durable: None,
+            pending: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Connects to (or creates) a *durable* subscription.
+    ///
+    /// While no consumer is connected, matching messages are retained (up
+    /// to [`crate::BrokerConfig::durable_buffer_capacity`], oldest dropped)
+    /// and delivered ahead of live traffic on the next connect — the
+    /// paper's *durable mode*. Reconnecting with a *different* filter
+    /// discards the retained backlog, matching JMS's
+    /// change-of-selector semantics.
+    ///
+    /// Retained messages whose TTL has elapsed by the time of reconnection
+    /// are discarded, not delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::DurableNameInUse`] if a consumer is already
+    /// connected under this name, [`BrokerError::TopicNotFound`] /
+    /// [`BrokerError::Stopped`] as for [`Broker::subscribe`].
+    pub fn subscribe_durable(
+        &self,
+        topic: &str,
+        name: &str,
+        filter: Filter,
+    ) -> Result<Subscriber, BrokerError> {
+        self.ensure_running()?;
+        let topic = self.lookup(topic)?;
+        let (tx, rx) = bounded(self.inner.config.subscriber_queue_capacity);
+        let id = SubscriptionId(self.inner.next_subscription_id.fetch_add(1, Ordering::Relaxed));
+
+        let mut durables = topic.durables.write();
+        let state = match durables.iter().find(|d| d.name == name) {
+            Some(existing) => {
+                let mut connection = existing.connection.lock();
+                if connection.is_some() {
+                    return Err(BrokerError::DurableNameInUse {
+                        topic: topic.name.clone(),
+                        name: name.to_owned(),
+                    });
+                }
+                let mut existing_filter = existing.filter.lock();
+                if *existing_filter != filter {
+                    // JMS: changing the selector is equivalent to deleting
+                    // and recreating the subscription.
+                    existing.retained.lock().clear();
+                    *existing_filter = filter;
+                }
+                *connection = Some(tx);
+                Arc::clone(existing)
+            }
+            None => {
+                let state = Arc::new(DurableState {
+                    name: name.to_owned(),
+                    filter: Mutex::new(filter),
+                    retained: Mutex::new(VecDeque::new()),
+                    connection: Mutex::new(Some(tx)),
+                });
+                durables.push(Arc::clone(&state));
+                state
+            }
+        };
+
+        // Move the retained backlog into the subscriber handle; it is
+        // consumed before live messages.
+        let pending: VecDeque<Arc<Message>> = {
+            let mut retained = state.retained.lock();
+            retained.drain(..).filter(|m| !m.is_expired()).collect()
+        };
+
+        Ok(Subscriber {
+            id,
+            topic_name: topic.name.clone(),
+            receiver: rx,
+            active: Arc::new(AtomicBool::new(true)),
+            durable: Some(Arc::clone(&state)),
+            pending: Mutex::new(pending),
+        })
+    }
+
+    /// Permanently removes a durable subscription and its retained
+    /// messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::DurableStillConnected`] while a consumer is
+    /// connected and [`BrokerError::DurableNotFound`] for unknown names.
+    pub fn unsubscribe_durable(&self, topic: &str, name: &str) -> Result<(), BrokerError> {
+        self.ensure_running()?;
+        let topic = self.lookup(topic)?;
+        let mut durables = topic.durables.write();
+        let Some(index) = durables.iter().position(|d| d.name == name) else {
+            return Err(BrokerError::DurableNotFound {
+                topic: topic.name.clone(),
+                name: name.to_owned(),
+            });
+        };
+        if durables[index].connection.lock().is_some() {
+            return Err(BrokerError::DurableStillConnected {
+                topic: topic.name.clone(),
+                name: name.to_owned(),
+            });
+        }
+        durables.remove(index);
+        Ok(())
+    }
+
+    /// The names of all durable subscriptions on a topic, sorted.
+    pub fn durable_names(&self, topic: &str) -> Vec<String> {
+        match self.inner.topics.read().get(topic) {
+            None => Vec::new(),
+            Some(t) => {
+                let mut names: Vec<String> =
+                    t.durables.read().iter().map(|d| d.name.clone()).collect();
+                names.sort();
+                names
+            }
+        }
+    }
+
+    /// Whether a consumer is currently connected to the named durable
+    /// subscription (`false` for unknown names).
+    pub fn durable_connected(&self, topic: &str, name: &str) -> bool {
+        self.inner
+            .topics
+            .read()
+            .get(topic)
+            .map(|t| {
+                t.durables
+                    .read()
+                    .iter()
+                    .any(|d| d.name == name && d.connection.lock().is_some())
+            })
+            .unwrap_or(false)
+    }
+
+    /// The number of messages currently retained for a disconnected
+    /// durable subscription (0 for unknown names).
+    pub fn retained_count(&self, topic: &str, name: &str) -> usize {
+        self.inner
+            .topics
+            .read()
+            .get(topic)
+            .and_then(|t| {
+                t.durables
+                    .read()
+                    .iter()
+                    .find(|d| d.name == name)
+                    .map(|d| d.retained.lock().len())
+            })
+            .unwrap_or(0)
+    }
+
+    /// The broker's statistics counters.
+    pub fn stats(&self) -> Arc<BrokerStats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// Per-topic counters; `None` for unknown topics.
+    pub fn topic_stats(&self, topic: &str) -> Option<TopicStats> {
+        self.inner.topics.read().get(topic).map(|t| TopicStats {
+            received: t.received.load(Ordering::Relaxed),
+            dispatched: t.dispatched.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Stops the broker: publishers fail fast, the dispatcher drains the
+    /// publish queue and exits, and this call joins it.
+    ///
+    /// Queued messages are still *delivered* during the drain (the paper's
+    /// persistent mode: no server-side loss). Consequently, under
+    /// [`OverflowPolicy::Block`] this call waits for slow subscribers —
+    /// drop subscribers that will never drain before shutting down, or use
+    /// [`OverflowPolicy::DropNew`] for lossy teardown.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.inner.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The dispatcher drains queued items and exits on Shutdown.
+        let _ = self.publish_tx.send(DispatchItem::Shutdown);
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn ensure_running(&self) -> Result<(), BrokerError> {
+        if self.inner.stopped.load(Ordering::Relaxed) {
+            Err(BrokerError::Stopped)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Arc<Topic>, BrokerError> {
+        self.inner
+            .topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BrokerError::TopicNotFound { topic: name.to_owned() })
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The dispatcher thread: pops publish items and fans out message copies.
+fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
+    let cost = inner.config.cost_model;
+    while let Ok(item) = publish_rx.recv() {
+        let (topic, message) = match item {
+            DispatchItem::Shutdown => break,
+            DispatchItem::Publish { topic, message } => (topic, message),
+        };
+        inner.stats.record_received();
+        if let Some(c) = &cost {
+            c.spin_receive();
+        }
+
+        // TTL: expired messages are never delivered (JMS §4.8); the receive
+        // work has already been paid.
+        if message.is_expired() {
+            inner.stats.record_expired_message();
+            continue;
+        }
+
+        let mut copies = 0u64;
+        let mut evaluations = 0u64;
+        let mut needs_prune = false;
+        {
+            let subs = topic.subscriptions.read();
+            for sub in subs.iter() {
+                if !sub.active.load(Ordering::Relaxed) {
+                    needs_prune = true;
+                    continue;
+                }
+                evaluations += 1;
+                if let Some(c) = &cost {
+                    c.spin_filters(1);
+                }
+                if !sub.filter.matches(&message) {
+                    continue;
+                }
+                if let Some(c) = &cost {
+                    c.spin_transmit();
+                }
+                match deliver(sub, Arc::clone(&message), inner.config.overflow_policy) {
+                    Delivery::Sent => copies += 1,
+                    Delivery::Dropped => inner.stats.record_dropped(),
+                    Delivery::Disconnected => {
+                        sub.active.store(false, Ordering::Relaxed);
+                        inner.stats.record_expired_subscription();
+                        needs_prune = true;
+                    }
+                }
+            }
+        }
+        // Durable subscriptions: deliver when connected, retain otherwise.
+        {
+            let durables = topic.durables.read();
+            for durable in durables.iter() {
+                evaluations += 1;
+                if let Some(c) = &cost {
+                    c.spin_filters(1);
+                }
+                if !durable.filter.lock().matches(&message) {
+                    continue;
+                }
+                if let Some(c) = &cost {
+                    c.spin_transmit();
+                }
+                let mut connection = durable.connection.lock();
+                let delivered = match connection.as_ref() {
+                    Some(sender) => match deliver_to(
+                        sender,
+                        Arc::clone(&message),
+                        inner.config.overflow_policy,
+                    ) {
+                        Delivery::Sent => {
+                            copies += 1;
+                            true
+                        }
+                        Delivery::Dropped => {
+                            inner.stats.record_dropped();
+                            true
+                        }
+                        Delivery::Disconnected => {
+                            *connection = None;
+                            false
+                        }
+                    },
+                    None => false,
+                };
+                if !delivered {
+                    // Retain for the offline consumer, dropping the oldest
+                    // message beyond the buffer capacity.
+                    let mut retained = durable.retained.lock();
+                    if retained.len() >= inner.config.durable_buffer_capacity {
+                        retained.pop_front();
+                        inner.stats.record_dropped();
+                    }
+                    retained.push_back(Arc::clone(&message));
+                    inner.stats.record_retained();
+                }
+            }
+        }
+
+        inner.stats.record_filter_evaluations(evaluations);
+        inner.stats.record_dispatched(copies);
+        topic.received.fetch_add(1, Ordering::Relaxed);
+        topic.dispatched.fetch_add(copies, Ordering::Relaxed);
+
+        if needs_prune {
+            topic
+                .subscriptions
+                .write()
+                .retain(|s| s.active.load(Ordering::Relaxed));
+        }
+    }
+
+    // Shutdown: drop every subscription's sender so that blocked or future
+    // subscriber receives observe disconnection once their queues drain.
+    for topic in inner.topics.read().values() {
+        topic.subscriptions.write().clear();
+    }
+}
+
+enum Delivery {
+    Sent,
+    Dropped,
+    Disconnected,
+}
+
+/// Delivers one copy according to the overflow policy.
+fn deliver(sub: &Subscription, message: Arc<Message>, policy: OverflowPolicy) -> Delivery {
+    deliver_to(&sub.sender, message, policy)
+}
+
+/// Delivers one copy into an arbitrary subscriber queue.
+fn deliver_to(
+    sender: &Sender<Arc<Message>>,
+    message: Arc<Message>,
+    policy: OverflowPolicy,
+) -> Delivery {
+    match policy {
+        OverflowPolicy::Block => match sender.send(message) {
+            Ok(()) => Delivery::Sent,
+            Err(_) => Delivery::Disconnected,
+        },
+        OverflowPolicy::DropNew => match sender.try_send(message) {
+            Ok(()) => Delivery::Sent,
+            Err(TrySendError::Full(_)) => Delivery::Dropped,
+            Err(TrySendError::Disconnected(_)) => Delivery::Disconnected,
+        },
+    }
+}
+
+/// A handle for publishing messages to one topic.
+///
+/// Cloneable; each clone shares the same bounded publish queue, so all
+/// publishers experience the broker's push-back together.
+#[derive(Clone)]
+pub struct Publisher {
+    topic: Arc<Topic>,
+    publish_tx: Sender<DispatchItem>,
+    inner: Arc<BrokerInner>,
+}
+
+impl fmt::Debug for Publisher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Publisher").field("topic", &self.topic.name).finish()
+    }
+}
+
+impl Publisher {
+    /// The topic this publisher sends to.
+    pub fn topic(&self) -> &str {
+        &self.topic.name
+    }
+
+    /// Publishes a message, blocking while the broker's publish queue is
+    /// full (push-back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Stopped`] once the broker has been shut down.
+    pub fn publish(&self, message: Message) -> Result<(), BrokerError> {
+        if self.inner.stopped.load(Ordering::Relaxed) {
+            return Err(BrokerError::Stopped);
+        }
+        self.publish_tx
+            .send(DispatchItem::Publish {
+                topic: Arc::clone(&self.topic),
+                message: Arc::new(message),
+            })
+            .map_err(|_| BrokerError::Stopped)
+    }
+
+    /// Publishes without blocking; returns the message back if the publish
+    /// queue is currently full.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Some(message))` when the queue is full, `Err(None)` when the
+    /// broker is stopped.
+    pub fn try_publish(&self, message: Message) -> Result<(), Option<Message>> {
+        if self.inner.stopped.load(Ordering::Relaxed) {
+            return Err(None);
+        }
+        self.publish_tx
+            .try_send(DispatchItem::Publish {
+                topic: Arc::clone(&self.topic),
+                message: Arc::new(message),
+            })
+            .map_err(|e| match e {
+                TrySendError::Full(DispatchItem::Publish { message, .. }) => {
+                    // Hand the message back; it was never shared.
+                    Some(Arc::try_unwrap(message).expect("unshared message"))
+                }
+                _ => None,
+            })
+    }
+}
+
+/// A handle for consuming messages from one subscription.
+///
+/// Dropping the subscriber cancels the subscription (non-durable semantics).
+pub struct Subscriber {
+    id: SubscriptionId,
+    topic_name: String,
+    receiver: Receiver<Arc<Message>>,
+    active: Arc<AtomicBool>,
+    /// Durable-subscription state, if this is a durable consumer.
+    durable: Option<Arc<DurableState>>,
+    /// Retained backlog moved in at (durable) connect time; consumed before
+    /// live messages. Interior mutability keeps `receive(&self)` ergonomic
+    /// (matching the underlying channel receiver).
+    pending: Mutex<VecDeque<Arc<Message>>>,
+}
+
+impl fmt::Debug for Subscriber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscriber")
+            .field("id", &self.id)
+            .field("topic", &self.topic_name)
+            .finish()
+    }
+}
+
+impl Subscriber {
+    /// This subscription's id.
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// The topic subscribed to.
+    pub fn topic(&self) -> &str {
+        &self.topic_name
+    }
+
+    /// Whether this is a durable subscription consumer.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable subscription name, if this is a durable consumer.
+    pub fn durable_name(&self) -> Option<&str> {
+        self.durable.as_ref().map(|d| d.name.as_str())
+    }
+
+    /// Blocking receive. For durable consumers, the retained backlog is
+    /// delivered before live messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReceiveError`] when the broker has shut down and the queue
+    /// is drained.
+    pub fn receive(&self) -> Result<Arc<Message>, ReceiveError> {
+        if let Some(m) = self.pending.lock().pop_front() {
+            return Ok(m);
+        }
+        self.receiver.recv().map_err(|_| ReceiveError)
+    }
+
+    /// Non-blocking receive (retained backlog first for durable consumers).
+    pub fn try_receive(&self) -> Option<Arc<Message>> {
+        if let Some(m) = self.pending.lock().pop_front() {
+            return Some(m);
+        }
+        self.receiver.try_recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout or closed queue.
+    pub fn receive_timeout(&self, timeout: Duration) -> Option<Arc<Message>> {
+        if let Some(m) = self.pending.lock().pop_front() {
+            return Some(m);
+        }
+        self.receiver.recv_timeout(timeout).ok()
+    }
+
+    /// Returns an unprocessed message to the *front* of this subscriber's
+    /// local buffer, so it is the next one received (or, for a durable
+    /// subscriber that disconnects, the first one re-retained).
+    ///
+    /// Intended for consumers that pulled a message but could not process
+    /// it — e.g. a network forwarder whose connection died mid-delivery.
+    pub fn return_message(&self, message: Arc<Message>) {
+        self.pending.lock().push_front(message);
+    }
+
+    /// Number of messages currently buffered for this subscriber
+    /// (including any retained backlog).
+    pub fn queued(&self) -> usize {
+        self.pending.lock().len() + self.receiver.len()
+    }
+
+    /// Drains all currently buffered messages.
+    pub fn drain(&self) -> Vec<Arc<Message>> {
+        let mut out: Vec<Arc<Message>> = self.pending.lock().drain(..).collect();
+        while let Ok(m) = self.receiver.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+impl Drop for Subscriber {
+    fn drop(&mut self) {
+        // Mark inactive; the dispatcher prunes plain subscriptions lazily.
+        self.active.store(false, Ordering::Relaxed);
+        if let Some(durable) = &self.durable {
+            // Disconnect: future matches are retained again. Unconsumed
+            // backlog and queued-but-unreceived messages go back into the
+            // retained buffer so that nothing is lost on reconnect.
+            let mut connection = durable.connection.lock();
+            *connection = None;
+            let mut retained = durable.retained.lock();
+            for m in self.pending.lock().drain(..) {
+                retained.push_back(m);
+            }
+            while let Ok(m) = self.receiver.try_recv() {
+                retained.push_back(m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Priority;
+
+    fn broker() -> Broker {
+        let b = Broker::start(BrokerConfig::default());
+        b.create_topic("t").unwrap();
+        b
+    }
+
+    #[test]
+    fn unfiltered_subscriber_gets_all_messages() {
+        let b = broker();
+        let sub = b.subscribe("t", Filter::None).unwrap();
+        let p = b.publisher("t").unwrap();
+        for i in 0..10 {
+            p.publish(Message::builder().property("i", i as i64).build()).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(sub.receive_timeout(Duration::from_secs(2)).expect("message"));
+        }
+        assert_eq!(got.len(), 10);
+        // Per-publisher FIFO order is preserved.
+        for (i, m) in got.iter().enumerate() {
+            assert_eq!(m.property("i"), Some(&(i as i64).into()));
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn filters_route_messages() {
+        let b = broker();
+        let red = b.subscribe("t", Filter::selector("color = 'red'").unwrap()).unwrap();
+        let blue = b.subscribe("t", Filter::selector("color = 'blue'").unwrap()).unwrap();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().property("color", "red").build()).unwrap();
+        p.publish(Message::builder().property("color", "blue").build()).unwrap();
+        p.publish(Message::builder().property("color", "green").build()).unwrap();
+
+        let r = red.receive_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(r.property("color"), Some(&"red".into()));
+        let bl = blue.receive_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(bl.property("color"), Some(&"blue".into()));
+        // The green message matched nobody.
+        assert!(red.receive_timeout(Duration::from_millis(50)).is_none());
+        assert!(blue.receive_timeout(Duration::from_millis(50)).is_none());
+        b.shutdown();
+    }
+
+    #[test]
+    fn replication_to_matching_subscribers() {
+        let b = broker();
+        let subs: Vec<_> =
+            (0..5).map(|_| b.subscribe("t", Filter::None).unwrap()).collect();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().build()).unwrap();
+        for s in &subs {
+            assert!(s.receive_timeout(Duration::from_secs(2)).is_some());
+        }
+        // Stats: 1 received, 5 dispatched → replication grade 5.
+        let stats = b.stats();
+        // Allow the dispatcher a moment to finish counting.
+        for _ in 0..100 {
+            if stats.dispatched() == 5 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(stats.received(), 1);
+        assert_eq!(stats.dispatched(), 5);
+        b.shutdown();
+    }
+
+    #[test]
+    fn topics_isolate_messages() {
+        let b = broker();
+        b.create_topic("other").unwrap();
+        let t_sub = b.subscribe("t", Filter::None).unwrap();
+        let o_sub = b.subscribe("other", Filter::None).unwrap();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().build()).unwrap();
+        assert!(t_sub.receive_timeout(Duration::from_secs(2)).is_some());
+        assert!(o_sub.receive_timeout(Duration::from_millis(50)).is_none());
+        b.shutdown();
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let b = broker();
+        assert!(matches!(
+            b.publisher("nope"),
+            Err(BrokerError::TopicNotFound { .. })
+        ));
+        assert!(matches!(
+            b.subscribe("nope", Filter::None),
+            Err(BrokerError::TopicNotFound { .. })
+        ));
+        b.shutdown();
+    }
+
+    #[test]
+    fn duplicate_and_invalid_topics_rejected() {
+        let b = broker();
+        assert!(matches!(b.create_topic("t"), Err(BrokerError::TopicExists { .. })));
+        assert!(matches!(b.create_topic(""), Err(BrokerError::InvalidTopicName { .. })));
+        b.shutdown();
+    }
+
+    #[test]
+    fn dropping_subscriber_cancels_subscription() {
+        let b = broker();
+        let sub = b.subscribe("t", Filter::None).unwrap();
+        assert_eq!(b.subscription_count("t"), 1);
+        drop(sub);
+        assert_eq!(b.subscription_count("t"), 0);
+        // Publishing after the drop reaches nobody but still counts received.
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().build()).unwrap();
+        let stats = b.stats();
+        for _ in 0..100 {
+            if stats.received() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(stats.dispatched(), 0);
+        b.shutdown();
+    }
+
+    #[test]
+    fn publish_after_shutdown_fails() {
+        let b = broker();
+        let p = b.publisher("t").unwrap();
+        b.shutdown();
+        assert_eq!(p.publish(Message::builder().build()), Err(BrokerError::Stopped));
+    }
+
+    #[test]
+    fn subscriber_receives_error_after_shutdown() {
+        let b = broker();
+        let sub = b.subscribe("t", Filter::None).unwrap();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().build()).unwrap();
+        b.shutdown();
+        // The queued message is still delivered, then the queue closes.
+        assert!(sub.receive().is_ok());
+        assert!(sub.receive().is_err());
+    }
+
+    #[test]
+    fn drop_new_policy_drops_on_full_queue() {
+        let b = Broker::start(
+            BrokerConfig::default()
+                .subscriber_queue_capacity(1)
+                .overflow_policy(OverflowPolicy::DropNew),
+        );
+        b.create_topic("t").unwrap();
+        let sub = b.subscribe("t", Filter::None).unwrap();
+        let p = b.publisher("t").unwrap();
+        for _ in 0..10 {
+            p.publish(Message::builder().build()).unwrap();
+        }
+        let stats = b.stats();
+        for _ in 0..200 {
+            if stats.received() == 10 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(stats.received(), 10);
+        assert!(stats.dropped() > 0, "expected drops on a capacity-1 queue");
+        assert_eq!(stats.dispatched() + stats.dropped(), 10);
+        drop(sub);
+        b.shutdown();
+    }
+
+    #[test]
+    fn try_publish_reports_full_queue() {
+        // Tiny publish queue, no subscriber, dispatcher busy: fill it up.
+        let b = Broker::start(
+            BrokerConfig::default()
+                .publish_queue_capacity(1)
+                .cost_model(crate::cost::CostModel::new(0.05, 0.0, 0.0)),
+        );
+        b.create_topic("t").unwrap();
+        let p = b.publisher("t").unwrap();
+        // First publishes are absorbed; eventually the queue must report full
+        // while the dispatcher spins 50 ms per message.
+        let mut saw_full = false;
+        for _ in 0..64 {
+            if let Err(Some(_)) = p.try_publish(Message::builder().build()) {
+                saw_full = true;
+                break;
+            }
+        }
+        assert!(saw_full, "expected Full from try_publish");
+        b.shutdown();
+    }
+
+    #[test]
+    fn correlation_id_filters_on_broker() {
+        let b = broker();
+        let sub = b.subscribe("t", Filter::correlation_id("[7;13]").unwrap()).unwrap();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().correlation_id("#9").build()).unwrap();
+        p.publish(Message::builder().correlation_id("#42").build()).unwrap();
+        let got = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.correlation_id(), Some("#9"));
+        assert!(sub.receive_timeout(Duration::from_millis(50)).is_none());
+        b.shutdown();
+    }
+
+    #[test]
+    fn filter_evaluation_counts_are_per_subscription() {
+        let b = broker();
+        let _subs: Vec<_> = (0..3)
+            .map(|i| {
+                b.subscribe("t", Filter::correlation_id(&format!("#{i}")).unwrap()).unwrap()
+            })
+            .collect();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().correlation_id("#0").build()).unwrap();
+        let stats = b.stats();
+        for _ in 0..100 {
+            if stats.filter_evaluations() == 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // All 3 filters evaluated (brute force), 1 matched.
+        assert_eq!(stats.filter_evaluations(), 3);
+        assert_eq!(stats.dispatched(), 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn multiple_publishers_fifo_per_publisher() {
+        let b = broker();
+        let sub = b.subscribe("t", Filter::None).unwrap();
+        let p1 = b.publisher("t").unwrap();
+        let p2 = p1.clone();
+        let h1 = std::thread::spawn(move || {
+            for i in 0..50i64 {
+                p1.publish(
+                    Message::builder().property("src", 1i64).property("seq", i).build(),
+                )
+                .unwrap();
+            }
+        });
+        let h2 = std::thread::spawn(move || {
+            for i in 0..50i64 {
+                p2.publish(
+                    Message::builder().property("src", 2i64).property("seq", i).build(),
+                )
+                .unwrap();
+            }
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let mut last = [-1i64; 3];
+        for _ in 0..100 {
+            let m = sub.receive_timeout(Duration::from_secs(2)).expect("message");
+            let src = match m.property("src") {
+                Some(rjms_selector::Value::Int(s)) => *s as usize,
+                other => panic!("bad src {other:?}"),
+            };
+            let seq = match m.property("seq") {
+                Some(rjms_selector::Value::Int(s)) => *s,
+                other => panic!("bad seq {other:?}"),
+            };
+            assert!(seq > last[src], "per-publisher order violated");
+            last[src] = seq;
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn priority_header_visible_to_selectors_end_to_end() {
+        let b = broker();
+        let sub = b.subscribe("t", Filter::selector("JMSPriority >= 7").unwrap()).unwrap();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().priority(Priority::new(9)).build()).unwrap();
+        p.publish(Message::builder().priority(Priority::new(1)).build()).unwrap();
+        assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+        assert!(sub.receive_timeout(Duration::from_millis(50)).is_none());
+        b.shutdown();
+    }
+}

@@ -1,0 +1,144 @@
+//! Broker configuration.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// What the dispatcher does when a subscriber's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Block the dispatcher until the subscriber drains (reliable delivery —
+    /// the paper's *persistent* mode; back-pressure ultimately propagates to
+    /// the publishers through the bounded publish queue).
+    #[default]
+    Block,
+    /// Drop the new message copy for that subscriber (lossy delivery;
+    /// recorded in [`crate::stats::BrokerStats::dropped`]).
+    DropNew,
+}
+
+/// Configuration for a [`crate::Broker`].
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::config::{BrokerConfig, OverflowPolicy};
+///
+/// let config = BrokerConfig::default()
+///     .publish_queue_capacity(512)
+///     .overflow_policy(OverflowPolicy::DropNew);
+/// assert_eq!(config.publish_queue_capacity, 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// Capacity of the central publish queue. A full queue blocks
+    /// publishers — the push-back mechanism the paper observed ("the major
+    /// part of the messages are queued at the publisher site").
+    pub publish_queue_capacity: usize,
+    /// Capacity of each subscriber's delivery queue.
+    pub subscriber_queue_capacity: usize,
+    /// Behaviour on full subscriber queues.
+    pub overflow_policy: OverflowPolicy,
+    /// Optional synthetic CPU cost per message (see [`CostModel`]); `None`
+    /// runs the broker at native speed.
+    pub cost_model: Option<CostModel>,
+    /// Maximum number of messages retained per *disconnected durable
+    /// subscription*; the oldest retained message is dropped on overflow.
+    pub durable_buffer_capacity: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            publish_queue_capacity: 1024,
+            subscriber_queue_capacity: 4096,
+            overflow_policy: OverflowPolicy::Block,
+            cost_model: None,
+            durable_buffer_capacity: 65_536,
+        }
+    }
+}
+
+impl BrokerConfig {
+    /// Sets the publish-queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn publish_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "publish queue capacity must be > 0");
+        self.publish_queue_capacity = capacity;
+        self
+    }
+
+    /// Sets each subscriber's queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn subscriber_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "subscriber queue capacity must be > 0");
+        self.subscriber_queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the overflow policy.
+    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow_policy = policy;
+        self
+    }
+
+    /// Enables the synthetic CPU cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Sets the per-durable-subscription retention buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn durable_buffer_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "durable buffer capacity must be > 0");
+        self.durable_buffer_capacity = capacity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_blocking_and_costless() {
+        let c = BrokerConfig::default();
+        assert_eq!(c.overflow_policy, OverflowPolicy::Block);
+        assert!(c.cost_model.is_none());
+        assert!(c.publish_queue_capacity > 0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = BrokerConfig::default()
+            .publish_queue_capacity(10)
+            .subscriber_queue_capacity(20)
+            .overflow_policy(OverflowPolicy::DropNew)
+            .cost_model(CostModel::CORRELATION_ID);
+        assert_eq!(c.publish_queue_capacity, 10);
+        assert_eq!(c.subscriber_queue_capacity, 20);
+        assert_eq!(c.overflow_policy, OverflowPolicy::DropNew);
+        assert!(c.cost_model.is_some());
+    }
+
+    #[test]
+    fn durable_buffer_capacity_configurable() {
+        let c = BrokerConfig::default().durable_buffer_capacity(7);
+        assert_eq!(c.durable_buffer_capacity, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_rejected() {
+        BrokerConfig::default().publish_queue_capacity(0);
+    }
+}

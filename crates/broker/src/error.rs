@@ -1,0 +1,99 @@
+//! Broker error types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors returned by broker operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BrokerError {
+    /// The named topic does not exist. Topics must be created with
+    /// [`crate::Broker::create_topic`] before use (JMS configures topics
+    /// before system start).
+    TopicNotFound {
+        /// The missing topic name.
+        topic: String,
+    },
+    /// The topic already exists.
+    TopicExists {
+        /// The duplicate topic name.
+        topic: String,
+    },
+    /// The topic name is empty or contains control characters.
+    InvalidTopicName {
+        /// The rejected name.
+        topic: String,
+    },
+    /// The broker has been shut down.
+    Stopped,
+    /// A durable subscription with this name is already connected.
+    DurableNameInUse {
+        /// The topic the durable subscription lives on.
+        topic: String,
+        /// The durable subscription name.
+        name: String,
+    },
+    /// No durable subscription with this name exists on the topic.
+    DurableNotFound {
+        /// The topic searched.
+        topic: String,
+        /// The missing durable subscription name.
+        name: String,
+    },
+    /// A durable subscription cannot be removed while it is connected.
+    DurableStillConnected {
+        /// The topic the durable subscription lives on.
+        topic: String,
+        /// The durable subscription name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TopicNotFound { topic } => write!(f, "topic `{topic}` not found"),
+            Self::TopicExists { topic } => write!(f, "topic `{topic}` already exists"),
+            Self::InvalidTopicName { topic } => write!(f, "invalid topic name `{topic}`"),
+            Self::Stopped => f.write_str("broker has been stopped"),
+            Self::DurableNameInUse { topic, name } => {
+                write!(f, "durable subscription `{name}` on `{topic}` is already connected")
+            }
+            Self::DurableNotFound { topic, name } => {
+                write!(f, "durable subscription `{name}` not found on `{topic}`")
+            }
+            Self::DurableStillConnected { topic, name } => {
+                write!(f, "durable subscription `{name}` on `{topic}` is still connected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// Error returned by a blocking receive when the broker shut down and the
+/// queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceiveError;
+
+impl fmt::Display for ReceiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("subscription closed: broker stopped and queue drained")
+    }
+}
+
+impl std::error::Error for ReceiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            BrokerError::TopicNotFound { topic: "t".into() }.to_string(),
+            "topic `t` not found"
+        );
+        assert_eq!(BrokerError::Stopped.to_string(), "broker has been stopped");
+        assert!(ReceiveError.to_string().contains("closed"));
+    }
+}

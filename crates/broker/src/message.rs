@@ -1,0 +1,420 @@
+//! The JMS-style message model.
+//!
+//! A message consists of three parts (paper Fig. 2): a fixed header (message
+//! id, timestamp, correlation id, priority, type, …), a user-defined typed
+//! property section, and an opaque payload. Selectors can reference both the
+//! user properties and the `JMS*` header fields, which is why [`Message`]
+//! implements [`PropertySource`].
+
+use bytes::Bytes;
+use rjms_selector::eval::PropertySource;
+use rjms_selector::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Globally unique message identifier (`ID:<n>` in JMS spelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MessageId(u64);
+
+impl MessageId {
+    /// Allocates the next process-wide unique id.
+    pub fn next() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        MessageId(COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ID:{}", self.0)
+    }
+}
+
+/// Message priority 0–9 (JMS default is 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// The JMS default priority (4).
+    pub const DEFAULT: Priority = Priority(4);
+
+    /// Creates a priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 9` (the JMS priority range is 0–9).
+    pub fn new(level: u8) -> Self {
+        assert!(level <= 9, "JMS priority must be 0-9, got {level}");
+        Priority(level)
+    }
+
+    /// The numeric priority level.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// An immutable JMS-style message.
+///
+/// Construct with [`Message::builder`]. Messages are cheap to clone: the
+/// payload is a reference-counted [`Bytes`] and the broker shares messages
+/// between subscribers via `Arc<Message>`.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::message::Message;
+///
+/// let msg = Message::builder()
+///     .correlation_id("#7")
+///     .property("color", "red")
+///     .property("weight", 3i64)
+///     .body(&b"payload"[..])
+///     .build();
+/// assert_eq!(msg.correlation_id(), Some("#7"));
+/// assert_eq!(msg.body().len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    id: MessageId,
+    timestamp_millis: u64,
+    correlation_id: Option<String>,
+    message_type: Option<String>,
+    priority: Priority,
+    reply_to: Option<String>,
+    expiration_millis: Option<u64>,
+    properties: BTreeMap<String, Value>,
+    body: Bytes,
+}
+
+impl Message {
+    /// Starts building a message.
+    pub fn builder() -> MessageBuilder {
+        MessageBuilder::new()
+    }
+
+    /// The unique message id (header field `JMSMessageID`).
+    pub fn id(&self) -> MessageId {
+        self.id
+    }
+
+    /// Milliseconds since the Unix epoch when the message was built
+    /// (header field `JMSTimestamp`).
+    pub fn timestamp_millis(&self) -> u64 {
+        self.timestamp_millis
+    }
+
+    /// The correlation id, if set (header field `JMSCorrelationID`).
+    pub fn correlation_id(&self) -> Option<&str> {
+        self.correlation_id.as_deref()
+    }
+
+    /// The application message type, if set (header field `JMSType`).
+    pub fn message_type(&self) -> Option<&str> {
+        self.message_type.as_deref()
+    }
+
+    /// The message priority (header field `JMSPriority`).
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The reply-to destination name, if set.
+    pub fn reply_to(&self) -> Option<&str> {
+        self.reply_to.as_deref()
+    }
+
+    /// The absolute expiration time in milliseconds since the Unix epoch
+    /// (header field `JMSExpiration`); `None` means the message never
+    /// expires.
+    pub fn expiration_millis(&self) -> Option<u64> {
+        self.expiration_millis
+    }
+
+    /// Whether the message has expired at the given wall-clock instant
+    /// (milliseconds since the Unix epoch). Messages without an expiration
+    /// never expire.
+    pub fn is_expired_at(&self, now_millis: u64) -> bool {
+        self.expiration_millis.is_some_and(|e| now_millis >= e)
+    }
+
+    /// Whether the message has expired right now.
+    pub fn is_expired(&self) -> bool {
+        self.is_expired_at(now_unix_millis())
+    }
+
+    /// The user property section.
+    pub fn properties(&self) -> &BTreeMap<String, Value> {
+        &self.properties
+    }
+
+    /// A single user property.
+    pub fn property(&self, name: &str) -> Option<&Value> {
+        self.properties.get(name)
+    }
+
+    /// The payload.
+    pub fn body(&self) -> &Bytes {
+        &self.body
+    }
+
+    /// Total approximate wire size: headers + properties + payload.
+    pub fn approximate_size(&self) -> usize {
+        let header = 64
+            + self.correlation_id.as_ref().map_or(0, |s| s.len())
+            + self.message_type.as_ref().map_or(0, |s| s.len())
+            + self.reply_to.as_ref().map_or(0, |s| s.len());
+        let props: usize = self
+            .properties
+            .iter()
+            .map(|(k, v)| {
+                k.len()
+                    + match v {
+                        Value::Str(s) => s.len(),
+                        _ => 8,
+                    }
+            })
+            .sum();
+        header + props + self.body.len()
+    }
+}
+
+impl PropertySource for Message {
+    /// Exposes user properties and the `JMS*` header fields to selectors,
+    /// per JMS 1.1 §3.8.1.1 (only the selectable header fields are mapped).
+    fn property(&self, name: &str) -> Option<Value> {
+        match name {
+            "JMSMessageID" => Some(Value::Str(self.id.to_string())),
+            "JMSTimestamp" => Some(Value::Int(self.timestamp_millis as i64)),
+            "JMSCorrelationID" => self.correlation_id.clone().map(Value::Str),
+            "JMSType" => self.message_type.clone().map(Value::Str),
+            "JMSPriority" => Some(Value::Int(self.priority.level() as i64)),
+            "JMSExpiration" => {
+                // JMS encodes "never expires" as 0.
+                Some(Value::Int(self.expiration_millis.unwrap_or(0) as i64))
+            }
+            _ => self.properties.get(name).cloned(),
+        }
+    }
+}
+
+/// Builder for [`Message`].
+///
+/// All parts are optional; [`MessageBuilder::build`] stamps the id and
+/// timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct MessageBuilder {
+    correlation_id: Option<String>,
+    message_type: Option<String>,
+    priority: Priority,
+    reply_to: Option<String>,
+    time_to_live: Option<std::time::Duration>,
+    properties: BTreeMap<String, Value>,
+    body: Bytes,
+}
+
+impl MessageBuilder {
+    /// Creates an empty builder (equivalent to [`Message::builder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the correlation id (a 128-byte string in the paper's workloads).
+    pub fn correlation_id(mut self, id: impl Into<String>) -> Self {
+        self.correlation_id = Some(id.into());
+        self
+    }
+
+    /// Sets the application message type.
+    pub fn message_type(mut self, ty: impl Into<String>) -> Self {
+        self.message_type = Some(ty.into());
+        self
+    }
+
+    /// Sets the priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the reply-to destination.
+    pub fn reply_to(mut self, destination: impl Into<String>) -> Self {
+        self.reply_to = Some(destination.into());
+        self
+    }
+
+    /// Sets the message's time to live; the broker discards the message
+    /// instead of delivering it once the TTL has elapsed (counted from
+    /// [`MessageBuilder::build`]).
+    pub fn time_to_live(mut self, ttl: std::time::Duration) -> Self {
+        self.time_to_live = Some(ttl);
+        self
+    }
+
+    /// Sets one user property.
+    pub fn property(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.properties.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets the payload. The paper's default workload uses a 0-byte body —
+    /// "the full information is contained in the message headers".
+    pub fn body(mut self, body: impl Into<Bytes>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Finalizes the message, stamping a fresh id and the current time.
+    pub fn build(self) -> Message {
+        let timestamp_millis = now_unix_millis();
+        Message {
+            id: MessageId::next(),
+            timestamp_millis,
+            correlation_id: self.correlation_id,
+            message_type: self.message_type,
+            priority: self.priority,
+            reply_to: self.reply_to,
+            expiration_millis: self
+                .time_to_live
+                .map(|ttl| timestamp_millis + ttl.as_millis() as u64),
+            properties: self.properties,
+            body: self.body,
+        }
+    }
+}
+
+/// Current wall-clock time in milliseconds since the Unix epoch.
+pub(crate) fn now_unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjms_selector::Selector;
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let a = MessageId::next();
+        let b = MessageId::next();
+        assert!(b > a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let m = Message::builder()
+            .correlation_id("#1")
+            .message_type("presence")
+            .priority(Priority::new(7))
+            .reply_to("replies")
+            .property("user", "alice")
+            .body(&b"x"[..])
+            .build();
+        assert_eq!(m.correlation_id(), Some("#1"));
+        assert_eq!(m.message_type(), Some("presence"));
+        assert_eq!(m.priority().level(), 7);
+        assert_eq!(m.reply_to(), Some("replies"));
+        assert_eq!(m.property("user"), Some(&Value::Str("alice".into())));
+        assert_eq!(m.body().as_ref(), b"x");
+    }
+
+    #[test]
+    fn default_message_is_empty_bodied_priority_4() {
+        let m = Message::builder().build();
+        assert_eq!(m.body().len(), 0);
+        assert_eq!(m.priority(), Priority::DEFAULT);
+        assert_eq!(m.correlation_id(), None);
+    }
+
+    #[test]
+    fn selectors_see_header_fields() {
+        let m = Message::builder()
+            .correlation_id("#0")
+            .priority(Priority::new(9))
+            .message_type("alert")
+            .build();
+        assert!(Selector::parse("JMSCorrelationID = '#0'").unwrap().matches(&m));
+        assert!(Selector::parse("JMSPriority >= 5").unwrap().matches(&m));
+        assert!(Selector::parse("JMSType = 'alert'").unwrap().matches(&m));
+        // Missing header field evaluates as null → unknown → no match.
+        let plain = Message::builder().build();
+        assert!(!Selector::parse("JMSType = 'alert'").unwrap().matches(&plain));
+        assert!(Selector::parse("JMSType IS NULL").unwrap().matches(&plain));
+    }
+
+    #[test]
+    fn selectors_see_user_properties() {
+        let m = Message::builder().property("weight", 10i64).build();
+        assert!(Selector::parse("weight BETWEEN 5 AND 15").unwrap().matches(&m));
+    }
+
+    #[test]
+    fn timestamp_is_recent() {
+        let m = Message::builder().build();
+        let now = SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_millis() as u64;
+        assert!(now - m.timestamp_millis() < 10_000);
+    }
+
+    #[test]
+    fn approximate_size_accounts_for_parts() {
+        let empty = Message::builder().build();
+        let loaded = Message::builder()
+            .correlation_id("0123456789")
+            .property("k", "v")
+            .body(vec![0u8; 100])
+            .build();
+        assert!(loaded.approximate_size() > empty.approximate_size() + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "JMS priority must be 0-9")]
+    fn priority_range_enforced() {
+        Priority::new(10);
+    }
+
+    #[test]
+    fn messages_without_ttl_never_expire() {
+        let m = Message::builder().build();
+        assert_eq!(m.expiration_millis(), None);
+        assert!(!m.is_expired_at(u64::MAX - 1));
+    }
+
+    #[test]
+    fn ttl_sets_absolute_expiration() {
+        let m = Message::builder()
+            .time_to_live(std::time::Duration::from_millis(50))
+            .build();
+        let exp = m.expiration_millis().expect("expiration set");
+        assert_eq!(exp, m.timestamp_millis() + 50);
+        assert!(!m.is_expired_at(exp - 1));
+        assert!(m.is_expired_at(exp));
+    }
+
+    #[test]
+    fn selectors_see_expiration_header() {
+        let never = Message::builder().build();
+        assert!(Selector::parse("JMSExpiration = 0").unwrap().matches(&never));
+        let soon = Message::builder()
+            .time_to_live(std::time::Duration::from_secs(60))
+            .build();
+        assert!(Selector::parse("JMSExpiration > 0").unwrap().matches(&soon));
+    }
+}

@@ -1,0 +1,213 @@
+//! Hierarchical topic patterns.
+//!
+//! JMS itself leaves topic namespaces flat, but every production broker
+//! (including FioranoMQ) supports dot-separated topic hierarchies with
+//! wildcard subscriptions. This module implements the conventional syntax:
+//!
+//! * `.` separates segments (`sensors.temp.room1`),
+//! * `*` matches exactly one segment (`sensors.*.room1`),
+//! * `>` as the *final* segment matches one or more remaining segments
+//!   (`sensors.>`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One segment of a topic pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum Segment {
+    Literal(String),
+    /// `*` — any single segment.
+    AnyOne,
+    /// `>` — one or more trailing segments.
+    AnyRest,
+}
+
+/// A parsed topic pattern.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::pattern::TopicPattern;
+///
+/// let p: TopicPattern = "sensors.*.temp".parse().unwrap();
+/// assert!(p.matches("sensors.kitchen.temp"));
+/// assert!(!p.matches("sensors.kitchen.humidity"));
+/// assert!(!p.matches("sensors.temp"));
+///
+/// let rest: TopicPattern = "sensors.>".parse().unwrap();
+/// assert!(rest.matches("sensors.kitchen.temp"));
+/// assert!(!rest.matches("sensors"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TopicPattern {
+    segments: Vec<Segment>,
+    source: String,
+}
+
+impl TopicPattern {
+    /// Whether the pattern contains any wildcard. A wildcard-free pattern
+    /// matches exactly one topic name.
+    pub fn is_literal(&self) -> bool {
+        self.segments.iter().all(|s| matches!(s, Segment::Literal(_)))
+    }
+
+    /// Whether the pattern matches a topic name.
+    pub fn matches(&self, topic: &str) -> bool {
+        let parts: Vec<&str> = topic.split('.').collect();
+        let mut i = 0;
+        for (idx, seg) in self.segments.iter().enumerate() {
+            match seg {
+                Segment::AnyRest => {
+                    // Must consume at least one remaining part.
+                    debug_assert_eq!(idx, self.segments.len() - 1);
+                    return i < parts.len();
+                }
+                Segment::AnyOne => {
+                    if i >= parts.len() {
+                        return false;
+                    }
+                    i += 1;
+                }
+                Segment::Literal(lit) => {
+                    if parts.get(i) != Some(&lit.as_str()) {
+                        return false;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        i == parts.len()
+    }
+}
+
+impl fmt::Display for TopicPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+/// Error parsing a topic pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseTopicPatternError {
+    /// The rejected pattern.
+    pub pattern: String,
+    /// Why it was rejected.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTopicPatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid topic pattern `{}`: {}", self.pattern, self.message)
+    }
+}
+
+impl std::error::Error for ParseTopicPatternError {}
+
+impl FromStr for TopicPattern {
+    type Err = ParseTopicPatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |message: &str| ParseTopicPatternError {
+            pattern: s.to_owned(),
+            message: message.to_owned(),
+        };
+        if s.is_empty() {
+            return Err(err("pattern must not be empty"));
+        }
+        let parts: Vec<&str> = s.split('.').collect();
+        let mut segments = Vec::with_capacity(parts.len());
+        for (i, part) in parts.iter().enumerate() {
+            match *part {
+                "" => return Err(err("empty segment")),
+                "*" => segments.push(Segment::AnyOne),
+                ">" => {
+                    if i != parts.len() - 1 {
+                        return Err(err("`>` may only appear as the final segment"));
+                    }
+                    segments.push(Segment::AnyRest);
+                }
+                lit => {
+                    if lit.contains('*') || lit.contains('>') {
+                        return Err(err("wildcards must stand alone in a segment"));
+                    }
+                    segments.push(Segment::Literal(lit.to_owned()));
+                }
+            }
+        }
+        Ok(TopicPattern { segments, source: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(s: &str) -> TopicPattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn literal_pattern_matches_exactly() {
+        let p = pat("a.b.c");
+        assert!(p.is_literal());
+        assert!(p.matches("a.b.c"));
+        assert!(!p.matches("a.b"));
+        assert!(!p.matches("a.b.c.d"));
+        assert!(!p.matches("a.b.x"));
+    }
+
+    #[test]
+    fn star_matches_one_segment() {
+        let p = pat("a.*.c");
+        assert!(!p.is_literal());
+        assert!(p.matches("a.b.c"));
+        assert!(p.matches("a.x.c"));
+        assert!(!p.matches("a.c"));
+        assert!(!p.matches("a.b.b.c"));
+    }
+
+    #[test]
+    fn leading_and_trailing_star() {
+        assert!(pat("*.b").matches("a.b"));
+        assert!(!pat("*.b").matches("b"));
+        assert!(pat("a.*").matches("a.b"));
+        assert!(!pat("a.*").matches("a"));
+        assert!(pat("*").matches("anything"));
+        assert!(!pat("*").matches("two.parts"));
+    }
+
+    #[test]
+    fn gt_matches_one_or_more_trailing() {
+        let p = pat("a.>");
+        assert!(p.matches("a.b"));
+        assert!(p.matches("a.b.c.d"));
+        assert!(!p.matches("a"));
+        assert!(pat(">").matches("x"));
+        assert!(pat(">").matches("x.y"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<TopicPattern>().is_err());
+        assert!("a..b".parse::<TopicPattern>().is_err());
+        assert!("a.>.b".parse::<TopicPattern>().is_err());
+        assert!("a.b*".parse::<TopicPattern>().is_err());
+        assert!("a.>x".parse::<TopicPattern>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["a.b", "a.*", "a.>", "*", ">"] {
+            assert_eq!(pat(s).to_string(), s);
+            let again: TopicPattern = pat(s).to_string().parse().unwrap();
+            assert_eq!(pat(s), again);
+        }
+    }
+
+    #[test]
+    fn flat_names_work_as_single_segments() {
+        assert!(pat("stocks").matches("stocks"));
+        assert!(!pat("stocks").matches("stocks.nyse"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Broker statistics and throughput measurement.
+//!
+//! The paper measures the *received throughput* (messages accepted from
+//! publishers per second), the *dispatched throughput* (message copies
+//! forwarded to subscribers per second), and their sum, the *overall
+//! throughput*, over a measurement window with warmup and cooldown trimmed
+//! off. [`BrokerStats`] holds the lock-free counters; [`ThroughputProbe`]
+//! implements the trimmed-window measurement.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Lock-free counters shared between broker threads and observers.
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    received: AtomicU64,
+    dispatched: AtomicU64,
+    filter_evaluations: AtomicU64,
+    dropped: AtomicU64,
+    expired_subscriptions: AtomicU64,
+    retained: AtomicU64,
+    expired_messages: AtomicU64,
+}
+
+impl BrokerStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message received from a publisher.
+    pub fn record_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `copies` message copies dispatched to subscribers.
+    pub fn record_dispatched(&self, copies: u64) {
+        self.dispatched.fetch_add(copies, Ordering::Relaxed);
+    }
+
+    /// Records `count` filter evaluations performed for one message.
+    pub fn record_filter_evaluations(&self, count: u64) {
+        self.filter_evaluations.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records a message copy dropped because a subscriber queue was full
+    /// (only under [`crate::config::OverflowPolicy::DropNew`]).
+    pub fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a subscription removed because its subscriber disconnected.
+    pub fn record_expired_subscription(&self) {
+        self.expired_subscriptions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message retained for a disconnected durable subscription.
+    pub fn record_retained(&self) {
+        self.retained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message discarded because its TTL elapsed.
+    pub fn record_expired_message(&self) {
+        self.expired_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages received from publishers so far.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Message copies dispatched to subscribers so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Filter evaluations performed so far.
+    pub fn filter_evaluations(&self) -> u64 {
+        self.filter_evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Message copies dropped on full subscriber queues so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Subscriptions removed after subscriber disconnect so far.
+    pub fn expired_subscriptions(&self) -> u64 {
+        self.expired_subscriptions.load(Ordering::Relaxed)
+    }
+
+    /// Messages retained for disconnected durable subscriptions so far.
+    pub fn retained(&self) -> u64 {
+        self.retained.load(Ordering::Relaxed)
+    }
+
+    /// Messages discarded due to TTL expiry so far.
+    pub fn expired_messages(&self) -> u64 {
+        self.expired_messages.load(Ordering::Relaxed)
+    }
+
+    /// An instantaneous snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            received: self.received(),
+            dispatched: self.dispatched(),
+            filter_evaluations: self.filter_evaluations(),
+            dropped: self.dropped(),
+        }
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Messages received from publishers.
+    pub received: u64,
+    /// Message copies dispatched to subscribers.
+    pub dispatched: u64,
+    /// Filter evaluations performed.
+    pub filter_evaluations: u64,
+    /// Message copies dropped on overflow.
+    pub dropped: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            received: self.received.saturating_sub(earlier.received),
+            dispatched: self.dispatched.saturating_sub(earlier.dispatched),
+            filter_evaluations: self
+                .filter_evaluations
+                .saturating_sub(earlier.filter_evaluations),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+        }
+    }
+}
+
+/// Throughput over a measurement window (messages per second).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Received throughput (messages/s accepted from publishers).
+    pub received_per_sec: f64,
+    /// Dispatched throughput (message copies/s forwarded to subscribers).
+    pub dispatched_per_sec: f64,
+    /// Window length in seconds.
+    pub window_secs: f64,
+}
+
+impl Throughput {
+    /// Overall throughput: received + dispatched (the paper's headline
+    /// metric in Fig. 4).
+    pub fn overall_per_sec(&self) -> f64 {
+        self.received_per_sec + self.dispatched_per_sec
+    }
+
+    /// Average replication grade over the window
+    /// (`dispatched / received`); `None` if nothing was received.
+    pub fn replication_grade(&self) -> Option<f64> {
+        if self.received_per_sec > 0.0 {
+            Some(self.dispatched_per_sec / self.received_per_sec)
+        } else {
+            None
+        }
+    }
+}
+
+/// Trimmed-window throughput measurement against live [`BrokerStats`].
+///
+/// Call [`ThroughputProbe::start`] *after* the warmup phase and
+/// [`ThroughputProbe::finish`] *before* cooldown; the probe computes rates
+/// from counter deltas and elapsed wall-clock time, mirroring the paper's
+/// methodology (100 s run, first and last 5 s cut off).
+#[derive(Debug)]
+pub struct ThroughputProbe {
+    start_snapshot: StatsSnapshot,
+    started_at: Instant,
+}
+
+impl ThroughputProbe {
+    /// Starts measuring from the current counter values.
+    pub fn start(stats: &BrokerStats) -> Self {
+        Self { start_snapshot: stats.snapshot(), started_at: Instant::now() }
+    }
+
+    /// Finishes measuring and returns the window throughput.
+    pub fn finish(self, stats: &BrokerStats) -> Throughput {
+        let elapsed = self.started_at.elapsed().as_secs_f64().max(1e-9);
+        let delta = stats.snapshot().delta(&self.start_snapshot);
+        Throughput {
+            received_per_sec: delta.received as f64 / elapsed,
+            dispatched_per_sec: delta.dispatched as f64 / elapsed,
+            window_secs: elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = BrokerStats::new();
+        s.record_received();
+        s.record_received();
+        s.record_dispatched(5);
+        s.record_filter_evaluations(7);
+        s.record_dropped();
+        s.record_retained();
+        s.record_expired_message();
+        assert_eq!(s.retained(), 1);
+        assert_eq!(s.expired_messages(), 1);
+        assert_eq!(s.received(), 2);
+        assert_eq!(s.dispatched(), 5);
+        assert_eq!(s.filter_evaluations(), 7);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = BrokerStats::new();
+        s.record_received();
+        let a = s.snapshot();
+        s.record_received();
+        s.record_dispatched(3);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.received, 1);
+        assert_eq!(d.dispatched, 3);
+    }
+
+    #[test]
+    fn throughput_derived_metrics() {
+        let t = Throughput { received_per_sec: 100.0, dispatched_per_sec: 500.0, window_secs: 1.0 };
+        assert_eq!(t.overall_per_sec(), 600.0);
+        assert_eq!(t.replication_grade(), Some(5.0));
+        let idle = Throughput { received_per_sec: 0.0, dispatched_per_sec: 0.0, window_secs: 1.0 };
+        assert_eq!(idle.replication_grade(), None);
+    }
+
+    #[test]
+    fn probe_measures_deltas_only() {
+        let s = BrokerStats::new();
+        s.record_received(); // before the probe starts — must not count
+        let probe = ThroughputProbe::start(&s);
+        for _ in 0..10 {
+            s.record_received();
+            s.record_dispatched(2);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let t = probe.finish(&s);
+        assert!(t.window_secs >= 0.02);
+        assert!((t.replication_grade().unwrap() - 2.0).abs() < 1e-12);
+        assert!(t.received_per_sec > 0.0 && t.received_per_sec < 10.0 / 0.02);
+    }
+}

@@ -1,0 +1,293 @@
+//! Tests for the durable subscription mode (paper §II-A: "in the durable
+//! mode, messages are also forwarded to subscribers that are currently not
+//! connected").
+
+use rjms_broker::{Broker, BrokerConfig, BrokerError, Filter, Message};
+use std::time::Duration;
+
+fn broker() -> Broker {
+    let b = Broker::start(BrokerConfig::default());
+    b.create_topic("t").unwrap();
+    b
+}
+
+/// Waits until the broker has processed `n` received messages.
+fn sync(b: &Broker, n: u64) {
+    let stats = b.stats();
+    for _ in 0..400 {
+        if stats.received() >= n {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("broker did not process {n} messages in time");
+}
+
+#[test]
+fn durable_receives_live_messages_while_connected() {
+    let b = broker();
+    let sub = b.subscribe_durable("t", "worker", Filter::None).unwrap();
+    assert!(sub.is_durable());
+    assert_eq!(sub.durable_name(), Some("worker"));
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().build()).unwrap();
+    assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+    b.shutdown();
+}
+
+#[test]
+fn messages_retained_while_offline_and_delivered_on_reconnect() {
+    let b = broker();
+    let sub = b.subscribe_durable("t", "worker", Filter::None).unwrap();
+    drop(sub); // go offline
+
+    let p = b.publisher("t").unwrap();
+    for i in 0..5i64 {
+        p.publish(Message::builder().property("seq", i).build()).unwrap();
+    }
+    sync(&b, 5);
+    assert_eq!(b.retained_count("t", "worker"), 5);
+    assert_eq!(b.stats().retained(), 5);
+
+    // Reconnect: retained backlog first, in publish order.
+    let sub = b.subscribe_durable("t", "worker", Filter::None).unwrap();
+    for i in 0..5i64 {
+        let m = sub.receive_timeout(Duration::from_secs(2)).expect("retained message");
+        assert_eq!(m.property("seq"), Some(&i.into()));
+    }
+    // Live delivery resumes after the backlog.
+    p.publish(Message::builder().property("seq", 99i64).build()).unwrap();
+    let m = sub.receive_timeout(Duration::from_secs(2)).expect("live message");
+    assert_eq!(m.property("seq"), Some(&99i64.into()));
+    b.shutdown();
+}
+
+#[test]
+fn retained_backlog_respects_filter() {
+    let b = broker();
+    let sub = b
+        .subscribe_durable("t", "reds", Filter::selector("color = 'red'").unwrap())
+        .unwrap();
+    drop(sub);
+
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().property("color", "red").build()).unwrap();
+    p.publish(Message::builder().property("color", "blue").build()).unwrap();
+    sync(&b, 2);
+    assert_eq!(b.retained_count("t", "reds"), 1);
+    b.shutdown();
+}
+
+#[test]
+fn second_connection_under_same_name_rejected() {
+    let b = broker();
+    let _sub = b.subscribe_durable("t", "solo", Filter::None).unwrap();
+    assert!(matches!(
+        b.subscribe_durable("t", "solo", Filter::None),
+        Err(BrokerError::DurableNameInUse { .. })
+    ));
+    b.shutdown();
+}
+
+#[test]
+fn reconnect_with_different_filter_discards_backlog() {
+    let b = broker();
+    let sub = b
+        .subscribe_durable("t", "w", Filter::selector("color = 'red'").unwrap())
+        .unwrap();
+    drop(sub);
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().property("color", "red").build()).unwrap();
+    sync(&b, 1);
+    assert_eq!(b.retained_count("t", "w"), 1);
+
+    // JMS: changing the selector recreates the subscription.
+    let sub = b
+        .subscribe_durable("t", "w", Filter::selector("color = 'blue'").unwrap())
+        .unwrap();
+    assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
+    b.shutdown();
+}
+
+#[test]
+fn reconnect_with_same_filter_keeps_backlog() {
+    let b = broker();
+    let filter = Filter::selector("color = 'red'").unwrap();
+    drop(b.subscribe_durable("t", "w", filter.clone()).unwrap());
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().property("color", "red").build()).unwrap();
+    sync(&b, 1);
+    let sub = b.subscribe_durable("t", "w", filter).unwrap();
+    assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+    b.shutdown();
+}
+
+#[test]
+fn retained_buffer_drops_oldest_on_overflow() {
+    let b = Broker::start(BrokerConfig::default().durable_buffer_capacity(3));
+    b.create_topic("t").unwrap();
+    drop(b.subscribe_durable("t", "w", Filter::None).unwrap());
+    let p = b.publisher("t").unwrap();
+    for i in 0..10i64 {
+        p.publish(Message::builder().property("seq", i).build()).unwrap();
+    }
+    sync(&b, 10);
+    assert_eq!(b.retained_count("t", "w"), 3);
+    assert_eq!(b.stats().dropped(), 7);
+
+    // The *newest* three survive.
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    for i in 7..10i64 {
+        let m = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(m.property("seq"), Some(&i.into()));
+    }
+    b.shutdown();
+}
+
+#[test]
+fn unsubscribe_durable_lifecycle() {
+    let b = broker();
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    assert_eq!(b.durable_names("t"), vec!["w".to_owned()]);
+
+    // Cannot remove while connected.
+    assert!(matches!(
+        b.unsubscribe_durable("t", "w"),
+        Err(BrokerError::DurableStillConnected { .. })
+    ));
+    drop(sub);
+    b.unsubscribe_durable("t", "w").unwrap();
+    assert!(b.durable_names("t").is_empty());
+    assert!(matches!(
+        b.unsubscribe_durable("t", "w"),
+        Err(BrokerError::DurableNotFound { .. })
+    ));
+    // After removal nothing is retained.
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().build()).unwrap();
+    sync(&b, 1);
+    assert_eq!(b.retained_count("t", "w"), 0);
+    b.shutdown();
+}
+
+#[test]
+fn unconsumed_messages_survive_disconnect() {
+    let b = broker();
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let p = b.publisher("t").unwrap();
+    for i in 0..4i64 {
+        p.publish(Message::builder().property("seq", i).build()).unwrap();
+    }
+    sync(&b, 4);
+    // Consume only the first message, then disconnect.
+    let m = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+    assert_eq!(m.property("seq"), Some(&0i64.into()));
+    drop(sub);
+
+    // The three unconsumed messages were re-retained.
+    assert_eq!(b.retained_count("t", "w"), 3);
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    for i in 1..4i64 {
+        let m = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(m.property("seq"), Some(&i.into()));
+    }
+    b.shutdown();
+}
+
+#[test]
+fn expired_messages_not_delivered_live() {
+    let b = broker();
+    let sub = b.subscribe("t", Filter::None).unwrap();
+    let p = b.publisher("t").unwrap();
+    // Already expired on arrival (TTL 0 → expires at build timestamp).
+    p.publish(Message::builder().time_to_live(Duration::ZERO).build()).unwrap();
+    p.publish(Message::builder().build()).unwrap();
+    // Only the unexpired message arrives.
+    let m = sub.receive_timeout(Duration::from_secs(2)).expect("live message");
+    assert_eq!(m.expiration_millis(), None);
+    assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
+    assert_eq!(b.stats().expired_messages(), 1);
+    b.shutdown();
+}
+
+#[test]
+fn expired_retained_messages_discarded_on_reconnect() {
+    let b = broker();
+    drop(b.subscribe_durable("t", "w", Filter::None).unwrap());
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().time_to_live(Duration::from_millis(30)).build()).unwrap();
+    p.publish(Message::builder().build()).unwrap();
+    sync(&b, 2);
+    assert_eq!(b.retained_count("t", "w"), 2);
+
+    // Let the first message's TTL lapse while offline.
+    std::thread::sleep(Duration::from_millis(60));
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let m = sub.receive_timeout(Duration::from_secs(2)).expect("unexpired retained");
+    assert_eq!(m.expiration_millis(), None);
+    assert!(sub.receive_timeout(Duration::from_millis(50)).is_none());
+    b.shutdown();
+}
+
+#[test]
+fn durable_and_plain_subscribers_coexist() {
+    let b = broker();
+    let plain = b.subscribe("t", Filter::None).unwrap();
+    let durable = b.subscribe_durable("t", "d", Filter::None).unwrap();
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().build()).unwrap();
+    assert!(plain.receive_timeout(Duration::from_secs(2)).is_some());
+    assert!(durable.receive_timeout(Duration::from_secs(2)).is_some());
+    // Both deliveries counted.
+    let stats = b.stats();
+    for _ in 0..100 {
+        if stats.dispatched() == 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(stats.dispatched(), 2);
+    b.shutdown();
+}
+
+#[test]
+fn durable_connected_reflects_lifecycle() {
+    let b = broker();
+    assert!(!b.durable_connected("t", "w"));
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    assert!(b.durable_connected("t", "w"));
+    drop(sub);
+    assert!(!b.durable_connected("t", "w"));
+    // Unknown topic/name are simply false.
+    assert!(!b.durable_connected("t", "other"));
+    assert!(!b.durable_connected("missing", "w"));
+    b.shutdown();
+}
+
+#[test]
+fn returned_message_is_received_next_and_survives_disconnect() {
+    let b = broker();
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let p = b.publisher("t").unwrap();
+    p.publish(Message::builder().property("seq", 0i64).build()).unwrap();
+    p.publish(Message::builder().property("seq", 1i64).build()).unwrap();
+
+    // Pull the first message, then put it back: it must come out first
+    // again.
+    let m0 = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+    sub.return_message(m0);
+    let again = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+    assert_eq!(again.property("seq"), Some(&0i64.into()));
+
+    // Pull seq 1, return it, disconnect: it must be re-retained and arrive
+    // first on reconnect.
+    let m1 = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+    assert_eq!(m1.property("seq"), Some(&1i64.into()));
+    sub.return_message(m1);
+    drop(sub);
+    assert_eq!(b.retained_count("t", "w"), 1);
+    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let m = sub.receive_timeout(Duration::from_secs(2)).unwrap();
+    assert_eq!(m.property("seq"), Some(&1i64.into()));
+    b.shutdown();
+}

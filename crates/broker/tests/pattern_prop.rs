@@ -1,0 +1,131 @@
+//! Property tests for topic patterns: the matcher agrees with a naive
+//! reference implementation, and parse→display round-trips.
+
+use proptest::prelude::*;
+use rjms_broker::TopicPattern;
+
+/// Reference matcher by direct recursion over segment lists.
+fn naive_match(pattern: &[&str], topic: &[&str]) -> bool {
+    match pattern.split_first() {
+        None => topic.is_empty(),
+        Some((&">", rest)) => {
+            debug_assert!(rest.is_empty());
+            !topic.is_empty()
+        }
+        Some((&"*", rest)) => match topic.split_first() {
+            None => false,
+            Some((_, t_rest)) => naive_match(rest, t_rest),
+        },
+        Some((lit, rest)) => match topic.split_first() {
+            Some((t, t_rest)) if t == lit => naive_match(rest, t_rest),
+            _ => false,
+        },
+    }
+}
+
+fn segment() -> impl Strategy<Value = String> {
+    "[a-c]{1,3}"
+}
+
+fn pattern_segments() -> impl Strategy<Value = Vec<String>> {
+    // 1-4 segments of literal/star, optionally capped by ">".
+    (
+        prop::collection::vec(
+            prop_oneof![segment(), Just("*".to_owned())],
+            1..4,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(mut segs, add_rest)| {
+            if add_rest {
+                segs.push(">".to_owned());
+            }
+            segs
+        })
+}
+
+fn topic_segments() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(segment(), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn matcher_agrees_with_reference(
+        pattern in pattern_segments(),
+        topic in topic_segments(),
+    ) {
+        let pattern_src = pattern.join(".");
+        let topic_src = topic.join(".");
+        let parsed: TopicPattern = pattern_src.parse().expect("generated patterns are valid");
+
+        let pat_refs: Vec<&str> = pattern.iter().map(String::as_str).collect();
+        let top_refs: Vec<&str> = topic.iter().map(String::as_str).collect();
+        prop_assert_eq!(
+            parsed.matches(&topic_src),
+            naive_match(&pat_refs, &top_refs),
+            "pattern `{}` vs topic `{}`", pattern_src, topic_src
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip(pattern in pattern_segments()) {
+        let src = pattern.join(".");
+        let parsed: TopicPattern = src.parse().unwrap();
+        let reparsed: TopicPattern = parsed.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in "[ -~]{0,24}") {
+        // Any printable string either parses or errors — never panics.
+        let _ = s.parse::<TopicPattern>();
+    }
+
+    #[test]
+    fn literal_patterns_match_only_themselves(topic in topic_segments()) {
+        let src = topic.join(".");
+        let parsed: TopicPattern = src.parse().unwrap();
+        prop_assert!(parsed.is_literal());
+        prop_assert!(parsed.matches(&src));
+        // Adding a segment breaks the match.
+        let extended = format!("{}.extra", src);
+        prop_assert!(!parsed.matches(&extended));
+    }
+}
+
+mod corrid_props {
+    use proptest::prelude::*;
+    use rjms_selector::corrid::CorrelationFilter;
+
+    proptest! {
+        #[test]
+        fn range_matches_iff_trailing_integer_in_range(
+            lo in -50i64..50,
+            span in 0i64..40,
+            value in -100i64..100,
+            prefix in "[a-z#]{0,4}",
+        ) {
+            let hi = lo + span;
+            let f = CorrelationFilter::range(lo, hi);
+            // Plain numeric IDs: sign handled only at the very start.
+            let id = format!("{value}");
+            prop_assert_eq!(f.matches(&id), lo <= value && value <= hi);
+            // Prefixed IDs: the trailing digits are unsigned.
+            if value >= 0 && !prefix.is_empty() {
+                let id = format!("{prefix}{value}");
+                prop_assert_eq!(f.matches(&id), lo <= value && value <= hi);
+            }
+        }
+
+        #[test]
+        fn parser_total_and_display_roundtrips(s in "[!-~]{0,16}") {
+            if let Ok(f) = s.parse::<CorrelationFilter>() {
+                let redisplayed: CorrelationFilter =
+                    f.to_string().parse().expect("display must re-parse");
+                prop_assert_eq!(f, redisplayed);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Tests for hierarchical topic wildcard subscriptions.
+
+use rjms_broker::{Broker, BrokerConfig, Filter, Message, TopicPattern};
+use std::time::Duration;
+
+fn pattern(s: &str) -> TopicPattern {
+    s.parse().unwrap()
+}
+
+#[test]
+fn pattern_subscriber_spans_existing_topics() {
+    let b = Broker::start(BrokerConfig::default());
+    b.create_topic("sensors.kitchen.temp").unwrap();
+    b.create_topic("sensors.lab.temp").unwrap();
+    b.create_topic("sensors.lab.humidity").unwrap();
+
+    let sub = b.subscribe_pattern(&pattern("sensors.*.temp"), Filter::None).unwrap();
+    for topic in ["sensors.kitchen.temp", "sensors.lab.temp", "sensors.lab.humidity"] {
+        b.publisher(topic).unwrap().publish(Message::builder().build()).unwrap();
+    }
+    // Exactly two temp readings, no humidity.
+    assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+    assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+    assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
+    b.shutdown();
+}
+
+#[test]
+fn pattern_subscriber_catches_future_topics() {
+    let b = Broker::start(BrokerConfig::default());
+    b.create_topic("logs.app1").unwrap();
+    let sub = b.subscribe_pattern(&pattern("logs.>"), Filter::None).unwrap();
+
+    // A topic created *after* the subscription.
+    b.create_topic("logs.app2.errors").unwrap();
+    b.publisher("logs.app2.errors")
+        .unwrap()
+        .publish(Message::builder().property("src", "app2").build())
+        .unwrap();
+
+    let m = sub.receive_timeout(Duration::from_secs(2)).expect("future-topic delivery");
+    assert_eq!(m.property("src"), Some(&"app2".into()));
+    b.shutdown();
+}
+
+#[test]
+fn pattern_combines_with_filters() {
+    let b = Broker::start(BrokerConfig::default());
+    b.create_topic("orders.eu").unwrap();
+    b.create_topic("orders.us").unwrap();
+    let sub = b
+        .subscribe_pattern(&pattern("orders.*"), Filter::selector("amount > 100").unwrap())
+        .unwrap();
+    b.publisher("orders.eu")
+        .unwrap()
+        .publish(Message::builder().property("amount", 500i64).build())
+        .unwrap();
+    b.publisher("orders.us")
+        .unwrap()
+        .publish(Message::builder().property("amount", 50i64).build())
+        .unwrap();
+    let m = sub.receive_timeout(Duration::from_secs(2)).expect("matching order");
+    assert_eq!(m.property("amount"), Some(&500i64.into()));
+    assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
+    b.shutdown();
+}
+
+#[test]
+fn dropping_pattern_subscriber_detaches_everywhere() {
+    let b = Broker::start(BrokerConfig::default());
+    b.create_topic("a.x").unwrap();
+    b.create_topic("a.y").unwrap();
+    let sub = b.subscribe_pattern(&pattern("a.*"), Filter::None).unwrap();
+    assert_eq!(b.subscription_count("a.x"), 1);
+    assert_eq!(b.subscription_count("a.y"), 1);
+    drop(sub);
+    assert_eq!(b.subscription_count("a.x"), 0);
+    assert_eq!(b.subscription_count("a.y"), 0);
+    // A topic created after the drop must not resurrect the subscription.
+    b.create_topic("a.z").unwrap();
+    assert_eq!(b.subscription_count("a.z"), 0);
+    b.shutdown();
+}
+
+#[test]
+fn replication_counts_pattern_fanout() {
+    // One message on one topic replicated to a plain and a pattern
+    // subscriber is R = 2 in the broker's stats.
+    let b = Broker::start(BrokerConfig::default());
+    b.create_topic("news.tech").unwrap();
+    let plain = b.subscribe("news.tech", Filter::None).unwrap();
+    let wild = b.subscribe_pattern(&pattern("news.>"), Filter::None).unwrap();
+    b.publisher("news.tech").unwrap().publish(Message::builder().build()).unwrap();
+    assert!(plain.receive_timeout(Duration::from_secs(2)).is_some());
+    assert!(wild.receive_timeout(Duration::from_secs(2)).is_some());
+    let stats = b.stats();
+    for _ in 0..100 {
+        if stats.dispatched() == 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(stats.received(), 1);
+    assert_eq!(stats.dispatched(), 2);
+    b.shutdown();
+}
+
+#[test]
+fn literal_pattern_equals_plain_subscription() {
+    let b = Broker::start(BrokerConfig::default());
+    b.create_topic("exact.topic").unwrap();
+    let p = pattern("exact.topic");
+    assert!(p.is_literal());
+    let sub = b.subscribe_pattern(&p, Filter::None).unwrap();
+    b.publisher("exact.topic").unwrap().publish(Message::builder().build()).unwrap();
+    assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+    b.shutdown();
+}

@@ -1,0 +1,227 @@
+//! Failure injection and back-pressure behaviour of the broker.
+
+use rjms_broker::{Broker, BrokerConfig, CostModel, Filter, Message, OverflowPolicy};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The push-back mechanism: with a slow dispatcher and a bounded publish
+/// queue, a saturated publisher is throttled to the dispatch rate instead
+/// of growing memory (paper §IV-B.1: "the major part of the messages are
+/// queued at the publisher site").
+#[test]
+fn publisher_is_throttled_to_dispatch_rate() {
+    let per_message = Duration::from_millis(2);
+    let broker = Broker::start(
+        BrokerConfig::default()
+            .publish_queue_capacity(4)
+            .cost_model(CostModel::new(per_message.as_secs_f64(), 0.0, 0.0)),
+    );
+    broker.create_topic("t").unwrap();
+    let publisher = broker.publisher("t").unwrap();
+
+    // Fill the pipeline, then time how long additional publishes take.
+    for _ in 0..8 {
+        publisher.publish(Message::builder().build()).unwrap();
+    }
+    let start = Instant::now();
+    let extra = 20;
+    for _ in 0..extra {
+        publisher.publish(Message::builder().build()).unwrap();
+    }
+    let elapsed = start.elapsed();
+    // Each publish must have waited ~one dispatch slot.
+    assert!(
+        elapsed >= per_message * (extra - 4),
+        "publisher was not throttled: {extra} publishes in {elapsed:?}"
+    );
+    broker.shutdown();
+}
+
+/// A subscriber that disappears while the dispatcher is *blocked* sending
+/// into its full queue must not wedge the broker (Block overflow policy).
+#[test]
+fn subscriber_crash_unblocks_dispatcher() {
+    let broker = Broker::start(
+        BrokerConfig::default()
+            .subscriber_queue_capacity(1)
+            .overflow_policy(OverflowPolicy::Block),
+    );
+    broker.create_topic("t").unwrap();
+
+    let stuck = broker.subscribe("t", Filter::None).unwrap();
+    let healthy = broker.subscribe("t", Filter::None).unwrap();
+    let publisher = broker.publisher("t").unwrap();
+
+    // Two messages: the first fills `stuck`'s queue, the second blocks the
+    // dispatcher on it (subscriptions are scanned in creation order).
+    publisher.publish(Message::builder().property("seq", 0i64).build()).unwrap();
+    publisher.publish(Message::builder().property("seq", 1i64).build()).unwrap();
+    // Give the dispatcher time to block.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Crash the stuck subscriber: the blocked send must fail over and the
+    // dispatcher must deliver everything else.
+    drop(stuck);
+    for seq in 0..2i64 {
+        let m = healthy
+            .receive_timeout(Duration::from_secs(5))
+            .unwrap_or_else(|| panic!("dispatcher wedged before seq {seq}"));
+        assert_eq!(m.property("seq"), Some(&seq.into()));
+    }
+    // Broker still fully operational.
+    publisher.publish(Message::builder().property("seq", 2i64).build()).unwrap();
+    assert!(healthy.receive_timeout(Duration::from_secs(5)).is_some());
+    assert!(broker.stats().expired_subscriptions() >= 1);
+    broker.shutdown();
+}
+
+/// Dropping the broker mid-traffic shuts down cleanly (Drop impl) without
+/// deadlocking publishers or subscribers.
+#[test]
+fn broker_drop_mid_traffic_is_clean() {
+    // The subscriber queue must be large enough that the pump cannot fill
+    // it before the drain below starts: with the Block overflow policy,
+    // shutdown waits for queued deliveries (reliable persistent delivery),
+    // so a full queue and a not-yet-draining subscriber would deadlock the
+    // drop. See `Broker::shutdown` docs.
+    let broker = Broker::start(
+        BrokerConfig::default()
+            .publish_queue_capacity(8)
+            .subscriber_queue_capacity(1 << 20),
+    );
+    broker.create_topic("t").unwrap();
+    let publisher = broker.publisher("t").unwrap();
+    let subscriber = broker.subscribe("t", Filter::None).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pub_stop = Arc::clone(&stop);
+    let pump = std::thread::spawn(move || {
+        let mut sent = 0u64;
+        while !pub_stop.load(Ordering::Relaxed) {
+            if publisher.publish(Message::builder().build()).is_err() {
+                break; // broker went away — expected
+            }
+            sent += 1;
+        }
+        sent
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    drop(broker); // shutdown while the pump is running
+    stop.store(true, Ordering::Relaxed);
+    let sent = pump.join().expect("publisher thread must exit");
+    assert!(sent > 0);
+    // The subscriber drains whatever was delivered, then sees the closure.
+    while subscriber.receive().is_ok() {}
+}
+
+/// Slow consumers under DropNew lose messages but never block the
+/// dispatcher; counts stay consistent.
+#[test]
+fn drop_new_policy_keeps_counts_consistent() {
+    let broker = Broker::start(
+        BrokerConfig::default()
+            .subscriber_queue_capacity(2)
+            .overflow_policy(OverflowPolicy::DropNew),
+    );
+    broker.create_topic("t").unwrap();
+    let sub = broker.subscribe("t", Filter::None).unwrap();
+    let publisher = broker.publisher("t").unwrap();
+    let total = 200u64;
+    for _ in 0..total {
+        publisher.publish(Message::builder().build()).unwrap();
+    }
+    let stats = broker.stats();
+    for _ in 0..400 {
+        if stats.received() == total {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(stats.received(), total);
+    assert_eq!(stats.dispatched() + stats.dropped(), total);
+    // Whatever was dispatched is actually receivable.
+    let mut got = 0u64;
+    while sub.receive_timeout(Duration::from_millis(50)).is_some() {
+        got += 1;
+    }
+    assert_eq!(got, stats.dispatched());
+    broker.shutdown();
+}
+
+/// Hundreds of churning subscribers (subscribe + drop under load) never
+/// corrupt delivery for a stable observer.
+#[test]
+fn subscription_churn_under_load() {
+    let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(1 << 14));
+    broker.create_topic("t").unwrap();
+    let observer = broker.subscribe("t", Filter::None).unwrap();
+    let publisher = broker.publisher("t").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_stop = Arc::clone(&stop);
+    let broker_ref = &broker;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            while !churn_stop.load(Ordering::Relaxed) {
+                let subs: Vec<_> = (0..16)
+                    .map(|i| {
+                        broker_ref
+                            .subscribe("t", Filter::correlation_id(&format!("#{i}")).unwrap())
+                            .unwrap()
+                    })
+                    .collect();
+                drop(subs);
+            }
+        });
+        let total = 1_000;
+        for i in 0..total {
+            publisher.publish(Message::builder().property("seq", i as i64).build()).unwrap();
+        }
+        for i in 0..total {
+            let m = observer.receive_timeout(Duration::from_secs(5)).expect("delivery");
+            assert_eq!(m.property("seq"), Some(&(i as i64).into()));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    broker.shutdown();
+}
+
+/// Per-topic counters track received/dispatched independently per topic.
+#[test]
+fn topic_stats_are_per_topic() {
+    let broker = Broker::start(BrokerConfig::default());
+    broker.create_topic("a").unwrap();
+    broker.create_topic("b").unwrap();
+    let sub_a1 = broker.subscribe("a", Filter::None).unwrap();
+    let sub_a2 = broker.subscribe("a", Filter::None).unwrap();
+    let _sub_b = broker.subscribe("b", Filter::correlation_id("#1").unwrap()).unwrap();
+
+    let pa = broker.publisher("a").unwrap();
+    let pb = broker.publisher("b").unwrap();
+    for _ in 0..3 {
+        pa.publish(Message::builder().build()).unwrap();
+    }
+    pb.publish(Message::builder().correlation_id("#0").build()).unwrap();
+
+    for _ in 0..6 {
+        let _ = sub_a1.receive_timeout(Duration::from_secs(2));
+        let _ = sub_a2.receive_timeout(Duration::from_millis(50));
+    }
+    let stats = broker.stats();
+    for _ in 0..200 {
+        if stats.received() == 4 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let a = broker.topic_stats("a").unwrap();
+    assert_eq!(a.received, 3);
+    assert_eq!(a.dispatched, 6);
+    assert_eq!(a.replication_grade(), Some(2.0));
+    let b = broker.topic_stats("b").unwrap();
+    assert_eq!(b.received, 1);
+    assert_eq!(b.dispatched, 0); // the only filter did not match
+    assert!(broker.topic_stats("missing").is_none());
+    broker.shutdown();
+}

@@ -1,0 +1,130 @@
+//! Property test: broker delivery is *exactly* filter semantics.
+//!
+//! For arbitrary messages and selector/correlation filters, a subscriber
+//! receives a message through the broker if and only if evaluating its
+//! filter against the message says so. This ties the threaded dispatch path
+//! to the pure selector semantics.
+
+use proptest::prelude::*;
+use rjms_broker::{Broker, BrokerConfig, Filter, Message, MessageBuilder};
+use std::time::Duration;
+
+/// A reduced, generatable message description.
+#[derive(Debug, Clone)]
+struct MsgSpec {
+    correlation: Option<u8>,
+    color: Option<&'static str>,
+    weight: Option<i64>,
+}
+
+fn msg_strategy() -> impl Strategy<Value = MsgSpec> {
+    (
+        prop::option::of(0u8..20),
+        prop::option::of(prop::sample::select(vec!["red", "green", "blue"])),
+        prop::option::of(-5i64..50),
+    )
+        .prop_map(|(correlation, color, weight)| MsgSpec { correlation, color, weight })
+}
+
+impl MsgSpec {
+    fn build(&self) -> Message {
+        let mut b = MessageBuilder::new();
+        if let Some(c) = self.correlation {
+            b = b.correlation_id(format!("#{c}"));
+        }
+        if let Some(color) = self.color {
+            b = b.property("color", color);
+        }
+        if let Some(w) = self.weight {
+            b = b.property("weight", w);
+        }
+        b.build()
+    }
+}
+
+/// A reduced, generatable filter description.
+#[derive(Debug, Clone)]
+enum FilterSpec {
+    None,
+    CorrExact(u8),
+    CorrRange(u8, u8),
+    Color(&'static str),
+    WeightAbove(i64),
+    ColorAndWeight(&'static str, i64),
+}
+
+fn filter_strategy() -> impl Strategy<Value = FilterSpec> {
+    prop_oneof![
+        Just(FilterSpec::None),
+        (0u8..20).prop_map(FilterSpec::CorrExact),
+        (0u8..20, 0u8..20).prop_map(|(a, b)| FilterSpec::CorrRange(a.min(b), a.max(b))),
+        prop::sample::select(vec!["red", "green", "blue"]).prop_map(FilterSpec::Color),
+        (-5i64..50).prop_map(FilterSpec::WeightAbove),
+        (prop::sample::select(vec!["red", "green", "blue"]), -5i64..50)
+            .prop_map(|(c, w)| FilterSpec::ColorAndWeight(c, w)),
+    ]
+}
+
+impl FilterSpec {
+    fn build(&self) -> Filter {
+        match self {
+            FilterSpec::None => Filter::None,
+            FilterSpec::CorrExact(c) => Filter::correlation_id(&format!("#{c}")).unwrap(),
+            FilterSpec::CorrRange(lo, hi) => {
+                Filter::correlation_id(&format!("[{lo};{hi}]")).unwrap()
+            }
+            FilterSpec::Color(c) => Filter::selector(&format!("color = '{c}'")).unwrap(),
+            FilterSpec::WeightAbove(w) => Filter::selector(&format!("weight > {w}")).unwrap(),
+            FilterSpec::ColorAndWeight(c, w) => {
+                Filter::selector(&format!("color = '{c}' AND weight > {w}")).unwrap()
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case spins up a broker with threads
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn broker_delivery_equals_filter_semantics(
+        filters in prop::collection::vec(filter_strategy(), 1..5),
+        messages in prop::collection::vec(msg_strategy(), 1..12),
+    ) {
+        let broker = Broker::start(BrokerConfig::default());
+        broker.create_topic("t").unwrap();
+        let subs: Vec<_> = filters
+            .iter()
+            .map(|f| broker.subscribe("t", f.build()).unwrap())
+            .collect();
+        let publisher = broker.publisher("t").unwrap();
+
+        let built: Vec<Message> = messages.iter().map(MsgSpec::build).collect();
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); filters.len()];
+        for msg in &built {
+            for (i, f) in filters.iter().enumerate() {
+                if f.build().matches(msg) {
+                    expected[i].push(msg.id().as_u64());
+                }
+            }
+            publisher.publish(msg.clone()).unwrap();
+        }
+
+        for (i, sub) in subs.iter().enumerate() {
+            for &want in &expected[i] {
+                let got = sub
+                    .receive_timeout(Duration::from_secs(5))
+                    .unwrap_or_else(|| panic!("subscriber {i} missing message {want}"));
+                prop_assert_eq!(got.id().as_u64(), want, "order/content mismatch");
+            }
+            prop_assert!(
+                sub.receive_timeout(Duration::from_millis(20)).is_none(),
+                "subscriber {} received an unexpected extra message",
+                i
+            );
+        }
+        broker.shutdown();
+    }
+}

@@ -1,0 +1,190 @@
+//! Server capacity and the filter-benefit rule (paper §IV-A).
+//!
+//! * Capacity: `λ_max = ρ / E[B]` (Eq. 2) — the maximum supportable
+//!   received-message rate at a CPU utilization budget `ρ`.
+//! * Filter benefit (Eq. 3): a consumer's filters increase server capacity
+//!   only if `n_fltr^q · t_fltr < (1 − p_match^q) · t_tx`; the break-even
+//!   match probabilities for Table I are 58.7% / 17.4% for one / two
+//!   correlation-ID filters and 9.9% for one application-property filter.
+
+use crate::params::CostParams;
+use serde::{Deserialize, Serialize};
+
+/// Server capacity `λ_max = ρ/E[B]` in received messages per second
+/// (Eq. 2).
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `(0, 1]` or `mean_replication < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_core::capacity::server_capacity;
+/// use rjms_core::params::CostParams;
+///
+/// // Paper §IV-B.5: E[B] = 20 ms at ρ = 0.9 → λ_max = 45 msgs/s.
+/// let p = CostParams::new(0.0, 2e-4, 0.0);
+/// let cap = server_capacity(&p, 100, 0.0, 0.9);
+/// assert!((cap - 45.0).abs() < 1e-9);
+/// ```
+pub fn server_capacity(
+    params: &CostParams,
+    n_fltr: u32,
+    mean_replication: f64,
+    rho: f64,
+) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "utilization budget must be in (0, 1], got {rho}");
+    rho / params.mean_service_time(n_fltr, mean_replication)
+}
+
+/// The verdict of the filter-benefit rule for one consumer (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterBenefit {
+    /// Whether installing the filters increases server capacity compared to
+    /// forwarding every message unfiltered.
+    pub beneficial: bool,
+    /// Extra processing time incurred by the filters, `n_fltr^q · t_fltr`.
+    pub filter_cost: f64,
+    /// Transmission time saved, `(1 − p_match^q) · t_tx`.
+    pub transmission_saving: f64,
+}
+
+/// Evaluates Eq. 3 for a consumer with `n_fltr_q` filters that jointly
+/// match a fraction `p_match_q` of all messages.
+///
+/// # Panics
+///
+/// Panics if `p_match_q` is outside `[0, 1]`.
+pub fn filter_benefit(params: &CostParams, n_fltr_q: u32, p_match_q: f64) -> FilterBenefit {
+    assert!(
+        (0.0..=1.0).contains(&p_match_q),
+        "match probability must be in [0, 1], got {p_match_q}"
+    );
+    let filter_cost = n_fltr_q as f64 * params.t_fltr;
+    let transmission_saving = (1.0 - p_match_q) * params.t_tx;
+    FilterBenefit {
+        beneficial: filter_cost < transmission_saving,
+        filter_cost,
+        transmission_saving,
+    }
+}
+
+/// The break-even match probability for a consumer with `n_fltr_q` filters:
+/// filters help iff `p_match < 1 − n_fltr_q·t_fltr/t_tx`.
+///
+/// Returns `None` when even a never-matching filter set slows the server
+/// down (the threshold would be negative) or when `t_tx = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_core::capacity::break_even_match_probability;
+/// use rjms_core::params::CostParams;
+///
+/// let corr = CostParams::CORRELATION_ID;
+/// let p1 = break_even_match_probability(&corr, 1).unwrap();
+/// assert!((p1 - 0.587).abs() < 0.002); // paper: 58.7%
+/// let p2 = break_even_match_probability(&corr, 2).unwrap();
+/// assert!((p2 - 0.174).abs() < 0.002); // paper: 17.4%
+/// assert!(break_even_match_probability(&corr, 3).is_none()); // paper: never
+/// ```
+pub fn break_even_match_probability(params: &CostParams, n_fltr_q: u32) -> Option<f64> {
+    if params.t_tx <= 0.0 {
+        return None;
+    }
+    let threshold = 1.0 - n_fltr_q as f64 * params.t_fltr / params.t_tx;
+    if threshold > 0.0 {
+        Some(threshold)
+    } else {
+        None
+    }
+}
+
+/// The filter count whose cost equals a given replication-grade increase:
+/// the paper notes that `E[R] = 10` without filters costs as much as
+/// `E[R] = 1` with 22 correlation-ID filters (and `E[R] = 100` ≙ 240).
+///
+/// Solves `n · t_fltr = (e_r_without − e_r_with) · t_tx` for `n`.
+///
+/// # Panics
+///
+/// Panics if `t_fltr = 0`.
+pub fn equivalent_filter_count(params: &CostParams, e_r_without: f64, e_r_with: f64) -> f64 {
+    assert!(params.t_fltr > 0.0, "equivalent filter count undefined for t_fltr = 0");
+    (e_r_without - e_r_with) * params.t_tx / params.t_fltr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_rho_over_service_time() {
+        let p = CostParams::CORRELATION_ID;
+        let cap = server_capacity(&p, 10, 2.0, 0.9);
+        let e_b = p.mean_service_time(10, 2.0);
+        assert!((cap - 0.9 / e_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_decreases_with_filters_and_replication() {
+        let p = CostParams::CORRELATION_ID;
+        assert!(server_capacity(&p, 10, 1.0, 0.9) > server_capacity(&p, 100, 1.0, 0.9));
+        assert!(server_capacity(&p, 10, 1.0, 0.9) > server_capacity(&p, 10, 10.0, 0.9));
+    }
+
+    #[test]
+    fn paper_equivalence_r10_is_22_filters() {
+        // Fig. 6 annotation: E[R]=10 ↔ n_fltr=22, E[R]=100 ↔ n_fltr=240.
+        let p = CostParams::CORRELATION_ID;
+        let n10 = equivalent_filter_count(&p, 10.0, 1.0);
+        assert!((n10 - 21.8).abs() < 0.5, "n10 = {n10}");
+        let n100 = equivalent_filter_count(&p, 100.0, 1.0);
+        assert!((n100 - 239.7).abs() < 2.0, "n100 = {n100}");
+    }
+
+    #[test]
+    fn filter_benefit_thresholds_match_paper() {
+        let corr = CostParams::CORRELATION_ID;
+        // One filter at p_match = 0.5 < 0.587: beneficial.
+        assert!(filter_benefit(&corr, 1, 0.5).beneficial);
+        // One filter at p_match = 0.65 > 0.587: harmful.
+        assert!(!filter_benefit(&corr, 1, 0.65).beneficial);
+        // Two filters at p_match = 0.1 < 0.174: beneficial.
+        assert!(filter_benefit(&corr, 2, 0.1).beneficial);
+        // Three filters never help, even at p_match = 0.
+        assert!(!filter_benefit(&corr, 3, 0.0).beneficial);
+
+        let app = CostParams::APPLICATION_PROPERTY;
+        let p1 = break_even_match_probability(&app, 1).unwrap();
+        assert!((p1 - 0.099).abs() < 0.002, "app-prop threshold {p1}"); // paper: 9.9%
+        assert!(break_even_match_probability(&app, 2).is_none());
+    }
+
+    #[test]
+    fn break_even_none_for_zero_t_tx() {
+        let p = CostParams::new(1e-6, 1e-6, 0.0);
+        assert_eq!(break_even_match_probability(&p, 1), None);
+    }
+
+    #[test]
+    fn benefit_components_exposed() {
+        let p = CostParams::CORRELATION_ID;
+        let b = filter_benefit(&p, 2, 0.5);
+        assert!((b.filter_cost - 2.0 * p.t_fltr).abs() < 1e-18);
+        assert!((b.transmission_saving - 0.5 * p.t_tx).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization budget")]
+    fn capacity_rejects_zero_rho() {
+        server_capacity(&CostParams::CORRELATION_ID, 1, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match probability")]
+    fn benefit_rejects_bad_probability() {
+        filter_benefit(&CostParams::CORRELATION_ID, 1, 1.5);
+    }
+}

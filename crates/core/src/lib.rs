@@ -1,0 +1,59 @@
+//! # rjms-core
+//!
+//! The performance model of Menth & Henjes, *Analysis of the Message
+//! Waiting Time for the FioranoMQ JMS Server* (ICDCS 2006) — the paper's
+//! primary contribution, implemented as a library:
+//!
+//! * [`params`] — the Table I cost constants `(t_rcv, t_fltr, t_tx)` per
+//!   filter type,
+//! * [`model`] — the service-time model `E[B] = t_rcv + n_fltr·t_fltr +
+//!   E[R]·t_tx` (Eq. 1) and the saturated-throughput prediction,
+//! * [`calibrate`] — least-squares fitting of the cost constants from
+//!   throughput measurements (how Table I is derived),
+//! * [`capacity`] — server capacity `λ_max = ρ/E[B]` (Eq. 2) and the
+//!   filter-benefit rule (Eq. 3) with its break-even match probabilities,
+//! * [`waiting`] — the `M/GI/1-∞` waiting-time analysis: mean,
+//!   distribution and quantiles (Eqs. 4–20, Figs. 10–12),
+//! * [`scenario`] — high-level application scenarios,
+//! * [`architecture`] — the PSR / SSR distributed architectures
+//!   (Eqs. 21–23, Fig. 15).
+//!
+//! ## Example: capacity planning in four lines
+//!
+//! ```
+//! use rjms_core::params::CostParams;
+//! use rjms_core::capacity::server_capacity;
+//!
+//! // 1000 correlation-ID filters, E[R] = 5, 90% CPU budget:
+//! let cap = server_capacity(&CostParams::CORRELATION_ID, 1000, 5.0, 0.9);
+//! assert!(cap > 100.0 && cap < 200.0); // ≈ 126 msgs/s
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod architecture;
+pub mod calibrate;
+pub mod capacity;
+pub mod model;
+pub mod params;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+pub mod waiting;
+
+pub use architecture::{ClusterScenario, DistributedScenario};
+pub use calibrate::{
+    fit_cost_params, fit_cost_params_fixed_rcv, Calibration, CalibrationError, Observation,
+};
+pub use capacity::{break_even_match_probability, filter_benefit, server_capacity, FilterBenefit};
+pub use model::{ServerModel, ThroughputPrediction};
+pub use params::{CostParams, FilterType};
+pub use report::plan_report;
+pub use scenario::{ApplicationScenario, ApplicationScenarioBuilder};
+pub use sweep::{Series, SeriesPoint};
+pub use waiting::{WaitingTimeAnalysis, WaitingTimeReport};
+
+// Re-export the queueing vocabulary types that appear in this crate's API.
+pub use rjms_queueing::replication::ReplicationModel;
+pub use rjms_queueing::service::ServiceTime;

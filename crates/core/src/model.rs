@@ -1,0 +1,142 @@
+//! The service-time / throughput model (paper Eq. 1 and Fig. 4's dashed
+//! lines).
+//!
+//! [`ServerModel`] binds [`CostParams`] to a number of installed filters and
+//! predicts the mean service time, the saturated throughput, and — combined
+//! with a replication-grade distribution — the full stochastic service time
+//! used by the waiting-time analysis.
+
+use crate::params::CostParams;
+use rjms_queueing::replication::ReplicationModel;
+use rjms_queueing::service::ServiceTime;
+use serde::{Deserialize, Serialize};
+
+/// Throughput prediction at server saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPrediction {
+    /// Received throughput `1/E[B]`, messages per second.
+    pub received_per_sec: f64,
+    /// Dispatched throughput `E[R]/E[B]`, copies per second.
+    pub dispatched_per_sec: f64,
+}
+
+impl ThroughputPrediction {
+    /// Overall throughput `(1 + E[R])/E[B]` (Fig. 4's y-axis).
+    pub fn overall_per_sec(&self) -> f64 {
+        self.received_per_sec + self.dispatched_per_sec
+    }
+}
+
+/// The paper's performance model of a JMS server: cost parameters plus the
+/// number of installed filters.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_core::model::ServerModel;
+/// use rjms_core::params::CostParams;
+///
+/// let model = ServerModel::new(CostParams::CORRELATION_ID, 45);
+/// let pred = model.predict_throughput(5.0);
+/// // E[B] = t_rcv + 45·t_fltr + 5·t_tx
+/// let e_b = 8.52e-7 + 45.0 * 7.02e-6 + 5.0 * 1.70e-5;
+/// assert!((pred.received_per_sec - 1.0 / e_b).abs() < 1e-6);
+/// assert!((pred.overall_per_sec() - 6.0 / e_b).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerModel {
+    params: CostParams,
+    n_fltr: u32,
+}
+
+impl ServerModel {
+    /// Creates the model for a server with `n_fltr` installed filters.
+    pub fn new(params: CostParams, n_fltr: u32) -> Self {
+        Self { params, n_fltr }
+    }
+
+    /// The cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// The number of installed filters.
+    pub fn n_fltr(&self) -> u32 {
+        self.n_fltr
+    }
+
+    /// Mean message processing time `E[B]` for a mean replication grade
+    /// (Eq. 1).
+    pub fn mean_service_time(&self, mean_replication: f64) -> f64 {
+        self.params.mean_service_time(self.n_fltr, mean_replication)
+    }
+
+    /// Saturated throughput prediction for a mean replication grade: the
+    /// server processes `1/E[B]` messages per second at 100% CPU.
+    pub fn predict_throughput(&self, mean_replication: f64) -> ThroughputPrediction {
+        let e_b = self.mean_service_time(mean_replication);
+        ThroughputPrediction {
+            received_per_sec: 1.0 / e_b,
+            dispatched_per_sec: mean_replication / e_b,
+        }
+    }
+
+    /// The full stochastic service time `B = D + R·t_tx` for a
+    /// replication-grade distribution (feeds the M/G/1 analysis).
+    pub fn service_time(&self, replication: ReplicationModel) -> ServiceTime {
+        ServiceTime::new(
+            self.params.deterministic_part(self.n_fltr),
+            self.params.t_tx,
+            replication,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FilterType;
+
+    #[test]
+    fn throughput_prediction_components() {
+        let m = ServerModel::new(CostParams::CORRELATION_ID, 0);
+        let p = m.predict_throughput(0.0);
+        // Without filters or replication only t_rcv remains.
+        assert!((p.received_per_sec - 1.0 / 8.52e-7).abs() / p.received_per_sec < 1e-12);
+        assert_eq!(p.dispatched_per_sec, 0.0);
+    }
+
+    #[test]
+    fn overall_equals_received_times_one_plus_r() {
+        let m = ServerModel::new(CostParams::APPLICATION_PROPERTY, 20);
+        let p = m.predict_throughput(7.0);
+        assert!((p.overall_per_sec() - p.received_per_sec * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_time_matches_mean() {
+        let m = ServerModel::new(CostParams::CORRELATION_ID, 30);
+        let b = m.service_time(ReplicationModel::binomial(30.0, 0.2));
+        assert!((b.mean() - m.mean_service_time(6.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_filters_lower_throughput() {
+        let few = ServerModel::new(CostParams::for_filter_type(FilterType::CorrelationId), 10);
+        let many = ServerModel::new(CostParams::for_filter_type(FilterType::CorrelationId), 1000);
+        assert!(
+            few.predict_throughput(1.0).received_per_sec
+                > many.predict_throughput(1.0).received_per_sec
+        );
+    }
+
+    #[test]
+    fn correlation_id_beats_app_property() {
+        // Paper: app-property overall throughput ≈ 50% of corr-ID.
+        let n = 100u32;
+        let corr = ServerModel::new(CostParams::CORRELATION_ID, n).predict_throughput(5.0);
+        let app = ServerModel::new(CostParams::APPLICATION_PROPERTY, n).predict_throughput(5.0);
+        let ratio = app.overall_per_sec() / corr.overall_per_sec();
+        assert!(ratio > 0.4 && ratio < 0.65, "ratio {ratio}");
+    }
+}

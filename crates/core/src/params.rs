@@ -1,0 +1,158 @@
+//! Cost parameters of the message processing time (paper Table I).
+//!
+//! The paper fits three constants per filter type from saturated-throughput
+//! measurements of FioranoMQ 7.5 on a 3.2 GHz single-CPU machine:
+//!
+//! | filter type          | `t_rcv` (s) | `t_fltr` (s) | `t_tx` (s) |
+//! |----------------------|-------------|--------------|------------|
+//! | correlation ID       | 8.52e-7     | 7.02e-6      | 1.70e-5    |
+//! | application property | 4.10e-6     | 1.46e-5      | 1.62e-5    |
+//!
+//! These drive every analysis in Section IV. [`CostParams`] carries a
+//! calibration (either the Table I presets or one produced by
+//! [`crate::calibrate`]), and [`FilterType`] selects between the presets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two filter mechanisms the paper measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterType {
+    /// Correlation-ID filtering (header string / range match — cheap).
+    CorrelationId,
+    /// Application-property filtering (full selector evaluation — about 2×
+    /// the per-filter cost and 50% of the throughput in the measurements).
+    ApplicationProperty,
+}
+
+impl fmt::Display for FilterType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CorrelationId => f.write_str("correlation-ID"),
+            Self::ApplicationProperty => f.write_str("application-property"),
+        }
+    }
+}
+
+/// Per-message cost parameters `(t_rcv, t_fltr, t_tx)` in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_core::params::{CostParams, FilterType};
+///
+/// let p = CostParams::for_filter_type(FilterType::CorrelationId);
+/// // E[B] for 100 filters, E[R] = 10 (Eq. 1):
+/// let e_b = p.mean_service_time(100, 10.0);
+/// assert!((e_b - (8.52e-7 + 100.0 * 7.02e-6 + 10.0 * 1.70e-5)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Fixed receive overhead per message, seconds.
+    pub t_rcv: f64,
+    /// Overhead per installed filter, seconds.
+    pub t_fltr: f64,
+    /// Overhead per dispatched message copy, seconds.
+    pub t_tx: f64,
+}
+
+impl CostParams {
+    /// Table I, correlation-ID filtering.
+    pub const CORRELATION_ID: CostParams =
+        CostParams { t_rcv: 8.52e-7, t_fltr: 7.02e-6, t_tx: 1.70e-5 };
+
+    /// Table I, application-property filtering.
+    pub const APPLICATION_PROPERTY: CostParams =
+        CostParams { t_rcv: 4.10e-6, t_fltr: 1.46e-5, t_tx: 1.62e-5 };
+
+    /// Creates cost parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or non-finite.
+    pub fn new(t_rcv: f64, t_fltr: f64, t_tx: f64) -> Self {
+        for (name, v) in [("t_rcv", t_rcv), ("t_fltr", t_fltr), ("t_tx", t_tx)] {
+            assert!(v >= 0.0 && v.is_finite(), "{name} must be finite and >= 0, got {v}");
+        }
+        Self { t_rcv, t_fltr, t_tx }
+    }
+
+    /// The Table I preset for a filter type.
+    pub fn for_filter_type(filter_type: FilterType) -> Self {
+        match filter_type {
+            FilterType::CorrelationId => Self::CORRELATION_ID,
+            FilterType::ApplicationProperty => Self::APPLICATION_PROPERTY,
+        }
+    }
+
+    /// The deterministic service-time part `D = t_rcv + n_fltr · t_fltr`.
+    pub fn deterministic_part(&self, n_fltr: u32) -> f64 {
+        self.t_rcv + n_fltr as f64 * self.t_fltr
+    }
+
+    /// Mean message processing time `E[B]` (Eq. 1).
+    pub fn mean_service_time(&self, n_fltr: u32, mean_replication: f64) -> f64 {
+        assert!(
+            mean_replication >= 0.0,
+            "mean replication grade must be >= 0, got {mean_replication}"
+        );
+        self.deterministic_part(n_fltr) + mean_replication * self.t_tx
+    }
+}
+
+impl fmt::Display for CostParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t_rcv={:.3e}s t_fltr={:.3e}s t_tx={:.3e}s",
+            self.t_rcv, self.t_fltr, self.t_tx
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_presets() {
+        let c = CostParams::CORRELATION_ID;
+        assert_eq!(c.t_rcv, 8.52e-7);
+        assert_eq!(c.t_fltr, 7.02e-6);
+        assert_eq!(c.t_tx, 1.70e-5);
+        let a = CostParams::APPLICATION_PROPERTY;
+        assert_eq!(a.t_rcv, 4.10e-6);
+        assert_eq!(a.t_fltr, 1.46e-5);
+        assert_eq!(a.t_tx, 1.62e-5);
+        assert_eq!(CostParams::for_filter_type(FilterType::CorrelationId), c);
+        assert_eq!(CostParams::for_filter_type(FilterType::ApplicationProperty), a);
+    }
+
+    #[test]
+    fn app_property_filters_cost_about_double() {
+        // Paper: app-property throughput ≈ 50% of corr-ID — per-filter cost
+        // roughly doubles.
+        let ratio = CostParams::APPLICATION_PROPERTY.t_fltr / CostParams::CORRELATION_ID.t_fltr;
+        assert!(ratio > 1.9 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn eq1_components() {
+        let p = CostParams::new(1e-6, 2e-6, 3e-6);
+        assert_eq!(p.deterministic_part(0), 1e-6);
+        assert!((p.deterministic_part(10) - 2.1e-5).abs() < 1e-18);
+        assert!((p.mean_service_time(10, 4.0) - (2.1e-5 + 1.2e-5)).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_tx must be finite")]
+    fn rejects_negative() {
+        CostParams::new(1e-6, 1e-6, -1e-6);
+    }
+
+    #[test]
+    fn display_contains_all_components() {
+        let s = CostParams::CORRELATION_ID.to_string();
+        assert!(s.contains("t_rcv") && s.contains("t_fltr") && s.contains("t_tx"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Human-readable capacity-planning reports.
+//!
+//! [`plan_report`] turns an [`ApplicationScenario`] into the summary a
+//! capacity planner would write by hand from the paper's formulas: service
+//! time, capacity and headroom, waiting-time quantiles, buffer sizing, and
+//! the Eq. 3 filter recommendation.
+
+use crate::capacity::{break_even_match_probability, filter_benefit};
+use crate::scenario::ApplicationScenario;
+use rjms_queueing::mg1::Mg1;
+use std::fmt::Write as _;
+
+/// Renders a multi-line planning report for a scenario at its offered load.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_core::params::FilterType;
+/// use rjms_core::report::plan_report;
+/// use rjms_core::scenario::ApplicationScenario;
+///
+/// let s = ApplicationScenario::builder(FilterType::CorrelationId)
+///     .subscribers(1000)
+///     .filters_per_subscriber(1)
+///     .match_probability(0.01)
+///     .offered_load(100.0)
+///     .build();
+/// let report = plan_report(&s);
+/// assert!(report.contains("capacity"));
+/// assert!(report.contains("99.99%"));
+/// ```
+pub fn plan_report(scenario: &ApplicationScenario) -> String {
+    let mut out = String::new();
+    let e_b = scenario.mean_service_time();
+    let utilization = scenario.utilization();
+
+    let _ = writeln!(out, "== capacity planning report ==");
+    let _ = writeln!(
+        out,
+        "filter type          : {} ({} filters total)",
+        scenario.filter_type(),
+        scenario.total_filters()
+    );
+    let _ = writeln!(out, "mean replication     : E[R] = {:.2}", scenario.mean_replication());
+    let _ = writeln!(out, "mean service time    : E[B] = {:.4} ms", e_b * 1e3);
+    let _ = writeln!(
+        out,
+        "capacity (rho = 0.9) : {:.1} msgs/s",
+        scenario.capacity(0.9)
+    );
+    let _ = writeln!(
+        out,
+        "offered load         : {:.1} msgs/s -> utilization {:.1}%",
+        scenario.offered_load(),
+        utilization * 100.0
+    );
+
+    if !scenario.is_feasible() {
+        let _ = writeln!(out, "verdict              : OVERLOADED — the server cannot sustain this load");
+        return out;
+    }
+
+    match scenario.waiting_time_at_offered_load() {
+        Err(e) => {
+            let _ = writeln!(out, "waiting time         : unavailable ({e})");
+        }
+        Ok(report) => {
+            let _ = writeln!(
+                out,
+                "mean waiting time    : {:.3} ms ({:.2} service times)",
+                report.mean_waiting_time * 1e3,
+                report.normalized_mean_waiting()
+            );
+            let _ = writeln!(
+                out,
+                "99% / 99.99% waits   : {:.3} ms / {:.3} ms",
+                report.q99 * 1e3,
+                report.q9999 * 1e3
+            );
+            // Buffer sizing from the full queue object.
+            if let Ok(queue) = Mg1::with_utilization(
+                utilization,
+                scenario
+                    .server_model()
+                    .service_time(scenario.replication_model())
+                    .moments(),
+            ) {
+                let _ = writeln!(
+                    out,
+                    "buffer (99.99%)      : {} message slots",
+                    queue.required_buffer(0.9999)
+                );
+            }
+        }
+    }
+
+    // Filter advice (Eq. 3), per consumer.
+    let per_consumer = scenario.total_filters() / scenario.subscribers().max(1);
+    let p_match = scenario.mean_replication() / scenario.total_filters().max(1) as f64;
+    let benefit = filter_benefit(scenario.params(), per_consumer, p_match.min(1.0));
+    let advice = if benefit.beneficial {
+        "filters also raise server capacity (Eq. 3 satisfied)"
+    } else {
+        "filters cost server capacity; they pay off only in consumer/network protection"
+    };
+    let _ = writeln!(out, "filter advice        : {advice}");
+    if let Some(threshold) = break_even_match_probability(scenario.params(), per_consumer) {
+        let _ = writeln!(
+            out,
+            "                       (break-even match probability: {:.1}%)",
+            threshold * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FilterType;
+
+    fn scenario(load: f64) -> ApplicationScenario {
+        ApplicationScenario::builder(FilterType::CorrelationId)
+            .subscribers(1000)
+            .filters_per_subscriber(1)
+            .match_probability(0.01)
+            .offered_load(load)
+            .build()
+    }
+
+    #[test]
+    fn feasible_report_has_all_sections() {
+        let r = plan_report(&scenario(100.0));
+        for needle in [
+            "capacity planning report",
+            "correlation-ID",
+            "E[R] = 10.00",
+            "mean service time",
+            "99% / 99.99%",
+            "buffer (99.99%)",
+            "filter advice",
+        ] {
+            assert!(r.contains(needle), "missing `{needle}` in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn overloaded_report_says_so() {
+        let r = plan_report(&scenario(1e9));
+        assert!(r.contains("OVERLOADED"));
+        assert!(!r.contains("99.99%            :"));
+    }
+
+    #[test]
+    fn beneficial_filters_reported_when_cheap() {
+        // One corr-ID filter per consumer at 1% match: beneficial.
+        let r = plan_report(&scenario(10.0));
+        assert!(r.contains("Eq. 3 satisfied"), "{r}");
+        assert!(r.contains("break-even"));
+    }
+}

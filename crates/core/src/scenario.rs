@@ -1,0 +1,298 @@
+//! High-level application scenarios.
+//!
+//! An [`ApplicationScenario`] describes a deployment the way the paper's
+//! introduction does — so many publishers at such-and-such message rates, so
+//! many subscribers with so many filters each, matching a given fraction of
+//! messages — and derives everything the analysis needs: the total filter
+//! count, the replication-grade distribution, the capacity, and the
+//! waiting-time report.
+
+use crate::capacity::server_capacity;
+use crate::model::ServerModel;
+use crate::params::{CostParams, FilterType};
+use crate::waiting::{WaitingTimeAnalysis, WaitingTimeReport};
+use rjms_queueing::mg1::Mg1Error;
+use rjms_queueing::replication::ReplicationModel;
+use serde::{Deserialize, Serialize};
+
+/// A single-server application scenario.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_core::scenario::ApplicationScenario;
+/// use rjms_core::params::FilterType;
+///
+/// // Presence service: 500 users, each subscribing with one filter that
+/// // matches 2% of messages; publishers offer 200 msgs/s in total.
+/// let s = ApplicationScenario::builder(FilterType::CorrelationId)
+///     .subscribers(500)
+///     .filters_per_subscriber(1)
+///     .match_probability(0.02)
+///     .offered_load(200.0)
+///     .build();
+/// assert_eq!(s.total_filters(), 500);
+/// let report = s.waiting_time(0.9).unwrap();
+/// assert!(report.mean_waiting_time >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationScenario {
+    filter_type: FilterType,
+    params: CostParams,
+    subscribers: u32,
+    filters_per_subscriber: u32,
+    match_probability: f64,
+    offered_load: f64,
+}
+
+impl ApplicationScenario {
+    /// Starts building a scenario for a filter type (selects the Table I
+    /// cost preset, overridable with
+    /// [`ApplicationScenarioBuilder::cost_params`]).
+    pub fn builder(filter_type: FilterType) -> ApplicationScenarioBuilder {
+        ApplicationScenarioBuilder {
+            filter_type,
+            params: CostParams::for_filter_type(filter_type),
+            subscribers: 1,
+            filters_per_subscriber: 1,
+            match_probability: 1.0,
+            offered_load: 0.0,
+        }
+    }
+
+    /// The filter mechanism in use.
+    pub fn filter_type(&self) -> FilterType {
+        self.filter_type
+    }
+
+    /// The cost parameters in use.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Total number of installed filters `n_fltr`.
+    pub fn total_filters(&self) -> u32 {
+        self.subscribers * self.filters_per_subscriber
+    }
+
+    /// The number of subscribers.
+    pub fn subscribers(&self) -> u32 {
+        self.subscribers
+    }
+
+    /// The number of filters each subscriber installs.
+    pub fn filters_per_subscriber(&self) -> u32 {
+        self.filters_per_subscriber
+    }
+
+    /// The per-filter match probability.
+    pub fn match_probability(&self) -> f64 {
+        self.match_probability
+    }
+
+    /// The offered message load, messages per second.
+    pub fn offered_load(&self) -> f64 {
+        self.offered_load
+    }
+
+    /// The replication-grade model: filters match independently, so
+    /// `R ~ Bin(n_fltr, p_match)` (paper Eq. 16).
+    pub fn replication_model(&self) -> ReplicationModel {
+        ReplicationModel::binomial(self.total_filters() as f64, self.match_probability)
+    }
+
+    /// Mean replication grade `E[R] = n_fltr · p_match`.
+    pub fn mean_replication(&self) -> f64 {
+        self.total_filters() as f64 * self.match_probability
+    }
+
+    /// The server model for this scenario.
+    pub fn server_model(&self) -> ServerModel {
+        ServerModel::new(self.params, self.total_filters())
+    }
+
+    /// Mean message service time `E[B]` (Eq. 1).
+    pub fn mean_service_time(&self) -> f64 {
+        self.params
+            .mean_service_time(self.total_filters(), self.mean_replication())
+    }
+
+    /// Server capacity at a utilization budget (Eq. 2).
+    pub fn capacity(&self, rho: f64) -> f64 {
+        server_capacity(&self.params, self.total_filters(), self.mean_replication(), rho)
+    }
+
+    /// The utilization induced by the scenario's offered load.
+    pub fn utilization(&self) -> f64 {
+        self.offered_load * self.mean_service_time()
+    }
+
+    /// Whether the server survives the offered load (`ρ < 1`).
+    pub fn is_feasible(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Waiting-time analysis at an explicit utilization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Mg1Error`] when `rho >= 1`.
+    pub fn waiting_time(&self, rho: f64) -> Result<WaitingTimeReport, Mg1Error> {
+        WaitingTimeAnalysis::for_model(&self.server_model(), self.replication_model(), rho)
+            .map(|a| a.report())
+    }
+
+    /// Waiting-time analysis at the utilization induced by the offered
+    /// load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Mg1Error`] when the offered load overloads the server.
+    pub fn waiting_time_at_offered_load(&self) -> Result<WaitingTimeReport, Mg1Error> {
+        WaitingTimeAnalysis::for_service_time(
+            self.server_model().service_time(self.replication_model()),
+            self.utilization(),
+        )
+        .map(|a| a.report())
+    }
+}
+
+/// Builder for [`ApplicationScenario`].
+#[derive(Debug, Clone)]
+pub struct ApplicationScenarioBuilder {
+    filter_type: FilterType,
+    params: CostParams,
+    subscribers: u32,
+    filters_per_subscriber: u32,
+    match_probability: f64,
+    offered_load: f64,
+}
+
+impl ApplicationScenarioBuilder {
+    /// Sets the number of subscribers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn subscribers(mut self, subscribers: u32) -> Self {
+        assert!(subscribers > 0, "need at least one subscriber");
+        self.subscribers = subscribers;
+        self
+    }
+
+    /// Sets the number of filters per subscriber.
+    pub fn filters_per_subscriber(mut self, filters: u32) -> Self {
+        self.filters_per_subscriber = filters;
+        self
+    }
+
+    /// Sets the per-filter match probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    pub fn match_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "match probability must be in [0, 1], got {p}");
+        self.match_probability = p;
+        self
+    }
+
+    /// Sets the total offered message load (messages per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or non-finite.
+    pub fn offered_load(mut self, rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "offered load must be finite and >= 0");
+        self.offered_load = rate;
+        self
+    }
+
+    /// Overrides the cost parameters (e.g. with a fresh calibration).
+    pub fn cost_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Finalizes the scenario.
+    pub fn build(self) -> ApplicationScenario {
+        ApplicationScenario {
+            filter_type: self.filter_type,
+            params: self.params,
+            subscribers: self.subscribers,
+            filters_per_subscriber: self.filters_per_subscriber,
+            match_probability: self.match_probability,
+            offered_load: self.offered_load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn presence() -> ApplicationScenario {
+        ApplicationScenario::builder(FilterType::CorrelationId)
+            .subscribers(500)
+            .filters_per_subscriber(1)
+            .match_probability(0.02)
+            .offered_load(100.0)
+            .build()
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = presence();
+        assert_eq!(s.total_filters(), 500);
+        assert!((s.mean_replication() - 10.0).abs() < 1e-12);
+        let e_b = CostParams::CORRELATION_ID.mean_service_time(500, 10.0);
+        assert!((s.mean_service_time() - e_b).abs() < 1e-15);
+        assert!((s.utilization() - 100.0 * e_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility() {
+        let s = presence();
+        assert!(s.is_feasible());
+        let overloaded = ApplicationScenario::builder(FilterType::CorrelationId)
+            .subscribers(10_000)
+            .filters_per_subscriber(10)
+            .match_probability(0.5)
+            .offered_load(10_000.0)
+            .build();
+        assert!(!overloaded.is_feasible());
+    }
+
+    #[test]
+    fn waiting_time_at_offered_load() {
+        let s = presence();
+        let r = s.waiting_time_at_offered_load().unwrap();
+        assert!((r.utilization - s.utilization()).abs() < 1e-9);
+        assert!(r.q9999 > 0.0);
+    }
+
+    #[test]
+    fn capacity_uses_mean_replication() {
+        let s = presence();
+        let cap = s.capacity(0.9);
+        assert!((cap - 0.9 / s.mean_service_time()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_property_scenario_slower() {
+        let corr = presence();
+        let app = ApplicationScenario::builder(FilterType::ApplicationProperty)
+            .subscribers(500)
+            .filters_per_subscriber(1)
+            .match_probability(0.02)
+            .offered_load(100.0)
+            .build();
+        assert!(app.mean_service_time() > corr.mean_service_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "match probability")]
+    fn builder_validates_probability() {
+        ApplicationScenario::builder(FilterType::CorrelationId).match_probability(2.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Parameter sweeps: the paper's figures as data.
+//!
+//! Each function regenerates one figure's series programmatically so that
+//! downstream tooling (plotters, dashboards, the experiment binaries) can
+//! consume typed points instead of parsing text tables.
+
+use crate::capacity::server_capacity;
+use crate::model::ServerModel;
+use crate::params::CostParams;
+use rjms_queueing::mg1::Mg1;
+use rjms_queueing::moments::Moments3;
+use rjms_queueing::replication::ReplicationModel;
+use serde::{Deserialize, Serialize};
+
+/// A `(x, y)` sample of one figure series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// The measured/computed quantity.
+    pub y: f64,
+}
+
+/// A named series of points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Label, e.g. `E[R]=10`.
+    pub label: String,
+    /// The points, in sweep order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// The y value at the given x, if sampled.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.x == x).map(|p| p.y)
+    }
+}
+
+/// Fig. 5: mean service time `E[B]` (seconds) vs `n_fltr`, one series per
+/// mean replication grade.
+pub fn service_time_series(
+    params: CostParams,
+    n_fltr_sweep: &[u32],
+    mean_replications: &[f64],
+) -> Vec<Series> {
+    mean_replications
+        .iter()
+        .map(|&e_r| Series {
+            label: format!("E[R]={e_r}"),
+            points: n_fltr_sweep
+                .iter()
+                .map(|&n| SeriesPoint { x: n as f64, y: params.mean_service_time(n, e_r) })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fig. 6: server capacity (msgs/s) at utilization budget `rho` vs
+/// `n_fltr`, one series per mean replication grade.
+pub fn capacity_series(
+    params: CostParams,
+    rho: f64,
+    n_fltr_sweep: &[u32],
+    mean_replications: &[f64],
+) -> Vec<Series> {
+    mean_replications
+        .iter()
+        .map(|&e_r| Series {
+            label: format!("E[R]={e_r}"),
+            points: n_fltr_sweep
+                .iter()
+                .map(|&n| SeriesPoint { x: n as f64, y: server_capacity(&params, n, e_r, rho) })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figs. 8/9: `c_var[B]` vs `n_fltr` for a replication-model family, one
+/// series per match probability.
+///
+/// `family` builds the replication model from `(n_fltr, p_match)` — pass
+/// [`ReplicationModel::scaled_bernoulli`] for Fig. 8 or
+/// [`ReplicationModel::binomial`] for Fig. 9.
+pub fn cvar_series(
+    params: CostParams,
+    n_fltr_sweep: &[u32],
+    match_probabilities: &[f64],
+    family: fn(f64, f64) -> ReplicationModel,
+) -> Vec<Series> {
+    match_probabilities
+        .iter()
+        .map(|&p| Series {
+            label: format!("p_match={p}"),
+            points: n_fltr_sweep
+                .iter()
+                .map(|&n| SeriesPoint {
+                    x: n as f64,
+                    y: ServerModel::new(params, n)
+                        .service_time(family(n as f64, p))
+                        .cvar(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fig. 10: normalized mean waiting time `E[W]/E[B]` vs utilization, one
+/// series per service-time coefficient of variation.
+pub fn mean_waiting_series(rho_sweep: &[f64], cvars: &[f64]) -> Vec<Series> {
+    waiting_series(rho_sweep, cvars, |queue| queue.mean_waiting_time())
+}
+
+/// Fig. 12: the normalized `p`-quantile of the waiting time vs utilization,
+/// one series per service-time coefficient of variation.
+pub fn quantile_series(rho_sweep: &[f64], cvars: &[f64], p: f64) -> Vec<Series> {
+    waiting_series(rho_sweep, cvars, move |queue| {
+        queue.waiting_time_distribution().quantile(p)
+    })
+}
+
+fn waiting_series(
+    rho_sweep: &[f64],
+    cvars: &[f64],
+    metric: impl Fn(&Mg1) -> f64,
+) -> Vec<Series> {
+    cvars
+        .iter()
+        .map(|&c| Series {
+            label: format!("cvar={c}"),
+            points: rho_sweep
+                .iter()
+                .map(|&rho| {
+                    let m2 = 1.0 + c * c;
+                    // Unit-mean service; Bernoulli-family third moment (the
+                    // choice is immaterial, see Fig. 11).
+                    let service = Moments3::new(1.0, m2, m2 * m2);
+                    let queue = Mg1::with_utilization(rho, service)
+                        .expect("sweep utilizations must be < 1");
+                    SeriesPoint { x: rho, y: metric(&queue) }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SWEEP: [u32; 4] = [1, 10, 100, 1000];
+
+    #[test]
+    fn service_time_series_matches_eq1() {
+        let series = service_time_series(CostParams::CORRELATION_ID, &SWEEP, &[1.0, 10.0]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].points.len(), 4);
+        let expect = CostParams::CORRELATION_ID.mean_service_time(100, 10.0);
+        assert_eq!(series[1].y_at(100.0), Some(expect));
+    }
+
+    #[test]
+    fn capacity_series_is_decreasing_in_n() {
+        let series = capacity_series(CostParams::CORRELATION_ID, 0.9, &SWEEP, &[1.0]);
+        let ys: Vec<f64> = series[0].points.iter().map(|p| p.y).collect();
+        assert!(ys.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn cvar_series_families_differ() {
+        let bern = cvar_series(
+            CostParams::CORRELATION_ID,
+            &SWEEP,
+            &[0.3],
+            ReplicationModel::scaled_bernoulli,
+        );
+        let bino =
+            cvar_series(CostParams::CORRELATION_ID, &SWEEP, &[0.3], ReplicationModel::binomial);
+        // Bernoulli variability stays high; binomial decays.
+        let b_end = bern[0].points.last().unwrap().y;
+        let n_end = bino[0].points.last().unwrap().y;
+        assert!(b_end > 0.3, "Bernoulli tail cvar {b_end}");
+        assert!(n_end < 0.05, "binomial tail cvar {n_end}");
+    }
+
+    #[test]
+    fn mean_waiting_series_matches_pk() {
+        let series = mean_waiting_series(&[0.5, 0.9], &[0.0, 0.4]);
+        // E[W]/E[B] = rho (1+c²) / (2(1-rho)).
+        let expect = 0.9 * (1.0 + 0.16) / (2.0 * 0.1);
+        let got = series[1].y_at(0.9).unwrap();
+        assert!((got - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_series_ordered_in_p() {
+        let q99 = quantile_series(&[0.9], &[0.2], 0.99);
+        let q9999 = quantile_series(&[0.9], &[0.2], 0.9999);
+        assert!(q9999[0].points[0].y > q99[0].points[0].y);
+    }
+
+    #[test]
+    fn series_labels_are_informative() {
+        let s = capacity_series(CostParams::CORRELATION_ID, 0.9, &SWEEP, &[7.5]);
+        assert_eq!(s[0].label, "E[R]=7.5");
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end waiting-time analysis (paper §IV-B).
+//!
+//! Glues the pieces together: a [`ServerModel`] plus a replication-grade
+//! distribution yields the stochastic service time; an operating utilization
+//! `ρ` turns it into an `M/GI/1-∞` queue; [`WaitingTimeReport`] collects the
+//! quantities the paper reports — `E[B]`, `c_var[B]`, `E[W]`, the Gamma
+//! waiting-time distribution (Eq. 20) and the 99% / 99.99% quantiles
+//! (Fig. 12).
+
+use crate::model::ServerModel;
+use rjms_queueing::mg1::{Mg1, Mg1Error, WaitingTimeDistribution};
+use rjms_queueing::replication::ReplicationModel;
+use rjms_queueing::service::ServiceTime;
+use serde::{Deserialize, Serialize};
+
+/// The headline waiting-time quantities for one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaitingTimeReport {
+    /// Server utilization `ρ`.
+    pub utilization: f64,
+    /// Mean service time `E[B]`, seconds.
+    pub mean_service_time: f64,
+    /// Coefficient of variation of the service time `c_var[B]`.
+    pub service_cvar: f64,
+    /// Arrival rate `λ = ρ/E[B]`, messages per second.
+    pub arrival_rate: f64,
+    /// Mean waiting time `E[W]`, seconds (Eq. 4).
+    pub mean_waiting_time: f64,
+    /// 99% waiting-time quantile, seconds.
+    pub q99: f64,
+    /// 99.99% waiting-time quantile, seconds.
+    pub q9999: f64,
+    /// Mean queue length `λ·E[W]` (buffer-space estimate).
+    pub mean_queue_length: f64,
+}
+
+impl WaitingTimeReport {
+    /// Mean waiting time normalized by the mean service time, the paper's
+    /// Fig. 10 y-axis.
+    pub fn normalized_mean_waiting(&self) -> f64 {
+        self.mean_waiting_time / self.mean_service_time
+    }
+
+    /// 99.99% quantile normalized by `E[B]` (Fig. 12 y-axis).
+    pub fn normalized_q9999(&self) -> f64 {
+        self.q9999 / self.mean_service_time
+    }
+}
+
+/// Full analysis object: keeps the queue and distribution for further
+/// probing beyond the summary report.
+#[derive(Debug, Clone)]
+pub struct WaitingTimeAnalysis {
+    service: ServiceTime,
+    queue: Mg1,
+    distribution: WaitingTimeDistribution,
+}
+
+impl WaitingTimeAnalysis {
+    /// Analyzes a server model under a replication-grade distribution at
+    /// utilization `rho`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Mg1Error`] if `rho >= 1` (no stationary regime).
+    pub fn for_model(
+        model: &ServerModel,
+        replication: ReplicationModel,
+        rho: f64,
+    ) -> Result<Self, Mg1Error> {
+        Self::for_service_time(model.service_time(replication), rho)
+    }
+
+    /// Analyzes an explicit service time at utilization `rho`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Mg1Error`] if `rho >= 1`.
+    pub fn for_service_time(service: ServiceTime, rho: f64) -> Result<Self, Mg1Error> {
+        let queue = Mg1::with_utilization(rho, service.moments())?;
+        let distribution = queue.waiting_time_distribution();
+        Ok(Self { service, queue, distribution })
+    }
+
+    /// The underlying service time.
+    pub fn service(&self) -> &ServiceTime {
+        &self.service
+    }
+
+    /// The underlying queue.
+    pub fn queue(&self) -> &Mg1 {
+        &self.queue
+    }
+
+    /// The Gamma-approximated waiting-time distribution (Eq. 20).
+    pub fn distribution(&self) -> &WaitingTimeDistribution {
+        &self.distribution
+    }
+
+    /// The summary report.
+    pub fn report(&self) -> WaitingTimeReport {
+        let e_b = self.service.mean();
+        WaitingTimeReport {
+            utilization: self.queue.utilization(),
+            mean_service_time: e_b,
+            service_cvar: self.service.cvar(),
+            arrival_rate: self.queue.arrival_rate(),
+            mean_waiting_time: self.queue.mean_waiting_time(),
+            q99: self.distribution.quantile(0.99),
+            q9999: self.distribution.quantile(0.9999),
+            mean_queue_length: self.queue.mean_queue_length(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CostParams;
+
+    fn analysis(rho: f64) -> WaitingTimeAnalysis {
+        let model = ServerModel::new(CostParams::CORRELATION_ID, 50);
+        WaitingTimeAnalysis::for_model(&model, ReplicationModel::binomial(50.0, 0.2), rho)
+            .unwrap()
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let a = analysis(0.9);
+        let r = a.report();
+        assert!((r.utilization - 0.9).abs() < 1e-12);
+        assert!((r.arrival_rate - 0.9 / r.mean_service_time).abs() < 1e-6);
+        assert!(r.q9999 > r.q99);
+        assert!(r.q99 > r.mean_waiting_time);
+        assert!((r.mean_queue_length - r.arrival_rate * r.mean_waiting_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_headline_bound_quantile_below_50_eb() {
+        // §IV-B.5: at ρ = 0.9 the 99.99% quantile stays below 50·E[B] for
+        // the small service-time cvar values the replication models induce.
+        let r = analysis(0.9).report();
+        assert!(
+            r.normalized_q9999() < 50.0,
+            "Q_99.99/E[B] = {}",
+            r.normalized_q9999()
+        );
+    }
+
+    #[test]
+    fn twenty_ms_service_time_means_one_second_bound() {
+        // §IV-B.5: E[B] = 20 ms at ρ = 0.9 guarantees < 1 s with 99.99%.
+        let params = CostParams::new(0.0, 2e-4, 0.0);
+        let model = ServerModel::new(params, 100); // E[B] = 20 ms
+        let a = WaitingTimeAnalysis::for_model(
+            &model,
+            ReplicationModel::deterministic(0.0),
+            0.9,
+        )
+        .unwrap();
+        let r = a.report();
+        assert!((r.mean_service_time - 0.02).abs() < 1e-12);
+        assert!(r.q9999 < 1.0, "Q_99.99 = {} s", r.q9999);
+        // And the capacity at that point is only ρ/E[B] = 45 msgs/s.
+        assert!((r.arrival_rate - 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waiting_grows_with_utilization() {
+        let low = analysis(0.5).report();
+        let high = analysis(0.95).report();
+        assert!(high.normalized_mean_waiting() > low.normalized_mean_waiting());
+        assert!(high.q9999 > low.q9999);
+    }
+
+    #[test]
+    fn unstable_rho_rejected() {
+        let model = ServerModel::new(CostParams::CORRELATION_ID, 10);
+        assert!(WaitingTimeAnalysis::for_model(
+            &model,
+            ReplicationModel::deterministic(1.0),
+            1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn normalized_mean_matches_pk_formula() {
+        // E[W]/E[B] = ρ(1 + c²)/(2(1-ρ)) for M/G/1.
+        let a = analysis(0.8);
+        let r = a.report();
+        let c2 = r.service_cvar * r.service_cvar;
+        let expect = 0.8 * (1.0 + c2) / (2.0 * 0.2);
+        assert!((r.normalized_mean_waiting() - expect).abs() < 1e-9);
+    }
+}

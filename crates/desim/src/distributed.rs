@@ -1,0 +1,216 @@
+//! Simulation of the distributed JMS architectures (paper §IV-C).
+//!
+//! PSR (publisher-side replication) runs one broker per publisher: each
+//! broker carries the filters of *all* `m` subscribers and receives `λ/n`
+//! of the total message rate. SSR (subscriber-side replication) runs one
+//! broker per subscriber: each carries only that subscriber's filters but
+//! receives the *full* message rate `λ`.
+//!
+//! Each broker is an independent `M/GI/1-∞` queue; this module simulates
+//! the bottleneck broker of either architecture at a requested system
+//! throughput and reports its measured utilization and waiting time —
+//! validating the closed-form capacities of Eqs. 21–22 (see
+//! `tests/distributed_validation.rs` and the root `fig15` integration
+//! test).
+
+use crate::mg1sim::{simulate_lindley, Mg1SimConfig, Mg1SimResult};
+use crate::random::ReplicationService;
+use rjms_queueing::replication::ReplicationModel;
+use serde::{Deserialize, Serialize};
+
+/// Cost and population parameters shared by both architectures (mirrors
+/// `rjms_core::architecture::DistributedScenario`, duplicated here to keep
+/// the simulation substrate independent of the model crate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributedSimScenario {
+    /// Receive overhead per message, seconds.
+    pub t_rcv: f64,
+    /// Overhead per installed filter, seconds.
+    pub t_fltr: f64,
+    /// Transmit overhead per copy, seconds.
+    pub t_tx: f64,
+    /// Number of publishers `n`.
+    pub publishers: u32,
+    /// Number of subscribers `m`.
+    pub subscribers: u32,
+    /// Filters per subscriber.
+    pub filters_per_subscriber: u32,
+    /// Mean replication grade per message (simulated as deterministic,
+    /// matching the paper's uniform-assumptions comparison).
+    pub mean_replication: f64,
+}
+
+/// Result of simulating one (bottleneck) broker of an architecture.
+#[derive(Debug)]
+pub struct DistributedSimResult {
+    /// The per-broker arrival rate that was simulated.
+    pub broker_arrival_rate: f64,
+    /// Mean service time implied by the scenario, seconds.
+    pub mean_service_time: f64,
+    /// Full single-queue simulation output.
+    pub queue: Mg1SimResult,
+}
+
+impl DistributedSimResult {
+    /// The measured utilization (via PASTA, the fraction of arrivals that
+    /// had to wait approaches ρ).
+    pub fn measured_utilization(&self) -> f64 {
+        self.queue.waiting_probability
+    }
+}
+
+impl DistributedSimScenario {
+    fn validate(&self) {
+        assert!(self.publishers > 0 && self.subscribers > 0, "populations must be positive");
+        assert!(
+            self.t_rcv >= 0.0 && self.t_fltr >= 0.0 && self.t_tx >= 0.0,
+            "costs must be >= 0"
+        );
+        assert!(self.mean_replication >= 0.0, "replication must be >= 0");
+    }
+
+    /// Mean service time on a publisher-side broker (all `m` subscribers'
+    /// filters installed).
+    pub fn psr_service_time(&self) -> f64 {
+        self.t_rcv
+            + self.subscribers as f64 * self.filters_per_subscriber as f64 * self.t_fltr
+            + self.mean_replication * self.t_tx
+    }
+
+    /// Mean service time on a subscriber-side broker (one subscriber's
+    /// filters installed).
+    pub fn ssr_service_time(&self) -> f64 {
+        self.t_rcv
+            + self.filters_per_subscriber as f64 * self.t_fltr
+            + self.mean_replication * self.t_tx
+    }
+
+    /// Simulates one publisher-side broker while the *system* carries
+    /// `system_rate` messages per second (each broker receives an equal
+    /// `system_rate / n` share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-broker load is unstable (`ρ >= 1`) or parameters
+    /// are invalid.
+    pub fn simulate_psr_broker(
+        &self,
+        system_rate: f64,
+        samples: usize,
+        seed: u64,
+    ) -> DistributedSimResult {
+        self.validate();
+        let broker_rate = system_rate / self.publishers as f64;
+        self.simulate_broker(broker_rate, self.psr_service_time(), samples, seed)
+    }
+
+    /// Simulates one subscriber-side broker: every broker receives the
+    /// full system rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load is unstable (`ρ >= 1`) or parameters are invalid.
+    pub fn simulate_ssr_broker(
+        &self,
+        system_rate: f64,
+        samples: usize,
+        seed: u64,
+    ) -> DistributedSimResult {
+        self.validate();
+        self.simulate_broker(system_rate, self.ssr_service_time(), samples, seed)
+    }
+
+    fn simulate_broker(
+        &self,
+        arrival_rate: f64,
+        mean_service: f64,
+        samples: usize,
+        seed: u64,
+    ) -> DistributedSimResult {
+        let deterministic = mean_service - self.mean_replication * self.t_tx;
+        let service = ReplicationService {
+            deterministic,
+            t_tx: self.t_tx,
+            replication: ReplicationModel::deterministic(self.mean_replication),
+        };
+        let queue = simulate_lindley(
+            &Mg1SimConfig { arrival_rate, samples, warmup: samples / 10, seed },
+            &service,
+        );
+        DistributedSimResult {
+            broker_arrival_rate: arrival_rate,
+            mean_service_time: mean_service,
+            queue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> DistributedSimScenario {
+        DistributedSimScenario {
+            t_rcv: 8.52e-7,
+            t_fltr: 7.02e-6,
+            t_tx: 1.70e-5,
+            publishers: 50,
+            subscribers: 100,
+            filters_per_subscriber: 10,
+            mean_replication: 1.0,
+        }
+    }
+
+    #[test]
+    fn service_times_match_eqs_21_22_denominators() {
+        let s = scenario();
+        let psr = s.psr_service_time();
+        let ssr = s.ssr_service_time();
+        assert!((psr - (8.52e-7 + 1000.0 * 7.02e-6 + 1.70e-5)).abs() < 1e-12);
+        assert!((ssr - (8.52e-7 + 10.0 * 7.02e-6 + 1.70e-5)).abs() < 1e-12);
+        assert!(psr > ssr);
+    }
+
+    #[test]
+    fn psr_broker_at_formula_capacity_runs_at_target_utilization() {
+        let s = scenario();
+        // Eq. 21 at ρ = 0.9: system capacity = 0.9·n/E[B_psr].
+        let system_capacity = 0.9 * s.publishers as f64 / s.psr_service_time();
+        let result = s.simulate_psr_broker(system_capacity, 150_000, 21);
+        assert!(
+            (result.measured_utilization() - 0.9).abs() < 0.02,
+            "measured rho = {}",
+            result.measured_utilization()
+        );
+        // Waiting stays finite and around the M/G/1 prediction's scale.
+        assert!(result.queue.waiting.mean() < 60.0 * result.mean_service_time);
+    }
+
+    #[test]
+    fn ssr_broker_at_formula_capacity_runs_at_target_utilization() {
+        let s = scenario();
+        let system_capacity = 0.9 / s.ssr_service_time(); // Eq. 22
+        let result = s.simulate_ssr_broker(system_capacity, 150_000, 23);
+        assert!(
+            (result.measured_utilization() - 0.9).abs() < 0.02,
+            "measured rho = {}",
+            result.measured_utilization()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable configuration")]
+    fn overloading_a_broker_panics() {
+        let s = scenario();
+        let too_much = 1.2 * s.publishers as f64 / s.psr_service_time();
+        s.simulate_psr_broker(too_much, 1_000, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "populations must be positive")]
+    fn zero_population_rejected() {
+        let mut s = scenario();
+        s.subscribers = 0;
+        s.simulate_ssr_broker(1.0, 100, 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Discrete-event simulation kernel.
+//!
+//! A minimal, allocation-friendly event scheduler: events are boxed closures
+//! ordered by [`SimTime`] (FIFO within equal timestamps via a sequence
+//! number). Simulation components hold `&mut Scheduler` during their event
+//! handlers and may schedule further events.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// An event handler: invoked at its scheduled time with the scheduler so it
+/// can schedule follow-up events and a mutable reference to the simulation
+/// state `S`.
+pub type EventFn<S> = Box<dyn FnOnce(&mut Scheduler<S>, &mut S)>;
+
+struct ScheduledEvent<S> {
+    time: SimTime,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+impl<S> PartialEq for ScheduledEvent<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<S> Eq for ScheduledEvent<S> {}
+
+impl<S> PartialOrd for ScheduledEvent<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for ScheduledEvent<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event scheduler: a clock plus an ordered pending-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_desim::kernel::Scheduler;
+/// use rjms_desim::time::SimTime;
+///
+/// // State = number of arrivals seen.
+/// let mut sched: Scheduler<u32> = Scheduler::new();
+/// sched.schedule_at(SimTime::from_secs(1.0), |s, count| {
+///     *count += 1;
+///     // Chain a follow-up event one second later.
+///     s.schedule_in(1.0, |_, count| *count += 1);
+/// });
+/// let mut count = 0;
+/// sched.run(&mut count);
+/// assert_eq!(count, 2);
+/// assert_eq!(sched.now().as_secs(), 2.0);
+/// ```
+pub struct Scheduler<S> {
+    now: SimTime,
+    queue: BinaryHeap<ScheduledEvent<S>>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<S> fmt::Debug for Scheduler<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<S> Default for Scheduler<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Scheduler<S> {
+    /// Creates a scheduler at time zero with an empty queue.
+    pub fn new() -> Self {
+        Self { now: SimTime::ZERO, queue: BinaryHeap::new(), next_seq: 0, executed: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_at<F>(&mut self, time: SimTime, event: F)
+    where
+        F: FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            time
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(ScheduledEvent { time, seq, run: Box::new(event) });
+    }
+
+    /// Schedules an event `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in<F>(&mut self, delay: f64, event: F)
+    where
+        F: FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    {
+        assert!(delay >= 0.0 && !delay.is_nan(), "delay must be >= 0, got {delay}");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Runs events with timestamps `<= until`; later events stay queued and
+    /// the clock is advanced to `until`.
+    pub fn run_until(&mut self, until: SimTime, state: &mut S) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > until {
+                break;
+            }
+            self.step(state);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Executes the single earliest event; returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now, "event queue went backwards");
+                self.now = ev.time;
+                self.executed += 1;
+                (ev.run)(self, state);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_in_time_order() {
+        let mut sched: Scheduler<Vec<u32>> = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(3.0), |_, log| log.push(3));
+        sched.schedule_at(SimTime::from_secs(1.0), |_, log| log.push(1));
+        sched.schedule_at(SimTime::from_secs(2.0), |_, log| log.push(2));
+        let mut log = Vec::new();
+        sched.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(sched.executed_events(), 3);
+    }
+
+    #[test]
+    fn fifo_within_equal_timestamps() {
+        let mut sched: Scheduler<Vec<u32>> = Scheduler::new();
+        for i in 0..10u32 {
+            sched.schedule_at(SimTime::from_secs(1.0), move |_, log: &mut Vec<u32>| {
+                log.push(i)
+            });
+        }
+        let mut log = Vec::new();
+        sched.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_chain() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        fn tick(s: &mut Scheduler<u32>, count: &mut u32) {
+            *count += 1;
+            if *count < 5 {
+                s.schedule_in(1.0, tick);
+            }
+        }
+        sched.schedule_in(1.0, tick);
+        let mut count = 0;
+        sched.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(sched.now().as_secs(), 5.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        for i in 1..=10 {
+            sched.schedule_at(SimTime::from_secs(i as f64), |_, c| *c += 1);
+        }
+        let mut count = 0;
+        sched.run_until(SimTime::from_secs(5.5), &mut count);
+        assert_eq!(count, 5);
+        assert_eq!(sched.now().as_secs(), 5.5);
+        assert_eq!(sched.pending_events(), 5);
+        // Resume to completion.
+        sched.run(&mut count);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(42.0), |s, _| {
+            assert_eq!(s.now().as_secs(), 42.0);
+        });
+        sched.run(&mut ());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(1.0), |s, _| {
+            s.schedule_at(SimTime::from_secs(0.5), |_, _| {});
+        });
+        sched.run(&mut ());
+    }
+}

@@ -1,0 +1,46 @@
+//! # rjms-desim
+//!
+//! Discrete-event simulation substrate for the JMS performance study:
+//!
+//! * [`kernel`] — a minimal event-calendar scheduler over [`time::SimTime`],
+//! * [`random`] — exponential / replication-grade / service-time samplers
+//!   that share their distributions with the analytic crate so simulation
+//!   and analysis cannot drift apart,
+//! * [`mg1sim`] — an `M/GI/1-∞` simulator (Lindley recursion and
+//!   event-driven variants) used to validate the Pollaczek–Khinchine
+//!   formulas and the Gamma approximation of the waiting time,
+//! * [`testbed`] — a faithful simulation of the paper's *measurement
+//!   methodology* (saturated publishers, trimmed window) against a synthetic
+//!   server with the ground-truth cost structure; feeds the calibration
+//!   pipeline,
+//! * [`stats`] — online statistics, empirical quantiles and batch-means
+//!   confidence intervals for simulation output.
+//!
+//! ## Example: validating E[W] against theory
+//!
+//! ```
+//! use rjms_desim::mg1sim::{simulate_lindley, Mg1SimConfig};
+//! use rjms_desim::random::ExponentialService;
+//!
+//! // M/M/1 at ρ = 0.5 with unit-mean service: E[W] = 1.
+//! let cfg = Mg1SimConfig { arrival_rate: 0.5, samples: 100_000, warmup: 10_000, seed: 1 };
+//! let result = simulate_lindley(&cfg, &ExponentialService { mean: 1.0 });
+//! assert!((result.waiting.mean() - 1.0).abs() < 0.15);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod distributed;
+pub mod kernel;
+pub mod mg1sim;
+pub mod random;
+pub mod stats;
+pub mod testbed;
+pub mod time;
+
+pub use kernel::Scheduler;
+pub use mg1sim::{simulate_event_driven, simulate_lindley, Mg1SimConfig, Mg1SimResult};
+pub use stats::{BatchMeans, OnlineStats, SampleQuantiles};
+pub use testbed::{run_measurement, run_paper_grid, TestbedConfig, TestbedMeasurement};
+pub use time::SimTime;

@@ -1,0 +1,318 @@
+//! Discrete-event simulation of the `M/GI/1-∞` queue.
+//!
+//! Used to *validate* the analytic waiting-time results of
+//! [`rjms_queueing::mg1`]: Poisson arrivals, one server, FIFO order,
+//! unbounded buffer. The simulator records every message's waiting time
+//! (time from arrival to start of service) and summarizes mean, moments and
+//! empirical quantiles.
+//!
+//! For a FIFO single-server queue the recursion
+//! `W_{n+1} = max(0, W_n + B_n − A_{n+1})` (Lindley) is much faster than an
+//! event calendar, but the event-driven variant exercises the [`kernel`]
+//! and also tracks the queue-length process; both are provided and tested
+//! against each other.
+//!
+//! [`kernel`]: crate::kernel
+
+use crate::kernel::Scheduler;
+use crate::random::ServiceSampler;
+use crate::stats::{OnlineStats, SampleQuantiles};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an M/G/1 simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mg1SimConfig {
+    /// Poisson arrival rate λ (messages per second).
+    pub arrival_rate: f64,
+    /// Number of *recorded* waiting-time samples.
+    pub samples: usize,
+    /// Number of initial samples discarded as warmup.
+    pub warmup: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for Mg1SimConfig {
+    fn default() -> Self {
+        Self { arrival_rate: 1.0, samples: 100_000, warmup: 10_000, seed: 42 }
+    }
+}
+
+/// Results of an M/G/1 simulation run.
+#[derive(Debug)]
+pub struct Mg1SimResult {
+    /// Waiting-time summary statistics.
+    pub waiting: OnlineStats,
+    /// All recorded waiting-time samples (for quantiles / CDF comparison).
+    pub waiting_samples: SampleQuantiles,
+    /// Service-time summary (sanity check against the configured sampler).
+    pub service: OnlineStats,
+    /// Fraction of messages that had to wait (should approach ρ).
+    pub waiting_probability: f64,
+    /// Peak number of messages simultaneously in the queue (buffer bound).
+    pub peak_queue_length: usize,
+}
+
+/// Runs the M/G/1 simulation with the (fast) Lindley recursion.
+///
+/// # Panics
+///
+/// Panics if the configured utilization `λ·E[B] >= 1` (no steady state) or
+/// `samples` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_desim::mg1sim::{simulate_lindley, Mg1SimConfig};
+/// use rjms_desim::random::ExponentialService;
+///
+/// // M/M/1 at ρ = 0.5: E[W] = 1.0 for unit-mean service.
+/// let cfg = Mg1SimConfig { arrival_rate: 0.5, samples: 200_000, warmup: 10_000, seed: 7 };
+/// let res = simulate_lindley(&cfg, &ExponentialService { mean: 1.0 });
+/// assert!((res.waiting.mean() - 1.0).abs() < 0.1);
+/// ```
+pub fn simulate_lindley<S: ServiceSampler>(config: &Mg1SimConfig, service: &S) -> Mg1SimResult {
+    validate(config, service);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut waiting = OnlineStats::new();
+    let mut waiting_samples = SampleQuantiles::with_capacity(config.samples);
+    let mut service_stats = OnlineStats::new();
+    let mut delayed = 0u64;
+
+    let mut w = 0.0f64; // waiting time of the current message
+    let total = config.warmup + config.samples;
+    for i in 0..total {
+        let b = service.sample(&mut rng);
+        let a = crate::random::sample_exponential(&mut rng, config.arrival_rate);
+        if i >= config.warmup {
+            waiting.push(w);
+            waiting_samples.push(w);
+            service_stats.push(b);
+            if w > 0.0 {
+                delayed += 1;
+            }
+        }
+        // Lindley recursion: waiting time of the next arrival.
+        w = (w + b - a).max(0.0);
+    }
+
+    Mg1SimResult {
+        waiting,
+        waiting_samples,
+        service: service_stats,
+        waiting_probability: delayed as f64 / config.samples as f64,
+        peak_queue_length: 0, // not tracked by the recursion
+    }
+}
+
+/// State of the event-driven M/G/1 simulation.
+struct EventDriven<S> {
+    rng: StdRng,
+    arrival_rate: f64,
+    service: S,
+    /// Arrival timestamps of queued messages (FIFO).
+    queue: std::collections::VecDeque<f64>,
+    server_busy: bool,
+    recorded: usize,
+    warmup: usize,
+    target: usize,
+    waiting: OnlineStats,
+    waiting_samples: SampleQuantiles,
+    service_stats: OnlineStats,
+    delayed: u64,
+    peak_queue: usize,
+    arrivals_seen: usize,
+}
+
+/// Runs the M/G/1 simulation with an explicit event calendar.
+///
+/// Slower than [`simulate_lindley`] but additionally tracks the
+/// queue-length process; the two implementations are cross-validated in the
+/// test suite.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_lindley`].
+pub fn simulate_event_driven<S: ServiceSampler + 'static>(
+    config: &Mg1SimConfig,
+    service: S,
+) -> Mg1SimResult {
+    validate(config, &service);
+    let mut state = EventDriven {
+        rng: StdRng::seed_from_u64(config.seed),
+        arrival_rate: config.arrival_rate,
+        service,
+        queue: std::collections::VecDeque::new(),
+        server_busy: false,
+        recorded: 0,
+        warmup: config.warmup,
+        target: config.warmup + config.samples,
+        waiting: OnlineStats::new(),
+        waiting_samples: SampleQuantiles::with_capacity(config.samples),
+        service_stats: OnlineStats::new(),
+        delayed: 0,
+        peak_queue: 0,
+        arrivals_seen: 0,
+    };
+    let mut sched: Scheduler<EventDriven<S>> = Scheduler::new();
+    schedule_arrival(&mut sched, &mut state);
+    while state.recorded < state.target {
+        if !sched.step(&mut state) {
+            break;
+        }
+    }
+    Mg1SimResult {
+        waiting: state.waiting,
+        waiting_samples: state.waiting_samples,
+        service: state.service_stats,
+        waiting_probability: state.delayed as f64
+            / (state.recorded.saturating_sub(state.warmup)).max(1) as f64,
+        peak_queue_length: state.peak_queue,
+    }
+}
+
+fn schedule_arrival<S: ServiceSampler + 'static>(
+    sched: &mut Scheduler<EventDriven<S>>,
+    state: &mut EventDriven<S>,
+) {
+    let gap = crate::random::sample_exponential(&mut state.rng, state.arrival_rate);
+    sched.schedule_in(gap, arrival_event::<S>);
+}
+
+fn arrival_event<S: ServiceSampler + 'static>(
+    sched: &mut Scheduler<EventDriven<S>>,
+    state: &mut EventDriven<S>,
+) {
+    state.arrivals_seen += 1;
+    let now = sched.now().as_secs();
+    if state.server_busy {
+        state.queue.push_back(now);
+        state.peak_queue = state.peak_queue.max(state.queue.len());
+    } else {
+        state.server_busy = true;
+        record_wait(state, 0.0);
+        start_service(sched, state);
+    }
+    if state.arrivals_seen < state.target + 1 {
+        schedule_arrival(sched, state);
+    }
+}
+
+fn start_service<S: ServiceSampler + 'static>(
+    sched: &mut Scheduler<EventDriven<S>>,
+    state: &mut EventDriven<S>,
+) {
+    let b = state.service.sample(&mut state.rng);
+    if state.recorded > state.warmup {
+        state.service_stats.push(b);
+    }
+    sched.schedule_in(b, departure_event::<S>);
+}
+
+fn departure_event<S: ServiceSampler + 'static>(
+    sched: &mut Scheduler<EventDriven<S>>,
+    state: &mut EventDriven<S>,
+) {
+    match state.queue.pop_front() {
+        None => {
+            state.server_busy = false;
+        }
+        Some(arrived_at) => {
+            let wait = sched.now().as_secs() - arrived_at;
+            record_wait(state, wait);
+            start_service(sched, state);
+        }
+    }
+}
+
+fn record_wait<S>(state: &mut EventDriven<S>, wait: f64) {
+    state.recorded += 1;
+    if state.recorded > state.warmup {
+        state.waiting.push(wait);
+        state.waiting_samples.push(wait);
+        if wait > 0.0 {
+            state.delayed += 1;
+        }
+    }
+}
+
+fn validate<S: ServiceSampler>(config: &Mg1SimConfig, service: &S) {
+    assert!(config.samples > 0, "samples must be > 0");
+    let rho = config.arrival_rate * service.mean();
+    assert!(
+        rho < 1.0,
+        "unstable configuration: utilization {rho} >= 1 (λ={}, E[B]={})",
+        config.arrival_rate,
+        service.mean()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{DeterministicService, ExponentialService};
+
+    #[test]
+    fn mm1_lindley_matches_theory() {
+        // M/M/1, ρ = 0.8, unit service: E[W] = ρ/(1-ρ) = 4.
+        let cfg = Mg1SimConfig { arrival_rate: 0.8, samples: 400_000, warmup: 50_000, seed: 3 };
+        let res = simulate_lindley(&cfg, &ExponentialService { mean: 1.0 });
+        assert!(
+            (res.waiting.mean() - 4.0).abs() < 0.25,
+            "E[W] = {}",
+            res.waiting.mean()
+        );
+        assert!((res.waiting_probability - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn md1_lindley_matches_theory() {
+        // M/D/1, ρ = 0.6, b = 1: E[W] = ρ b/(2(1-ρ)) = 0.75.
+        let cfg = Mg1SimConfig { arrival_rate: 0.6, samples: 400_000, warmup: 50_000, seed: 5 };
+        let res = simulate_lindley(&cfg, &DeterministicService { duration: 1.0 });
+        assert!(
+            (res.waiting.mean() - 0.75).abs() < 0.05,
+            "E[W] = {}",
+            res.waiting.mean()
+        );
+    }
+
+    #[test]
+    fn event_driven_agrees_with_lindley() {
+        let cfg = Mg1SimConfig { arrival_rate: 0.7, samples: 150_000, warmup: 20_000, seed: 11 };
+        let service = ExponentialService { mean: 1.0 };
+        let a = simulate_lindley(&cfg, &service);
+        let b = simulate_event_driven(&cfg, service);
+        let diff = (a.waiting.mean() - b.waiting.mean()).abs();
+        // Different event orderings, same distribution: means within 5%.
+        let tol = 0.05 * a.waiting.mean().max(0.1);
+        assert!(diff < tol * 3.0, "lindley {} vs event {}", a.waiting.mean(), b.waiting.mean());
+        assert!(b.peak_queue_length > 0);
+    }
+
+    #[test]
+    fn zero_load_never_waits() {
+        let cfg = Mg1SimConfig { arrival_rate: 1e-6, samples: 1_000, warmup: 0, seed: 1 };
+        let res = simulate_lindley(&cfg, &DeterministicService { duration: 0.001 });
+        assert_eq!(res.waiting.max(), 0.0);
+        assert_eq!(res.waiting_probability, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable configuration")]
+    fn rejects_overload() {
+        let cfg = Mg1SimConfig { arrival_rate: 2.0, samples: 10, warmup: 0, seed: 1 };
+        simulate_lindley(&cfg, &DeterministicService { duration: 1.0 });
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let cfg = Mg1SimConfig { arrival_rate: 0.5, samples: 10_000, warmup: 100, seed: 99 };
+        let a = simulate_lindley(&cfg, &ExponentialService { mean: 1.0 });
+        let b = simulate_lindley(&cfg, &ExponentialService { mean: 1.0 });
+        assert_eq!(a.waiting.mean(), b.waiting.mean());
+        assert_eq!(a.waiting.count(), b.waiting.count());
+    }
+}

@@ -1,0 +1,213 @@
+//! Random-variate samplers for the simulators.
+//!
+//! Everything is built on `rand::Rng`; the replication-grade sampler reuses
+//! the exact PMFs from [`rjms_queueing::replication`] so the simulated and
+//! analytic models cannot drift apart.
+
+use rand::Rng;
+use rjms_queueing::replication::ReplicationModel;
+
+/// Samples an exponential inter-arrival time with the given `rate`
+/// (mean `1/rate`) by inversion.
+///
+/// # Panics
+///
+/// Panics if `rate <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = rjms_desim::random::sample_exponential(&mut rng, 2.0);
+/// assert!(x >= 0.0);
+/// ```
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be > 0, got {rate}");
+    // 1 - U avoids ln(0).
+    -(1.0 - rng.gen::<f64>()).ln() / rate
+}
+
+/// Samples a replication grade from any integer-parameter
+/// [`ReplicationModel`].
+///
+/// Deterministic and scaled-Bernoulli models sample in O(1); binomial models
+/// draw `n` Bernoulli trials (exact, and fast for the filter counts the
+/// paper studies).
+///
+/// # Panics
+///
+/// Panics if the model's support parameter is not an integer (see
+/// [`ReplicationModel::pmf`]).
+pub fn sample_replication<R: Rng + ?Sized>(rng: &mut R, model: &ReplicationModel) -> u32 {
+    match *model {
+        ReplicationModel::Deterministic { grade } => {
+            let r = grade.round();
+            assert!((grade - r).abs() < 1e-9, "deterministic grade must be integer");
+            r as u32
+        }
+        ReplicationModel::ScaledBernoulli { n_fltr, p_match } => {
+            let n = n_fltr.round();
+            assert!((n_fltr - n).abs() < 1e-9, "n_fltr must be integer");
+            if rng.gen::<f64>() < p_match {
+                n as u32
+            } else {
+                0
+            }
+        }
+        ReplicationModel::Binomial { n_fltr, p_match } => {
+            let n = n_fltr.round();
+            assert!((n_fltr - n).abs() < 1e-9, "n_fltr must be integer");
+            let n = n as u32;
+            let mut successes = 0;
+            for _ in 0..n {
+                if rng.gen::<f64>() < p_match {
+                    successes += 1;
+                }
+            }
+            successes
+        }
+        ReplicationModel::Geometric { theta } => {
+            if theta <= 0.0 {
+                return 0;
+            }
+            // Inversion: R = floor(ln U / ln θ) for U ~ (0, 1].
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            (u.ln() / theta.ln()).floor().min(u32::MAX as f64) as u32
+        }
+    }
+}
+
+/// A generic service-time sampler used by the M/G/1 simulator.
+pub trait ServiceSampler {
+    /// Draws one service time in seconds.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The mean service time (used for utilization checks).
+    fn mean(&self) -> f64;
+}
+
+/// Deterministic service time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeterministicService {
+    /// The constant service duration in seconds.
+    pub duration: f64,
+}
+
+impl ServiceSampler for DeterministicService {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.duration
+    }
+
+    fn mean(&self) -> f64 {
+        self.duration
+    }
+}
+
+/// Exponential service time with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialService {
+    /// Mean service duration in seconds.
+    pub mean: f64,
+}
+
+impl ServiceSampler for ExponentialService {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        sample_exponential(rng, 1.0 / self.mean)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// The paper's message service time `B = D + R·t_tx` with a stochastic
+/// replication grade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationService {
+    /// Constant part `D = t_rcv + n_fltr·t_fltr`, in seconds.
+    pub deterministic: f64,
+    /// Per-copy transmit time, in seconds.
+    pub t_tx: f64,
+    /// Replication-grade model.
+    pub replication: ReplicationModel,
+}
+
+impl ServiceSampler for ReplicationService {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let r = sample_replication(rng, &self.replication);
+        self.deterministic + r as f64 * self.t_tx
+    }
+
+    fn mean(&self) -> f64 {
+        self.deterministic + self.replication.moments().m1 * self.t_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_exponential(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn replication_sampler_matches_model_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for model in [
+            ReplicationModel::deterministic(5.0),
+            ReplicationModel::scaled_bernoulli(10.0, 0.3),
+            ReplicationModel::binomial(20.0, 0.25),
+            ReplicationModel::geometric(4.0),
+        ] {
+            let n = 100_000;
+            let mean: f64 = (0..n)
+                .map(|_| sample_replication(&mut rng, &model) as f64)
+                .sum::<f64>()
+                / n as f64;
+            let expect = model.moments().m1;
+            assert!(
+                (mean - expect).abs() < 0.05 * expect.max(1.0),
+                "model {model:?}: {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_service_mean() {
+        let s = ReplicationService {
+            deterministic: 1e-4,
+            t_tx: 1.7e-5,
+            replication: ReplicationModel::deterministic(10.0),
+        };
+        assert!((ServiceSampler::mean(&s) - (1e-4 + 1.7e-4)).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Deterministic replication → constant service time.
+        let a = s.sample(&mut rng);
+        let b = s.sample(&mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_service_is_constant() {
+        let s = DeterministicService { duration: 0.5 };
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(s.sample(&mut rng), 0.5);
+        assert_eq!(ServiceSampler::mean(&s), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be > 0")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_exponential(&mut rng, 0.0);
+    }
+}

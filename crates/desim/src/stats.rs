@@ -1,0 +1,340 @@
+//! Simulation output statistics.
+//!
+//! Waiting-time samples from the M/G/1 simulator are summarized by an online
+//! mean/variance accumulator ([`OnlineStats`]) and an empirical-quantile
+//! estimator ([`SampleQuantiles`]); long runs can additionally use
+//! batch-means confidence intervals ([`BatchMeans`]) to judge convergence.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use rjms_desim::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    sum3: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, sum3: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.sum3 += x * x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Second raw moment `E[X²]`.
+    pub fn m2_raw(&self) -> f64 {
+        self.variance() + self.mean * self.mean
+    }
+
+    /// Third raw moment `E[X³]`.
+    pub fn m3_raw(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum3 / self.count as f64
+        }
+    }
+
+    /// Coefficient of variation; 0 when the mean is 0.
+    pub fn cvar(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Empirical quantile estimator that stores all samples.
+///
+/// Memory is one `f64` per sample; the experiments draw up to a few million
+/// samples, which is fine. Quantiles use the nearest-rank method, matching
+/// the paper's definition `Q_p[W] = min{t : P(W <= t) >= p}`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleQuantiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleQuantiles {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an estimator with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { samples: Vec::with_capacity(capacity), sorted: true }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The nearest-rank `p`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or no samples were recorded.
+    pub fn quantile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile requires p in [0, 1], got {p}");
+        assert!(!self.samples.is_empty(), "no samples recorded");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// Empirical `P(X <= t)`.
+    ///
+    /// Returns 0 for an empty sample.
+    pub fn cdf(&mut self, t: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        // Index of the first element > t.
+        let idx = self.samples.partition_point(|&x| x <= t);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Empirical complementary CDF `P(X > t)`.
+    pub fn ccdf(&mut self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
+            self.sorted = true;
+        }
+    }
+}
+
+/// Batch-means confidence interval for steady-state simulation output.
+///
+/// Splits the observation stream into `batches` consecutive batches and
+/// treats batch means as approximately independent normal observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current_sum: f64,
+    current_count: usize,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is 0.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be > 0");
+        Self { batch_size, current_sum: 0.0, current_count: 0, batch_means: Vec::new() }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Mean of batch means.
+    pub fn mean(&self) -> f64 {
+        if self.batch_means.is_empty() {
+            return 0.0;
+        }
+        self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64
+    }
+
+    /// Approximate 95% confidence half-width (`1.96·s/√k`); `None` with
+    /// fewer than 2 completed batches.
+    pub fn half_width_95(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let mean = self.mean();
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        Some(1.96 * (var / k as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_raw_moments() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        assert!((s.m2_raw() - 14.0 / 3.0).abs() < 1e-12);
+        assert!((s.m3_raw() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cvar(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut q = SampleQuantiles::new();
+        for x in 1..=100 {
+            q.push(x as f64);
+        }
+        assert_eq!(q.quantile(0.5), 50.0);
+        assert_eq!(q.quantile(0.99), 99.0);
+        assert_eq!(q.quantile(1.0), 100.0);
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(0.001), 1.0);
+    }
+
+    #[test]
+    fn empirical_cdf() {
+        let mut q = SampleQuantiles::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            q.push(x);
+        }
+        assert_eq!(q.cdf(0.5), 0.0);
+        assert_eq!(q.cdf(2.0), 0.5);
+        assert_eq!(q.cdf(10.0), 1.0);
+        assert_eq!(q.ccdf(2.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn quantile_of_empty_panics() {
+        SampleQuantiles::new().quantile(0.5);
+    }
+
+    #[test]
+    fn batch_means_confidence() {
+        let mut b = BatchMeans::new(10);
+        for i in 0..100 {
+            b.push((i % 10) as f64);
+        }
+        assert_eq!(b.batches(), 10);
+        assert!((b.mean() - 4.5).abs() < 1e-12);
+        // All batch means identical → zero half-width.
+        assert_eq!(b.half_width_95(), Some(0.0));
+    }
+
+    #[test]
+    fn batch_means_incomplete_batch_ignored() {
+        let mut b = BatchMeans::new(10);
+        for _ in 0..15 {
+            b.push(1.0);
+        }
+        assert_eq!(b.batches(), 1);
+        assert_eq!(b.half_width_95(), None);
+    }
+}

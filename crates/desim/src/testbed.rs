@@ -1,0 +1,265 @@
+//! Simulation of the paper's measurement methodology (§III-A).
+//!
+//! The original experiments loaded a FioranoMQ server to 100% CPU with
+//! saturated publishers, ran for 100 s, cut off the first and last 5 s, and
+//! counted received/dispatched messages. We cannot run the 2006 testbed, so
+//! this module reproduces the *methodology* against a synthetic server whose
+//! per-message cost follows the paper's ground-truth structure
+//! `B = t_rcv + n_fltr·t_fltr + R·t_tx` plus measurement noise.
+//!
+//! The purpose is twofold:
+//! 1. it regenerates the measured curves of Fig. 4 (and their shape is
+//!    compared against the model's prediction, like the paper's dashed vs
+//!    solid lines), and
+//! 2. it feeds the calibration pipeline (`rjms-core::calibrate`), which must
+//!    recover the Table I constants from noisy throughput observations —
+//!    end-to-end validation of the fitting code.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rjms_queueing::replication::ReplicationModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Ground-truth receive overhead per message, seconds.
+    pub t_rcv: f64,
+    /// Ground-truth overhead per installed filter, seconds.
+    pub t_fltr: f64,
+    /// Ground-truth transmit overhead per message copy, seconds.
+    pub t_tx: f64,
+    /// Measurement window after warmup, seconds (paper: 90 s).
+    pub window_secs: f64,
+    /// Warmup cut off before the window, seconds (paper: 5 s).
+    pub warmup_secs: f64,
+    /// Relative per-message processing-time jitter: each message's cost is
+    /// multiplied by `1 + U(-noise, +noise)` (0 disables noise).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TestbedConfig {
+    /// The paper's methodology (90 s window, 5 s warmup, mild noise) with
+    /// the given ground-truth costs.
+    pub fn paper_methodology(t_rcv: f64, t_fltr: f64, t_tx: f64) -> Self {
+        Self { t_rcv, t_fltr, t_tx, window_secs: 90.0, warmup_secs: 5.0, noise: 0.02, seed: 42 }
+    }
+
+    /// A faster variant for tests and CI (5 s window).
+    pub fn quick(t_rcv: f64, t_fltr: f64, t_tx: f64) -> Self {
+        Self { t_rcv, t_fltr, t_tx, window_secs: 5.0, warmup_secs: 0.5, noise: 0.02, seed: 42 }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.t_rcv >= 0.0 && self.t_fltr >= 0.0 && self.t_tx >= 0.0,
+            "cost components must be >= 0"
+        );
+        assert!(self.window_secs > 0.0, "window must be positive");
+        assert!(self.warmup_secs >= 0.0, "warmup must be >= 0");
+        assert!((0.0..1.0).contains(&self.noise), "noise must be in [0, 1)");
+        assert!(
+            self.t_rcv + self.t_fltr + self.t_tx > 0.0,
+            "at least one cost component must be positive"
+        );
+    }
+}
+
+/// One measured operating point of the simulated testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestbedMeasurement {
+    /// Number of installed filters during the run.
+    pub n_fltr: u32,
+    /// Mean replication grade observed over the window.
+    pub mean_replication: f64,
+    /// Received throughput (messages/s accepted from publishers).
+    pub received_per_sec: f64,
+    /// Dispatched throughput (copies/s forwarded to subscribers).
+    pub dispatched_per_sec: f64,
+    /// Messages counted inside the measurement window.
+    pub messages: u64,
+}
+
+impl TestbedMeasurement {
+    /// Overall throughput (received + dispatched), the paper's Fig. 4
+    /// y-axis.
+    pub fn overall_per_sec(&self) -> f64 {
+        self.received_per_sec + self.dispatched_per_sec
+    }
+}
+
+/// Runs one saturated-publisher measurement with `n_fltr` installed filters
+/// and the given replication-grade workload.
+///
+/// Saturation means the server is never idle: messages are processed
+/// back-to-back, exactly like the paper's fully loaded CPU, so the received
+/// throughput converges to `1/E[B]`.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (negative costs, empty window, noise
+/// outside `[0, 1)`).
+///
+/// # Examples
+///
+/// ```
+/// use rjms_desim::testbed::{run_measurement, TestbedConfig};
+/// use rjms_queueing::replication::ReplicationModel;
+///
+/// let cfg = TestbedConfig::quick(8.52e-7, 7.02e-6, 1.70e-5);
+/// let m = run_measurement(&cfg, 15, &ReplicationModel::deterministic(5.0));
+/// // Model: 1/E[B] with E[B] = t_rcv + 15·t_fltr + 5·t_tx.
+/// let expected = 1.0 / (8.52e-7 + 15.0 * 7.02e-6 + 5.0 * 1.70e-5);
+/// assert!((m.received_per_sec - expected).abs() / expected < 0.05);
+/// ```
+pub fn run_measurement(
+    config: &TestbedConfig,
+    n_fltr: u32,
+    replication: &ReplicationModel,
+) -> TestbedMeasurement {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(
+        config.seed ^ (n_fltr as u64) << 32 ^ replication.max_grade() as u64,
+    );
+    let constant = config.t_rcv + n_fltr as f64 * config.t_fltr;
+
+    let end = config.warmup_secs + config.window_secs;
+    let mut clock = 0.0f64;
+    let mut received = 0u64;
+    let mut dispatched = 0u64;
+
+    while clock < end {
+        let r = crate::random::sample_replication(&mut rng, replication);
+        let mut service = constant + r as f64 * config.t_tx;
+        if config.noise > 0.0 {
+            service *= 1.0 + rng.gen_range(-config.noise..config.noise);
+        }
+        clock += service;
+        // Count the message if it completed inside the window (paper counts
+        // messages in the trimmed 90 s interval).
+        if clock > config.warmup_secs && clock <= end {
+            received += 1;
+            dispatched += r as u64;
+        }
+    }
+
+    TestbedMeasurement {
+        n_fltr,
+        mean_replication: if received > 0 {
+            dispatched as f64 / received as f64
+        } else {
+            0.0
+        },
+        received_per_sec: received as f64 / config.window_secs,
+        dispatched_per_sec: dispatched as f64 / config.window_secs,
+        messages: received,
+    }
+}
+
+/// Runs the paper's full measurement grid (§III-B.2):
+/// replication grades `R ∈ {1, 2, 5, 10, 20, 40}` crossed with
+/// `n ∈ {5, 10, 20, 40, 80, 160}` additional non-matching filters, i.e.
+/// `n_fltr = n + R` installed filters and a deterministic replication grade
+/// of `R`.
+pub fn run_paper_grid(config: &TestbedConfig) -> Vec<TestbedMeasurement> {
+    let replication_grades = [1u32, 2, 5, 10, 20, 40];
+    let additional_filters = [5u32, 10, 20, 40, 80, 160];
+    let mut out = Vec::with_capacity(replication_grades.len() * additional_filters.len());
+    for &r in &replication_grades {
+        for &n in &additional_filters {
+            out.push(run_measurement(
+                config,
+                n + r,
+                &ReplicationModel::deterministic(r as f64),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_RCV: f64 = 8.52e-7;
+    const T_FLTR: f64 = 7.02e-6;
+    const T_TX: f64 = 1.70e-5;
+
+    #[test]
+    fn saturated_throughput_is_inverse_service_time() {
+        let cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
+        for (n_fltr, r) in [(6u32, 1u32), (45, 5), (200, 40)] {
+            let m = run_measurement(&cfg, n_fltr, &ReplicationModel::deterministic(r as f64));
+            let e_b = T_RCV + n_fltr as f64 * T_FLTR + r as f64 * T_TX;
+            let expect = 1.0 / e_b;
+            assert!(
+                (m.received_per_sec - expect).abs() / expect < 0.03,
+                "n_fltr={n_fltr} R={r}: got {} expected {expect}",
+                m.received_per_sec
+            );
+            assert!((m.mean_replication - r as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_filters_reduce_throughput() {
+        let cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
+        let r = ReplicationModel::deterministic(5.0);
+        let a = run_measurement(&cfg, 10, &r);
+        let b = run_measurement(&cfg, 100, &r);
+        assert!(a.received_per_sec > b.received_per_sec);
+    }
+
+    #[test]
+    fn higher_replication_increases_overall_throughput_at_few_filters() {
+        // Paper Fig. 4: overall throughput grows with R for small n_fltr.
+        let cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
+        let low = run_measurement(&cfg, 6, &ReplicationModel::deterministic(1.0));
+        let high = run_measurement(&cfg, 45, &ReplicationModel::deterministic(40.0));
+        assert!(high.overall_per_sec() > low.overall_per_sec());
+    }
+
+    #[test]
+    fn stochastic_replication_mean_observed() {
+        let cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
+        let model = ReplicationModel::binomial(20.0, 0.25);
+        let m = run_measurement(&cfg, 20, &model);
+        assert!(
+            (m.mean_replication - 5.0).abs() < 0.3,
+            "observed mean R = {}",
+            m.mean_replication
+        );
+    }
+
+    #[test]
+    fn paper_grid_has_36_points() {
+        let mut cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
+        cfg.window_secs = 1.0;
+        let grid = run_paper_grid(&cfg);
+        assert_eq!(grid.len(), 36);
+        // All points measured a sensible number of messages.
+        for p in &grid {
+            assert!(p.messages > 100, "too few messages at {p:?}");
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_deterministic() {
+        let mut cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
+        cfg.noise = 0.0;
+        let r = ReplicationModel::deterministic(2.0);
+        let a = run_measurement(&cfg, 10, &r);
+        let b = run_measurement(&cfg, 10, &r);
+        assert_eq!(a.received_per_sec, b.received_per_sec);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in [0, 1)")]
+    fn rejects_bad_noise() {
+        let mut cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
+        cfg.noise = 1.5;
+        run_measurement(&cfg, 1, &ReplicationModel::deterministic(1.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds from simulation start.
+///
+/// `SimTime` is a totally ordered wrapper around `f64` that rejects NaN at
+/// construction, so it can safely key the event queue.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_desim::time::SimTime;
+/// let t = SimTime::ZERO + 1.5;
+/// assert_eq!(t.as_secs(), 1.5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        assert!(secs >= 0.0, "SimTime cannot be negative, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Duration from `earlier` to `self`, in seconds (clamped at 0).
+    pub fn duration_since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: construction rejects NaN.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, secs: f64) {
+        *self = *self + secs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = a + 0.5;
+        assert!(b > a);
+        assert_eq!(b - a, 0.5);
+        assert_eq!(b.duration_since(a), 0.5);
+        assert_eq!(a.duration_since(b), 0.0);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += 2.0;
+        assert_eq!(t.as_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be NaN")]
+    fn rejects_nan() {
+        SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn rejects_negative() {
+        SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_secs(1.25).to_string(), "1.250000s");
+    }
+}

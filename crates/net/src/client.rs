@@ -1,0 +1,382 @@
+//! The remote client: connect to a [`BrokerServer`](crate::server::BrokerServer)
+//! over TCP and publish / subscribe as if the broker were local.
+
+use crate::error::NetError;
+use crate::wire::{
+    decode_response, encode_request, read_frame, Request, Response, WireFilter, WireMessage,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rjms_broker::Message;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long [`RemoteBroker`] waits for a request's response.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Shared client state touched by the background reader and subscriber
+/// handles.
+struct ClientShared {
+    /// The write half of the connection.
+    stream: Mutex<TcpStream>,
+    /// request id → one-shot response channel.
+    pending: Mutex<HashMap<u32, Sender<Response>>>,
+    /// subscription id → delivery channel.
+    subscriptions: Mutex<HashMap<u32, Sender<Message>>>,
+    closed: AtomicBool,
+}
+
+/// A connection to a remote broker.
+///
+/// Cloneless by design: share it behind an `Arc` if multiple threads need
+/// it (all methods take `&self`).
+pub struct RemoteBroker {
+    shared: Arc<ClientShared>,
+    next_request_id: AtomicU32,
+    next_subscription_id: AtomicU32,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RemoteBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBroker")
+            .field("closed", &self.shared.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RemoteBroker {
+    /// Connects to a broker server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the connection fails.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<RemoteBroker, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_stream = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            stream: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            subscriptions: Mutex::new(HashMap::new()),
+            closed: AtomicBool::new(false),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name("rjms-net-client-reader".to_owned())
+            .spawn(move || client_reader_loop(read_stream, reader_shared))
+            .expect("failed to spawn client reader");
+        Ok(RemoteBroker {
+            shared,
+            next_request_id: AtomicU32::new(1),
+            next_subscription_id: AtomicU32::new(1),
+            reader: Some(reader),
+        })
+    }
+
+    /// Creates a topic on the remote broker.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] carries the broker-side failure (duplicate or
+    /// invalid name); transport failures surface as [`NetError::Io`] /
+    /// [`NetError::Closed`].
+    pub fn create_topic(&self, topic: &str) -> Result<(), NetError> {
+        let request_id = self.next_request_id();
+        self.call(Request::CreateTopic { request_id, topic: topic.to_owned() }, request_id)
+    }
+
+    /// Publishes a message to a remote topic. The receiving broker
+    /// re-stamps the message id and timestamp.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for unknown topics; transport errors otherwise.
+    pub fn publish(&self, topic: &str, message: &Message) -> Result<(), NetError> {
+        let request_id = self.next_request_id();
+        self.call(
+            Request::Publish {
+                request_id,
+                topic: topic.to_owned(),
+                message: WireMessage::from_message(message),
+            },
+            request_id,
+        )
+    }
+
+    /// Subscribes to a remote topic; messages arrive on the returned
+    /// [`RemoteSubscriber`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for unknown topics or invalid filters.
+    pub fn subscribe(
+        &self,
+        topic: &str,
+        filter: WireFilter,
+    ) -> Result<RemoteSubscriber, NetError> {
+        self.subscribe_inner(|request_id, subscription_id| Request::Subscribe {
+            request_id,
+            subscription_id,
+            topic: topic.to_owned(),
+            filter: filter.clone(),
+        })
+    }
+
+    /// Subscribes to a remote topic *pattern* (`orders.*`, `sensors.>`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for invalid patterns or filters.
+    pub fn subscribe_pattern(
+        &self,
+        pattern: &str,
+        filter: WireFilter,
+    ) -> Result<RemoteSubscriber, NetError> {
+        self.subscribe_inner(|request_id, subscription_id| Request::SubscribePattern {
+            request_id,
+            subscription_id,
+            pattern: pattern.to_owned(),
+            filter: filter.clone(),
+        })
+    }
+
+    /// Connects to (or creates) a named *durable* subscription on the
+    /// remote broker: messages retained while no consumer was connected are
+    /// delivered first (see
+    /// [`Broker::subscribe_durable`](rjms_broker::Broker::subscribe_durable)).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] when the name is already connected or the topic
+    /// is unknown.
+    pub fn subscribe_durable(
+        &self,
+        topic: &str,
+        name: &str,
+        filter: WireFilter,
+    ) -> Result<RemoteSubscriber, NetError> {
+        self.subscribe_inner(|request_id, subscription_id| Request::SubscribeDurable {
+            request_id,
+            subscription_id,
+            topic: topic.to_owned(),
+            name: name.to_owned(),
+            filter: filter.clone(),
+        })
+    }
+
+    /// Permanently removes a *disconnected* durable subscription on the
+    /// remote broker.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] when the subscription is unknown or still
+    /// connected.
+    pub fn unsubscribe_durable(&self, topic: &str, name: &str) -> Result<(), NetError> {
+        let request_id = self.next_request_id();
+        self.call(
+            Request::UnsubscribeDurable {
+                request_id,
+                topic: topic.to_owned(),
+                name: name.to_owned(),
+            },
+            request_id,
+        )
+    }
+
+    /// Round-trip liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors / timeout.
+    pub fn ping(&self) -> Result<(), NetError> {
+        let request_id = self.next_request_id();
+        match self.call_raw(Request::Ping { request_id }, request_id)? {
+            Response::Pong { .. } => Ok(()),
+            Response::Error { message, .. } => Err(NetError::Remote { message }),
+            _ => Err(NetError::Decode(crate::wire::DecodeError {
+                message: "unexpected response to ping".to_owned(),
+            })),
+        }
+    }
+
+    fn subscribe_inner(
+        &self,
+        make_request: impl Fn(u32, u32) -> Request,
+    ) -> Result<RemoteSubscriber, NetError> {
+        let subscription_id = self.next_subscription_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.shared.subscriptions.lock().insert(subscription_id, tx);
+
+        let request_id = self.next_request_id();
+        match self.call(make_request(request_id, subscription_id), request_id) {
+            Ok(()) => Ok(RemoteSubscriber {
+                subscription_id,
+                deliveries: rx,
+                shared: Arc::clone(&self.shared),
+            }),
+            Err(e) => {
+                self.shared.subscriptions.lock().remove(&subscription_id);
+                Err(e)
+            }
+        }
+    }
+
+    fn next_request_id(&self) -> u32 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends a request and waits for its Ok/Error response.
+    fn call(&self, request: Request, request_id: u32) -> Result<(), NetError> {
+        match self.call_raw(request, request_id)? {
+            Response::Ok { .. } => Ok(()),
+            Response::Error { message, .. } => Err(NetError::Remote { message }),
+            other => Err(NetError::Decode(crate::wire::DecodeError {
+                message: format!("unexpected response {other:?}"),
+            })),
+        }
+    }
+
+    fn call_raw(&self, request: Request, request_id: u32) -> Result<Response, NetError> {
+        if self.shared.closed.load(Ordering::Relaxed) {
+            return Err(NetError::Closed);
+        }
+        let (tx, rx) = bounded(1);
+        self.shared.pending.lock().insert(request_id, tx);
+
+        let frame = encode_request(&request);
+        {
+            let mut stream = self.shared.stream.lock();
+            if let Err(e) = stream.write_all(&frame) {
+                self.shared.pending.lock().remove(&request_id);
+                return Err(NetError::Io(e));
+            }
+        }
+        match rx.recv_timeout(REQUEST_TIMEOUT) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.shared.pending.lock().remove(&request_id);
+                if self.shared.closed.load(Ordering::Relaxed) {
+                    Err(NetError::Closed)
+                } else {
+                    Err(NetError::Timeout)
+                }
+            }
+        }
+    }
+}
+
+impl Drop for RemoteBroker {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+        if let Ok(stream) = self.shared.stream.lock().try_clone() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Background reader: dispatches responses to pending calls and deliveries
+/// to subscriber channels.
+fn client_reader_loop(mut stream: TcpStream, shared: Arc<ClientShared>) {
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => break,
+        };
+        let response = match decode_response(body) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        match response {
+            Response::Delivery { subscription_id, message } => {
+                let subs = shared.subscriptions.lock();
+                if let Some(tx) = subs.get(&subscription_id) {
+                    let _ = tx.send(message.into_message());
+                }
+            }
+            Response::Ok { request_id }
+            | Response::Pong { request_id }
+            | Response::Error { request_id, .. } => {
+                if let Some(tx) = shared.pending.lock().remove(&request_id) {
+                    let _ = tx.send(response);
+                }
+            }
+        }
+    }
+    shared.closed.store(true, Ordering::Relaxed);
+    // Wake all blocked receivers by dropping their senders.
+    shared.subscriptions.lock().clear();
+    shared.pending.lock().clear();
+}
+
+/// A remote subscription's consuming handle.
+///
+/// Messages are re-materialized locally (fresh id/timestamp); dropping the
+/// handle cancels the remote subscription best-effort.
+pub struct RemoteSubscriber {
+    subscription_id: u32,
+    deliveries: Receiver<Message>,
+    shared: Arc<ClientShared>,
+}
+
+impl std::fmt::Debug for RemoteSubscriber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSubscriber")
+            .field("subscription_id", &self.subscription_id)
+            .finish()
+    }
+}
+
+impl RemoteSubscriber {
+    /// The client-side subscription id.
+    pub fn id(&self) -> u32 {
+        self.subscription_id
+    }
+
+    /// Blocking receive; `Err` when the connection closed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] once the connection is gone and the local
+    /// buffer is drained.
+    pub fn receive(&self) -> Result<Message, NetError> {
+        self.deliveries.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Receive with a timeout; `None` on timeout or closed connection.
+    pub fn receive_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.deliveries.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_receive(&self) -> Option<Message> {
+        self.deliveries.try_recv().ok()
+    }
+}
+
+impl Drop for RemoteSubscriber {
+    fn drop(&mut self) {
+        // Stop routing deliveries locally...
+        self.shared.subscriptions.lock().remove(&self.subscription_id);
+        // ...and tell the server to release the broker-side subscription,
+        // fire-and-forget (request id 0 is reserved for uncorrelated
+        // requests: the server's Ok{0} is dropped by the reader). Durable
+        // subscriptions in particular must disconnect promptly so that the
+        // broker retains messages and the name can be reconnected.
+        if !self.shared.closed.load(Ordering::Relaxed) {
+            let frame = encode_request(&Request::Unsubscribe {
+                request_id: 0,
+                subscription_id: self.subscription_id,
+            });
+            let _ = self.shared.stream.lock().write_all(&frame);
+        }
+    }
+}

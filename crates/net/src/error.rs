@@ -1,0 +1,68 @@
+//! Error types for the network layer.
+
+use crate::wire::DecodeError;
+use std::fmt;
+
+/// Errors surfaced by the remote client.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with an error response.
+    Remote {
+        /// The server's message.
+        message: String,
+    },
+    /// A frame failed to decode.
+    Decode(DecodeError),
+    /// No response arrived within the client's timeout.
+    Timeout,
+    /// The connection is closed.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Remote { message } => write!(f, "server error: {message}"),
+            Self::Decode(e) => write!(f, "{e}"),
+            Self::Timeout => f.write_str("timed out waiting for the server"),
+            Self::Closed => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::Timeout.to_string().contains("timed out"));
+        assert!(NetError::Closed.to_string().contains("closed"));
+        assert!(NetError::Remote { message: "boom".into() }.to_string().contains("boom"));
+    }
+}

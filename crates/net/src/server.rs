@@ -1,0 +1,351 @@
+//! The broker server: accepts TCP connections and bridges them onto an
+//! embedded [`Broker`].
+//!
+//! One thread per connection direction (reader / writer) plus one forwarder
+//! thread per remote subscription — the same thread-per-component structure
+//! as the 2006 testbed clients ("each publisher or subscriber is realized
+//! as a single Java thread").
+
+use crate::wire::{
+    decode_request, encode_response, read_frame, Request, Response, WireFilter, WireMessage,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rjms_broker::{Broker, BrokerConfig, Filter, Publisher, TopicPattern};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A TCP front-end for an embedded [`Broker`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use rjms_net::server::BrokerServer;
+/// use rjms_broker::BrokerConfig;
+///
+/// let server = BrokerServer::start(BrokerConfig::default(), "127.0.0.1:0")?;
+/// println!("listening on {}", server.local_addr());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct BrokerServer {
+    broker: Arc<Broker>,
+    local_addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// Clones of accepted streams, so shutdown can tear live connections
+    /// down (a closed stream ends the connection's reader loop).
+    connections: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
+}
+
+impl std::fmt::Debug for BrokerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerServer").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl BrokerServer {
+    /// Starts a broker and listens on `addr` (use port 0 for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(
+        config: BrokerConfig,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<BrokerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let broker = Arc::new(Broker::start(config));
+        let stopping = Arc::new(AtomicBool::new(false));
+
+        let connections = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let accept_broker = Arc::clone(&broker);
+        let accept_stopping = Arc::clone(&stopping);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("rjms-net-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stopping.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if let Ok(clone) = stream.try_clone() {
+                                accept_connections.lock().push(clone);
+                            }
+                            let broker = Arc::clone(&accept_broker);
+                            let stopping = Arc::clone(&accept_stopping);
+                            let _ = std::thread::Builder::new()
+                                .name("rjms-net-conn".to_owned())
+                                .spawn(move || handle_connection(broker, stopping, stream));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("failed to spawn accept thread");
+
+        Ok(BrokerServer {
+            broker,
+            local_addr,
+            stopping,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The embedded broker, for local administration (creating topics,
+    /// reading stats) alongside remote clients.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Stops accepting connections and shuts the broker down. Established
+    /// connections are torn down as their streams fail.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Tear down live connections; their reader loops exit on the
+        // closed streams and the embedded broker stops once the last
+        // connection handler drops its handle.
+        for stream in self.connections.lock().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for BrokerServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Converts a wire filter into a broker filter.
+fn build_filter(filter: WireFilter) -> Result<Filter, String> {
+    match filter {
+        WireFilter::None => Ok(Filter::None),
+        WireFilter::CorrelationId(p) => {
+            Filter::correlation_id(&p).map_err(|e| e.to_string())
+        }
+        WireFilter::Selector(s) => Filter::selector(&s).map_err(|e| e.to_string()),
+    }
+}
+
+/// State of one client connection.
+struct Connection {
+    broker: Arc<Broker>,
+    out: Sender<Response>,
+    publishers: HashMap<String, Publisher>,
+    /// subscription id → cancel flag for its forwarder thread.
+    subscriptions: HashMap<u32, Arc<AtomicBool>>,
+    closed: Arc<AtomicBool>,
+}
+
+fn handle_connection(broker: Arc<Broker>, stopping: Arc<AtomicBool>, stream: TcpStream) {
+    if stopping.load(Ordering::Relaxed) {
+        return;
+    }
+    let Ok(write_stream) = stream.try_clone() else { return };
+    let (out_tx, out_rx) = unbounded::<Response>();
+    let closed = Arc::new(AtomicBool::new(false));
+
+    // Writer thread: serializes every outgoing response.
+    let writer_closed = Arc::clone(&closed);
+    let writer = std::thread::Builder::new()
+        .name("rjms-net-writer".to_owned())
+        .spawn(move || writer_loop(write_stream, out_rx, writer_closed))
+        .expect("failed to spawn writer thread");
+
+    let mut conn = Connection {
+        broker,
+        out: out_tx,
+        publishers: HashMap::new(),
+        subscriptions: HashMap::new(),
+        closed: Arc::clone(&closed),
+    };
+    reader_loop(stream, &mut conn);
+
+    // Tear down: cancel forwarders, close the writer.
+    closed.store(true, Ordering::Relaxed);
+    for flag in conn.subscriptions.values() {
+        flag.store(true, Ordering::Relaxed);
+    }
+    drop(conn); // drops the out sender; writer exits once forwarders do
+    let _ = writer.join();
+}
+
+fn writer_loop(mut stream: TcpStream, out_rx: Receiver<Response>, closed: Arc<AtomicBool>) {
+    while let Ok(resp) = out_rx.recv() {
+        let frame = encode_response(&resp);
+        if stream.write_all(&frame).is_err() {
+            closed.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn reader_loop(mut stream: TcpStream, conn: &mut Connection) {
+    loop {
+        if conn.closed.load(Ordering::Relaxed) {
+            break;
+        }
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => break,
+        };
+        let request = match decode_request(body) {
+            Ok(r) => r,
+            Err(_) => break, // protocol violation: drop the connection
+        };
+        if !handle_request(conn, request) {
+            break;
+        }
+    }
+}
+
+/// Handles one request; returns `false` when the connection should close.
+fn handle_request(conn: &mut Connection, request: Request) -> bool {
+    let (request_id, outcome) = match request {
+        Request::Ping { request_id } => {
+            return conn.out.send(Response::Pong { request_id }).is_ok();
+        }
+        Request::CreateTopic { request_id, topic } => (
+            request_id,
+            conn.broker.create_topic(&topic).map_err(|e| e.to_string()),
+        ),
+        Request::Publish { request_id, topic, message } => {
+            (request_id, publish(conn, &topic, message))
+        }
+        Request::Subscribe { request_id, subscription_id, topic, filter } => (
+            request_id,
+            subscribe(conn, subscription_id, SubscribeTarget::Topic(topic), filter),
+        ),
+        Request::SubscribePattern { request_id, subscription_id, pattern, filter } => (
+            request_id,
+            subscribe(conn, subscription_id, SubscribeTarget::Pattern(pattern), filter),
+        ),
+        Request::SubscribeDurable { request_id, subscription_id, topic, name, filter } => (
+            request_id,
+            subscribe(conn, subscription_id, SubscribeTarget::Durable { topic, name }, filter),
+        ),
+        Request::UnsubscribeDurable { request_id, topic, name } => (
+            request_id,
+            conn.broker.unsubscribe_durable(&topic, &name).map_err(|e| e.to_string()),
+        ),
+        Request::Unsubscribe { request_id, subscription_id } => {
+            let outcome = match conn.subscriptions.remove(&subscription_id) {
+                Some(flag) => {
+                    flag.store(true, Ordering::Relaxed);
+                    Ok(())
+                }
+                None => Err(format!("unknown subscription {subscription_id}")),
+            };
+            (request_id, outcome)
+        }
+    };
+    let response = match outcome {
+        Ok(()) => Response::Ok { request_id },
+        Err(message) => Response::Error { request_id, message },
+    };
+    conn.out.send(response).is_ok()
+}
+
+fn publish(conn: &mut Connection, topic: &str, message: WireMessage) -> Result<(), String> {
+    if !conn.publishers.contains_key(topic) {
+        let publisher = conn.broker.publisher(topic).map_err(|e| e.to_string())?;
+        conn.publishers.insert(topic.to_owned(), publisher);
+    }
+    let publisher = conn.publishers.get(topic).expect("just inserted");
+    publisher.publish(message.into_message()).map_err(|e| e.to_string())
+}
+
+enum SubscribeTarget {
+    Topic(String),
+    Pattern(String),
+    Durable { topic: String, name: String },
+}
+
+fn subscribe(
+    conn: &mut Connection,
+    subscription_id: u32,
+    target: SubscribeTarget,
+    filter: WireFilter,
+) -> Result<(), String> {
+    if conn.subscriptions.contains_key(&subscription_id) {
+        return Err(format!("subscription id {subscription_id} already in use"));
+    }
+    let filter = build_filter(filter)?;
+    let subscriber = match target {
+        SubscribeTarget::Topic(topic) => {
+            conn.broker.subscribe(&topic, filter).map_err(|e| e.to_string())?
+        }
+        SubscribeTarget::Pattern(pattern) => {
+            let pattern: TopicPattern = pattern.parse().map_err(
+                |e: rjms_broker::pattern::ParseTopicPatternError| e.to_string(),
+            )?;
+            conn.broker.subscribe_pattern(&pattern, filter).map_err(|e| e.to_string())?
+        }
+        SubscribeTarget::Durable { topic, name } => conn
+            .broker
+            .subscribe_durable(&topic, &name, filter)
+            .map_err(|e| e.to_string())?,
+    };
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    conn.subscriptions.insert(subscription_id, Arc::clone(&cancel));
+
+    // Forwarder: pumps deliveries into the connection's writer.
+    let out = conn.out.clone();
+    let closed = Arc::clone(&conn.closed);
+    std::thread::Builder::new()
+        .name(format!("rjms-net-fwd-{subscription_id}"))
+        .spawn(move || {
+            while !cancel.load(Ordering::Relaxed) && !closed.load(Ordering::Relaxed) {
+                match subscriber.receive_timeout(Duration::from_millis(50)) {
+                    Some(message) => {
+                        let delivery = Response::Delivery {
+                            subscription_id,
+                            message: WireMessage::from_message(&message),
+                        };
+                        if out.send(delivery).is_err() {
+                            // Connection died mid-delivery: hand the pulled
+                            // message back so a durable subscription retains
+                            // it instead of losing it.
+                            subscriber.return_message(message);
+                            break;
+                        }
+                    }
+                    None => {
+                        // Timeout: loop to re-check the cancel flags. A
+                        // closed broker also lands here via the drained
+                        // channel; detect it through the closed flag.
+                    }
+                }
+            }
+            // Dropping `subscriber` cancels the broker-side subscription.
+        })
+        .expect("failed to spawn forwarder thread");
+    Ok(())
+}

@@ -1,0 +1,732 @@
+//! The wire format: length-prefixed binary frames.
+//!
+//! Every frame is `u32 length (big endian, of the remainder) ++ u8 opcode ++
+//! payload`. Strings are `u32 length ++ UTF-8 bytes`; optional fields are
+//! `u8 presence ++ value`. The format is hand-rolled on [`bytes`] — the
+//! workspace deliberately carries no serde wire backend — and round-trip
+//! property tested.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rjms_broker::message::{Message, Priority};
+use rjms_selector::Value;
+use std::fmt;
+
+/// Maximum accepted frame size (16 MiB) — guards against corrupt length
+/// prefixes allocating unbounded memory.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DecodeError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Frames sent from client to server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create a topic.
+    CreateTopic {
+        /// Correlates the response.
+        request_id: u32,
+        /// The topic name.
+        topic: String,
+    },
+    /// Publish a message to a topic.
+    Publish {
+        /// Correlates the response.
+        request_id: u32,
+        /// The topic name.
+        topic: String,
+        /// The message.
+        message: WireMessage,
+    },
+    /// Subscribe to a topic (exact name) with a filter.
+    Subscribe {
+        /// Correlates the response.
+        request_id: u32,
+        /// Client-chosen subscription id; delivered messages carry it.
+        subscription_id: u32,
+        /// The topic name.
+        topic: String,
+        /// The filter specification.
+        filter: WireFilter,
+    },
+    /// Subscribe to a topic *pattern* (`orders.*`, `sensors.>`).
+    SubscribePattern {
+        /// Correlates the response.
+        request_id: u32,
+        /// Client-chosen subscription id.
+        subscription_id: u32,
+        /// The pattern source text.
+        pattern: String,
+        /// The filter specification.
+        filter: WireFilter,
+    },
+    /// Connect to (or create) a named *durable* subscription on a topic.
+    SubscribeDurable {
+        /// Correlates the response.
+        request_id: u32,
+        /// Client-chosen subscription id.
+        subscription_id: u32,
+        /// The topic name.
+        topic: String,
+        /// The durable subscription name.
+        name: String,
+        /// The filter specification.
+        filter: WireFilter,
+    },
+    /// Permanently remove a *disconnected* durable subscription.
+    UnsubscribeDurable {
+        /// Correlates the response.
+        request_id: u32,
+        /// The topic name.
+        topic: String,
+        /// The durable subscription name.
+        name: String,
+    },
+    /// Cancel a subscription.
+    Unsubscribe {
+        /// Correlates the response.
+        request_id: u32,
+        /// The subscription to cancel.
+        subscription_id: u32,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlates the response.
+        request_id: u32,
+    },
+}
+
+/// Frames sent from server to client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded.
+    Ok {
+        /// The request this answers.
+        request_id: u32,
+    },
+    /// The request failed.
+    Error {
+        /// The request this answers.
+        request_id: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// A delivered message (not correlated to a request).
+    Delivery {
+        /// The subscription it belongs to.
+        subscription_id: u32,
+        /// The message.
+        message: WireMessage,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The request this answers.
+        request_id: u32,
+    },
+}
+
+/// A filter as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFilter {
+    /// No filter.
+    None,
+    /// Correlation-ID filter pattern (e.g. `[7;13]`).
+    CorrelationId(String),
+    /// Full selector source text.
+    Selector(String),
+}
+
+/// A message as it travels on the wire (the subset of header fields the
+/// broker models, the typed properties, and the body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMessage {
+    /// Correlation id header.
+    pub correlation_id: Option<String>,
+    /// `JMSType` header.
+    pub message_type: Option<String>,
+    /// Priority 0–9.
+    pub priority: u8,
+    /// Remaining time to live in milliseconds; `None` = never expires.
+    /// (`Some(0)` is an already-expired message, which the receiving broker
+    /// will discard — distinct from no expiration.)
+    pub ttl_millis: Option<u64>,
+    /// Typed user properties.
+    pub properties: Vec<(String, Value)>,
+    /// Opaque payload.
+    pub body: Bytes,
+}
+
+impl WireMessage {
+    /// Converts into a broker [`Message`] (stamps id and timestamp).
+    pub fn into_message(self) -> Message {
+        let mut b = Message::builder().priority(Priority::new(self.priority.min(9)));
+        if let Some(c) = self.correlation_id {
+            b = b.correlation_id(c);
+        }
+        if let Some(t) = self.message_type {
+            b = b.message_type(t);
+        }
+        if let Some(ttl) = self.ttl_millis {
+            b = b.time_to_live(std::time::Duration::from_millis(ttl));
+        }
+        for (k, v) in self.properties {
+            b = b.property(k, v);
+        }
+        b.body(self.body).build()
+    }
+
+    /// Builds the wire form of a broker message (drops id/timestamp, which
+    /// the receiving broker re-stamps).
+    pub fn from_message(m: &Message) -> Self {
+        let remaining_ttl =
+            m.expiration_millis().map(|e| e.saturating_sub(m.timestamp_millis()));
+        WireMessage {
+            correlation_id: m.correlation_id().map(str::to_owned),
+            message_type: m.message_type().map(str::to_owned),
+            priority: m.priority().level(),
+            ttl_millis: remaining_ttl,
+            properties: m.properties().iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            body: m.body().clone(),
+        }
+    }
+}
+
+// --- primitive encoders/decoders -----------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::new("string length exceeds frame"));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::new("invalid UTF-8 string"))
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::new("truncated u32"));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::new("truncated u64"));
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::new("truncated u8"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn put_opt_str(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(v) => {
+            buf.put_u8(1);
+            put_str(buf, v);
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut Bytes) -> Result<Option<String>, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf)?)),
+        other => Err(DecodeError::new(format!("invalid option tag {other}"))),
+    }
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            buf.put_u8(0);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(Value::Bool(get_u8(buf)? != 0)),
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::new("truncated i64"));
+            }
+            Ok(Value::Int(buf.get_i64()))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::new("truncated f64"));
+            }
+            Ok(Value::Float(buf.get_f64()))
+        }
+        3 => Ok(Value::Str(get_str(buf)?)),
+        other => Err(DecodeError::new(format!("invalid value tag {other}"))),
+    }
+}
+
+fn put_message(buf: &mut BytesMut, m: &WireMessage) {
+    put_opt_str(buf, &m.correlation_id);
+    put_opt_str(buf, &m.message_type);
+    buf.put_u8(m.priority);
+    match m.ttl_millis {
+        None => buf.put_u8(0),
+        Some(ttl) => {
+            buf.put_u8(1);
+            buf.put_u64(ttl);
+        }
+    }
+    buf.put_u32(m.properties.len() as u32);
+    for (k, v) in &m.properties {
+        put_str(buf, k);
+        put_value(buf, v);
+    }
+    buf.put_u32(m.body.len() as u32);
+    buf.put_slice(&m.body);
+}
+
+fn get_message(buf: &mut Bytes) -> Result<WireMessage, DecodeError> {
+    let correlation_id = get_opt_str(buf)?;
+    let message_type = get_opt_str(buf)?;
+    let priority = get_u8(buf)?;
+    let ttl_millis = match get_u8(buf)? {
+        0 => None,
+        1 => Some(get_u64(buf)?),
+        other => return Err(DecodeError::new(format!("invalid ttl tag {other}"))),
+    };
+    let prop_count = get_u32(buf)? as usize;
+    if prop_count > MAX_FRAME_LEN / 2 {
+        return Err(DecodeError::new("property count exceeds frame"));
+    }
+    let mut properties = Vec::with_capacity(prop_count.min(1024));
+    for _ in 0..prop_count {
+        let k = get_str(buf)?;
+        let v = get_value(buf)?;
+        properties.push((k, v));
+    }
+    let body_len = get_u32(buf)? as usize;
+    if buf.remaining() < body_len {
+        return Err(DecodeError::new("body length exceeds frame"));
+    }
+    let body = buf.split_to(body_len);
+    Ok(WireMessage { correlation_id, message_type, priority, ttl_millis, properties, body })
+}
+
+fn put_filter(buf: &mut BytesMut, f: &WireFilter) {
+    match f {
+        WireFilter::None => buf.put_u8(0),
+        WireFilter::CorrelationId(p) => {
+            buf.put_u8(1);
+            put_str(buf, p);
+        }
+        WireFilter::Selector(s) => {
+            buf.put_u8(2);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_filter(buf: &mut Bytes) -> Result<WireFilter, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(WireFilter::None),
+        1 => Ok(WireFilter::CorrelationId(get_str(buf)?)),
+        2 => Ok(WireFilter::Selector(get_str(buf)?)),
+        other => Err(DecodeError::new(format!("invalid filter tag {other}"))),
+    }
+}
+
+// --- frame encoders/decoders ----------------------------------------------
+
+/// Encodes a request into one length-prefixed frame.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    match req {
+        Request::CreateTopic { request_id, topic } => {
+            body.put_u8(0x01);
+            body.put_u32(*request_id);
+            put_str(&mut body, topic);
+        }
+        Request::Publish { request_id, topic, message } => {
+            body.put_u8(0x02);
+            body.put_u32(*request_id);
+            put_str(&mut body, topic);
+            put_message(&mut body, message);
+        }
+        Request::Subscribe { request_id, subscription_id, topic, filter } => {
+            body.put_u8(0x03);
+            body.put_u32(*request_id);
+            body.put_u32(*subscription_id);
+            put_str(&mut body, topic);
+            put_filter(&mut body, filter);
+        }
+        Request::SubscribePattern { request_id, subscription_id, pattern, filter } => {
+            body.put_u8(0x04);
+            body.put_u32(*request_id);
+            body.put_u32(*subscription_id);
+            put_str(&mut body, pattern);
+            put_filter(&mut body, filter);
+        }
+        Request::Unsubscribe { request_id, subscription_id } => {
+            body.put_u8(0x05);
+            body.put_u32(*request_id);
+            body.put_u32(*subscription_id);
+        }
+        Request::SubscribeDurable { request_id, subscription_id, topic, name, filter } => {
+            body.put_u8(0x07);
+            body.put_u32(*request_id);
+            body.put_u32(*subscription_id);
+            put_str(&mut body, topic);
+            put_str(&mut body, name);
+            put_filter(&mut body, filter);
+        }
+        Request::UnsubscribeDurable { request_id, topic, name } => {
+            body.put_u8(0x08);
+            body.put_u32(*request_id);
+            put_str(&mut body, topic);
+            put_str(&mut body, name);
+        }
+        Request::Ping { request_id } => {
+            body.put_u8(0x06);
+            body.put_u32(*request_id);
+        }
+    }
+    finish_frame(body)
+}
+
+/// Encodes a response into one length-prefixed frame.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    match resp {
+        Response::Ok { request_id } => {
+            body.put_u8(0x81);
+            body.put_u32(*request_id);
+        }
+        Response::Error { request_id, message } => {
+            body.put_u8(0x82);
+            body.put_u32(*request_id);
+            put_str(&mut body, message);
+        }
+        Response::Delivery { subscription_id, message } => {
+            body.put_u8(0x83);
+            body.put_u32(*subscription_id);
+            put_message(&mut body, message);
+        }
+        Response::Pong { request_id } => {
+            body.put_u8(0x84);
+            body.put_u32(*request_id);
+        }
+    }
+    finish_frame(body)
+}
+
+fn finish_frame(body: BytesMut) -> Bytes {
+    let mut frame = BytesMut::with_capacity(4 + body.len());
+    frame.put_u32(body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame.freeze()
+}
+
+/// Decodes a request frame *body* (the bytes after the length prefix).
+pub fn decode_request(mut body: Bytes) -> Result<Request, DecodeError> {
+    let op = get_u8(&mut body)?;
+    let req = match op {
+        0x01 => Request::CreateTopic {
+            request_id: get_u32(&mut body)?,
+            topic: get_str(&mut body)?,
+        },
+        0x02 => Request::Publish {
+            request_id: get_u32(&mut body)?,
+            topic: get_str(&mut body)?,
+            message: get_message(&mut body)?,
+        },
+        0x03 => Request::Subscribe {
+            request_id: get_u32(&mut body)?,
+            subscription_id: get_u32(&mut body)?,
+            topic: get_str(&mut body)?,
+            filter: get_filter(&mut body)?,
+        },
+        0x04 => Request::SubscribePattern {
+            request_id: get_u32(&mut body)?,
+            subscription_id: get_u32(&mut body)?,
+            pattern: get_str(&mut body)?,
+            filter: get_filter(&mut body)?,
+        },
+        0x05 => Request::Unsubscribe {
+            request_id: get_u32(&mut body)?,
+            subscription_id: get_u32(&mut body)?,
+        },
+        0x06 => Request::Ping { request_id: get_u32(&mut body)? },
+        0x07 => Request::SubscribeDurable {
+            request_id: get_u32(&mut body)?,
+            subscription_id: get_u32(&mut body)?,
+            topic: get_str(&mut body)?,
+            name: get_str(&mut body)?,
+            filter: get_filter(&mut body)?,
+        },
+        0x08 => Request::UnsubscribeDurable {
+            request_id: get_u32(&mut body)?,
+            topic: get_str(&mut body)?,
+            name: get_str(&mut body)?,
+        },
+        other => return Err(DecodeError::new(format!("unknown request opcode {other:#x}"))),
+    };
+    ensure_drained(&body)?;
+    Ok(req)
+}
+
+/// Decodes a response frame *body* (the bytes after the length prefix).
+pub fn decode_response(mut body: Bytes) -> Result<Response, DecodeError> {
+    let op = get_u8(&mut body)?;
+    let resp = match op {
+        0x81 => Response::Ok { request_id: get_u32(&mut body)? },
+        0x82 => Response::Error {
+            request_id: get_u32(&mut body)?,
+            message: get_str(&mut body)?,
+        },
+        0x83 => Response::Delivery {
+            subscription_id: get_u32(&mut body)?,
+            message: get_message(&mut body)?,
+        },
+        0x84 => Response::Pong { request_id: get_u32(&mut body)? },
+        other => return Err(DecodeError::new(format!("unknown response opcode {other:#x}"))),
+    };
+    ensure_drained(&body)?;
+    Ok(resp)
+}
+
+fn ensure_drained(body: &Bytes) -> Result<(), DecodeError> {
+    if body.has_remaining() {
+        Err(DecodeError::new(format!("{} trailing bytes in frame", body.remaining())))
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads one frame body from a blocking reader (consuming the length
+/// prefix). Returns `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors, oversized frames, or EOF mid-frame.
+pub fn read_frame<R: std::io::Read>(reader: &mut R) -> std::io::Result<Option<Bytes>> {
+    use std::io::{Error, ErrorKind};
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes) from a truncated prefix.
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => return Err(Error::new(ErrorKind::UnexpectedEof, "truncated frame length")),
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Bytes::from(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = encode_request(&req);
+        // Strip the length prefix as read_frame would.
+        let body = frame.slice(4..);
+        assert_eq!(decode_request(body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let frame = encode_response(&resp);
+        let body = frame.slice(4..);
+        assert_eq!(decode_response(body).unwrap(), resp);
+    }
+
+    fn sample_message() -> WireMessage {
+        WireMessage {
+            correlation_id: Some("#7".into()),
+            message_type: None,
+            priority: 6,
+            ttl_millis: Some(1500),
+            properties: vec![
+                ("color".into(), Value::Str("red".into())),
+                ("weight".into(), Value::Int(-3)),
+                ("ratio".into(), Value::Float(2.5)),
+                ("urgent".into(), Value::Bool(true)),
+            ],
+            body: Bytes::from_static(b"payload"),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::CreateTopic { request_id: 1, topic: "a.b".into() });
+        roundtrip_request(Request::Publish {
+            request_id: 2,
+            topic: "t".into(),
+            message: sample_message(),
+        });
+        roundtrip_request(Request::Subscribe {
+            request_id: 3,
+            subscription_id: 9,
+            topic: "t".into(),
+            filter: WireFilter::Selector("a = 1".into()),
+        });
+        roundtrip_request(Request::SubscribePattern {
+            request_id: 4,
+            subscription_id: 10,
+            pattern: "a.>".into(),
+            filter: WireFilter::CorrelationId("[1;2]".into()),
+        });
+        roundtrip_request(Request::Unsubscribe { request_id: 5, subscription_id: 9 });
+        roundtrip_request(Request::SubscribeDurable {
+            request_id: 7,
+            subscription_id: 11,
+            topic: "t".into(),
+            name: "worker".into(),
+            filter: WireFilter::None,
+        });
+        roundtrip_request(Request::UnsubscribeDurable {
+            request_id: 8,
+            topic: "t".into(),
+            name: "worker".into(),
+        });
+        roundtrip_request(Request::Ping { request_id: 6 });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Ok { request_id: 1 });
+        roundtrip_response(Response::Error { request_id: 2, message: "nope".into() });
+        roundtrip_response(Response::Delivery {
+            subscription_id: 3,
+            message: sample_message(),
+        });
+        roundtrip_response(Response::Pong { request_id: 4 });
+    }
+
+    #[test]
+    fn wire_message_to_broker_message_and_back() {
+        let wire = sample_message();
+        let msg = wire.clone().into_message();
+        assert_eq!(msg.correlation_id(), Some("#7"));
+        assert_eq!(msg.priority().level(), 6);
+        assert!(msg.expiration_millis().is_some());
+        let back = WireMessage::from_message(&msg);
+        assert!(back.ttl_millis.is_some());
+        assert_eq!(back.correlation_id, wire.correlation_id);
+        assert_eq!(back.priority, wire.priority);
+        assert_eq!(back.body, wire.body);
+        // Properties survive as a set (BTreeMap reorders them).
+        let mut a = back.properties.clone();
+        let mut b = wire.properties.clone();
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        let body = Bytes::from_static(&[0x7f, 0, 0, 0, 1]);
+        assert!(decode_request(body.clone()).is_err());
+        assert!(decode_response(body).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut frame = BytesMut::new();
+        frame.put_u8(0x06);
+        frame.put_u32(1);
+        frame.put_u8(0xaa); // trailing byte
+        assert!(decode_request(frame.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        // Truncate a valid publish frame at every byte offset: must error,
+        // never panic.
+        let frame = encode_request(&Request::Publish {
+            request_id: 2,
+            topic: "t".into(),
+            message: sample_message(),
+        });
+        let body = frame.slice(4..);
+        for cut in 0..body.len() {
+            let truncated = body.slice(..cut);
+            assert!(decode_request(truncated).is_err(), "cut at {cut} did not error");
+        }
+    }
+
+    #[test]
+    fn read_frame_handles_eof() {
+        use std::io::Cursor;
+        // Clean EOF.
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut empty).unwrap().is_none());
+        // EOF mid-prefix.
+        let mut partial = Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut partial).is_err());
+        // EOF mid-body.
+        let mut short = Cursor::new(vec![0, 0, 0, 10, 1, 2]);
+        assert!(read_frame(&mut short).is_err());
+        // A full frame.
+        let frame = encode_request(&Request::Ping { request_id: 9 });
+        let mut full = Cursor::new(frame.to_vec());
+        let body = read_frame(&mut full).unwrap().unwrap();
+        assert_eq!(decode_request(body).unwrap(), Request::Ping { request_id: 9 });
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(data);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the wire codec: arbitrary frames round-trip, and the
+//! decoder is total (never panics) on arbitrary bytes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rjms_net::wire::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    WireFilter, WireMessage,
+};
+use rjms_selector::Value;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks PartialEq round-trip comparison.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,16}".prop_map(Value::Str),
+    ]
+}
+
+fn message_strategy() -> impl Strategy<Value = WireMessage> {
+    (
+        prop::option::of("[!-~]{0,24}"),
+        prop::option::of("[a-z]{0,12}"),
+        0u8..=9,
+        prop::option::of(any::<u64>()),
+        prop::collection::vec(("[a-zA-Z_][a-zA-Z0-9_]{0,8}", value_strategy()), 0..6),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(correlation_id, message_type, priority, ttl_millis, properties, body)| {
+            WireMessage {
+                correlation_id,
+                message_type,
+                priority,
+                ttl_millis,
+                properties,
+                body: Bytes::from(body),
+            }
+        })
+}
+
+fn filter_strategy() -> impl Strategy<Value = WireFilter> {
+    prop_oneof![
+        Just(WireFilter::None),
+        "[!-~]{0,16}".prop_map(WireFilter::CorrelationId),
+        "[ -~]{0,32}".prop_map(WireFilter::Selector),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u32>(), "[a-z.]{1,20}")
+            .prop_map(|(request_id, topic)| Request::CreateTopic { request_id, topic }),
+        (any::<u32>(), "[a-z.]{1,20}", message_strategy()).prop_map(
+            |(request_id, topic, message)| Request::Publish { request_id, topic, message }
+        ),
+        (any::<u32>(), any::<u32>(), "[a-z.]{1,20}", filter_strategy()).prop_map(
+            |(request_id, subscription_id, topic, filter)| Request::Subscribe {
+                request_id,
+                subscription_id,
+                topic,
+                filter,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), "[a-z.*>]{1,20}", filter_strategy()).prop_map(
+            |(request_id, subscription_id, pattern, filter)| Request::SubscribePattern {
+                request_id,
+                subscription_id,
+                pattern,
+                filter,
+            }
+        ),
+        (any::<u32>(), any::<u32>()).prop_map(|(request_id, subscription_id)| {
+            Request::Unsubscribe { request_id, subscription_id }
+        }),
+        any::<u32>().prop_map(|request_id| Request::Ping { request_id }),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<u32>().prop_map(|request_id| Response::Ok { request_id }),
+        (any::<u32>(), "[ -~]{0,40}")
+            .prop_map(|(request_id, message)| Response::Error { request_id, message }),
+        (any::<u32>(), message_strategy()).prop_map(|(subscription_id, message)| {
+            Response::Delivery { subscription_id, message }
+        }),
+        any::<u32>().prop_map(|request_id| Response::Pong { request_id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip(req in request_strategy()) {
+        let frame = encode_request(&req);
+        let body = frame.slice(4..);
+        prop_assert_eq!(decode_request(body).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in response_strategy()) {
+        let frame = encode_response(&resp);
+        let body = frame.slice(4..);
+        prop_assert_eq!(decode_response(body).unwrap(), resp);
+    }
+
+    #[test]
+    fn decoder_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Must never panic; errors are fine.
+        let _ = decode_request(Bytes::from(bytes.clone()));
+        let _ = decode_response(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn decoder_total_on_truncated_valid_frames(
+        req in request_strategy(),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let frame = encode_request(&req);
+        let body = frame.slice(4..);
+        let cut = ((body.len() as f64) * cut_ratio) as usize;
+        if cut < body.len() {
+            // A strictly truncated frame must error, never panic or succeed.
+            prop_assert!(decode_request(body.slice(..cut)).is_err());
+        }
+    }
+}

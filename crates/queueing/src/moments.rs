@@ -1,0 +1,206 @@
+//! Raw-moment containers and derived statistics.
+//!
+//! The whole waiting-time analysis of the paper is a *moment calculus*: the
+//! first three raw moments of the replication grade `R` propagate into the
+//! first three raw moments of the service time `B` (Eqs. 7–9), which feed the
+//! Pollaczek–Khinchine formulas (Eqs. 4–5). [`Moments3`] is the common
+//! currency passed between these stages.
+
+use serde::{Deserialize, Serialize};
+
+/// The first three raw moments `E[X]`, `E[X²]`, `E[X³]` of a nonnegative
+/// random variable.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_queueing::moments::Moments3;
+/// // A constant c has moments (c, c², c³) and zero variance.
+/// let m = Moments3::constant(2.0);
+/// assert_eq!(m.m2, 4.0);
+/// assert_eq!(m.variance(), 0.0);
+/// assert_eq!(m.cvar(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Moments3 {
+    /// First raw moment `E[X]` (the mean).
+    pub m1: f64,
+    /// Second raw moment `E[X²]`.
+    pub m2: f64,
+    /// Third raw moment `E[X³]`.
+    pub m3: f64,
+}
+
+impl Moments3 {
+    /// Creates a moment triple from explicit raw moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any moment is negative or non-finite, or if the implied
+    /// variance `E[X²] − E[X]²` is materially negative (beyond floating-point
+    /// slack), since then the triple cannot belong to any real distribution.
+    pub fn new(m1: f64, m2: f64, m3: f64) -> Self {
+        assert!(
+            m1.is_finite() && m2.is_finite() && m3.is_finite(),
+            "moments must be finite: ({m1}, {m2}, {m3})"
+        );
+        assert!(
+            m1 >= 0.0 && m2 >= 0.0 && m3 >= 0.0,
+            "moments of a nonnegative variable must be nonnegative: ({m1}, {m2}, {m3})"
+        );
+        let var = m2 - m1 * m1;
+        assert!(
+            var >= -1e-9 * m2.max(1.0),
+            "inconsistent moments: implied variance {var} < 0"
+        );
+        Self { m1, m2, m3 }
+    }
+
+    /// Moments of the degenerate distribution concentrated at `c >= 0`.
+    pub fn constant(c: f64) -> Self {
+        assert!(c >= 0.0 && c.is_finite(), "constant must be finite and >= 0");
+        Self { m1: c, m2: c * c, m3: c * c * c }
+    }
+
+    /// Variance `E[X²] − E[X]²`, clamped at zero against rounding noise.
+    pub fn variance(&self) -> f64 {
+        (self.m2 - self.m1 * self.m1).max(0.0)
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation `c_var[X] = std(X)/E[X]` (Eq. 10).
+    ///
+    /// Returns 0 when the mean is 0 (degenerate-at-zero distribution).
+    pub fn cvar(&self) -> f64 {
+        if self.m1 == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.m1
+        }
+    }
+
+    /// Moments of `a·X` for a scale factor `a >= 0`.
+    ///
+    /// Used to turn replication-grade moments into transmit-time moments
+    /// (`V = R · t_tx`).
+    pub fn scaled(&self, a: f64) -> Self {
+        assert!(a >= 0.0 && a.is_finite(), "scale must be finite and >= 0");
+        Self {
+            m1: a * self.m1,
+            m2: a * a * self.m2,
+            m3: a * a * a * self.m3,
+        }
+    }
+
+    /// Moments of `d + X` for a constant shift `d >= 0`.
+    ///
+    /// This is exactly the paper's Eqs. 7–9 with `D = d`:
+    /// `E[(D+V)^k]` expanded by the binomial theorem.
+    pub fn shifted(&self, d: f64) -> Self {
+        assert!(d >= 0.0 && d.is_finite(), "shift must be finite and >= 0");
+        Self {
+            m1: d + self.m1,
+            m2: d * d + 2.0 * d * self.m1 + self.m2,
+            m3: d * d * d + 3.0 * d * d * self.m1 + 3.0 * d * self.m2 + self.m3,
+        }
+    }
+
+    /// Estimates the raw moments of a sample.
+    ///
+    /// Useful in tests to check analytic moments against Monte-Carlo samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn from_samples<I>(samples: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let (mut n, mut s1, mut s2, mut s3) = (0u64, 0.0f64, 0.0f64, 0.0f64);
+        for x in samples {
+            n += 1;
+            s1 += x;
+            s2 += x * x;
+            s3 += x * x * x;
+        }
+        assert!(n > 0, "cannot compute moments of an empty sample");
+        let n = n as f64;
+        Self { m1: s1 / n, m2: s2 / n, m3: s3 / n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_has_zero_variance_and_cvar() {
+        let m = Moments3::constant(3.5);
+        assert_eq!(m.m1, 3.5);
+        assert_eq!(m.m2, 12.25);
+        assert_eq!(m.m3, 42.875);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.cvar(), 0.0);
+    }
+
+    #[test]
+    fn scaling_scales_moments_by_powers() {
+        let m = Moments3::new(1.0, 2.0, 6.0); // Exp(1) moments
+        let s = m.scaled(3.0);
+        assert_eq!(s.m1, 3.0);
+        assert_eq!(s.m2, 18.0);
+        assert_eq!(s.m3, 162.0);
+        // cvar is scale-invariant.
+        assert!((s.cvar() - m.cvar()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shifting_matches_binomial_expansion() {
+        let m = Moments3::new(1.0, 2.0, 6.0);
+        let d = 2.0;
+        let s = m.shifted(d);
+        assert!((s.m1 - 3.0).abs() < 1e-15);
+        // E[(2+X)^2] = 4 + 4·1 + 2 = 10
+        assert!((s.m2 - 10.0).abs() < 1e-15);
+        // E[(2+X)^3] = 8 + 12·1 + 6·2 + 6 = 38
+        assert!((s.m3 - 38.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponential_moments_cvar_is_one() {
+        // Exp(rate) has raw moments 1/r, 2/r², 6/r³ → cvar = 1.
+        let r = 4.0f64;
+        let m = Moments3::new(1.0 / r, 2.0 / (r * r), 6.0 / (r * r * r));
+        assert!((m.cvar() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_samples_matches_hand_computation() {
+        let m = Moments3::from_samples([1.0, 2.0, 3.0]);
+        assert!((m.m1 - 2.0).abs() < 1e-15);
+        assert!((m.m2 - 14.0 / 3.0).abs() < 1e-15);
+        assert!((m.m3 - 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn from_samples_rejects_empty() {
+        Moments3::from_samples(std::iter::empty::<f64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent moments")]
+    fn new_rejects_negative_variance() {
+        Moments3::new(2.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn zero_mean_cvar_is_zero() {
+        let m = Moments3::new(0.0, 0.0, 0.0);
+        assert_eq!(m.cvar(), 0.0);
+    }
+}

@@ -1,0 +1,517 @@
+//! Stochastic models for the message replication grade `R`.
+//!
+//! The replication grade is the number of subscribers a published message is
+//! forwarded to. Section IV-B.2 of the paper considers three models:
+//!
+//! * [`ReplicationModel::Deterministic`] — every message is replicated a
+//!   constant number of times (Eqs. 11–12),
+//! * [`ReplicationModel::ScaledBernoulli`] — either *all* `n_fltr` filters
+//!   match (probability `p_match`) or none do (Eqs. 13–15),
+//! * [`ReplicationModel::Binomial`] — each of the `n_fltr` filters matches
+//!   independently with probability `p_match` (Eqs. 16–18).
+//!
+//! The printed Eqs. 14, 17 and 18 in the ICDCS proceedings contain typos (see
+//! `DESIGN.md` §6); this module implements the mathematically exact raw
+//! moments, which are verified against Monte-Carlo samples by the property
+//! tests in `tests/replication_montecarlo.rs`.
+//!
+//! The parameters are real-valued so that the *moment-matching* constructors
+//! ([`ReplicationModel::scaled_bernoulli_from_moments`],
+//! [`ReplicationModel::binomial_from_moments`]) used by the sensitivity
+//! analysis (Fig. 11) are total; the probability mass function
+//! ([`ReplicationModel::pmf`]) additionally requires integer-valued support
+//! parameters.
+
+use crate::moments::Moments3;
+use crate::special::ln_binomial;
+use serde::{Deserialize, Serialize};
+
+/// Error produced when a moment-matching constructor is asked for moments no
+/// distribution of the requested family can attain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MomentMatchError {
+    /// Human-readable description of the violated constraint.
+    reason: String,
+}
+
+impl MomentMatchError {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
+        Self { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for MomentMatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot match moments: {}", self.reason)
+    }
+}
+
+impl std::error::Error for MomentMatchError {}
+
+/// A distribution model for the message replication grade `R`.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_queueing::replication::ReplicationModel;
+/// let m = ReplicationModel::binomial(10.0, 0.3).moments();
+/// assert!((m.m1 - 3.0).abs() < 1e-12);           // E[R] = n·p
+/// assert!((m.variance() - 2.1).abs() < 1e-12);   // Var[R] = n·p·(1-p)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplicationModel {
+    /// `R = grade` with probability 1.
+    Deterministic {
+        /// The constant replication grade.
+        grade: f64,
+    },
+    /// `R = n_fltr` with probability `p_match`, otherwise `R = 0`.
+    ScaledBernoulli {
+        /// Number of installed filters (all match together or none does).
+        n_fltr: f64,
+        /// Probability that the message matches.
+        p_match: f64,
+    },
+    /// `R ~ Bin(n_fltr, p_match)` — filters match independently.
+    Binomial {
+        /// Number of installed filters.
+        n_fltr: f64,
+        /// Per-filter match probability.
+        p_match: f64,
+    },
+    /// `R ~ Geom(θ)` on {0, 1, 2, …} with `P(R = k) = (1−θ)·θᵏ` — an
+    /// *over-dispersed* model (`Var[R] > E[R]`) extending the paper's three
+    /// families (its §V names validating further distributions as future
+    /// work). Models bursty interest: most messages match few subscribers,
+    /// a geometric tail matches many.
+    Geometric {
+        /// Success parameter `θ ∈ [0, 1)`; the mean is `θ/(1−θ)`.
+        theta: f64,
+    },
+}
+
+impl ReplicationModel {
+    /// Deterministic replication grade (Eqs. 11–12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grade` is negative or non-finite.
+    pub fn deterministic(grade: f64) -> Self {
+        assert!(grade >= 0.0 && grade.is_finite(), "grade must be finite and >= 0");
+        Self::Deterministic { grade }
+    }
+
+    /// Scaled Bernoulli replication grade (Eqs. 13–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_fltr < 0` or `p_match ∉ [0, 1]`.
+    pub fn scaled_bernoulli(n_fltr: f64, p_match: f64) -> Self {
+        assert!(n_fltr >= 0.0 && n_fltr.is_finite(), "n_fltr must be finite and >= 0");
+        assert!((0.0..=1.0).contains(&p_match), "p_match must lie in [0, 1]");
+        Self::ScaledBernoulli { n_fltr, p_match }
+    }
+
+    /// Binomial replication grade (Eqs. 16–18).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_fltr < 0` or `p_match ∉ [0, 1]`.
+    pub fn binomial(n_fltr: f64, p_match: f64) -> Self {
+        assert!(n_fltr >= 0.0 && n_fltr.is_finite(), "n_fltr must be finite and >= 0");
+        assert!((0.0..=1.0).contains(&p_match), "p_match must lie in [0, 1]");
+        Self::Binomial { n_fltr, p_match }
+    }
+
+    /// Geometric replication grade with the given mean (`θ = mean/(1+mean)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or non-finite.
+    pub fn geometric(mean: f64) -> Self {
+        assert!(mean >= 0.0 && mean.is_finite(), "mean must be finite and >= 0");
+        Self::Geometric { theta: mean / (1.0 + mean) }
+    }
+
+    /// Scaled Bernoulli model matching the given first two raw moments.
+    ///
+    /// Inverts Eqs. 13–14: `n_fltr = E[R²]/E[R]`, `p_match = E[R]²/E[R²]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m2 < m1²` (impossible variance) or the moments are
+    /// not both positive.
+    pub fn scaled_bernoulli_from_moments(m1: f64, m2: f64) -> Result<Self, MomentMatchError> {
+        if !(m1 > 0.0 && m2 > 0.0) {
+            return Err(MomentMatchError::new(format!(
+                "scaled Bernoulli needs positive moments, got E[R]={m1}, E[R^2]={m2}"
+            )));
+        }
+        if m2 < m1 * m1 * (1.0 - 1e-12) {
+            return Err(MomentMatchError::new(format!(
+                "E[R^2]={m2} < E[R]^2={} implies negative variance",
+                m1 * m1
+            )));
+        }
+        let n_fltr = m2 / m1;
+        let p_match = (m1 * m1 / m2).min(1.0);
+        Ok(Self::ScaledBernoulli { n_fltr, p_match })
+    }
+
+    /// Binomial model matching the given first two raw moments.
+    ///
+    /// Solves `n·p = E[R]` and `n·p·(1−p) = Var[R]`, i.e.
+    /// `p = 1 − Var[R]/E[R]` and `n = E[R]/p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no binomial distribution has these moments:
+    /// the binomial family requires `Var[R] < E[R]` (under-dispersion).
+    pub fn binomial_from_moments(m1: f64, m2: f64) -> Result<Self, MomentMatchError> {
+        if !(m1 > 0.0 && m2 > 0.0) {
+            return Err(MomentMatchError::new(format!(
+                "binomial needs positive moments, got E[R]={m1}, E[R^2]={m2}"
+            )));
+        }
+        let var = m2 - m1 * m1;
+        if var < -1e-12 * m2 {
+            return Err(MomentMatchError::new(format!(
+                "E[R^2]={m2} < E[R]^2 implies negative variance"
+            )));
+        }
+        let var = var.max(0.0);
+        let p_match = 1.0 - var / m1;
+        if p_match <= 0.0 {
+            return Err(MomentMatchError::new(format!(
+                "over-dispersed moments (Var={var} >= mean={m1}) cannot be binomial"
+            )));
+        }
+        let p_match = p_match.min(1.0);
+        let n_fltr = m1 / p_match;
+        Ok(Self::Binomial { n_fltr, p_match })
+    }
+
+    /// Mean replication grade `E[R]`.
+    pub fn mean(&self) -> f64 {
+        self.moments().m1
+    }
+
+    /// The first three raw moments of `R`.
+    ///
+    /// * Deterministic: `(r, r², r³)`.
+    /// * Scaled Bernoulli: `E[R^k] = p · n^k`.
+    /// * Binomial: raw moments via the central moments
+    ///   `Var = np(1−p)`, `μ₃ = np(1−p)(1−2p)`.
+    pub fn moments(&self) -> Moments3 {
+        match *self {
+            Self::Deterministic { grade } => Moments3::constant(grade),
+            Self::ScaledBernoulli { n_fltr, p_match } => Moments3::new(
+                p_match * n_fltr,
+                p_match * n_fltr * n_fltr,
+                p_match * n_fltr * n_fltr * n_fltr,
+            ),
+            Self::Binomial { n_fltr, p_match } => {
+                let mean = n_fltr * p_match;
+                let var = n_fltr * p_match * (1.0 - p_match);
+                let mu3 = var * (1.0 - 2.0 * p_match);
+                let m2 = var + mean * mean;
+                let m3 = mu3 + 3.0 * mean * m2 - 2.0 * mean * mean * mean;
+                Moments3::new(mean, m2, m3)
+            }
+            Self::Geometric { theta } => {
+                // Raw moments of Geom(θ) on {0,1,2,…}:
+                // E[R] = θ/(1−θ), E[R²] = θ(1+θ)/(1−θ)²,
+                // E[R³] = θ(1+4θ+θ²)/(1−θ)³.
+                let q = 1.0 - theta;
+                Moments3::new(
+                    theta / q,
+                    theta * (1.0 + theta) / (q * q),
+                    theta * (1.0 + 4.0 * theta + theta * theta) / (q * q * q),
+                )
+            }
+        }
+    }
+
+    /// The largest replication grade with positive probability, rounded up.
+    pub fn max_grade(&self) -> u32 {
+        match *self {
+            Self::Deterministic { grade } => grade.ceil() as u32,
+            Self::ScaledBernoulli { n_fltr, .. } | Self::Binomial { n_fltr, .. } => {
+                n_fltr.ceil() as u32
+            }
+            Self::Geometric { theta } => {
+                // Effective support bound: the 1−1e-12 quantile,
+                // P(R > k) = θ^{k+1} ≤ 1e-12.
+                if theta == 0.0 {
+                    0
+                } else {
+                    ((-12.0 * std::f64::consts::LN_10 / theta.ln()).ceil() as u32).max(1)
+                }
+            }
+        }
+    }
+
+    /// Probability mass function `P(R = k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's support parameter (`grade` / `n_fltr`) is not an
+    /// integer — the real-parameter generalizations used for moment matching
+    /// do not define a PMF.
+    pub fn pmf(&self, k: u32) -> f64 {
+        match *self {
+            Self::Deterministic { grade } => {
+                let r = integer_param(grade, "grade");
+                if k == r {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::ScaledBernoulli { n_fltr, p_match } => {
+                let n = integer_param(n_fltr, "n_fltr");
+                if k == n && k == 0 {
+                    1.0
+                } else if k == 0 {
+                    1.0 - p_match
+                } else if k == n {
+                    p_match
+                } else {
+                    0.0
+                }
+            }
+            Self::Binomial { n_fltr, p_match } => {
+                let n = integer_param(n_fltr, "n_fltr");
+                if k > n {
+                    return 0.0;
+                }
+                if p_match == 0.0 {
+                    return if k == 0 { 1.0 } else { 0.0 };
+                }
+                if p_match == 1.0 {
+                    return if k == n { 1.0 } else { 0.0 };
+                }
+                let ln_p = ln_binomial(n as u64, k as u64)
+                    + k as f64 * p_match.ln()
+                    + (n - k) as f64 * (1.0 - p_match).ln();
+                ln_p.exp()
+            }
+            Self::Geometric { theta } => (1.0 - theta) * theta.powi(k as i32),
+        }
+    }
+
+    /// Cumulative distribution function `P(R <= k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::pmf`].
+    pub fn cdf(&self, k: u32) -> f64 {
+        (0..=k).map(|j| self.pmf(j)).sum::<f64>().min(1.0)
+    }
+}
+
+/// Validates that a real-valued model parameter is (numerically) an integer.
+fn integer_param(x: f64, name: &str) -> u32 {
+    let r = x.round();
+    assert!(
+        (x - r).abs() < 1e-9 && (0.0..=u32::MAX as f64).contains(&r),
+        "pmf requires integer {name}, got {x}"
+    );
+    r as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_moments_and_pmf() {
+        let m = ReplicationModel::deterministic(4.0);
+        let mom = m.moments();
+        assert_eq!(mom.m1, 4.0);
+        assert_eq!(mom.m2, 16.0);
+        assert_eq!(mom.m3, 64.0);
+        assert_eq!(mom.cvar(), 0.0);
+        assert_eq!(m.pmf(4), 1.0);
+        assert_eq!(m.pmf(3), 0.0);
+        assert_eq!(m.max_grade(), 4);
+    }
+
+    #[test]
+    fn scaled_bernoulli_moments_match_definition() {
+        let (n, p) = (10.0, 0.3);
+        let m = ReplicationModel::scaled_bernoulli(n, p).moments();
+        assert!((m.m1 - p * n).abs() < 1e-12);
+        assert!((m.m2 - p * n * n).abs() < 1e-12);
+        assert!((m.m3 - p * n * n * n).abs() < 1e-12);
+        // Paper Eq. 15: E[R³] = E[R²]²/E[R].
+        assert!((m.m3 - m.m2 * m.m2 / m.m1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_bernoulli_pmf_sums_to_one() {
+        let m = ReplicationModel::scaled_bernoulli(7.0, 0.25);
+        let total: f64 = (0..=7).map(|k| m.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(m.pmf(3), 0.0);
+        assert!((m.pmf(0) - 0.75).abs() < 1e-12);
+        assert!((m.pmf(7) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_moments_small_case_exhaustive() {
+        // n = 3, p = 0.4: compare against direct enumeration.
+        let (n, p) = (3u32, 0.4f64);
+        let model = ReplicationModel::binomial(n as f64, p);
+        let (mut m1, mut m2, mut m3) = (0.0, 0.0, 0.0);
+        for k in 0..=n {
+            let pk = model.pmf(k);
+            let kf = k as f64;
+            m1 += kf * pk;
+            m2 += kf * kf * pk;
+            m3 += kf * kf * kf * pk;
+        }
+        let mom = model.moments();
+        assert!((mom.m1 - m1).abs() < 1e-12);
+        assert!((mom.m2 - m2).abs() < 1e-12);
+        assert!((mom.m3 - m3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let m = ReplicationModel::binomial(40.0, 0.13);
+        let total: f64 = (0..=40).map(|k| m.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_degenerate_p_values() {
+        let m0 = ReplicationModel::binomial(5.0, 0.0);
+        assert_eq!(m0.pmf(0), 1.0);
+        assert_eq!(m0.moments().m1, 0.0);
+        let m1 = ReplicationModel::binomial(5.0, 1.0);
+        assert_eq!(m1.pmf(5), 1.0);
+        assert_eq!(m1.moments().cvar(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_n_equals_one_matches_binomial() {
+        // With n_fltr = 1 both models are plain Bernoulli(p).
+        let p = 0.37;
+        let a = ReplicationModel::scaled_bernoulli(1.0, p).moments();
+        let b = ReplicationModel::binomial(1.0, p).moments();
+        assert!((a.m1 - b.m1).abs() < 1e-12);
+        assert!((a.m2 - b.m2).abs() < 1e-12);
+        assert!((a.m3 - b.m3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_bernoulli_moment_matching_roundtrip() {
+        let orig = ReplicationModel::scaled_bernoulli(20.0, 0.15);
+        let m = orig.moments();
+        let rec = ReplicationModel::scaled_bernoulli_from_moments(m.m1, m.m2).unwrap();
+        match rec {
+            ReplicationModel::ScaledBernoulli { n_fltr, p_match } => {
+                assert!((n_fltr - 20.0).abs() < 1e-9);
+                assert!((p_match - 0.15).abs() < 1e-12);
+            }
+            other => panic!("expected scaled Bernoulli, got {other:?}"),
+        }
+        // Third moment implied by the family matches the original.
+        assert!((rec.moments().m3 - m.m3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_moment_matching_roundtrip() {
+        let orig = ReplicationModel::binomial(50.0, 0.08);
+        let m = orig.moments();
+        let rec = ReplicationModel::binomial_from_moments(m.m1, m.m2).unwrap();
+        match rec {
+            ReplicationModel::Binomial { n_fltr, p_match } => {
+                assert!((n_fltr - 50.0).abs() < 1e-6);
+                assert!((p_match - 0.08).abs() < 1e-9);
+            }
+            other => panic!("expected binomial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binomial_moment_matching_rejects_overdispersion() {
+        // Var >= mean cannot be binomial (e.g. Poisson moments: var == mean).
+        let err = ReplicationModel::binomial_from_moments(2.0, 2.0 + 4.0).unwrap_err();
+        assert!(err.to_string().contains("over-dispersed"));
+    }
+
+    #[test]
+    fn scaled_bernoulli_moment_matching_rejects_negative_variance() {
+        assert!(ReplicationModel::scaled_bernoulli_from_moments(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let m = ReplicationModel::binomial(12.0, 0.5);
+        assert!((m.cdf(12) - 1.0).abs() < 1e-12);
+        assert!(m.cdf(6) < 1.0);
+    }
+
+    #[test]
+    fn geometric_moments_match_series() {
+        let mean = 3.0;
+        let m = ReplicationModel::geometric(mean);
+        let mom = m.moments();
+        assert!((mom.m1 - mean).abs() < 1e-12);
+        // Var = θ/(1−θ)² = mean·(1+mean) — over-dispersed: Var > mean.
+        assert!((mom.variance() - mean * (1.0 + mean)).abs() < 1e-9);
+        assert!(mom.variance() > mom.m1);
+        // Cross-check all three moments against the PMF series.
+        let (mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0);
+        for k in 0..=m.max_grade() {
+            let p = m.pmf(k);
+            let kf = k as f64;
+            s1 += kf * p;
+            s2 += kf * kf * p;
+            s3 += kf * kf * kf * p;
+        }
+        assert!((s1 - mom.m1).abs() < 1e-6);
+        assert!((s2 - mom.m2).abs() < 1e-5);
+        assert!((s3 - mom.m3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn geometric_pmf_normalized_and_cdf_monotone() {
+        let m = ReplicationModel::geometric(2.0);
+        let total: f64 = (0..=m.max_grade()).map(|k| m.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert!(m.cdf(0) < m.cdf(1));
+        assert!((m.cdf(m.max_grade()) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn geometric_zero_mean_degenerate() {
+        let m = ReplicationModel::geometric(0.0);
+        assert_eq!(m.pmf(0), 1.0);
+        assert_eq!(m.moments().m1, 0.0);
+        assert_eq!(m.max_grade(), 0);
+    }
+
+    #[test]
+    fn geometric_is_overdispersed_where_binomial_cannot_go() {
+        // Geometric moments are rejected by the binomial moment matcher.
+        let m = ReplicationModel::geometric(5.0).moments();
+        assert!(ReplicationModel::binomial_from_moments(m.m1, m.m2).is_err());
+        // But accepted by the Bernoulli one.
+        assert!(ReplicationModel::scaled_bernoulli_from_moments(m.m1, m.m2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "pmf requires integer")]
+    fn pmf_rejects_real_parameters() {
+        ReplicationModel::binomial(10.5, 0.5).pmf(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_match must lie in [0, 1]")]
+    fn constructor_rejects_bad_probability() {
+        ReplicationModel::binomial(10.0, 1.5);
+    }
+}

@@ -1,0 +1,209 @@
+//! The message service (processing) time `B = D + R · t_tx`.
+//!
+//! Section IV-B.2 of the paper decomposes the service time of a message into
+//! a constant part `D = t_rcv + n_fltr · t_fltr` (receive overhead plus filter
+//! evaluation) and a variable part `V = R · t_tx` (one transmit overhead per
+//! message copy). [`ServiceTime`] carries this decomposition and computes the
+//! first three raw moments of `B` (Eqs. 7–9) and its coefficient of variation
+//! (Eq. 10) from a [`ReplicationModel`].
+
+use crate::moments::Moments3;
+use crate::replication::{MomentMatchError, ReplicationModel};
+use serde::{Deserialize, Serialize};
+
+/// Service-time model `B = D + R · t_tx` with stochastic replication grade.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_queueing::replication::ReplicationModel;
+/// use rjms_queueing::service::ServiceTime;
+///
+/// // Constant overhead 10 µs, 17 µs per copy, R ~ Bin(10, 0.5).
+/// let b = ServiceTime::new(10e-6, 17e-6, ReplicationModel::binomial(10.0, 0.5));
+/// assert!((b.mean() - (10e-6 + 5.0 * 17e-6)).abs() < 1e-18);
+/// assert!(b.cvar() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceTime {
+    /// Constant part `D = t_rcv + n_fltr · t_fltr`, in seconds.
+    deterministic: f64,
+    /// Transmit overhead per message copy, in seconds.
+    t_tx: f64,
+    /// Distribution of the replication grade `R`.
+    replication: ReplicationModel,
+}
+
+impl ServiceTime {
+    /// Creates a service-time model from its three components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deterministic` or `t_tx` is negative or non-finite.
+    pub fn new(deterministic: f64, t_tx: f64, replication: ReplicationModel) -> Self {
+        assert!(
+            deterministic >= 0.0 && deterministic.is_finite(),
+            "deterministic part must be finite and >= 0"
+        );
+        assert!(t_tx >= 0.0 && t_tx.is_finite(), "t_tx must be finite and >= 0");
+        Self { deterministic, t_tx, replication }
+    }
+
+    /// The constant part `D` of the service time, in seconds.
+    pub fn deterministic_part(&self) -> f64 {
+        self.deterministic
+    }
+
+    /// The per-copy transmit overhead `t_tx`, in seconds.
+    pub fn t_tx(&self) -> f64 {
+        self.t_tx
+    }
+
+    /// The replication-grade model.
+    pub fn replication(&self) -> &ReplicationModel {
+        &self.replication
+    }
+
+    /// First three raw moments of `B` (Eqs. 7–9).
+    pub fn moments(&self) -> Moments3 {
+        self.replication
+            .moments()
+            .scaled(self.t_tx)
+            .shifted(self.deterministic)
+    }
+
+    /// Mean service time `E[B]` (Eq. 7 / Eq. 1).
+    pub fn mean(&self) -> f64 {
+        self.moments().m1
+    }
+
+    /// Coefficient of variation `c_var[B]` (Eq. 10).
+    pub fn cvar(&self) -> f64 {
+        self.moments().cvar()
+    }
+
+    /// Service time realized by a concrete replication grade `r`.
+    ///
+    /// Used by simulators: draw `r` from the replication model, then the
+    /// message occupies the server for `for_grade(r)` seconds.
+    pub fn for_grade(&self, r: u32) -> f64 {
+        self.deterministic + r as f64 * self.t_tx
+    }
+
+    /// Inverse parameter study (paper §IV-B.2): the replication-grade moments
+    /// `(E[R], E[R²])` required so that `B = D + R·t_tx` attains a target mean
+    /// `E[B]` and coefficient of variation `c_var[B]`.
+    ///
+    /// The paper "calculates the required `E[R]` from Equation (7), and uses
+    /// `E[R]` and Equation (8) to calculate `E[R²]`"; this is that
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the target mean is not attainable (`E[B] < D`) or
+    /// `t_tx = 0` while variability is requested.
+    pub fn replication_moments_for_target(
+        deterministic: f64,
+        t_tx: f64,
+        target_mean: f64,
+        target_cvar: f64,
+    ) -> Result<(f64, f64), MomentMatchError> {
+        if target_mean < deterministic {
+            return Err(MomentMatchError::new(format!(
+                "target E[B]={target_mean} is below the deterministic part D={deterministic}"
+            )));
+        }
+        if target_cvar < 0.0 {
+            return Err(MomentMatchError::new(format!(
+                "target c_var[B]={target_cvar} must be >= 0"
+            )));
+        }
+        if t_tx == 0.0 {
+            return if target_cvar == 0.0 && (target_mean - deterministic).abs() < 1e-15 {
+                Ok((0.0, 0.0))
+            } else {
+                Err(MomentMatchError::new(
+                    "t_tx = 0 admits only the degenerate service time B = D",
+                ))
+            };
+        }
+        // Eq. 7 inverted: E[R] = (E[B] - D) / t_tx.
+        let m1 = (target_mean - deterministic) / t_tx;
+        // Var[B] = t_tx² Var[R]  →  E[R²] = Var[R] + E[R]².
+        let var_b = (target_cvar * target_mean).powi(2);
+        let m2 = var_b / (t_tx * t_tx) + m1 * m1;
+        Ok((m1, m2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_matches_eq1() {
+        // E[B] = D + E[R]·t_tx
+        let b = ServiceTime::new(2e-5, 1.7e-5, ReplicationModel::deterministic(10.0));
+        assert!((b.mean() - (2e-5 + 10.0 * 1.7e-5)).abs() < 1e-18);
+        assert_eq!(b.cvar(), 0.0);
+    }
+
+    #[test]
+    fn moments_match_manual_expansion() {
+        let d = 1e-4;
+        let t = 2e-5;
+        let r = ReplicationModel::binomial(8.0, 0.25);
+        let b = ServiceTime::new(d, t, r);
+        let rm = r.moments();
+        let m = b.moments();
+        let exp2 = d * d + 2.0 * d * t * rm.m1 + t * t * rm.m2; // Eq. 8
+        let exp3 = d.powi(3)
+            + 3.0 * d * d * t * rm.m1
+            + 3.0 * d * t * t * rm.m2
+            + t.powi(3) * rm.m3; // Eq. 9
+        assert!((m.m2 - exp2).abs() < 1e-24);
+        assert!((m.m3 - exp3).abs() < 1e-30);
+    }
+
+    #[test]
+    fn for_grade_is_affine() {
+        let b = ServiceTime::new(1e-6, 2e-6, ReplicationModel::deterministic(1.0));
+        assert_eq!(b.for_grade(0), 1e-6);
+        assert!((b.for_grade(5) - 11e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn inverse_problem_roundtrip() {
+        let d = 9.26e-5; // corr-ID, 13 filters: t_rcv + 13·t_fltr
+        let t_tx = 1.7e-5;
+        let (m1, m2) =
+            ServiceTime::replication_moments_for_target(d, t_tx, 5e-4, 0.3).unwrap();
+        // Build a scaled-Bernoulli model from those moments; check target met.
+        let model = ReplicationModel::scaled_bernoulli_from_moments(m1, m2).unwrap();
+        let b = ServiceTime::new(d, t_tx, model);
+        assert!((b.mean() - 5e-4).abs() < 1e-12);
+        assert!((b.cvar() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_problem_rejects_unreachable_mean() {
+        let err =
+            ServiceTime::replication_moments_for_target(1e-3, 1e-5, 5e-4, 0.2).unwrap_err();
+        assert!(err.to_string().contains("below the deterministic part"));
+    }
+
+    #[test]
+    fn inverse_problem_zero_t_tx_degenerate_only() {
+        assert!(ServiceTime::replication_moments_for_target(1e-3, 0.0, 1e-3, 0.0).is_ok());
+        assert!(ServiceTime::replication_moments_for_target(1e-3, 0.0, 2e-3, 0.0).is_err());
+        assert!(ServiceTime::replication_moments_for_target(1e-3, 0.0, 1e-3, 0.1).is_err());
+    }
+
+    #[test]
+    fn cvar_zero_iff_deterministic_replication() {
+        let det = ServiceTime::new(1e-5, 1e-5, ReplicationModel::deterministic(7.0));
+        assert_eq!(det.cvar(), 0.0);
+        let sto = ServiceTime::new(1e-5, 1e-5, ReplicationModel::binomial(7.0, 0.5));
+        assert!(sto.cvar() > 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Monte-Carlo validation of the analytic moments and distributions.
+//!
+//! These tests sample the replication-grade models and check the exact
+//! moment formulas (which fix several typos in the printed paper — see
+//! DESIGN.md §6) against empirical estimates, and validate the Gamma CDF
+//! against empirical Gamma samples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rjms_queueing::moments::Moments3;
+use rjms_queueing::replication::ReplicationModel;
+use rjms_queueing::service::ServiceTime;
+use rjms_queueing::Gamma;
+
+/// Draws a sample from an integer-parameter replication model via its PMF.
+fn sample_replication(model: &ReplicationModel, rng: &mut impl Rng) -> u32 {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for k in 0..=model.max_grade() {
+        acc += model.pmf(k);
+        if u <= acc {
+            return k;
+        }
+    }
+    model.max_grade()
+}
+
+fn empirical_moments(model: &ReplicationModel, n: usize, seed: u64) -> Moments3 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Moments3::from_samples((0..n).map(|_| sample_replication(model, &mut rng) as f64))
+}
+
+#[track_caller]
+fn assert_rel_close(got: f64, expect: f64, tol: f64) {
+    let denom = expect.abs().max(1e-12);
+    assert!(
+        ((got - expect) / denom).abs() < tol,
+        "got {got}, expected {expect} (rel tol {tol})"
+    );
+}
+
+#[test]
+fn scaled_bernoulli_moments_match_montecarlo() {
+    let model = ReplicationModel::scaled_bernoulli(20.0, 0.3);
+    let emp = empirical_moments(&model, 400_000, 7);
+    let ana = model.moments();
+    assert_rel_close(emp.m1, ana.m1, 0.01);
+    assert_rel_close(emp.m2, ana.m2, 0.01);
+    assert_rel_close(emp.m3, ana.m3, 0.02);
+}
+
+#[test]
+fn binomial_moments_match_montecarlo() {
+    let model = ReplicationModel::binomial(40.0, 0.13);
+    let emp = empirical_moments(&model, 400_000, 11);
+    let ana = model.moments();
+    assert_rel_close(emp.m1, ana.m1, 0.005);
+    assert_rel_close(emp.m2, ana.m2, 0.01);
+    assert_rel_close(emp.m3, ana.m3, 0.02);
+}
+
+#[test]
+fn deterministic_moments_match_montecarlo() {
+    let model = ReplicationModel::deterministic(5.0);
+    let emp = empirical_moments(&model, 1_000, 13);
+    let ana = model.moments();
+    assert_rel_close(emp.m1, ana.m1, 1e-12);
+    assert_rel_close(emp.m3, ana.m3, 1e-12);
+}
+
+#[test]
+fn service_time_moments_match_montecarlo() {
+    // Sample B = D + R·t_tx and compare all three raw moments (Eqs. 7-9).
+    let model = ReplicationModel::binomial(25.0, 0.4);
+    let b = ServiceTime::new(1e-4, 1.7e-5, model);
+    let mut rng = StdRng::seed_from_u64(17);
+    let emp = Moments3::from_samples(
+        (0..300_000).map(|_| b.for_grade(sample_replication(&model, &mut rng))),
+    );
+    let ana = b.moments();
+    assert_rel_close(emp.m1, ana.m1, 0.005);
+    assert_rel_close(emp.m2, ana.m2, 0.01);
+    assert_rel_close(emp.m3, ana.m3, 0.02);
+}
+
+/// Marsaglia–Tsang Gamma sampler (shape >= 1) for CDF validation.
+fn sample_gamma(shape: f64, scale: f64, rng: &mut impl Rng) -> f64 {
+    assert!(shape >= 1.0);
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Box-Muller normal.
+        let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-300), rng.gen());
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+#[test]
+fn gamma_cdf_matches_empirical_distribution() {
+    let g = Gamma::new(2.5, 1.3);
+    let mut rng = StdRng::seed_from_u64(23);
+    let n = 200_000;
+    let samples: Vec<f64> = (0..n).map(|_| sample_gamma(2.5, 1.3, &mut rng)).collect();
+    for &t in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+        let emp = samples.iter().filter(|&&x| x <= t).count() as f64 / n as f64;
+        assert!(
+            (emp - g.cdf(t)).abs() < 0.005,
+            "t={t}: empirical {emp} vs analytic {}",
+            g.cdf(t)
+        );
+    }
+}
+
+#[test]
+fn exponential_arrivals_sanity() {
+    // Cross-check rand's Exp-free sampling used elsewhere: inverse CDF.
+    let rate = 3.0;
+    let mut rng = StdRng::seed_from_u64(29);
+    let n = 200_000;
+    let mean = (0..n)
+        .map(|_| -(1.0 - rng.gen::<f64>()).ln() / rate)
+        .sum::<f64>()
+        / n as f64;
+    assert_rel_close(mean, 1.0 / rate, 0.01);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any valid (n, p) binomial model has internally consistent moments:
+        /// nonnegative variance, E[R³] >= E[R²] >= E[R] ordering scaled by
+        /// support, and moments bounded by the maximum grade.
+        #[test]
+        fn binomial_moments_consistent(n in 1u32..200, p in 0.0f64..=1.0) {
+            let m = ReplicationModel::binomial(n as f64, p).moments();
+            prop_assert!(m.variance() >= -1e-9);
+            prop_assert!(m.m1 <= n as f64 + 1e-9);
+            prop_assert!(m.m2 <= (n as f64).powi(2) + 1e-6);
+            prop_assert!(m.m3 <= (n as f64).powi(3) * (1.0 + 1e-9));
+        }
+
+        /// PMF of the binomial sums to 1 and matches the analytic mean.
+        #[test]
+        fn binomial_pmf_normalized(n in 1u32..120, p in 0.0f64..=1.0) {
+            let model = ReplicationModel::binomial(n as f64, p);
+            let total: f64 = (0..=n).map(|k| model.pmf(k)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            let mean: f64 = (0..=n).map(|k| k as f64 * model.pmf(k)).sum();
+            prop_assert!((mean - model.moments().m1).abs() < 1e-7);
+        }
+
+        /// Moment matching the scaled Bernoulli family round-trips.
+        #[test]
+        fn bernoulli_moment_match_roundtrip(n in 1.0f64..500.0, p in 0.01f64..1.0) {
+            let m = ReplicationModel::scaled_bernoulli(n, p).moments();
+            let rec = ReplicationModel::scaled_bernoulli_from_moments(m.m1, m.m2).unwrap();
+            let mr = rec.moments();
+            prop_assert!((mr.m1 - m.m1).abs() < 1e-6 * m.m1.max(1.0));
+            prop_assert!((mr.m2 - m.m2).abs() < 1e-6 * m.m2.max(1.0));
+            prop_assert!((mr.m3 - m.m3).abs() < 1e-5 * m.m3.max(1.0));
+        }
+
+        /// The service-time cvar is scale-free in t_tx·R and bounded by the
+        /// replication cvar (adding a constant only reduces variability).
+        #[test]
+        fn service_cvar_bounded_by_replication_cvar(
+            d in 0.0f64..1e-3,
+            t_tx in 1e-7f64..1e-4,
+            n in 1u32..100,
+            p in 0.01f64..1.0,
+        ) {
+            let model = ReplicationModel::binomial(n as f64, p);
+            let b = ServiceTime::new(d, t_tx, model);
+            prop_assert!(b.cvar() <= model.moments().cvar() + 1e-9);
+        }
+
+        /// Gamma quantile inverts the CDF across the parameter space.
+        #[test]
+        fn gamma_quantile_inverts_cdf(
+            mean in 0.01f64..100.0,
+            cv in 0.05f64..3.0,
+            p in 0.01f64..0.999,
+        ) {
+            let g = Gamma::from_mean_cvar(mean, cv);
+            let x = g.quantile(p);
+            prop_assert!((g.cdf(x) - p).abs() < 1e-6);
+        }
+    }
+}

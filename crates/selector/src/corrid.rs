@@ -1,0 +1,287 @@
+//! Correlation-ID filters.
+//!
+//! The paper's measurement study uses *correlation ID filtering*: each JMS
+//! message carries a correlation ID string in its header, and a subscriber's
+//! filter either matches an exact ID or a *wildcard range* "in the form of
+//! ranges like `[7;13]`" (paper §II-A). This module implements that filter
+//! family, which is substantially cheaper to evaluate than a full selector —
+//! the origin of the different `t_fltr` constants in Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A correlation-ID filter pattern.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_selector::corrid::CorrelationFilter;
+///
+/// let exact: CorrelationFilter = "#0".parse().unwrap();
+/// assert!(exact.matches("#0"));
+/// assert!(!exact.matches("#1"));
+///
+/// let range: CorrelationFilter = "[7;13]".parse().unwrap();
+/// assert!(range.matches("9"));
+/// assert!(!range.matches("14"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorrelationFilter {
+    /// Matches any correlation ID (including messages without one? No —
+    /// a missing ID never matches any filter, mirroring JMS selector
+    /// unknown-semantics).
+    Any,
+    /// Matches exactly this ID string.
+    Exact(String),
+    /// Matches IDs whose numeric value (after an optional non-numeric
+    /// prefix such as `#`) lies in the inclusive range `[lo; hi]`.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Matches IDs starting with the given prefix (`abc*`).
+    Prefix(String),
+}
+
+impl CorrelationFilter {
+    /// Creates an exact-match filter.
+    pub fn exact(id: impl Into<String>) -> Self {
+        Self::Exact(id.into())
+    }
+
+    /// Creates an inclusive numeric range filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "range requires lo <= hi, got [{lo};{hi}]");
+        Self::Range { lo, hi }
+    }
+
+    /// Whether the filter matches the given correlation ID.
+    ///
+    /// Range filters extract the numeric part of the ID: an ID like `#42` or
+    /// `id-42` matches `[7;50]` because its trailing integer is 42; IDs
+    /// without a trailing integer never match a range.
+    pub fn matches(&self, correlation_id: &str) -> bool {
+        match self {
+            Self::Any => true,
+            Self::Exact(id) => id == correlation_id,
+            Self::Range { lo, hi } => match trailing_integer(correlation_id) {
+                Some(v) => *lo <= v && v <= *hi,
+                None => false,
+            },
+            Self::Prefix(p) => correlation_id.starts_with(p.as_str()),
+        }
+    }
+
+    /// Whether the filter matches an *optional* correlation ID; `None`
+    /// (message without a correlation ID) never matches.
+    pub fn matches_opt(&self, correlation_id: Option<&str>) -> bool {
+        correlation_id.is_some_and(|id| self.matches(id))
+    }
+}
+
+impl fmt::Display for CorrelationFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Any => f.write_str("*"),
+            Self::Exact(id) => f.write_str(id),
+            Self::Range { lo, hi } => write!(f, "[{lo};{hi}]"),
+            Self::Prefix(p) => write!(f, "{p}*"),
+        }
+    }
+}
+
+/// Error parsing a correlation-filter pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParseCorrelationFilterError {
+    /// The rejected pattern.
+    pub pattern: String,
+    /// Why it was rejected.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCorrelationFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid correlation filter `{}`: {}", self.pattern, self.message)
+    }
+}
+
+impl std::error::Error for ParseCorrelationFilterError {}
+
+impl FromStr for CorrelationFilter {
+    type Err = ParseCorrelationFilterError;
+
+    /// Parses the pattern syntax used throughout the paper and this crate:
+    ///
+    /// * `*` — any ID,
+    /// * `[lo;hi]` — inclusive numeric range,
+    /// * `prefix*` — prefix match,
+    /// * anything else — exact match.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "*" {
+            return Ok(Self::Any);
+        }
+        if let Some(body) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let Some((lo, hi)) = body.split_once(';') else {
+                return Err(ParseCorrelationFilterError {
+                    pattern: s.to_owned(),
+                    message: "range must be `[lo;hi]`".to_owned(),
+                });
+            };
+            let parse = |t: &str| {
+                t.trim().parse::<i64>().map_err(|e| ParseCorrelationFilterError {
+                    pattern: s.to_owned(),
+                    message: format!("bad bound `{t}`: {e}"),
+                })
+            };
+            let (lo, hi) = (parse(lo)?, parse(hi)?);
+            if lo > hi {
+                return Err(ParseCorrelationFilterError {
+                    pattern: s.to_owned(),
+                    message: format!("empty range [{lo};{hi}]"),
+                });
+            }
+            return Ok(Self::Range { lo, hi });
+        }
+        if let Some(prefix) = s.strip_suffix('*') {
+            if prefix.contains('*') {
+                return Err(ParseCorrelationFilterError {
+                    pattern: s.to_owned(),
+                    message: "`*` may only appear at the end".to_owned(),
+                });
+            }
+            return Ok(Self::Prefix(prefix.to_owned()));
+        }
+        Ok(Self::Exact(s.to_owned()))
+    }
+}
+
+/// Extracts the trailing decimal integer of an ID (`#42` → 42, `id-7` → 7,
+/// `-3` → -3). A `-` counts as a sign only at the very start of the ID;
+/// elsewhere it is a separator.
+fn trailing_integer(s: &str) -> Option<i64> {
+    let digits_start = s.rfind(|c: char| !c.is_ascii_digit()).map_or(0, |i| i + 1);
+    let digits = &s[digits_start..];
+    if digits.is_empty() {
+        return None;
+    }
+    if digits_start == 1 && s.as_bytes()[0] == b'-' {
+        return s.parse::<i64>().ok();
+    }
+    digits.parse::<i64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        let f = CorrelationFilter::exact("#0");
+        assert!(f.matches("#0"));
+        assert!(!f.matches("#00"));
+        assert!(!f.matches(""));
+    }
+
+    #[test]
+    fn range_match_plain_numbers() {
+        let f = CorrelationFilter::range(7, 13);
+        assert!(f.matches("7"));
+        assert!(f.matches("13"));
+        assert!(f.matches("10"));
+        assert!(!f.matches("6"));
+        assert!(!f.matches("14"));
+    }
+
+    #[test]
+    fn range_match_with_prefix() {
+        let f = CorrelationFilter::range(7, 13);
+        assert!(f.matches("#9"));
+        assert!(f.matches("id-12"));
+        assert!(!f.matches("id-42"));
+        assert!(!f.matches("nodigits"));
+    }
+
+    #[test]
+    fn range_match_negative() {
+        let f = CorrelationFilter::range(-5, 5);
+        assert!(f.matches("-3"));
+        assert!(f.matches("3"));
+        assert!(!f.matches("-6"));
+    }
+
+    #[test]
+    fn prefix_match() {
+        let f: CorrelationFilter = "sensor-*".parse().unwrap();
+        assert!(f.matches("sensor-42"));
+        assert!(!f.matches("actuator-42"));
+    }
+
+    #[test]
+    fn any_matches_everything_but_none() {
+        assert!(CorrelationFilter::Any.matches(""));
+        assert!(CorrelationFilter::Any.matches("x"));
+        assert!(!CorrelationFilter::Any.matches_opt(None));
+        assert!(CorrelationFilter::Any.matches_opt(Some("x")));
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("*".parse::<CorrelationFilter>().unwrap(), CorrelationFilter::Any);
+        assert_eq!(
+            "[7;13]".parse::<CorrelationFilter>().unwrap(),
+            CorrelationFilter::Range { lo: 7, hi: 13 }
+        );
+        assert_eq!(
+            "#0".parse::<CorrelationFilter>().unwrap(),
+            CorrelationFilter::Exact("#0".into())
+        );
+        assert_eq!(
+            "abc*".parse::<CorrelationFilter>().unwrap(),
+            CorrelationFilter::Prefix("abc".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_ranges() {
+        assert!("[7]".parse::<CorrelationFilter>().is_err());
+        assert!("[a;b]".parse::<CorrelationFilter>().is_err());
+        assert!("[13;7]".parse::<CorrelationFilter>().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_inner_star() {
+        assert!("a*b*".parse::<CorrelationFilter>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for p in ["*", "[7;13]", "#0", "abc*"] {
+            let f: CorrelationFilter = p.parse().unwrap();
+            let again: CorrelationFilter = f.to_string().parse().unwrap();
+            assert_eq!(f, again);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn range_constructor_validates() {
+        CorrelationFilter::range(5, 1);
+    }
+
+    #[test]
+    fn trailing_integer_extraction() {
+        assert_eq!(trailing_integer("42"), Some(42));
+        assert_eq!(trailing_integer("#42"), Some(42));
+        assert_eq!(trailing_integer("id-42"), Some(42));
+        assert_eq!(trailing_integer("-42"), Some(-42));
+        assert_eq!(trailing_integer("x"), None);
+        assert_eq!(trailing_integer(""), None);
+    }
+}

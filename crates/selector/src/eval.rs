@@ -1,0 +1,495 @@
+//! Three-valued-logic evaluation of selector expressions.
+//!
+//! Evaluation follows SQL-92/JMS semantics: a reference to a property that is
+//! not set on the message, and any type-incompatible operation, yields
+//! *unknown*; `AND`/`OR`/`NOT` combine truth values by the three-valued truth
+//! tables; the message is forwarded only if the whole selector is *true*.
+
+use crate::ast::{ArithOp, CmpOp, Expr};
+use crate::value::{Truth, Value};
+
+/// Source of property values for selector evaluation.
+///
+/// Implemented by the broker's message type; also implemented for
+/// `&[(String, Value)]` slices and `std::collections::HashMap` so that the
+/// evaluator can be used standalone.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use rjms_selector::{parse, eval::{evaluate, PropertySource}, value::{Truth, Value}};
+///
+/// let mut props = HashMap::new();
+/// props.insert("color".to_owned(), Value::from("red"));
+/// let expr = parse("color = 'red'").unwrap();
+/// assert_eq!(evaluate(&expr, &props), Truth::True);
+/// ```
+pub trait PropertySource {
+    /// The value of the named property, or `None` if it is not set.
+    fn property(&self, name: &str) -> Option<Value>;
+}
+
+impl PropertySource for std::collections::HashMap<String, Value> {
+    fn property(&self, name: &str) -> Option<Value> {
+        self.get(name).cloned()
+    }
+}
+
+impl PropertySource for std::collections::BTreeMap<String, Value> {
+    fn property(&self, name: &str) -> Option<Value> {
+        self.get(name).cloned()
+    }
+}
+
+impl PropertySource for [(String, Value)] {
+    fn property(&self, name: &str) -> Option<Value> {
+        self.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    }
+}
+
+impl<T: PropertySource + ?Sized> PropertySource for &T {
+    fn property(&self, name: &str) -> Option<Value> {
+        (**self).property(name)
+    }
+}
+
+/// The empty property source: every lookup is `None`.
+///
+/// Useful for evaluating selectors that only reference literals, and in
+/// tests that exercise unknown-propagation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProperties;
+
+impl PropertySource for NoProperties {
+    fn property(&self, _name: &str) -> Option<Value> {
+        None
+    }
+}
+
+/// Evaluates a selector expression against a property source.
+///
+/// Never panics, regardless of the expression or message contents: all type
+/// mismatches yield [`Truth::Unknown`], as the JMS specification requires.
+pub fn evaluate<P: PropertySource + ?Sized>(expr: &Expr, props: &P) -> Truth {
+    truth_of(expr, props)
+}
+
+/// Convenience wrapper: `true` iff the selector evaluates to [`Truth::True`]
+/// (the message-forwarding criterion).
+pub fn matches<P: PropertySource + ?Sized>(expr: &Expr, props: &P) -> bool {
+    evaluate(expr, props).is_true()
+}
+
+/// Evaluates an expression to a *value* (`None` = unknown/null).
+fn value_of<P: PropertySource + ?Sized>(expr: &Expr, props: &P) -> Option<Value> {
+    match expr {
+        Expr::Literal(v) => Some(v.clone()),
+        Expr::Ident(name) => props.property(name),
+        Expr::Neg(e) => match value_of(e, props)? {
+            Value::Int(v) => Some(Value::Int(-v)),
+            Value::Float(v) => Some(Value::Float(-v)),
+            _ => None,
+        },
+        Expr::Arith { op, lhs, rhs } => {
+            let (a, b) = (value_of(lhs, props)?, value_of(rhs, props)?);
+            arith(*op, &a, &b)
+        }
+        // Boolean-valued sub-expressions used as values (e.g. a bare
+        // identifier in `flag = TRUE` is handled above; a nested predicate
+        // has no value semantics in JMS, so it maps onto booleans with
+        // unknown → None).
+        other => match truth_of(other, props) {
+            Truth::True => Some(Value::Bool(true)),
+            Truth::False => Some(Value::Bool(false)),
+            Truth::Unknown => None,
+        },
+    }
+}
+
+/// SQL-92 arithmetic: exact on integers, promoting to float when mixed;
+/// non-numeric operands and division by integer zero yield unknown.
+fn arith(op: ArithOp, a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            ArithOp::Add => Some(Value::Int(x.wrapping_add(*y))),
+            ArithOp::Sub => Some(Value::Int(x.wrapping_sub(*y))),
+            ArithOp::Mul => Some(Value::Int(x.wrapping_mul(*y))),
+            ArithOp::Div => {
+                if *y == 0 {
+                    None
+                } else {
+                    Some(Value::Int(x.wrapping_div(*y)))
+                }
+            }
+        },
+        _ => {
+            let (x, y) = (a.numeric()?, b.numeric()?);
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+            };
+            Some(Value::Float(r))
+        }
+    }
+}
+
+/// Evaluates an expression to a truth value.
+fn truth_of<P: PropertySource + ?Sized>(expr: &Expr, props: &P) -> Truth {
+    match expr {
+        Expr::Not(e) => truth_of(e, props).not(),
+        Expr::And(a, b) => {
+            // Short-circuit on definite False, preserving three-valued
+            // semantics (False AND anything = False).
+            let ta = truth_of(a, props);
+            if ta == Truth::False {
+                return Truth::False;
+            }
+            ta.and(truth_of(b, props))
+        }
+        Expr::Or(a, b) => {
+            let ta = truth_of(a, props);
+            if ta == Truth::True {
+                return Truth::True;
+            }
+            ta.or(truth_of(b, props))
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            let (a, b) = match (value_of(lhs, props), value_of(rhs, props)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Truth::Unknown,
+            };
+            compare(*op, &a, &b)
+        }
+        Expr::Between { expr, lo, hi, negated } => {
+            let v = value_of(expr, props);
+            let l = value_of(lo, props);
+            let h = value_of(hi, props);
+            let (v, l, h) = match (v, l, h) {
+                (Some(v), Some(l), Some(h)) => (v, l, h),
+                _ => return Truth::Unknown,
+            };
+            let ge_lo = compare(CmpOp::Ge, &v, &l);
+            let le_hi = compare(CmpOp::Le, &v, &h);
+            let t = ge_lo.and(le_hi);
+            if *negated {
+                t.not()
+            } else {
+                t
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = match value_of(expr, props) {
+                Some(Value::Str(s)) => s,
+                Some(_) => return Truth::Unknown, // IN applies to strings only
+                None => return Truth::Unknown,
+            };
+            let t = Truth::from(list.iter().any(|s| *s == v));
+            if *negated {
+                t.not()
+            } else {
+                t
+            }
+        }
+        Expr::Like { expr, pattern, escape, negated } => {
+            let v = match value_of(expr, props) {
+                Some(Value::Str(s)) => s,
+                Some(_) => return Truth::Unknown, // LIKE applies to strings only
+                None => return Truth::Unknown,
+            };
+            let t = Truth::from(like_match(&v, pattern, *escape));
+            if *negated {
+                t.not()
+            } else {
+                t
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let is_null = value_of(expr, props).is_none();
+            // IS NULL is the one operator that never yields unknown.
+            Truth::from(is_null != *negated)
+        }
+        // A bare value in boolean position: TRUE literal or boolean property.
+        other => match value_of(other, props) {
+            Some(Value::Bool(b)) => Truth::from(b),
+            Some(_) => Truth::Unknown,
+            None => Truth::Unknown,
+        },
+    }
+}
+
+/// SQL-92 comparison with numeric promotion.
+fn compare(op: CmpOp, a: &Value, b: &Value) -> Truth {
+    match op {
+        CmpOp::Eq => Truth::from(a.sql_eq(b)),
+        CmpOp::Ne => Truth::from(a.sql_eq(b).map(|e| !e)),
+        _ => {
+            let (x, y) = match (a.numeric(), b.numeric()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Truth::Unknown,
+            };
+            Truth::from(match op {
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+                CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+/// SQL `LIKE` pattern matching: `%` matches any run of characters, `_` any
+/// single character; an escape character (if given) makes the following
+/// wildcard literal.
+///
+/// Implemented with the classic two-pointer algorithm (linear in practice,
+/// no recursion, no allocation beyond the char vectors).
+pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> bool {
+    let text: Vec<char> = text.chars().collect();
+
+    /// A compiled pattern element.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Pat {
+        AnyRun,      // %
+        AnyOne,      // _
+        Lit(char),   // literal character
+    }
+
+    let mut pat = Vec::with_capacity(pattern.len());
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        if Some(c) == escape {
+            match chars.next() {
+                // An escaped character is literal — including the escape
+                // character itself and both wildcards.
+                Some(next) => pat.push(Pat::Lit(next)),
+                // Trailing escape: treat it as a literal escape character
+                // (JMS leaves this unspecified; matching SQL engines vary).
+                None => pat.push(Pat::Lit(c)),
+            }
+        } else if c == '%' {
+            // Collapse runs of % — they are equivalent to one.
+            if pat.last() != Some(&Pat::AnyRun) {
+                pat.push(Pat::AnyRun);
+            }
+        } else if c == '_' {
+            pat.push(Pat::AnyOne);
+        } else {
+            pat.push(Pat::Lit(c));
+        }
+    }
+
+    // Two-pointer matching with backtracking to the last %.
+    let (mut t, mut p) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pat index of %, text index)
+    while t < text.len() {
+        if p < pat.len()
+            && (pat[p] == Pat::AnyOne || pat[p] == Pat::Lit(text[t]))
+        {
+            t += 1;
+            p += 1;
+        } else if p < pat.len() && pat[p] == Pat::AnyRun {
+            star = Some((p, t));
+            p += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % absorb one more character.
+            p = sp + 1;
+            t = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == Pat::AnyRun {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::collections::HashMap;
+
+    fn props(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect()
+    }
+
+    fn eval_str(selector: &str, pairs: &[(&str, Value)]) -> Truth {
+        evaluate(&parse(selector).unwrap(), &props(pairs))
+    }
+
+    #[test]
+    fn simple_equality() {
+        assert_eq!(eval_str("color = 'red'", &[("color", "red".into())]), Truth::True);
+        assert_eq!(eval_str("color = 'red'", &[("color", "blue".into())]), Truth::False);
+    }
+
+    #[test]
+    fn missing_property_is_unknown() {
+        assert_eq!(eval_str("color = 'red'", &[]), Truth::Unknown);
+        assert_eq!(eval_str("NOT color = 'red'", &[]), Truth::Unknown);
+    }
+
+    #[test]
+    fn numeric_promotion_in_comparison() {
+        assert_eq!(eval_str("x = 3.0", &[("x", 3i64.into())]), Truth::True);
+        assert_eq!(eval_str("x < 3.5", &[("x", 3i64.into())]), Truth::True);
+    }
+
+    #[test]
+    fn cross_type_comparison_is_unknown() {
+        assert_eq!(eval_str("x = 'red'", &[("x", 3i64.into())]), Truth::Unknown);
+        assert_eq!(eval_str("x < 'red'", &[("x", 3i64.into())]), Truth::Unknown);
+        assert_eq!(eval_str("b > 0", &[("b", true.into())]), Truth::Unknown);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        // False AND Unknown = False; True OR Unknown = True.
+        assert_eq!(
+            eval_str("a = 1 AND missing = 2", &[("a", 2i64.into())]),
+            Truth::False
+        );
+        assert_eq!(
+            eval_str("a = 2 OR missing = 2", &[("a", 2i64.into())]),
+            Truth::True
+        );
+        assert_eq!(
+            eval_str("a = 2 AND missing = 2", &[("a", 2i64.into())]),
+            Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn arithmetic_in_predicates() {
+        assert_eq!(eval_str("a + b = 5", &[("a", 2i64.into()), ("b", 3i64.into())]), Truth::True);
+        assert_eq!(eval_str("a * 2 > 5", &[("a", 3i64.into())]), Truth::True);
+        assert_eq!(eval_str("a / 2 = 1", &[("a", 3i64.into())]), Truth::True); // int div
+        assert_eq!(eval_str("a / 2.0 = 1.5", &[("a", 3i64.into())]), Truth::True);
+    }
+
+    #[test]
+    fn division_by_integer_zero_is_unknown() {
+        assert_eq!(eval_str("a / 0 = 1", &[("a", 3i64.into())]), Truth::Unknown);
+        // Float division by zero follows IEEE (inf), which compares normally.
+        assert_eq!(eval_str("a / 0.0 > 1000", &[("a", 3i64.into())]), Truth::True);
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let p: &[(&str, Value)] = &[("w", 5i64.into())];
+        assert_eq!(eval_str("w BETWEEN 5 AND 10", p), Truth::True);
+        assert_eq!(eval_str("w BETWEEN 1 AND 5", p), Truth::True);
+        assert_eq!(eval_str("w BETWEEN 6 AND 10", p), Truth::False);
+        assert_eq!(eval_str("w NOT BETWEEN 6 AND 10", p), Truth::True);
+        assert_eq!(eval_str("w BETWEEN 1 AND missing", p), Truth::Unknown);
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let p: &[(&str, Value)] = &[("c", "UK".into())];
+        assert_eq!(eval_str("c IN ('UK', 'US')", p), Truth::True);
+        assert_eq!(eval_str("c IN ('DE')", p), Truth::False);
+        assert_eq!(eval_str("c NOT IN ('DE')", p), Truth::True);
+        assert_eq!(eval_str("missing IN ('DE')", &[]), Truth::Unknown);
+        // IN on a non-string property is unknown.
+        assert_eq!(eval_str("n IN ('5')", &[("n", 5i64.into())]), Truth::Unknown);
+    }
+
+    #[test]
+    fn is_null_never_unknown() {
+        assert_eq!(eval_str("missing IS NULL", &[]), Truth::True);
+        assert_eq!(eval_str("missing IS NOT NULL", &[]), Truth::False);
+        assert_eq!(eval_str("x IS NULL", &[("x", 1i64.into())]), Truth::False);
+        assert_eq!(eval_str("x IS NOT NULL", &[("x", 1i64.into())]), Truth::True);
+    }
+
+    #[test]
+    fn boolean_property_in_boolean_position() {
+        assert_eq!(eval_str("urgent", &[("urgent", true.into())]), Truth::True);
+        assert_eq!(eval_str("urgent", &[("urgent", false.into())]), Truth::False);
+        assert_eq!(eval_str("urgent", &[]), Truth::Unknown);
+        // Non-boolean property in boolean position is unknown, not an error.
+        assert_eq!(eval_str("urgent", &[("urgent", 1i64.into())]), Truth::Unknown);
+    }
+
+    #[test]
+    fn like_basic_wildcards() {
+        assert!(like_match("abc", "abc", None));
+        assert!(like_match("abc", "a%", None));
+        assert!(like_match("abc", "%c", None));
+        assert!(like_match("abc", "a_c", None));
+        assert!(!like_match("abc", "a_b", None));
+        assert!(like_match("", "%", None));
+        assert!(!like_match("", "_", None));
+    }
+
+    #[test]
+    fn like_multiple_percent_runs() {
+        assert!(like_match("abcdefg", "a%d%g", None));
+        assert!(!like_match("abcdefg", "a%x%g", None));
+        assert!(like_match("aaa", "%%%", None));
+        assert!(like_match("mississippi", "%ss%ss%", None));
+    }
+
+    #[test]
+    fn like_escape_makes_wildcards_literal() {
+        assert!(like_match("50%", r"50\%", Some('\\')));
+        assert!(!like_match("50x", r"50\%", Some('\\')));
+        assert!(like_match("a_b", r"a\_b", Some('\\')));
+        assert!(!like_match("axb", r"a\_b", Some('\\')));
+        // Escaped escape char.
+        assert!(like_match(r"a\b", r"a\\b", Some('\\')));
+    }
+
+    #[test]
+    fn like_unicode() {
+        assert!(like_match("grüße", "gr_ße", None));
+        assert!(like_match("grüße", "gr%e", None));
+    }
+
+    #[test]
+    fn like_expression_integration() {
+        assert_eq!(
+            eval_str("phone LIKE '12%3'", &[("phone", "12993".into())]),
+            Truth::True
+        );
+        assert_eq!(
+            eval_str("phone NOT LIKE '12%3'", &[("phone", "12994".into())]),
+            Truth::True
+        );
+        assert_eq!(eval_str("phone LIKE '12%3'", &[]), Truth::Unknown);
+    }
+
+    #[test]
+    fn matches_only_on_true() {
+        let e = parse("missing = 1").unwrap();
+        assert!(!matches(&e, &NoProperties));
+        let e = parse("1 = 1").unwrap();
+        assert!(matches(&e, &NoProperties));
+    }
+
+    #[test]
+    fn jms_spec_example() {
+        // The canonical example from the JMS spec §3.8.1.1.
+        let sel = "JMSType = 'car' AND color = 'blue' AND weight > 2500";
+        let p = props(&[
+            ("JMSType", "car".into()),
+            ("color", "blue".into()),
+            ("weight", 3000i64.into()),
+        ]);
+        assert_eq!(evaluate(&parse(sel).unwrap(), &p), Truth::True);
+    }
+
+    #[test]
+    fn slice_property_source() {
+        let pairs = vec![("a".to_owned(), Value::Int(1))];
+        let e = parse("a = 1").unwrap();
+        assert!(matches(&e, pairs.as_slice()));
+    }
+}

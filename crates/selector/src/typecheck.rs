@@ -1,0 +1,417 @@
+//! Static type analysis of selectors.
+//!
+//! JMS providers reject selectors with *syntactic* errors at subscription
+//! time; type mismatches, however, silently evaluate to *unknown* and the
+//! subscriber simply never receives a message. This module catches the most
+//! common such footguns statically:
+//!
+//! * a property used with contradictory types (`x > 5 AND x LIKE 'a%'`),
+//! * an operator applied to a literal of the wrong type (`5 LIKE '5%'`),
+//! * a selector that is constantly non-true regardless of any message
+//!   (`1 = 2 AND ...`).
+//!
+//! The analysis is sound but deliberately incomplete: it reports
+//! *certain* problems, never false positives on the type lattice.
+
+use crate::ast::{CmpOp, Expr};
+use crate::eval::{evaluate, NoProperties};
+use crate::value::{Truth, Value};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The type classes of the selector language (numeric promotion collapses
+/// integers and floats into one class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PropType {
+    /// Boolean property.
+    Bool,
+    /// Integral or floating-point property.
+    Number,
+    /// String property.
+    Str,
+}
+
+impl fmt::Display for PropType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropType::Bool => f.write_str("boolean"),
+            PropType::Number => f.write_str("number"),
+            PropType::Str => f.write_str("string"),
+        }
+    }
+}
+
+fn type_of_value(v: &Value) -> PropType {
+    match v {
+        Value::Bool(_) => PropType::Bool,
+        Value::Int(_) | Value::Float(_) => PropType::Number,
+        Value::Str(_) => PropType::Str,
+    }
+}
+
+/// A problem detected by the analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum TypeIssue {
+    /// One property is required to have two different types at once; the
+    /// conjunction can never be true on any message.
+    ConflictingTypes {
+        /// The property name.
+        property: String,
+        /// The first required type.
+        first: PropType,
+        /// The contradicting required type.
+        second: PropType,
+    },
+    /// An operator was applied to a literal of an impossible type
+    /// (e.g. `5 LIKE 'x%'` — LIKE applies to strings).
+    LiteralTypeMismatch {
+        /// The operator or construct.
+        construct: &'static str,
+        /// The type required by the construct.
+        expected: PropType,
+        /// The literal's actual type.
+        found: PropType,
+    },
+    /// The selector evaluates to false/unknown for *every* message (its
+    /// truth value is already determined without looking at any property).
+    ConstantlyNonTrue,
+}
+
+impl fmt::Display for TypeIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ConflictingTypes { property, first, second } => write!(
+                f,
+                "property `{property}` is used both as {first} and as {second}; \
+                 the selector can never match"
+            ),
+            Self::LiteralTypeMismatch { construct, expected, found } => {
+                write!(f, "{construct} requires a {expected} operand, found a {found} literal")
+            }
+            Self::ConstantlyNonTrue => {
+                f.write_str("selector is constantly non-true: no message can ever match")
+            }
+        }
+    }
+}
+
+/// The result of analyzing a selector.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TypeReport {
+    /// Types inferred for each referenced property (only properties whose
+    /// type is forced by usage appear).
+    pub property_types: BTreeMap<String, PropType>,
+    /// Detected issues, in discovery order.
+    pub issues: Vec<TypeIssue>,
+}
+
+impl TypeReport {
+    /// Whether the analysis found no problems.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Analyzes a selector expression.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_selector::{parse, typecheck::analyze};
+///
+/// let ok = analyze(&parse("price < 50 AND color = 'red'").unwrap());
+/// assert!(ok.is_clean());
+///
+/// let bad = analyze(&parse("x > 5 AND x LIKE 'a%'").unwrap());
+/// assert!(!bad.is_clean());
+/// ```
+pub fn analyze(expr: &Expr) -> TypeReport {
+    let mut cx = Context { types: BTreeMap::new(), issues: Vec::new() };
+    walk_bool(expr, &mut cx);
+
+    // A selector whose truth value ignores every property is suspicious;
+    // report it when that constant value is not True.
+    if expr.referenced_properties().is_empty()
+        && evaluate(expr, &NoProperties) != Truth::True
+    {
+        cx.issues.push(TypeIssue::ConstantlyNonTrue);
+    }
+
+    TypeReport { property_types: cx.types, issues: cx.issues }
+}
+
+struct Context {
+    types: BTreeMap<String, PropType>,
+    issues: Vec<TypeIssue>,
+}
+
+impl Context {
+    /// Requires `name` to have type `t`; records a conflict otherwise.
+    fn require(&mut self, name: &str, t: PropType) {
+        match self.types.get(name) {
+            None => {
+                self.types.insert(name.to_owned(), t);
+            }
+            Some(&existing) if existing == t => {}
+            Some(&existing) => {
+                // Report each conflicting pair once.
+                let issue = TypeIssue::ConflictingTypes {
+                    property: name.to_owned(),
+                    first: existing,
+                    second: t,
+                };
+                if !self.issues.contains(&issue) {
+                    self.issues.push(issue);
+                }
+            }
+        }
+    }
+
+    fn literal_mismatch(&mut self, construct: &'static str, expected: PropType, found: PropType) {
+        self.issues.push(TypeIssue::LiteralTypeMismatch { construct, expected, found });
+    }
+}
+
+/// Requires a *value* expression to have type `t`.
+fn require_type(expr: &Expr, t: PropType, construct: &'static str, cx: &mut Context) {
+    match expr {
+        Expr::Ident(name) => cx.require(name, t),
+        Expr::Literal(v) => {
+            let found = type_of_value(v);
+            if found != t {
+                cx.literal_mismatch(construct, t, found);
+            }
+        }
+        Expr::Arith { lhs, rhs, .. } => {
+            // Arithmetic yields a number; its operands must be numbers.
+            if t != PropType::Number {
+                cx.literal_mismatch(construct, t, PropType::Number);
+            }
+            require_type(lhs, PropType::Number, "arithmetic", cx);
+            require_type(rhs, PropType::Number, "arithmetic", cx);
+        }
+        Expr::Neg(inner) => {
+            if t != PropType::Number {
+                cx.literal_mismatch(construct, t, PropType::Number);
+            }
+            require_type(inner, PropType::Number, "unary minus", cx);
+        }
+        // Boolean-valued sub-expressions used as values.
+        other => {
+            if t != PropType::Bool {
+                // e.g. `(a = b) LIKE 'x'` — a predicate is boolean.
+                cx.literal_mismatch(construct, t, PropType::Bool);
+            }
+            walk_bool(other, cx);
+        }
+    }
+}
+
+/// Walks a boolean-position expression.
+fn walk_bool(expr: &Expr, cx: &mut Context) {
+    match expr {
+        Expr::Literal(v) => {
+            if type_of_value(v) != PropType::Bool {
+                cx.literal_mismatch("boolean position", PropType::Bool, type_of_value(v));
+            }
+        }
+        Expr::Ident(name) => cx.require(name, PropType::Bool),
+        Expr::Not(e) => walk_bool(e, cx),
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            walk_bool(a, cx);
+            walk_bool(b, cx);
+        }
+        Expr::Cmp { op, lhs, rhs } => match op {
+            CmpOp::Eq | CmpOp::Ne => walk_equality(lhs, rhs, cx),
+            _ => {
+                require_type(lhs, PropType::Number, "ordering comparison", cx);
+                require_type(rhs, PropType::Number, "ordering comparison", cx);
+            }
+        },
+        Expr::Arith { .. } | Expr::Neg(_) => {
+            // A bare number in boolean position is never true.
+            cx.literal_mismatch("boolean position", PropType::Bool, PropType::Number);
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            require_type(expr, PropType::Number, "BETWEEN", cx);
+            require_type(lo, PropType::Number, "BETWEEN", cx);
+            require_type(hi, PropType::Number, "BETWEEN", cx);
+        }
+        Expr::InList { expr, .. } => {
+            require_type(expr, PropType::Str, "IN", cx);
+        }
+        Expr::Like { expr, .. } => {
+            require_type(expr, PropType::Str, "LIKE", cx);
+        }
+        Expr::IsNull { .. } => {
+            // IS NULL constrains presence, not type.
+        }
+    }
+}
+
+/// Equality: both sides must share a type class when both are typed.
+fn walk_equality(lhs: &Expr, rhs: &Expr, cx: &mut Context) {
+    let l = shallow_type(lhs, cx);
+    let r = shallow_type(rhs, cx);
+    match (l, r) {
+        (Some(t), None) => require_type(rhs, t, "equality", cx),
+        (None, Some(t)) => require_type(lhs, t, "equality", cx),
+        (Some(a), Some(b)) if a != b => {
+            cx.literal_mismatch("equality", a, b);
+        }
+        _ => {
+            // Both untyped (two idents): tie them together once one side
+            // becomes known — approximate by leaving them unconstrained.
+            visit_value_children(lhs, cx);
+            visit_value_children(rhs, cx);
+        }
+    }
+}
+
+/// The type class an expression *evaluates to*, if statically known without
+/// consulting the context.
+fn shallow_type(expr: &Expr, cx: &mut Context) -> Option<PropType> {
+    match expr {
+        Expr::Literal(v) => Some(type_of_value(v)),
+        Expr::Arith { lhs, rhs, .. } => {
+            require_type(lhs, PropType::Number, "arithmetic", cx);
+            require_type(rhs, PropType::Number, "arithmetic", cx);
+            Some(PropType::Number)
+        }
+        Expr::Neg(inner) => {
+            require_type(inner, PropType::Number, "unary minus", cx);
+            Some(PropType::Number)
+        }
+        Expr::Ident(_) => None,
+        // Predicates evaluate to booleans.
+        _ => Some(PropType::Bool),
+    }
+}
+
+/// Visits children of a value expression without imposing a type.
+fn visit_value_children(expr: &Expr, cx: &mut Context) {
+    if let Expr::Arith { lhs, rhs, .. } = expr {
+        require_type(lhs, PropType::Number, "arithmetic", cx);
+        require_type(rhs, PropType::Number, "arithmetic", cx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn report(src: &str) -> TypeReport {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_selector_infers_types() {
+        let r = report("price < 50 AND color = 'red' AND urgent");
+        assert!(r.is_clean(), "{:?}", r.issues);
+        assert_eq!(r.property_types.get("price"), Some(&PropType::Number));
+        assert_eq!(r.property_types.get("color"), Some(&PropType::Str));
+        assert_eq!(r.property_types.get("urgent"), Some(&PropType::Bool));
+    }
+
+    #[test]
+    fn conflicting_usage_detected() {
+        let r = report("x > 5 AND x LIKE 'a%'");
+        assert_eq!(r.issues.len(), 1);
+        assert!(matches!(
+            &r.issues[0],
+            TypeIssue::ConflictingTypes { property, .. } if property == "x"
+        ));
+    }
+
+    #[test]
+    fn conflict_reported_once_per_pair() {
+        let r = report("x > 5 AND x LIKE 'a%' AND x LIKE 'b%'");
+        assert_eq!(r.issues.len(), 1);
+    }
+
+    #[test]
+    fn like_on_numeric_literal_flagged() {
+        let r = report("5 LIKE '5%'");
+        assert!(matches!(
+            &r.issues[0],
+            TypeIssue::LiteralTypeMismatch { expected: PropType::Str, found: PropType::Number, .. }
+        ));
+    }
+
+    #[test]
+    fn between_on_string_literal_flagged() {
+        let r = report("'a' BETWEEN 1 AND 2");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn equality_binds_type_through_literal() {
+        let r = report("name = 'alice' AND name = 'bob'");
+        assert!(r.is_clean());
+        assert_eq!(r.property_types.get("name"), Some(&PropType::Str));
+        // ... and conflicts are caught through equality too.
+        let r = report("name = 'alice' AND name = 5");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn cross_type_literal_equality_flagged() {
+        let r = report("1 = 'one'");
+        assert!(r
+            .issues
+            .iter()
+            .any(|i| matches!(i, TypeIssue::LiteralTypeMismatch { construct: "equality", .. })));
+    }
+
+    #[test]
+    fn constant_false_selector_flagged() {
+        let r = report("1 = 2");
+        assert!(r.issues.contains(&TypeIssue::ConstantlyNonTrue));
+        let r = report("TRUE AND FALSE");
+        assert!(r.issues.contains(&TypeIssue::ConstantlyNonTrue));
+    }
+
+    #[test]
+    fn constant_true_selector_not_flagged() {
+        let r = report("1 = 1");
+        assert!(r.is_clean(), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn arithmetic_forces_numbers() {
+        let r = report("a + b > 10");
+        assert!(r.is_clean());
+        assert_eq!(r.property_types.get("a"), Some(&PropType::Number));
+        assert_eq!(r.property_types.get("b"), Some(&PropType::Number));
+        let r = report("a + b > 10 AND a LIKE 'x%'");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn is_null_imposes_no_type() {
+        let r = report("x IS NULL");
+        assert!(r.is_clean());
+        assert!(r.property_types.get("x").is_none());
+    }
+
+    #[test]
+    fn in_list_forces_string() {
+        let r = report("country IN ('UK', 'US')");
+        assert_eq!(r.property_types.get("country"), Some(&PropType::Str));
+    }
+
+    #[test]
+    fn bare_number_in_boolean_position_flagged() {
+        let r = report("a = 1 OR 5 + 3");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn ident_to_ident_equality_stays_unconstrained() {
+        let r = report("a = b");
+        assert!(r.is_clean());
+        assert!(r.property_types.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the selector language.
+//!
+//! Two core invariants:
+//! 1. **Display → reparse round-trip**: pretty-printing any AST produces a
+//!    selector string that parses back to the identical AST.
+//! 2. **Evaluator totality**: evaluation never panics, for arbitrary ASTs
+//!    against arbitrary property maps.
+
+use proptest::prelude::*;
+use rjms_selector::ast::{ArithOp, CmpOp, Expr};
+use rjms_selector::eval::evaluate;
+use rjms_selector::value::Value;
+use rjms_selector::{parse, Selector};
+use std::collections::HashMap;
+
+/// Strategy for property identifiers that are not reserved words.
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "AND" | "OR" | "NOT" | "BETWEEN" | "IN" | "LIKE" | "ESCAPE" | "IS" | "NULL"
+                | "TRUE" | "FALSE"
+        )
+    })
+}
+
+/// Strategy for literal values.
+///
+/// Floats are restricted to finite values with an exact decimal
+/// representation round-trip (proptest's f64 can produce values whose
+/// Display→parse round-trip is exact in Rust, which is what we rely on).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-zA-Z0-9 '%_]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+/// Strategy for arbitrary selector expressions.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        value_strategy().prop_map(Expr::Literal),
+        ident_strategy().prop_map(Expr::Ident),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Le),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Ge)
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::cmp(op, a, b)),
+            (
+                prop_oneof![
+                    Just(ArithOp::Add),
+                    Just(ArithOp::Sub),
+                    Just(ArithOp::Mul),
+                    Just(ArithOp::Div)
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::arith(op, a, b)),
+            // Expr::neg folds literal negation, matching parser canonical form.
+            inner.clone().prop_map(Expr::neg),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                }
+            ),
+            (
+                inner.clone(),
+                prop::collection::vec("[a-zA-Z0-9']{0,8}", 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), "[a-zA-Z0-9%_]{0,10}", any::<bool>()).prop_map(
+                |(e, pattern, negated)| Expr::Like {
+                    expr: Box::new(e),
+                    pattern,
+                    escape: None,
+                    negated,
+                }
+            ),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, negated)| Expr::IsNull { expr: Box::new(e), negated }),
+        ]
+    })
+}
+
+/// Strategy for property maps.
+fn props_strategy() -> impl Strategy<Value = HashMap<String, Value>> {
+    prop::collection::hash_map(ident_strategy(), value_strategy(), 0..6)
+}
+
+/// Compares expressions structurally, treating float literals as equal when
+/// both bit patterns match after a Display/parse round-trip (our Display
+/// prints shortest-round-trip floats, so exact equality holds).
+fn expr_eq(a: &Expr, b: &Expr) -> bool {
+    a == b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_reparse_roundtrip(expr in expr_strategy()) {
+        let printed = expr.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert!(
+            expr_eq(&expr, &reparsed),
+            "round-trip mismatch:\n  original: {expr:?}\n  printed:  {printed}\n  reparsed: {reparsed:?}"
+        );
+    }
+
+    #[test]
+    fn evaluation_never_panics(expr in expr_strategy(), props in props_strategy()) {
+        // Totality: any AST against any property map evaluates to a Truth.
+        let _ = evaluate(&expr, &props);
+    }
+
+    #[test]
+    fn negation_involution(expr in expr_strategy(), props in props_strategy()) {
+        // NOT (NOT e) has the same truth value as e.
+        let double = Expr::Not(Box::new(Expr::Not(Box::new(expr.clone()))));
+        prop_assert_eq!(evaluate(&expr, &props), evaluate(&double, &props));
+    }
+
+    #[test]
+    fn and_is_commutative(
+        a in expr_strategy(),
+        b in expr_strategy(),
+        props in props_strategy()
+    ) {
+        let ab = Expr::And(Box::new(a.clone()), Box::new(b.clone()));
+        let ba = Expr::And(Box::new(b), Box::new(a));
+        prop_assert_eq!(evaluate(&ab, &props), evaluate(&ba, &props));
+    }
+
+    #[test]
+    fn de_morgan(
+        a in expr_strategy(),
+        b in expr_strategy(),
+        props in props_strategy()
+    ) {
+        // NOT (a AND b) == (NOT a) OR (NOT b) in three-valued logic.
+        let lhs = Expr::Not(Box::new(Expr::And(Box::new(a.clone()), Box::new(b.clone()))));
+        let rhs = Expr::Or(
+            Box::new(Expr::Not(Box::new(a))),
+            Box::new(Expr::Not(Box::new(b))),
+        );
+        prop_assert_eq!(evaluate(&lhs, &props), evaluate(&rhs, &props));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,64}") {
+        // Arbitrary printable ASCII must either parse or produce an error —
+        // never a panic.
+        let _ = Selector::parse(&input);
+    }
+
+    #[test]
+    fn selector_matches_equals_truth_true(
+        expr in expr_strategy(),
+        props in props_strategy()
+    ) {
+        use rjms_selector::value::Truth;
+        let m = rjms_selector::eval::matches(&expr, &props);
+        prop_assert_eq!(m, evaluate(&expr, &props) == Truth::True);
+    }
+}
+
+#[test]
+fn like_match_agrees_with_naive_regex_semantics() {
+    // Differential test of the LIKE matcher against a naive recursive
+    // implementation on a crafted corpus.
+    fn naive(text: &[char], pat: &[char]) -> bool {
+        match (text.first(), pat.first()) {
+            (_, None) => text.is_empty(),
+            (_, Some('%')) => {
+                (0..=text.len()).any(|k| naive(&text[k..], &pat[1..]))
+            }
+            (Some(t), Some('_')) => {
+                let _ = t;
+                naive(&text[1..], &pat[1..])
+            }
+            (Some(t), Some(p)) => *t == *p && naive(&text[1..], &pat[1..]),
+            (None, Some(_)) => false,
+        }
+    }
+    let texts = ["", "a", "ab", "abc", "aab", "banana", "aaaa", "xyz"];
+    let pats = ["", "%", "_", "a%", "%a", "a_c", "%an%", "a%a", "____", "%%b", "b_n_n_"];
+    for t in texts {
+        for p in pats {
+            let tc: Vec<char> = t.chars().collect();
+            let pc: Vec<char> = p.chars().collect();
+            assert_eq!(
+                rjms_selector::eval::like_match(t, p, None),
+                naive(&tc, &pc),
+                "mismatch for text={t:?} pattern={p:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Calibrating the cost model from measurements — the paper's §III-B
+//! workflow against the simulated testbed, and optionally against the real
+//! threaded broker.
+//!
+//! Run with: `cargo run --release --example calibrate_from_measurements`
+
+use rjms::desim::testbed::{run_paper_grid, TestbedConfig};
+use rjms::model::calibrate::{fit_cost_params, Observation};
+use rjms::model::model::ServerModel;
+use rjms::model::params::CostParams;
+
+fn main() {
+    // Ground truth: the Table I constants (what the 2006 testbed "was").
+    let truth = CostParams::CORRELATION_ID;
+    println!("ground truth        : {truth}");
+
+    // 1. Run the paper's 36-point measurement grid on the simulated testbed
+    //    (saturated publishers, 90 s trimmed window, 2% jitter).
+    let cfg = TestbedConfig::paper_methodology(truth.t_rcv, truth.t_fltr, truth.t_tx);
+    let grid = run_paper_grid(&cfg);
+    println!("measured {} operating points; examples:", grid.len());
+    for m in grid.iter().step_by(13) {
+        println!(
+            "  n_fltr = {:>3}, R = {:>4.1}: received {:>8.1} msg/s, overall {:>9.1} msg/s",
+            m.n_fltr,
+            m.mean_replication,
+            m.received_per_sec,
+            m.overall_per_sec()
+        );
+    }
+
+    // 2. Fit the three cost constants by least squares.
+    let observations: Vec<Observation> = grid
+        .iter()
+        .map(|m| Observation {
+            n_fltr: m.n_fltr,
+            mean_replication: m.mean_replication,
+            received_per_sec: m.received_per_sec,
+        })
+        .collect();
+    let calibration = fit_cost_params(&observations).expect("grid is well conditioned");
+    println!("\nfitted              : {}", calibration.params);
+    println!(
+        "fit quality         : R² = {:.6}, rms residual = {:.2e} s over {} points",
+        calibration.r_squared, calibration.residual_rms, calibration.observations
+    );
+
+    // 3. Use the freshly calibrated model for a prediction and compare it
+    //    with a new measurement at an unseen operating point.
+    let n_fltr = 64u32;
+    let e_r = 8.0;
+    let predicted = ServerModel::new(calibration.params, n_fltr).predict_throughput(e_r);
+    let measured = rjms::desim::testbed::run_measurement(
+        &cfg,
+        n_fltr,
+        &rjms::queueing::replication::ReplicationModel::deterministic(e_r),
+    );
+    println!("\nhold-out check at n_fltr = {n_fltr}, R = {e_r}:");
+    println!("  model    : {:>9.1} msg/s received", predicted.received_per_sec);
+    println!("  measured : {:>9.1} msg/s received", measured.received_per_sec);
+    let rel = (predicted.received_per_sec - measured.received_per_sec).abs()
+        / measured.received_per_sec;
+    println!("  rel. err : {:.2}%", rel * 100.0);
+}

@@ -1,0 +1,99 @@
+//! Capacity planning for the paper's motivating scenario: a presence
+//! service where user devices publish presence updates and users subscribe
+//! to their friends' updates.
+//!
+//! Uses the paper's performance model (Eq. 1 / Eq. 2 with the Table I
+//! constants) to answer: how many users can one server support, which
+//! filter type should be used, and do per-consumer filters help or hurt?
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use rjms::model::capacity::{break_even_match_probability, filter_benefit, server_capacity};
+use rjms::model::params::{CostParams, FilterType};
+use rjms::model::report::plan_report;
+use rjms::model::scenario::ApplicationScenario;
+
+fn main() {
+    println!("== Presence-service capacity study ==\n");
+
+    // Each user's device publishes ~1 update per minute; each user has one
+    // subscription (filter) matching their friends' updates — say 0.5% of
+    // all messages.
+    let updates_per_user_per_sec = 1.0 / 60.0;
+    let match_probability = 0.005;
+
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>10}  {:>9}",
+        "users", "load msg/s", "capacity", "util", "feasible"
+    );
+    for users in [100u32, 1_000, 5_000, 10_000, 20_000, 50_000] {
+        let scenario = ApplicationScenario::builder(FilterType::CorrelationId)
+            .subscribers(users)
+            .filters_per_subscriber(1)
+            .match_probability(match_probability)
+            .offered_load(users as f64 * updates_per_user_per_sec)
+            .build();
+        println!(
+            "{:>8}  {:>12.1}  {:>12.1}  {:>9.1}%  {:>9}",
+            users,
+            scenario.offered_load(),
+            scenario.capacity(0.9),
+            scenario.utilization() * 100.0,
+            if scenario.is_feasible() { "yes" } else { "NO" }
+        );
+    }
+
+    println!("\n== Which filter type? ==");
+    for (label, ft) in [
+        ("correlation-ID", FilterType::CorrelationId),
+        ("application-property", FilterType::ApplicationProperty),
+    ] {
+        let s = ApplicationScenario::builder(ft)
+            .subscribers(10_000)
+            .filters_per_subscriber(1)
+            .match_probability(match_probability)
+            .offered_load(10_000.0 / 60.0)
+            .build();
+        println!(
+            "  {label:<22} E[B] = {:.3} ms, capacity = {:.1} msg/s, utilization = {:.1}%",
+            s.mean_service_time() * 1e3,
+            s.capacity(0.9),
+            s.utilization() * 100.0
+        );
+    }
+
+    println!("\n== Do filters pay for themselves? (Eq. 3) ==");
+    let corr = CostParams::CORRELATION_ID;
+    let b = filter_benefit(&corr, 1, match_probability);
+    println!(
+        "  one corr-ID filter at p_match = {:.1}%: cost {:.2} µs < saving {:.2} µs → {}",
+        match_probability * 100.0,
+        b.filter_cost * 1e6,
+        b.transmission_saving * 1e6,
+        if b.beneficial { "install the filter" } else { "skip the filter" }
+    );
+    for n in 1..=3u32 {
+        match break_even_match_probability(&corr, n) {
+            Some(p) => println!("  {n} filter(s) per user pay off while p_match < {:.1}%", p * 100.0),
+            None => println!("  {n} filter(s) per user can never increase server capacity"),
+        }
+    }
+
+    println!("\n== Raw capacity lookup (Eq. 2, rho = 0.9, corr-ID) ==");
+    for (n_fltr, e_r) in [(100u32, 1.0f64), (1_000, 1.0), (10_000, 1.0), (10_000, 50.0)] {
+        println!(
+            "  n_fltr = {n_fltr:>6}, E[R] = {e_r:>4}: {:>9.1} msg/s",
+            server_capacity(&corr, n_fltr, e_r, 0.9)
+        );
+    }
+
+    // The one-call summary for the 10k-user deployment.
+    println!();
+    let flagship = ApplicationScenario::builder(FilterType::CorrelationId)
+        .subscribers(10_000)
+        .filters_per_subscriber(1)
+        .match_probability(match_probability)
+        .offered_load(10_000.0 * updates_per_user_per_sec)
+        .build();
+    print!("{}", plan_report(&flagship));
+}

@@ -1,0 +1,56 @@
+//! PSR vs SSR advisor: which distributed JMS architecture fits a given
+//! deployment (paper §IV-C)?
+//!
+//! Run with: `cargo run --example distributed_architectures`
+
+use rjms::model::architecture::DistributedScenario;
+use rjms::model::params::CostParams;
+
+fn advise(name: &str, publishers: u32, subscribers: u32) {
+    let s = DistributedScenario {
+        params: CostParams::CORRELATION_ID,
+        publishers,
+        subscribers,
+        filters_per_subscriber: 10,
+        mean_replication: 1.0,
+        rho: 0.9,
+    };
+    let psr = s.psr_capacity();
+    let ssr = s.ssr_capacity();
+    println!("\n== {name}: n = {publishers} publishers, m = {subscribers} subscribers ==");
+    println!("  PSR system capacity : {psr:>12.1} msg/s (per server: {:.1})", s.psr_per_server_capacity());
+    println!("  SSR system capacity : {ssr:>12.1} msg/s");
+    println!(
+        "  network load        : PSR {:.0} vs SSR {:.0} copies/s",
+        s.psr_network_load(),
+        s.ssr_network_load()
+    );
+    println!(
+        "  crossover           : PSR wins above n ≈ {:.1}",
+        s.crossover_publishers()
+    );
+    let verdict = if s.psr_outperforms_ssr() {
+        if s.psr_per_server_capacity() < 50.0 {
+            "PSR — but per-server capacity is so low that waiting times will hurt"
+        } else {
+            "PSR"
+        }
+    } else {
+        "SSR"
+    };
+    println!("  recommendation      : {verdict}");
+}
+
+fn main() {
+    println!("PSR = one broker per publisher (subscribers register everywhere)");
+    println!("SSR = one broker per subscriber (publishers multicast everywhere)");
+
+    advise("sensor farm", 5_000, 20);
+    advise("news fan-out", 10, 50_000);
+    advise("balanced enterprise bus", 200, 200);
+    advise("paper's cautionary case", 10_000, 10_000);
+
+    println!();
+    println!("conclusion (as in the paper): PSR scales with publishers, SSR with");
+    println!("subscribers — neither scales in both dimensions at once.");
+}

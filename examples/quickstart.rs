@@ -1,0 +1,76 @@
+//! Quickstart: publish/subscribe with message selectors.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rjms::broker::{Broker, BrokerConfig, Filter, Message, Priority};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Start a broker and create a topic (topics are configured up front,
+    //    as in JMS).
+    let broker = Broker::start(BrokerConfig::default());
+    broker.create_topic("stocks")?;
+
+    // 2. Subscribe with different filters.
+    //    A full JMS selector (application-property filtering):
+    let cheap_acme = broker.subscribe(
+        "stocks",
+        Filter::selector("symbol = 'ACME' AND price < 50.0")?,
+    )?;
+    //    A correlation-ID range filter (the paper's cheap filter type):
+    let region_7_to_13 = broker.subscribe("stocks", Filter::correlation_id("[7;13]")?)?;
+    //    No filter: receives everything in the topic.
+    let firehose = broker.subscribe("stocks", Filter::None)?;
+
+    // 3. Publish a few messages.
+    let publisher = broker.publisher("stocks")?;
+    publisher.publish(
+        Message::builder()
+            .correlation_id("#9")
+            .property("symbol", "ACME")
+            .property("price", 42.5)
+            .priority(Priority::new(7))
+            .body(&b"tick"[..])
+            .build(),
+    )?;
+    publisher.publish(
+        Message::builder()
+            .correlation_id("#42")
+            .property("symbol", "ACME")
+            .property("price", 99.0)
+            .build(),
+    )?;
+
+    // 4. Consume.
+    let m = cheap_acme
+        .receive_timeout(Duration::from_secs(1))
+        .expect("first message matches the selector");
+    println!(
+        "selector subscriber got {} at price {:?}",
+        m.id(),
+        m.property("price").unwrap()
+    );
+    assert!(cheap_acme.receive_timeout(Duration::from_millis(100)).is_none());
+
+    let m = region_7_to_13
+        .receive_timeout(Duration::from_secs(1))
+        .expect("correlation id #9 lies in [7;13]");
+    println!("range subscriber got correlation id {:?}", m.correlation_id().unwrap());
+
+    let both: Vec<_> = (0..2)
+        .map(|_| firehose.receive_timeout(Duration::from_secs(1)).expect("unfiltered"))
+        .collect();
+    println!("firehose subscriber got {} messages", both.len());
+
+    // 5. Broker statistics: 2 received, 4 copies dispatched.
+    let stats = broker.stats();
+    println!(
+        "broker stats: received={} dispatched={} filter_evaluations={}",
+        stats.received(),
+        stats.dispatched(),
+        stats.filter_evaluations()
+    );
+
+    broker.shutdown();
+    Ok(())
+}

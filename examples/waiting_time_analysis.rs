@@ -1,0 +1,66 @@
+//! Waiting-time analysis for an application scenario, cross-checked against
+//! discrete-event simulation — the paper's §IV-B pipeline end to end.
+//!
+//! Run with: `cargo run --release --example waiting_time_analysis`
+
+use rjms::desim::mg1sim::{simulate_lindley, Mg1SimConfig};
+use rjms::desim::random::ReplicationService;
+use rjms::model::model::ServerModel;
+use rjms::model::params::CostParams;
+use rjms::model::waiting::WaitingTimeAnalysis;
+use rjms::queueing::replication::ReplicationModel;
+
+fn main() {
+    // Scenario: 200 correlation-ID filters installed, each matching 5% of
+    // messages independently (binomial replication grade).
+    let params = CostParams::CORRELATION_ID;
+    let n_fltr = 200u32;
+    let replication = ReplicationModel::binomial(n_fltr as f64, 0.05);
+    let model = ServerModel::new(params, n_fltr);
+
+    println!("scenario: {n_fltr} corr-ID filters, p_match = 5% → E[R] = 10\n");
+    println!(
+        "{:>5}  {:>10} {:>10} {:>11} {:>11} {:>11} {:>12}",
+        "rho", "E[B] ms", "E[W] ms", "Q99 ms", "Q99.99 ms", "sim E[W]", "E[queue]"
+    );
+
+    for rho in [0.3, 0.5, 0.7, 0.9, 0.95] {
+        let analysis = WaitingTimeAnalysis::for_model(&model, replication, rho)
+            .expect("stable utilization");
+        let report = analysis.report();
+
+        // Validate the analytic mean against a quick M/G/1 simulation.
+        let service = ReplicationService {
+            deterministic: params.deterministic_part(n_fltr),
+            t_tx: params.t_tx,
+            replication,
+        };
+        let sim = simulate_lindley(
+            &Mg1SimConfig {
+                arrival_rate: report.arrival_rate,
+                samples: 100_000,
+                warmup: 10_000,
+                seed: 2024,
+            },
+            &service,
+        );
+
+        println!(
+            "{:>5.2}  {:>10.3} {:>10.3} {:>11.3} {:>11.3} {:>11.3} {:>12.1}",
+            rho,
+            report.mean_service_time * 1e3,
+            report.mean_waiting_time * 1e3,
+            report.q99 * 1e3,
+            report.q9999 * 1e3,
+            sim.waiting.mean() * 1e3,
+            report.mean_queue_length,
+        );
+    }
+
+    println!();
+    println!("observations (mirroring the paper):");
+    println!("  - the waiting time explodes only as rho → 1;");
+    println!("  - at rho = 0.9 the 99.99% quantile stays below 50·E[B];");
+    println!("  - the analytic means match the simulated M/G/1 queue;");
+    println!("  - E[queue] estimates the buffer the server must provision.");
+}

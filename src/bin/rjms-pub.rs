@@ -1,0 +1,132 @@
+//! `rjms-pub` — publish messages to a remote broker.
+//!
+//! ```text
+//! rjms-pub --topic NAME [--connect ADDR] [--count N] [--rate MSGS_PER_SEC]
+//!          [--corr-id ID] [--prop key=value]... [--body TEXT] [--create-topic]
+//! ```
+//!
+//! With `--rate`, publishes at that Poisson-free fixed rate; without it,
+//! publishes as fast as the broker's push-back allows (the paper's
+//! saturated-publisher mode).
+
+use rjms::broker::Message;
+use rjms::net::client::RemoteBroker;
+use rjms::selector::Value;
+use std::time::{Duration, Instant};
+
+struct Args {
+    connect: String,
+    topic: String,
+    count: u64,
+    rate: Option<f64>,
+    corr_id: Option<String>,
+    props: Vec<(String, Value)>,
+    body: Vec<u8>,
+    create_topic: bool,
+}
+
+fn parse_prop(s: &str) -> Result<(String, Value), String> {
+    let (k, v) = s.split_once('=').ok_or("property must be key=value")?;
+    // Typed literals: int, float, bool, else string.
+    let value = if let Ok(i) = v.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(f) = v.parse::<f64>() {
+        Value::Float(f)
+    } else if v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("false") {
+        Value::Bool(v.eq_ignore_ascii_case("true"))
+    } else {
+        Value::Str(v.to_owned())
+    };
+    Ok((k.to_owned(), value))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connect: "127.0.0.1:7670".to_owned(),
+        topic: String::new(),
+        count: 1,
+        rate: None,
+        corr_id: None,
+        props: Vec::new(),
+        body: Vec::new(),
+        create_topic: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut next = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => args.connect = next("--connect")?,
+            "--topic" => args.topic = next("--topic")?,
+            "--count" => {
+                args.count = next("--count")?.parse().map_err(|e| format!("bad --count: {e}"))?
+            }
+            "--rate" => {
+                args.rate = Some(next("--rate")?.parse().map_err(|e| format!("bad --rate: {e}"))?)
+            }
+            "--corr-id" => args.corr_id = Some(next("--corr-id")?),
+            "--prop" => args.props.push(parse_prop(&next("--prop")?)?),
+            "--body" => args.body = next("--body")?.into_bytes(),
+            "--create-topic" => args.create_topic = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: rjms-pub --topic NAME [--connect ADDR] [--count N] \
+                     [--rate R] [--corr-id ID] [--prop k=v]... [--body TEXT] [--create-topic]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.topic.is_empty() {
+        return Err("--topic is required".to_owned());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let client = match RemoteBroker::connect(args.connect.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", args.connect);
+            std::process::exit(1);
+        }
+    };
+    if args.create_topic {
+        // Ignore "already exists".
+        let _ = client.create_topic(&args.topic);
+    }
+
+    let started = Instant::now();
+    for i in 0..args.count {
+        let mut b = Message::builder().body(args.body.clone());
+        if let Some(c) = &args.corr_id {
+            b = b.correlation_id(c.clone());
+        }
+        for (k, v) in &args.props {
+            b = b.property(k.clone(), v.clone());
+        }
+        if let Err(e) = client.publish(&args.topic, &b.build()) {
+            eprintln!("error: publish {i} failed: {e}");
+            std::process::exit(1);
+        }
+        if let Some(rate) = args.rate {
+            let due = started + Duration::from_secs_f64((i + 1) as f64 / rate);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "published {} message(s) in {elapsed:.3}s ({:.1}/s)",
+        args.count,
+        args.count as f64 / elapsed.max(1e-9)
+    );
+}

@@ -1,0 +1,92 @@
+//! `rjms-server` — run a standalone broker listening on TCP.
+//!
+//! ```text
+//! rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]
+//! ```
+//!
+//! Topics can be pre-created with `--topic` (repeatable) or created later
+//! by clients. With `--stats-every N` the server prints a throughput line
+//! every N seconds, in the spirit of the paper's measurement logs.
+
+use rjms::broker::{BrokerConfig, ThroughputProbe};
+use rjms::net::server::BrokerServer;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    topics: Vec<String>,
+    stats_every: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { listen: "127.0.0.1:7670".to_owned(), topics: Vec::new(), stats_every: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => {
+                args.listen = it.next().ok_or("--listen needs an address")?;
+            }
+            "--topic" => {
+                args.topics.push(it.next().ok_or("--topic needs a name")?);
+            }
+            "--stats-every" => {
+                let v = it.next().ok_or("--stats-every needs a number of seconds")?;
+                args.stats_every =
+                    Some(v.parse().map_err(|e| format!("bad --stats-every value: {e}"))?);
+            }
+            "--help" | "-h" => {
+                println!("usage: rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let server = match BrokerServer::start(BrokerConfig::default(), args.listen.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    for topic in &args.topics {
+        if let Err(e) = server.broker().create_topic(topic) {
+            eprintln!("error: cannot create topic `{topic}`: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("rjms-server listening on {}", server.local_addr());
+    if !args.topics.is_empty() {
+        println!("topics: {}", args.topics.join(", "));
+    }
+
+    match args.stats_every {
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+        Some(secs) => loop {
+            let stats = server.broker().stats();
+            let probe = ThroughputProbe::start(&stats);
+            std::thread::sleep(Duration::from_secs(secs));
+            let t = probe.finish(&stats);
+            println!(
+                "received {:.1}/s  dispatched {:.1}/s  overall {:.1}/s  (R = {:.2})",
+                t.received_per_sec,
+                t.dispatched_per_sec,
+                t.overall_per_sec(),
+                t.replication_grade().unwrap_or(0.0),
+            );
+        },
+    }
+}

@@ -1,0 +1,86 @@
+//! # rjms
+//!
+//! A JMS-style publish/subscribe message broker with analytic performance
+//! models — a from-scratch Rust reproduction of Menth & Henjes, *Analysis of
+//! the Message Waiting Time for the FioranoMQ JMS Server* (ICDCS 2006).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`broker`] — the threaded pub/sub broker ([`rjms_broker`]),
+//! * [`selector`] — the JMS message-selector language ([`rjms_selector`]),
+//! * [`model`] — the paper's performance model ([`rjms_core`]),
+//! * [`queueing`] — the `M/GI/1-∞` analysis ([`rjms_queueing`]),
+//! * [`desim`] — discrete-event simulation ([`rjms_desim`]),
+//! * [`net`] — the TCP wire layer ([`rjms_net`]).
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of every
+//! reproduced table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rjms::broker::{Broker, BrokerConfig, Filter, Message};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), rjms::broker::BrokerError> {
+//! let broker = Broker::start(BrokerConfig::default());
+//! broker.create_topic("news")?;
+//! let sub = broker.subscribe("news", Filter::selector("category = 'tech'").unwrap())?;
+//! broker.publisher("news")?
+//!     .publish(Message::builder().property("category", "tech").build())?;
+//! assert!(sub.receive_timeout(Duration::from_secs(1)).is_some());
+//! broker.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Capacity planning with the paper's model
+//!
+//! ```
+//! use rjms::model::params::{CostParams, FilterType};
+//! use rjms::model::scenario::ApplicationScenario;
+//!
+//! let scenario = ApplicationScenario::builder(FilterType::CorrelationId)
+//!     .subscribers(1000)
+//!     .filters_per_subscriber(1)
+//!     .match_probability(0.01)
+//!     .offered_load(100.0)
+//!     .build();
+//! assert!(scenario.is_feasible());
+//! let report = scenario.waiting_time_at_offered_load().unwrap();
+//! println!("99.99% of messages wait less than {:.1} ms", report.q9999 * 1e3);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The threaded publish/subscribe broker (re-export of [`rjms_broker`]).
+pub mod broker {
+    pub use rjms_broker::*;
+}
+
+/// The JMS message-selector language (re-export of [`rjms_selector`]).
+pub mod selector {
+    pub use rjms_selector::*;
+}
+
+/// The paper's performance model (re-export of [`rjms_core`]).
+pub mod model {
+    pub use rjms_core::*;
+}
+
+/// Analytic queueing theory (re-export of [`rjms_queueing`]).
+pub mod queueing {
+    pub use rjms_queueing::*;
+}
+
+/// Discrete-event simulation (re-export of [`rjms_desim`]).
+pub mod desim {
+    pub use rjms_desim::*;
+}
+
+/// TCP wire layer: remote publishers and subscribers (re-export of
+/// [`rjms_net`]).
+pub mod net {
+    pub use rjms_net::*;
+}

@@ -1,0 +1,93 @@
+//! Fig. 15 validation: the closed-form PSR/SSR capacities (Eqs. 21–22)
+//! against multi-broker discrete-event simulation.
+
+use rjms::desim::distributed::DistributedSimScenario;
+use rjms::model::architecture::DistributedScenario;
+use rjms::model::params::CostParams;
+
+fn pair(n: u32, m: u32) -> (DistributedScenario, DistributedSimScenario) {
+    let params = CostParams::CORRELATION_ID;
+    (
+        DistributedScenario {
+            params,
+            publishers: n,
+            subscribers: m,
+            filters_per_subscriber: 10,
+            mean_replication: 1.0,
+            rho: 0.9,
+        },
+        DistributedSimScenario {
+            t_rcv: params.t_rcv,
+            t_fltr: params.t_fltr,
+            t_tx: params.t_tx,
+            publishers: n,
+            subscribers: m,
+            filters_per_subscriber: 10,
+            mean_replication: 1.0,
+        },
+    )
+}
+
+/// Driving a PSR deployment at its Eq. 21 capacity loads each broker to
+/// exactly the utilization budget; 10% beyond would be unstable.
+#[test]
+fn psr_capacity_formula_validated_by_simulation() {
+    for (n, m) in [(10u32, 100u32), (100, 1_000)] {
+        let (model, sim) = pair(n, m);
+        let capacity = model.psr_capacity();
+        let result = sim.simulate_psr_broker(capacity, 120_000, 42);
+        assert!(
+            (result.measured_utilization() - 0.9).abs() < 0.03,
+            "n={n} m={m}: measured rho {}",
+            result.measured_utilization()
+        );
+        // The per-broker service time in the simulator equals the model's
+        // Eq. 21 denominator.
+        let expected_e_b = 0.9 * n as f64 / capacity;
+        assert!((result.mean_service_time - expected_e_b).abs() / expected_e_b < 1e-9);
+    }
+}
+
+/// Same for SSR (Eq. 22): the bottleneck subscriber-side broker sits at the
+/// budgeted utilization when the system runs at the formula capacity.
+#[test]
+fn ssr_capacity_formula_validated_by_simulation() {
+    for (n, m) in [(10u32, 100u32), (1_000, 50)] {
+        let (model, sim) = pair(n, m);
+        let capacity = model.ssr_capacity();
+        let result = sim.simulate_ssr_broker(capacity, 120_000, 43);
+        assert!(
+            (result.measured_utilization() - 0.9).abs() < 0.03,
+            "n={n} m={m}: measured rho {}",
+            result.measured_utilization()
+        );
+    }
+}
+
+/// The crossover predicted by the corrected Eq. 23 shows up in simulation:
+/// below it the SSR bottleneck broker is less loaded than PSR's at equal
+/// system rate; above it the orders flip.
+#[test]
+fn crossover_visible_in_simulated_utilizations() {
+    let m = 100u32;
+    let (model_at_1, _) = pair(1, m);
+    let crossover = model_at_1.crossover_publishers(); // ≈ 79.9 for m = 100
+
+    for (n, psr_should_win) in
+        [((crossover * 0.5) as u32, false), ((crossover * 2.0) as u32, true)]
+    {
+        let (model, sim) = pair(n.max(1), m);
+        // Drive both architectures at the *same* system rate: 80% of the
+        // weaker one's capacity, so both are stable.
+        let rate = 0.8 * model.psr_capacity().min(model.ssr_capacity());
+        let psr = sim.simulate_psr_broker(rate, 60_000, 7);
+        let ssr = sim.simulate_ssr_broker(rate, 60_000, 8);
+        let psr_less_loaded = psr.measured_utilization() < ssr.measured_utilization();
+        assert_eq!(
+            psr_less_loaded, psr_should_win,
+            "n={n}, m={m}: psr rho {} vs ssr rho {}",
+            psr.measured_utilization(),
+            ssr.measured_utilization()
+        );
+    }
+}

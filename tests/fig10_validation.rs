@@ -1,0 +1,82 @@
+//! Fig. 10 validation: the normalized mean-waiting-time lookup diagram
+//! (`E[W]/E[B]` vs ρ per `c_var[B]`) against discrete-event simulation.
+
+use rjms::desim::mg1sim::{simulate_lindley, Mg1SimConfig};
+use rjms::desim::random::ReplicationService;
+use rjms::model::sweep::mean_waiting_series;
+use rjms::queueing::replication::ReplicationModel;
+use rjms::queueing::service::ServiceTime;
+
+#[test]
+fn normalized_mean_waiting_matches_simulation() {
+    // Build a *real* sampleable workload per target cvar: unit-ish E[B]
+    // via a scaled-Bernoulli replication grade with integer support.
+    let d = 0.3f64;
+    let t_tx = 0.01f64;
+
+    for &(target_cvar, rho) in &[(0.0f64, 0.5f64), (0.2, 0.8), (0.4, 0.8)] {
+        // Moments for the target (E[B] = 1, cvar = target).
+        let (m1, m2) =
+            ServiceTime::replication_moments_for_target(d, t_tx, 1.0, target_cvar).unwrap();
+        let replication = if target_cvar == 0.0 {
+            ReplicationModel::deterministic(m1.round())
+        } else {
+            // Round the Bernoulli fit to integer support for sampling.
+            match ReplicationModel::scaled_bernoulli_from_moments(m1, m2).unwrap() {
+                ReplicationModel::ScaledBernoulli { n_fltr, p_match } => {
+                    ReplicationModel::scaled_bernoulli(n_fltr.round(), p_match)
+                }
+                other => other,
+            }
+        };
+        let service = ServiceTime::new(d, t_tx, replication);
+        let e_b = service.mean();
+        let cvar = service.cvar();
+
+        // Analytic point from the sweep module (the Fig. 10 series).
+        let analytic = mean_waiting_series(&[rho], &[cvar])[0].points[0].y;
+
+        // Simulated point.
+        let sampler =
+            ReplicationService { deterministic: d, t_tx, replication };
+        let sim = simulate_lindley(
+            &Mg1SimConfig {
+                arrival_rate: rho / e_b,
+                samples: 200_000,
+                warmup: 20_000,
+                seed: 321,
+            },
+            &sampler,
+        );
+        let simulated = sim.waiting.mean() / e_b;
+
+        let rel = (analytic - simulated).abs() / analytic.max(1e-9);
+        assert!(
+            rel < 0.08,
+            "cvar={cvar:.3} rho={rho}: analytic {analytic:.3} vs simulated {simulated:.3}"
+        );
+    }
+}
+
+#[test]
+fn fig10_series_monotone_in_both_axes() {
+    let rhos = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let cvars = [0.0, 0.2, 0.4, 0.65];
+    let series = mean_waiting_series(&rhos, &cvars);
+    // Monotone in rho within each series.
+    for s in &series {
+        for w in s.points.windows(2) {
+            assert!(w[1].y > w[0].y, "series {} not increasing in rho", s.label);
+        }
+    }
+    // Monotone in cvar at fixed rho.
+    for i in 0..rhos.len() {
+        for j in 1..series.len() {
+            assert!(
+                series[j].points[i].y > series[j - 1].points[i].y,
+                "not increasing in cvar at rho={}",
+                rhos[i]
+            );
+        }
+    }
+}
