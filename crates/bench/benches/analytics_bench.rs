@@ -23,9 +23,7 @@ fn bench_waiting_report(c: &mut Criterion) {
     let replication = ReplicationModel::binomial(100.0, 0.1);
     c.bench_function("waiting_time_report", |b| {
         b.iter(|| {
-            WaitingTimeAnalysis::for_model(black_box(&model), replication, 0.9)
-                .unwrap()
-                .report()
+            WaitingTimeAnalysis::for_model(black_box(&model), replication, 0.9).unwrap().report()
         })
     });
 }

@@ -12,9 +12,7 @@ use std::time::Duration;
 fn run_batch(broker: &Broker, subs: &[rjms_broker::Subscriber], r: usize, count: usize) {
     let publisher = broker.publisher("bench").unwrap();
     for _ in 0..count {
-        publisher
-            .publish(Message::builder().correlation_id("#0").build())
-            .unwrap();
+        publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
     }
     // The first `r` subscribers match; drain them.
     for sub in subs.iter().take(r) {
@@ -44,11 +42,9 @@ fn bench_dispatch(c: &mut Criterion) {
         }
         let batch = 256usize;
         g.throughput(Throughput::Elements(batch as u64));
-        g.bench_with_input(
-            BenchmarkId::new("n_fltr_r", format!("{n_fltr}x{r}")),
-            &(),
-            |b, ()| b.iter(|| run_batch(&broker, &subs, r, batch)),
-        );
+        g.bench_with_input(BenchmarkId::new("n_fltr_r", format!("{n_fltr}x{r}")), &(), |b, ()| {
+            b.iter(|| run_batch(&broker, &subs, r, batch))
+        });
         drop(subs);
         broker.shutdown();
     }
@@ -66,7 +62,9 @@ fn bench_selector_dispatch(c: &mut Criterion) {
         subs.push(broker.subscribe("bench", Filter::selector("key = 0").unwrap()).unwrap());
         for i in 1..n_fltr {
             subs.push(
-                broker.subscribe("bench", Filter::selector(&format!("key = {i}")).unwrap()).unwrap(),
+                broker
+                    .subscribe("bench", Filter::selector(&format!("key = {i}")).unwrap())
+                    .unwrap(),
             );
         }
         let batch = 256usize;
@@ -75,9 +73,7 @@ fn bench_selector_dispatch(c: &mut Criterion) {
             b.iter(|| {
                 let publisher = broker.publisher("bench").unwrap();
                 for _ in 0..batch {
-                    publisher
-                        .publish(Message::builder().property("key", 0i64).build())
-                        .unwrap();
+                    publisher.publish(Message::builder().property("key", 0i64).build()).unwrap();
                 }
                 for _ in 0..batch {
                     subs[0].receive_timeout(Duration::from_secs(10)).expect("delivery");

@@ -4,9 +4,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use rjms_broker::{BrokerConfig, Message};
 use rjms_net::client::RemoteBroker;
 use rjms_net::server::BrokerServer;
-use rjms_net::wire::{
-    decode_request, encode_request, Request, WireFilter, WireMessage,
-};
+use rjms_net::wire::{decode_request, encode_request, Request, WireFilter, WireMessage};
 use std::time::Duration;
 
 fn sample_message() -> WireMessage {

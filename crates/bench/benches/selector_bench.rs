@@ -39,9 +39,7 @@ fn bench_eval(c: &mut Criterion) {
     }
     // Correlation-ID filters are the cheap path.
     let corr: rjms_selector::CorrelationFilter = "[7;13]".parse().unwrap();
-    g.bench_function("correlation_range", |b| {
-        b.iter(|| corr.matches(black_box("#9")))
-    });
+    g.bench_function("correlation_range", |b| b.iter(|| corr.matches(black_box("#9"))));
     g.finish();
 }
 

@@ -36,8 +36,7 @@ fn measure(filters: Vec<Filter>) -> f64 {
             }
         }));
     }
-    let _subs: Vec<_> =
-        filters.into_iter().map(|f| broker.subscribe("t", f).unwrap()).collect();
+    let _subs: Vec<_> = filters.into_iter().map(|f| broker.subscribe("t", f).unwrap()).collect();
 
     for _ in 0..4 {
         let publisher = broker.publisher("t").unwrap();
@@ -71,15 +70,11 @@ fn main() {
         "n identical vs n distinct non-matching filters: same throughput?",
     );
 
-    let mut table =
-        Table::new(&["n filters", "identical msgs/s", "distinct msgs/s", "ratio"]);
+    let mut table = Table::new(&["n filters", "identical msgs/s", "distinct msgs/s", "ratio"]);
     for n in [8usize, 32, 96] {
-        let identical =
-            measure((0..n).map(|_| Filter::correlation_id("#1").unwrap()).collect());
+        let identical = measure((0..n).map(|_| Filter::correlation_id("#1").unwrap()).collect());
         let distinct = measure(
-            (0..n)
-                .map(|i| Filter::correlation_id(&format!("#{}", i + 1)).unwrap())
-                .collect(),
+            (0..n).map(|i| Filter::correlation_id(&format!("#{}", i + 1)).unwrap()).collect(),
         );
         table.row_strings(vec![
             n.to_string(),

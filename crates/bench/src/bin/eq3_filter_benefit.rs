@@ -16,12 +16,7 @@ fn main() {
         "break-even match probability per consumer filter count",
     );
 
-    let mut table = Table::new(&[
-        "filter type",
-        "n_fltr^q",
-        "break-even p_match",
-        "paper",
-    ]);
+    let mut table = Table::new(&["filter type", "n_fltr^q", "break-even p_match", "paper"]);
 
     let paper_corr = ["58.7%", "17.4%", "never"];
     for (i, n) in (1u32..=3).enumerate() {

@@ -39,12 +39,7 @@ fn main() {
     let ssr = psr_base.ssr_capacity();
 
     println!("m = {m} subscribers, 10 filters each, E[R] = 1, rho = 0.9\n");
-    let mut table = Table::new(&[
-        "k brokers",
-        "cluster msgs/s",
-        "PSR(n=k) msgs/s",
-        "SSR msgs/s",
-    ]);
+    let mut table = Table::new(&["k brokers", "cluster msgs/s", "PSR(n=k) msgs/s", "SSR msgs/s"]);
     for k in [1u32, 2, 5, 10, 50, 100, 500, 1_000, 10_000] {
         let clus = ClusterScenario { brokers: k, ..base };
         let psr = DistributedScenario { publishers: k, ..psr_base };

@@ -28,14 +28,8 @@ fn main() {
     let n_fltr = 100u32;
     let model = ServerModel::new(params, n_fltr);
 
-    let mut table = Table::new(&[
-        "E[R]",
-        "cvar[B]",
-        "rho",
-        "E[W] analytic",
-        "E[W] sim",
-        "Q99.99/E[B]",
-    ]);
+    let mut table =
+        Table::new(&["E[R]", "cvar[B]", "rho", "E[W] analytic", "E[W] sim", "Q99.99/E[B]"]);
 
     for &mean_r in &[2.0, 10.0, 30.0] {
         let replication = ReplicationModel::geometric(mean_r);

@@ -1,0 +1,149 @@
+//! **Extension** (beyond the paper's in-memory measurements): the cost of
+//! persistent messaging as an extra additive service-time term.
+//!
+//! The paper's Eq. 1 model `E[B] = t_rcv + n_fltr·t_fltr + E[R]·t_tx` was
+//! fitted to a JMS server whose persistence settings were fixed. This
+//! experiment measures the per-message write-ahead journal cost `t_store`
+//! of `rjms-journal` under each fsync policy, extends the model to
+//! `E[B] = t_rcv + n_fltr·t_fltr + E[R]·t_tx + t_store`, and reports how
+//! server capacity (Eq. 2) and the mean waiting time (Fig. 10 pipeline)
+//! move as durability is tightened from `Never` to `Always`.
+
+use rjms_bench::{experiment_header, Table};
+use rjms_broker::persist::encode_publish;
+use rjms_broker::Message;
+use rjms_core::capacity::server_capacity;
+use rjms_core::model::ServerModel;
+use rjms_core::params::CostParams;
+use rjms_core::waiting::WaitingTimeAnalysis;
+use rjms_journal::{scratch_dir, FsyncPolicy, Journal, JournalConfig};
+use rjms_queueing::replication::ReplicationModel;
+use std::time::{Duration, Instant};
+
+/// Measured storage cost for one fsync policy.
+struct StoreCost {
+    policy: FsyncPolicy,
+    /// Mean wall-clock seconds per journal append (including its share of
+    /// fsyncs), i.e. the measured `t_store`.
+    t_store: f64,
+    fsyncs_per_msg: f64,
+    frame_bytes: usize,
+}
+
+/// Appends `n` copies of a representative publish record and returns the
+/// mean per-append wall-clock cost.
+fn measure(policy: FsyncPolicy, n: u64) -> StoreCost {
+    let payload = encode_publish(
+        "stocks",
+        &Message::builder()
+            .correlation_id("order-4711")
+            .property("symbol", "ACME")
+            .property("price", 42.5)
+            .body(vec![0xA5; 64])
+            .build(),
+    );
+    let dir = scratch_dir("ext-persistence");
+    let config = JournalConfig::new(&dir).fsync(policy);
+    let (mut journal, _) = Journal::open(config).expect("open scratch journal");
+
+    // Warm up the file and the allocator outside the timed window.
+    for _ in 0..64 {
+        journal.append(&payload).expect("warmup append");
+    }
+    journal.sync().expect("warmup sync");
+    let base = journal.stats();
+
+    let start = Instant::now();
+    for _ in 0..n {
+        journal.append(&payload).expect("timed append");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = journal.stats();
+    drop(journal);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    StoreCost {
+        policy,
+        t_store: elapsed / n as f64,
+        fsyncs_per_msg: (stats.fsyncs - base.fsyncs) as f64 / n as f64,
+        frame_bytes: payload.len(),
+    }
+}
+
+fn main() {
+    experiment_header(
+        "ext_persistence_cost",
+        "extension of Eq. 1/Eq. 2 (persistent messaging)",
+        "measured journal t_store per fsync policy and its capacity/waiting-time impact",
+    );
+
+    // Fewer timed appends where every append pays a disk round-trip.
+    let sweep: &[(FsyncPolicy, u64)] = &[
+        (FsyncPolicy::Never, 50_000),
+        (FsyncPolicy::Interval(Duration::from_millis(1)), 20_000),
+        (FsyncPolicy::EveryN(64), 20_000),
+        (FsyncPolicy::EveryN(8), 5_000),
+        (FsyncPolicy::Always, 1_000),
+    ];
+    let costs: Vec<StoreCost> = sweep.iter().map(|&(policy, n)| measure(policy, n)).collect();
+
+    // Model operating point: the paper's running example — correlation-ID
+    // filtering, n_fltr = 100 filters, E[R] = 10 copies (binomial matching,
+    // p = 0.1), utilization budget rho = 0.9.
+    let n_fltr = 100u32;
+    let replication = ReplicationModel::binomial(n_fltr as f64, 0.1);
+    let mean_r = replication.mean();
+    let rho = 0.9;
+    let memory_only = CostParams::CORRELATION_ID;
+    let base_capacity = server_capacity(&memory_only, n_fltr, mean_r, rho);
+
+    let mut table = Table::new(&[
+        "fsync policy",
+        "t_store",
+        "fsync/msg",
+        "E[B]",
+        "lambda_max",
+        "capacity vs mem",
+        "E[W] rho=0.9",
+    ]);
+    for cost in &costs {
+        let params = memory_only.with_t_store(cost.t_store);
+        let capacity = server_capacity(&params, n_fltr, mean_r, rho);
+        let analysis =
+            WaitingTimeAnalysis::for_model(&ServerModel::new(params, n_fltr), replication, rho)
+                .expect("stable at rho < 1");
+        let report = analysis.report();
+        table.row_strings(vec![
+            cost.policy.label(),
+            format!("{:.2}us", cost.t_store * 1e6),
+            format!("{:.3}", cost.fsyncs_per_msg),
+            format!("{:.1}us", params.mean_service_time(n_fltr, mean_r) * 1e6),
+            format!("{capacity:.0}/s"),
+            format!("{:.1}%", 100.0 * capacity / base_capacity),
+            format!("{:.3}ms", report.mean_waiting_time * 1e3),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "operating point: correlation-ID Table I params, n_fltr={n_fltr}, \
+         E[R]={mean_r:.0}, {}-byte journal frames, memory-only capacity \
+         {base_capacity:.0} msgs/s",
+        costs[0].frame_bytes,
+    );
+    println!();
+    println!("findings:");
+    println!("  - t_store is an additive term in E[B], so its capacity impact shrinks");
+    println!("    as n_fltr or E[R] grow: at the paper's operating point the service");
+    println!("    time is dominated by filtering + replication, and only fsync-heavy");
+    println!("    policies move the capacity curve materially,");
+    println!("  - group commit (every-N / interval) amortizes the disk round-trip and");
+    println!("    keeps t_store within a small factor of the no-sync append cost,");
+    println!("  - fsync=always prices each message at a full disk flush; the measured");
+    println!("    t_store then dominates E[B] and capacity collapses accordingly —");
+    println!("    quantifying the durability/throughput trade the paper left out.");
+    println!();
+    println!("note: wall-clock measurements; absolute numbers vary with the machine");
+    println!("and filesystem, ratios between policies are the robust signal.");
+}

@@ -23,8 +23,7 @@ fn main() {
     );
 
     let cvars = [0.0, 0.2, 0.4, 0.65];
-    let rhos: Vec<f64> =
-        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99].to_vec();
+    let rhos: Vec<f64> = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99].to_vec();
 
     let mut table = Table::new(&["rho", "cvar=0", "cvar=0.2", "cvar=0.4", "cvar=0.65"]);
     for &rho in &rhos {

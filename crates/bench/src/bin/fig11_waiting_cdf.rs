@@ -35,9 +35,8 @@ fn service_moments(cvar: f64, m3_scale: f64) -> Moments3 {
         let r = (TARGET_EB - d) / params.t_tx;
         return Moments3::constant(r).scaled(params.t_tx).shifted(d);
     }
-    let (m1, m2) =
-        ServiceTime::replication_moments_for_target(d, params.t_tx, TARGET_EB, cvar)
-            .expect("target reachable");
+    let (m1, m2) = ServiceTime::replication_moments_for_target(d, params.t_tx, TARGET_EB, cvar)
+        .expect("target reachable");
     // Scaled-Bernoulli family third moment (Eq. 15), scaled to bracket
     // other families.
     let m3 = m3_scale * m2 * m2 / m1;
@@ -64,20 +63,14 @@ fn main() {
     ]);
 
     // Analytic distributions.
-    let dists: Vec<_> = [
-        (0.0, 1.0),
-        (0.2, 1.0),
-        (0.2, 0.5),
-        (0.2, 2.0),
-        (0.4, 1.0),
-    ]
-    .iter()
-    .map(|&(c, s)| {
-        Mg1::with_utilization(RHO, service_moments(c, s))
-            .expect("stable")
-            .waiting_time_distribution()
-    })
-    .collect();
+    let dists: Vec<_> = [(0.0, 1.0), (0.2, 1.0), (0.2, 0.5), (0.2, 2.0), (0.4, 1.0)]
+        .iter()
+        .map(|&(c, s)| {
+            Mg1::with_utilization(RHO, service_moments(c, s))
+                .expect("stable")
+                .waiting_time_distribution()
+        })
+        .collect();
 
     // DES validation for cvar = 0.4 with a genuine scaled-Bernoulli R.
     let params = CostParams::CORRELATION_ID;

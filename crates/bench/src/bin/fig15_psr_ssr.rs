@@ -33,14 +33,7 @@ fn main() {
     let ssr = scenario(1, 10).ssr_capacity();
     println!("SSR capacity (independent of n and m): {ssr:.0} msgs/s\n");
 
-    let mut table = Table::new(&[
-        "n",
-        "PSR m=10",
-        "PSR m=100",
-        "PSR m=1000",
-        "PSR m=10000",
-        "SSR",
-    ]);
+    let mut table = Table::new(&["n", "PSR m=10", "PSR m=100", "PSR m=1000", "PSR m=10000", "SSR"]);
     for &n in &n_sweep {
         let mut cells = vec![n.to_string()];
         for &m in &m_values {

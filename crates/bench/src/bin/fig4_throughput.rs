@@ -19,13 +19,7 @@ fn main() {
     let truth = CostParams::CORRELATION_ID;
     let cfg = TestbedConfig::paper_methodology(truth.t_rcv, truth.t_fltr, truth.t_tx);
 
-    let mut table = Table::new(&[
-        "R",
-        "n_fltr",
-        "measured overall",
-        "model overall",
-        "rel err",
-    ]);
+    let mut table = Table::new(&["R", "n_fltr", "measured overall", "model overall", "rel err"]);
     let mut worst_rel = 0.0f64;
 
     for r in [1u32, 2, 5, 10, 20, 40] {
@@ -34,8 +28,8 @@ fn main() {
             let m = run_measurement(&cfg, n_fltr, &ReplicationModel::deterministic(r as f64));
             let model = ServerModel::new(truth, n_fltr);
             let predicted = model.predict_throughput(r as f64);
-            let rel = (predicted.overall_per_sec() - m.overall_per_sec()).abs()
-                / m.overall_per_sec();
+            let rel =
+                (predicted.overall_per_sec() - m.overall_per_sec()).abs() / m.overall_per_sec();
             worst_rel = worst_rel.max(rel);
             table.row_strings(vec![
                 r.to_string(),

@@ -47,10 +47,9 @@ fn main() {
 
     // The crossover the paper highlights: where the filter term overtakes
     // the replication term.
-    for (label, p) in [
-        ("corr-ID", CostParams::CORRELATION_ID),
-        ("app-prop", CostParams::APPLICATION_PROPERTY),
-    ] {
+    for (label, p) in
+        [("corr-ID", CostParams::CORRELATION_ID), ("app-prop", CostParams::APPLICATION_PROPERTY)]
+    {
         for e_r in [10.0, 100.0] {
             let crossover = e_r * p.t_tx / p.t_fltr;
             println!(

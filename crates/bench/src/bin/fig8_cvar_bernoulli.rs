@@ -43,8 +43,7 @@ fn main() {
         // Asymptotic limit: c_var[B] → t_tx·sqrt(p(1-p)) / (t_fltr + p·t_tx).
         println!("asymptotic limits (n_fltr → ∞):");
         for &p in &p_values {
-            let limit =
-                params.t_tx * (p * (1.0 - p)).sqrt() / (params.t_fltr + p * params.t_tx);
+            let limit = params.t_tx * (p * (1.0 - p)).sqrt() / (params.t_fltr + p * params.t_tx);
             println!("  p_match={p:.1}: {limit:.4}");
         }
     }

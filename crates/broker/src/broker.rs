@@ -23,9 +23,11 @@ use crate::error::{BrokerError, ReceiveError};
 use crate::filter::Filter;
 use crate::message::Message;
 use crate::pattern::TopicPattern;
+use crate::persist::{encode_publish, JournalRecord};
 use crate::stats::BrokerStats;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
+use rjms_journal::{Journal, JournalStats};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -122,6 +124,37 @@ struct BrokerInner {
     patterns: RwLock<Vec<PatternSubscription>>,
     next_subscription_id: AtomicU64,
     stopped: AtomicBool,
+    /// The write-ahead journal, when persistence is enabled. The dispatcher
+    /// appends publishes and checkpoints; API threads append topology
+    /// records (topic/durable lifecycle).
+    journal: Option<Mutex<Journal>>,
+}
+
+impl BrokerInner {
+    /// Appends one record to the journal (no-op without persistence),
+    /// refreshing the journal gauges in [`BrokerStats`]. Returns the
+    /// record's journal offset.
+    ///
+    /// A journal write failure is fatal: the broker cannot honor the
+    /// durability contract without its write-ahead log.
+    fn append_record(&self, payload: &[u8]) -> Option<u64> {
+        let journal = self.journal.as_ref()?;
+        let mut journal = journal.lock();
+        let offset = journal
+            .append(payload)
+            .expect("write-ahead journal append failed; cannot continue durably");
+        self.stats.update_journal(&journal.stats());
+        Some(offset)
+    }
+
+    /// Forces the journal to stable storage (no-op without persistence).
+    fn sync_journal(&self) {
+        if let Some(journal) = &self.journal {
+            let mut journal = journal.lock();
+            journal.sync().expect("write-ahead journal sync failed; cannot continue durably");
+            self.stats.update_journal(&journal.stats());
+        }
+    }
 }
 
 /// A wildcard subscription waiting to be attached to future topics.
@@ -169,15 +202,39 @@ impl fmt::Debug for Broker {
 impl Broker {
     /// Starts a broker with the given configuration; spawns the dispatcher
     /// thread.
+    ///
+    /// With [`BrokerConfig::persistence`] set, the write-ahead journal is
+    /// opened (truncating a torn tail back to the last whole frame) and
+    /// replayed: topics and durable subscriptions are re-created and
+    /// messages published but not yet checkpointed as delivered go back
+    /// into each durable subscription's retained backlog, ready for
+    /// re-delivery on the next connect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal cannot be opened or replayed (I/O failure or
+    /// corruption in a sealed segment) — a broker that cannot read its
+    /// write-ahead log must not silently start empty.
     pub fn start(config: BrokerConfig) -> Broker {
+        let stats = Arc::new(BrokerStats::new());
+        let mut topics = HashMap::new();
+        let journal = config.persistence.as_ref().map(|persistence| {
+            let (journal, _report) = Journal::open(persistence.journal.clone())
+                .expect("failed to open the write-ahead journal");
+            topics = recover_topics(&journal, &config);
+            stats.update_journal(&journal.stats());
+            Mutex::new(journal)
+        });
+
         let (publish_tx, publish_rx) = bounded(config.publish_queue_capacity);
         let inner = Arc::new(BrokerInner {
             config,
-            stats: Arc::new(BrokerStats::new()),
-            topics: RwLock::new(HashMap::new()),
+            stats,
+            topics: RwLock::new(topics),
             patterns: RwLock::new(Vec::new()),
             next_subscription_id: AtomicU64::new(1),
             stopped: AtomicBool::new(false),
+            journal,
         });
         let dispatcher_inner = Arc::clone(&inner);
         let dispatcher = std::thread::Builder::new()
@@ -209,19 +266,18 @@ impl Broker {
         {
             let mut patterns = self.inner.patterns.write();
             patterns.retain(|p| match p.subscription.upgrade() {
-                None => false,
-                Some(sub) => {
-                    if sub.active.load(Ordering::Relaxed) {
-                        if p.pattern.matches(name) {
-                            topic.subscriptions.write().push(sub);
-                        }
-                        true
-                    } else {
-                        false
+                Some(sub) if sub.active.load(Ordering::Relaxed) => {
+                    if p.pattern.matches(name) {
+                        topic.subscriptions.write().push(sub);
                     }
+                    true
                 }
+                _ => false,
             });
         }
+        // Logged while holding the topics lock so the TopicCreated record
+        // precedes any Publish record for this topic in journal order.
+        self.inner.append_record(&JournalRecord::TopicCreated { topic: name.to_owned() }.encode());
         topics.insert(name.to_owned(), topic);
         Ok(())
     }
@@ -237,12 +293,9 @@ impl Broker {
     pub fn subscription_count(&self, topic: &str) -> usize {
         match self.inner.topics.read().get(topic) {
             None => 0,
-            Some(t) => t
-                .subscriptions
-                .read()
-                .iter()
-                .filter(|s| s.active.load(Ordering::Relaxed))
-                .count(),
+            Some(t) => {
+                t.subscriptions.read().iter().filter(|s| s.active.load(Ordering::Relaxed)).count()
+            }
         }
     }
 
@@ -255,11 +308,7 @@ impl Broker {
     pub fn publisher(&self, topic: &str) -> Result<Publisher, BrokerError> {
         self.ensure_running()?;
         let topic = self.lookup(topic)?;
-        Ok(Publisher {
-            topic,
-            publish_tx: self.publish_tx.clone(),
-            inner: Arc::clone(&self.inner),
-        })
+        Ok(Publisher { topic, publish_tx: self.publish_tx.clone(), inner: Arc::clone(&self.inner) })
     }
 
     /// Subscribes to a topic with a filter; returns the consuming handle.
@@ -278,11 +327,7 @@ impl Broker {
         let (tx, rx) = bounded(self.inner.config.subscriber_queue_capacity);
         let id = SubscriptionId(self.inner.next_subscription_id.fetch_add(1, Ordering::Relaxed));
         let active = Arc::new(AtomicBool::new(true));
-        let sub = Arc::new(Subscription {
-            filter,
-            sender: tx,
-            active: Arc::clone(&active),
-        });
+        let sub = Arc::new(Subscription { filter, sender: tx, active: Arc::clone(&active) });
         topic.subscriptions.write().push(sub);
         Ok(Subscriber {
             id,
@@ -382,9 +427,18 @@ impl Broker {
                 let mut existing_filter = existing.filter.lock();
                 if *existing_filter != filter {
                     // JMS: changing the selector is equivalent to deleting
-                    // and recreating the subscription.
+                    // and recreating the subscription. A re-registration
+                    // record makes replay discard the stale backlog too.
                     existing.retained.lock().clear();
-                    *existing_filter = filter;
+                    *existing_filter = filter.clone();
+                    self.inner.append_record(
+                        &JournalRecord::DurableRegistered {
+                            topic: topic.name.clone(),
+                            name: name.to_owned(),
+                            filter,
+                        }
+                        .encode(),
+                    );
                 }
                 *connection = Some(tx);
                 Arc::clone(existing)
@@ -392,11 +446,19 @@ impl Broker {
             None => {
                 let state = Arc::new(DurableState {
                     name: name.to_owned(),
-                    filter: Mutex::new(filter),
+                    filter: Mutex::new(filter.clone()),
                     retained: Mutex::new(VecDeque::new()),
                     connection: Mutex::new(Some(tx)),
                 });
                 durables.push(Arc::clone(&state));
+                self.inner.append_record(
+                    &JournalRecord::DurableRegistered {
+                        topic: topic.name.clone(),
+                        name: name.to_owned(),
+                        filter,
+                    }
+                    .encode(),
+                );
                 state
             }
         };
@@ -442,6 +504,13 @@ impl Broker {
             });
         }
         durables.remove(index);
+        self.inner.append_record(
+            &JournalRecord::DurableUnsubscribed {
+                topic: topic.name.clone(),
+                name: name.to_owned(),
+            }
+            .encode(),
+        );
         Ok(())
     }
 
@@ -466,10 +535,7 @@ impl Broker {
             .read()
             .get(topic)
             .map(|t| {
-                t.durables
-                    .read()
-                    .iter()
-                    .any(|d| d.name == name && d.connection.lock().is_some())
+                t.durables.read().iter().any(|d| d.name == name && d.connection.lock().is_some())
             })
             .unwrap_or(false)
     }
@@ -482,11 +548,7 @@ impl Broker {
             .read()
             .get(topic)
             .and_then(|t| {
-                t.durables
-                    .read()
-                    .iter()
-                    .find(|d| d.name == name)
-                    .map(|d| d.retained.lock().len())
+                t.durables.read().iter().find(|d| d.name == name).map(|d| d.retained.lock().len())
             })
             .unwrap_or(0)
     }
@@ -494,6 +556,12 @@ impl Broker {
     /// The broker's statistics counters.
     pub fn stats(&self) -> Arc<BrokerStats> {
         Arc::clone(&self.inner.stats)
+    }
+
+    /// A snapshot of the write-ahead journal's counters; `None` without
+    /// persistence.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.inner.journal.as_ref().map(|j| j.lock().stats())
     }
 
     /// Per-topic counters; `None` for unknown topics.
@@ -551,9 +619,22 @@ impl Drop for Broker {
     }
 }
 
+/// Durable-consumer progress not yet written to the journal: the highest
+/// delivered offset plus the number of deliveries since the last
+/// checkpoint record.
+struct PendingCheckpoint {
+    offset: u64,
+    deliveries: u64,
+}
+
 /// The dispatcher thread: pops publish items and fans out message copies.
 fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
     let cost = inner.config.cost_model;
+    let checkpoint_every =
+        inner.config.persistence.as_ref().map_or(u64::MAX, |p| p.checkpoint_every);
+    // Checkpoint bookkeeping, keyed by (topic, durable name). Only the
+    // dispatcher writes checkpoints, so this needs no locking.
+    let mut checkpoints: HashMap<(String, String), PendingCheckpoint> = HashMap::new();
     while let Ok(item) = publish_rx.recv() {
         let (topic, message) = match item {
             DispatchItem::Shutdown => break,
@@ -570,6 +651,12 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
             inner.stats.record_expired_message();
             continue;
         }
+
+        // Write-ahead: the message is on disk (per the fsync policy) before
+        // any subscriber sees it. This append is the real-I/O counterpart
+        // of the synthetic `t_rcv`/`t_fltr`/`t_tx` spins — the `t_store`
+        // term of the extended cost model.
+        let publish_offset = inner.append_record(&encode_publish(&topic.name, &message));
 
         let mut copies = 0u64;
         let mut evaluations = 0u64;
@@ -618,27 +705,51 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
                 }
                 let mut connection = durable.connection.lock();
                 let delivered = match connection.as_ref() {
-                    Some(sender) => match deliver_to(
-                        sender,
-                        Arc::clone(&message),
-                        inner.config.overflow_policy,
-                    ) {
-                        Delivery::Sent => {
-                            copies += 1;
-                            true
+                    Some(sender) => {
+                        match deliver_to(sender, Arc::clone(&message), inner.config.overflow_policy)
+                        {
+                            Delivery::Sent => {
+                                copies += 1;
+                                true
+                            }
+                            Delivery::Dropped => {
+                                inner.stats.record_dropped();
+                                true
+                            }
+                            Delivery::Disconnected => {
+                                *connection = None;
+                                false
+                            }
                         }
-                        Delivery::Dropped => {
-                            inner.stats.record_dropped();
-                            true
-                        }
-                        Delivery::Disconnected => {
-                            *connection = None;
-                            false
-                        }
-                    },
+                    }
                     None => false,
                 };
-                if !delivered {
+                if delivered {
+                    // Handed to a connected consumer (or consciously
+                    // dropped by the overflow policy): progress that a
+                    // checkpoint record may cover. Messages retained for
+                    // offline consumers are deliberately NOT checkpointed,
+                    // so replay rebuilds the retained backlog.
+                    if let Some(offset) = publish_offset {
+                        let key = (topic.name.clone(), durable.name.clone());
+                        let entry = checkpoints
+                            .entry(key)
+                            .or_insert(PendingCheckpoint { offset, deliveries: 0 });
+                        entry.offset = offset;
+                        entry.deliveries += 1;
+                        if entry.deliveries >= checkpoint_every {
+                            inner.append_record(
+                                &JournalRecord::DurableCheckpoint {
+                                    topic: topic.name.clone(),
+                                    name: durable.name.clone(),
+                                    offset,
+                                }
+                                .encode(),
+                            );
+                            entry.deliveries = 0;
+                        }
+                    }
+                } else {
                     // Retain for the offline consumer, dropping the oldest
                     // message beyond the buffer capacity.
                     let mut retained = durable.retained.lock();
@@ -658,18 +769,115 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
         topic.dispatched.fetch_add(copies, Ordering::Relaxed);
 
         if needs_prune {
-            topic
-                .subscriptions
-                .write()
-                .retain(|s| s.active.load(Ordering::Relaxed));
+            topic.subscriptions.write().retain(|s| s.active.load(Ordering::Relaxed));
         }
     }
 
-    // Shutdown: drop every subscription's sender so that blocked or future
+    // Shutdown: write the final checkpoints and force the journal to disk
+    // so a clean stop never re-delivers already-consumed messages.
+    for ((topic, name), pending) in checkpoints {
+        if pending.deliveries > 0 {
+            inner.append_record(
+                &JournalRecord::DurableCheckpoint { topic, name, offset: pending.offset }.encode(),
+            );
+        }
+    }
+    inner.sync_journal();
+
+    // Drop every subscription's sender so that blocked or future
     // subscriber receives observe disconnection once their queues drain.
     for topic in inner.topics.read().values() {
         topic.subscriptions.write().clear();
     }
+}
+
+/// Replays the journal into a fresh topic registry: topics and durable
+/// subscriptions are re-created, and every publish logged after a durable
+/// subscription's registration but not covered by one of its checkpoint
+/// records goes back into its retained backlog (at-least-once
+/// re-delivery). Expired messages and backlog beyond
+/// `durable_buffer_capacity` are discarded, mirroring live behaviour.
+fn recover_topics(journal: &Journal, config: &BrokerConfig) -> HashMap<String, Arc<Topic>> {
+    struct DurableRecovery {
+        filter: Filter,
+        /// `(journal offset, message)` publishes awaiting a checkpoint.
+        backlog: VecDeque<(u64, Arc<Message>)>,
+    }
+
+    let mut recovered: HashMap<String, HashMap<String, DurableRecovery>> = HashMap::new();
+    for item in journal.replay(journal.first_offset()) {
+        let (offset, payload) = item.expect("failed to read back the write-ahead journal");
+        let record = JournalRecord::decode(&payload).unwrap_or_else(|e| {
+            // The frame passed its CRC, so this is version skew or a bug,
+            // not a torn write — refuse to guess at broker state.
+            panic!("journal frame {offset} is checksummed but undecodable: {e}")
+        });
+        match record {
+            JournalRecord::TopicCreated { topic } => {
+                recovered.entry(topic).or_default();
+            }
+            JournalRecord::Publish { topic, message } => {
+                let message = Arc::new(message);
+                if let Some(durables) = recovered.get_mut(&topic) {
+                    for durable in durables.values_mut() {
+                        if durable.filter.matches(&message) {
+                            durable.backlog.push_back((offset, Arc::clone(&message)));
+                        }
+                    }
+                }
+            }
+            JournalRecord::DurableRegistered { topic, name, filter } => {
+                // (Re-)registration starts from an empty backlog — a
+                // changed filter discards retained messages (JMS
+                // change-of-selector semantics).
+                recovered
+                    .entry(topic)
+                    .or_default()
+                    .insert(name, DurableRecovery { filter, backlog: VecDeque::new() });
+            }
+            JournalRecord::DurableCheckpoint { topic, name, offset } => {
+                if let Some(durable) =
+                    recovered.get_mut(&topic).and_then(|durables| durables.get_mut(&name))
+                {
+                    while durable.backlog.front().is_some_and(|(o, _)| *o <= offset) {
+                        durable.backlog.pop_front();
+                    }
+                }
+            }
+            JournalRecord::DurableUnsubscribed { topic, name } => {
+                if let Some(durables) = recovered.get_mut(&topic) {
+                    durables.remove(&name);
+                }
+            }
+        }
+    }
+
+    let mut topics = HashMap::with_capacity(recovered.len());
+    for (topic_name, durables) in recovered {
+        let topic = Arc::new(Topic::new(&topic_name));
+        {
+            let mut topic_durables = topic.durables.write();
+            for (durable_name, recovery) in durables {
+                let mut retained: VecDeque<Arc<Message>> = recovery
+                    .backlog
+                    .into_iter()
+                    .map(|(_, message)| message)
+                    .filter(|message| !message.is_expired())
+                    .collect();
+                while retained.len() > config.durable_buffer_capacity {
+                    retained.pop_front();
+                }
+                topic_durables.push(Arc::new(DurableState {
+                    name: durable_name,
+                    filter: Mutex::new(recovery.filter),
+                    retained: Mutex::new(retained),
+                    connection: Mutex::new(None),
+                }));
+            }
+        }
+        topics.insert(topic_name, topic);
+    }
+    topics
 }
 
 enum Delivery {
@@ -750,6 +958,7 @@ impl Publisher {
     ///
     /// `Err(Some(message))` when the queue is full, `Err(None)` when the
     /// broker is stopped.
+    #[allow(clippy::result_large_err)] // the Err hands the message back (push-back)
     pub fn try_publish(&self, message: Message) -> Result<(), Option<Message>> {
         if self.inner.stopped.load(Ordering::Relaxed) {
             return Err(None);
@@ -787,10 +996,7 @@ pub struct Subscriber {
 
 impl fmt::Debug for Subscriber {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Subscriber")
-            .field("id", &self.id)
-            .field("topic", &self.topic_name)
-            .finish()
+        f.debug_struct("Subscriber").field("id", &self.id).field("topic", &self.topic_name).finish()
     }
 }
 
@@ -946,8 +1152,7 @@ mod tests {
     #[test]
     fn replication_to_matching_subscribers() {
         let b = broker();
-        let subs: Vec<_> =
-            (0..5).map(|_| b.subscribe("t", Filter::None).unwrap()).collect();
+        let subs: Vec<_> = (0..5).map(|_| b.subscribe("t", Filter::None).unwrap()).collect();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().build()).unwrap();
         for s in &subs {
@@ -983,10 +1188,7 @@ mod tests {
     #[test]
     fn unknown_topic_errors() {
         let b = broker();
-        assert!(matches!(
-            b.publisher("nope"),
-            Err(BrokerError::TopicNotFound { .. })
-        ));
+        assert!(matches!(b.publisher("nope"), Err(BrokerError::TopicNotFound { .. })));
         assert!(matches!(
             b.subscribe("nope", Filter::None),
             Err(BrokerError::TopicNotFound { .. })
@@ -1110,9 +1312,7 @@ mod tests {
     fn filter_evaluation_counts_are_per_subscription() {
         let b = broker();
         let _subs: Vec<_> = (0..3)
-            .map(|i| {
-                b.subscribe("t", Filter::correlation_id(&format!("#{i}")).unwrap()).unwrap()
-            })
+            .map(|i| b.subscribe("t", Filter::correlation_id(&format!("#{i}")).unwrap()).unwrap())
             .collect();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().correlation_id("#0").build()).unwrap();
@@ -1137,18 +1337,14 @@ mod tests {
         let p2 = p1.clone();
         let h1 = std::thread::spawn(move || {
             for i in 0..50i64 {
-                p1.publish(
-                    Message::builder().property("src", 1i64).property("seq", i).build(),
-                )
-                .unwrap();
+                p1.publish(Message::builder().property("src", 1i64).property("seq", i).build())
+                    .unwrap();
             }
         });
         let h2 = std::thread::spawn(move || {
             for i in 0..50i64 {
-                p2.publish(
-                    Message::builder().property("src", 2i64).property("seq", i).build(),
-                )
-                .unwrap();
+                p2.publish(Message::builder().property("src", 2i64).property("seq", i).build())
+                    .unwrap();
             }
         });
         h1.join().unwrap();

@@ -1,7 +1,9 @@
 //! Broker configuration.
 
 use crate::cost::CostModel;
+use rjms_journal::JournalConfig;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// What the dispatcher does when a subscriber's queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -14,6 +16,68 @@ pub enum OverflowPolicy {
     /// Drop the new message copy for that subscriber (lossy delivery;
     /// recorded in [`crate::stats::BrokerStats::dropped`]).
     DropNew,
+}
+
+/// Durability settings: where the write-ahead journal lives and how
+/// aggressively durable-consumer progress is checkpointed into it.
+///
+/// With persistence enabled the dispatcher appends every accepted message
+/// to the journal *before* fan-out (write-ahead), and records a
+/// `DurableCheckpoint` after every `checkpoint_every` deliveries to a
+/// connected durable consumer. On restart the broker replays the journal,
+/// rebuilding topics, durable subscriptions and their retained backlogs;
+/// messages delivered after the last checkpoint are re-delivered
+/// (at-least-once semantics).
+///
+/// Journal I/O failure is fatal: a broker that cannot write its
+/// write-ahead log can no longer honor the durability contract, so it
+/// panics rather than silently degrading to in-memory mode.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::config::PersistenceConfig;
+/// use rjms_journal::FsyncPolicy;
+///
+/// let p = PersistenceConfig::new("/tmp/rjms-doc-persist")
+///     .checkpoint_every(64)
+///     .journal(|j| j.fsync(FsyncPolicy::Always));
+/// assert_eq!(p.checkpoint_every, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistenceConfig {
+    /// Journal location, segment sizing, fsync policy, retention.
+    pub journal: JournalConfig,
+    /// Deliveries to a connected durable consumer between checkpoint
+    /// records (per durable subscription). Lower values shrink the
+    /// re-delivery window after a crash at the cost of extra journal
+    /// traffic.
+    pub checkpoint_every: u64,
+}
+
+impl PersistenceConfig {
+    /// Persistence with journal defaults in `dir` and a checkpoint every
+    /// 256 deliveries.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistenceConfig { journal: JournalConfig::new(dir), checkpoint_every: 256 }
+    }
+
+    /// Adjusts the journal configuration in place.
+    pub fn journal(mut self, adjust: impl FnOnce(JournalConfig) -> JournalConfig) -> Self {
+        self.journal = adjust(self.journal);
+        self
+    }
+
+    /// Sets the checkpoint interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint_every must be > 0");
+        self.checkpoint_every = every;
+        self
+    }
 }
 
 /// Configuration for a [`crate::Broker`].
@@ -44,6 +108,9 @@ pub struct BrokerConfig {
     /// Maximum number of messages retained per *disconnected durable
     /// subscription*; the oldest retained message is dropped on overflow.
     pub durable_buffer_capacity: usize,
+    /// Optional write-ahead persistence (see [`PersistenceConfig`]);
+    /// `None` runs the broker purely in memory, as the seed model did.
+    pub persistence: Option<PersistenceConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -54,6 +121,7 @@ impl Default for BrokerConfig {
             overflow_policy: OverflowPolicy::Block,
             cost_model: None,
             durable_buffer_capacity: 65_536,
+            persistence: None,
         }
     }
 }
@@ -103,6 +171,12 @@ impl BrokerConfig {
         self.durable_buffer_capacity = capacity;
         self
     }
+
+    /// Enables write-ahead persistence.
+    pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
+        self.persistence = Some(persistence);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +214,25 @@ mod tests {
     #[should_panic(expected = "capacity must be > 0")]
     fn zero_capacity_rejected() {
         BrokerConfig::default().publish_queue_capacity(0);
+    }
+
+    #[test]
+    fn persistence_config_builders() {
+        use rjms_journal::FsyncPolicy;
+        let c = BrokerConfig::default().persistence(
+            PersistenceConfig::new("/tmp/rjms-cfg-test")
+                .checkpoint_every(8)
+                .journal(|j| j.fsync(FsyncPolicy::Always)),
+        );
+        let p = c.persistence.expect("persistence set");
+        assert_eq!(p.checkpoint_every, 8);
+        assert_eq!(p.journal.fsync, FsyncPolicy::Always);
+        assert!(BrokerConfig::default().persistence.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_every must be > 0")]
+    fn zero_checkpoint_interval_rejected() {
+        PersistenceConfig::new("/tmp/rjms-cfg-test").checkpoint_every(0);
     }
 }

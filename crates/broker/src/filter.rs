@@ -53,9 +53,10 @@ impl std::error::Error for CheckedSelectorError {}
 /// assert!(f.matches(&hit));
 /// assert!(!f.matches(&miss));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Filter {
     /// No filter: every message in the topic is forwarded.
+    #[default]
     None,
     /// Correlation-ID filter (exact, range `[lo;hi]`, prefix, or any).
     CorrelationId(CorrelationFilter),
@@ -123,12 +124,6 @@ impl Filter {
     }
 }
 
-impl Default for Filter {
-    fn default() -> Self {
-        Filter::None
-    }
-}
-
 impl fmt::Display for Filter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -161,10 +156,7 @@ mod tests {
     #[test]
     fn selector_filter_on_properties() {
         let f = Filter::selector("color = 'red' AND weight > 2").unwrap();
-        let hit = Message::builder()
-            .property("color", "red")
-            .property("weight", 3i64)
-            .build();
+        let hit = Message::builder().property("color", "red").property("weight", 3i64).build();
         let miss = Message::builder().property("color", "red").build();
         assert!(f.matches(&hit));
         assert!(!f.matches(&miss));
@@ -190,13 +182,7 @@ mod tests {
     fn display_labels() {
         assert_eq!(Filter::None.to_string(), "<none>");
         assert_eq!(Filter::None.kind_name(), "none");
-        assert_eq!(
-            Filter::correlation_id("[1;2]").unwrap().kind_name(),
-            "correlation-id"
-        );
-        assert_eq!(
-            Filter::selector("a = 1").unwrap().kind_name(),
-            "application-property"
-        );
+        assert_eq!(Filter::correlation_id("[1;2]").unwrap().kind_name(), "correlation-id");
+        assert_eq!(Filter::selector("a = 1").unwrap().kind_name(), "application-property");
     }
 }

@@ -56,13 +56,15 @@ pub mod error;
 pub mod filter;
 pub mod message;
 pub mod pattern;
+pub mod persist;
 pub mod stats;
 
 pub use broker::{Broker, Publisher, Subscriber, SubscriptionId, TopicStats};
-pub use config::{BrokerConfig, OverflowPolicy};
+pub use config::{BrokerConfig, OverflowPolicy, PersistenceConfig};
 pub use cost::CostModel;
 pub use error::{BrokerError, ReceiveError};
 pub use filter::Filter;
 pub use message::{Message, MessageBuilder, MessageId, Priority};
 pub use pattern::TopicPattern;
+pub use rjms_journal::{FsyncPolicy, JournalConfig, JournalStats, RecoveryReport};
 pub use stats::{BrokerStats, StatsSnapshot, Throughput, ThroughputProbe};

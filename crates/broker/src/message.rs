@@ -19,11 +19,23 @@ use std::time::{SystemTime, UNIX_EPOCH};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MessageId(u64);
 
+static ID_COUNTER: AtomicU64 = AtomicU64::new(1);
+
 impl MessageId {
     /// Allocates the next process-wide unique id.
     pub fn next() -> Self {
-        static COUNTER: AtomicU64 = AtomicU64::new(1);
-        MessageId(COUNTER.fetch_add(1, Ordering::Relaxed))
+        MessageId(ID_COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Rebuilds an id recovered from the journal.
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        MessageId(raw)
+    }
+
+    /// Keeps the id allocator above every id recovered from the journal,
+    /// so post-recovery messages never collide with replayed ones.
+    pub(crate) fn observe(raw: u64) {
+        ID_COUNTER.fetch_max(raw + 1, Ordering::Relaxed);
     }
 
     /// The raw numeric id.
@@ -172,6 +184,34 @@ impl Message {
         &self.body
     }
 
+    /// Reassembles a message from journal-recovered parts, keeping the
+    /// original id and timestamps.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_stored_parts(
+        id_raw: u64,
+        timestamp_millis: u64,
+        correlation_id: Option<String>,
+        message_type: Option<String>,
+        priority: Priority,
+        reply_to: Option<String>,
+        expiration_millis: Option<u64>,
+        properties: BTreeMap<String, Value>,
+        body: Bytes,
+    ) -> Message {
+        MessageId::observe(id_raw);
+        Message {
+            id: MessageId::from_raw(id_raw),
+            timestamp_millis,
+            correlation_id,
+            message_type,
+            priority,
+            reply_to,
+            expiration_millis,
+            properties,
+            body,
+        }
+    }
+
     /// Total approximate wire size: headers + properties + payload.
     pub fn approximate_size(&self) -> usize {
         let header = 64
@@ -299,10 +339,7 @@ impl MessageBuilder {
 
 /// Current wall-clock time in milliseconds since the Unix epoch.
 pub(crate) fn now_unix_millis() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -399,9 +436,7 @@ mod tests {
 
     #[test]
     fn ttl_sets_absolute_expiration() {
-        let m = Message::builder()
-            .time_to_live(std::time::Duration::from_millis(50))
-            .build();
+        let m = Message::builder().time_to_live(std::time::Duration::from_millis(50)).build();
         let exp = m.expiration_millis().expect("expiration set");
         assert_eq!(exp, m.timestamp_millis() + 50);
         assert!(!m.is_expired_at(exp - 1));
@@ -412,9 +447,7 @@ mod tests {
     fn selectors_see_expiration_header() {
         let never = Message::builder().build();
         assert!(Selector::parse("JMSExpiration = 0").unwrap().matches(&never));
-        let soon = Message::builder()
-            .time_to_live(std::time::Duration::from_secs(60))
-            .build();
+        let soon = Message::builder().time_to_live(std::time::Duration::from_secs(60)).build();
         assert!(Selector::parse("JMSExpiration > 0").unwrap().matches(&soon));
     }
 }

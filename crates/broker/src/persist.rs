@@ -1,0 +1,467 @@
+//! Journal record encoding for broker persistence.
+//!
+//! Every state change the broker must survive is one [`JournalRecord`],
+//! serialized into a journal frame payload with a compact little-endian,
+//! length-prefixed binary format. The journal layer adds checksums and
+//! torn-tail recovery; this module only defines what is stored.
+//!
+//! Filters are persisted by their textual form ([`Filter::correlation_id`]
+//! pattern syntax / selector source) and re-parsed on recovery, so the
+//! journal format is decoupled from the selector AST.
+
+use crate::filter::Filter;
+use crate::message::{Message, Priority};
+use rjms_selector::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One durable broker state change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A topic was created.
+    TopicCreated {
+        /// Topic name.
+        topic: String,
+    },
+    /// A message was accepted from a publisher on `topic`.
+    Publish {
+        /// Topic name.
+        topic: String,
+        /// The full message.
+        message: Message,
+    },
+    /// A durable subscription was created, or its filter replaced.
+    DurableRegistered {
+        /// Topic name.
+        topic: String,
+        /// Durable subscription name.
+        name: String,
+        /// The subscription filter at registration time.
+        filter: Filter,
+    },
+    /// All publishes on `topic` up to and including `offset` have been
+    /// delivered to the named durable subscription's consumer.
+    DurableCheckpoint {
+        /// Topic name.
+        topic: String,
+        /// Durable subscription name.
+        name: String,
+        /// Journal offset of the last delivered publish.
+        offset: u64,
+    },
+    /// A durable subscription was permanently removed.
+    DurableUnsubscribed {
+        /// Topic name.
+        topic: String,
+        /// Durable subscription name.
+        name: String,
+    },
+}
+
+/// A record that could not be decoded (format violation, not I/O).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed journal record: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, DecodeError> {
+    Err(DecodeError { message: message.into() })
+}
+
+const TAG_TOPIC_CREATED: u8 = 1;
+const TAG_PUBLISH: u8 = 2;
+const TAG_DURABLE_REGISTERED: u8 = 3;
+const TAG_DURABLE_CHECKPOINT: u8 = 4;
+const TAG_DURABLE_UNSUBSCRIBED: u8 = 5;
+
+const FILTER_NONE: u8 = 0;
+const FILTER_CORRELATION: u8 = 1;
+const FILTER_SELECTOR: u8 = 2;
+
+const VALUE_BOOL: u8 = 0;
+const VALUE_INT: u8 = 1;
+const VALUE_FLOAT: u8 = 2;
+const VALUE_STR: u8 = 3;
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Bool(b) => {
+            out.push(VALUE_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(VALUE_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(VALUE_FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(VALUE_STR);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_filter(out: &mut Vec<u8>, filter: &Filter) {
+    match filter {
+        Filter::None => out.push(FILTER_NONE),
+        Filter::CorrelationId(c) => {
+            out.push(FILTER_CORRELATION);
+            put_str(out, &c.to_string());
+        }
+        Filter::Selector(s) => {
+            out.push(FILTER_SELECTOR);
+            put_str(out, s.source());
+        }
+    }
+}
+
+/// Byte-slice reader with bounds-checked accessors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.at < n {
+            return err(format!(
+                "need {n} bytes at position {}, have {}",
+                self.at,
+                self.buf.len() - self.at
+            ));
+        }
+        let slice = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let raw = self.bytes()?;
+        match std::str::from_utf8(raw) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => err("string field is not UTF-8"),
+        }
+    }
+
+    fn opt_string(&mut self) -> Result<Option<String>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string()?)),
+            flag => err(format!("bad option flag {flag}")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.u8()? {
+            VALUE_BOOL => Ok(Value::Bool(self.u8()? != 0)),
+            VALUE_INT => Ok(Value::Int(self.i64()?)),
+            VALUE_FLOAT => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            VALUE_STR => Ok(Value::Str(self.string()?)),
+            tag => err(format!("bad value tag {tag}")),
+        }
+    }
+
+    fn filter(&mut self) -> Result<Filter, DecodeError> {
+        match self.u8()? {
+            FILTER_NONE => Ok(Filter::None),
+            FILTER_CORRELATION => {
+                let pattern = self.string()?;
+                Filter::correlation_id(&pattern)
+                    .map_err(|e| DecodeError { message: format!("stored correlation filter: {e}") })
+            }
+            FILTER_SELECTOR => {
+                let source = self.string()?;
+                Filter::selector(&source)
+                    .map_err(|e| DecodeError { message: format!("stored selector: {e}") })
+            }
+            tag => err(format!("bad filter tag {tag}")),
+        }
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            err(format!("{} trailing bytes", self.buf.len() - self.at))
+        }
+    }
+}
+
+fn put_message(out: &mut Vec<u8>, message: &Message) {
+    out.extend_from_slice(&message.id().as_u64().to_le_bytes());
+    out.extend_from_slice(&message.timestamp_millis().to_le_bytes());
+    put_opt_str(out, message.correlation_id());
+    put_opt_str(out, message.message_type());
+    out.push(message.priority().level());
+    put_opt_str(out, message.reply_to());
+    match message.expiration_millis() {
+        None => out.push(0),
+        Some(e) => {
+            out.push(1);
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(message.properties().len() as u32).to_le_bytes());
+    for (key, value) in message.properties() {
+        put_str(out, key);
+        put_value(out, value);
+    }
+    put_bytes(out, message.body());
+}
+
+fn read_message(cursor: &mut Cursor<'_>) -> Result<Message, DecodeError> {
+    let id_raw = cursor.u64()?;
+    let timestamp_millis = cursor.u64()?;
+    let correlation_id = cursor.opt_string()?;
+    let message_type = cursor.opt_string()?;
+    let priority_level = cursor.u8()?;
+    if priority_level > 9 {
+        return err(format!("priority {priority_level} out of the JMS 0-9 range"));
+    }
+    let reply_to = cursor.opt_string()?;
+    let expiration_millis = match cursor.u8()? {
+        0 => None,
+        1 => Some(cursor.u64()?),
+        flag => return err(format!("bad expiration flag {flag}")),
+    };
+    let property_count = cursor.u32()?;
+    let mut properties = BTreeMap::new();
+    for _ in 0..property_count {
+        let key = cursor.string()?;
+        let value = cursor.value()?;
+        properties.insert(key, value);
+    }
+    let body = cursor.bytes()?.to_vec();
+    Ok(Message::from_stored_parts(
+        id_raw,
+        timestamp_millis,
+        correlation_id,
+        message_type,
+        Priority::new(priority_level),
+        reply_to,
+        expiration_millis,
+        properties,
+        body.into(),
+    ))
+}
+
+/// Encodes a [`JournalRecord::Publish`] without cloning the message — the
+/// dispatcher's per-message hot path.
+pub fn encode_publish(topic: &str, message: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + message.approximate_size());
+    out.push(TAG_PUBLISH);
+    put_str(&mut out, topic);
+    put_message(&mut out, message);
+    out
+}
+
+impl JournalRecord {
+    /// Serializes the record into a journal frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            JournalRecord::TopicCreated { topic } => {
+                out.push(TAG_TOPIC_CREATED);
+                put_str(&mut out, topic);
+            }
+            JournalRecord::Publish { topic, message } => {
+                out.push(TAG_PUBLISH);
+                put_str(&mut out, topic);
+                put_message(&mut out, message);
+            }
+            JournalRecord::DurableRegistered { topic, name, filter } => {
+                out.push(TAG_DURABLE_REGISTERED);
+                put_str(&mut out, topic);
+                put_str(&mut out, name);
+                put_filter(&mut out, filter);
+            }
+            JournalRecord::DurableCheckpoint { topic, name, offset } => {
+                out.push(TAG_DURABLE_CHECKPOINT);
+                put_str(&mut out, topic);
+                put_str(&mut out, name);
+                out.extend_from_slice(&offset.to_le_bytes());
+            }
+            JournalRecord::DurableUnsubscribed { topic, name } => {
+                out.push(TAG_DURABLE_UNSUBSCRIBED);
+                put_str(&mut out, topic);
+                put_str(&mut out, name);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a record from a journal frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed payloads (a frame that passed
+    /// its checksum but does not parse — a version skew or a bug, never a
+    /// torn write).
+    pub fn decode(payload: &[u8]) -> Result<JournalRecord, DecodeError> {
+        let mut cursor = Cursor { buf: payload, at: 0 };
+        let record = match cursor.u8()? {
+            TAG_TOPIC_CREATED => JournalRecord::TopicCreated { topic: cursor.string()? },
+            TAG_PUBLISH => {
+                let topic = cursor.string()?;
+                let message = read_message(&mut cursor)?;
+                JournalRecord::Publish { topic, message }
+            }
+            TAG_DURABLE_REGISTERED => JournalRecord::DurableRegistered {
+                topic: cursor.string()?,
+                name: cursor.string()?,
+                filter: cursor.filter()?,
+            },
+            TAG_DURABLE_CHECKPOINT => JournalRecord::DurableCheckpoint {
+                topic: cursor.string()?,
+                name: cursor.string()?,
+                offset: cursor.u64()?,
+            },
+            TAG_DURABLE_UNSUBSCRIBED => JournalRecord::DurableUnsubscribed {
+                topic: cursor.string()?,
+                name: cursor.string()?,
+            },
+            tag => return err(format!("unknown record tag {tag}")),
+        };
+        cursor.finish()?;
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(record: JournalRecord) {
+        let encoded = record.encode();
+        let decoded = JournalRecord::decode(&encoded).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn topic_and_durable_records_roundtrip() {
+        roundtrip(JournalRecord::TopicCreated { topic: "stocks".into() });
+        roundtrip(JournalRecord::DurableCheckpoint {
+            topic: "stocks".into(),
+            name: "auditor".into(),
+            offset: u64::MAX,
+        });
+        roundtrip(JournalRecord::DurableUnsubscribed {
+            topic: "stocks".into(),
+            name: "auditor".into(),
+        });
+    }
+
+    #[test]
+    fn durable_registration_roundtrips_every_filter_kind() {
+        for filter in [
+            Filter::None,
+            Filter::correlation_id("[7;13]").unwrap(),
+            Filter::correlation_id("order-*").unwrap(),
+            Filter::selector("price < 50.0 AND symbol = 'ACME'").unwrap(),
+        ] {
+            roundtrip(JournalRecord::DurableRegistered {
+                topic: "stocks".into(),
+                name: "auditor".into(),
+                filter,
+            });
+        }
+    }
+
+    #[test]
+    fn publish_roundtrips_full_message() {
+        let message = Message::builder()
+            .correlation_id("#42")
+            .message_type("quote")
+            .priority(Priority::new(7))
+            .reply_to("replies")
+            .property("symbol", "ACME")
+            .property("price", 49.5)
+            .property("urgent", true)
+            .property("volume", 1_000_000i64)
+            .body(&b"opaque payload"[..])
+            .build();
+        let record = JournalRecord::Publish { topic: "stocks".into(), message: message.clone() };
+        let decoded = JournalRecord::decode(&record.encode()).unwrap();
+        match decoded {
+            JournalRecord::Publish { topic, message: recovered } => {
+                assert_eq!(topic, "stocks");
+                assert_eq!(recovered.id(), message.id());
+                assert_eq!(recovered.timestamp_millis(), message.timestamp_millis());
+                assert_eq!(recovered, message);
+            }
+            other => panic!("decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_publish_matches_record_encoding() {
+        let message = Message::builder().property("k", 1i64).body(&b"x"[..]).build();
+        let via_record =
+            JournalRecord::Publish { topic: "t".into(), message: message.clone() }.encode();
+        assert_eq!(encode_publish("t", &message), via_record);
+    }
+
+    #[test]
+    fn truncated_and_garbage_payloads_are_rejected() {
+        let encoded = JournalRecord::TopicCreated { topic: "stocks".into() }.encode();
+        for cut in 0..encoded.len() {
+            assert!(JournalRecord::decode(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(JournalRecord::decode(&[99, 0, 0]).is_err());
+        let mut trailing = encoded.clone();
+        trailing.push(0);
+        assert!(JournalRecord::decode(&trailing).is_err());
+    }
+}

@@ -7,11 +7,16 @@
 //! off. [`BrokerStats`] holds the lock-free counters; [`ThroughputProbe`]
 //! implements the trimmed-window measurement.
 
+use rjms_journal::JournalStats;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Lock-free counters shared between broker threads and observers.
+///
+/// The `journal_*` gauges mirror the write-ahead journal's own
+/// [`JournalStats`] when persistence is enabled (see
+/// [`crate::config::PersistenceConfig`]); they stay zero otherwise.
 #[derive(Debug, Default)]
 pub struct BrokerStats {
     received: AtomicU64,
@@ -21,6 +26,11 @@ pub struct BrokerStats {
     expired_subscriptions: AtomicU64,
     retained: AtomicU64,
     expired_messages: AtomicU64,
+    journal_appends: AtomicU64,
+    journal_bytes_appended: AtomicU64,
+    journal_fsyncs: AtomicU64,
+    journal_frames_recovered: AtomicU64,
+    journal_segments_rotated: AtomicU64,
 }
 
 impl BrokerStats {
@@ -100,6 +110,44 @@ impl BrokerStats {
         self.expired_messages.load(Ordering::Relaxed)
     }
 
+    /// Copies the journal's counters into the broker-level gauges. Called
+    /// by the broker after journal activity; observers read the result via
+    /// the `journal_*` accessors and [`BrokerStats::snapshot`].
+    pub fn update_journal(&self, stats: &JournalStats) {
+        self.journal_appends.store(stats.appends, Ordering::Relaxed);
+        self.journal_bytes_appended.store(stats.bytes_appended, Ordering::Relaxed);
+        self.journal_fsyncs.store(stats.fsyncs, Ordering::Relaxed);
+        self.journal_frames_recovered.store(stats.frames_recovered, Ordering::Relaxed);
+        self.journal_segments_rotated.store(stats.segments_rotated, Ordering::Relaxed);
+    }
+
+    /// Frames appended to the journal so far (0 without persistence).
+    pub fn journal_appends(&self) -> u64 {
+        self.journal_appends.load(Ordering::Relaxed)
+    }
+
+    /// Bytes appended to the journal so far (0 without persistence).
+    pub fn journal_bytes_appended(&self) -> u64 {
+        self.journal_bytes_appended.load(Ordering::Relaxed)
+    }
+
+    /// `fdatasync` calls issued by the journal so far (0 without
+    /// persistence).
+    pub fn journal_fsyncs(&self) -> u64 {
+        self.journal_fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Intact frames recovered from the journal at startup (0 without
+    /// persistence).
+    pub fn journal_frames_recovered(&self) -> u64 {
+        self.journal_frames_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Journal segments sealed and rotated so far (0 without persistence).
+    pub fn journal_segments_rotated(&self) -> u64 {
+        self.journal_segments_rotated.load(Ordering::Relaxed)
+    }
+
     /// An instantaneous snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -107,6 +155,11 @@ impl BrokerStats {
             dispatched: self.dispatched(),
             filter_evaluations: self.filter_evaluations(),
             dropped: self.dropped(),
+            journal_appends: self.journal_appends(),
+            journal_bytes_appended: self.journal_bytes_appended(),
+            journal_fsyncs: self.journal_fsyncs(),
+            journal_frames_recovered: self.journal_frames_recovered(),
+            journal_segments_rotated: self.journal_segments_rotated(),
         }
     }
 }
@@ -122,18 +175,37 @@ pub struct StatsSnapshot {
     pub filter_evaluations: u64,
     /// Message copies dropped on overflow.
     pub dropped: u64,
+    /// Frames appended to the write-ahead journal.
+    pub journal_appends: u64,
+    /// Bytes appended to the write-ahead journal.
+    pub journal_bytes_appended: u64,
+    /// `fdatasync` calls issued by the journal.
+    pub journal_fsyncs: u64,
+    /// Intact frames recovered from the journal at startup.
+    pub journal_frames_recovered: u64,
+    /// Journal segments sealed and rotated.
+    pub journal_segments_rotated: u64,
 }
 
 impl StatsSnapshot {
-    /// Counter deltas `self - earlier` (saturating).
+    /// Counter deltas `self - earlier` (saturating). Recovery happens once
+    /// at startup, so `journal_frames_recovered` is carried over as-is
+    /// rather than differenced.
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             received: self.received.saturating_sub(earlier.received),
             dispatched: self.dispatched.saturating_sub(earlier.dispatched),
-            filter_evaluations: self
-                .filter_evaluations
-                .saturating_sub(earlier.filter_evaluations),
+            filter_evaluations: self.filter_evaluations.saturating_sub(earlier.filter_evaluations),
             dropped: self.dropped.saturating_sub(earlier.dropped),
+            journal_appends: self.journal_appends.saturating_sub(earlier.journal_appends),
+            journal_bytes_appended: self
+                .journal_bytes_appended
+                .saturating_sub(earlier.journal_bytes_appended),
+            journal_fsyncs: self.journal_fsyncs.saturating_sub(earlier.journal_fsyncs),
+            journal_frames_recovered: self.journal_frames_recovered,
+            journal_segments_rotated: self
+                .journal_segments_rotated
+                .saturating_sub(earlier.journal_segments_rotated),
         }
     }
 }
@@ -217,6 +289,32 @@ mod tests {
         assert_eq!(s.dispatched(), 5);
         assert_eq!(s.filter_evaluations(), 7);
         assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn journal_gauges_mirror_journal_stats() {
+        let s = BrokerStats::new();
+        assert_eq!(s.journal_appends(), 0);
+        s.update_journal(&JournalStats {
+            appends: 12,
+            bytes_appended: 340,
+            fsyncs: 3,
+            frames_recovered: 7,
+            torn_bytes_truncated: 0,
+            segments_rotated: 2,
+            segments_removed: 0,
+        });
+        assert_eq!(s.journal_appends(), 12);
+        assert_eq!(s.journal_bytes_appended(), 340);
+        assert_eq!(s.journal_fsyncs(), 3);
+        assert_eq!(s.journal_frames_recovered(), 7);
+        assert_eq!(s.journal_segments_rotated(), 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.journal_appends, 12);
+        // Recovery is a startup-time fact, not a rate: delta keeps it.
+        let d = snap.delta(&snap);
+        assert_eq!(d.journal_appends, 0);
+        assert_eq!(d.journal_frames_recovered, 7);
     }
 
     #[test]

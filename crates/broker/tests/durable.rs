@@ -65,9 +65,7 @@ fn messages_retained_while_offline_and_delivered_on_reconnect() {
 #[test]
 fn retained_backlog_respects_filter() {
     let b = broker();
-    let sub = b
-        .subscribe_durable("t", "reds", Filter::selector("color = 'red'").unwrap())
-        .unwrap();
+    let sub = b.subscribe_durable("t", "reds", Filter::selector("color = 'red'").unwrap()).unwrap();
     drop(sub);
 
     let p = b.publisher("t").unwrap();
@@ -92,9 +90,7 @@ fn second_connection_under_same_name_rejected() {
 #[test]
 fn reconnect_with_different_filter_discards_backlog() {
     let b = broker();
-    let sub = b
-        .subscribe_durable("t", "w", Filter::selector("color = 'red'").unwrap())
-        .unwrap();
+    let sub = b.subscribe_durable("t", "w", Filter::selector("color = 'red'").unwrap()).unwrap();
     drop(sub);
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().property("color", "red").build()).unwrap();
@@ -102,9 +98,7 @@ fn reconnect_with_different_filter_discards_backlog() {
     assert_eq!(b.retained_count("t", "w"), 1);
 
     // JMS: changing the selector recreates the subscription.
-    let sub = b
-        .subscribe_durable("t", "w", Filter::selector("color = 'blue'").unwrap())
-        .unwrap();
+    let sub = b.subscribe_durable("t", "w", Filter::selector("color = 'blue'").unwrap()).unwrap();
     assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
     b.shutdown();
 }
@@ -158,10 +152,7 @@ fn unsubscribe_durable_lifecycle() {
     drop(sub);
     b.unsubscribe_durable("t", "w").unwrap();
     assert!(b.durable_names("t").is_empty());
-    assert!(matches!(
-        b.unsubscribe_durable("t", "w"),
-        Err(BrokerError::DurableNotFound { .. })
-    ));
+    assert!(matches!(b.unsubscribe_durable("t", "w"), Err(BrokerError::DurableNotFound { .. })));
     // After removal nothing is retained.
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().build()).unwrap();

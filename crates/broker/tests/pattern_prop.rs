@@ -29,13 +29,7 @@ fn segment() -> impl Strategy<Value = String> {
 
 fn pattern_segments() -> impl Strategy<Value = Vec<String>> {
     // 1-4 segments of literal/star, optionally capped by ">".
-    (
-        prop::collection::vec(
-            prop_oneof![segment(), Just("*".to_owned())],
-            1..4,
-        ),
-        any::<bool>(),
-    )
+    (prop::collection::vec(prop_oneof![segment(), Just("*".to_owned())], 1..4), any::<bool>())
         .prop_map(|(mut segs, add_rest)| {
             if add_rest {
                 segs.push(">".to_owned());

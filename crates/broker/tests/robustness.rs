@@ -13,9 +13,11 @@ use std::time::{Duration, Instant};
 fn publisher_is_throttled_to_dispatch_rate() {
     let per_message = Duration::from_millis(2);
     let broker = Broker::start(
-        BrokerConfig::default()
-            .publish_queue_capacity(4)
-            .cost_model(CostModel::new(per_message.as_secs_f64(), 0.0, 0.0)),
+        BrokerConfig::default().publish_queue_capacity(4).cost_model(CostModel::new(
+            per_message.as_secs_f64(),
+            0.0,
+            0.0,
+        )),
     );
     broker.create_topic("t").unwrap();
     let publisher = broker.publisher("t").unwrap();
@@ -43,9 +45,7 @@ fn publisher_is_throttled_to_dispatch_rate() {
 #[test]
 fn subscriber_crash_unblocks_dispatcher() {
     let broker = Broker::start(
-        BrokerConfig::default()
-            .subscriber_queue_capacity(1)
-            .overflow_policy(OverflowPolicy::Block),
+        BrokerConfig::default().subscriber_queue_capacity(1).overflow_policy(OverflowPolicy::Block),
     );
     broker.create_topic("t").unwrap();
 
@@ -86,9 +86,7 @@ fn broker_drop_mid_traffic_is_clean() {
     // so a full queue and a not-yet-draining subscriber would deadlock the
     // drop. See `Broker::shutdown` docs.
     let broker = Broker::start(
-        BrokerConfig::default()
-            .publish_queue_capacity(8)
-            .subscriber_queue_capacity(1 << 20),
+        BrokerConfig::default().publish_queue_capacity(8).subscriber_queue_capacity(1 << 20),
     );
     broker.create_topic("t").unwrap();
     let publisher = broker.publisher("t").unwrap();

@@ -173,8 +173,7 @@ impl ClusterScenario {
     pub fn per_broker_service_time(&self) -> f64 {
         self.validate();
         let k = self.brokers as f64;
-        let partition_filters =
-            self.subscribers as f64 * self.filters_per_subscriber as f64 / k;
+        let partition_filters = self.subscribers as f64 * self.filters_per_subscriber as f64 / k;
         self.params.t_rcv
             + partition_filters * self.params.t_fltr
             + (self.mean_replication / k) * self.params.t_tx
@@ -198,10 +197,9 @@ impl ClusterScenario {
         if budget <= 0.0 {
             return None;
         }
-        let shrinking = self.subscribers as f64
-            * self.filters_per_subscriber as f64
-            * self.params.t_fltr
-            + self.mean_replication * self.params.t_tx;
+        let shrinking =
+            self.subscribers as f64 * self.filters_per_subscriber as f64 * self.params.t_fltr
+                + self.mean_replication * self.params.t_tx;
         Some((shrinking / budget).ceil().max(1.0) as u32)
     }
 
@@ -230,8 +228,7 @@ mod tests {
     fn eq21_eq22_closed_forms() {
         let s = scenario(10, 100);
         let p = CostParams::CORRELATION_ID;
-        let psr_expect =
-            0.9 * 10.0 / (p.t_rcv + 100.0 * 10.0 * p.t_fltr + 1.0 * p.t_tx);
+        let psr_expect = 0.9 * 10.0 / (p.t_rcv + 100.0 * 10.0 * p.t_fltr + 1.0 * p.t_tx);
         let ssr_expect = 0.9 / (p.t_rcv + 10.0 * p.t_fltr + 1.0 * p.t_tx);
         assert!((s.psr_capacity() - psr_expect).abs() / psr_expect < 1e-12);
         assert!((s.ssr_capacity() - ssr_expect).abs() / ssr_expect < 1e-12);
@@ -261,14 +258,8 @@ mod tests {
         for m in [10u32, 100, 1000] {
             let base = scenario(1, m);
             let cross = base.crossover_publishers();
-            let below = DistributedScenario {
-                publishers: (cross * 0.9).max(1.0) as u32,
-                ..base
-            };
-            let above = DistributedScenario {
-                publishers: (cross * 1.2).ceil() as u32 + 1,
-                ..base
-            };
+            let below = DistributedScenario { publishers: (cross * 0.9).max(1.0) as u32, ..base };
+            let above = DistributedScenario { publishers: (cross * 1.2).ceil() as u32 + 1, ..base };
             assert!(!below.psr_outperforms_ssr() || cross < 2.0);
             assert!(above.psr_outperforms_ssr());
         }
@@ -283,10 +274,7 @@ mod tests {
         // produces the seconds-scale waiting times the paper warns about).
         let s = scenario(100, 10_000);
         let per_server = s.psr_per_server_capacity();
-        assert!(
-            per_server > 0.5 && per_server < 10.0,
-            "per-server capacity = {per_server} msgs/s"
-        );
+        assert!(per_server > 0.5 && per_server < 10.0, "per-server capacity = {per_server} msgs/s");
         let expect = 0.9
             / (CostParams::CORRELATION_ID.t_rcv
                 + 1e5 * CostParams::CORRELATION_ID.t_fltr

@@ -68,9 +68,9 @@ impl fmt::Display for CalibrationError {
             Self::TooFewObservations { got } => {
                 write!(f, "need at least 3 observations to fit 3 parameters, got {got}")
             }
-            Self::SingularDesign => f.write_str(
-                "singular design: observations must vary in both n_fltr and E[R]",
-            ),
+            Self::SingularDesign => {
+                f.write_str("singular design: observations must vary in both n_fltr and E[R]")
+            }
             Self::InvalidObservation { index } => {
                 write!(f, "observation {index} has non-positive throughput")
             }
@@ -131,9 +131,10 @@ pub fn fit_cost_params(observations: &[Observation]) -> Result<Calibration, Cali
         return Err(CalibrationError::TooFewObservations { got: observations.len() });
     }
     for (i, o) in observations.iter().enumerate() {
-        if !(o.received_per_sec > 0.0)
+        if o.received_per_sec <= 0.0
             || !o.received_per_sec.is_finite()
-            || !(o.mean_replication >= 0.0)
+            || o.mean_replication.is_nan()
+            || o.mean_replication < 0.0
         {
             return Err(CalibrationError::InvalidObservation { index: i });
         }
@@ -166,8 +167,7 @@ pub fn fit_cost_params(observations: &[Observation]) -> Result<Calibration, Cali
 
     // Residual diagnostics.
     let n = observations.len() as f64;
-    let mean_y: f64 =
-        observations.iter().map(|o| o.mean_service_time()).sum::<f64>() / n;
+    let mean_y: f64 = observations.iter().map(|o| o.mean_service_time()).sum::<f64>() / n;
     let mut ss_res = 0.0;
     let mut ss_tot = 0.0;
     for o in observations {
@@ -207,9 +207,10 @@ pub fn fit_cost_params_fixed_rcv(
         return Err(CalibrationError::TooFewObservations { got: observations.len() });
     }
     for (i, o) in observations.iter().enumerate() {
-        if !(o.received_per_sec > 0.0)
+        if o.received_per_sec <= 0.0
             || !o.received_per_sec.is_finite()
-            || !(o.mean_replication >= 0.0)
+            || o.mean_replication.is_nan()
+            || o.mean_replication < 0.0
         {
             return Err(CalibrationError::InvalidObservation { index: i });
         }
@@ -258,10 +259,7 @@ pub fn fit_cost_params_fixed_rcv(
 /// pivoting; `None` when (numerically) singular.
 fn solve_3x3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     // Scale-aware singularity threshold.
-    let scale: f64 = a
-        .iter()
-        .flat_map(|r| r.iter())
-        .fold(0.0f64, |m, v| m.max(v.abs()));
+    let scale: f64 = a.iter().flat_map(|r| r.iter()).fold(0.0f64, |m, v| m.max(v.abs()));
     if scale == 0.0 {
         return None;
     }
@@ -280,8 +278,9 @@ fn solve_3x3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         // Eliminate below.
         for row in (col + 1)..3 {
             let factor = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            let pivot = a[col];
+            for (entry, p) in a[row].iter_mut().zip(pivot.iter()).skip(col) {
+                *entry -= factor * p;
             }
             b[row] -= factor * b[col];
         }
@@ -365,10 +364,7 @@ mod tests {
     fn singular_design_rejected() {
         // All observations at the same (n_fltr, R): infinitely many fits.
         let o = Observation { n_fltr: 10, mean_replication: 2.0, received_per_sec: 1000.0 };
-        assert!(matches!(
-            fit_cost_params(&[o, o, o, o]),
-            Err(CalibrationError::SingularDesign)
-        ));
+        assert!(matches!(fit_cost_params(&[o, o, o, o]), Err(CalibrationError::SingularDesign)));
     }
 
     #[test]
@@ -384,10 +380,7 @@ mod tests {
                 received_per_sec: 1.0 / truth.mean_service_time(10 * k, 5.0 * k as f64),
             })
             .collect();
-        assert!(matches!(
-            fit_cost_params(&obs),
-            Err(CalibrationError::SingularDesign)
-        ));
+        assert!(matches!(fit_cost_params(&obs), Err(CalibrationError::SingularDesign)));
     }
 
     #[test]
@@ -399,7 +392,6 @@ mod tests {
             Err(CalibrationError::InvalidObservation { index: 3 })
         ));
     }
-
 
     #[test]
     fn fixed_rcv_fit_recovers_slopes() {

@@ -28,12 +28,7 @@ use serde::{Deserialize, Serialize};
 /// let cap = server_capacity(&p, 100, 0.0, 0.9);
 /// assert!((cap - 45.0).abs() < 1e-9);
 /// ```
-pub fn server_capacity(
-    params: &CostParams,
-    n_fltr: u32,
-    mean_replication: f64,
-    rho: f64,
-) -> f64 {
+pub fn server_capacity(params: &CostParams, n_fltr: u32, mean_replication: f64, rho: f64) -> f64 {
     assert!(rho > 0.0 && rho <= 1.0, "utilization budget must be in (0, 1], got {rho}");
     rho / params.mean_service_time(n_fltr, mean_replication)
 }

@@ -84,11 +84,7 @@ impl ServerModel {
     /// The full stochastic service time `B = D + R·t_tx` for a
     /// replication-grade distribution (feeds the M/G/1 analysis).
     pub fn service_time(&self, replication: ReplicationModel) -> ServiceTime {
-        ServiceTime::new(
-            self.params.deterministic_part(self.n_fltr),
-            self.params.t_tx,
-            replication,
-        )
+        ServiceTime::new(self.params.deterministic_part(self.n_fltr), self.params.t_tx, replication)
     }
 }
 

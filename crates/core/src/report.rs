@@ -43,11 +43,7 @@ pub fn plan_report(scenario: &ApplicationScenario) -> String {
     );
     let _ = writeln!(out, "mean replication     : E[R] = {:.2}", scenario.mean_replication());
     let _ = writeln!(out, "mean service time    : E[B] = {:.4} ms", e_b * 1e3);
-    let _ = writeln!(
-        out,
-        "capacity (rho = 0.9) : {:.1} msgs/s",
-        scenario.capacity(0.9)
-    );
+    let _ = writeln!(out, "capacity (rho = 0.9) : {:.1} msgs/s", scenario.capacity(0.9));
     let _ = writeln!(
         out,
         "offered load         : {:.1} msgs/s -> utilization {:.1}%",
@@ -56,7 +52,10 @@ pub fn plan_report(scenario: &ApplicationScenario) -> String {
     );
 
     if !scenario.is_feasible() {
-        let _ = writeln!(out, "verdict              : OVERLOADED — the server cannot sustain this load");
+        let _ = writeln!(
+            out,
+            "verdict              : OVERLOADED — the server cannot sustain this load"
+        );
         return out;
     }
 
@@ -80,10 +79,7 @@ pub fn plan_report(scenario: &ApplicationScenario) -> String {
             // Buffer sizing from the full queue object.
             if let Ok(queue) = Mg1::with_utilization(
                 utilization,
-                scenario
-                    .server_model()
-                    .service_time(scenario.replication_model())
-                    .moments(),
+                scenario.server_model().service_time(scenario.replication_model()).moments(),
             ) {
                 let _ = writeln!(
                     out,

@@ -113,8 +113,7 @@ impl ApplicationScenario {
 
     /// Mean message service time `E[B]` (Eq. 1).
     pub fn mean_service_time(&self) -> f64 {
-        self.params
-            .mean_service_time(self.total_filters(), self.mean_replication())
+        self.params.mean_service_time(self.total_filters(), self.mean_replication())
     }
 
     /// Server capacity at a utilization budget (Eq. 2).

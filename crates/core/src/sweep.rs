@@ -96,9 +96,7 @@ pub fn cvar_series(
                 .iter()
                 .map(|&n| SeriesPoint {
                     x: n as f64,
-                    y: ServerModel::new(params, n)
-                        .service_time(family(n as f64, p))
-                        .cvar(),
+                    y: ServerModel::new(params, n).service_time(family(n as f64, p)).cvar(),
                 })
                 .collect(),
         })
@@ -114,16 +112,10 @@ pub fn mean_waiting_series(rho_sweep: &[f64], cvars: &[f64]) -> Vec<Series> {
 /// Fig. 12: the normalized `p`-quantile of the waiting time vs utilization,
 /// one series per service-time coefficient of variation.
 pub fn quantile_series(rho_sweep: &[f64], cvars: &[f64], p: f64) -> Vec<Series> {
-    waiting_series(rho_sweep, cvars, move |queue| {
-        queue.waiting_time_distribution().quantile(p)
-    })
+    waiting_series(rho_sweep, cvars, move |queue| queue.waiting_time_distribution().quantile(p))
 }
 
-fn waiting_series(
-    rho_sweep: &[f64],
-    cvars: &[f64],
-    metric: impl Fn(&Mg1) -> f64,
-) -> Vec<Series> {
+fn waiting_series(rho_sweep: &[f64], cvars: &[f64], metric: impl Fn(&Mg1) -> f64) -> Vec<Series> {
     cvars
         .iter()
         .map(|&c| Series {

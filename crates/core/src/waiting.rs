@@ -120,8 +120,7 @@ mod tests {
 
     fn analysis(rho: f64) -> WaitingTimeAnalysis {
         let model = ServerModel::new(CostParams::CORRELATION_ID, 50);
-        WaitingTimeAnalysis::for_model(&model, ReplicationModel::binomial(50.0, 0.2), rho)
-            .unwrap()
+        WaitingTimeAnalysis::for_model(&model, ReplicationModel::binomial(50.0, 0.2), rho).unwrap()
     }
 
     #[test]
@@ -140,11 +139,7 @@ mod tests {
         // §IV-B.5: at ρ = 0.9 the 99.99% quantile stays below 50·E[B] for
         // the small service-time cvar values the replication models induce.
         let r = analysis(0.9).report();
-        assert!(
-            r.normalized_q9999() < 50.0,
-            "Q_99.99/E[B] = {}",
-            r.normalized_q9999()
-        );
+        assert!(r.normalized_q9999() < 50.0, "Q_99.99/E[B] = {}", r.normalized_q9999());
     }
 
     #[test]
@@ -152,12 +147,8 @@ mod tests {
         // §IV-B.5: E[B] = 20 ms at ρ = 0.9 guarantees < 1 s with 99.99%.
         let params = CostParams::new(0.0, 2e-4, 0.0);
         let model = ServerModel::new(params, 100); // E[B] = 20 ms
-        let a = WaitingTimeAnalysis::for_model(
-            &model,
-            ReplicationModel::deterministic(0.0),
-            0.9,
-        )
-        .unwrap();
+        let a = WaitingTimeAnalysis::for_model(&model, ReplicationModel::deterministic(0.0), 0.9)
+            .unwrap();
         let r = a.report();
         assert!((r.mean_service_time - 0.02).abs() < 1e-12);
         assert!(r.q9999 < 1.0, "Q_99.99 = {} s", r.q9999);
@@ -176,12 +167,8 @@ mod tests {
     #[test]
     fn unstable_rho_rejected() {
         let model = ServerModel::new(CostParams::CORRELATION_ID, 10);
-        assert!(WaitingTimeAnalysis::for_model(
-            &model,
-            ReplicationModel::deterministic(1.0),
-            1.0
-        )
-        .is_err());
+        assert!(WaitingTimeAnalysis::for_model(&model, ReplicationModel::deterministic(1.0), 1.0)
+            .is_err());
     }
 
     #[test]

@@ -56,8 +56,7 @@ fn model_predicts_simulated_throughput_within_3_percent() {
     for m in run_paper_grid(&cfg) {
         let model = ServerModel::new(truth, m.n_fltr);
         let predicted = model.predict_throughput(m.mean_replication);
-        let rel = (predicted.received_per_sec - m.received_per_sec).abs()
-            / m.received_per_sec;
+        let rel = (predicted.received_per_sec - m.received_per_sec).abs() / m.received_per_sec;
         assert!(
             rel < 0.03,
             "n_fltr={} R={}: model {} vs measured {}",
@@ -91,8 +90,7 @@ fn analytic_mean_waiting_matches_simulation() {
         };
         let sim = simulate_lindley(&sim_cfg, &service);
 
-        let rel = (sim.waiting.mean() - report.mean_waiting_time).abs()
-            / report.mean_waiting_time;
+        let rel = (sim.waiting.mean() - report.mean_waiting_time).abs() / report.mean_waiting_time;
         assert!(
             rel < 0.08,
             "rho={rho}: sim E[W]={} vs analytic {}",

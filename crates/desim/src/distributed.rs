@@ -62,10 +62,7 @@ impl DistributedSimResult {
 impl DistributedSimScenario {
     fn validate(&self) {
         assert!(self.publishers > 0 && self.subscribers > 0, "populations must be positive");
-        assert!(
-            self.t_rcv >= 0.0 && self.t_fltr >= 0.0 && self.t_tx >= 0.0,
-            "costs must be >= 0"
-        );
+        assert!(self.t_rcv >= 0.0 && self.t_fltr >= 0.0 && self.t_tx >= 0.0, "costs must be >= 0");
         assert!(self.mean_replication >= 0.0, "replication must be >= 0");
     }
 

@@ -38,10 +38,7 @@ impl<S> PartialOrd for ScheduledEvent<S> {
 impl<S> Ord for ScheduledEvent<S> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first ordering.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -197,9 +194,7 @@ mod tests {
     fn fifo_within_equal_timestamps() {
         let mut sched: Scheduler<Vec<u32>> = Scheduler::new();
         for i in 0..10u32 {
-            sched.schedule_at(SimTime::from_secs(1.0), move |_, log: &mut Vec<u32>| {
-                log.push(i)
-            });
+            sched.schedule_at(SimTime::from_secs(1.0), move |_, log: &mut Vec<u32>| log.push(i));
         }
         let mut log = Vec::new();
         sched.run(&mut log);

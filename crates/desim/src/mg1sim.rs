@@ -259,11 +259,7 @@ mod tests {
         // M/M/1, ρ = 0.8, unit service: E[W] = ρ/(1-ρ) = 4.
         let cfg = Mg1SimConfig { arrival_rate: 0.8, samples: 400_000, warmup: 50_000, seed: 3 };
         let res = simulate_lindley(&cfg, &ExponentialService { mean: 1.0 });
-        assert!(
-            (res.waiting.mean() - 4.0).abs() < 0.25,
-            "E[W] = {}",
-            res.waiting.mean()
-        );
+        assert!((res.waiting.mean() - 4.0).abs() < 0.25, "E[W] = {}", res.waiting.mean());
         assert!((res.waiting_probability - 0.8).abs() < 0.02);
     }
 
@@ -272,11 +268,7 @@ mod tests {
         // M/D/1, ρ = 0.6, b = 1: E[W] = ρ b/(2(1-ρ)) = 0.75.
         let cfg = Mg1SimConfig { arrival_rate: 0.6, samples: 400_000, warmup: 50_000, seed: 5 };
         let res = simulate_lindley(&cfg, &DeterministicService { duration: 1.0 });
-        assert!(
-            (res.waiting.mean() - 0.75).abs() < 0.05,
-            "E[W] = {}",
-            res.waiting.mean()
-        );
+        assert!((res.waiting.mean() - 0.75).abs() < 0.05, "E[W] = {}", res.waiting.mean());
     }
 
     #[test]

@@ -154,8 +154,7 @@ mod tests {
     fn exponential_mean_converges() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_exponential(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, 4.0)).sum::<f64>() / n as f64;
         assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
     }
 
@@ -169,10 +168,8 @@ mod tests {
             ReplicationModel::geometric(4.0),
         ] {
             let n = 100_000;
-            let mean: f64 = (0..n)
-                .map(|_| sample_replication(&mut rng, &model) as f64)
-                .sum::<f64>()
-                / n as f64;
+            let mean: f64 =
+                (0..n).map(|_| sample_replication(&mut rng, &model) as f64).sum::<f64>() / n as f64;
             let expect = model.moments().m1;
             assert!(
                 (mean - expect).abs() < 0.05 * expect.max(1.0),

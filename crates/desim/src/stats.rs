@@ -177,8 +177,7 @@ impl SampleQuantiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
             self.sorted = true;
         }
     }
@@ -239,12 +238,8 @@ impl BatchMeans {
             return None;
         }
         let mean = self.mean();
-        let var = self
-            .batch_means
-            .iter()
-            .map(|m| (m - mean) * (m - mean))
-            .sum::<f64>()
-            / (k - 1) as f64;
+        let var =
+            self.batch_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (k - 1) as f64;
         Some(1.96 * (var / k as f64).sqrt())
     }
 }

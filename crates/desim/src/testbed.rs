@@ -120,9 +120,8 @@ pub fn run_measurement(
     replication: &ReplicationModel,
 ) -> TestbedMeasurement {
     config.validate();
-    let mut rng = StdRng::seed_from_u64(
-        config.seed ^ (n_fltr as u64) << 32 ^ replication.max_grade() as u64,
-    );
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ (n_fltr as u64) << 32 ^ replication.max_grade() as u64);
     let constant = config.t_rcv + n_fltr as f64 * config.t_fltr;
 
     let end = config.warmup_secs + config.window_secs;
@@ -147,11 +146,7 @@ pub fn run_measurement(
 
     TestbedMeasurement {
         n_fltr,
-        mean_replication: if received > 0 {
-            dispatched as f64 / received as f64
-        } else {
-            0.0
-        },
+        mean_replication: if received > 0 { dispatched as f64 / received as f64 } else { 0.0 },
         received_per_sec: received as f64 / config.window_secs,
         dispatched_per_sec: dispatched as f64 / config.window_secs,
         messages: received,
@@ -169,11 +164,7 @@ pub fn run_paper_grid(config: &TestbedConfig) -> Vec<TestbedMeasurement> {
     let mut out = Vec::with_capacity(replication_grades.len() * additional_filters.len());
     for &r in &replication_grades {
         for &n in &additional_filters {
-            out.push(run_measurement(
-                config,
-                n + r,
-                &ReplicationModel::deterministic(r as f64),
-            ));
+            out.push(run_measurement(config, n + r, &ReplicationModel::deterministic(r as f64)));
         }
     }
     out
@@ -226,11 +217,7 @@ mod tests {
         let cfg = TestbedConfig::quick(T_RCV, T_FLTR, T_TX);
         let model = ReplicationModel::binomial(20.0, 0.25);
         let m = run_measurement(&cfg, 20, &model);
-        assert!(
-            (m.mean_replication - 5.0).abs() < 0.3,
-            "observed mean R = {}",
-            m.mean_replication
-        );
+        assert!((m.mean_replication - 5.0).abs() < 0.3, "observed mean R = {}", m.mean_replication);
     }
 
     #[test]

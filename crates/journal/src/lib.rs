@@ -1,0 +1,264 @@
+//! `rjms-journal` — a segmented write-ahead log for the broker.
+//!
+//! The paper's model treats the FioranoMQ server as a pure in-memory
+//! dispatcher; real deployments run durable subscriptions against a
+//! persistent store, which adds a per-message storage term to the service
+//! time. This crate supplies that store: an append-only log of
+//! CRC-checked, length-prefixed frames split across size/age-rotated
+//! segment files, with an in-memory offset index, a configurable fsync
+//! policy, and a recovery scan that cuts torn tails back to the last whole
+//! frame.
+//!
+//! Layering:
+//!
+//! - [`frame`] — the `[len | crc32 | payload]` on-disk record format.
+//! - [`segment`] — one append-only file plus its frame index.
+//! - [`Journal`] — the segment chain: offsets, durability, recovery,
+//!   retention.
+//!
+//! The broker appends publishes before dispatch and checkpoints durable
+//! consumer progress; `rjms-core` turns the measured append cost into the
+//! `t_store` term of the extended capacity model.
+
+pub mod config;
+mod crc32;
+pub mod frame;
+mod journal;
+pub mod segment;
+
+pub use config::{FsyncPolicy, JournalConfig};
+pub use crc32::crc32;
+pub use journal::{Journal, JournalError, JournalStats, RecoveryReport, Replay, Result};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Creates a unique empty scratch directory under the system temp dir.
+///
+/// Test-and-bench support: the container has no `tempfile` crate, so
+/// uniqueness comes from the process id plus a process-wide counter.
+/// Callers are responsible for removing the directory.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("rjms-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cleanup(dir: &std::path::Path) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn append_read_roundtrip_and_reopen() {
+        let dir = scratch_dir("roundtrip");
+        let config = JournalConfig::new(&dir);
+        let (mut journal, recovery) = Journal::open(config.clone()).unwrap();
+        assert_eq!(recovery.next_offset, 0);
+        for i in 0..100u32 {
+            let offset = journal.append(format!("record-{i}").as_bytes()).unwrap();
+            assert_eq!(offset, i as u64);
+        }
+        assert_eq!(journal.read(42).unwrap(), b"record-42");
+        drop(journal);
+
+        let (journal, recovery) = Journal::open(config).unwrap();
+        assert_eq!(recovery.frames_recovered, 100);
+        assert_eq!(recovery.torn_bytes_truncated, 0);
+        assert_eq!(journal.next_offset(), 100);
+        let replayed: Vec<_> = journal.replay(0).map(|r| r.unwrap()).collect();
+        assert_eq!(replayed.len(), 100);
+        assert_eq!(replayed[7].1, b"record-7");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn rotation_by_size_and_offsets_chain() {
+        let dir = scratch_dir("rotate");
+        let config = JournalConfig::new(&dir).segment_max_bytes(256);
+        let (mut journal, _) = Journal::open(config.clone()).unwrap();
+        for _ in 0..50 {
+            journal.append(&[0xAB; 32]).unwrap();
+        }
+        assert!(journal.stats().segments_rotated > 0);
+        drop(journal);
+
+        let (journal, recovery) = Journal::open(config).unwrap();
+        assert_eq!(recovery.frames_recovered, 50);
+        for (i, record) in journal.replay(0).enumerate() {
+            let (offset, payload) = record.unwrap();
+            assert_eq!(offset, i as u64);
+            assert_eq!(payload, [0xAB; 32]);
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_whole_frame() {
+        let dir = scratch_dir("torn");
+        let config = JournalConfig::new(&dir);
+        let (mut journal, _) = Journal::open(config.clone()).unwrap();
+        for i in 0..10u32 {
+            journal.append(format!("msg-{i:04}").as_bytes()).unwrap();
+        }
+        journal.sync().unwrap();
+        let path = dir.join(segment::segment_file_name(0));
+        drop(journal);
+
+        // Cut mid-way through the final frame.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let (journal, recovery) = Journal::open(config).unwrap();
+        assert_eq!(recovery.frames_recovered, 9);
+        assert!(recovery.torn_bytes_truncated > 0);
+        assert_eq!(journal.next_offset(), 9);
+        assert_eq!(journal.read(8).unwrap(), b"msg-0008");
+        assert!(matches!(journal.read(9), Err(JournalError::UnknownOffset(9))));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn appends_continue_after_torn_tail_recovery() {
+        let dir = scratch_dir("torn-continue");
+        let config = JournalConfig::new(&dir);
+        let (mut journal, _) = Journal::open(config.clone()).unwrap();
+        for _ in 0..5 {
+            journal.append(b"before").unwrap();
+        }
+        journal.sync().unwrap();
+        let path = dir.join(segment::segment_file_name(0));
+        drop(journal);
+        let len = std::fs::metadata(&path).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 1).unwrap();
+
+        let (mut journal, recovery) = Journal::open(config.clone()).unwrap();
+        assert_eq!(recovery.next_offset, 4);
+        let offset = journal.append(b"after").unwrap();
+        assert_eq!(offset, 4);
+        drop(journal);
+
+        let (journal, recovery) = Journal::open(config).unwrap();
+        assert_eq!(recovery.frames_recovered, 5);
+        assert_eq!(journal.read(4).unwrap(), b"after");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_an_error_not_a_truncation() {
+        let dir = scratch_dir("sealed-corrupt");
+        let config = JournalConfig::new(&dir).segment_max_bytes(64);
+        let (mut journal, _) = Journal::open(config.clone()).unwrap();
+        for _ in 0..20 {
+            journal.append(&[7u8; 24]).unwrap();
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        // Flip a payload byte in the first (sealed) segment.
+        let path = dir.join(segment::segment_file_name(0));
+        let mut contents = std::fs::read(&path).unwrap();
+        let mid = contents.len() / 2;
+        contents[mid] ^= 0xFF;
+        std::fs::write(&path, &contents).unwrap();
+
+        match Journal::open(config) {
+            Err(JournalError::Corrupt { segment, .. }) => assert_eq!(segment, path),
+            other => panic!("expected sealed-segment corruption error, got {other:?}"),
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_counters() {
+        let dir = scratch_dir("fsync");
+        let config = JournalConfig::new(&dir).fsync(FsyncPolicy::Always);
+        let (mut journal, _) = Journal::open(config).unwrap();
+        for _ in 0..10 {
+            journal.append(b"x").unwrap();
+        }
+        assert_eq!(journal.stats().fsyncs, 10);
+        drop(journal);
+        cleanup(&dir);
+
+        let dir = scratch_dir("fsync-n");
+        let config = JournalConfig::new(&dir).fsync(FsyncPolicy::EveryN(4));
+        let (mut journal, _) = Journal::open(config).unwrap();
+        for _ in 0..10 {
+            journal.append(b"x").unwrap();
+        }
+        assert_eq!(journal.stats().fsyncs, 2);
+        drop(journal);
+        cleanup(&dir);
+
+        let dir = scratch_dir("fsync-never");
+        let config = JournalConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let (mut journal, _) = Journal::open(config).unwrap();
+        for _ in 0..10 {
+            journal.append(b"x").unwrap();
+        }
+        assert_eq!(journal.stats().fsyncs, 0);
+        drop(journal);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn truncate_before_drops_whole_sealed_segments_only() {
+        let dir = scratch_dir("truncate");
+        let config = JournalConfig::new(&dir).segment_max_bytes(64);
+        let (mut journal, _) = Journal::open(config.clone()).unwrap();
+        for _ in 0..20 {
+            journal.append(&[1u8; 24]).unwrap();
+        }
+        let sealed = journal.stats().segments_rotated as usize;
+        assert!(sealed >= 2, "test needs multiple segments, got {sealed}");
+
+        let removed = journal.truncate_before(journal.next_offset()).unwrap();
+        assert_eq!(removed, sealed);
+        assert!(journal.first_offset() > 0);
+        // Frames at or above the floor are still readable.
+        let floor = journal.first_offset();
+        assert_eq!(journal.read(floor).unwrap(), [1u8; 24]);
+        assert!(matches!(journal.read(floor - 1), Err(JournalError::UnknownOffset(_))));
+        drop(journal);
+
+        let (journal, _) = Journal::open(config).unwrap();
+        assert_eq!(journal.first_offset(), floor);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn max_sealed_segments_retention() {
+        let dir = scratch_dir("retention");
+        let config = JournalConfig::new(&dir).segment_max_bytes(64).max_sealed_segments(2);
+        let (mut journal, _) = Journal::open(config).unwrap();
+        for _ in 0..40 {
+            journal.append(&[2u8; 24]).unwrap();
+        }
+        assert!(journal.stats().segments_removed > 0);
+        assert!(journal.first_offset() > 0);
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert!(files <= 3, "retention left {files} segment files");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn age_based_rotation() {
+        let dir = scratch_dir("age");
+        let config = JournalConfig::new(&dir).segment_max_age(Duration::from_millis(1));
+        let (mut journal, _) = Journal::open(config).unwrap();
+        journal.append(b"first").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        journal.append(b"second").unwrap();
+        assert_eq!(journal.stats().segments_rotated, 1);
+        cleanup(&dir);
+    }
+}

@@ -115,11 +115,7 @@ impl RemoteBroker {
     /// # Errors
     ///
     /// [`NetError::Remote`] for unknown topics or invalid filters.
-    pub fn subscribe(
-        &self,
-        topic: &str,
-        filter: WireFilter,
-    ) -> Result<RemoteSubscriber, NetError> {
+    pub fn subscribe(&self, topic: &str, filter: WireFilter) -> Result<RemoteSubscriber, NetError> {
         self.subscribe_inner(|request_id, subscription_id| Request::Subscribe {
             request_id,
             subscription_id,
@@ -286,11 +282,7 @@ impl Drop for RemoteBroker {
 /// Background reader: dispatches responses to pending calls and deliveries
 /// to subscriber channels.
 fn client_reader_loop(mut stream: TcpStream, shared: Arc<ClientShared>) {
-    loop {
-        let body = match read_frame(&mut stream) {
-            Ok(Some(body)) => body,
-            Ok(None) | Err(_) => break,
-        };
+    while let Ok(Some(body)) = read_frame(&mut stream) {
         let response = match decode_response(body) {
             Ok(r) => r,
             Err(_) => break,
@@ -329,9 +321,7 @@ pub struct RemoteSubscriber {
 
 impl std::fmt::Debug for RemoteSubscriber {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteSubscriber")
-            .field("subscription_id", &self.subscription_id)
-            .finish()
+        f.debug_struct("RemoteSubscriber").field("subscription_id", &self.subscription_id).finish()
     }
 }
 

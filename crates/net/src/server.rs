@@ -145,9 +145,7 @@ impl Drop for BrokerServer {
 fn build_filter(filter: WireFilter) -> Result<Filter, String> {
     match filter {
         WireFilter::None => Ok(Filter::None),
-        WireFilter::CorrelationId(p) => {
-            Filter::correlation_id(&p).map_err(|e| e.to_string())
-        }
+        WireFilter::CorrelationId(p) => Filter::correlation_id(&p).map_err(|e| e.to_string()),
         WireFilter::Selector(s) => Filter::selector(&s).map_err(|e| e.to_string()),
     }
 }
@@ -231,17 +229,15 @@ fn handle_request(conn: &mut Connection, request: Request) -> bool {
         Request::Ping { request_id } => {
             return conn.out.send(Response::Pong { request_id }).is_ok();
         }
-        Request::CreateTopic { request_id, topic } => (
-            request_id,
-            conn.broker.create_topic(&topic).map_err(|e| e.to_string()),
-        ),
+        Request::CreateTopic { request_id, topic } => {
+            (request_id, conn.broker.create_topic(&topic).map_err(|e| e.to_string()))
+        }
         Request::Publish { request_id, topic, message } => {
             (request_id, publish(conn, &topic, message))
         }
-        Request::Subscribe { request_id, subscription_id, topic, filter } => (
-            request_id,
-            subscribe(conn, subscription_id, SubscribeTarget::Topic(topic), filter),
-        ),
+        Request::Subscribe { request_id, subscription_id, topic, filter } => {
+            (request_id, subscribe(conn, subscription_id, SubscribeTarget::Topic(topic), filter))
+        }
         Request::SubscribePattern { request_id, subscription_id, pattern, filter } => (
             request_id,
             subscribe(conn, subscription_id, SubscribeTarget::Pattern(pattern), filter),
@@ -250,10 +246,9 @@ fn handle_request(conn: &mut Connection, request: Request) -> bool {
             request_id,
             subscribe(conn, subscription_id, SubscribeTarget::Durable { topic, name }, filter),
         ),
-        Request::UnsubscribeDurable { request_id, topic, name } => (
-            request_id,
-            conn.broker.unsubscribe_durable(&topic, &name).map_err(|e| e.to_string()),
-        ),
+        Request::UnsubscribeDurable { request_id, topic, name } => {
+            (request_id, conn.broker.unsubscribe_durable(&topic, &name).map_err(|e| e.to_string()))
+        }
         Request::Unsubscribe { request_id, subscription_id } => {
             let outcome = match conn.subscriptions.remove(&subscription_id) {
                 Some(flag) => {
@@ -302,15 +297,14 @@ fn subscribe(
             conn.broker.subscribe(&topic, filter).map_err(|e| e.to_string())?
         }
         SubscribeTarget::Pattern(pattern) => {
-            let pattern: TopicPattern = pattern.parse().map_err(
-                |e: rjms_broker::pattern::ParseTopicPatternError| e.to_string(),
-            )?;
+            let pattern: TopicPattern = pattern
+                .parse()
+                .map_err(|e: rjms_broker::pattern::ParseTopicPatternError| e.to_string())?;
             conn.broker.subscribe_pattern(&pattern, filter).map_err(|e| e.to_string())?
         }
-        SubscribeTarget::Durable { topic, name } => conn
-            .broker
-            .subscribe_durable(&topic, &name, filter)
-            .map_err(|e| e.to_string())?,
+        SubscribeTarget::Durable { topic, name } => {
+            conn.broker.subscribe_durable(&topic, &name, filter).map_err(|e| e.to_string())?
+        }
     };
 
     let cancel = Arc::new(AtomicBool::new(false));

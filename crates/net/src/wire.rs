@@ -195,8 +195,7 @@ impl WireMessage {
     /// Builds the wire form of a broker message (drops id/timestamp, which
     /// the receiving broker re-stamps).
     pub fn from_message(m: &Message) -> Self {
-        let remaining_ttl =
-            m.expiration_millis().map(|e| e.saturating_sub(m.timestamp_millis()));
+        let remaining_ttl = m.expiration_millis().map(|e| e.saturating_sub(m.timestamp_millis()));
         WireMessage {
             correlation_id: m.correlation_id().map(str::to_owned),
             message_type: m.message_type().map(str::to_owned),
@@ -469,10 +468,9 @@ fn finish_frame(body: BytesMut) -> Bytes {
 pub fn decode_request(mut body: Bytes) -> Result<Request, DecodeError> {
     let op = get_u8(&mut body)?;
     let req = match op {
-        0x01 => Request::CreateTopic {
-            request_id: get_u32(&mut body)?,
-            topic: get_str(&mut body)?,
-        },
+        0x01 => {
+            Request::CreateTopic { request_id: get_u32(&mut body)?, topic: get_str(&mut body)? }
+        }
         0x02 => Request::Publish {
             request_id: get_u32(&mut body)?,
             topic: get_str(&mut body)?,
@@ -518,10 +516,7 @@ pub fn decode_response(mut body: Bytes) -> Result<Response, DecodeError> {
     let op = get_u8(&mut body)?;
     let resp = match op {
         0x81 => Response::Ok { request_id: get_u32(&mut body)? },
-        0x82 => Response::Error {
-            request_id: get_u32(&mut body)?,
-            message: get_str(&mut body)?,
-        },
+        0x82 => Response::Error { request_id: get_u32(&mut body)?, message: get_str(&mut body)? },
         0x83 => Response::Delivery {
             subscription_id: get_u32(&mut body)?,
             message: get_message(&mut body)?,
@@ -644,10 +639,7 @@ mod tests {
     fn response_roundtrips() {
         roundtrip_response(Response::Ok { request_id: 1 });
         roundtrip_response(Response::Error { request_id: 2, message: "nope".into() });
-        roundtrip_response(Response::Delivery {
-            subscription_id: 3,
-            message: sample_message(),
-        });
+        roundtrip_response(Response::Delivery { subscription_id: 3, message: sample_message() });
         roundtrip_response(Response::Pong { request_id: 4 });
     }
 

@@ -18,9 +18,7 @@ fn publish_subscribe_over_tcp() {
     client.create_topic("t").unwrap();
 
     let sub = client.subscribe("t", WireFilter::None).unwrap();
-    client
-        .publish("t", &Message::builder().property("k", 7i64).body(&b"abc"[..]).build())
-        .unwrap();
+    client.publish("t", &Message::builder().property("k", 7i64).body(&b"abc"[..]).build()).unwrap();
 
     let m = sub.receive_timeout(Duration::from_secs(5)).expect("delivery");
     assert_eq!(m.property("k"), Some(&7i64.into()));
@@ -34,9 +32,7 @@ fn selector_filtering_happens_server_side() {
     let client = RemoteBroker::connect(server.local_addr()).unwrap();
     client.create_topic("t").unwrap();
 
-    let reds = client
-        .subscribe("t", WireFilter::Selector("color = 'red'".into()))
-        .unwrap();
+    let reds = client.subscribe("t", WireFilter::Selector("color = 'red'".into())).unwrap();
     client.publish("t", &Message::builder().property("color", "blue").build()).unwrap();
     client.publish("t", &Message::builder().property("color", "red").build()).unwrap();
 
@@ -55,9 +51,8 @@ fn correlation_filters_and_patterns_over_tcp() {
     let client = RemoteBroker::connect(server.local_addr()).unwrap();
     client.create_topic("sensors.kitchen").unwrap();
 
-    let range = client
-        .subscribe("sensors.kitchen", WireFilter::CorrelationId("[5;9]".into()))
-        .unwrap();
+    let range =
+        client.subscribe("sensors.kitchen", WireFilter::CorrelationId("[5;9]".into())).unwrap();
     let wild = client.subscribe_pattern("sensors.>", WireFilter::None).unwrap();
 
     // A topic created after the pattern subscription.
@@ -132,12 +127,8 @@ fn ttl_survives_the_wire() {
     let sub = client.subscribe("t", WireFilter::None).unwrap();
 
     // Already-expired message never arrives; fresh one does.
-    client
-        .publish("t", &Message::builder().time_to_live(Duration::ZERO).build())
-        .unwrap();
-    client
-        .publish("t", &Message::builder().time_to_live(Duration::from_secs(60)).build())
-        .unwrap();
+    client.publish("t", &Message::builder().time_to_live(Duration::ZERO).build()).unwrap();
+    client.publish("t", &Message::builder().time_to_live(Duration::from_secs(60)).build()).unwrap();
     let m = sub.receive_timeout(Duration::from_secs(5)).expect("fresh message");
     assert!(m.expiration_millis().is_some());
     assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
@@ -217,9 +208,7 @@ fn durable_subscription_over_tcp() {
 
     // Connect, receive one live message, disconnect.
     {
-        let worker = client
-            .subscribe_durable("jobs", "worker-1", WireFilter::None)
-            .unwrap();
+        let worker = client.subscribe_durable("jobs", "worker-1", WireFilter::None).unwrap();
         client.publish("jobs", &Message::builder().property("seq", 0i64).build()).unwrap();
         let m = worker.receive_timeout(Duration::from_secs(5)).expect("live delivery");
         assert_eq!(m.property("seq"), Some(&0i64.into()));
@@ -253,9 +242,7 @@ fn durable_subscription_over_tcp() {
     }
 
     // Reconnect: the backlog arrives first, in order.
-    let worker = client2
-        .subscribe_durable("jobs", "worker-1", WireFilter::None)
-        .unwrap();
+    let worker = client2.subscribe_durable("jobs", "worker-1", WireFilter::None).unwrap();
     for seq in 1..=2i64 {
         let m = worker.receive_timeout(Duration::from_secs(5)).expect("retained delivery");
         assert_eq!(m.property("seq"), Some(&seq.into()));

@@ -100,7 +100,7 @@ impl Mg1 {
         if rho >= 1.0 {
             return Err(Mg1Error::Unstable { rho });
         }
-        if !(rho >= 0.0) {
+        if rho.is_nan() || rho < 0.0 {
             return Err(Mg1Error::InvalidArrivalRate { lambda: rho });
         }
         if service.m1 == 0.0 {
@@ -333,12 +333,9 @@ mod tests {
         let q = Mg1::new(lambda, exp_moments(mu)).unwrap();
         let w = q.waiting_time_distribution();
         for &t in &[0.5, 2.0, 10.0, 50.0] {
-            let expect = 0.9 * (-(mu - lambda) * t as f64).exp();
+            let expect = 0.9 * (-(mu - lambda) * t).exp();
             let got = w.ccdf(t);
-            assert!(
-                ((got - expect) / expect).abs() < 1e-6,
-                "t={t}: got {got}, expected {expect}"
-            );
+            assert!(((got - expect) / expect).abs() < 1e-6, "t={t}: got {got}, expected {expect}");
         }
     }
 
@@ -437,9 +434,7 @@ mod tests {
         assert!((q.mean_busy_period() - 1.0 / (mu - lambda)).abs() < 1e-12);
         // E[BP²] = E[B²]/(1−ρ)³.
         let rho = lambda / mu;
-        assert!(
-            (q.busy_period_m2() - (2.0 / (mu * mu)) / (1.0 - rho).powi(3)).abs() < 1e-12
-        );
+        assert!((q.busy_period_m2() - (2.0 / (mu * mu)) / (1.0 - rho).powi(3)).abs() < 1e-12);
     }
 
     #[test]
@@ -453,13 +448,10 @@ mod tests {
     fn mean_number_in_system_littles_law() {
         let q = Mg1::with_utilization(0.8, exp_moments(2.0)).unwrap();
         assert!(
-            (q.mean_number_in_system() - q.arrival_rate() * q.mean_sojourn_time()).abs()
-                < 1e-12
+            (q.mean_number_in_system() - q.arrival_rate() * q.mean_sojourn_time()).abs() < 1e-12
         );
         // L = L_q + ρ.
-        assert!(
-            (q.mean_number_in_system() - q.mean_queue_length() - 0.8).abs() < 1e-12
-        );
+        assert!((q.mean_number_in_system() - q.mean_queue_length() - 0.8).abs() < 1e-12);
     }
 
     #[test]
@@ -482,9 +474,7 @@ mod tests {
     #[test]
     fn sojourn_is_wait_plus_service() {
         let q = Mg1::with_utilization(0.6, exp_moments(4.0)).unwrap();
-        assert!(
-            (q.mean_sojourn_time() - q.mean_waiting_time() - 0.25).abs() < 1e-12
-        );
+        assert!((q.mean_sojourn_time() - q.mean_waiting_time() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -503,9 +493,6 @@ mod tests {
         let det = Mg1::with_utilization(0.9, Moments3::constant(1.0)).unwrap();
         let exp = Mg1::with_utilization(0.9, exp_moments(1.0)).unwrap();
         let t = 10.0;
-        assert!(
-            exp.waiting_time_distribution().ccdf(t)
-                > det.waiting_time_distribution().ccdf(t)
-        );
+        assert!(exp.waiting_time_distribution().ccdf(t) > det.waiting_time_distribution().ccdf(t));
     }
 }

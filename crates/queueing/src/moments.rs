@@ -49,10 +49,7 @@ impl Moments3 {
             "moments of a nonnegative variable must be nonnegative: ({m1}, {m2}, {m3})"
         );
         let var = m2 - m1 * m1;
-        assert!(
-            var >= -1e-9 * m2.max(1.0),
-            "inconsistent moments: implied variance {var} < 0"
-        );
+        assert!(var >= -1e-9 * m2.max(1.0), "inconsistent moments: implied variance {var} < 0");
         Self { m1, m2, m3 }
     }
 
@@ -89,11 +86,7 @@ impl Moments3 {
     /// (`V = R · t_tx`).
     pub fn scaled(&self, a: f64) -> Self {
         assert!(a >= 0.0 && a.is_finite(), "scale must be finite and >= 0");
-        Self {
-            m1: a * self.m1,
-            m2: a * a * self.m2,
-            m3: a * a * a * self.m3,
-        }
+        Self { m1: a * self.m1, m2: a * a * self.m2, m3: a * a * a * self.m3 }
     }
 
     /// Moments of `d + X` for a constant shift `d >= 0`.

@@ -66,10 +66,7 @@ impl ServiceTime {
 
     /// First three raw moments of `B` (Eqs. 7–9).
     pub fn moments(&self) -> Moments3 {
-        self.replication
-            .moments()
-            .scaled(self.t_tx)
-            .shifted(self.deterministic)
+        self.replication.moments().scaled(self.t_tx).shifted(self.deterministic)
     }
 
     /// Mean service time `E[B]` (Eq. 7 / Eq. 1).
@@ -122,9 +119,7 @@ impl ServiceTime {
             return if target_cvar == 0.0 && (target_mean - deterministic).abs() < 1e-15 {
                 Ok((0.0, 0.0))
             } else {
-                Err(MomentMatchError::new(
-                    "t_tx = 0 admits only the degenerate service time B = D",
-                ))
+                Err(MomentMatchError::new("t_tx = 0 admits only the degenerate service time B = D"))
             };
         }
         // Eq. 7 inverted: E[R] = (E[B] - D) / t_tx.
@@ -157,10 +152,8 @@ mod tests {
         let rm = r.moments();
         let m = b.moments();
         let exp2 = d * d + 2.0 * d * t * rm.m1 + t * t * rm.m2; // Eq. 8
-        let exp3 = d.powi(3)
-            + 3.0 * d * d * t * rm.m1
-            + 3.0 * d * t * t * rm.m2
-            + t.powi(3) * rm.m3; // Eq. 9
+        let exp3 =
+            d.powi(3) + 3.0 * d * d * t * rm.m1 + 3.0 * d * t * t * rm.m2 + t.powi(3) * rm.m3; // Eq. 9
         assert!((m.m2 - exp2).abs() < 1e-24);
         assert!((m.m3 - exp3).abs() < 1e-30);
     }
@@ -176,8 +169,7 @@ mod tests {
     fn inverse_problem_roundtrip() {
         let d = 9.26e-5; // corr-ID, 13 filters: t_rcv + 13·t_fltr
         let t_tx = 1.7e-5;
-        let (m1, m2) =
-            ServiceTime::replication_moments_for_target(d, t_tx, 5e-4, 0.3).unwrap();
+        let (m1, m2) = ServiceTime::replication_moments_for_target(d, t_tx, 5e-4, 0.3).unwrap();
         // Build a scaled-Bernoulli model from those moments; check target met.
         let model = ReplicationModel::scaled_bernoulli_from_moments(m1, m2).unwrap();
         let b = ServiceTime::new(d, t_tx, model);
@@ -187,8 +179,7 @@ mod tests {
 
     #[test]
     fn inverse_problem_rejects_unreachable_mean() {
-        let err =
-            ServiceTime::replication_moments_for_target(1e-3, 1e-5, 5e-4, 0.2).unwrap_err();
+        let err = ServiceTime::replication_moments_for_target(1e-3, 1e-5, 5e-4, 0.2).unwrap_err();
         assert!(err.to_string().contains("below the deterministic part"));
     }
 

@@ -33,10 +33,7 @@ fn empirical_moments(model: &ReplicationModel, n: usize, seed: u64) -> Moments3 
 #[track_caller]
 fn assert_rel_close(got: f64, expect: f64, tol: f64) {
     let denom = expect.abs().max(1e-12);
-    assert!(
-        ((got - expect) / denom).abs() < tol,
-        "got {got}, expected {expect} (rel tol {tol})"
-    );
+    assert!(((got - expect) / denom).abs() < tol, "got {got}, expected {expect} (rel tol {tol})");
 }
 
 #[test]
@@ -111,11 +108,7 @@ fn gamma_cdf_matches_empirical_distribution() {
     let samples: Vec<f64> = (0..n).map(|_| sample_gamma(2.5, 1.3, &mut rng)).collect();
     for &t in &[0.5, 1.0, 2.0, 4.0, 8.0] {
         let emp = samples.iter().filter(|&&x| x <= t).count() as f64 / n as f64;
-        assert!(
-            (emp - g.cdf(t)).abs() < 0.005,
-            "t={t}: empirical {emp} vs analytic {}",
-            g.cdf(t)
-        );
+        assert!((emp - g.cdf(t)).abs() < 0.005, "t={t}: empirical {emp} vs analytic {}", g.cdf(t));
     }
 }
 
@@ -125,10 +118,7 @@ fn exponential_arrivals_sanity() {
     let rate = 3.0;
     let mut rng = StdRng::seed_from_u64(29);
     let n = 200_000;
-    let mean = (0..n)
-        .map(|_| -(1.0 - rng.gen::<f64>()).ln() / rate)
-        .sum::<f64>()
-        / n as f64;
+    let mean = (0..n).map(|_| -(1.0 - rng.gen::<f64>()).ln() / rate).sum::<f64>() / n as f64;
     assert_rel_close(mean, 1.0 / rate, 0.01);
 }
 

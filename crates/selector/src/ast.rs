@@ -178,6 +178,7 @@ impl Expr {
     /// Negation smart constructor: folds negation into numeric literals
     /// (`-5` is the literal −5, not `Neg(5)`), which is the canonical form
     /// the parser produces.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `-expr`
     pub fn neg(e: Expr) -> Expr {
         match e {
             Expr::Literal(Value::Int(v)) => Expr::Literal(Value::Int(v.wrapping_neg())),

@@ -186,7 +186,7 @@ fn truth_of<P: PropertySource + ?Sized>(expr: &Expr, props: &P) -> Truth {
                 Some(_) => return Truth::Unknown, // IN applies to strings only
                 None => return Truth::Unknown,
             };
-            let t = Truth::from(list.iter().any(|s| *s == v));
+            let t = Truth::from(list.contains(&v));
             if *negated {
                 t.not()
             } else {
@@ -253,9 +253,9 @@ pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> bool {
     /// A compiled pattern element.
     #[derive(Clone, Copy, PartialEq)]
     enum Pat {
-        AnyRun,      // %
-        AnyOne,      // _
-        Lit(char),   // literal character
+        AnyRun,    // %
+        AnyOne,    // _
+        Lit(char), // literal character
     }
 
     let mut pat = Vec::with_capacity(pattern.len());
@@ -286,9 +286,7 @@ pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> bool {
     let (mut t, mut p) = (0usize, 0usize);
     let mut star: Option<(usize, usize)> = None; // (pat index of %, text index)
     while t < text.len() {
-        if p < pat.len()
-            && (pat[p] == Pat::AnyOne || pat[p] == Pat::Lit(text[t]))
-        {
+        if p < pat.len() && (pat[p] == Pat::AnyOne || pat[p] == Pat::Lit(text[t])) {
             t += 1;
             p += 1;
         } else if p < pat.len() && pat[p] == Pat::AnyRun {
@@ -351,18 +349,9 @@ mod tests {
     #[test]
     fn three_valued_and_or() {
         // False AND Unknown = False; True OR Unknown = True.
-        assert_eq!(
-            eval_str("a = 1 AND missing = 2", &[("a", 2i64.into())]),
-            Truth::False
-        );
-        assert_eq!(
-            eval_str("a = 2 OR missing = 2", &[("a", 2i64.into())]),
-            Truth::True
-        );
-        assert_eq!(
-            eval_str("a = 2 AND missing = 2", &[("a", 2i64.into())]),
-            Truth::Unknown
-        );
+        assert_eq!(eval_str("a = 1 AND missing = 2", &[("a", 2i64.into())]), Truth::False);
+        assert_eq!(eval_str("a = 2 OR missing = 2", &[("a", 2i64.into())]), Truth::True);
+        assert_eq!(eval_str("a = 2 AND missing = 2", &[("a", 2i64.into())]), Truth::Unknown);
     }
 
     #[test]
@@ -455,14 +444,8 @@ mod tests {
 
     #[test]
     fn like_expression_integration() {
-        assert_eq!(
-            eval_str("phone LIKE '12%3'", &[("phone", "12993".into())]),
-            Truth::True
-        );
-        assert_eq!(
-            eval_str("phone NOT LIKE '12%3'", &[("phone", "12994".into())]),
-            Truth::True
-        );
+        assert_eq!(eval_str("phone LIKE '12%3'", &[("phone", "12993".into())]), Truth::True);
+        assert_eq!(eval_str("phone NOT LIKE '12%3'", &[("phone", "12994".into())]), Truth::True);
         assert_eq!(eval_str("phone LIKE '12%3'", &[]), Truth::Unknown);
     }
 

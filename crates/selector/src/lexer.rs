@@ -359,13 +359,10 @@ fn lex_number(input: &str, start: usize) -> Result<(TokenKind, usize), LexError>
         // Fall back to float on i64 overflow (JMS has no arbitrary precision).
         match text.parse::<i64>() {
             Ok(v) => Ok((TokenKind::Int(v), i)),
-            Err(_) => text
-                .parse::<f64>()
-                .map(|v| (TokenKind::Float(v), i))
-                .map_err(|e| LexError {
-                    offset: start,
-                    message: format!("bad number `{text}`: {e}"),
-                }),
+            Err(_) => text.parse::<f64>().map(|v| (TokenKind::Float(v), i)).map_err(|e| LexError {
+                offset: start,
+                message: format!("bad number `{text}`: {e}"),
+            }),
         }
     }
 }
@@ -455,10 +452,7 @@ mod tests {
 
     #[test]
     fn huge_integer_falls_back_to_float() {
-        assert_eq!(
-            kinds("99999999999999999999"),
-            vec![TokenKind::Float(1e20)]
-        );
+        assert_eq!(kinds("99999999999999999999"), vec![TokenKind::Float(1e20)]);
     }
 
     #[test]

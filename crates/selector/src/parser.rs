@@ -229,9 +229,7 @@ impl Parser {
                     _ => {
                         return Err(ParseError {
                             offset: self.tokens[self.pos - 1].offset,
-                            message: format!(
-                                "ESCAPE must be a single character, got '{esc}'"
-                            ),
+                            message: format!("ESCAPE must be a single character, got '{esc}'"),
                         })
                     }
                 }
@@ -432,14 +430,8 @@ mod tests {
 
     #[test]
     fn parses_is_null_variants() {
-        assert!(matches!(
-            parse("x IS NULL").unwrap(),
-            Expr::IsNull { negated: false, .. }
-        ));
-        assert!(matches!(
-            parse("x IS NOT NULL").unwrap(),
-            Expr::IsNull { negated: true, .. }
-        ));
+        assert!(matches!(parse("x IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
+        assert!(matches!(parse("x IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
     }
 
     #[test]

@@ -132,9 +132,7 @@ pub fn analyze(expr: &Expr) -> TypeReport {
 
     // A selector whose truth value ignores every property is suspicious;
     // report it when that constant value is not True.
-    if expr.referenced_properties().is_empty()
-        && evaluate(expr, &NoProperties) != Truth::True
-    {
+    if expr.referenced_properties().is_empty() && evaluate(expr, &NoProperties) != Truth::True {
         cx.issues.push(TypeIssue::ConstantlyNonTrue);
     }
 
@@ -393,7 +391,7 @@ mod tests {
     fn is_null_imposes_no_type() {
         let r = report("x IS NULL");
         assert!(r.is_clean());
-        assert!(r.property_types.get("x").is_none());
+        assert!(!r.property_types.contains_key("x"));
     }
 
     #[test]

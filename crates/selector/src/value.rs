@@ -171,6 +171,7 @@ impl Truth {
     }
 
     /// Three-valued negation.
+    #[allow(clippy::should_implement_trait)] // SQL-92 NOT, deliberately not `!`
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,

@@ -142,8 +142,16 @@ fn three_valued_logic_tables() {
 
 #[test]
 fn arithmetic_precedence_and_unary() {
-    check("a + b * c = 7", &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 3i64.into())], Truth::True);
-    check("(a + b) * c = 9", &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 3i64.into())], Truth::True);
+    check(
+        "a + b * c = 7",
+        &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 3i64.into())],
+        Truth::True,
+    );
+    check(
+        "(a + b) * c = 9",
+        &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 3i64.into())],
+        Truth::True,
+    );
     check("-a = -5", &[("a", 5i64.into())], Truth::True);
     check("a - -b = 8", &[("a", 5i64.into()), ("b", 3i64.into())], Truth::True);
 }

@@ -18,8 +18,17 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "AND" | "OR" | "NOT" | "BETWEEN" | "IN" | "LIKE" | "ESCAPE" | "IS" | "NULL"
-                | "TRUE" | "FALSE"
+            "AND"
+                | "OR"
+                | "NOT"
+                | "BETWEEN"
+                | "IN"
+                | "LIKE"
+                | "ESCAPE"
+                | "IS"
+                | "NULL"
+                | "TRUE"
+                | "FALSE"
         )
     })
 }
@@ -47,10 +56,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 64, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             (
                 prop_oneof![
                     Just(CmpOp::Eq),
@@ -85,16 +92,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                     negated,
                 }
             ),
-            (
-                inner.clone(),
-                prop::collection::vec("[a-zA-Z0-9']{0,8}", 1..4),
-                any::<bool>()
-            )
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated
-                }),
+            (inner.clone(), prop::collection::vec("[a-zA-Z0-9']{0,8}", 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }),
             (inner.clone(), "[a-zA-Z0-9%_]{0,10}", any::<bool>()).prop_map(
                 |(e, pattern, negated)| Expr::Like {
                     expr: Box::new(e),
@@ -199,9 +198,7 @@ fn like_match_agrees_with_naive_regex_semantics() {
     fn naive(text: &[char], pat: &[char]) -> bool {
         match (text.first(), pat.first()) {
             (_, None) => text.is_empty(),
-            (_, Some('%')) => {
-                (0..=text.len()).any(|k| naive(&text[k..], &pat[1..]))
-            }
+            (_, Some('%')) => (0..=text.len()).any(|k| naive(&text[k..], &pat[1..])),
             (Some(t), Some('_')) => {
                 let _ = t;
                 naive(&text[1..], &pat[1..])

@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --release --example broker_saturation`
 
-use rjms::broker::{
-    Broker, BrokerConfig, CostModel, Filter, Message, ThroughputProbe,
-};
+use rjms::broker::{Broker, BrokerConfig, CostModel, Filter, Message, ThroughputProbe};
 use rjms::model::calibrate::{fit_cost_params_fixed_rcv, Observation};
 use rjms::model::model::ServerModel;
 use rjms::model::params::CostParams;
@@ -29,8 +27,7 @@ fn measure(n_fltr: u32, replication: u32, window: Duration) -> (f64, f64) {
     // `replication` matching subscribers + (n_fltr - replication) others.
     let mut subscribers = Vec::new();
     for _ in 0..replication {
-        subscribers
-            .push(broker.subscribe("bench", Filter::correlation_id("#0").unwrap()).unwrap());
+        subscribers.push(broker.subscribe("bench", Filter::correlation_id("#0").unwrap()).unwrap());
     }
     for i in replication..n_fltr {
         subscribers.push(
@@ -121,9 +118,8 @@ fn main() {
     // The intercept is fixed at the configured spin t_rcv: it is orders of
     // magnitude below the slope terms and a free intercept soaks up the
     // broker's mild non-linearity instead.
-    let calibration =
-        fit_cost_params_fixed_rcv(&observations, CostModel::CORRELATION_ID.t_rcv)
-            .expect("well-conditioned grid");
+    let calibration = fit_cost_params_fixed_rcv(&observations, CostModel::CORRELATION_ID.t_rcv)
+        .expect("well-conditioned grid");
     println!("configured spin costs : {}", CostParams::CORRELATION_ID);
     println!("fitted broker costs   : {}", calibration.params);
     println!(
@@ -141,7 +137,11 @@ fn main() {
         let rel = (model.received_per_sec - received).abs() / received;
         println!(
             "{:>7} {:>4} {:>15.0} {:>15.0} {:>8.1}%",
-            n_fltr, r, received, model.received_per_sec, rel * 100.0
+            n_fltr,
+            r,
+            received,
+            model.received_per_sec,
+            rel * 100.0
         );
     }
 

@@ -58,7 +58,7 @@ fn main() {
     println!("\nhold-out check at n_fltr = {n_fltr}, R = {e_r}:");
     println!("  model    : {:>9.1} msg/s received", predicted.received_per_sec);
     println!("  measured : {:>9.1} msg/s received", measured.received_per_sec);
-    let rel = (predicted.received_per_sec - measured.received_per_sec).abs()
-        / measured.received_per_sec;
+    let rel =
+        (predicted.received_per_sec - measured.received_per_sec).abs() / measured.received_per_sec;
     println!("  rel. err : {:.2}%", rel * 100.0);
 }

@@ -74,7 +74,9 @@ fn main() {
     );
     for n in 1..=3u32 {
         match break_even_match_probability(&corr, n) {
-            Some(p) => println!("  {n} filter(s) per user pay off while p_match < {:.1}%", p * 100.0),
+            Some(p) => {
+                println!("  {n} filter(s) per user pay off while p_match < {:.1}%", p * 100.0)
+            }
             None => println!("  {n} filter(s) per user can never increase server capacity"),
         }
     }

@@ -18,17 +18,17 @@ fn advise(name: &str, publishers: u32, subscribers: u32) {
     let psr = s.psr_capacity();
     let ssr = s.ssr_capacity();
     println!("\n== {name}: n = {publishers} publishers, m = {subscribers} subscribers ==");
-    println!("  PSR system capacity : {psr:>12.1} msg/s (per server: {:.1})", s.psr_per_server_capacity());
+    println!(
+        "  PSR system capacity : {psr:>12.1} msg/s (per server: {:.1})",
+        s.psr_per_server_capacity()
+    );
     println!("  SSR system capacity : {ssr:>12.1} msg/s");
     println!(
         "  network load        : PSR {:.0} vs SSR {:.0} copies/s",
         s.psr_network_load(),
         s.ssr_network_load()
     );
-    println!(
-        "  crossover           : PSR wins above n ≈ {:.1}",
-        s.crossover_publishers()
-    );
+    println!("  crossover           : PSR wins above n ≈ {:.1}", s.crossover_publishers());
     let verdict = if s.psr_outperforms_ssr() {
         if s.psr_per_server_capacity() < 50.0 {
             "PSR — but per-server capacity is so low that waiting times will hurt"

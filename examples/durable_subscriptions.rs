@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The auditor meanwhile saw everything in the hierarchy, including a
     // topic created after it subscribed.
     broker.create_topic("billing.refunds")?;
-    broker.publisher("billing.refunds")?.publish(Message::builder().property("amount", -50i64).build())?;
+    broker
+        .publisher("billing.refunds")?
+        .publish(Message::builder().property("amount", -50i64).build())?;
     let mut audited = 0;
     while auditor.receive_timeout(Duration::from_millis(200)).is_some() {
         audited += 1;

@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stop = Arc::new(AtomicBool::new(false));
     let mut drains = Vec::new();
     for i in 0..n_fltr {
-        let pattern =
-            if i < replication { "#0".to_owned() } else { format!("#{}", i + 1) };
+        let pattern = if i < replication { "#0".to_owned() } else { format!("#{}", i + 1) };
         let sub = consumer.subscribe("bench", WireFilter::CorrelationId(pattern))?;
         let stop = Arc::clone(&stop);
         drains.push(std::thread::spawn(move || {

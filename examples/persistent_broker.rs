@@ -1,0 +1,86 @@
+//! Write-ahead persistence and crash recovery.
+//!
+//! The example runs itself twice. The first run (a child process) starts a
+//! persistent broker, registers a durable subscription, publishes a batch
+//! and then dies with `abort()` — no clean shutdown, no checkpoint flush.
+//! The second run (the parent) opens the same journal directory, replays
+//! the log and re-delivers every message the crashed process accepted.
+//!
+//! ```sh
+//! cargo run --example persistent_broker
+//! ```
+
+use rjms::broker::{Broker, BrokerConfig, Filter, FsyncPolicy, Message, PersistenceConfig};
+use std::time::Duration;
+
+const MESSAGES: u64 = 5;
+
+fn config(dir: &std::path::Path) -> BrokerConfig {
+    // fsync=Always: every accepted publish is on disk before delivery, so
+    // even an abort() loses nothing. See the `ext_persistence_cost` bench
+    // for what that durability costs per message.
+    BrokerConfig::default()
+        .persistence(PersistenceConfig::new(dir).journal(|j| j.fsync(FsyncPolicy::Always)))
+}
+
+/// Child: publish a batch to a durable subscriber's backlog, then crash.
+fn crash_phase(dir: &std::path::Path) -> ! {
+    let broker = Broker::start(config(dir));
+    broker.create_topic("orders").expect("create topic");
+    // Register the durable name, then disconnect: messages are retained.
+    drop(broker.subscribe_durable("orders", "audit", Filter::None).expect("register durable"));
+
+    let publisher = broker.publisher("orders").expect("publisher");
+    for seq in 0..MESSAGES as i64 {
+        publisher
+            .publish(Message::builder().property("seq", seq).body(format!("order #{seq}")).build())
+            .expect("publish");
+    }
+    // Wait until the dispatcher has journaled the batch...
+    let stats = broker.stats();
+    while stats.received() < MESSAGES {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!("[child] published {MESSAGES} messages, crashing without shutdown");
+    // ...then die hard: no Drop handlers, no checkpoint flush, no fsync.
+    std::process::abort();
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("rjms-persistent-broker-example");
+    if std::env::var_os("RJMS_EXAMPLE_CRASH").is_some() {
+        crash_phase(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let exe = std::env::current_exe().expect("current exe");
+    let status = std::process::Command::new(exe)
+        .env("RJMS_EXAMPLE_CRASH", "1")
+        .status()
+        .expect("spawn child");
+    println!("[parent] publisher process died: {status}");
+
+    // Restart on the same journal directory: replay rebuilds the topic, the
+    // durable registration and its retained backlog.
+    let broker = Broker::start(config(&dir));
+    let journal = broker.journal_stats().expect("persistence enabled");
+    println!(
+        "[parent] recovery replayed {} frames ({} torn bytes truncated)",
+        journal.frames_recovered, journal.torn_bytes_truncated
+    );
+
+    let sub = broker.subscribe_durable("orders", "audit", Filter::None).expect("reconnect");
+    for seq in 0..MESSAGES as i64 {
+        let m = sub.receive_timeout(Duration::from_secs(2)).expect("re-delivered message");
+        assert_eq!(m.property("seq"), Some(&seq.into()));
+        println!(
+            "[parent] recovered seq={seq}: {:?}",
+            std::str::from_utf8(m.body()).unwrap_or("<binary>")
+        );
+    }
+    assert!(sub.receive_timeout(Duration::from_millis(100)).is_none(), "nothing extra");
+    println!("[parent] all {MESSAGES} messages survived the crash");
+
+    broker.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -13,10 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Subscribe with different filters.
     //    A full JMS selector (application-property filtering):
-    let cheap_acme = broker.subscribe(
-        "stocks",
-        Filter::selector("symbol = 'ACME' AND price < 50.0")?,
-    )?;
+    let cheap_acme =
+        broker.subscribe("stocks", Filter::selector("symbol = 'ACME' AND price < 50.0")?)?;
     //    A correlation-ID range filter (the paper's cheap filter type):
     let region_7_to_13 = broker.subscribe("stocks", Filter::correlation_id("[7;13]")?)?;
     //    No filter: receives everything in the topic.
@@ -45,11 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = cheap_acme
         .receive_timeout(Duration::from_secs(1))
         .expect("first message matches the selector");
-    println!(
-        "selector subscriber got {} at price {:?}",
-        m.id(),
-        m.property("price").unwrap()
-    );
+    println!("selector subscriber got {} at price {:?}", m.id(), m.property("price").unwrap());
     assert!(cheap_acme.receive_timeout(Duration::from_millis(100)).is_none());
 
     let m = region_7_to_13

@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (symbol, price) in [("ACME", 42.0), ("GLOBEX", 250.0), ("INITECH", 99.9)] {
         producer.publish(
             "ticks",
-            &Message::builder()
-                .property("symbol", symbol)
-                .property("price", price)
-                .build(),
+            &Message::builder().property("symbol", symbol).property("price", price).build(),
         )?;
     }
 

@@ -25,8 +25,8 @@ fn main() {
     );
 
     for rho in [0.3, 0.5, 0.7, 0.9, 0.95] {
-        let analysis = WaitingTimeAnalysis::for_model(&model, replication, rho)
-            .expect("stable utilization");
+        let analysis =
+            WaitingTimeAnalysis::for_model(&model, replication, rho).expect("stable utilization");
         let report = analysis.report();
 
         // Validate the analytic mean against a quick M/G/1 simulation.

@@ -1,0 +1,5 @@
+//! Offline stand-in for `crossbeam`: the `channel` module only, with
+//! crossbeam's MPMC semantics (cloneable senders *and* receivers, queued
+//! messages still deliverable after all senders drop).
+
+pub mod channel;

@@ -1,0 +1,100 @@
+//! Collection strategies: `prop::collection::{vec, hash_map}`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive-lower, chosen-uniformly collection size.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max_inclusive - self.min + 1) as u64;
+        self.min + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "collection size range is empty");
+        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "collection size range is empty");
+        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` of values from `element`, with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// The strategy returned by [`hash_map`].
+#[derive(Clone)]
+pub struct HashMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for HashMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Hash + Eq,
+    V: Strategy,
+{
+    type Value = HashMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        // Duplicate keys collapse, so the realised size may undershoot the
+        // draw — same contract as real proptest.
+        let len = self.size.draw(rng);
+        (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+    }
+}
+
+/// A `HashMap` with keys from `key`, values from `value`, and size drawn
+/// from `size` (before duplicate-key collapse).
+pub fn hash_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> HashMapStrategy<K, V>
+where
+    K::Value: Hash + Eq,
+{
+    HashMapStrategy { key, value, size: size.into() }
+}

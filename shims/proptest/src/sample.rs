@@ -1,0 +1,29 @@
+//! `prop::sample::select` — uniform choice from a fixed list.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].clone()
+    }
+}
+
+/// One of the given values, uniformly.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}

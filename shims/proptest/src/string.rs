@@ -1,0 +1,178 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&'static str` is itself a strategy (as in real proptest). The shim
+//! supports the dialect the workspace's tests use: a sequence of atoms,
+//! where an atom is a literal character or a `[...]` character class
+//! (ranges and literal members), optionally followed by an `{m}` or
+//! `{m,n}` repetition count. Unsupported syntax panics at generation time
+//! with the offending pattern.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom can produce.
+    choices: Vec<char>,
+    min: u32,
+    max_inclusive: u32,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut members = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                members.push(escaped);
+            }
+            _ => {
+                // `a-z` is a range unless the `-` is last (then literal).
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next();
+                    match lookahead.peek() {
+                        Some(&']') | None => members.push(c),
+                        Some(&hi) => {
+                            chars.next();
+                            chars.next();
+                            assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+                            members.extend(c..=hi);
+                        }
+                    }
+                } else {
+                    members.push(c);
+                }
+            }
+        }
+    }
+    assert!(!members.is_empty(), "empty character class in pattern {pattern:?}");
+    members
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    let mut body = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => body.push(c),
+            None => panic!("unterminated quantifier in pattern {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| -> u32 {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                let choices = parse_class(&mut chars, pattern);
+                atoms.push(Atom { choices, min: 1, max_inclusive: 1 });
+            }
+            '{' => {
+                let (min, max_inclusive) = parse_quantifier(&mut chars, pattern);
+                assert!(min <= max_inclusive, "inverted quantifier in pattern {pattern:?}");
+                let atom = atoms
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("quantifier with no atom in pattern {pattern:?}"));
+                atom.min = min;
+                atom.max_inclusive = max_inclusive;
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                atoms.push(Atom { choices: vec![escaped], min: 1, max_inclusive: 1 });
+            }
+            '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?} (shim dialect: literals, [classes], {{m,n}})");
+            }
+            _ => atoms.push(Atom { choices: vec![c], min: 1, max_inclusive: 1 }),
+        }
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let span = (atom.max_inclusive - atom.min + 1) as u64;
+            let count = atom.min + rng.below(span) as u32;
+            for _ in 0..count {
+                let index = rng.below(atom.choices.len() as u64) as usize;
+                out.push(atom.choices[index]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn draw(pattern: &'static str, seed: u64) -> String {
+        pattern.generate(&mut TestRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn identifier_pattern_shape() {
+        for seed in 0..200 {
+            let s = draw("[a-zA-Z_][a-zA-Z0-9_]{0,8}", seed);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_class() {
+        for seed in 0..200 {
+            let s = draw("[ -~]{0,24}", seed);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literal_specials() {
+        for seed in 0..200 {
+            let s = draw("[a-z.*>]{1,20}", seed);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || ".*>".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_atoms_and_exact_counts() {
+        assert_eq!(draw("ab", 7), "ab");
+        assert_eq!(draw("[x]{3}", 7), "xxx");
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types but
+//! never drives an actual serializer (reports are hand-rolled text), so the
+//! shim provides marker traits satisfied by every type plus the no-op
+//! derive macros from the sibling `serde_derive` shim. Derive-macro names
+//! and trait names share an identifier but live in separate namespaces, so
+//! `use serde::{Deserialize, Serialize}` imports both.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -19,7 +19,8 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { listen: "127.0.0.1:7670".to_owned(), topics: Vec::new(), stats_every: None };
+    let mut args =
+        Args { listen: "127.0.0.1:7670".to_owned(), topics: Vec::new(), stats_every: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -35,7 +36,9 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|e| format!("bad --stats-every value: {e}"))?);
             }
             "--help" | "-h" => {
-                println!("usage: rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]");
+                println!(
+                    "usage: rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),

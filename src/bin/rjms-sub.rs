@@ -98,11 +98,8 @@ fn main() {
             Some(m) => {
                 received += 1;
                 if !args.quiet {
-                    let props: Vec<String> = m
-                        .properties()
-                        .iter()
-                        .map(|(k, v)| format!("{k}={v}"))
-                        .collect();
+                    let props: Vec<String> =
+                        m.properties().iter().map(|(k, v)| format!("{k}={v}")).collect();
                     println!(
                         "[{}] corr={} props={{{}}} body={}B",
                         received,

@@ -32,8 +32,8 @@ fn scenario_report_matches_simulation() {
         &Mg1SimConfig { arrival_rate: 500.0, samples: 200_000, warmup: 20_000, seed: 5 },
         &service,
     );
-    let rel = (sim.waiting.mean() - report.mean_waiting_time).abs()
-        / report.mean_waiting_time.max(1e-12);
+    let rel =
+        (sim.waiting.mean() - report.mean_waiting_time).abs() / report.mean_waiting_time.max(1e-12);
     assert!(
         rel < 0.1,
         "scenario E[W] {} vs simulated {}",

@@ -73,8 +73,7 @@ fn crossover_visible_in_simulated_utilizations() {
     let (model_at_1, _) = pair(1, m);
     let crossover = model_at_1.crossover_publishers(); // ≈ 79.9 for m = 100
 
-    for (n, psr_should_win) in
-        [((crossover * 0.5) as u32, false), ((crossover * 2.0) as u32, true)]
+    for (n, psr_should_win) in [((crossover * 0.5) as u32, false), ((crossover * 2.0) as u32, true)]
     {
         let (model, sim) = pair(n.max(1), m);
         // Drive both architectures at the *same* system rate: 80% of the
@@ -84,7 +83,8 @@ fn crossover_visible_in_simulated_utilizations() {
         let ssr = sim.simulate_ssr_broker(rate, 60_000, 8);
         let psr_less_loaded = psr.measured_utilization() < ssr.measured_utilization();
         assert_eq!(
-            psr_less_loaded, psr_should_win,
+            psr_less_loaded,
+            psr_should_win,
             "n={n}, m={m}: psr rho {} vs ssr rho {}",
             psr.measured_utilization(),
             ssr.measured_utilization()

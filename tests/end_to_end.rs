@@ -34,12 +34,7 @@ fn mixed_filter_types_route_correctly() {
         .unwrap();
     // Matches correlation range only.
     publisher
-        .publish(
-            Message::builder()
-                .correlation_id("#150")
-                .property("kind", "info")
-                .build(),
-        )
+        .publish(Message::builder().correlation_id("#150").property("kind", "info").build())
         .unwrap();
     // Matches neither.
     publisher.publish(Message::builder().build()).unwrap();
@@ -139,10 +134,7 @@ fn saturated_broker_follows_linear_cost_model() {
             let stop = Arc::clone(&stop);
             workers.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    if publisher
-                        .publish(Message::builder().correlation_id("#0").build())
-                        .is_err()
-                    {
+                    if publisher.publish(Message::builder().correlation_id("#0").build()).is_err() {
                         break;
                     }
                 }
@@ -186,8 +178,7 @@ fn saturated_broker_follows_linear_cost_model() {
 
     for (obs, &(n, r)) in observations.iter().zip(&grid) {
         let predicted = ServerModel::new(cal.params, n).predict_throughput(r as f64);
-        let rel =
-            (predicted.received_per_sec - obs.received_per_sec).abs() / obs.received_per_sec;
+        let rel = (predicted.received_per_sec - obs.received_per_sec).abs() / obs.received_per_sec;
         assert!(rel < 0.5, "n={n} r={r}: rel err {rel}");
     }
 

@@ -37,15 +37,9 @@ fn normalized_mean_waiting_matches_simulation() {
         let analytic = mean_waiting_series(&[rho], &[cvar])[0].points[0].y;
 
         // Simulated point.
-        let sampler =
-            ReplicationService { deterministic: d, t_tx, replication };
+        let sampler = ReplicationService { deterministic: d, t_tx, replication };
         let sim = simulate_lindley(
-            &Mg1SimConfig {
-                arrival_rate: rho / e_b,
-                samples: 200_000,
-                warmup: 20_000,
-                seed: 321,
-            },
+            &Mg1SimConfig { arrival_rate: rho / e_b, samples: 200_000, warmup: 20_000, seed: 321 },
             &sampler,
         );
         let simulated = sim.waiting.mean() / e_b;
@@ -70,12 +64,11 @@ fn fig10_series_monotone_in_both_axes() {
         }
     }
     // Monotone in cvar at fixed rho.
-    for i in 0..rhos.len() {
+    for (i, rho) in rhos.iter().enumerate() {
         for j in 1..series.len() {
             assert!(
                 series[j].points[i].y > series[j - 1].points[i].y,
-                "not increasing in cvar at rho={}",
-                rhos[i]
+                "not increasing in cvar at rho={rho}"
             );
         }
     }
