@@ -31,12 +31,20 @@ fn bench_dispatch(c: &mut Criterion) {
         // r matching subscribers (filter #0) + (n_fltr - r) non-matching.
         let mut subs = Vec::new();
         for _ in 0..r {
-            subs.push(broker.subscribe("bench", Filter::correlation_id("#0").unwrap()).unwrap());
+            subs.push(
+                broker
+                    .subscription("bench")
+                    .filter(Filter::correlation_id("#0").unwrap())
+                    .open()
+                    .unwrap(),
+            );
         }
         for i in r..n_fltr {
             subs.push(
                 broker
-                    .subscribe("bench", Filter::correlation_id(&format!("#{i}")).unwrap())
+                    .subscription("bench")
+                    .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                    .open()
                     .unwrap(),
             );
         }
@@ -59,11 +67,19 @@ fn bench_selector_dispatch(c: &mut Criterion) {
         let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(65_536));
         broker.create_topic("bench").unwrap();
         let mut subs = Vec::new();
-        subs.push(broker.subscribe("bench", Filter::selector("key = 0").unwrap()).unwrap());
+        subs.push(
+            broker
+                .subscription("bench")
+                .filter(Filter::selector("key = 0").unwrap())
+                .open()
+                .unwrap(),
+        );
         for i in 1..n_fltr {
             subs.push(
                 broker
-                    .subscribe("bench", Filter::selector(&format!("key = {i}")).unwrap())
+                    .subscription("bench")
+                    .filter(Filter::selector(&format!("key = {i}")).unwrap())
+                    .open()
                     .unwrap(),
             );
         }

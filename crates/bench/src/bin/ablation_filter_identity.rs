@@ -27,7 +27,8 @@ fn measure(filters: Vec<Filter>) -> f64 {
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
 
-    let matching = broker.subscribe("t", Filter::correlation_id("#0").unwrap()).unwrap();
+    let matching =
+        broker.subscription("t").filter(Filter::correlation_id("#0").unwrap()).open().unwrap();
     {
         let stop = Arc::clone(&stop);
         workers.push(std::thread::spawn(move || {
@@ -36,7 +37,8 @@ fn measure(filters: Vec<Filter>) -> f64 {
             }
         }));
     }
-    let _subs: Vec<_> = filters.into_iter().map(|f| broker.subscribe("t", f).unwrap()).collect();
+    let _subs: Vec<_> =
+        filters.into_iter().map(|f| broker.subscription("t").filter(f).open().unwrap()).collect();
 
     for _ in 0..4 {
         let publisher = broker.publisher("t").unwrap();
@@ -51,10 +53,9 @@ fn measure(filters: Vec<Filter>) -> f64 {
     }
 
     std::thread::sleep(Duration::from_millis(200));
-    let stats = broker.stats();
-    let probe = ThroughputProbe::start(&stats);
+    let probe = ThroughputProbe::begin(&broker);
     std::thread::sleep(Duration::from_millis(1500));
-    let throughput = probe.finish(&stats);
+    let throughput = probe.end(&broker);
     stop.store(true, Ordering::Relaxed);
     for w in workers {
         let _ = w.join();

@@ -17,23 +17,30 @@
 //! additionally burns `t_rcv` per message, `t_fltr` per filter evaluation and
 //! `t_tx` per forwarded copy, so a saturated broker reproduces Eq. 1 in wall
 //! clock time.
+//!
+//! With [`MetricsConfig`](crate::config::MetricsConfig) installed, the
+//! dispatcher measures itself: per-message waiting, service and sojourn
+//! times land in lock-free histograms (see [`crate::metrics`]), with the
+//! Eq. 1 stage decomposition sampled every Nth message.
 
 use crate::config::{BrokerConfig, OverflowPolicy};
-use crate::error::{BrokerError, ReceiveError};
+use crate::error::{Error, TryPublishError};
 use crate::filter::Filter;
 use crate::message::Message;
+use crate::metrics::{time_stage, BrokerMetrics, DispatchTimer, DispatcherScratch};
 use crate::pattern::TopicPattern;
 use crate::persist::{encode_publish, JournalRecord};
-use crate::stats::BrokerStats;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crate::stats::{BrokerSnapshot, BrokerStats, MessageCounters, SubscriptionCounters};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use rjms_journal::{Journal, JournalStats};
-use std::collections::{HashMap, VecDeque};
+use rjms_metrics::MetricsRegistry;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Unique id of a subscription within a broker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -75,7 +82,7 @@ impl Topic {
     }
 }
 
-/// Per-topic message counters (see [`Broker::topic_stats`]).
+/// Per-topic message counters (see [`BrokerSnapshot::per_topic`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TopicStats {
     /// Messages received on this topic.
@@ -111,7 +118,13 @@ struct DurableState {
 
 /// Work items for the dispatcher thread.
 enum DispatchItem {
-    Publish { topic: Arc<Topic>, message: Arc<Message> },
+    Publish {
+        topic: Arc<Topic>,
+        message: Arc<Message>,
+        /// Publish-queue entry time; `Some` only with metrics enabled so
+        /// the no-metrics dispatch path stays free of clock reads.
+        enqueued_at: Option<u64>,
+    },
     Shutdown,
 }
 
@@ -128,6 +141,8 @@ struct BrokerInner {
     /// appends publishes and checkpoints; API threads append topology
     /// records (topic/durable lifecycle).
     journal: Option<Mutex<Journal>>,
+    /// Live instruments, when metrics are enabled.
+    metrics: Option<BrokerMetrics>,
 }
 
 impl BrokerInner {
@@ -170,11 +185,14 @@ struct PatternSubscription {
 /// ```
 /// use rjms_broker::{Broker, BrokerConfig, Filter, Message};
 ///
-/// # fn main() -> Result<(), rjms_broker::BrokerError> {
+/// # fn main() -> Result<(), rjms_broker::Error> {
 /// let broker = Broker::start(BrokerConfig::default());
 /// broker.create_topic("presence")?;
 ///
-/// let subscriber = broker.subscribe("presence", Filter::selector("user = 'alice'").unwrap())?;
+/// let subscriber = broker
+///     .subscription("presence")
+///     .filter(Filter::selector("user = 'alice'").unwrap())
+///     .open()?;
 /// let publisher = broker.publisher("presence")?;
 /// publisher.publish(Message::builder().property("user", "alice").build())?;
 ///
@@ -225,6 +243,14 @@ impl Broker {
             stats.update_journal(&journal.stats());
             Mutex::new(journal)
         });
+        let metrics = config.metrics.map(|m| BrokerMetrics::new(m.stage_sample_every));
+        if let (Some(metrics), Some(journal)) = (&metrics, &journal) {
+            // The journal's always-on latency instruments surface in the
+            // broker's registry under the `journal.*` names.
+            let journal = journal.lock();
+            metrics.registry.register_histogram("journal.append_ns", journal.append_latency());
+            metrics.registry.register_histogram("journal.fsync_ns", journal.fsync_latency());
+        }
 
         let (publish_tx, publish_rx) = bounded(config.publish_queue_capacity);
         let inner = Arc::new(BrokerInner {
@@ -235,6 +261,7 @@ impl Broker {
             next_subscription_id: AtomicU64::new(1),
             stopped: AtomicBool::new(false),
             journal,
+            metrics,
         });
         let dispatcher_inner = Arc::clone(&inner);
         let dispatcher = std::thread::Builder::new()
@@ -248,17 +275,17 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::TopicExists`] for duplicates,
-    /// [`BrokerError::InvalidTopicName`] for empty/control-character names,
-    /// and [`BrokerError::Stopped`] after shutdown.
-    pub fn create_topic(&self, name: &str) -> Result<(), BrokerError> {
+    /// Returns [`Error::TopicExists`] for duplicates,
+    /// [`Error::InvalidTopicName`] for empty/control-character names, and
+    /// [`Error::Stopped`] after shutdown.
+    pub fn create_topic(&self, name: &str) -> Result<(), Error> {
         self.ensure_running()?;
         if name.is_empty() || name.chars().any(|c| c.is_control()) {
-            return Err(BrokerError::InvalidTopicName { topic: name.to_owned() });
+            return Err(Error::InvalidTopicName { topic: name.to_owned() });
         }
         let mut topics = self.inner.topics.write();
         if topics.contains_key(name) {
-            return Err(BrokerError::TopicExists { topic: name.to_owned() });
+            return Err(Error::TopicExists { topic: name.to_owned() });
         }
         let topic = Arc::new(Topic::new(name));
         // Attach live wildcard subscriptions that match the new topic,
@@ -303,28 +330,121 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::TopicNotFound`] for unknown topics and
-    /// [`BrokerError::Stopped`] after shutdown.
-    pub fn publisher(&self, topic: &str) -> Result<Publisher, BrokerError> {
+    /// Returns [`Error::TopicNotFound`] for unknown topics and
+    /// [`Error::Stopped`] after shutdown.
+    pub fn publisher(&self, topic: &str) -> Result<Publisher, Error> {
         self.ensure_running()?;
         let topic = self.lookup(topic)?;
         Ok(Publisher { topic, publish_tx: self.publish_tx.clone(), inner: Arc::clone(&self.inner) })
     }
 
-    /// Subscribes to a topic with a filter; returns the consuming handle.
+    /// Starts building a subscription on a topic or topic pattern.
     ///
-    /// The subscription is removed automatically when the returned
-    /// [`Subscriber`] is dropped (the paper's *non-durable* mode: messages
-    /// are only forwarded to subscribers that are presently online).
+    /// `target` is either a literal topic name (`orders.eu`) or a
+    /// hierarchical wildcard pattern (`orders.*`, `sensors.>`); wildcards
+    /// subscribe to every matching topic, current and future. Configure the
+    /// subscription with [`SubscriptionBuilder::filter`],
+    /// [`SubscriptionBuilder::durable`] and
+    /// [`SubscriptionBuilder::queue_capacity`], then call
+    /// [`SubscriptionBuilder::open`].
+    ///
+    /// This replaces the `subscribe` / `subscribe_pattern` /
+    /// `subscribe_durable` trio.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rjms_broker::{Broker, BrokerConfig, Filter};
+    ///
+    /// # fn main() -> Result<(), rjms_broker::Error> {
+    /// let broker = Broker::start(BrokerConfig::default());
+    /// broker.create_topic("orders.eu")?;
+    ///
+    /// // Non-durable subscription on one topic:
+    /// let plain = broker.subscription("orders.eu").open()?;
+    /// // Filtered wildcard subscription over present and future topics:
+    /// let wild = broker
+    ///     .subscription("orders.*")
+    ///     .filter(Filter::selector("amount > 100").unwrap())
+    ///     .open()?;
+    /// // Durable subscription with a private queue bound:
+    /// let durable = broker
+    ///     .subscription("orders.eu")
+    ///     .durable("audit")
+    ///     .queue_capacity(128)
+    ///     .open()?;
+    /// # drop((plain, wild, durable));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn subscription(&self, target: &str) -> SubscriptionBuilder<'_> {
+        SubscriptionBuilder {
+            broker: self,
+            target: target.to_owned(),
+            filter: Filter::None,
+            durable: None,
+            queue_capacity: None,
+        }
+    }
+
+    /// Subscribes to a topic with a filter; returns the consuming handle.
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::TopicNotFound`] for unknown topics and
-    /// [`BrokerError::Stopped`] after shutdown.
-    pub fn subscribe(&self, topic: &str, filter: Filter) -> Result<Subscriber, BrokerError> {
+    /// Returns [`Error::TopicNotFound`] for unknown topics and
+    /// [`Error::Stopped`] after shutdown.
+    #[deprecated(since = "0.2.0", note = "use `Broker::subscription(topic).filter(..).open()`")]
+    pub fn subscribe(&self, topic: &str, filter: Filter) -> Result<Subscriber, Error> {
+        self.open_literal(topic, filter, self.inner.config.subscriber_queue_capacity)
+    }
+
+    /// Subscribes to every topic whose name matches a [`TopicPattern`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Stopped`] after shutdown.
+    #[deprecated(since = "0.2.0", note = "use `Broker::subscription(pattern).filter(..).open()`")]
+    pub fn subscribe_pattern(
+        &self,
+        pattern: &TopicPattern,
+        filter: Filter,
+    ) -> Result<Subscriber, Error> {
+        self.open_pattern(pattern, filter, self.inner.config.subscriber_queue_capacity)
+    }
+
+    /// Connects to (or creates) a *durable* subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DurableNameInUse`] if a consumer is already
+    /// connected under this name, [`Error::TopicNotFound`] /
+    /// [`Error::Stopped`] as for topic subscriptions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Broker::subscription(topic).durable(name).filter(..).open()`"
+    )]
+    pub fn subscribe_durable(
+        &self,
+        topic: &str,
+        name: &str,
+        filter: Filter,
+    ) -> Result<Subscriber, Error> {
+        self.open_durable(topic, name, filter, self.inner.config.subscriber_queue_capacity)
+    }
+
+    /// Opens a non-durable subscription on one literal topic (the paper's
+    /// *non-durable* mode: messages are only forwarded to subscribers that
+    /// are presently online). The subscription is removed automatically
+    /// when the returned [`Subscriber`] is dropped.
+    fn open_literal(
+        &self,
+        topic: &str,
+        filter: Filter,
+        queue_capacity: usize,
+    ) -> Result<Subscriber, Error> {
         self.ensure_running()?;
         let topic = self.lookup(topic)?;
-        let (tx, rx) = bounded(self.inner.config.subscriber_queue_capacity);
+        let (tx, rx) = bounded(queue_capacity);
         let id = SubscriptionId(self.inner.next_subscription_id.fetch_add(1, Ordering::Relaxed));
         let active = Arc::new(AtomicBool::new(true));
         let sub = Arc::new(Subscription { filter, sender: tx, active: Arc::clone(&active) });
@@ -336,27 +456,24 @@ impl Broker {
             active,
             durable: None,
             pending: Mutex::new(VecDeque::new()),
+            pattern_registration: None,
         })
     }
 
-    /// Subscribes to every topic — current *and future* — whose name
-    /// matches a hierarchical [`TopicPattern`] (`orders.*`, `sensors.>`).
-    ///
-    /// All matching topics feed the one returned [`Subscriber`]; dropping
-    /// it cancels the subscription everywhere.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BrokerError::Stopped`] after shutdown. Unlike
-    /// [`Broker::subscribe`], an unknown (not-yet-created) topic is not an
-    /// error — matching is by pattern.
-    pub fn subscribe_pattern(
+    /// Opens a subscription on every topic — current *and future* — whose
+    /// name matches a hierarchical [`TopicPattern`] (`orders.*`,
+    /// `sensors.>`). All matching topics feed the one returned
+    /// [`Subscriber`]; dropping it cancels the subscription everywhere.
+    /// Unknown (not-yet-created) topics are not an error — matching is by
+    /// pattern.
+    fn open_pattern(
         &self,
         pattern: &TopicPattern,
         filter: Filter,
-    ) -> Result<Subscriber, BrokerError> {
+        queue_capacity: usize,
+    ) -> Result<Subscriber, Error> {
         self.ensure_running()?;
-        let (tx, rx) = bounded(self.inner.config.subscriber_queue_capacity);
+        let (tx, rx) = bounded(queue_capacity);
         let id = SubscriptionId(self.inner.next_subscription_id.fetch_add(1, Ordering::Relaxed));
         let active = Arc::new(AtomicBool::new(true));
         let sub = Arc::new(Subscription { filter, sender: tx, active: Arc::clone(&active) });
@@ -383,35 +500,33 @@ impl Broker {
             active,
             durable: None,
             pending: Mutex::new(VecDeque::new()),
+            // The topic lists only hold clones for *currently existing*
+            // matching topics; the handle itself must keep the
+            // registration alive so a pattern matching no topic yet still
+            // catches the first one created.
+            pattern_registration: Some(sub),
         })
     }
 
-    /// Connects to (or creates) a *durable* subscription.
+    /// Connects to (or creates) a durable subscription.
     ///
     /// While no consumer is connected, matching messages are retained (up
     /// to [`crate::BrokerConfig::durable_buffer_capacity`], oldest dropped)
     /// and delivered ahead of live traffic on the next connect — the
     /// paper's *durable mode*. Reconnecting with a *different* filter
-    /// discards the retained backlog, matching JMS's
-    /// change-of-selector semantics.
-    ///
-    /// Retained messages whose TTL has elapsed by the time of reconnection
-    /// are discarded, not delivered.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BrokerError::DurableNameInUse`] if a consumer is already
-    /// connected under this name, [`BrokerError::TopicNotFound`] /
-    /// [`BrokerError::Stopped`] as for [`Broker::subscribe`].
-    pub fn subscribe_durable(
+    /// discards the retained backlog, matching JMS's change-of-selector
+    /// semantics. Retained messages whose TTL has elapsed by the time of
+    /// reconnection are discarded, not delivered.
+    fn open_durable(
         &self,
         topic: &str,
         name: &str,
         filter: Filter,
-    ) -> Result<Subscriber, BrokerError> {
+        queue_capacity: usize,
+    ) -> Result<Subscriber, Error> {
         self.ensure_running()?;
         let topic = self.lookup(topic)?;
-        let (tx, rx) = bounded(self.inner.config.subscriber_queue_capacity);
+        let (tx, rx) = bounded(queue_capacity);
         let id = SubscriptionId(self.inner.next_subscription_id.fetch_add(1, Ordering::Relaxed));
 
         let mut durables = topic.durables.write();
@@ -419,7 +534,7 @@ impl Broker {
             Some(existing) => {
                 let mut connection = existing.connection.lock();
                 if connection.is_some() {
-                    return Err(BrokerError::DurableNameInUse {
+                    return Err(Error::DurableNameInUse {
                         topic: topic.name.clone(),
                         name: name.to_owned(),
                     });
@@ -477,6 +592,7 @@ impl Broker {
             active: Arc::new(AtomicBool::new(true)),
             durable: Some(Arc::clone(&state)),
             pending: Mutex::new(pending),
+            pattern_registration: None,
         })
     }
 
@@ -485,20 +601,20 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::DurableStillConnected`] while a consumer is
-    /// connected and [`BrokerError::DurableNotFound`] for unknown names.
-    pub fn unsubscribe_durable(&self, topic: &str, name: &str) -> Result<(), BrokerError> {
+    /// Returns [`Error::DurableStillConnected`] while a consumer is
+    /// connected and [`Error::DurableNotFound`] for unknown names.
+    pub fn unsubscribe_durable(&self, topic: &str, name: &str) -> Result<(), Error> {
         self.ensure_running()?;
         let topic = self.lookup(topic)?;
         let mut durables = topic.durables.write();
         let Some(index) = durables.iter().position(|d| d.name == name) else {
-            return Err(BrokerError::DurableNotFound {
+            return Err(Error::DurableNotFound {
                 topic: topic.name.clone(),
                 name: name.to_owned(),
             });
         };
         if durables[index].connection.lock().is_some() {
-            return Err(BrokerError::DurableStillConnected {
+            return Err(Error::DurableStillConnected {
                 topic: topic.name.clone(),
                 name: name.to_owned(),
             });
@@ -553,23 +669,70 @@ impl Broker {
             .unwrap_or(0)
     }
 
+    /// A typed point-in-time snapshot of the whole broker: message
+    /// counters, subscription counts, journal state and per-topic
+    /// statistics. This replaces the `stats` / `journal_stats` /
+    /// `topic_stats` getter trio.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rjms_broker::{Broker, BrokerConfig};
+    ///
+    /// # fn main() -> Result<(), rjms_broker::Error> {
+    /// let broker = Broker::start(BrokerConfig::default());
+    /// broker.create_topic("t")?;
+    /// let snap = broker.snapshot();
+    /// assert_eq!(snap.messages.received, 0);
+    /// assert_eq!(snap.subscriptions.topics, 1);
+    /// assert!(snap.journal.is_none()); // no persistence configured
+    /// assert!(snap.per_topic.contains_key("t"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn snapshot(&self) -> BrokerSnapshot {
+        snapshot_of(&self.inner)
+    }
+
+    /// An owned, cloneable observer for reading [`Broker::snapshot`] from
+    /// another thread (e.g. a metrics exporter) without borrowing the
+    /// broker handle. Holding one does not delay the broker's shutdown.
+    pub fn observer(&self) -> BrokerObserver {
+        BrokerObserver { inner: Arc::clone(&self.inner) }
+    }
+
+    /// The broker's metrics registry, when [`BrokerConfig::metrics`] is
+    /// set; `None` otherwise. Instrument names are documented in
+    /// [`crate::metrics`].
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.inner.metrics.as_ref().map(|m| m.registry.clone())
+    }
+
     /// The broker's statistics counters.
+    #[deprecated(since = "0.2.0", note = "use `Broker::snapshot()`")]
     pub fn stats(&self) -> Arc<BrokerStats> {
         Arc::clone(&self.inner.stats)
     }
 
     /// A snapshot of the write-ahead journal's counters; `None` without
     /// persistence.
+    #[deprecated(since = "0.2.0", note = "use `Broker::snapshot().journal`")]
     pub fn journal_stats(&self) -> Option<JournalStats> {
         self.inner.journal.as_ref().map(|j| j.lock().stats())
     }
 
     /// Per-topic counters; `None` for unknown topics.
+    #[deprecated(since = "0.2.0", note = "use `Broker::snapshot().per_topic`")]
     pub fn topic_stats(&self, topic: &str) -> Option<TopicStats> {
         self.inner.topics.read().get(topic).map(|t| TopicStats {
             received: t.received.load(Ordering::Relaxed),
             dispatched: t.dispatched.load(Ordering::Relaxed),
         })
+    }
+
+    /// The raw shared counters, for crate-internal probes.
+    pub(crate) fn raw_stats(&self) -> &BrokerStats {
+        &self.inner.stats
     }
 
     /// Stops the broker: publishers fail fast, the dispatcher drains the
@@ -595,27 +758,153 @@ impl Broker {
         }
     }
 
-    fn ensure_running(&self) -> Result<(), BrokerError> {
+    fn ensure_running(&self) -> Result<(), Error> {
         if self.inner.stopped.load(Ordering::Relaxed) {
-            Err(BrokerError::Stopped)
+            Err(Error::Stopped)
         } else {
             Ok(())
         }
     }
 
-    fn lookup(&self, name: &str) -> Result<Arc<Topic>, BrokerError> {
+    fn lookup(&self, name: &str) -> Result<Arc<Topic>, Error> {
         self.inner
             .topics
             .read()
             .get(name)
             .cloned()
-            .ok_or_else(|| BrokerError::TopicNotFound { topic: name.to_owned() })
+            .ok_or_else(|| Error::TopicNotFound { topic: name.to_owned() })
     }
 }
 
 impl Drop for Broker {
     fn drop(&mut self) {
         self.shutdown_in_place();
+    }
+}
+
+/// Builds a [`BrokerSnapshot`] from the shared broker state; the one
+/// implementation behind [`Broker::snapshot`] and [`BrokerObserver`].
+fn snapshot_of(inner: &BrokerInner) -> BrokerSnapshot {
+    let stats = &inner.stats;
+    let topics = inner.topics.read();
+    let mut per_topic = BTreeMap::new();
+    let mut live = 0usize;
+    let mut durable = 0usize;
+    for (name, t) in topics.iter() {
+        live += t.subscriptions.read().iter().filter(|s| s.active.load(Ordering::Relaxed)).count();
+        durable += t.durables.read().len();
+        per_topic.insert(
+            name.clone(),
+            TopicStats {
+                received: t.received.load(Ordering::Relaxed),
+                dispatched: t.dispatched.load(Ordering::Relaxed),
+            },
+        );
+    }
+    BrokerSnapshot {
+        messages: MessageCounters {
+            received: stats.received(),
+            dispatched: stats.dispatched(),
+            filter_evaluations: stats.filter_evaluations(),
+            dropped: stats.dropped(),
+            retained: stats.retained(),
+            expired: stats.expired_messages(),
+        },
+        subscriptions: SubscriptionCounters {
+            topics: topics.len(),
+            live,
+            durable,
+            expired: stats.expired_subscriptions(),
+        },
+        journal: inner.journal.as_ref().map(|j| j.lock().stats()),
+        per_topic,
+    }
+}
+
+/// An owned window onto a running broker's counters, detached from the
+/// [`Broker`] handle's lifetime; created by [`Broker::observer`].
+///
+/// Snapshots taken after the broker shuts down simply stop changing.
+#[derive(Clone)]
+pub struct BrokerObserver {
+    inner: Arc<BrokerInner>,
+}
+
+impl fmt::Debug for BrokerObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerObserver").finish_non_exhaustive()
+    }
+}
+
+impl BrokerObserver {
+    /// A typed snapshot of the broker's counters (see [`Broker::snapshot`]).
+    pub fn snapshot(&self) -> BrokerSnapshot {
+        snapshot_of(&self.inner)
+    }
+}
+
+/// Configures and opens one subscription; created by
+/// [`Broker::subscription`].
+#[derive(Debug)]
+pub struct SubscriptionBuilder<'a> {
+    broker: &'a Broker,
+    target: String,
+    filter: Filter,
+    durable: Option<String>,
+    queue_capacity: Option<usize>,
+}
+
+impl SubscriptionBuilder<'_> {
+    /// Sets the message filter (default: [`Filter::None`], every message
+    /// matches).
+    pub fn filter(mut self, filter: Filter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Makes this a *durable* subscription under the given name: matching
+    /// messages are retained while no consumer is connected. Durable
+    /// subscriptions require a literal topic, not a wildcard pattern.
+    pub fn durable(mut self, name: &str) -> Self {
+        self.durable = Some(name.to_owned());
+        self
+    }
+
+    /// Overrides [`crate::BrokerConfig::subscriber_queue_capacity`] for
+    /// this subscription alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "subscriber queue capacity must be > 0");
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Opens the subscription and returns the consuming [`Subscriber`].
+    ///
+    /// A `target` that parses as a wildcard [`TopicPattern`] subscribes to
+    /// every matching topic, current and future; anything else is treated
+    /// as a literal topic name, which must exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TopicNotFound`] for unknown literal topics,
+    /// [`Error::DurablePattern`] for a durable subscription on a wildcard
+    /// pattern, [`Error::DurableNameInUse`] if a consumer is already
+    /// connected under the durable name, and [`Error::Stopped`] after
+    /// shutdown.
+    pub fn open(self) -> Result<Subscriber, Error> {
+        let SubscriptionBuilder { broker, target, filter, durable, queue_capacity } = self;
+        let capacity = queue_capacity.unwrap_or(broker.inner.config.subscriber_queue_capacity);
+        let pattern = target.parse::<TopicPattern>().ok().filter(|p| !p.is_literal());
+        match (durable, pattern) {
+            (Some(_), Some(pattern)) => Err(Error::DurablePattern { pattern: pattern.to_string() }),
+            (Some(name), None) => broker.open_durable(&target, &name, filter, capacity),
+            (None, Some(pattern)) => broker.open_pattern(&pattern, filter, capacity),
+            (None, None) => broker.open_literal(&target, filter, capacity),
+        }
     }
 }
 
@@ -630,23 +919,67 @@ struct PendingCheckpoint {
 /// The dispatcher thread: pops publish items and fans out message copies.
 fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
     let cost = inner.config.cost_model;
+    let metrics = inner.metrics.as_ref();
     let checkpoint_every =
         inner.config.persistence.as_ref().map_or(u64::MAX, |p| p.checkpoint_every);
     // Checkpoint bookkeeping, keyed by (topic, durable name). Only the
     // dispatcher writes checkpoints, so this needs no locking.
     let mut checkpoints: HashMap<(String, String), PendingCheckpoint> = HashMap::new();
-    while let Ok(item) = publish_rx.recv() {
-        let (topic, message) = match item {
-            DispatchItem::Shutdown => break,
-            DispatchItem::Publish { topic, message } => (topic, message),
+    // Countdown to the next stage-sampled message (cheaper than a modulo
+    // on the hot path).
+    let mut stage_countdown = metrics.map_or(u64::MAX, |m| m.stage_sample_every);
+    // The previous message's fan-out end: when the next message is already
+    // queued its dispatch starts right here, so the reading is reused as
+    // the next dispatch start instead of a second clock read per message.
+    let mut last_end: Option<u64> = None;
+    // Local staging for the per-message histograms, flushed on idle and
+    // every FLUSH_EVERY samples.
+    let mut scratch = DispatcherScratch::new();
+    loop {
+        let (item, was_queued) = match publish_rx.try_recv() {
+            Ok(item) => (item, true),
+            Err(TryRecvError::Empty) => {
+                // About to block: publish staged samples so observers see
+                // an up-to-date picture whenever the dispatcher is idle.
+                if let Some(m) = metrics {
+                    scratch.flush(m);
+                }
+                match publish_rx.recv() {
+                    Ok(item) => (item, false),
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
         };
+        let (topic, message, enqueued_at) = match item {
+            DispatchItem::Shutdown => break,
+            DispatchItem::Publish { topic, message, enqueued_at } => (topic, message, enqueued_at),
+        };
+        let timer = metrics.map(|m| {
+            stage_countdown -= 1;
+            let sample = stage_countdown == 0;
+            if sample {
+                stage_countdown = m.stage_sample_every;
+            }
+            let reuse = if was_queued { last_end } else { None };
+            DispatchTimer::start_at(reuse, sample)
+        });
+        let sample = timer.as_ref().is_some_and(|t| t.sample_stages);
+        let mut rcv_ns = 0u64;
+        let mut journal_ns = 0u64;
+        let mut filter_ns = 0u64;
+        let mut fanout_ns = 0u64;
+
         inner.stats.record_received();
-        if let Some(c) = &cost {
-            c.spin_receive();
-        }
+        time_stage(sample, &mut rcv_ns, || {
+            if let Some(c) = &cost {
+                c.spin_receive();
+            }
+        });
 
         // TTL: expired messages are never delivered (JMS §4.8); the receive
-        // work has already been paid.
+        // work has already been paid. Expired messages are dropped before
+        // fan-out, so they do not enter the timing histograms either.
         if message.is_expired() {
             inner.stats.record_expired_message();
             continue;
@@ -656,13 +989,21 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
         // any subscriber sees it. This append is the real-I/O counterpart
         // of the synthetic `t_rcv`/`t_fltr`/`t_tx` spins — the `t_store`
         // term of the extended cost model.
-        let publish_offset = inner.append_record(&encode_publish(&topic.name, &message));
+        let publish_offset = time_stage(sample, &mut journal_ns, || {
+            inner.append_record(&encode_publish(&topic.name, &message))
+        });
 
         let mut copies = 0u64;
         let mut evaluations = 0u64;
         let mut needs_prune = false;
         {
             let subs = topic.subscriptions.read();
+            // The scan is timed as one block (two clock reads) rather than
+            // per filter, so sampled messages stay cheap even with hundreds
+            // of subscriptions; the fan-out time inside the block is timed
+            // separately and subtracted afterwards.
+            let scan_start = if sample { Some(Instant::now()) } else { None };
+            let fanout_before = fanout_ns;
             for sub in subs.iter() {
                 if !sub.active.load(Ordering::Relaxed) {
                     needs_prune = true;
@@ -675,10 +1016,13 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
                 if !sub.filter.matches(&message) {
                     continue;
                 }
-                if let Some(c) = &cost {
-                    c.spin_transmit();
-                }
-                match deliver(sub, Arc::clone(&message), inner.config.overflow_policy) {
+                let delivery = time_stage(sample, &mut fanout_ns, || {
+                    if let Some(c) = &cost {
+                        c.spin_transmit();
+                    }
+                    deliver(sub, Arc::clone(&message), inner.config.overflow_policy)
+                });
+                match delivery {
                     Delivery::Sent => copies += 1,
                     Delivery::Dropped => inner.stats.record_dropped(),
                     Delivery::Disconnected => {
@@ -688,16 +1032,23 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
                     }
                 }
             }
+            if let Some(start) = scan_start {
+                let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                filter_ns += total.saturating_sub(fanout_ns - fanout_before);
+            }
         }
         // Durable subscriptions: deliver when connected, retain otherwise.
         {
             let durables = topic.durables.read();
             for durable in durables.iter() {
                 evaluations += 1;
-                if let Some(c) = &cost {
-                    c.spin_filters(1);
-                }
-                if !durable.filter.lock().matches(&message) {
+                let matched = time_stage(sample, &mut filter_ns, || {
+                    if let Some(c) = &cost {
+                        c.spin_filters(1);
+                    }
+                    durable.filter.lock().matches(&message)
+                });
+                if !matched {
                     continue;
                 }
                 if let Some(c) = &cost {
@@ -706,8 +1057,10 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
                 let mut connection = durable.connection.lock();
                 let delivered = match connection.as_ref() {
                     Some(sender) => {
-                        match deliver_to(sender, Arc::clone(&message), inner.config.overflow_policy)
-                        {
+                        let delivery = time_stage(sample, &mut fanout_ns, || {
+                            deliver_to(sender, Arc::clone(&message), inner.config.overflow_policy)
+                        });
+                        match delivery {
                             Delivery::Sent => {
                                 copies += 1;
                                 true
@@ -771,6 +1124,27 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
         if needs_prune {
             topic.subscriptions.write().retain(|s| s.active.load(Ordering::Relaxed));
         }
+
+        if let (Some(m), Some(mut timer)) = (metrics, timer) {
+            if timer.sample_stages {
+                m.stage_rcv.record(rcv_ns);
+                m.stage_journal.record(journal_ns);
+                timer.filter_elapsed = filter_ns;
+                timer.fanout_elapsed = fanout_ns;
+            }
+            // Without an enqueue stamp (metrics enabled mid-flight is
+            // impossible, but recovery replays have none) waiting is zero.
+            let enqueued_at = enqueued_at.unwrap_or_else(|| timer.dispatch_start());
+            last_end = Some(timer.finish(m, &mut scratch, enqueued_at));
+            if scratch.pending() >= crate::metrics::FLUSH_EVERY {
+                scratch.flush(m);
+            }
+        }
+    }
+
+    // Final histogram flush: every staged sample is visible after shutdown.
+    if let Some(m) = metrics {
+        scratch.flush(m);
     }
 
     // Shutdown: write the final checkpoints and force the journal to disk
@@ -933,47 +1307,56 @@ impl Publisher {
         &self.topic.name
     }
 
+    /// The publish-queue entry stamp for a new message; `Some` only with
+    /// metrics enabled so the disabled path stays free of clock reads.
+    fn enqueue_stamp(&self) -> Option<u64> {
+        self.inner.metrics.as_ref().map(|_| rjms_metrics::clock::now())
+    }
+
     /// Publishes a message, blocking while the broker's publish queue is
     /// full (push-back).
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::Stopped`] once the broker has been shut down.
-    pub fn publish(&self, message: Message) -> Result<(), BrokerError> {
+    /// Returns [`Error::Stopped`] once the broker has been shut down.
+    pub fn publish(&self, message: Message) -> Result<(), Error> {
         if self.inner.stopped.load(Ordering::Relaxed) {
-            return Err(BrokerError::Stopped);
+            return Err(Error::Stopped);
         }
         self.publish_tx
             .send(DispatchItem::Publish {
                 topic: Arc::clone(&self.topic),
                 message: Arc::new(message),
+                enqueued_at: self.enqueue_stamp(),
             })
-            .map_err(|_| BrokerError::Stopped)
+            .map_err(|_| Error::Stopped)
     }
 
-    /// Publishes without blocking; returns the message back if the publish
+    /// Publishes without blocking; hands the message back if the publish
     /// queue is currently full.
     ///
     /// # Errors
     ///
-    /// `Err(Some(message))` when the queue is full, `Err(None)` when the
-    /// broker is stopped.
+    /// [`TryPublishError::Full`] (carrying the rejected message) when the
+    /// queue is full, [`TryPublishError::Stopped`] when the broker has
+    /// been shut down.
     #[allow(clippy::result_large_err)] // the Err hands the message back (push-back)
-    pub fn try_publish(&self, message: Message) -> Result<(), Option<Message>> {
+    pub fn try_publish(&self, message: Message) -> Result<(), TryPublishError> {
         if self.inner.stopped.load(Ordering::Relaxed) {
-            return Err(None);
+            return Err(TryPublishError::Stopped);
         }
         self.publish_tx
             .try_send(DispatchItem::Publish {
                 topic: Arc::clone(&self.topic),
                 message: Arc::new(message),
+                enqueued_at: self.enqueue_stamp(),
             })
             .map_err(|e| match e {
                 TrySendError::Full(DispatchItem::Publish { message, .. }) => {
                     // Hand the message back; it was never shared.
-                    Some(Arc::try_unwrap(message).expect("unshared message"))
+                    TryPublishError::Full(Arc::try_unwrap(message).expect("unshared message"))
                 }
-                _ => None,
+                _ => TryPublishError::Stopped,
             })
     }
 }
@@ -992,6 +1375,11 @@ pub struct Subscriber {
     /// live messages. Interior mutability keeps `receive(&self)` ergonomic
     /// (matching the underlying channel receiver).
     pending: Mutex<VecDeque<Arc<Message>>>,
+    /// For pattern subscriptions: the strong reference that keeps the
+    /// registration alive while no matching topic exists yet (the broker's
+    /// pattern list only holds a `Weak`). Held for its drop behaviour.
+    #[allow(dead_code)]
+    pattern_registration: Option<Arc<Subscription>>,
 }
 
 impl fmt::Debug for Subscriber {
@@ -1026,13 +1414,13 @@ impl Subscriber {
     ///
     /// # Errors
     ///
-    /// Returns [`ReceiveError`] when the broker has shut down and the queue
-    /// is drained.
-    pub fn receive(&self) -> Result<Arc<Message>, ReceiveError> {
+    /// Returns [`Error::Disconnected`] when the broker has shut down and
+    /// the queue is drained.
+    pub fn receive(&self) -> Result<Arc<Message>, Error> {
         if let Some(m) = self.pending.lock().pop_front() {
             return Ok(m);
         }
-        self.receiver.recv().map_err(|_| ReceiveError)
+        self.receiver.recv().map_err(|_| Error::Disconnected)
     }
 
     /// Non-blocking receive (retained backlog first for durable consumers).
@@ -1101,6 +1489,7 @@ impl Drop for Subscriber {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MetricsConfig;
     use crate::message::Priority;
 
     fn broker() -> Broker {
@@ -1109,10 +1498,22 @@ mod tests {
         b
     }
 
+    /// Polls the broker snapshot until `done` passes or ~1 s elapses.
+    fn wait_for(b: &Broker, done: impl Fn(&BrokerSnapshot) -> bool) -> BrokerSnapshot {
+        for _ in 0..200 {
+            let snap = b.snapshot();
+            if done(&snap) {
+                return snap;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        b.snapshot()
+    }
+
     #[test]
     fn unfiltered_subscriber_gets_all_messages() {
         let b = broker();
-        let sub = b.subscribe("t", Filter::None).unwrap();
+        let sub = b.subscription("t").open().unwrap();
         let p = b.publisher("t").unwrap();
         for i in 0..10 {
             p.publish(Message::builder().property("i", i as i64).build()).unwrap();
@@ -1132,8 +1533,10 @@ mod tests {
     #[test]
     fn filters_route_messages() {
         let b = broker();
-        let red = b.subscribe("t", Filter::selector("color = 'red'").unwrap()).unwrap();
-        let blue = b.subscribe("t", Filter::selector("color = 'blue'").unwrap()).unwrap();
+        let red =
+            b.subscription("t").filter(Filter::selector("color = 'red'").unwrap()).open().unwrap();
+        let blue =
+            b.subscription("t").filter(Filter::selector("color = 'blue'").unwrap()).open().unwrap();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().property("color", "red").build()).unwrap();
         p.publish(Message::builder().property("color", "blue").build()).unwrap();
@@ -1152,23 +1555,18 @@ mod tests {
     #[test]
     fn replication_to_matching_subscribers() {
         let b = broker();
-        let subs: Vec<_> = (0..5).map(|_| b.subscribe("t", Filter::None).unwrap()).collect();
+        let subs: Vec<_> = (0..5).map(|_| b.subscription("t").open().unwrap()).collect();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().build()).unwrap();
         for s in &subs {
             assert!(s.receive_timeout(Duration::from_secs(2)).is_some());
         }
         // Stats: 1 received, 5 dispatched → replication grade 5.
-        let stats = b.stats();
-        // Allow the dispatcher a moment to finish counting.
-        for _ in 0..100 {
-            if stats.dispatched() == 5 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        assert_eq!(stats.received(), 1);
-        assert_eq!(stats.dispatched(), 5);
+        let snap = wait_for(&b, |s| s.messages.dispatched == 5);
+        assert_eq!(snap.messages.received, 1);
+        assert_eq!(snap.messages.dispatched, 5);
+        assert_eq!(snap.messages.replication_grade(), Some(5.0));
+        assert_eq!(snap.per_topic["t"].dispatched, 5);
         b.shutdown();
     }
 
@@ -1176,8 +1574,8 @@ mod tests {
     fn topics_isolate_messages() {
         let b = broker();
         b.create_topic("other").unwrap();
-        let t_sub = b.subscribe("t", Filter::None).unwrap();
-        let o_sub = b.subscribe("other", Filter::None).unwrap();
+        let t_sub = b.subscription("t").open().unwrap();
+        let o_sub = b.subscription("other").open().unwrap();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().build()).unwrap();
         assert!(t_sub.receive_timeout(Duration::from_secs(2)).is_some());
@@ -1188,40 +1586,67 @@ mod tests {
     #[test]
     fn unknown_topic_errors() {
         let b = broker();
-        assert!(matches!(b.publisher("nope"), Err(BrokerError::TopicNotFound { .. })));
-        assert!(matches!(
-            b.subscribe("nope", Filter::None),
-            Err(BrokerError::TopicNotFound { .. })
-        ));
+        assert!(matches!(b.publisher("nope"), Err(Error::TopicNotFound { .. })));
+        assert!(matches!(b.subscription("nope").open(), Err(Error::TopicNotFound { .. })));
         b.shutdown();
     }
 
     #[test]
     fn duplicate_and_invalid_topics_rejected() {
         let b = broker();
-        assert!(matches!(b.create_topic("t"), Err(BrokerError::TopicExists { .. })));
-        assert!(matches!(b.create_topic(""), Err(BrokerError::InvalidTopicName { .. })));
+        assert!(matches!(b.create_topic("t"), Err(Error::TopicExists { .. })));
+        assert!(matches!(b.create_topic(""), Err(Error::InvalidTopicName { .. })));
+        b.shutdown();
+    }
+
+    #[test]
+    fn builder_routes_wildcards_to_pattern_subscriptions() {
+        let b = broker();
+        let wild = b.subscription("sensors.*").open().unwrap();
+        // The pattern topic need not exist yet; creating a match later
+        // feeds the same subscriber.
+        b.create_topic("sensors.kitchen").unwrap();
+        let p = b.publisher("sensors.kitchen").unwrap();
+        p.publish(Message::builder().build()).unwrap();
+        assert!(wild.receive_timeout(Duration::from_secs(2)).is_some());
+        b.shutdown();
+    }
+
+    #[test]
+    fn builder_rejects_durable_patterns() {
+        let b = broker();
+        assert!(matches!(
+            b.subscription("sensors.>").durable("audit").open(),
+            Err(Error::DurablePattern { .. })
+        ));
+        b.shutdown();
+    }
+
+    #[test]
+    fn builder_opens_durable_subscriptions() {
+        let b = broker();
+        let d = b.subscription("t").durable("audit").queue_capacity(8).open().unwrap();
+        assert!(d.is_durable());
+        assert_eq!(d.durable_name(), Some("audit"));
+        assert!(matches!(
+            b.subscription("t").durable("audit").open(),
+            Err(Error::DurableNameInUse { .. })
+        ));
         b.shutdown();
     }
 
     #[test]
     fn dropping_subscriber_cancels_subscription() {
         let b = broker();
-        let sub = b.subscribe("t", Filter::None).unwrap();
+        let sub = b.subscription("t").open().unwrap();
         assert_eq!(b.subscription_count("t"), 1);
         drop(sub);
         assert_eq!(b.subscription_count("t"), 0);
         // Publishing after the drop reaches nobody but still counts received.
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().build()).unwrap();
-        let stats = b.stats();
-        for _ in 0..100 {
-            if stats.received() == 1 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        assert_eq!(stats.dispatched(), 0);
+        let snap = wait_for(&b, |s| s.messages.received == 1);
+        assert_eq!(snap.messages.dispatched, 0);
         b.shutdown();
     }
 
@@ -1230,19 +1655,20 @@ mod tests {
         let b = broker();
         let p = b.publisher("t").unwrap();
         b.shutdown();
-        assert_eq!(p.publish(Message::builder().build()), Err(BrokerError::Stopped));
+        assert!(matches!(p.publish(Message::builder().build()), Err(Error::Stopped)));
+        assert!(matches!(p.try_publish(Message::builder().build()), Err(TryPublishError::Stopped)));
     }
 
     #[test]
     fn subscriber_receives_error_after_shutdown() {
         let b = broker();
-        let sub = b.subscribe("t", Filter::None).unwrap();
+        let sub = b.subscription("t").open().unwrap();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().build()).unwrap();
         b.shutdown();
         // The queued message is still delivered, then the queue closes.
         assert!(sub.receive().is_ok());
-        assert!(sub.receive().is_err());
+        assert!(matches!(sub.receive(), Err(Error::Disconnected)));
     }
 
     #[test]
@@ -1253,21 +1679,15 @@ mod tests {
                 .overflow_policy(OverflowPolicy::DropNew),
         );
         b.create_topic("t").unwrap();
-        let sub = b.subscribe("t", Filter::None).unwrap();
+        let sub = b.subscription("t").open().unwrap();
         let p = b.publisher("t").unwrap();
         for _ in 0..10 {
             p.publish(Message::builder().build()).unwrap();
         }
-        let stats = b.stats();
-        for _ in 0..200 {
-            if stats.received() == 10 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        assert_eq!(stats.received(), 10);
-        assert!(stats.dropped() > 0, "expected drops on a capacity-1 queue");
-        assert_eq!(stats.dispatched() + stats.dropped(), 10);
+        let snap = wait_for(&b, |s| s.messages.received == 10);
+        assert_eq!(snap.messages.received, 10);
+        assert!(snap.messages.dropped > 0, "expected drops on a capacity-1 queue");
+        assert_eq!(snap.messages.dispatched + snap.messages.dropped, 10);
         drop(sub);
         b.shutdown();
     }
@@ -1283,22 +1703,26 @@ mod tests {
         b.create_topic("t").unwrap();
         let p = b.publisher("t").unwrap();
         // First publishes are absorbed; eventually the queue must report full
-        // while the dispatcher spins 50 ms per message.
-        let mut saw_full = false;
-        for _ in 0..64 {
-            if let Err(Some(_)) = p.try_publish(Message::builder().build()) {
-                saw_full = true;
+        // while the dispatcher spins 50 ms per message. The rejected message
+        // comes back intact.
+        let mut returned = None;
+        for i in 0..64 {
+            let m = Message::builder().property("i", i as i64).build();
+            if let Err(TryPublishError::Full(m)) = p.try_publish(m) {
+                returned = Some((i, m));
                 break;
             }
         }
-        assert!(saw_full, "expected Full from try_publish");
+        let (i, m) = returned.expect("expected Full from try_publish");
+        assert_eq!(m.property("i"), Some(&(i as i64).into()));
         b.shutdown();
     }
 
     #[test]
     fn correlation_id_filters_on_broker() {
         let b = broker();
-        let sub = b.subscribe("t", Filter::correlation_id("[7;13]").unwrap()).unwrap();
+        let sub =
+            b.subscription("t").filter(Filter::correlation_id("[7;13]").unwrap()).open().unwrap();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().correlation_id("#9").build()).unwrap();
         p.publish(Message::builder().correlation_id("#42").build()).unwrap();
@@ -1312,27 +1736,26 @@ mod tests {
     fn filter_evaluation_counts_are_per_subscription() {
         let b = broker();
         let _subs: Vec<_> = (0..3)
-            .map(|i| b.subscribe("t", Filter::correlation_id(&format!("#{i}")).unwrap()).unwrap())
+            .map(|i| {
+                b.subscription("t")
+                    .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                    .open()
+                    .unwrap()
+            })
             .collect();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().correlation_id("#0").build()).unwrap();
-        let stats = b.stats();
-        for _ in 0..100 {
-            if stats.filter_evaluations() == 3 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
         // All 3 filters evaluated (brute force), 1 matched.
-        assert_eq!(stats.filter_evaluations(), 3);
-        assert_eq!(stats.dispatched(), 1);
+        let snap = wait_for(&b, |s| s.messages.filter_evaluations == 3);
+        assert_eq!(snap.messages.filter_evaluations, 3);
+        assert_eq!(snap.messages.dispatched, 1);
         b.shutdown();
     }
 
     #[test]
     fn multiple_publishers_fifo_per_publisher() {
         let b = broker();
-        let sub = b.subscribe("t", Filter::None).unwrap();
+        let sub = b.subscription("t").open().unwrap();
         let p1 = b.publisher("t").unwrap();
         let p2 = p1.clone();
         let h1 = std::thread::spawn(move || {
@@ -1369,12 +1792,62 @@ mod tests {
     #[test]
     fn priority_header_visible_to_selectors_end_to_end() {
         let b = broker();
-        let sub = b.subscribe("t", Filter::selector("JMSPriority >= 7").unwrap()).unwrap();
+        let sub = b
+            .subscription("t")
+            .filter(Filter::selector("JMSPriority >= 7").unwrap())
+            .open()
+            .unwrap();
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().priority(Priority::new(9)).build()).unwrap();
         p.publish(Message::builder().priority(Priority::new(1)).build()).unwrap();
         assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
         assert!(sub.receive_timeout(Duration::from_millis(50)).is_none());
+        b.shutdown();
+    }
+
+    #[test]
+    fn metrics_record_waiting_service_and_stages() {
+        let b = Broker::start(
+            BrokerConfig::default().metrics(MetricsConfig::default().stage_sample_every(1)),
+        );
+        b.create_topic("t").unwrap();
+        let sub = b.subscription("t").open().unwrap();
+        let p = b.publisher("t").unwrap();
+        for _ in 0..16 {
+            p.publish(Message::builder().build()).unwrap();
+        }
+        for _ in 0..16 {
+            assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+        }
+        let registry = b.metrics().expect("metrics enabled");
+        let mut snap = registry.snapshot();
+        for _ in 0..200 {
+            if snap.histogram("broker.sojourn_ns").map(|h| h.count) == Some(16) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            snap = registry.snapshot();
+        }
+        for name in [
+            "broker.waiting_ns",
+            "broker.service_ns",
+            "broker.sojourn_ns",
+            "broker.stage.filter_ns",
+        ] {
+            let h = snap.histogram(name).unwrap_or_else(|| panic!("{name} empty"));
+            assert_eq!(h.count, 16, "{name}");
+        }
+        // Sojourn dominates each component.
+        let sojourn = snap.histogram("broker.sojourn_ns").unwrap();
+        let waiting = snap.histogram("broker.waiting_ns").unwrap();
+        assert!(sojourn.mean() >= waiting.mean());
+        b.shutdown();
+    }
+
+    #[test]
+    fn metrics_disabled_means_no_registry() {
+        let b = broker();
+        assert!(b.metrics().is_none());
         b.shutdown();
     }
 }

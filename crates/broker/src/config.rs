@@ -80,6 +80,50 @@ impl PersistenceConfig {
     }
 }
 
+/// Live-observability settings (see `rjms-metrics`).
+///
+/// With metrics enabled the dispatcher records per-message waiting,
+/// service and sojourn times into lock-free histograms, and decomposes the
+/// service time into its Eq. 1 stages (`t_rcv`, filter scan, fan-out,
+/// journal append) on every `stage_sample_every`-th message. Stage
+/// decomposition needs extra clock reads inside the filter loop, so it is
+/// sampled rather than exhaustive to keep dispatch overhead within the
+/// budget enforced by the `ext_observer_overhead` benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::config::{BrokerConfig, MetricsConfig};
+///
+/// let config = BrokerConfig::default().metrics(MetricsConfig::default().stage_sample_every(32));
+/// assert_eq!(config.metrics.unwrap().stage_sample_every, 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsConfig {
+    /// Record the per-stage service-time decomposition on every Nth
+    /// dispatched message (1 = every message).
+    pub stage_sample_every: u64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self { stage_sample_every: 64 }
+    }
+}
+
+impl MetricsConfig {
+    /// Sets the stage-decomposition sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0.
+    pub fn stage_sample_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "stage_sample_every must be > 0");
+        self.stage_sample_every = every;
+        self
+    }
+}
+
 /// Configuration for a [`crate::Broker`].
 ///
 /// # Examples
@@ -111,6 +155,9 @@ pub struct BrokerConfig {
     /// Optional write-ahead persistence (see [`PersistenceConfig`]);
     /// `None` runs the broker purely in memory, as the seed model did.
     pub persistence: Option<PersistenceConfig>,
+    /// Optional live metrics (see [`MetricsConfig`]); `None` records
+    /// nothing and keeps the dispatch path free of clock reads.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -122,6 +169,7 @@ impl Default for BrokerConfig {
             cost_model: None,
             durable_buffer_capacity: 65_536,
             persistence: None,
+            metrics: None,
         }
     }
 }
@@ -175,6 +223,12 @@ impl BrokerConfig {
     /// Enables write-ahead persistence.
     pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
         self.persistence = Some(persistence);
+        self
+    }
+
+    /// Enables live metrics recording.
+    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }

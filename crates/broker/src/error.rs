@@ -1,87 +1,70 @@
 //! Broker error types.
+//!
+//! Broker operations fail with the workspace-wide [`rjms_core::Error`]
+//! (re-exported here as [`enum@Error`]); the old per-crate `BrokerError` and
+//! `ReceiveError` names remain as deprecated aliases for one release. The
+//! one broker-specific type is [`TryPublishError`], which hands the
+//! rejected [`Message`] back to the caller on push-back.
 
-use serde::{Deserialize, Serialize};
+use crate::message::Message;
 use std::fmt;
 
-/// Errors returned by broker operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum BrokerError {
-    /// The named topic does not exist. Topics must be created with
-    /// [`crate::Broker::create_topic`] before use (JMS configures topics
-    /// before system start).
-    TopicNotFound {
-        /// The missing topic name.
-        topic: String,
-    },
-    /// The topic already exists.
-    TopicExists {
-        /// The duplicate topic name.
-        topic: String,
-    },
-    /// The topic name is empty or contains control characters.
-    InvalidTopicName {
-        /// The rejected name.
-        topic: String,
-    },
+pub use rjms_core::Error;
+
+/// Deprecated alias for the unified [`enum@Error`].
+#[deprecated(since = "0.2.0", note = "use `rjms_broker::Error` (the unified `rjms_core::Error`)")]
+pub type BrokerError = Error;
+
+/// Deprecated alias for the unified [`enum@Error`]; receive failures are now
+/// [`Error::Disconnected`].
+#[deprecated(since = "0.2.0", note = "use `rjms_broker::Error` (the unified `rjms_core::Error`)")]
+pub type ReceiveError = Error;
+
+/// Error of a non-blocking publish: either the bounded publish queue is
+/// full — push-back, with the message handed back untouched — or the
+/// broker has stopped.
+///
+/// Replaces the old `Result<(), Option<Message>>` signature, which
+/// overloaded `Option` to mean "full (here is your message)" vs "stopped".
+#[derive(Debug)]
+pub enum TryPublishError {
+    /// The publish queue is full; the message comes back to the caller so
+    /// it can retry or shed load (the paper's publisher-side queueing).
+    Full(Message),
     /// The broker has been shut down.
     Stopped,
-    /// A durable subscription with this name is already connected.
-    DurableNameInUse {
-        /// The topic the durable subscription lives on.
-        topic: String,
-        /// The durable subscription name.
-        name: String,
-    },
-    /// No durable subscription with this name exists on the topic.
-    DurableNotFound {
-        /// The topic searched.
-        topic: String,
-        /// The missing durable subscription name.
-        name: String,
-    },
-    /// A durable subscription cannot be removed while it is connected.
-    DurableStillConnected {
-        /// The topic the durable subscription lives on.
-        topic: String,
-        /// The durable subscription name.
-        name: String,
-    },
 }
 
-impl fmt::Display for BrokerError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl TryPublishError {
+    /// Consumes the error, returning the rejected message if the queue was
+    /// full.
+    pub fn into_message(self) -> Option<Message> {
         match self {
-            Self::TopicNotFound { topic } => write!(f, "topic `{topic}` not found"),
-            Self::TopicExists { topic } => write!(f, "topic `{topic}` already exists"),
-            Self::InvalidTopicName { topic } => write!(f, "invalid topic name `{topic}`"),
-            Self::Stopped => f.write_str("broker has been stopped"),
-            Self::DurableNameInUse { topic, name } => {
-                write!(f, "durable subscription `{name}` on `{topic}` is already connected")
-            }
-            Self::DurableNotFound { topic, name } => {
-                write!(f, "durable subscription `{name}` not found on `{topic}`")
-            }
-            Self::DurableStillConnected { topic, name } => {
-                write!(f, "durable subscription `{name}` on `{topic}` is still connected")
-            }
+            Self::Full(message) => Some(message),
+            Self::Stopped => None,
         }
     }
 }
 
-impl std::error::Error for BrokerError {}
-
-/// Error returned by a blocking receive when the broker shut down and the
-/// queue is drained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ReceiveError;
-
-impl fmt::Display for ReceiveError {
+impl fmt::Display for TryPublishError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("subscription closed: broker stopped and queue drained")
+        match self {
+            Self::Full(_) => f.write_str("publish queue is full"),
+            Self::Stopped => f.write_str("broker has been stopped"),
+        }
     }
 }
 
-impl std::error::Error for ReceiveError {}
+impl std::error::Error for TryPublishError {}
+
+impl From<TryPublishError> for Error {
+    fn from(e: TryPublishError) -> Self {
+        match e {
+            TryPublishError::Full(_) => Error::QueueFull,
+            TryPublishError::Stopped => Error::Stopped,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -89,11 +72,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            BrokerError::TopicNotFound { topic: "t".into() }.to_string(),
-            "topic `t` not found"
-        );
-        assert_eq!(BrokerError::Stopped.to_string(), "broker has been stopped");
-        assert!(ReceiveError.to_string().contains("closed"));
+        assert_eq!(Error::TopicNotFound { topic: "t".into() }.to_string(), "topic `t` not found");
+        assert_eq!(Error::Stopped.to_string(), "broker has been stopped");
+        assert!(Error::Disconnected.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn try_publish_error_hands_the_message_back() {
+        let e = TryPublishError::Full(crate::message::Message::builder().build());
+        assert!(e.to_string().contains("full"));
+        assert!(e.into_message().is_some());
+        assert!(TryPublishError::Stopped.into_message().is_none());
+        assert!(matches!(Error::from(TryPublishError::Stopped), Error::Stopped));
+        let full = TryPublishError::Full(crate::message::Message::builder().build());
+        assert!(matches!(Error::from(full), Error::QueueFull));
     }
 }

@@ -18,7 +18,11 @@
 //!
 //! An optional [`cost::CostModel`] burns calibrated CPU per message /
 //! filter / copy so that saturated wall-clock throughput reproduces the
-//! paper's measurements on modern hardware.
+//! paper's measurements on modern hardware. An optional
+//! [`config::MetricsConfig`] turns on live observability: the dispatcher
+//! records per-message waiting/service/sojourn times (and a sampled Eq. 1
+//! stage decomposition) into the lock-free histograms of `rjms-metrics`,
+//! surfaced through [`Broker::metrics`].
 //!
 //! ## Quickstart
 //!
@@ -26,11 +30,14 @@
 //! use rjms_broker::{Broker, BrokerConfig, Filter, Message};
 //! use std::time::Duration;
 //!
-//! # fn main() -> Result<(), rjms_broker::BrokerError> {
+//! # fn main() -> Result<(), rjms_broker::Error> {
 //! let broker = Broker::start(BrokerConfig::default());
 //! broker.create_topic("stocks")?;
 //!
-//! let sub = broker.subscribe("stocks", Filter::selector("symbol = 'ACME' AND price < 50.0").unwrap())?;
+//! let sub = broker
+//!     .subscription("stocks")
+//!     .filter(Filter::selector("symbol = 'ACME' AND price < 50.0").unwrap())
+//!     .open()?;
 //! let publisher = broker.publisher("stocks")?;
 //! publisher.publish(
 //!     Message::builder()
@@ -41,6 +48,7 @@
 //!
 //! let m = sub.receive_timeout(Duration::from_secs(1)).expect("delivered");
 //! assert_eq!(m.property("symbol"), Some(&"ACME".into()));
+//! assert_eq!(broker.snapshot().messages.received, 1);
 //! broker.shutdown();
 //! # Ok(())
 //! # }
@@ -55,16 +63,25 @@ pub mod cost;
 pub mod error;
 pub mod filter;
 pub mod message;
+pub mod metrics;
 pub mod pattern;
 pub mod persist;
 pub mod stats;
 
-pub use broker::{Broker, Publisher, Subscriber, SubscriptionId, TopicStats};
-pub use config::{BrokerConfig, OverflowPolicy, PersistenceConfig};
+pub use broker::{
+    Broker, BrokerObserver, Publisher, Subscriber, SubscriptionBuilder, SubscriptionId, TopicStats,
+};
+pub use config::{BrokerConfig, MetricsConfig, OverflowPolicy, PersistenceConfig};
 pub use cost::CostModel;
+#[allow(deprecated)]
 pub use error::{BrokerError, ReceiveError};
+pub use error::{Error, TryPublishError};
 pub use filter::Filter;
 pub use message::{Message, MessageBuilder, MessageId, Priority};
 pub use pattern::TopicPattern;
 pub use rjms_journal::{FsyncPolicy, JournalConfig, JournalStats, RecoveryReport};
-pub use stats::{BrokerStats, StatsSnapshot, Throughput, ThroughputProbe};
+pub use rjms_metrics::MetricsRegistry;
+pub use stats::{
+    BrokerSnapshot, BrokerStats, MessageCounters, StatsSnapshot, SubscriptionCounters, Throughput,
+    ThroughputProbe,
+};

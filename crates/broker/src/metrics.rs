@@ -1,0 +1,208 @@
+//! The broker's live instruments (see [`crate::config::MetricsConfig`]).
+//!
+//! All instruments live in one [`MetricsRegistry`] owned by the broker and
+//! exposed through `Broker::metrics()`. Histogram samples are nanoseconds.
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `broker.waiting_ns` | histogram | publish-enqueue → dispatch start (the paper's `W`) |
+//! | `broker.service_ns` | histogram | dispatch start → fan-out complete (the paper's `B`) |
+//! | `broker.sojourn_ns` | histogram | publish-enqueue → fan-out complete (`W + B`) |
+//! | `broker.stage.rcv_ns` | histogram | receive stage (`t_rcv`), sampled |
+//! | `broker.stage.journal_ns` | histogram | write-ahead append (`t_store`), sampled |
+//! | `broker.stage.filter_ns` | histogram | filter-scan stage (`n_fltr · t_fltr`), sampled |
+//! | `broker.stage.fanout_ns` | histogram | copy/transmit stage (`R · t_tx`), sampled |
+//! | `journal.append_ns` | histogram | every journal append (always on, from `rjms-journal`) |
+//! | `journal.fsync_ns` | histogram | every explicit fsync (always on, from `rjms-journal`) |
+
+use rjms_metrics::clock;
+use rjms_metrics::{Histogram, LocalHistogram, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Dispatcher-local staging flushed into the shared histograms every this
+/// many samples (and whenever the dispatcher goes idle), bounding snapshot
+/// staleness under load to a few milliseconds.
+pub(crate) const FLUSH_EVERY: u64 = 1024;
+
+/// The dispatcher's instruments plus the registry they are published in.
+pub(crate) struct BrokerMetrics {
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) waiting: Arc<Histogram>,
+    pub(crate) service: Arc<Histogram>,
+    pub(crate) sojourn: Arc<Histogram>,
+    pub(crate) stage_rcv: Arc<Histogram>,
+    pub(crate) stage_journal: Arc<Histogram>,
+    pub(crate) stage_filter: Arc<Histogram>,
+    pub(crate) stage_fanout: Arc<Histogram>,
+    /// Record the stage decomposition on every Nth message.
+    pub(crate) stage_sample_every: u64,
+    /// Tick-to-nanosecond scale of the instrumentation clock, resolved at
+    /// construction so per-message conversions are a single multiply.
+    pub(crate) ns_per_tick: f64,
+}
+
+impl BrokerMetrics {
+    pub(crate) fn new(stage_sample_every: u64) -> Self {
+        let registry = MetricsRegistry::new();
+        Self {
+            waiting: registry.histogram("broker.waiting_ns"),
+            service: registry.histogram("broker.service_ns"),
+            sojourn: registry.histogram("broker.sojourn_ns"),
+            stage_rcv: registry.histogram("broker.stage.rcv_ns"),
+            stage_journal: registry.histogram("broker.stage.journal_ns"),
+            stage_filter: registry.histogram("broker.stage.filter_ns"),
+            stage_fanout: registry.histogram("broker.stage.fanout_ns"),
+            stage_sample_every,
+            ns_per_tick: clock::ns_per_tick(),
+            registry,
+        }
+    }
+}
+
+/// Single-writer staging for the per-message histograms: the dispatcher
+/// records into plain local buckets and flushes into the shared atomic
+/// instruments every [`FLUSH_EVERY`] samples and on idle, keeping the
+/// per-message cost to non-atomic L1 increments.
+pub(crate) struct DispatcherScratch {
+    waiting: LocalHistogram,
+    service: LocalHistogram,
+    sojourn: LocalHistogram,
+}
+
+impl DispatcherScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            waiting: LocalHistogram::new(),
+            service: LocalHistogram::new(),
+            sojourn: LocalHistogram::new(),
+        }
+    }
+
+    /// Samples staged since the last flush.
+    pub(crate) fn pending(&self) -> u64 {
+        self.waiting.pending()
+    }
+
+    /// Publishes every staged sample into the shared instruments.
+    pub(crate) fn flush(&mut self, metrics: &BrokerMetrics) {
+        self.waiting.flush_into(&metrics.waiting);
+        self.service.flush_into(&metrics.service);
+        self.sojourn.flush_into(&metrics.sojourn);
+    }
+}
+
+/// Dispatcher-local timing state for one message: created when the message
+/// is popped, consumed when its fan-out completes. Timestamps are
+/// instrumentation-clock ticks ([`clock::now`]); stage timing is only
+/// armed on sampled messages, so the per-message cost on unsampled ones is
+/// at most one tick read plus local histogram records.
+pub(crate) struct DispatchTimer {
+    dispatch_start: u64,
+    /// Whether this message records the per-stage decomposition.
+    pub(crate) sample_stages: bool,
+    /// Accumulated filter-scan time on sampled messages.
+    pub(crate) filter_elapsed: u64,
+    /// Accumulated copy/transmit time on sampled messages.
+    pub(crate) fanout_elapsed: u64,
+}
+
+impl DispatchTimer {
+    /// Starts the timer, reusing `reuse` as the dispatch start when given.
+    ///
+    /// The dispatcher passes the previous message's fan-out end here when
+    /// the next message was already queued: the two moments coincide up to
+    /// loop bookkeeping, and reusing the reading halves the per-message
+    /// clock cost of the metrics layer.
+    pub(crate) fn start_at(reuse: Option<u64>, sample_stages: bool) -> Self {
+        Self {
+            dispatch_start: reuse.unwrap_or_else(clock::now),
+            sample_stages,
+            filter_elapsed: 0,
+            fanout_elapsed: 0,
+        }
+    }
+
+    pub(crate) fn dispatch_start(&self) -> u64 {
+        self.dispatch_start
+    }
+
+    /// Finishes the message: stages waiting/service/sojourn into `scratch`
+    /// and, on sampled messages, records the accumulated stage times
+    /// directly (they are rare enough that atomics are fine). Returns the
+    /// fan-out end reading so the dispatcher can reuse it as the next
+    /// message's start.
+    pub(crate) fn finish(
+        self,
+        metrics: &BrokerMetrics,
+        scratch: &mut DispatcherScratch,
+        enqueued_at: u64,
+    ) -> u64 {
+        let end = clock::now();
+        // Saturating differences: cross-core tick skew must clamp to zero
+        // rather than wrap into a 500-year sample.
+        let to_ns = |ticks: u64| (ticks as f64 * metrics.ns_per_tick) as u64;
+        let waiting = to_ns(self.dispatch_start.saturating_sub(enqueued_at));
+        let service = to_ns(end.saturating_sub(self.dispatch_start));
+        scratch.waiting.record(waiting);
+        scratch.service.record(service);
+        scratch.sojourn.record(waiting.saturating_add(service));
+        if self.sample_stages {
+            metrics.stage_filter.record(self.filter_elapsed);
+            metrics.stage_fanout.record(self.fanout_elapsed);
+        }
+        end
+    }
+}
+
+/// Times one stage into `elapsed_ns` when `armed`; free otherwise.
+#[inline]
+pub(crate) fn time_stage<T>(armed: bool, elapsed_ns: &mut u64, work: impl FnOnce() -> T) -> T {
+    if armed {
+        let start = Instant::now();
+        let out = work();
+        *elapsed_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        out
+    } else {
+        work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn timer_records_waiting_service_sojourn() {
+        let m = BrokerMetrics::new(1);
+        let enqueued = clock::now();
+        std::thread::sleep(Duration::from_millis(2));
+        let timer = DispatchTimer::start_at(None, true);
+        std::thread::sleep(Duration::from_millis(2));
+        let mut scratch = DispatcherScratch::new();
+        timer.finish(&m, &mut scratch, enqueued);
+        assert_eq!(scratch.pending(), 1);
+        scratch.flush(&m);
+        let snap = m.registry.snapshot();
+        let waiting = snap.histogram("broker.waiting_ns").unwrap();
+        let service = snap.histogram("broker.service_ns").unwrap();
+        let sojourn = snap.histogram("broker.sojourn_ns").unwrap();
+        assert!(waiting.max >= 2_000_000);
+        assert!(service.max >= 2_000_000);
+        assert!(sojourn.max >= waiting.max.max(service.max));
+    }
+
+    #[test]
+    fn stage_timing_only_when_armed() {
+        let mut elapsed = 0u64;
+        let out = time_stage(false, &mut elapsed, || 7);
+        assert_eq!((out, elapsed), (7, 0));
+        let out = time_stage(true, &mut elapsed, || {
+            std::thread::sleep(Duration::from_millis(1));
+            9
+        });
+        assert_eq!(out, 9);
+        assert!(elapsed >= 1_000_000);
+    }
+}

@@ -7,10 +7,71 @@
 //! off. [`BrokerStats`] holds the lock-free counters; [`ThroughputProbe`]
 //! implements the trimmed-window measurement.
 
+use crate::broker::{Broker, TopicStats};
 use rjms_journal::JournalStats;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Message-flow counters within a [`BrokerSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageCounters {
+    /// Messages received from publishers.
+    pub received: u64,
+    /// Message copies dispatched to subscribers.
+    pub dispatched: u64,
+    /// Filter evaluations performed (brute force: one per subscription per
+    /// message).
+    pub filter_evaluations: u64,
+    /// Message copies dropped on full subscriber queues
+    /// (only under [`crate::config::OverflowPolicy::DropNew`]).
+    pub dropped: u64,
+    /// Messages retained for disconnected durable subscriptions.
+    pub retained: u64,
+    /// Messages discarded because their TTL elapsed.
+    pub expired: u64,
+}
+
+impl MessageCounters {
+    /// Mean replication grade so far (`dispatched / received`); `None`
+    /// before the first message.
+    pub fn replication_grade(&self) -> Option<f64> {
+        if self.received > 0 {
+            Some(self.dispatched as f64 / self.received as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Subscription-topology counts within a [`BrokerSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubscriptionCounters {
+    /// Topics currently registered.
+    pub topics: usize,
+    /// Live non-durable subscriptions across all topics.
+    pub live: usize,
+    /// Durable subscriptions across all topics (connected or not).
+    pub durable: usize,
+    /// Subscriptions removed after their subscriber disconnected.
+    pub expired: u64,
+}
+
+/// A typed point-in-time snapshot of the whole broker, returned by
+/// [`Broker::snapshot`]: one value instead of the old `stats` /
+/// `journal_stats` / `topic_stats` getter trio.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerSnapshot {
+    /// Message-flow counters.
+    pub messages: MessageCounters,
+    /// Subscription-topology counts.
+    pub subscriptions: SubscriptionCounters,
+    /// Write-ahead journal counters; `None` without persistence.
+    pub journal: Option<JournalStats>,
+    /// Per-topic message counters, keyed by topic name.
+    pub per_topic: BTreeMap<String, TopicStats>,
+}
 
 /// Lock-free counters shared between broker threads and observers.
 ///
@@ -239,10 +300,10 @@ impl Throughput {
     }
 }
 
-/// Trimmed-window throughput measurement against live [`BrokerStats`].
+/// Trimmed-window throughput measurement against a live broker.
 ///
-/// Call [`ThroughputProbe::start`] *after* the warmup phase and
-/// [`ThroughputProbe::finish`] *before* cooldown; the probe computes rates
+/// Call [`ThroughputProbe::begin`] *after* the warmup phase and
+/// [`ThroughputProbe::end`] *before* cooldown; the probe computes rates
 /// from counter deltas and elapsed wall-clock time, mirroring the paper's
 /// methodology (100 s run, first and last 5 s cut off).
 #[derive(Debug)]
@@ -252,6 +313,17 @@ pub struct ThroughputProbe {
 }
 
 impl ThroughputProbe {
+    /// Starts measuring from the broker's current counter values.
+    pub fn begin(broker: &Broker) -> Self {
+        Self::start(broker.raw_stats())
+    }
+
+    /// Finishes measuring against the same broker and returns the window
+    /// throughput.
+    pub fn end(self, broker: &Broker) -> Throughput {
+        self.finish(broker.raw_stats())
+    }
+
     /// Starts measuring from the current counter values.
     pub fn start(stats: &BrokerStats) -> Self {
         Self { start_snapshot: stats.snapshot(), started_at: Instant::now() }

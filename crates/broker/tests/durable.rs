@@ -2,7 +2,7 @@
 //! mode, messages are also forwarded to subscribers that are currently not
 //! connected").
 
-use rjms_broker::{Broker, BrokerConfig, BrokerError, Filter, Message};
+use rjms_broker::{Broker, BrokerConfig, Error, Filter, Message};
 use std::time::Duration;
 
 fn broker() -> Broker {
@@ -13,9 +13,8 @@ fn broker() -> Broker {
 
 /// Waits until the broker has processed `n` received messages.
 fn sync(b: &Broker, n: u64) {
-    let stats = b.stats();
     for _ in 0..400 {
-        if stats.received() >= n {
+        if b.snapshot().messages.received >= n {
             return;
         }
         std::thread::sleep(Duration::from_millis(5));
@@ -26,7 +25,7 @@ fn sync(b: &Broker, n: u64) {
 #[test]
 fn durable_receives_live_messages_while_connected() {
     let b = broker();
-    let sub = b.subscribe_durable("t", "worker", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("worker").open().unwrap();
     assert!(sub.is_durable());
     assert_eq!(sub.durable_name(), Some("worker"));
     let p = b.publisher("t").unwrap();
@@ -38,7 +37,7 @@ fn durable_receives_live_messages_while_connected() {
 #[test]
 fn messages_retained_while_offline_and_delivered_on_reconnect() {
     let b = broker();
-    let sub = b.subscribe_durable("t", "worker", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("worker").open().unwrap();
     drop(sub); // go offline
 
     let p = b.publisher("t").unwrap();
@@ -47,10 +46,10 @@ fn messages_retained_while_offline_and_delivered_on_reconnect() {
     }
     sync(&b, 5);
     assert_eq!(b.retained_count("t", "worker"), 5);
-    assert_eq!(b.stats().retained(), 5);
+    assert_eq!(b.snapshot().messages.retained, 5);
 
     // Reconnect: retained backlog first, in publish order.
-    let sub = b.subscribe_durable("t", "worker", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("worker").open().unwrap();
     for i in 0..5i64 {
         let m = sub.receive_timeout(Duration::from_secs(2)).expect("retained message");
         assert_eq!(m.property("seq"), Some(&i.into()));
@@ -65,7 +64,12 @@ fn messages_retained_while_offline_and_delivered_on_reconnect() {
 #[test]
 fn retained_backlog_respects_filter() {
     let b = broker();
-    let sub = b.subscribe_durable("t", "reds", Filter::selector("color = 'red'").unwrap()).unwrap();
+    let sub = b
+        .subscription("t")
+        .durable("reds")
+        .filter(Filter::selector("color = 'red'").unwrap())
+        .open()
+        .unwrap();
     drop(sub);
 
     let p = b.publisher("t").unwrap();
@@ -79,10 +83,10 @@ fn retained_backlog_respects_filter() {
 #[test]
 fn second_connection_under_same_name_rejected() {
     let b = broker();
-    let _sub = b.subscribe_durable("t", "solo", Filter::None).unwrap();
+    let _sub = b.subscription("t").durable("solo").open().unwrap();
     assert!(matches!(
-        b.subscribe_durable("t", "solo", Filter::None),
-        Err(BrokerError::DurableNameInUse { .. })
+        b.subscription("t").durable("solo").open(),
+        Err(Error::DurableNameInUse { .. })
     ));
     b.shutdown();
 }
@@ -90,7 +94,12 @@ fn second_connection_under_same_name_rejected() {
 #[test]
 fn reconnect_with_different_filter_discards_backlog() {
     let b = broker();
-    let sub = b.subscribe_durable("t", "w", Filter::selector("color = 'red'").unwrap()).unwrap();
+    let sub = b
+        .subscription("t")
+        .durable("w")
+        .filter(Filter::selector("color = 'red'").unwrap())
+        .open()
+        .unwrap();
     drop(sub);
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().property("color", "red").build()).unwrap();
@@ -98,7 +107,12 @@ fn reconnect_with_different_filter_discards_backlog() {
     assert_eq!(b.retained_count("t", "w"), 1);
 
     // JMS: changing the selector recreates the subscription.
-    let sub = b.subscribe_durable("t", "w", Filter::selector("color = 'blue'").unwrap()).unwrap();
+    let sub = b
+        .subscription("t")
+        .durable("w")
+        .filter(Filter::selector("color = 'blue'").unwrap())
+        .open()
+        .unwrap();
     assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
     b.shutdown();
 }
@@ -107,11 +121,11 @@ fn reconnect_with_different_filter_discards_backlog() {
 fn reconnect_with_same_filter_keeps_backlog() {
     let b = broker();
     let filter = Filter::selector("color = 'red'").unwrap();
-    drop(b.subscribe_durable("t", "w", filter.clone()).unwrap());
+    drop(b.subscription("t").durable("w").filter(filter.clone()).open().unwrap());
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().property("color", "red").build()).unwrap();
     sync(&b, 1);
-    let sub = b.subscribe_durable("t", "w", filter).unwrap();
+    let sub = b.subscription("t").durable("w").filter(filter).open().unwrap();
     assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
     b.shutdown();
 }
@@ -120,17 +134,17 @@ fn reconnect_with_same_filter_keeps_backlog() {
 fn retained_buffer_drops_oldest_on_overflow() {
     let b = Broker::start(BrokerConfig::default().durable_buffer_capacity(3));
     b.create_topic("t").unwrap();
-    drop(b.subscribe_durable("t", "w", Filter::None).unwrap());
+    drop(b.subscription("t").durable("w").open().unwrap());
     let p = b.publisher("t").unwrap();
     for i in 0..10i64 {
         p.publish(Message::builder().property("seq", i).build()).unwrap();
     }
     sync(&b, 10);
     assert_eq!(b.retained_count("t", "w"), 3);
-    assert_eq!(b.stats().dropped(), 7);
+    assert_eq!(b.snapshot().messages.dropped, 7);
 
     // The *newest* three survive.
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     for i in 7..10i64 {
         let m = sub.receive_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(m.property("seq"), Some(&i.into()));
@@ -141,18 +155,15 @@ fn retained_buffer_drops_oldest_on_overflow() {
 #[test]
 fn unsubscribe_durable_lifecycle() {
     let b = broker();
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     assert_eq!(b.durable_names("t"), vec!["w".to_owned()]);
 
     // Cannot remove while connected.
-    assert!(matches!(
-        b.unsubscribe_durable("t", "w"),
-        Err(BrokerError::DurableStillConnected { .. })
-    ));
+    assert!(matches!(b.unsubscribe_durable("t", "w"), Err(Error::DurableStillConnected { .. })));
     drop(sub);
     b.unsubscribe_durable("t", "w").unwrap();
     assert!(b.durable_names("t").is_empty());
-    assert!(matches!(b.unsubscribe_durable("t", "w"), Err(BrokerError::DurableNotFound { .. })));
+    assert!(matches!(b.unsubscribe_durable("t", "w"), Err(Error::DurableNotFound { .. })));
     // After removal nothing is retained.
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().build()).unwrap();
@@ -164,7 +175,7 @@ fn unsubscribe_durable_lifecycle() {
 #[test]
 fn unconsumed_messages_survive_disconnect() {
     let b = broker();
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     let p = b.publisher("t").unwrap();
     for i in 0..4i64 {
         p.publish(Message::builder().property("seq", i).build()).unwrap();
@@ -177,7 +188,7 @@ fn unconsumed_messages_survive_disconnect() {
 
     // The three unconsumed messages were re-retained.
     assert_eq!(b.retained_count("t", "w"), 3);
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     for i in 1..4i64 {
         let m = sub.receive_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(m.property("seq"), Some(&i.into()));
@@ -188,7 +199,7 @@ fn unconsumed_messages_survive_disconnect() {
 #[test]
 fn expired_messages_not_delivered_live() {
     let b = broker();
-    let sub = b.subscribe("t", Filter::None).unwrap();
+    let sub = b.subscription("t").open().unwrap();
     let p = b.publisher("t").unwrap();
     // Already expired on arrival (TTL 0 → expires at build timestamp).
     p.publish(Message::builder().time_to_live(Duration::ZERO).build()).unwrap();
@@ -197,14 +208,14 @@ fn expired_messages_not_delivered_live() {
     let m = sub.receive_timeout(Duration::from_secs(2)).expect("live message");
     assert_eq!(m.expiration_millis(), None);
     assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
-    assert_eq!(b.stats().expired_messages(), 1);
+    assert_eq!(b.snapshot().messages.expired, 1);
     b.shutdown();
 }
 
 #[test]
 fn expired_retained_messages_discarded_on_reconnect() {
     let b = broker();
-    drop(b.subscribe_durable("t", "w", Filter::None).unwrap());
+    drop(b.subscription("t").durable("w").open().unwrap());
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().time_to_live(Duration::from_millis(30)).build()).unwrap();
     p.publish(Message::builder().build()).unwrap();
@@ -213,7 +224,7 @@ fn expired_retained_messages_discarded_on_reconnect() {
 
     // Let the first message's TTL lapse while offline.
     std::thread::sleep(Duration::from_millis(60));
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     let m = sub.receive_timeout(Duration::from_secs(2)).expect("unexpired retained");
     assert_eq!(m.expiration_millis(), None);
     assert!(sub.receive_timeout(Duration::from_millis(50)).is_none());
@@ -223,21 +234,20 @@ fn expired_retained_messages_discarded_on_reconnect() {
 #[test]
 fn durable_and_plain_subscribers_coexist() {
     let b = broker();
-    let plain = b.subscribe("t", Filter::None).unwrap();
-    let durable = b.subscribe_durable("t", "d", Filter::None).unwrap();
+    let plain = b.subscription("t").open().unwrap();
+    let durable = b.subscription("t").durable("d").open().unwrap();
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().build()).unwrap();
     assert!(plain.receive_timeout(Duration::from_secs(2)).is_some());
     assert!(durable.receive_timeout(Duration::from_secs(2)).is_some());
     // Both deliveries counted.
-    let stats = b.stats();
     for _ in 0..100 {
-        if stats.dispatched() == 2 {
+        if b.snapshot().messages.dispatched == 2 {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert_eq!(stats.dispatched(), 2);
+    assert_eq!(b.snapshot().messages.dispatched, 2);
     b.shutdown();
 }
 
@@ -245,7 +255,7 @@ fn durable_and_plain_subscribers_coexist() {
 fn durable_connected_reflects_lifecycle() {
     let b = broker();
     assert!(!b.durable_connected("t", "w"));
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     assert!(b.durable_connected("t", "w"));
     drop(sub);
     assert!(!b.durable_connected("t", "w"));
@@ -258,7 +268,7 @@ fn durable_connected_reflects_lifecycle() {
 #[test]
 fn returned_message_is_received_next_and_survives_disconnect() {
     let b = broker();
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().property("seq", 0i64).build()).unwrap();
     p.publish(Message::builder().property("seq", 1i64).build()).unwrap();
@@ -277,7 +287,7 @@ fn returned_message_is_received_next_and_survives_disconnect() {
     sub.return_message(m1);
     drop(sub);
     assert_eq!(b.retained_count("t", "w"), 1);
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     let m = sub.receive_timeout(Duration::from_secs(2)).unwrap();
     assert_eq!(m.property("seq"), Some(&1i64.into()));
     b.shutdown();

@@ -14,7 +14,7 @@ fn pattern_subscriber_spans_existing_topics() {
     b.create_topic("sensors.lab.temp").unwrap();
     b.create_topic("sensors.lab.humidity").unwrap();
 
-    let sub = b.subscribe_pattern(&pattern("sensors.*.temp"), Filter::None).unwrap();
+    let sub = b.subscription("sensors.*.temp").open().unwrap();
     for topic in ["sensors.kitchen.temp", "sensors.lab.temp", "sensors.lab.humidity"] {
         b.publisher(topic).unwrap().publish(Message::builder().build()).unwrap();
     }
@@ -29,7 +29,7 @@ fn pattern_subscriber_spans_existing_topics() {
 fn pattern_subscriber_catches_future_topics() {
     let b = Broker::start(BrokerConfig::default());
     b.create_topic("logs.app1").unwrap();
-    let sub = b.subscribe_pattern(&pattern("logs.>"), Filter::None).unwrap();
+    let sub = b.subscription("logs.>").open().unwrap();
 
     // A topic created *after* the subscription.
     b.create_topic("logs.app2.errors").unwrap();
@@ -49,7 +49,9 @@ fn pattern_combines_with_filters() {
     b.create_topic("orders.eu").unwrap();
     b.create_topic("orders.us").unwrap();
     let sub = b
-        .subscribe_pattern(&pattern("orders.*"), Filter::selector("amount > 100").unwrap())
+        .subscription("orders.*")
+        .filter(Filter::selector("amount > 100").unwrap())
+        .open()
         .unwrap();
     b.publisher("orders.eu")
         .unwrap()
@@ -70,7 +72,7 @@ fn dropping_pattern_subscriber_detaches_everywhere() {
     let b = Broker::start(BrokerConfig::default());
     b.create_topic("a.x").unwrap();
     b.create_topic("a.y").unwrap();
-    let sub = b.subscribe_pattern(&pattern("a.*"), Filter::None).unwrap();
+    let sub = b.subscription("a.*").open().unwrap();
     assert_eq!(b.subscription_count("a.x"), 1);
     assert_eq!(b.subscription_count("a.y"), 1);
     drop(sub);
@@ -88,20 +90,20 @@ fn replication_counts_pattern_fanout() {
     // subscriber is R = 2 in the broker's stats.
     let b = Broker::start(BrokerConfig::default());
     b.create_topic("news.tech").unwrap();
-    let plain = b.subscribe("news.tech", Filter::None).unwrap();
-    let wild = b.subscribe_pattern(&pattern("news.>"), Filter::None).unwrap();
+    let plain = b.subscription("news.tech").open().unwrap();
+    let wild = b.subscription("news.>").open().unwrap();
     b.publisher("news.tech").unwrap().publish(Message::builder().build()).unwrap();
     assert!(plain.receive_timeout(Duration::from_secs(2)).is_some());
     assert!(wild.receive_timeout(Duration::from_secs(2)).is_some());
-    let stats = b.stats();
     for _ in 0..100 {
-        if stats.dispatched() == 2 {
+        if b.snapshot().messages.dispatched == 2 {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert_eq!(stats.received(), 1);
-    assert_eq!(stats.dispatched(), 2);
+    let messages = b.snapshot().messages;
+    assert_eq!(messages.received, 1);
+    assert_eq!(messages.dispatched, 2);
     b.shutdown();
 }
 
@@ -111,7 +113,7 @@ fn literal_pattern_equals_plain_subscription() {
     b.create_topic("exact.topic").unwrap();
     let p = pattern("exact.topic");
     assert!(p.is_literal());
-    let sub = b.subscribe_pattern(&p, Filter::None).unwrap();
+    let sub = b.subscription("exact.topic").open().unwrap();
     b.publisher("exact.topic").unwrap().publish(Message::builder().build()).unwrap();
     assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
     b.shutdown();

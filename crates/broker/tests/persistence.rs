@@ -2,7 +2,7 @@
 //! crash recovery with re-delivery to durable subscribers, checkpointing,
 //! and the journal counters surfaced through `BrokerStats`.
 
-use rjms_broker::{Broker, BrokerConfig, BrokerError, Filter, Message, PersistenceConfig};
+use rjms_broker::{Broker, BrokerConfig, Error, Filter, Message, PersistenceConfig};
 use rjms_journal::{scratch_dir, segment::segment_file_name, FsyncPolicy};
 use std::path::Path;
 use std::time::Duration;
@@ -14,9 +14,8 @@ fn persistent_config(dir: &Path) -> BrokerConfig {
 
 /// Waits until the broker has processed `n` received messages.
 fn sync(b: &Broker, n: u64) {
-    let stats = b.stats();
     for _ in 0..400 {
-        if stats.received() >= n {
+        if b.snapshot().messages.received >= n {
             return;
         }
         std::thread::sleep(Duration::from_millis(5));
@@ -34,7 +33,7 @@ fn restart_recovers_topics_durables_and_retained_backlog() {
     {
         let b = Broker::start(persistent_config(&dir));
         b.create_topic("stocks").unwrap();
-        drop(b.subscribe_durable("stocks", "auditor", Filter::None).unwrap());
+        drop(b.subscription("stocks").durable("auditor").open().unwrap());
         let p = b.publisher("stocks").unwrap();
         for i in 0..8i64 {
             p.publish(
@@ -52,13 +51,14 @@ fn restart_recovers_topics_durables_and_retained_backlog() {
 
     let b = Broker::start(persistent_config(&dir));
     // Topology survived: the topic and the durable subscription exist.
-    assert!(matches!(b.create_topic("stocks"), Err(BrokerError::TopicExists { .. })));
+    assert!(matches!(b.create_topic("stocks"), Err(Error::TopicExists { .. })));
     assert_eq!(b.durable_names("stocks"), vec!["auditor".to_owned()]);
     assert_eq!(b.retained_count("stocks", "auditor"), 8);
-    assert_eq!(b.stats().journal_frames_recovered(), 10); // topic + durable + 8 publishes
+    // topic + durable + 8 publishes
+    assert_eq!(b.snapshot().journal.expect("persistence enabled").frames_recovered, 10);
 
     // The backlog is re-delivered in publish order with headers intact.
-    let sub = b.subscribe_durable("stocks", "auditor", Filter::None).unwrap();
+    let sub = b.subscription("stocks").durable("auditor").open().unwrap();
     for i in 0..8i64 {
         let m = sub.receive_timeout(Duration::from_secs(2)).expect("recovered message");
         assert_eq!(m.property("seq"), Some(&i.into()));
@@ -76,7 +76,7 @@ fn torn_tail_recovers_to_last_whole_frame_and_redelivers() {
     {
         let b = Broker::start(persistent_config(&dir));
         b.create_topic("t").unwrap();
-        drop(b.subscribe_durable("t", "w", Filter::None).unwrap());
+        drop(b.subscription("t").durable("w").open().unwrap());
         let p = b.publisher("t").unwrap();
         for i in 0..n {
             p.publish(Message::builder().property("seq", i).build()).unwrap();
@@ -95,10 +95,10 @@ fn torn_tail_recovers_to_last_whole_frame_and_redelivers() {
     // Recovery stops at the last whole frame: the final publish is gone,
     // everything before it is intact.
     assert_eq!(b.retained_count("t", "w"), n as usize - 1);
-    let recovered = b.journal_stats().expect("persistence enabled");
+    let recovered = b.snapshot().journal.expect("persistence enabled");
     assert!(recovered.torn_bytes_truncated > 0, "torn tail should have been cut");
 
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     for i in 0..n - 1 {
         let m = sub.receive_timeout(Duration::from_secs(2)).expect("re-delivered message");
         assert_eq!(m.property("seq"), Some(&i.into()));
@@ -123,7 +123,7 @@ fn checkpointed_deliveries_are_not_redelivered_after_clean_shutdown() {
     {
         let b = Broker::start(config.clone());
         b.create_topic("t").unwrap();
-        let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+        let sub = b.subscription("t").durable("w").open().unwrap();
         let p = b.publisher("t").unwrap();
         for i in 0..5i64 {
             p.publish(Message::builder().property("seq", i).build()).unwrap();
@@ -138,7 +138,7 @@ fn checkpointed_deliveries_are_not_redelivered_after_clean_shutdown() {
     // Every delivery was checkpointed: nothing comes back.
     let b = Broker::start(config);
     assert_eq!(b.retained_count("t", "w"), 0);
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     assert!(sub.receive_timeout(Duration::from_millis(100)).is_none());
     b.shutdown();
     cleanup(&dir);
@@ -156,7 +156,7 @@ fn retained_for_offline_durable_survive_restart_but_delivered_do_not() {
     {
         let b = Broker::start(config.clone());
         b.create_topic("t").unwrap();
-        let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+        let sub = b.subscription("t").durable("w").open().unwrap();
         let p = b.publisher("t").unwrap();
         // Two delivered while connected...
         for i in 0..2i64 {
@@ -177,7 +177,7 @@ fn retained_for_offline_durable_survive_restart_but_delivered_do_not() {
     // Only the three offline messages come back: the shutdown checkpoint
     // covers the two consumed ones.
     assert_eq!(b.retained_count("t", "w"), 3);
-    let sub = b.subscribe_durable("t", "w", Filter::None).unwrap();
+    let sub = b.subscription("t").durable("w").open().unwrap();
     for i in 2..5i64 {
         let m = sub.receive_timeout(Duration::from_secs(2)).expect("retained message");
         assert_eq!(m.property("seq"), Some(&i.into()));
@@ -192,14 +192,26 @@ fn filter_change_discards_backlog_across_restart() {
     {
         let b = Broker::start(persistent_config(&dir));
         b.create_topic("t").unwrap();
-        drop(b.subscribe_durable("t", "w", Filter::selector("color = 'red'").unwrap()).unwrap());
+        drop(
+            b.subscription("t")
+                .durable("w")
+                .filter(Filter::selector("color = 'red'").unwrap())
+                .open()
+                .unwrap(),
+        );
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().property("color", "red").build()).unwrap();
         sync(&b, 1);
         assert_eq!(b.retained_count("t", "w"), 1);
         // Reconnect with a different selector: JMS discards the backlog,
         // and the re-registration record makes replay do the same.
-        drop(b.subscribe_durable("t", "w", Filter::selector("color = 'blue'").unwrap()).unwrap());
+        drop(
+            b.subscription("t")
+                .durable("w")
+                .filter(Filter::selector("color = 'blue'").unwrap())
+                .open()
+                .unwrap(),
+        );
         b.shutdown();
     }
 
@@ -215,7 +227,7 @@ fn unsubscribed_durable_stays_gone_after_restart() {
     {
         let b = Broker::start(persistent_config(&dir));
         b.create_topic("t").unwrap();
-        drop(b.subscribe_durable("t", "w", Filter::None).unwrap());
+        drop(b.subscription("t").durable("w").open().unwrap());
         let p = b.publisher("t").unwrap();
         p.publish(Message::builder().build()).unwrap();
         sync(&b, 1);
@@ -239,18 +251,11 @@ fn journal_counters_flow_into_broker_stats() {
     }
     sync(&b, 10);
 
-    let stats = b.stats();
+    let journal = b.snapshot().journal.expect("persistence enabled");
     // 1 TopicCreated + 10 Publish records, synced on every append.
-    assert_eq!(stats.journal_appends(), 11);
-    assert!(stats.journal_bytes_appended() > 0);
-    assert!(stats.journal_fsyncs() >= 11);
-    let snap = stats.snapshot();
-    assert_eq!(snap.journal_appends, 11);
-    assert_eq!(snap.journal_bytes_appended, stats.journal_bytes_appended());
-
-    let journal = b.journal_stats().expect("persistence enabled");
     assert_eq!(journal.appends, 11);
-    assert_eq!(journal.bytes_appended, stats.journal_bytes_appended());
+    assert!(journal.bytes_appended > 0);
+    assert!(journal.fsyncs >= 11);
     b.shutdown();
     cleanup(&dir);
 }
@@ -262,8 +267,6 @@ fn memory_only_broker_reports_zero_journal_activity() {
     let p = b.publisher("t").unwrap();
     p.publish(Message::builder().build()).unwrap();
     sync(&b, 1);
-    assert!(b.journal_stats().is_none());
-    assert_eq!(b.stats().journal_appends(), 0);
-    assert_eq!(b.stats().snapshot().journal_fsyncs, 0);
+    assert!(b.snapshot().journal.is_none());
     b.shutdown();
 }

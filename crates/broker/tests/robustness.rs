@@ -49,8 +49,8 @@ fn subscriber_crash_unblocks_dispatcher() {
     );
     broker.create_topic("t").unwrap();
 
-    let stuck = broker.subscribe("t", Filter::None).unwrap();
-    let healthy = broker.subscribe("t", Filter::None).unwrap();
+    let stuck = broker.subscription("t").open().unwrap();
+    let healthy = broker.subscription("t").open().unwrap();
     let publisher = broker.publisher("t").unwrap();
 
     // Two messages: the first fills `stuck`'s queue, the second blocks the
@@ -72,7 +72,7 @@ fn subscriber_crash_unblocks_dispatcher() {
     // Broker still fully operational.
     publisher.publish(Message::builder().property("seq", 2i64).build()).unwrap();
     assert!(healthy.receive_timeout(Duration::from_secs(5)).is_some());
-    assert!(broker.stats().expired_subscriptions() >= 1);
+    assert!(broker.snapshot().subscriptions.expired >= 1);
     broker.shutdown();
 }
 
@@ -90,7 +90,7 @@ fn broker_drop_mid_traffic_is_clean() {
     );
     broker.create_topic("t").unwrap();
     let publisher = broker.publisher("t").unwrap();
-    let subscriber = broker.subscribe("t", Filter::None).unwrap();
+    let subscriber = broker.subscription("t").open().unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
     let pub_stop = Arc::clone(&stop);
@@ -123,27 +123,27 @@ fn drop_new_policy_keeps_counts_consistent() {
             .overflow_policy(OverflowPolicy::DropNew),
     );
     broker.create_topic("t").unwrap();
-    let sub = broker.subscribe("t", Filter::None).unwrap();
+    let sub = broker.subscription("t").open().unwrap();
     let publisher = broker.publisher("t").unwrap();
     let total = 200u64;
     for _ in 0..total {
         publisher.publish(Message::builder().build()).unwrap();
     }
-    let stats = broker.stats();
     for _ in 0..400 {
-        if stats.received() == total {
+        if broker.snapshot().messages.received == total {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert_eq!(stats.received(), total);
-    assert_eq!(stats.dispatched() + stats.dropped(), total);
+    let messages = broker.snapshot().messages;
+    assert_eq!(messages.received, total);
+    assert_eq!(messages.dispatched + messages.dropped, total);
     // Whatever was dispatched is actually receivable.
     let mut got = 0u64;
     while sub.receive_timeout(Duration::from_millis(50)).is_some() {
         got += 1;
     }
-    assert_eq!(got, stats.dispatched());
+    assert_eq!(got, messages.dispatched);
     broker.shutdown();
 }
 
@@ -153,7 +153,7 @@ fn drop_new_policy_keeps_counts_consistent() {
 fn subscription_churn_under_load() {
     let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(1 << 14));
     broker.create_topic("t").unwrap();
-    let observer = broker.subscribe("t", Filter::None).unwrap();
+    let observer = broker.subscription("t").open().unwrap();
     let publisher = broker.publisher("t").unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -165,7 +165,9 @@ fn subscription_churn_under_load() {
                 let subs: Vec<_> = (0..16)
                     .map(|i| {
                         broker_ref
-                            .subscribe("t", Filter::correlation_id(&format!("#{i}")).unwrap())
+                            .subscription("t")
+                            .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                            .open()
                             .unwrap()
                     })
                     .collect();
@@ -191,9 +193,10 @@ fn topic_stats_are_per_topic() {
     let broker = Broker::start(BrokerConfig::default());
     broker.create_topic("a").unwrap();
     broker.create_topic("b").unwrap();
-    let sub_a1 = broker.subscribe("a", Filter::None).unwrap();
-    let sub_a2 = broker.subscribe("a", Filter::None).unwrap();
-    let _sub_b = broker.subscribe("b", Filter::correlation_id("#1").unwrap()).unwrap();
+    let sub_a1 = broker.subscription("a").open().unwrap();
+    let sub_a2 = broker.subscription("a").open().unwrap();
+    let _sub_b =
+        broker.subscription("b").filter(Filter::correlation_id("#1").unwrap()).open().unwrap();
 
     let pa = broker.publisher("a").unwrap();
     let pb = broker.publisher("b").unwrap();
@@ -206,20 +209,20 @@ fn topic_stats_are_per_topic() {
         let _ = sub_a1.receive_timeout(Duration::from_secs(2));
         let _ = sub_a2.receive_timeout(Duration::from_millis(50));
     }
-    let stats = broker.stats();
     for _ in 0..200 {
-        if stats.received() == 4 {
+        if broker.snapshot().messages.received == 4 {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    let a = broker.topic_stats("a").unwrap();
+    let per_topic = broker.snapshot().per_topic;
+    let a = &per_topic["a"];
     assert_eq!(a.received, 3);
     assert_eq!(a.dispatched, 6);
     assert_eq!(a.replication_grade(), Some(2.0));
-    let b = broker.topic_stats("b").unwrap();
+    let b = &per_topic["b"];
     assert_eq!(b.received, 1);
     assert_eq!(b.dispatched, 0); // the only filter did not match
-    assert!(broker.topic_stats("missing").is_none());
+    assert!(!per_topic.contains_key("missing"));
     broker.shutdown();
 }

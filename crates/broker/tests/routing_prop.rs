@@ -97,7 +97,7 @@ proptest! {
         broker.create_topic("t").unwrap();
         let subs: Vec<_> = filters
             .iter()
-            .map(|f| broker.subscribe("t", f.build()).unwrap())
+            .map(|f| broker.subscription("t").filter(f.build()).open().unwrap())
             .collect();
         let publisher = broker.publisher("t").unwrap();
 

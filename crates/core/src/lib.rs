@@ -35,7 +35,9 @@
 pub mod architecture;
 pub mod calibrate;
 pub mod capacity;
+pub mod error;
 pub mod model;
+pub mod monitor;
 pub mod params;
 pub mod report;
 pub mod scenario;
@@ -47,7 +49,9 @@ pub use calibrate::{
     fit_cost_params, fit_cost_params_fixed_rcv, Calibration, CalibrationError, Observation,
 };
 pub use capacity::{break_even_match_probability, filter_benefit, server_capacity, FilterBenefit};
+pub use error::Error;
 pub use model::{ServerModel, ThroughputPrediction};
+pub use monitor::{DriftReport, DriftTolerance, ModelMonitor, ModelVerdict};
 pub use params::{CostParams, FilterType};
 pub use report::plan_report;
 pub use scenario::{ApplicationScenario, ApplicationScenarioBuilder};

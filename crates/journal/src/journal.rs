@@ -4,10 +4,12 @@
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::config::{FsyncPolicy, JournalConfig};
 use crate::segment::{parse_segment_file_name, ScanTail, Segment};
+use rjms_metrics::Histogram;
 
 /// Journal failure.
 #[derive(Debug)]
@@ -53,6 +55,18 @@ impl std::error::Error for JournalError {
 impl From<io::Error> for JournalError {
     fn from(e: io::Error) -> Self {
         JournalError::Io(e)
+    }
+}
+
+impl From<JournalError> for rjms_core::Error {
+    fn from(e: JournalError) -> Self {
+        match e {
+            JournalError::Io(e) => rjms_core::Error::Io(e),
+            JournalError::Corrupt { segment, file_pos } => {
+                rjms_core::Error::JournalCorrupt { segment, file_pos }
+            }
+            JournalError::UnknownOffset(offset) => rjms_core::Error::UnknownOffset(offset),
+        }
     }
 }
 
@@ -122,6 +136,14 @@ pub struct Journal {
     appends_since_sync: u32,
     last_sync: Instant,
     stats: JournalStats,
+    /// Wall-clock latency of every [`Journal::append`] call, nanoseconds.
+    /// Always on (a histogram record is a handful of relaxed atomic adds);
+    /// the broker registers it as `journal.append_ns` when metrics are
+    /// enabled, and it feeds the measured `t_store` cost term.
+    append_latency: Arc<Histogram>,
+    /// Wall-clock latency of every explicit [`Journal::sync`], nanoseconds
+    /// (`journal.fsync_ns` in the broker's registry).
+    fsync_latency: Arc<Histogram>,
 }
 
 impl Journal {
@@ -184,6 +206,8 @@ impl Journal {
                 ..JournalStats::default()
             },
             segments,
+            append_latency: Arc::new(Histogram::new()),
+            fsync_latency: Arc::new(Histogram::new()),
         };
         let report = RecoveryReport {
             frames_recovered,
@@ -211,6 +235,21 @@ impl Journal {
     /// Counter snapshot.
     pub fn stats(&self) -> JournalStats {
         self.stats
+    }
+
+    /// The shared append-latency histogram (nanoseconds per
+    /// [`Journal::append`] call, including rotation and policy-driven
+    /// syncs). Snapshot it — or register it in a
+    /// [`rjms_metrics::MetricsRegistry`] — to observe the `t_store` cost
+    /// term live.
+    pub fn append_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.append_latency)
+    }
+
+    /// The shared fsync-latency histogram (nanoseconds per explicit
+    /// [`Journal::sync`] call).
+    pub fn fsync_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.fsync_latency)
     }
 
     /// The configuration the journal was opened with.
@@ -244,6 +283,13 @@ impl Journal {
     /// Appends one record, applying rotation and the fsync policy, and
     /// returns the record's offset.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        let start = Instant::now();
+        let result = self.append_inner(payload);
+        self.append_latency.record_duration(start.elapsed());
+        result
+    }
+
+    fn append_inner(&mut self, payload: &[u8]) -> Result<u64> {
         let frame_bytes = crate::frame::frame_len(payload.len());
         let needs_rotation = !self.active().is_empty()
             && (self.active().len() + frame_bytes > self.config.segment_max_bytes
@@ -274,7 +320,9 @@ impl Journal {
 
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        let start = Instant::now();
         self.active().sync()?;
+        self.fsync_latency.record_duration(start.elapsed());
         self.stats.fsyncs += 1;
         self.appends_since_sync = 0;
         self.last_sync = Instant::now();

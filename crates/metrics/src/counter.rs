@@ -1,0 +1,112 @@
+//! Lock-free monotonic counters and settable gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing, lock-free event counter.
+///
+/// All operations use relaxed atomics: counters are statistical
+/// instruments, not synchronization primitives.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_metrics::Counter;
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free instantaneous-value gauge (queue depths, connection counts).
+///
+/// # Examples
+///
+/// ```
+/// use rjms_metrics::Gauge;
+/// let g = Gauge::new();
+/// g.set(7);
+/// g.add(-2);
+/// assert_eq!(g.get(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn gauge_set_and_adjust() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(-3);
+        g.add(10);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace's `serde` shim provides marker traits only, so snapshot
+//! export builds its JSON text directly. Only the constructs the registry
+//! needs are implemented: objects, arrays, strings, integers, and floats.
+
+/// Incrementally builds a JSON document into an owned `String`.
+#[derive(Debug, Default)]
+pub(crate) struct JsonWriter {
+    out: String,
+    /// Whether the current nesting level already has an element (needs a
+    /// comma before the next one). One entry per open object/array.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn finish(self) -> String {
+        debug_assert!(self.needs_comma.is_empty(), "unbalanced JSON nesting");
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(seen) = self.needs_comma.last_mut() {
+            if *seen {
+                self.out.push(',');
+            }
+            *seen = true;
+        }
+    }
+
+    pub(crate) fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    pub(crate) fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    pub(crate) fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    pub(crate) fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub(crate) fn key(&mut self, name: &str) {
+        self.pre_value();
+        write_escaped(&mut self.out, name);
+        self.out.push(':');
+        // The value that follows must not emit another comma.
+        if let Some(seen) = self.needs_comma.last_mut() {
+            *seen = false;
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn string(&mut self, v: &str) {
+        self.pre_value();
+        write_escaped(&mut self.out, v);
+    }
+
+    pub(crate) fn uint(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub(crate) fn int(&mut self, v: i64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a finite float; NaN and infinities become `null` (JSON has no
+    /// representation for them).
+    pub(crate) fn float(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            // `{:?}` round-trips f64 exactly and always includes a decimal
+            // point or exponent, keeping the token a valid JSON number.
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    // After `key(..)`, the comma state of the enclosing object was cleared;
+    // restore it after the value. Object/array/scalar writers all call
+    // `pre_value`, which leaves the flag set, so nothing extra is needed —
+    // this comment documents the invariant rather than code.
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name");
+        w.string("dispatch.waiting_ns");
+        w.key("count");
+        w.uint(42);
+        w.key("mean");
+        w.float(1.5);
+        w.key("buckets");
+        w.begin_array();
+        w.begin_object();
+        w.key("upper");
+        w.uint(32);
+        w.key("n");
+        w.uint(7);
+        w.end_object();
+        w.uint(9);
+        w.end_array();
+        w.key("gauge");
+        w.int(-3);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"dispatch.waiting_ns","count":42,"mean":1.5,"buckets":[{"upper":32,"n":7},9],"gauge":-3}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.float(f64::NAN);
+        w.float(f64::INFINITY);
+        w.float(2.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,2.0]");
+    }
+}

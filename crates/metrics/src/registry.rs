@@ -1,0 +1,250 @@
+//! Named-instrument registry with snapshot and text/JSON export.
+//!
+//! A [`MetricsRegistry`] hands out shared [`Counter`]/[`Gauge`]/[`Histogram`]
+//! instruments keyed by dotted names (`dispatch.waiting_ns`). Instruments
+//! are created on first request and returned as `Arc`s; recording never
+//! touches the registry lock again. `snapshot()` walks the registry once
+//! and produces an immutable [`RegistrySnapshot`] that renders as aligned
+//! text or JSON.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::json::JsonWriter;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared home for named instruments. Cheap to clone (`Arc` inside);
+/// clones observe the same instruments.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_metrics::MetricsRegistry;
+/// let registry = MetricsRegistry::new();
+/// registry.counter("messages.received").add(3);
+/// registry.gauge("connections.active").set(2);
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counters["messages.received"], 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.counters.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// Registers an externally owned histogram under `name` (e.g. a
+    /// journal's always-on append-latency instrument), replacing any
+    /// previous instrument with that name.
+    pub fn register_histogram(&self, name: &str, histogram: Arc<Histogram>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.insert(name.to_string(), histogram);
+    }
+
+    /// Snapshots every registered instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().unwrap();
+        RegistrySnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: inner.histograms.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every instrument in a [`MetricsRegistry`],
+/// ordered by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The histogram snapshot named `name`, if present and non-empty.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name).filter(|h| h.count > 0)
+    }
+
+    /// Renders a human-readable report: one line per counter/gauge, one
+    /// summary line per histogram (count, mean, p50/p99/p99.99, max in
+    /// milliseconds assuming nanosecond samples).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:width$}  {v}\n"));
+        }
+        let ms = |ns: u64| ns as f64 / 1e6;
+        for (name, h) in &self.histograms {
+            if h.count == 0 {
+                out.push_str(&format!("{name:width$}  (empty)\n"));
+                continue;
+            }
+            out.push_str(&format!(
+                "{name:width$}  n={} mean={:.3}ms p50={:.3}ms p99={:.3}ms p99.99={:.3}ms max={:.3}ms\n",
+                h.count,
+                h.mean() / 1e6,
+                ms(h.quantile(0.5).unwrap_or(0)),
+                ms(h.quantile(0.99).unwrap_or(0)),
+                ms(h.quantile(0.9999).unwrap_or(0)),
+                ms(h.max),
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, v) in &self.counters {
+            w.key(name);
+            w.uint(*v);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, v) in &self.gauges {
+            w.key(name);
+            w.int(*v);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (name, h) in &self.histograms {
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.uint(h.count);
+            w.key("sum");
+            w.uint(h.sum);
+            w.key("min");
+            w.uint(h.min);
+            w.key("max");
+            w.uint(h.max);
+            w.key("mean");
+            w.float(h.mean());
+            w.key("cvar");
+            w.float(h.cvar());
+            w.key("p50");
+            w.uint(h.quantile(0.5).unwrap_or(0));
+            w.key("p99");
+            w.uint(h.quantile(0.99).unwrap_or(0));
+            w.key("p9999");
+            w.uint(h.quantile(0.9999).unwrap_or(0));
+            w.key("buckets");
+            w.begin_array();
+            for b in &h.buckets {
+                w.begin_array();
+                w.uint(b.upper);
+                w.uint(b.count);
+                w.end_array();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 2);
+
+        let clone = r.clone();
+        clone.counter("a").inc();
+        assert_eq!(r.snapshot().counters["a"], 3);
+    }
+
+    #[test]
+    fn register_external_histogram() {
+        let r = MetricsRegistry::new();
+        let h = Arc::new(Histogram::new());
+        h.record(100);
+        r.register_histogram("journal.append_ns", Arc::clone(&h));
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("journal.append_ns").unwrap().count, 1);
+        assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let r = MetricsRegistry::new();
+        r.counter("messages.received").add(10);
+        r.gauge("connections.active").set(-1);
+        r.histogram("dispatch.waiting_ns").record(1_000_000);
+        r.histogram("empty.hist");
+        let snap = r.snapshot();
+
+        let text = snap.render_text();
+        assert!(text.contains("messages.received"));
+        assert!(text.contains("n=1"));
+        assert!(text.contains("(empty)"));
+
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""messages.received":10"#));
+        assert!(json.contains(r#""connections.active":-1"#));
+        assert!(json.contains(r#""dispatch.waiting_ns":{"count":1"#));
+        // Balanced braces as a cheap well-formedness check.
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+}

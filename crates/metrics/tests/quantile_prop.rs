@@ -1,0 +1,135 @@
+//! Property tests: histogram quantiles stay within the documented error
+//! bound of the exact empirical quantiles computed by `rjms_desim::stats`.
+//!
+//! The log-linear geometry guarantees every bucket's upper bound
+//! overestimates the values it holds by at most `1/32` (3.125%). Both the
+//! histogram and `SampleQuantiles` use the paper's nearest-rank definition
+//! `Q_p = min{t : P(X <= t) >= p}`, so for any sample set and any `p`:
+//!
+//! ```text
+//! exact_q <= hist_q <= exact_q * (1 + 1/32)
+//! ```
+
+use proptest::prelude::*;
+use rjms_desim::random::{sample_exponential, ExponentialService, ServiceSampler};
+use rjms_desim::stats::SampleQuantiles;
+use rjms_metrics::Histogram;
+
+const RELATIVE_BOUND: f64 = 1.0 / 32.0;
+
+/// Checks the two-sided quantile bound for every probe point.
+fn assert_quantiles_bounded(values: &[u64]) {
+    let hist = Histogram::new();
+    let mut exact = SampleQuantiles::with_capacity(values.len());
+    for &v in values {
+        hist.record(v);
+        exact.push(v as f64);
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, values.len() as u64);
+
+    for p in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 1.0] {
+        let e = exact.quantile(p);
+        let h = snap.quantile(p).expect("non-empty histogram") as f64;
+        assert!(h >= e, "p={p}: histogram {h} below exact {e} for n={}", values.len());
+        assert!(
+            h <= e * (1.0 + RELATIVE_BOUND),
+            "p={p}: histogram {h} exceeds bound on exact {e} (n={})",
+            values.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_bounded_mixed_magnitudes(
+        values in prop::collection::vec(
+            prop_oneof![
+                0u64..64u64,
+                0u64..100_000u64,
+                1_000_000u64..4_000_000_000u64,
+                any::<u64>(),
+            ],
+            1..400,
+        )
+    ) {
+        assert_quantiles_bounded(&values);
+    }
+
+    #[test]
+    fn quantiles_bounded_heavy_duplicates(
+        base in 0u64..1_000_000u64,
+        repeats in 1usize..50usize,
+        distinct in 1usize..8usize,
+    ) {
+        let mut values = Vec::new();
+        for d in 0..distinct as u64 {
+            for _ in 0..repeats {
+                values.push(base.saturating_add(d * 37));
+            }
+        }
+        assert_quantiles_bounded(&values);
+    }
+
+    #[test]
+    fn mean_is_exact(
+        values in prop::collection::vec(0u64..1_000_000_000u64, 1..200)
+    ) {
+        let hist = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            hist.record(v);
+            sum += v as u128;
+        }
+        let snap = hist.snapshot();
+        let exact_mean = sum as f64 / values.len() as f64;
+        prop_assert!((snap.mean() - exact_mean).abs() <= 1e-9 * exact_mean.max(1.0));
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+    }
+}
+
+/// Ground-truth validation against the M/M/1 queue: feed the same Lindley
+/// waiting-time samples (in nanoseconds) to the histogram and to the exact
+/// estimator, and additionally check the mean against ρ/(1-ρ) theory.
+#[test]
+fn histogram_matches_mm1_ground_truth() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(2006_2006);
+    let service = ExponentialService { mean: 1.0 };
+    let (rate, samples, warmup) = (0.8, 200_000usize, 20_000usize);
+
+    let hist = Histogram::new();
+    let mut exact = SampleQuantiles::with_capacity(samples);
+    let mut w = 0.0f64;
+    for i in 0..warmup + samples {
+        let b = service.sample(&mut rng);
+        let a = sample_exponential(&mut rng, rate);
+        if i >= warmup {
+            let ns = (w * 1e9).round() as u64;
+            hist.record(ns);
+            exact.push(ns as f64);
+        }
+        w = (w + b - a).max(0.0);
+    }
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, samples as u64);
+
+    // Quantile agreement with the exact estimator on queueing-shaped data.
+    for p in [0.5, 0.9, 0.99, 0.9999] {
+        let e = exact.quantile(p);
+        let h = snap.quantile(p).unwrap() as f64;
+        assert!(h >= e && h <= e * (1.0 + RELATIVE_BOUND), "p={p}: {h} vs exact {e}");
+    }
+
+    // M/M/1 theory: E[W] = ρ/(1-ρ) seconds = 4.0 at ρ = 0.8.
+    let mean_s = snap.mean() / 1e9;
+    assert!((mean_s - 4.0).abs() < 0.3, "E[W] = {mean_s}");
+    // Waiting time of an M/M/1 queue has cvar > 1 (mass at zero).
+    assert!(snap.cvar() > 1.0, "cvar = {}", snap.cvar());
+}

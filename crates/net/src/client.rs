@@ -1,20 +1,27 @@
 //! The remote client: connect to a [`BrokerServer`](crate::server::BrokerServer)
 //! over TCP and publish / subscribe as if the broker were local.
+//!
+//! Every request/response pair is timed into the client's
+//! [`MetricsRegistry`] (histogram `net.rtt_ns`), so a measurement driver
+//! can separate broker service time from wire round-trip time — the
+//! network component the 2006 testbed deliberately kept off the critical
+//! path with its Gbit links.
 
-use crate::error::NetError;
+use crate::error::Error;
 use crate::wire::{
     decode_response, encode_request, read_frame, Request, Response, WireFilter, WireMessage,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rjms_broker::Message;
+use rjms_metrics::{Histogram, MetricsRegistry};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long [`RemoteBroker`] waits for a request's response.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
@@ -40,6 +47,8 @@ pub struct RemoteBroker {
     next_request_id: AtomicU32,
     next_subscription_id: AtomicU32,
     reader: Option<JoinHandle<()>>,
+    metrics: MetricsRegistry,
+    rtt: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for RemoteBroker {
@@ -56,7 +65,7 @@ impl RemoteBroker {
     /// # Errors
     ///
     /// Returns the underlying I/O error when the connection fails.
-    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<RemoteBroker, NetError> {
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<RemoteBroker, Error> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let read_stream = stream.try_clone()?;
@@ -71,22 +80,33 @@ impl RemoteBroker {
             .name("rjms-net-client-reader".to_owned())
             .spawn(move || client_reader_loop(read_stream, reader_shared))
             .expect("failed to spawn client reader");
+        let metrics = MetricsRegistry::new();
+        let rtt = metrics.histogram("net.rtt_ns");
         Ok(RemoteBroker {
             shared,
             next_request_id: AtomicU32::new(1),
             next_subscription_id: AtomicU32::new(1),
             reader: Some(reader),
+            metrics,
+            rtt,
         })
+    }
+
+    /// This client's instrument registry: histogram `net.rtt_ns` holds the
+    /// wire round-trip latency of every answered request (send to response,
+    /// in nanoseconds), counter `net.requests` the number sent.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.clone()
     }
 
     /// Creates a topic on the remote broker.
     ///
     /// # Errors
     ///
-    /// [`NetError::Remote`] carries the broker-side failure (duplicate or
-    /// invalid name); transport failures surface as [`NetError::Io`] /
-    /// [`NetError::Closed`].
-    pub fn create_topic(&self, topic: &str) -> Result<(), NetError> {
+    /// [`Error::Remote`] carries the broker-side failure (duplicate or
+    /// invalid name); transport failures surface as [`Error::Io`] /
+    /// [`Error::Closed`].
+    pub fn create_topic(&self, topic: &str) -> Result<(), Error> {
         let request_id = self.next_request_id();
         self.call(Request::CreateTopic { request_id, topic: topic.to_owned() }, request_id)
     }
@@ -96,8 +116,8 @@ impl RemoteBroker {
     ///
     /// # Errors
     ///
-    /// [`NetError::Remote`] for unknown topics; transport errors otherwise.
-    pub fn publish(&self, topic: &str, message: &Message) -> Result<(), NetError> {
+    /// [`Error::Remote`] for unknown topics; transport errors otherwise.
+    pub fn publish(&self, topic: &str, message: &Message) -> Result<(), Error> {
         let request_id = self.next_request_id();
         self.call(
             Request::Publish {
@@ -114,8 +134,8 @@ impl RemoteBroker {
     ///
     /// # Errors
     ///
-    /// [`NetError::Remote`] for unknown topics or invalid filters.
-    pub fn subscribe(&self, topic: &str, filter: WireFilter) -> Result<RemoteSubscriber, NetError> {
+    /// [`Error::Remote`] for unknown topics or invalid filters.
+    pub fn subscribe(&self, topic: &str, filter: WireFilter) -> Result<RemoteSubscriber, Error> {
         self.subscribe_inner(|request_id, subscription_id| Request::Subscribe {
             request_id,
             subscription_id,
@@ -128,12 +148,12 @@ impl RemoteBroker {
     ///
     /// # Errors
     ///
-    /// [`NetError::Remote`] for invalid patterns or filters.
+    /// [`Error::Remote`] for invalid patterns or filters.
     pub fn subscribe_pattern(
         &self,
         pattern: &str,
         filter: WireFilter,
-    ) -> Result<RemoteSubscriber, NetError> {
+    ) -> Result<RemoteSubscriber, Error> {
         self.subscribe_inner(|request_id, subscription_id| Request::SubscribePattern {
             request_id,
             subscription_id,
@@ -144,19 +164,19 @@ impl RemoteBroker {
 
     /// Connects to (or creates) a named *durable* subscription on the
     /// remote broker: messages retained while no consumer was connected are
-    /// delivered first (see
-    /// [`Broker::subscribe_durable`](rjms_broker::Broker::subscribe_durable)).
+    /// delivered first (the remote counterpart of
+    /// `broker.subscription(topic).durable(name)`).
     ///
     /// # Errors
     ///
-    /// [`NetError::Remote`] when the name is already connected or the topic
+    /// [`Error::Remote`] when the name is already connected or the topic
     /// is unknown.
     pub fn subscribe_durable(
         &self,
         topic: &str,
         name: &str,
         filter: WireFilter,
-    ) -> Result<RemoteSubscriber, NetError> {
+    ) -> Result<RemoteSubscriber, Error> {
         self.subscribe_inner(|request_id, subscription_id| Request::SubscribeDurable {
             request_id,
             subscription_id,
@@ -171,9 +191,9 @@ impl RemoteBroker {
     ///
     /// # Errors
     ///
-    /// [`NetError::Remote`] when the subscription is unknown or still
+    /// [`Error::Remote`] when the subscription is unknown or still
     /// connected.
-    pub fn unsubscribe_durable(&self, topic: &str, name: &str) -> Result<(), NetError> {
+    pub fn unsubscribe_durable(&self, topic: &str, name: &str) -> Result<(), Error> {
         let request_id = self.next_request_id();
         self.call(
             Request::UnsubscribeDurable {
@@ -190,21 +210,19 @@ impl RemoteBroker {
     /// # Errors
     ///
     /// Transport errors / timeout.
-    pub fn ping(&self) -> Result<(), NetError> {
+    pub fn ping(&self) -> Result<(), Error> {
         let request_id = self.next_request_id();
         match self.call_raw(Request::Ping { request_id }, request_id)? {
             Response::Pong { .. } => Ok(()),
-            Response::Error { message, .. } => Err(NetError::Remote { message }),
-            _ => Err(NetError::Decode(crate::wire::DecodeError {
-                message: "unexpected response to ping".to_owned(),
-            })),
+            Response::Error { message, .. } => Err(Error::Remote { message }),
+            _ => Err(Error::Decode { detail: "unexpected response to ping".to_owned() }),
         }
     }
 
     fn subscribe_inner(
         &self,
         make_request: impl Fn(u32, u32) -> Request,
-    ) -> Result<RemoteSubscriber, NetError> {
+    ) -> Result<RemoteSubscriber, Error> {
         let subscription_id = self.next_subscription_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
         self.shared.subscriptions.lock().insert(subscription_id, tx);
@@ -228,39 +246,42 @@ impl RemoteBroker {
     }
 
     /// Sends a request and waits for its Ok/Error response.
-    fn call(&self, request: Request, request_id: u32) -> Result<(), NetError> {
+    fn call(&self, request: Request, request_id: u32) -> Result<(), Error> {
         match self.call_raw(request, request_id)? {
             Response::Ok { .. } => Ok(()),
-            Response::Error { message, .. } => Err(NetError::Remote { message }),
-            other => Err(NetError::Decode(crate::wire::DecodeError {
-                message: format!("unexpected response {other:?}"),
-            })),
+            Response::Error { message, .. } => Err(Error::Remote { message }),
+            other => Err(Error::Decode { detail: format!("unexpected response {other:?}") }),
         }
     }
 
-    fn call_raw(&self, request: Request, request_id: u32) -> Result<Response, NetError> {
+    fn call_raw(&self, request: Request, request_id: u32) -> Result<Response, Error> {
         if self.shared.closed.load(Ordering::Relaxed) {
-            return Err(NetError::Closed);
+            return Err(Error::Closed);
         }
         let (tx, rx) = bounded(1);
         self.shared.pending.lock().insert(request_id, tx);
 
         let frame = encode_request(&request);
+        self.metrics.counter("net.requests").inc();
+        let sent_at = Instant::now();
         {
             let mut stream = self.shared.stream.lock();
             if let Err(e) = stream.write_all(&frame) {
                 self.shared.pending.lock().remove(&request_id);
-                return Err(NetError::Io(e));
+                return Err(Error::Io(e));
             }
         }
         match rx.recv_timeout(REQUEST_TIMEOUT) {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => {
+                self.rtt.record_duration(sent_at.elapsed());
+                Ok(resp)
+            }
             Err(_) => {
                 self.shared.pending.lock().remove(&request_id);
                 if self.shared.closed.load(Ordering::Relaxed) {
-                    Err(NetError::Closed)
+                    Err(Error::Closed)
                 } else {
-                    Err(NetError::Timeout)
+                    Err(Error::Timeout)
                 }
             }
         }
@@ -335,10 +356,10 @@ impl RemoteSubscriber {
     ///
     /// # Errors
     ///
-    /// [`NetError::Closed`] once the connection is gone and the local
+    /// [`Error::Closed`] once the connection is gone and the local
     /// buffer is drained.
-    pub fn receive(&self) -> Result<Message, NetError> {
-        self.deliveries.recv().map_err(|_| NetError::Closed)
+    pub fn receive(&self) -> Result<Message, Error> {
+        self.deliveries.recv().map_err(|_| Error::Closed)
     }
 
     /// Receive with a timeout; `None` on timeout or closed connection.

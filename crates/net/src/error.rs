@@ -1,57 +1,28 @@
 //! Error types for the network layer.
+//!
+//! Since 0.2.0 the network layer surfaces failures through the unified
+//! workspace [`enum@Error`] (re-exported from `rjms_core`): transport
+//! failures map to [`Error::Io`], server-side rejections to
+//! [`Error::Remote`], malformed frames to [`Error::Decode`], and the
+//! client's request timeout / torn connection to [`Error::Timeout`] /
+//! [`Error::Closed`]. The old per-crate `NetError` enum survives as a
+//! deprecated alias so existing `-> Result<_, NetError>` signatures keep
+//! compiling for one release.
 
 use crate::wire::DecodeError;
-use std::fmt;
 
-/// Errors surfaced by the remote client.
-#[derive(Debug)]
-pub enum NetError {
-    /// Transport failure.
-    Io(std::io::Error),
-    /// The server answered with an error response.
-    Remote {
-        /// The server's message.
-        message: String,
-    },
-    /// A frame failed to decode.
-    Decode(DecodeError),
-    /// No response arrived within the client's timeout.
-    Timeout,
-    /// The connection is closed.
-    Closed,
-}
+pub use rjms_core::Error;
 
-impl fmt::Display for NetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Io(e) => write!(f, "transport error: {e}"),
-            Self::Remote { message } => write!(f, "server error: {message}"),
-            Self::Decode(e) => write!(f, "{e}"),
-            Self::Timeout => f.write_str("timed out waiting for the server"),
-            Self::Closed => f.write_str("connection closed"),
-        }
-    }
-}
+/// Deprecated alias for the unified workspace error.
+#[deprecated(
+    since = "0.2.0",
+    note = "net errors are unified into `rjms_net::Error` (re-exported from `rjms_core`)"
+)]
+pub type NetError = Error;
 
-impl std::error::Error for NetError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Self::Io(e) => Some(e),
-            Self::Decode(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<std::io::Error> for NetError {
-    fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
-    }
-}
-
-impl From<DecodeError> for NetError {
+impl From<DecodeError> for Error {
     fn from(e: DecodeError) -> Self {
-        Self::Decode(e)
+        Error::Decode { detail: e.message }
     }
 }
 
@@ -61,8 +32,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(NetError::Timeout.to_string().contains("timed out"));
-        assert!(NetError::Closed.to_string().contains("closed"));
-        assert!(NetError::Remote { message: "boom".into() }.to_string().contains("boom"));
+        assert!(Error::Timeout.to_string().contains("timed out"));
+        assert!(Error::Closed.to_string().contains("closed"));
+        assert!(Error::Remote { message: "boom".into() }.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn decode_errors_convert() {
+        let e = Error::from(DecodeError { message: "truncated u32".into() });
+        assert!(matches!(e, Error::Decode { ref detail } if detail == "truncated u32"));
+        assert_eq!(e.to_string(), "decode error: truncated u32");
     }
 }

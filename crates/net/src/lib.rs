@@ -12,6 +12,12 @@
 //! * [`client`] — [`client::RemoteBroker`] / [`client::RemoteSubscriber`],
 //!   the remote counterpart of the in-process API.
 //!
+//! Failures surface through the unified workspace [`enum@Error`]; the wire
+//! layer records round-trip latency (`net.rtt_ns`, client side) and
+//! per-connection outbound queue depths (`net.conn.<id>.queue_depth`,
+//! server side) into `rjms-metrics` registries — see
+//! [`client::RemoteBroker::metrics`] and [`server::BrokerServer::metrics`].
+//!
 //! ## Example
 //!
 //! ```
@@ -44,6 +50,8 @@ pub mod server;
 pub mod wire;
 
 pub use client::{RemoteBroker, RemoteSubscriber};
+pub use error::Error;
+#[allow(deprecated)]
 pub use error::NetError;
 pub use server::BrokerServer;
 pub use wire::{Request, Response, WireFilter, WireMessage};

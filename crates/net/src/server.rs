@@ -5,16 +5,24 @@
 //! thread per remote subscription — the same thread-per-component structure
 //! as the 2006 testbed clients ("each publisher or subscriber is realized
 //! as a single Java thread").
+//!
+//! The server keeps its own [`MetricsRegistry`] (see
+//! [`BrokerServer::metrics`]): gauge `net.connections.active` counts live
+//! connections and gauge `net.conn.<id>.queue_depth` tracks each
+//! connection's outbound response backlog — the wire-side analogue of the
+//! broker's publish queue, so a saturated subscriber link shows up as a
+//! growing depth instead of silently inflating delivery latency.
 
 use crate::wire::{
     decode_request, encode_response, read_frame, Request, Response, WireFilter, WireMessage,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rjms_broker::{Broker, BrokerConfig, Filter, Publisher, TopicPattern};
+use rjms_metrics::{Gauge, MetricsRegistry};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,6 +47,7 @@ pub struct BrokerServer {
     /// Clones of accepted streams, so shutdown can tear live connections
     /// down (a closed stream ends the connection's reader loop).
     connections: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
+    metrics: MetricsRegistry,
 }
 
 impl std::fmt::Debug for BrokerServer {
@@ -62,14 +71,17 @@ impl BrokerServer {
         let local_addr = listener.local_addr()?;
         let broker = Arc::new(Broker::start(config));
         let stopping = Arc::new(AtomicBool::new(false));
+        let metrics = MetricsRegistry::new();
 
         let connections = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let accept_broker = Arc::clone(&broker);
         let accept_stopping = Arc::clone(&stopping);
         let accept_connections = Arc::clone(&connections);
+        let accept_metrics = metrics.clone();
         let accept_thread = std::thread::Builder::new()
             .name("rjms-net-accept".to_owned())
             .spawn(move || {
+                let next_connection_id = AtomicU64::new(1);
                 for stream in listener.incoming() {
                     if accept_stopping.load(Ordering::Relaxed) {
                         break;
@@ -81,9 +93,19 @@ impl BrokerServer {
                             }
                             let broker = Arc::clone(&accept_broker);
                             let stopping = Arc::clone(&accept_stopping);
+                            let metrics = accept_metrics.clone();
+                            let connection_id = next_connection_id.fetch_add(1, Ordering::Relaxed);
                             let _ = std::thread::Builder::new()
                                 .name("rjms-net-conn".to_owned())
-                                .spawn(move || handle_connection(broker, stopping, stream));
+                                .spawn(move || {
+                                    handle_connection(
+                                        broker,
+                                        stopping,
+                                        stream,
+                                        metrics,
+                                        connection_id,
+                                    )
+                                });
                         }
                         Err(_) => break,
                     }
@@ -97,6 +119,7 @@ impl BrokerServer {
             stopping,
             accept_thread: Some(accept_thread),
             connections,
+            metrics,
         })
     }
 
@@ -109,6 +132,15 @@ impl BrokerServer {
     /// reading stats) alongside remote clients.
     pub fn broker(&self) -> &Broker {
         &self.broker
+    }
+
+    /// The server's wire-level instrument registry: gauge
+    /// `net.connections.active`, and per-connection outbound queue depths
+    /// under `net.conn.<id>.queue_depth` (reset to 0 when the connection
+    /// closes). Broker-side instruments live in
+    /// [`Broker::metrics`](rjms_broker::Broker::metrics) instead.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.clone()
     }
 
     /// Stops accepting connections and shuts the broker down. Established
@@ -160,7 +192,13 @@ struct Connection {
     closed: Arc<AtomicBool>,
 }
 
-fn handle_connection(broker: Arc<Broker>, stopping: Arc<AtomicBool>, stream: TcpStream) {
+fn handle_connection(
+    broker: Arc<Broker>,
+    stopping: Arc<AtomicBool>,
+    stream: TcpStream,
+    metrics: MetricsRegistry,
+    connection_id: u64,
+) {
     if stopping.load(Ordering::Relaxed) {
         return;
     }
@@ -168,11 +206,16 @@ fn handle_connection(broker: Arc<Broker>, stopping: Arc<AtomicBool>, stream: Tcp
     let (out_tx, out_rx) = unbounded::<Response>();
     let closed = Arc::new(AtomicBool::new(false));
 
+    let active = metrics.gauge("net.connections.active");
+    active.add(1);
+    let depth = metrics.gauge(&format!("net.conn.{connection_id}.queue_depth"));
+
     // Writer thread: serializes every outgoing response.
     let writer_closed = Arc::clone(&closed);
+    let writer_depth = Arc::clone(&depth);
     let writer = std::thread::Builder::new()
         .name("rjms-net-writer".to_owned())
-        .spawn(move || writer_loop(write_stream, out_rx, writer_closed))
+        .spawn(move || writer_loop(write_stream, out_rx, writer_closed, writer_depth))
         .expect("failed to spawn writer thread");
 
     let mut conn = Connection {
@@ -191,10 +234,20 @@ fn handle_connection(broker: Arc<Broker>, stopping: Arc<AtomicBool>, stream: Tcp
     }
     drop(conn); // drops the out sender; writer exits once forwarders do
     let _ = writer.join();
+    depth.set(0);
+    active.add(-1);
 }
 
-fn writer_loop(mut stream: TcpStream, out_rx: Receiver<Response>, closed: Arc<AtomicBool>) {
+fn writer_loop(
+    mut stream: TcpStream,
+    out_rx: Receiver<Response>,
+    closed: Arc<AtomicBool>,
+    depth: Arc<Gauge>,
+) {
     while let Ok(resp) = out_rx.recv() {
+        // Responses still queued behind the one just pulled: the
+        // connection's outbound backlog.
+        depth.set(out_rx.len() as i64);
         let frame = encode_response(&resp);
         if stream.write_all(&frame).is_err() {
             closed.store(true, Ordering::Relaxed);
@@ -292,20 +345,19 @@ fn subscribe(
         return Err(format!("subscription id {subscription_id} already in use"));
     }
     let filter = build_filter(filter)?;
-    let subscriber = match target {
-        SubscribeTarget::Topic(topic) => {
-            conn.broker.subscribe(&topic, filter).map_err(|e| e.to_string())?
-        }
+    let builder = match target {
+        SubscribeTarget::Topic(topic) => conn.broker.subscription(&topic),
         SubscribeTarget::Pattern(pattern) => {
-            let pattern: TopicPattern = pattern
+            // Validate eagerly so a malformed pattern reports its parse
+            // error instead of falling through as an unknown literal topic.
+            let _: TopicPattern = pattern
                 .parse()
                 .map_err(|e: rjms_broker::pattern::ParseTopicPatternError| e.to_string())?;
-            conn.broker.subscribe_pattern(&pattern, filter).map_err(|e| e.to_string())?
+            conn.broker.subscription(&pattern)
         }
-        SubscribeTarget::Durable { topic, name } => {
-            conn.broker.subscribe_durable(&topic, &name, filter).map_err(|e| e.to_string())?
-        }
+        SubscribeTarget::Durable { topic, name } => conn.broker.subscription(&topic).durable(&name),
     };
+    let subscriber = builder.filter(filter).open().map_err(|e| e.to_string())?;
 
     let cancel = Arc::new(AtomicBool::new(false));
     conn.subscriptions.insert(subscription_id, Arc::clone(&cancel));

@@ -2,7 +2,7 @@
 
 use rjms_broker::{BrokerConfig, Message};
 use rjms_net::client::RemoteBroker;
-use rjms_net::error::NetError;
+use rjms_net::error::Error;
 use rjms_net::server::BrokerServer;
 use rjms_net::wire::WireFilter;
 use std::time::Duration;
@@ -40,8 +40,9 @@ fn selector_filtering_happens_server_side() {
     assert_eq!(m.property("color"), Some(&"red".into()));
     assert!(reds.receive_timeout(Duration::from_millis(100)).is_none());
     // The server-side broker saw both messages but dispatched one copy.
-    assert_eq!(server.broker().stats().received(), 2);
-    assert_eq!(server.broker().stats().dispatched(), 1);
+    let messages = server.broker().snapshot().messages;
+    assert_eq!(messages.received, 2);
+    assert_eq!(messages.dispatched, 1);
     server.shutdown();
 }
 
@@ -78,23 +79,23 @@ fn errors_propagate_to_the_client() {
 
     // Duplicate topic.
     match client.create_topic("t") {
-        Err(NetError::Remote { message }) => assert!(message.contains("already exists")),
+        Err(Error::Remote { message }) => assert!(message.contains("already exists")),
         other => panic!("expected remote error, got {other:?}"),
     }
     // Unknown topic.
     assert!(matches!(
         client.publish("nope", &Message::builder().build()),
-        Err(NetError::Remote { .. })
+        Err(Error::Remote { .. })
     ));
     // Invalid selector.
     assert!(matches!(
         client.subscribe("t", WireFilter::Selector("((broken".into())),
-        Err(NetError::Remote { .. })
+        Err(Error::Remote { .. })
     ));
     // Invalid pattern.
     assert!(matches!(
         client.subscribe_pattern("a..b", WireFilter::None),
-        Err(NetError::Remote { .. })
+        Err(Error::Remote { .. })
     ));
     // The connection survives all of these.
     client.ping().unwrap();
@@ -215,7 +216,7 @@ fn durable_subscription_over_tcp() {
         // A second consumer under the same name is rejected.
         assert!(matches!(
             client.subscribe_durable("jobs", "worker-1", WireFilter::None),
-            Err(NetError::Remote { .. })
+            Err(Error::Remote { .. })
         ));
     }
     // The drop above only detached locally; the server-side forwarder
@@ -258,11 +259,41 @@ fn durable_subscription_over_tcp() {
                 removed = true;
                 break;
             }
-            Err(NetError::Remote { .. }) => std::thread::sleep(Duration::from_millis(20)),
+            Err(Error::Remote { .. }) => std::thread::sleep(Duration::from_millis(20)),
             Err(other) => panic!("unexpected error {other:?}"),
         }
     }
     assert!(removed, "durable subscription was never released");
     assert!(server.broker().durable_names("jobs").is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn wire_metrics_record_rtt_and_connections() {
+    let server = server();
+    let client = RemoteBroker::connect(server.local_addr()).unwrap();
+    client.create_topic("t").unwrap();
+    for _ in 0..8 {
+        client.ping().unwrap();
+    }
+    let snap = client.metrics().snapshot();
+    let rtt = snap.histogram("net.rtt_ns").expect("round-trips recorded");
+    assert_eq!(rtt.count, 9); // create_topic + 8 pings
+    assert!(rtt.min > 0);
+    assert_eq!(snap.counters["net.requests"], 9);
+
+    let server_snap = server.metrics().snapshot();
+    assert_eq!(server_snap.gauges["net.connections.active"], 1);
+    assert!(server_snap.gauges.keys().any(|k| k.ends_with(".queue_depth")));
+
+    // Connection teardown returns the gauge to zero.
+    drop(client);
+    for _ in 0..200 {
+        if server.metrics().snapshot().gauges["net.connections.active"] == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.metrics().snapshot().gauges["net.connections.active"], 0);
     server.shutdown();
 }

@@ -27,12 +27,20 @@ fn measure(n_fltr: u32, replication: u32, window: Duration) -> (f64, f64) {
     // `replication` matching subscribers + (n_fltr - replication) others.
     let mut subscribers = Vec::new();
     for _ in 0..replication {
-        subscribers.push(broker.subscribe("bench", Filter::correlation_id("#0").unwrap()).unwrap());
+        subscribers.push(
+            broker
+                .subscription("bench")
+                .filter(Filter::correlation_id("#0").unwrap())
+                .open()
+                .unwrap(),
+        );
     }
     for i in replication..n_fltr {
         subscribers.push(
             broker
-                .subscribe("bench", Filter::correlation_id(&format!("#{}", i + 1)).unwrap())
+                .subscription("bench")
+                .filter(Filter::correlation_id(&format!("#{}", i + 1)).unwrap())
+                .open()
                 .unwrap(),
         );
     }
@@ -67,10 +75,9 @@ fn measure(n_fltr: u32, replication: u32, window: Duration) -> (f64, f64) {
 
     // Warm up, then measure a trimmed window.
     std::thread::sleep(Duration::from_millis(300));
-    let stats = broker.stats();
-    let probe = ThroughputProbe::start(&stats);
+    let probe = ThroughputProbe::begin(&broker);
     std::thread::sleep(window);
-    let throughput = probe.finish(&stats);
+    let throughput = probe.end(&broker);
 
     stop.store(true, Ordering::Relaxed);
     for h in publishers {

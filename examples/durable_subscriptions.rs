@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example durable_subscriptions`
 
-use rjms::broker::{Broker, BrokerConfig, Filter, Message, TopicPattern};
+use rjms::broker::{Broker, BrokerConfig, Filter, Message};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -13,16 +13,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A wildcard subscriber sees the whole `billing.` hierarchy — including
     // topics created later.
-    let pattern: TopicPattern = "billing.>".parse()?;
-    let auditor = broker.subscribe_pattern(&pattern, Filter::None)?;
+    let auditor = broker.subscription("billing.>").open()?;
 
     // A durable subscriber survives disconnects: while offline, matching
     // messages are retained by the broker (the paper's "durable mode").
-    let worker = broker.subscribe_durable(
-        "billing.invoices",
-        "invoice-processor",
-        Filter::selector("amount > 0")?,
-    )?;
+    let worker = broker
+        .subscription("billing.invoices")
+        .durable("invoice-processor")
+        .filter(Filter::selector("amount > 0")?)
+        .open()?;
     println!("durable consumer connected as {:?}", worker.durable_name().unwrap());
 
     let invoices = broker.publisher("billing.invoices")?;
@@ -41,11 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ... and reconnects: the backlog is delivered first, in order.
-    let worker = broker.subscribe_durable(
-        "billing.invoices",
-        "invoice-processor",
-        Filter::selector("amount > 0")?,
-    )?;
+    let worker = broker
+        .subscription("billing.invoices")
+        .durable("invoice-processor")
+        .filter(Filter::selector("amount > 0")?)
+        .open()?;
     while let Some(m) = worker.receive_timeout(Duration::from_millis(200)) {
         println!("worker caught up on invoice of {:?}", m.property("amount").unwrap());
     }

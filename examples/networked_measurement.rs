@@ -71,10 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Warmup, then a trimmed measurement window (paper methodology).
     std::thread::sleep(Duration::from_millis(500));
-    let stats = server.broker().stats();
-    let probe = ThroughputProbe::start(&stats);
+    let probe = ThroughputProbe::begin(server.broker());
     std::thread::sleep(Duration::from_secs(3));
-    let throughput = probe.finish(&stats);
+    let throughput = probe.end(server.broker());
 
     stop.store(true, Ordering::Relaxed);
     for h in publishers.into_iter().chain(drains) {

@@ -10,7 +10,7 @@
 //! cargo run --example persistent_broker
 //! ```
 
-use rjms::broker::{Broker, BrokerConfig, Filter, FsyncPolicy, Message, PersistenceConfig};
+use rjms::broker::{Broker, BrokerConfig, FsyncPolicy, Message, PersistenceConfig};
 use std::time::Duration;
 
 const MESSAGES: u64 = 5;
@@ -28,7 +28,7 @@ fn crash_phase(dir: &std::path::Path) -> ! {
     let broker = Broker::start(config(dir));
     broker.create_topic("orders").expect("create topic");
     // Register the durable name, then disconnect: messages are retained.
-    drop(broker.subscribe_durable("orders", "audit", Filter::None).expect("register durable"));
+    drop(broker.subscription("orders").durable("audit").open().expect("register durable"));
 
     let publisher = broker.publisher("orders").expect("publisher");
     for seq in 0..MESSAGES as i64 {
@@ -37,8 +37,7 @@ fn crash_phase(dir: &std::path::Path) -> ! {
             .expect("publish");
     }
     // Wait until the dispatcher has journaled the batch...
-    let stats = broker.stats();
-    while stats.received() < MESSAGES {
+    while broker.snapshot().messages.received < MESSAGES {
         std::thread::sleep(Duration::from_millis(2));
     }
     println!("[child] published {MESSAGES} messages, crashing without shutdown");
@@ -63,13 +62,13 @@ fn main() {
     // Restart on the same journal directory: replay rebuilds the topic, the
     // durable registration and its retained backlog.
     let broker = Broker::start(config(&dir));
-    let journal = broker.journal_stats().expect("persistence enabled");
+    let journal = broker.snapshot().journal.expect("persistence enabled");
     println!(
         "[parent] recovery replayed {} frames ({} torn bytes truncated)",
         journal.frames_recovered, journal.torn_bytes_truncated
     );
 
-    let sub = broker.subscribe_durable("orders", "audit", Filter::None).expect("reconnect");
+    let sub = broker.subscription("orders").durable("audit").open().expect("reconnect");
     for seq in 0..MESSAGES as i64 {
         let m = sub.receive_timeout(Duration::from_secs(2)).expect("re-delivered message");
         assert_eq!(m.property("seq"), Some(&seq.into()));

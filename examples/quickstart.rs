@@ -13,12 +13,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Subscribe with different filters.
     //    A full JMS selector (application-property filtering):
-    let cheap_acme =
-        broker.subscribe("stocks", Filter::selector("symbol = 'ACME' AND price < 50.0")?)?;
+    let cheap_acme = broker
+        .subscription("stocks")
+        .filter(Filter::selector("symbol = 'ACME' AND price < 50.0")?)
+        .open()?;
     //    A correlation-ID range filter (the paper's cheap filter type):
-    let region_7_to_13 = broker.subscribe("stocks", Filter::correlation_id("[7;13]")?)?;
+    let region_7_to_13 =
+        broker.subscription("stocks").filter(Filter::correlation_id("[7;13]")?).open()?;
     //    No filter: receives everything in the topic.
-    let firehose = broker.subscribe("stocks", Filter::None)?;
+    let firehose = broker.subscription("stocks").open()?;
 
     // 3. Publish a few messages.
     let publisher = broker.publisher("stocks")?;
@@ -57,12 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("firehose subscriber got {} messages", both.len());
 
     // 5. Broker statistics: 2 received, 4 copies dispatched.
-    let stats = broker.stats();
+    let snapshot = broker.snapshot();
     println!(
         "broker stats: received={} dispatched={} filter_evaluations={}",
-        stats.received(),
-        stats.dispatched(),
-        stats.filter_evaluations()
+        snapshot.messages.received,
+        snapshot.messages.dispatched,
+        snapshot.messages.filter_evaluations
     );
 
     broker.shutdown();

@@ -52,12 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("unfiltered subscriber got {count} ticks");
 
     // Broker-side statistics, exactly as in the embedded case.
-    let stats = server.broker().stats();
+    let messages = server.broker().snapshot().messages;
     println!(
         "server stats: received={} dispatched={} filter_evaluations={}",
-        stats.received(),
-        stats.dispatched(),
-        stats.filter_evaluations()
+        messages.received, messages.dispatched, messages.filter_evaluations
     );
 
     server.shutdown();

@@ -2,25 +2,49 @@
 //!
 //! ```text
 //! rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]
+//!             [--metrics-interval SECS] [--cost-model corr|app]
 //! ```
 //!
 //! Topics can be pre-created with `--topic` (repeatable) or created later
 //! by clients. With `--stats-every N` the server prints a throughput line
-//! every N seconds, in the spirit of the paper's measurement logs.
+//! every N seconds, in the spirit of the paper's measurement logs. With
+//! `--metrics-interval N` the broker's live observability layer is enabled
+//! (waiting/service/sojourn histograms, sampled Eq. 1 stage decomposition)
+//! and a full instrument report — broker and wire-level registries — is
+//! printed every N seconds.
+//!
+//! With `--cost-model corr|app` the broker burns the paper's Table I
+//! per-message CPU costs (correlation-ID or application-property
+//! constants), and — when `--metrics-interval` is also set — each report
+//! ends with a `ModelMonitor` drift verdict: the measured waiting/service
+//! distributions are checked against the Eq. 1 + M/GI/1 prediction at the
+//! measured arrival rate, filter count, and replication grade. The paper's
+//! Figs. 10–12 as a runtime check.
 
-use rjms::broker::{BrokerConfig, ThroughputProbe};
+use rjms::broker::{BrokerConfig, CostModel, MetricsConfig, ThroughputProbe};
+use rjms::model::model::ServerModel;
+use rjms::model::monitor::{ModelMonitor, ModelVerdict};
+use rjms::model::params::CostParams;
 use rjms::net::server::BrokerServer;
-use std::time::Duration;
+use rjms::queueing::replication::ReplicationModel;
+use std::time::{Duration, Instant};
 
 struct Args {
     listen: String,
     topics: Vec<String>,
     stats_every: Option<u64>,
+    metrics_interval: Option<u64>,
+    cost_model: Option<(CostModel, CostParams)>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { listen: "127.0.0.1:7670".to_owned(), topics: Vec::new(), stats_every: None };
+    let mut args = Args {
+        listen: "127.0.0.1:7670".to_owned(),
+        topics: Vec::new(),
+        stats_every: None,
+        metrics_interval: None,
+        cost_model: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -35,9 +59,23 @@ fn parse_args() -> Result<Args, String> {
                 args.stats_every =
                     Some(v.parse().map_err(|e| format!("bad --stats-every value: {e}"))?);
             }
+            "--metrics-interval" => {
+                let v = it.next().ok_or("--metrics-interval needs a number of seconds")?;
+                args.metrics_interval =
+                    Some(v.parse().map_err(|e| format!("bad --metrics-interval value: {e}"))?);
+            }
+            "--cost-model" => {
+                let v = it.next().ok_or("--cost-model needs `corr` or `app`")?;
+                args.cost_model = Some(match v.as_str() {
+                    "corr" => (CostModel::CORRELATION_ID, CostParams::CORRELATION_ID),
+                    "app" => (CostModel::APPLICATION_PROPERTY, CostParams::APPLICATION_PROPERTY),
+                    other => return Err(format!("bad --cost-model `{other}` (corr|app)")),
+                });
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]"
+                    "usage: rjms-server [--listen ADDR] [--topic NAME]... \
+                     [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app]"
                 );
                 std::process::exit(0);
             }
@@ -56,7 +94,14 @@ fn main() {
         }
     };
 
-    let server = match BrokerServer::start(BrokerConfig::default(), args.listen.as_str()) {
+    let mut config = BrokerConfig::default();
+    if args.metrics_interval.is_some() {
+        config = config.metrics(MetricsConfig::default());
+    }
+    if let Some((cost, _)) = args.cost_model {
+        config = config.cost_model(cost);
+    }
+    let server = match BrokerServer::start(config, args.listen.as_str()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot listen on {}: {e}", args.listen);
@@ -74,15 +119,64 @@ fn main() {
         println!("topics: {}", args.topics.join(", "));
     }
 
+    // Metrics exporter: dumps every instrument (broker-side dispatch
+    // histograms + wire-side gauges) as an aligned text report.
+    if let Some(secs) = args.metrics_interval {
+        let broker_metrics = server.broker().metrics().expect("metrics enabled above");
+        let wire_metrics = server.metrics();
+        let observer = server.broker().observer();
+        let params = args.cost_model.map(|(_, p)| p);
+        let started = Instant::now();
+        std::thread::Builder::new()
+            .name("rjms-metrics-export".to_owned())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_secs(secs));
+                println!("--- metrics ---");
+                let snap = broker_metrics.snapshot();
+                print!("{}", snap.render_text());
+                print!("{}", wire_metrics.snapshot().render_text());
+                // Drift check: Eq. 1 + M/GI/1 at the *measured* operating
+                // point (arrival rate, filters per message, replication
+                // grade) vs the measured distributions.
+                let Some(params) = params else { continue };
+                let counters = observer.snapshot().messages;
+                if counters.received == 0 {
+                    continue;
+                }
+                let n_fltr = (counters.filter_evaluations / counters.received).min(u32::MAX as u64);
+                let grade = counters.dispatched as f64 / counters.received as f64;
+                let monitor = ModelMonitor::new(
+                    ServerModel::new(params, n_fltr as u32),
+                    ReplicationModel::deterministic(grade),
+                );
+                let (Some(waiting), Some(service)) =
+                    (snap.histogram("broker.waiting_ns"), snap.histogram("broker.service_ns"))
+                else {
+                    continue;
+                };
+                match monitor.assess(waiting, service, started.elapsed()) {
+                    ModelVerdict::Calibrated(report) => {
+                        println!("model check: CALIBRATED (all within tolerance)");
+                        print!("{}", report.render_text());
+                    }
+                    ModelVerdict::Drift(report) => {
+                        println!("model check: DRIFT");
+                        print!("{}", report.render_text());
+                    }
+                    verdict => println!("model check: {verdict:?}"),
+                }
+            })
+            .expect("failed to spawn metrics exporter");
+    }
+
     match args.stats_every {
         None => loop {
             std::thread::sleep(Duration::from_secs(3600));
         },
         Some(secs) => loop {
-            let stats = server.broker().stats();
-            let probe = ThroughputProbe::start(&stats);
+            let probe = ThroughputProbe::begin(server.broker());
             std::thread::sleep(Duration::from_secs(secs));
-            let t = probe.finish(&stats);
+            let t = probe.end(server.broker());
             println!(
                 "received {:.1}/s  dispatched {:.1}/s  overall {:.1}/s  (R = {:.2})",
                 t.received_per_sec,

@@ -16,10 +16,16 @@ fn mixed_filter_types_route_correctly() {
     broker.create_topic("events").unwrap();
 
     let by_selector = broker
-        .subscribe("events", Filter::selector("kind = 'alert' AND level >= 3").unwrap())
+        .subscription("events")
+        .filter(Filter::selector("kind = 'alert' AND level >= 3").unwrap())
+        .open()
         .unwrap();
-    let by_corr = broker.subscribe("events", Filter::correlation_id("[100;199]").unwrap()).unwrap();
-    let all = broker.subscribe("events", Filter::None).unwrap();
+    let by_corr = broker
+        .subscription("events")
+        .filter(Filter::correlation_id("[100;199]").unwrap())
+        .open()
+        .unwrap();
+    let all = broker.subscription("events").open().unwrap();
 
     let publisher = broker.publisher("events").unwrap();
     // Matches selector only.
@@ -60,7 +66,7 @@ fn mixed_filter_types_route_correctly() {
 fn no_loss_no_duplication_under_load() {
     let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(1 << 15));
     broker.create_topic("t").unwrap();
-    let sub = broker.subscribe("t", Filter::None).unwrap();
+    let sub = broker.subscription("t").open().unwrap();
 
     let publishers: Vec<_> = (0..4)
         .map(|p| {
@@ -97,8 +103,9 @@ fn no_loss_no_duplication_under_load() {
         assert!(seen.insert((p, s)), "duplicate delivery of ({p}, {s})");
     }
     assert!(sub.receive_timeout(Duration::from_millis(100)).is_none(), "extra message");
-    assert_eq!(broker.stats().received(), 2000);
-    assert_eq!(broker.stats().dispatched(), 2000);
+    let messages = broker.snapshot().messages;
+    assert_eq!(messages.received, 2000);
+    assert_eq!(messages.dispatched, 2000);
     broker.shutdown();
 }
 
@@ -121,7 +128,11 @@ fn saturated_broker_follows_linear_cost_model() {
         let mut workers = Vec::new();
         for i in 0..n_fltr {
             let pattern = if i < replication { "#0".to_owned() } else { format!("#{}", i + 1) };
-            let sub = broker.subscribe("bench", Filter::correlation_id(&pattern).unwrap()).unwrap();
+            let sub = broker
+                .subscription("bench")
+                .filter(Filter::correlation_id(&pattern).unwrap())
+                .open()
+                .unwrap();
             let stop = Arc::clone(&stop);
             workers.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
@@ -141,10 +152,9 @@ fn saturated_broker_follows_linear_cost_model() {
             }));
         }
         std::thread::sleep(Duration::from_millis(200));
-        let stats = broker.stats();
-        let probe = ThroughputProbe::start(&stats);
+        let probe = ThroughputProbe::begin(&broker);
         std::thread::sleep(Duration::from_millis(800));
-        let throughput = probe.finish(&stats);
+        let throughput = probe.end(&broker);
         stop.store(true, Ordering::Relaxed);
         for w in workers {
             let _ = w.join();
