@@ -1,0 +1,184 @@
+//! `ext_trace_overhead` — cost of the tail-sampled flight recorder.
+//!
+//! Tracing arms the per-stage stopwatches for *every* message (the tail
+//! decision is post-hoc, so durations must exist before the verdict) and
+//! adds a threshold comparison, an occasional quantile refresh, and — for
+//! kept messages — four ring writes. All of that rides the dispatcher hot
+//! path, so it is a `t_*` term of its own in the paper's service-time
+//! model, and this experiment gates it the same way `ext_observer_overhead`
+//! gates the metrics layer. Two workloads:
+//!
+//! * **calibrated** — 64 correlation-ID filters with the paper's Table I
+//!   cost constants (scaled 1/32), the operating regime the model
+//!   describes. This is the **regression gate**: tracing-on throughput
+//!   must stay within 5% of the metrics-only baseline.
+//! * **null-work** — no cost model, so a message costs only the dispatch
+//!   machinery (~2 µs) and the recorder's fixed per-message cost (three
+//!   extra clock reads plus the tail bookkeeping) is maximally visible.
+//!   Reported for transparency, not gated.
+//!
+//! Both variants run with the metrics layer enabled — tracing requires the
+//! sojourn histogram — so the measured difference isolates the *recorder*,
+//! not the instruments underneath it.
+//!
+//! Methodology (same as `ext_observer_overhead`): fixed-count runs timed
+//! until the broker received all messages, alternating variant order
+//! between repetitions, median of the paired relative differences. The
+//! default tail quantile (0.99) and uniform baseline (1/128) are used, so
+//! the kept fraction matches production defaults.
+//!
+//! The process exits non-zero if the calibrated-workload overhead exceeds
+//! the acceptance budget (5%), which lets CI run it as a regression gate:
+//!
+//! ```text
+//! cargo run --release -p rjms-bench --bin ext_trace_overhead -- --smoke
+//! ```
+
+use rjms_bench::{experiment_header, Table};
+use rjms_broker::{
+    Broker, BrokerConfig, CostModel, Filter, Message, MetricsConfig, OverflowPolicy, TraceConfig,
+};
+use std::time::{Duration, Instant};
+
+/// Acceptance budget on the calibrated workload: tracing-enabled dispatch
+/// must stay within this fraction of the metrics-only baseline.
+const MAX_OVERHEAD: f64 = 0.05;
+
+/// Filters installed on the bench topic (one of them matches).
+const N_FILTERS: u32 = 64;
+
+/// Table I correlation-ID constants divided by this factor for the
+/// calibrated workload (see `ext_observer_overhead`).
+const COST_SCALE: f64 = 32.0;
+
+/// One fixed-count run; returns received msgs/s. `trace` toggles the
+/// flight recorder on top of an always-on metrics layer.
+fn measure(trace: bool, cost: Option<CostModel>, n: u64) -> f64 {
+    let mut config = BrokerConfig::default()
+        .publish_queue_capacity(256)
+        .subscriber_queue_capacity(1 << 18)
+        .overflow_policy(OverflowPolicy::DropNew)
+        .metrics(MetricsConfig::default());
+    if trace {
+        config = config.trace(TraceConfig::default());
+    }
+    if let Some(c) = cost {
+        config = config.cost_model(c);
+    }
+    let broker = Broker::start(config);
+    broker.create_topic("bench").unwrap();
+
+    let _subscribers: Vec<_> = (0..N_FILTERS)
+        .map(|i| {
+            broker
+                .subscription("bench")
+                .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                .open()
+                .unwrap()
+        })
+        .collect();
+
+    let publisher = broker.publisher("bench").unwrap();
+    let warmup = n / 10;
+    for _ in 0..warmup {
+        publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+    }
+    while broker.snapshot().messages.received < warmup {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..n {
+        publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+    }
+    while broker.snapshot().messages.received < warmup + n {
+        std::thread::yield_now();
+    }
+    let elapsed = t0.elapsed();
+    broker.shutdown();
+    n as f64 / elapsed.as_secs_f64()
+}
+
+/// Paired off/on measurements for one workload; returns the median of the
+/// per-repetition relative differences (positive = tracing cost).
+fn run_workload(
+    name: &str,
+    cost: Option<CostModel>,
+    n: u64,
+    reps: usize,
+    table: &mut Table,
+) -> f64 {
+    let mut diffs = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        // Alternate order so slow drift (thermal, background load) cancels.
+        let (off, on) = if rep % 2 == 0 {
+            let off = measure(false, cost, n);
+            let on = measure(true, cost, n);
+            (off, on)
+        } else {
+            let on = measure(true, cost, n);
+            let off = measure(false, cost, n);
+            (off, on)
+        };
+        let diff = 1.0 - on / off;
+        diffs.push(diff);
+        table.row(&[
+            &name,
+            &(rep + 1),
+            &format!("{off:.0}"),
+            &format!("{on:.0}"),
+            &format!("{:+.2}%", diff * 100.0),
+        ]);
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    diffs[diffs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, n_calibrated, n_null) =
+        if smoke { (3, 12_000, 40_000) } else { (7, 50_000, 100_000) };
+
+    experiment_header(
+        "ext_trace_overhead",
+        "extension (observability)",
+        "dispatch throughput with the flight recorder on vs off; gate at 5%",
+    );
+    if smoke {
+        println!("smoke mode: reduced counts and repetitions, CI regression gate\n");
+    }
+
+    let calibrated = CostModel::new(
+        CostModel::CORRELATION_ID.t_rcv / COST_SCALE,
+        CostModel::CORRELATION_ID.t_fltr / COST_SCALE,
+        CostModel::CORRELATION_ID.t_tx / COST_SCALE,
+    );
+    let per_msg = calibrated.processing_time(N_FILTERS as usize, 1);
+    println!(
+        "calibrated workload: Table I (correlation ID) / {COST_SCALE:.0}, \
+         {N_FILTERS} filters -> E[B] = {:.1} us/msg",
+        per_msg * 1e6
+    );
+    println!("null-work workload:  no cost model, dispatch machinery only");
+    println!("baseline is metrics-on in both: the diff isolates the recorder\n");
+
+    let mut table =
+        Table::new(&["workload", "rep", "trace off (msg/s)", "trace on (msg/s)", "overhead"]);
+    let gated = run_workload("calibrated", Some(calibrated), n_calibrated, reps, &mut table);
+    let null = run_workload("null-work", None, n_null, reps, &mut table);
+    table.print();
+
+    println!();
+    println!(
+        "calibrated overhead (median of paired diffs): {:+.2}%  [GATE: budget {:.0}%]",
+        gated * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!("null-work overhead (median of paired diffs): {:+.2}%  [informational]", null * 100.0);
+
+    if gated > MAX_OVERHEAD {
+        println!("FAIL: flight recorder exceeds the overhead budget on the calibrated workload");
+        std::process::exit(1);
+    }
+    println!("PASS: flight recorder is within the overhead budget on the calibrated workload");
+}

@@ -23,7 +23,7 @@
 //! times land in lock-free histograms (see [`crate::metrics`]), with the
 //! Eq. 1 stage decomposition sampled every Nth message.
 
-use crate::config::{BrokerConfig, OverflowPolicy};
+use crate::config::{BrokerConfig, MetricsConfig, OverflowPolicy};
 use crate::error::{Error, TryPublishError};
 use crate::filter::Filter;
 use crate::message::Message;
@@ -34,7 +34,8 @@ use crate::stats::{BrokerSnapshot, BrokerStats, MessageCounters, SubscriptionCou
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use rjms_journal::{Journal, JournalStats};
-use rjms_metrics::MetricsRegistry;
+use rjms_metrics::{labeled, Counter, MetricsRegistry};
+use rjms_trace::{FlightRecorder, SpanEvent, Stage};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -143,6 +144,10 @@ struct BrokerInner {
     journal: Option<Mutex<Journal>>,
     /// Live instruments, when metrics are enabled.
     metrics: Option<BrokerMetrics>,
+    /// The span-event flight recorder, when tracing is enabled. The
+    /// dispatcher commits broker-stage chains; the net layer appends
+    /// wire-flush events for sampled trace ids.
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 impl BrokerInner {
@@ -234,6 +239,12 @@ impl Broker {
     /// corruption in a sealed segment) — a broker that cannot read its
     /// write-ahead log must not silently start empty.
     pub fn start(config: BrokerConfig) -> Broker {
+        let mut config = config;
+        // Tracing tail-samples against the live sojourn histogram, so it
+        // cannot run without metrics: enable the default set implicitly.
+        if config.trace.is_some() && config.metrics.is_none() {
+            config.metrics = Some(MetricsConfig::default());
+        }
         let stats = Arc::new(BrokerStats::new());
         let mut topics = HashMap::new();
         let journal = config.persistence.as_ref().map(|persistence| {
@@ -252,6 +263,8 @@ impl Broker {
             metrics.registry.register_histogram("journal.fsync_ns", journal.fsync_latency());
         }
 
+        let tracer = config.trace.map(|t| Arc::new(FlightRecorder::new(t.capacity)));
+
         let (publish_tx, publish_rx) = bounded(config.publish_queue_capacity);
         let inner = Arc::new(BrokerInner {
             config,
@@ -262,6 +275,7 @@ impl Broker {
             stopped: AtomicBool::new(false),
             journal,
             metrics,
+            tracer,
         });
         let dispatcher_inner = Arc::clone(&inner);
         let dispatcher = std::thread::Builder::new()
@@ -708,6 +722,13 @@ impl Broker {
         self.inner.metrics.as_ref().map(|m| m.registry.clone())
     }
 
+    /// The broker's span-event flight recorder, when
+    /// [`BrokerConfig::trace`] is set; `None` otherwise. The net layer
+    /// appends wire-flush events to it; exposition layers snapshot it.
+    pub fn tracer(&self) -> Option<Arc<FlightRecorder>> {
+        self.inner.tracer.clone()
+    }
+
     /// The broker's statistics counters.
     #[deprecated(since = "0.2.0", note = "use `Broker::snapshot()`")]
     pub fn stats(&self) -> Arc<BrokerStats> {
@@ -917,6 +938,12 @@ struct PendingCheckpoint {
 }
 
 /// The dispatcher thread: pops publish items and fans out message copies.
+/// The labeled counter pair of one exported topic series.
+struct TopicCounters {
+    received: Arc<Counter>,
+    dispatched: Arc<Counter>,
+}
+
 fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
     let cost = inner.config.cost_model;
     let metrics = inner.metrics.as_ref();
@@ -928,6 +955,27 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
     // Countdown to the next stage-sampled message (cheaper than a modulo
     // on the hot path).
     let mut stage_countdown = metrics.map_or(u64::MAX, |m| m.stage_sample_every);
+    // Tail-sampled tracing state. The keep/discard decision is made after
+    // fan-out, when the sojourn time is known; the threshold refreshes
+    // periodically from the live sojourn histogram and starts at 0 so
+    // every chain is kept until the first refresh has data.
+    let tracer = inner.tracer.as_ref().zip(inner.config.trace);
+    let mut trace_threshold_ns: u64 = 0;
+    let mut trace_refresh_countdown = tracer.map_or(u64::MAX, |(_, t)| t.refresh_every);
+    let mut trace_uniform_countdown =
+        tracer.map_or(
+            u64::MAX,
+            |(_, t)| if t.uniform_every == 0 { u64::MAX } else { t.uniform_every },
+        );
+    let trace_counters = tracer.and_then(|_| {
+        metrics.map(|m| {
+            (m.registry.counter("trace.chains.tail"), m.registry.counter("trace.chains.uniform"))
+        })
+    });
+    // Per-topic labeled counter series, capped at `per_topic_series`
+    // distinct topics; overflow traffic lands in the `__other__` series.
+    let per_topic_cap = inner.config.metrics.map_or(0, |m| m.per_topic_series);
+    let mut topic_counters: HashMap<String, TopicCounters> = HashMap::new();
     // The previous message's fan-out end: when the next message is already
     // queued its dispatch starts right here, so the reading is reused as
     // the next dispatch start instead of a second clock read per message.
@@ -965,13 +1013,42 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
             DispatchTimer::start_at(reuse, sample)
         });
         let sample = timer.as_ref().is_some_and(|t| t.sample_stages);
+        // With tracing on, stage durations are measured for *every* message:
+        // the tail sampler decides after fan-out which chains to keep, so
+        // any message may need its durations. Stage *histograms* stay
+        // sampled (`sample`) — only the local accumulation is exhaustive.
+        let timed = sample || tracer.is_some();
         let mut rcv_ns = 0u64;
         let mut journal_ns = 0u64;
         let mut filter_ns = 0u64;
         let mut fanout_ns = 0u64;
 
+        // Uniform-baseline decision is interval-driven and thus known
+        // up front, before the message's sojourn time is.
+        let uniform_keep = tracer.is_some() && {
+            trace_uniform_countdown -= 1;
+            if trace_uniform_countdown == 0 {
+                trace_uniform_countdown = tracer.map_or(u64::MAX, |(_, t)| t.uniform_every);
+                true
+            } else {
+                false
+            }
+        };
+        // Pre-mark for the wire layer: when the message's *waiting* time
+        // already clears the tail threshold the chain is guaranteed to be
+        // kept (sojourn ≥ waiting), so mark the id sampled before fan-out —
+        // the per-connection writers this message fans out to may flush it
+        // before the dispatcher reaches its commit point below.
+        if let (Some(t), Some((recorder, _)), Some(enq)) = (&timer, tracer, enqueued_at) {
+            let ns_per_tick = metrics.map_or(1.0, |m| m.ns_per_tick);
+            let waiting_ns = (t.dispatch_start().saturating_sub(enq) as f64 * ns_per_tick) as u64;
+            if uniform_keep || waiting_ns >= trace_threshold_ns {
+                recorder.mark_sampled(message.trace_id());
+            }
+        }
+
         inner.stats.record_received();
-        time_stage(sample, &mut rcv_ns, || {
+        time_stage(timed, &mut rcv_ns, || {
             if let Some(c) = &cost {
                 c.spin_receive();
             }
@@ -989,7 +1066,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
         // any subscriber sees it. This append is the real-I/O counterpart
         // of the synthetic `t_rcv`/`t_fltr`/`t_tx` spins — the `t_store`
         // term of the extended cost model.
-        let publish_offset = time_stage(sample, &mut journal_ns, || {
+        let publish_offset = time_stage(timed, &mut journal_ns, || {
             inner.append_record(&encode_publish(&topic.name, &message))
         });
 
@@ -1002,7 +1079,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
             // per filter, so sampled messages stay cheap even with hundreds
             // of subscriptions; the fan-out time inside the block is timed
             // separately and subtracted afterwards.
-            let scan_start = if sample { Some(Instant::now()) } else { None };
+            let scan_start = if timed { Some(Instant::now()) } else { None };
             let fanout_before = fanout_ns;
             for sub in subs.iter() {
                 if !sub.active.load(Ordering::Relaxed) {
@@ -1016,7 +1093,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
                 if !sub.filter.matches(&message) {
                     continue;
                 }
-                let delivery = time_stage(sample, &mut fanout_ns, || {
+                let delivery = time_stage(timed, &mut fanout_ns, || {
                     if let Some(c) = &cost {
                         c.spin_transmit();
                     }
@@ -1042,7 +1119,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
             let durables = topic.durables.read();
             for durable in durables.iter() {
                 evaluations += 1;
-                let matched = time_stage(sample, &mut filter_ns, || {
+                let matched = time_stage(timed, &mut filter_ns, || {
                     if let Some(c) = &cost {
                         c.spin_filters(1);
                     }
@@ -1057,7 +1134,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
                 let mut connection = durable.connection.lock();
                 let delivered = match connection.as_ref() {
                     Some(sender) => {
-                        let delivery = time_stage(sample, &mut fanout_ns, || {
+                        let delivery = time_stage(timed, &mut fanout_ns, || {
                             deliver_to(sender, Arc::clone(&message), inner.config.overflow_policy)
                         });
                         match delivery {
@@ -1121,6 +1198,32 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
         topic.received.fetch_add(1, Ordering::Relaxed);
         topic.dispatched.fetch_add(copies, Ordering::Relaxed);
 
+        if let Some(m) = metrics {
+            if per_topic_cap > 0 {
+                // Topic names are client-controlled, so labeled series are
+                // capped: the first `per_topic_cap` topics get their own
+                // series, the rest share `__other__`.
+                let name = if topic_counters.contains_key(topic.name.as_str())
+                    || topic_counters.len() < per_topic_cap
+                {
+                    topic.name.as_str()
+                } else {
+                    "__other__"
+                };
+                let counters =
+                    topic_counters.entry(name.to_owned()).or_insert_with(|| TopicCounters {
+                        received: m
+                            .registry
+                            .counter(&labeled("broker.topic.received", &[("topic", name)])),
+                        dispatched: m
+                            .registry
+                            .counter(&labeled("broker.topic.dispatched", &[("topic", name)])),
+                    });
+                counters.received.inc();
+                counters.dispatched.add(copies);
+            }
+        }
+
         if needs_prune {
             topic.subscriptions.write().retain(|s| s.active.load(Ordering::Relaxed));
         }
@@ -1134,10 +1237,60 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
             }
             // Without an enqueue stamp (metrics enabled mid-flight is
             // impossible, but recovery replays have none) waiting is zero.
-            let enqueued_at = enqueued_at.unwrap_or_else(|| timer.dispatch_start());
-            last_end = Some(timer.finish(m, &mut scratch, enqueued_at));
+            let dispatch_start = timer.dispatch_start();
+            let enqueued_at = enqueued_at.unwrap_or(dispatch_start);
+            let end = timer.finish(m, &mut scratch, enqueued_at);
+            last_end = Some(end);
             if scratch.pending() >= crate::metrics::FLUSH_EVERY {
                 scratch.flush(m);
+            }
+
+            // Tail-sampling commit point: the sojourn time is now known.
+            if let Some((recorder, tcfg)) = tracer {
+                let to_ns = |ticks: u64| (ticks as f64 * m.ns_per_tick) as u64;
+                let waiting_ns = to_ns(dispatch_start.saturating_sub(enqueued_at));
+                let sojourn_ns = to_ns(end.saturating_sub(enqueued_at));
+                trace_refresh_countdown -= 1;
+                if trace_refresh_countdown == 0 {
+                    trace_refresh_countdown = tcfg.refresh_every;
+                    scratch.flush(m);
+                    if let Some(q) = m.sojourn.snapshot().quantile(tcfg.tail_quantile) {
+                        trace_threshold_ns = q;
+                    }
+                }
+                let tail_keep = sojourn_ns >= trace_threshold_ns;
+                if tail_keep || uniform_keep {
+                    // Stage timestamps are synthesized as cumulative tick
+                    // offsets from the dispatch start, so a chain is
+                    // monotone by construction even though the stages were
+                    // measured with duration-only Instant reads.
+                    let ns_to_ticks = |ns: u64| (ns as f64 / m.ns_per_tick) as u64;
+                    let trace_id = message.trace_id();
+                    let mut at = dispatch_start;
+                    for (stage, duration_ns, aux) in [
+                        (Stage::Receive, rcv_ns, waiting_ns),
+                        (Stage::Journal, journal_ns, publish_offset.unwrap_or(0)),
+                        (Stage::Filter, filter_ns, evaluations),
+                        (Stage::Fanout, fanout_ns, copies),
+                    ] {
+                        recorder.record(SpanEvent {
+                            trace_id,
+                            stage,
+                            start_ticks: at,
+                            duration_ns,
+                            aux,
+                        });
+                        at += ns_to_ticks(duration_ns);
+                    }
+                    recorder.mark_sampled(trace_id);
+                    if let Some((tail, uniform)) = &trace_counters {
+                        if tail_keep {
+                            tail.inc();
+                        } else {
+                            uniform.inc();
+                        }
+                    }
+                }
             }
         }
     }

@@ -103,11 +103,18 @@ pub struct MetricsConfig {
     /// Record the per-stage service-time decomposition on every Nth
     /// dispatched message (1 = every message).
     pub stage_sample_every: u64,
+    /// Maximum number of distinct topics exported as labeled
+    /// `broker.topic.*` counter series. Topic names are unbounded
+    /// client-controlled input, so the label cardinality is capped: once
+    /// this many topics have their own series, traffic on further topics is
+    /// collapsed into a single `topic="__other__"` series. 0 disables
+    /// per-topic series entirely.
+    pub per_topic_series: usize,
 }
 
 impl Default for MetricsConfig {
     fn default() -> Self {
-        Self { stage_sample_every: 64 }
+        Self { stage_sample_every: 64, per_topic_series: 64 }
     }
 }
 
@@ -120,6 +127,96 @@ impl MetricsConfig {
     pub fn stage_sample_every(mut self, every: u64) -> Self {
         assert!(every > 0, "stage_sample_every must be > 0");
         self.stage_sample_every = every;
+        self
+    }
+
+    /// Sets the per-topic labeled-series cardinality cap (0 disables).
+    pub fn per_topic_series(mut self, cap: usize) -> Self {
+        self.per_topic_series = cap;
+        self
+    }
+}
+
+/// End-to-end tracing settings (see `rjms-trace`).
+///
+/// With tracing enabled the dispatcher records a span chain (receive →
+/// journal → filter scan → fan-out, plus wire-flush events appended by the
+/// net layer) for a *tail-sampled* subset of messages into a fixed-capacity
+/// lock-free flight recorder. Tail sampling decides **after** dispatch,
+/// when the sojourn time is known: chains are kept for messages slower
+/// than the live `tail_quantile` of the sojourn histogram, plus a small
+/// uniform baseline (every `uniform_every`-th message) so typical-latency
+/// chains stay inspectable. Tracing requires metrics: enabling it
+/// auto-enables a default [`MetricsConfig`] if none is set.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::config::{BrokerConfig, TraceConfig};
+///
+/// let config = BrokerConfig::default().trace(TraceConfig::default().tail_quantile(0.95));
+/// assert_eq!(config.trace.unwrap().tail_quantile, 0.95);
+/// assert!(config.trace.unwrap().capacity > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Flight-recorder ring capacity in span events (rounded up to a power
+    /// of two). Memory is fixed at ~48 bytes per slot.
+    pub capacity: usize,
+    /// Sojourn-time quantile above which a message's chain is kept
+    /// (tail sampling); e.g. 0.99 keeps the slowest ~1%.
+    pub tail_quantile: f64,
+    /// Messages between refreshes of the tail threshold from the live
+    /// sojourn histogram.
+    pub refresh_every: u64,
+    /// Uniform baseline: unconditionally keep every Nth message's chain
+    /// regardless of its sojourn time. 0 disables the baseline.
+    pub uniform_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { capacity: 8192, tail_quantile: 0.99, refresh_every: 1024, uniform_every: 128 }
+    }
+}
+
+impl TraceConfig {
+    /// Sets the flight-recorder capacity in events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be > 0");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the tail-sampling sojourn quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q < 1.0`.
+    pub fn tail_quantile(mut self, q: f64) -> Self {
+        assert!((0.0..1.0).contains(&q), "tail_quantile must be in [0, 1), got {q}");
+        self.tail_quantile = q;
+        self
+    }
+
+    /// Sets the threshold refresh interval in messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0.
+    pub fn refresh_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "refresh_every must be > 0");
+        self.refresh_every = every;
+        self
+    }
+
+    /// Sets the uniform baseline interval (0 disables the baseline).
+    pub fn uniform_every(mut self, every: u64) -> Self {
+        self.uniform_every = every;
         self
     }
 }
@@ -158,6 +255,10 @@ pub struct BrokerConfig {
     /// Optional live metrics (see [`MetricsConfig`]); `None` records
     /// nothing and keeps the dispatch path free of clock reads.
     pub metrics: Option<MetricsConfig>,
+    /// Optional end-to-end tracing (see [`TraceConfig`]); `None` records
+    /// no span events. Enabling tracing auto-enables default metrics,
+    /// which the tail sampler's threshold feeds from.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -170,6 +271,7 @@ impl Default for BrokerConfig {
             durable_buffer_capacity: 65_536,
             persistence: None,
             metrics: None,
+            trace: None,
         }
     }
 }
@@ -231,6 +333,12 @@ impl BrokerConfig {
         self.metrics = Some(metrics);
         self
     }
+
+    /// Enables end-to-end tracing (and, implicitly, default metrics).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +396,30 @@ mod tests {
     #[should_panic(expected = "checkpoint_every must be > 0")]
     fn zero_checkpoint_interval_rejected() {
         PersistenceConfig::new("/tmp/rjms-cfg-test").checkpoint_every(0);
+    }
+
+    #[test]
+    fn trace_config_builders_and_defaults() {
+        let t = TraceConfig::default();
+        assert_eq!(t.capacity, 8192);
+        assert_eq!(t.tail_quantile, 0.99);
+        let c = BrokerConfig::default()
+            .trace(TraceConfig::default().capacity(64).tail_quantile(0.5).uniform_every(0));
+        let t = c.trace.expect("trace set");
+        assert_eq!(t.capacity, 64);
+        assert_eq!(t.uniform_every, 0);
+        assert!(BrokerConfig::default().trace.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "tail_quantile must be in [0, 1)")]
+    fn trace_quantile_range_enforced() {
+        TraceConfig::default().tail_quantile(1.0);
+    }
+
+    #[test]
+    fn per_topic_series_cap_configurable() {
+        assert_eq!(MetricsConfig::default().per_topic_series, 64);
+        assert_eq!(MetricsConfig::default().per_topic_series(0).per_topic_series, 0);
     }
 }

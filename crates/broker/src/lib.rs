@@ -71,7 +71,7 @@ pub mod stats;
 pub use broker::{
     Broker, BrokerObserver, Publisher, Subscriber, SubscriptionBuilder, SubscriptionId, TopicStats,
 };
-pub use config::{BrokerConfig, MetricsConfig, OverflowPolicy, PersistenceConfig};
+pub use config::{BrokerConfig, MetricsConfig, OverflowPolicy, PersistenceConfig, TraceConfig};
 pub use cost::CostModel;
 #[allow(deprecated)]
 pub use error::{BrokerError, ReceiveError};

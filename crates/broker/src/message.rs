@@ -111,6 +111,8 @@ pub struct Message {
     expiration_millis: Option<u64>,
     properties: BTreeMap<String, Value>,
     body: Bytes,
+    trace_id: u64,
+    trace_origin_ns: u64,
 }
 
 impl Message {
@@ -184,6 +186,23 @@ impl Message {
         &self.body
     }
 
+    /// The end-to-end trace id, nonzero and unique per origin process.
+    ///
+    /// Stamped at build time (normally at the publisher) and carried
+    /// unchanged across the wire, through the broker's flight recorder and
+    /// into subscriber deliveries, so one id names the message in every
+    /// trace view along the path.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Nanoseconds since the Unix epoch when the trace context was created
+    /// at the origin. Lets cross-host consumers order traces without a
+    /// shared tick domain.
+    pub fn trace_origin_ns(&self) -> u64 {
+        self.trace_origin_ns
+    }
+
     /// Reassembles a message from journal-recovered parts, keeping the
     /// original id and timestamps.
     #[allow(clippy::too_many_arguments)]
@@ -197,6 +216,8 @@ impl Message {
         expiration_millis: Option<u64>,
         properties: BTreeMap<String, Value>,
         body: Bytes,
+        trace_id: u64,
+        trace_origin_ns: u64,
     ) -> Message {
         MessageId::observe(id_raw);
         Message {
@@ -209,6 +230,8 @@ impl Message {
             expiration_millis,
             properties,
             body,
+            trace_id,
+            trace_origin_ns,
         }
     }
 
@@ -265,6 +288,7 @@ pub struct MessageBuilder {
     time_to_live: Option<std::time::Duration>,
     properties: BTreeMap<String, Value>,
     body: Bytes,
+    trace: Option<(u64, u64)>,
 }
 
 impl MessageBuilder {
@@ -318,9 +342,21 @@ impl MessageBuilder {
         self
     }
 
+    /// Adopts an existing trace context instead of generating a fresh one
+    /// — used when a message crosses a process boundary (e.g. decoded from
+    /// the wire) so its end-to-end trace id survives re-building.
+    ///
+    /// A `trace_id` of 0 means "no context" and falls back to generation.
+    pub fn trace_context(mut self, trace_id: u64, origin_ns: u64) -> Self {
+        self.trace = if trace_id == 0 { None } else { Some((trace_id, origin_ns)) };
+        self
+    }
+
     /// Finalizes the message, stamping a fresh id and the current time.
     pub fn build(self) -> Message {
         let timestamp_millis = now_unix_millis();
+        let (trace_id, trace_origin_ns) =
+            self.trace.unwrap_or_else(|| (next_trace_id(), now_unix_nanos()));
         Message {
             id: MessageId::next(),
             timestamp_millis,
@@ -333,8 +369,35 @@ impl MessageBuilder {
                 .map(|ttl| timestamp_millis + ttl.as_millis() as u64),
             properties: self.properties,
             body: self.body,
+            trace_id,
+            trace_origin_ns,
         }
     }
+}
+
+/// Generates a nonzero trace id: a per-process random seed mixed with a
+/// monotone counter through splitmix64, so concurrent publishers on
+/// different hosts collide with negligible probability while staying
+/// allocation- and lock-free.
+fn next_trace_id() -> u64 {
+    static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+    use std::sync::OnceLock;
+    static PROCESS_SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *PROCESS_SEED.get_or_init(|| {
+        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos()).unwrap_or(0);
+        (nanos as u64) ^ (std::process::id() as u64).rotate_left(32)
+    });
+    let n = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut x = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x | 1 // never 0 — 0 is the wire encoding for "no trace context"
+}
+
+/// Current wall-clock time in nanoseconds since the Unix epoch.
+pub(crate) fn now_unix_nanos() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
 }
 
 /// Current wall-clock time in milliseconds since the Unix epoch.
@@ -441,6 +504,27 @@ mod tests {
         assert_eq!(exp, m.timestamp_millis() + 50);
         assert!(!m.is_expired_at(exp - 1));
         assert!(m.is_expired_at(exp));
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_and_unique() {
+        let a = Message::builder().build();
+        let b = Message::builder().build();
+        assert_ne!(a.trace_id(), 0);
+        assert_ne!(b.trace_id(), 0);
+        assert_ne!(a.trace_id(), b.trace_id());
+        assert!(a.trace_origin_ns() > 0);
+    }
+
+    #[test]
+    fn trace_context_is_adopted_verbatim() {
+        let m = Message::builder().trace_context(0xDEAD_BEEF, 42).build();
+        assert_eq!(m.trace_id(), 0xDEAD_BEEF);
+        assert_eq!(m.trace_origin_ns(), 42);
+        // Zero id means "no context": a fresh one is generated instead.
+        let fresh = Message::builder().trace_context(0, 42).build();
+        assert_ne!(fresh.trace_id(), 0);
+        assert_ne!(fresh.trace_origin_ns(), 42);
     }
 
     #[test]

@@ -259,6 +259,8 @@ fn put_message(out: &mut Vec<u8>, message: &Message) {
         put_value(out, value);
     }
     put_bytes(out, message.body());
+    out.extend_from_slice(&message.trace_id().to_le_bytes());
+    out.extend_from_slice(&message.trace_origin_ns().to_le_bytes());
 }
 
 fn read_message(cursor: &mut Cursor<'_>) -> Result<Message, DecodeError> {
@@ -284,6 +286,8 @@ fn read_message(cursor: &mut Cursor<'_>) -> Result<Message, DecodeError> {
         properties.insert(key, value);
     }
     let body = cursor.bytes()?.to_vec();
+    let trace_id = cursor.u64()?;
+    let trace_origin_ns = cursor.u64()?;
     Ok(Message::from_stored_parts(
         id_raw,
         timestamp_millis,
@@ -294,6 +298,8 @@ fn read_message(cursor: &mut Cursor<'_>) -> Result<Message, DecodeError> {
         expiration_millis,
         properties,
         body.into(),
+        trace_id,
+        trace_origin_ns,
     ))
 }
 
@@ -439,6 +445,8 @@ mod tests {
                 assert_eq!(topic, "stocks");
                 assert_eq!(recovered.id(), message.id());
                 assert_eq!(recovered.timestamp_millis(), message.timestamp_millis());
+                assert_eq!(recovered.trace_id(), message.trace_id());
+                assert_eq!(recovered.trace_origin_ns(), message.trace_origin_ns());
                 assert_eq!(recovered, message);
             }
             other => panic!("decoded as {other:?}"),

@@ -10,6 +10,7 @@
 use crate::error::Error;
 use crate::wire::{
     decode_response, encode_request, read_frame, Request, Response, WireFilter, WireMessage,
+    FEATURE_TRACE,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -49,6 +50,11 @@ pub struct RemoteBroker {
     reader: Option<JoinHandle<()>>,
     metrics: MetricsRegistry,
     rtt: Arc<Histogram>,
+    /// Whether the server acknowledged the [`FEATURE_TRACE`] handshake.
+    /// Decided once during [`RemoteBroker::connect`]; when false, publishes
+    /// are stripped of their trace context so the frames stay in the
+    /// pre-trace format.
+    traced: bool,
 }
 
 impl std::fmt::Debug for RemoteBroker {
@@ -82,14 +88,29 @@ impl RemoteBroker {
             .expect("failed to spawn client reader");
         let metrics = MetricsRegistry::new();
         let rtt = metrics.histogram("net.rtt_ns");
-        Ok(RemoteBroker {
+        let mut client = RemoteBroker {
             shared,
             next_request_id: AtomicU32::new(1),
             next_subscription_id: AtomicU32::new(1),
             reader: Some(reader),
             metrics,
             rtt,
-        })
+            traced: false,
+        };
+        // Capability handshake: a server that understands the Hello opcode
+        // answers Ok and from then on both sides may use the traced frame
+        // variants. Anything else (an older server) leaves the connection
+        // in the pre-trace format.
+        let request_id = client.next_request_id();
+        client.traced =
+            client.call(Request::Hello { request_id, features: FEATURE_TRACE }, request_id).is_ok();
+        Ok(client)
+    }
+
+    /// True when the server acknowledged trace-context propagation during
+    /// the connect-time handshake.
+    pub fn trace_negotiated(&self) -> bool {
+        self.traced
     }
 
     /// This client's instrument registry: histogram `net.rtt_ns` holds the
@@ -119,12 +140,12 @@ impl RemoteBroker {
     /// [`Error::Remote`] for unknown topics; transport errors otherwise.
     pub fn publish(&self, topic: &str, message: &Message) -> Result<(), Error> {
         let request_id = self.next_request_id();
+        let mut wire = WireMessage::from_message(message);
+        if !self.traced {
+            wire = wire.without_trace();
+        }
         self.call(
-            Request::Publish {
-                request_id,
-                topic: topic.to_owned(),
-                message: WireMessage::from_message(message),
-            },
+            Request::Publish { request_id, topic: topic.to_owned(), message: wire },
             request_id,
         )
     }

@@ -15,17 +15,19 @@
 
 use crate::wire::{
     decode_request, encode_response, read_frame, Request, Response, WireFilter, WireMessage,
+    FEATURE_TRACE,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rjms_broker::{Broker, BrokerConfig, Filter, Publisher, TopicPattern};
-use rjms_metrics::{Gauge, MetricsRegistry};
+use rjms_metrics::{clock, Gauge, MetricsRegistry};
+use rjms_trace::{FlightRecorder, SpanEvent, Stage};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A TCP front-end for an embedded [`Broker`].
 ///
@@ -92,6 +94,7 @@ impl BrokerServer {
                                 accept_connections.lock().push(clone);
                             }
                             let broker = Arc::clone(&accept_broker);
+                            let recorder = accept_broker.tracer();
                             let stopping = Arc::clone(&accept_stopping);
                             let metrics = accept_metrics.clone();
                             let connection_id = next_connection_id.fetch_add(1, Ordering::Relaxed);
@@ -100,6 +103,7 @@ impl BrokerServer {
                                 .spawn(move || {
                                     handle_connection(
                                         broker,
+                                        recorder,
                                         stopping,
                                         stream,
                                         metrics,
@@ -190,10 +194,15 @@ struct Connection {
     /// subscription id → cancel flag for its forwarder thread.
     subscriptions: HashMap<u32, Arc<AtomicBool>>,
     closed: Arc<AtomicBool>,
+    /// Whether the client negotiated [`FEATURE_TRACE`] via
+    /// [`Request::Hello`]. Deliveries to pre-handshake clients have their
+    /// trace context stripped so they only ever see pre-trace opcodes.
+    traced: Arc<AtomicBool>,
 }
 
 fn handle_connection(
     broker: Arc<Broker>,
+    recorder: Option<Arc<FlightRecorder>>,
     stopping: Arc<AtomicBool>,
     stream: TcpStream,
     metrics: MetricsRegistry,
@@ -215,7 +224,7 @@ fn handle_connection(
     let writer_depth = Arc::clone(&depth);
     let writer = std::thread::Builder::new()
         .name("rjms-net-writer".to_owned())
-        .spawn(move || writer_loop(write_stream, out_rx, writer_closed, writer_depth))
+        .spawn(move || writer_loop(write_stream, out_rx, writer_closed, writer_depth, recorder))
         .expect("failed to spawn writer thread");
 
     let mut conn = Connection {
@@ -224,6 +233,7 @@ fn handle_connection(
         publishers: HashMap::new(),
         subscriptions: HashMap::new(),
         closed: Arc::clone(&closed),
+        traced: Arc::new(AtomicBool::new(false)),
     };
     reader_loop(stream, &mut conn);
 
@@ -243,15 +253,38 @@ fn writer_loop(
     out_rx: Receiver<Response>,
     closed: Arc<AtomicBool>,
     depth: Arc<Gauge>,
+    recorder: Option<Arc<FlightRecorder>>,
 ) {
     while let Ok(resp) = out_rx.recv() {
         // Responses still queued behind the one just pulled: the
         // connection's outbound backlog.
         depth.set(out_rx.len() as i64);
         let frame = encode_response(&resp);
+        // A delivery whose trace id the broker tail-sampled gets a
+        // wire-flush span appended to its chain, stamping the moment its
+        // bytes left the server.
+        let sampled = recorder.as_ref().and_then(|r| match &resp {
+            Response::Delivery { subscription_id, message } => message
+                .trace
+                .filter(|t| r.is_sampled(t.trace_id))
+                .map(|t| (t.trace_id, *subscription_id)),
+            _ => None,
+        });
+        let flush_start = sampled.map(|_| (clock::now(), Instant::now()));
         if stream.write_all(&frame).is_err() {
             closed.store(true, Ordering::Relaxed);
             break;
+        }
+        if let (Some(r), Some((trace_id, subscription_id)), Some((start_ticks, t0))) =
+            (recorder.as_ref(), sampled, flush_start)
+        {
+            r.record(SpanEvent {
+                trace_id,
+                stage: Stage::WireFlush,
+                start_ticks,
+                duration_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                aux: u64::from(subscription_id),
+            });
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -281,6 +314,10 @@ fn handle_request(conn: &mut Connection, request: Request) -> bool {
     let (request_id, outcome) = match request {
         Request::Ping { request_id } => {
             return conn.out.send(Response::Pong { request_id }).is_ok();
+        }
+        Request::Hello { request_id, features } => {
+            conn.traced.store(features & FEATURE_TRACE != 0, Ordering::Relaxed);
+            (request_id, Ok(()))
         }
         Request::CreateTopic { request_id, topic } => {
             (request_id, conn.broker.create_topic(&topic).map_err(|e| e.to_string()))
@@ -365,16 +402,20 @@ fn subscribe(
     // Forwarder: pumps deliveries into the connection's writer.
     let out = conn.out.clone();
     let closed = Arc::clone(&conn.closed);
+    let traced = Arc::clone(&conn.traced);
     std::thread::Builder::new()
         .name(format!("rjms-net-fwd-{subscription_id}"))
         .spawn(move || {
             while !cancel.load(Ordering::Relaxed) && !closed.load(Ordering::Relaxed) {
                 match subscriber.receive_timeout(Duration::from_millis(50)) {
                     Some(message) => {
-                        let delivery = Response::Delivery {
-                            subscription_id,
-                            message: WireMessage::from_message(&message),
-                        };
+                        let mut wire = WireMessage::from_message(&message);
+                        if !traced.load(Ordering::Relaxed) {
+                            // Pre-handshake client: strip the context so the
+                            // frame encodes with the original opcode.
+                            wire = wire.without_trace();
+                        }
+                        let delivery = Response::Delivery { subscription_id, message: wire };
                         if out.send(delivery).is_err() {
                             // Connection died mid-delivery: hand the pulled
                             // message back so a durable subscription retains

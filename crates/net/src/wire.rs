@@ -15,6 +15,16 @@ use std::fmt;
 /// prefixes allocating unbounded memory.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// [`Request::Hello`] feature bit: the client understands trace-context
+/// frames (traced publishes, opcode 0x0A, and traced deliveries, opcode
+/// 0x85).
+///
+/// Trace context travels in *new* opcodes rather than appended fields
+/// because the decoder rejects trailing bytes in every frame
+/// (`ensure_drained`): a pre-trace peer must never see a trace-bearing
+/// frame, which the feature handshake guarantees.
+pub const FEATURE_TRACE: u32 = 1;
+
 /// A decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
@@ -111,6 +121,16 @@ pub enum Request {
         /// Correlates the response.
         request_id: u32,
     },
+    /// Capability handshake, sent once after connecting. Servers answer
+    /// with [`Response::Ok`] and remember the advertised features for the
+    /// connection's lifetime. Clients that never send it (pre-handshake
+    /// peers) get the original wire format on every frame.
+    Hello {
+        /// Correlates the response.
+        request_id: u32,
+        /// Bitset of `FEATURE_*` capability flags the client understands.
+        features: u32,
+    },
 }
 
 /// Frames sent from server to client.
@@ -153,6 +173,15 @@ pub enum WireFilter {
     Selector(String),
 }
 
+/// End-to-end trace context carried alongside a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTrace {
+    /// The origin-assigned nonzero trace id.
+    pub trace_id: u64,
+    /// Nanoseconds since the Unix epoch at trace creation.
+    pub origin_ns: u64,
+}
+
 /// A message as it travels on the wire (the subset of header fields the
 /// broker models, the typed properties, and the body).
 #[derive(Debug, Clone, PartialEq)]
@@ -171,12 +200,19 @@ pub struct WireMessage {
     pub properties: Vec<(String, Value)>,
     /// Opaque payload.
     pub body: Bytes,
+    /// Trace context, when the peer negotiated [`FEATURE_TRACE`]; `None`
+    /// selects the original (pre-trace) frame encoding.
+    pub trace: Option<WireTrace>,
 }
 
 impl WireMessage {
-    /// Converts into a broker [`Message`] (stamps id and timestamp).
+    /// Converts into a broker [`Message`] (stamps id and timestamp; adopts
+    /// the wire trace context when present, else generates a fresh one).
     pub fn into_message(self) -> Message {
         let mut b = Message::builder().priority(Priority::new(self.priority.min(9)));
+        if let Some(t) = self.trace {
+            b = b.trace_context(t.trace_id, t.origin_ns);
+        }
         if let Some(c) = self.correlation_id {
             b = b.correlation_id(c);
         }
@@ -203,7 +239,15 @@ impl WireMessage {
             ttl_millis: remaining_ttl,
             properties: m.properties().iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             body: m.body().clone(),
+            trace: Some(WireTrace { trace_id: m.trace_id(), origin_ns: m.trace_origin_ns() }),
         }
+    }
+
+    /// Drops the trace context, selecting the original frame encoding —
+    /// used when the receiving peer has not negotiated [`FEATURE_TRACE`].
+    pub fn without_trace(mut self) -> Self {
+        self.trace = None;
+        self
     }
 }
 
@@ -347,7 +391,29 @@ fn get_message(buf: &mut Bytes) -> Result<WireMessage, DecodeError> {
         return Err(DecodeError::new("body length exceeds frame"));
     }
     let body = buf.split_to(body_len);
-    Ok(WireMessage { correlation_id, message_type, priority, ttl_millis, properties, body })
+    Ok(WireMessage {
+        correlation_id,
+        message_type,
+        priority,
+        ttl_millis,
+        properties,
+        body,
+        trace: None,
+    })
+}
+
+fn put_trace(buf: &mut BytesMut, t: &WireTrace) {
+    buf.put_u64(t.trace_id);
+    buf.put_u64(t.origin_ns);
+}
+
+fn get_trace(buf: &mut Bytes) -> Result<WireTrace, DecodeError> {
+    let trace_id = get_u64(buf)?;
+    if trace_id == 0 {
+        return Err(DecodeError::new("trace id must be nonzero"));
+    }
+    let origin_ns = get_u64(buf)?;
+    Ok(WireTrace { trace_id, origin_ns })
 }
 
 fn put_filter(buf: &mut BytesMut, f: &WireFilter) {
@@ -385,10 +451,16 @@ pub fn encode_request(req: &Request) -> Bytes {
             put_str(&mut body, topic);
         }
         Request::Publish { request_id, topic, message } => {
-            body.put_u8(0x02);
+            // A trace-bearing message selects the traced opcode (0x0A) with
+            // the context appended after the message; without one the frame
+            // is byte-identical to the pre-trace format.
+            body.put_u8(if message.trace.is_some() { 0x0A } else { 0x02 });
             body.put_u32(*request_id);
             put_str(&mut body, topic);
             put_message(&mut body, message);
+            if let Some(t) = &message.trace {
+                put_trace(&mut body, t);
+            }
         }
         Request::Subscribe { request_id, subscription_id, topic, filter } => {
             body.put_u8(0x03);
@@ -427,6 +499,11 @@ pub fn encode_request(req: &Request) -> Bytes {
             body.put_u8(0x06);
             body.put_u32(*request_id);
         }
+        Request::Hello { request_id, features } => {
+            body.put_u8(0x09);
+            body.put_u32(*request_id);
+            body.put_u32(*features);
+        }
     }
     finish_frame(body)
 }
@@ -445,9 +522,12 @@ pub fn encode_response(resp: &Response) -> Bytes {
             put_str(&mut body, message);
         }
         Response::Delivery { subscription_id, message } => {
-            body.put_u8(0x83);
+            body.put_u8(if message.trace.is_some() { 0x85 } else { 0x83 });
             body.put_u32(*subscription_id);
             put_message(&mut body, message);
+            if let Some(t) = &message.trace {
+                put_trace(&mut body, t);
+            }
         }
         Response::Pong { request_id } => {
             body.put_u8(0x84);
@@ -505,6 +585,14 @@ pub fn decode_request(mut body: Bytes) -> Result<Request, DecodeError> {
             topic: get_str(&mut body)?,
             name: get_str(&mut body)?,
         },
+        0x09 => Request::Hello { request_id: get_u32(&mut body)?, features: get_u32(&mut body)? },
+        0x0A => {
+            let request_id = get_u32(&mut body)?;
+            let topic = get_str(&mut body)?;
+            let mut message = get_message(&mut body)?;
+            message.trace = Some(get_trace(&mut body)?);
+            Request::Publish { request_id, topic, message }
+        }
         other => return Err(DecodeError::new(format!("unknown request opcode {other:#x}"))),
     };
     ensure_drained(&body)?;
@@ -522,6 +610,12 @@ pub fn decode_response(mut body: Bytes) -> Result<Response, DecodeError> {
             message: get_message(&mut body)?,
         },
         0x84 => Response::Pong { request_id: get_u32(&mut body)? },
+        0x85 => {
+            let subscription_id = get_u32(&mut body)?;
+            let mut message = get_message(&mut body)?;
+            message.trace = Some(get_trace(&mut body)?);
+            Response::Delivery { subscription_id, message }
+        }
         other => return Err(DecodeError::new(format!("unknown response opcode {other:#x}"))),
     };
     ensure_drained(&body)?;
@@ -596,6 +690,14 @@ mod tests {
                 ("urgent".into(), Value::Bool(true)),
             ],
             body: Bytes::from_static(b"payload"),
+            trace: None,
+        }
+    }
+
+    fn traced_message() -> WireMessage {
+        WireMessage {
+            trace: Some(WireTrace { trace_id: 0xFEED_F00D, origin_ns: 1_700_000_000_000_000_000 }),
+            ..sample_message()
         }
     }
 
@@ -633,6 +735,12 @@ mod tests {
             name: "worker".into(),
         });
         roundtrip_request(Request::Ping { request_id: 6 });
+        roundtrip_request(Request::Hello { request_id: 9, features: FEATURE_TRACE });
+        roundtrip_request(Request::Publish {
+            request_id: 10,
+            topic: "t".into(),
+            message: traced_message(),
+        });
     }
 
     #[test]
@@ -640,7 +748,62 @@ mod tests {
         roundtrip_response(Response::Ok { request_id: 1 });
         roundtrip_response(Response::Error { request_id: 2, message: "nope".into() });
         roundtrip_response(Response::Delivery { subscription_id: 3, message: sample_message() });
+        roundtrip_response(Response::Delivery { subscription_id: 5, message: traced_message() });
         roundtrip_response(Response::Pong { request_id: 4 });
+    }
+
+    #[test]
+    fn untraced_frames_keep_the_pre_trace_opcodes() {
+        // Backwards compatibility: a message without trace context encodes
+        // byte-identically to the original format (opcode 0x02 / 0x83), so
+        // pre-trace peers can decode everything a handshake-less
+        // connection sends.
+        let req = encode_request(&Request::Publish {
+            request_id: 1,
+            topic: "t".into(),
+            message: sample_message(),
+        });
+        assert_eq!(req[4], 0x02);
+        let resp =
+            encode_response(&Response::Delivery { subscription_id: 1, message: sample_message() });
+        assert_eq!(resp[4], 0x83);
+        // And trace-bearing frames use the new opcodes.
+        let traced = encode_request(&Request::Publish {
+            request_id: 1,
+            topic: "t".into(),
+            message: traced_message(),
+        });
+        assert_eq!(traced[4], 0x0A);
+        let traced_resp =
+            encode_response(&Response::Delivery { subscription_id: 1, message: traced_message() });
+        assert_eq!(traced_resp[4], 0x85);
+    }
+
+    #[test]
+    fn zero_trace_id_on_the_wire_is_rejected() {
+        let mut frame = BytesMut::new();
+        frame.put_u8(0x0A);
+        frame.put_u32(1);
+        put_str(&mut frame, "t");
+        put_message(&mut frame, &sample_message());
+        frame.put_u64(0); // forged zero trace id
+        frame.put_u64(42);
+        assert!(decode_request(frame.freeze()).is_err());
+    }
+
+    #[test]
+    fn trace_context_survives_message_conversion() {
+        let wire = traced_message();
+        let msg = wire.clone().into_message();
+        assert_eq!(msg.trace_id(), 0xFEED_F00D);
+        assert_eq!(msg.trace_origin_ns(), 1_700_000_000_000_000_000);
+        let back = WireMessage::from_message(&msg);
+        assert_eq!(back.trace, wire.trace);
+        assert_eq!(back.without_trace().trace, None);
+        // An untraced wire message still yields a (freshly) traced broker
+        // message — ids are stamped at the edge of the mesh.
+        let fresh = sample_message().into_message();
+        assert_ne!(fresh.trace_id(), 0);
     }
 
     #[test]
@@ -683,15 +846,14 @@ mod tests {
     fn decode_rejects_truncation_everywhere() {
         // Truncate a valid publish frame at every byte offset: must error,
         // never panic.
-        let frame = encode_request(&Request::Publish {
-            request_id: 2,
-            topic: "t".into(),
-            message: sample_message(),
-        });
-        let body = frame.slice(4..);
-        for cut in 0..body.len() {
-            let truncated = body.slice(..cut);
-            assert!(decode_request(truncated).is_err(), "cut at {cut} did not error");
+        for message in [sample_message(), traced_message()] {
+            let frame =
+                encode_request(&Request::Publish { request_id: 2, topic: "t".into(), message });
+            let body = frame.slice(4..);
+            for cut in 0..body.len() {
+                let truncated = body.slice(..cut);
+                assert!(decode_request(truncated).is_err(), "cut at {cut} did not error");
+            }
         }
     }
 

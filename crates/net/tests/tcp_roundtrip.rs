@@ -278,9 +278,9 @@ fn wire_metrics_record_rtt_and_connections() {
     }
     let snap = client.metrics().snapshot();
     let rtt = snap.histogram("net.rtt_ns").expect("round-trips recorded");
-    assert_eq!(rtt.count, 9); // create_topic + 8 pings
+    assert_eq!(rtt.count, 10); // connect-time hello + create_topic + 8 pings
     assert!(rtt.min > 0);
-    assert_eq!(snap.counters["net.requests"], 9);
+    assert_eq!(snap.counters["net.requests"], 10);
 
     let server_snap = server.metrics().snapshot();
     assert_eq!(server_snap.gauges["net.connections.active"], 1);

@@ -5,7 +5,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use rjms_net::wire::{
     decode_request, decode_response, encode_request, encode_response, Request, Response,
-    WireFilter, WireMessage,
+    WireFilter, WireMessage, WireTrace,
 };
 use rjms_selector::Value;
 
@@ -19,6 +19,15 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     ]
 }
 
+fn trace_strategy() -> impl Strategy<Value = Option<WireTrace>> {
+    // `| 1` keeps ids nonzero: zero means "no context" on the wire and is
+    // rejected by the decoder.
+    prop::option::of(
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(id, ns)| WireTrace { trace_id: id | 1, origin_ns: ns }),
+    )
+}
+
 fn message_strategy() -> impl Strategy<Value = WireMessage> {
     (
         prop::option::of("[!-~]{0,24}"),
@@ -27,17 +36,21 @@ fn message_strategy() -> impl Strategy<Value = WireMessage> {
         prop::option::of(any::<u64>()),
         prop::collection::vec(("[a-zA-Z_][a-zA-Z0-9_]{0,8}", value_strategy()), 0..6),
         prop::collection::vec(any::<u8>(), 0..256),
+        trace_strategy(),
     )
-        .prop_map(|(correlation_id, message_type, priority, ttl_millis, properties, body)| {
-            WireMessage {
-                correlation_id,
-                message_type,
-                priority,
-                ttl_millis,
-                properties,
-                body: Bytes::from(body),
-            }
-        })
+        .prop_map(
+            |(correlation_id, message_type, priority, ttl_millis, properties, body, trace)| {
+                WireMessage {
+                    correlation_id,
+                    message_type,
+                    priority,
+                    ttl_millis,
+                    properties,
+                    body: Bytes::from(body),
+                    trace,
+                }
+            },
+        )
 }
 
 fn filter_strategy() -> impl Strategy<Value = WireFilter> {
@@ -75,6 +88,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             Request::Unsubscribe { request_id, subscription_id }
         }),
         any::<u32>().prop_map(|request_id| Request::Ping { request_id }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(request_id, features)| Request::Hello { request_id, features }),
     ]
 }
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# HTTP exposition smoke test: start a traced rjms-server with the HTTP
+# endpoint, drive a workload through the TCP clients, then validate the
+# /metrics, /snapshot.json, /traces, and /model responses.
+#
+# Usage: scripts/http_smoke.sh [path-to-target-dir]
+# Exits non-zero on any failed check.
+
+set -euo pipefail
+
+TARGET="${1:-target/release}"
+SERVER="$TARGET/rjms-server"
+PUB="$TARGET/rjms-pub"
+SUB="$TARGET/rjms-sub"
+HTTP_ADDR="127.0.0.1:7881"
+LISTEN_ADDR="127.0.0.1:7871"
+COUNT=200
+
+# Scratch space for captured responses, removed on exit.
+WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/rjms-http-smoke.XXXXXX")"
+
+for bin in "$SERVER" "$PUB" "$SUB"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build with cargo build --release)"; exit 1; }
+done
+
+fail() { echo "FAIL: $*"; exit 1; }
+
+"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --topic smoke &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+# Wait for both listeners to come up.
+for _ in $(seq 1 50); do
+  if curl -sf "http://$HTTP_ADDR/" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "http://$HTTP_ADDR/" >/dev/null || fail "http endpoint never came up"
+
+# Drive the workload: a subscriber consuming $COUNT messages, a publisher
+# sending them with trace ids printed.
+"$SUB" --connect "$LISTEN_ADDR" --topic smoke --count "$COUNT" --quiet &
+SUB_PID=$!
+sleep 0.3
+"$PUB" --connect "$LISTEN_ADDR" --topic smoke --count "$COUNT" --print-trace-ids \
+  > "$WORKDIR/pub_trace_ids.txt"
+wait "$SUB_PID" || fail "subscriber did not receive all $COUNT messages"
+sleep 0.3
+
+# --- /metrics: Prometheus text format ---------------------------------
+curl -sf "http://$HTTP_ADDR/metrics" > "$WORKDIR/metrics.txt" || fail "/metrics not served"
+grep -q '^# TYPE broker_sojourn_seconds histogram$' "$WORKDIR/metrics.txt" \
+  || fail "/metrics missing the sojourn histogram family"
+grep -q "^broker_topic_received{topic=\"smoke\"} $COUNT\$" "$WORKDIR/metrics.txt" \
+  || fail "/metrics missing the per-topic labeled counter"
+grep -q '_bucket{le="+Inf"}' "$WORKDIR/metrics.txt" || fail "/metrics histograms lack +Inf buckets"
+# Cumulative bucket counts must be monotone within each family and every
+# sample line must parse as <name>[{labels}] <number>.
+awk '
+  /^#/ { prev = -1; next }
+  !/^[A-Za-z_:][A-Za-z0-9_:]*({[^}]*})? -?[0-9.+eE-]+$/ { print "bad line: " $0; bad = 1 }
+  /_bucket\{le="[^+]/ {
+    n = $NF + 0
+    if (n < prev) { print "non-monotone bucket: " $0; bad = 1 }
+    prev = n
+    next
+  }
+  { prev = -1 }
+  END { exit bad }
+' "$WORKDIR/metrics.txt" || fail "/metrics output is not well-formed Prometheus text"
+
+# --- /snapshot.json ----------------------------------------------------
+curl -sf "http://$HTTP_ADDR/snapshot.json" > "$WORKDIR/snapshot.json" || fail "/snapshot.json not served"
+grep -q "\"received\":$COUNT" "$WORKDIR/snapshot.json" || fail "/snapshot.json missing message counters"
+grep -q '"per_topic":{"smoke"' "$WORKDIR/snapshot.json" || fail "/snapshot.json missing per-topic stats"
+
+# --- /traces: complete 5-stage chains for >=99% of published ids -------
+curl -sf "http://$HTTP_ADDR/traces" > "$WORKDIR/traces.json" || fail "/traces not served"
+# Every chain kept while the tail threshold is still 0, so each published
+# trace id must appear as a complete, monotone chain with a wire_flush span.
+COMPLETE=$(
+  awk -v ids_file="$WORKDIR/pub_trace_ids.txt" '
+    BEGIN {
+      while ((getline line < ids_file) > 0)
+        if (split(line, a, " ") == 2) want[a[2]] = 1
+      RS = "{\"trace_id\":"
+    }
+    NR > 1 {
+      split($0, parts, ",")
+      id = parts[1]
+      if ((id in want) && /"complete":true/ && /"monotone":true/ && /wire_flush/) n++
+    }
+    END { print n + 0 }
+  ' "$WORKDIR/traces.json"
+)
+echo "complete chains: $COMPLETE / $COUNT"
+[ "$COMPLETE" -ge $((COUNT * 99 / 100)) ] \
+  || fail "only $COMPLETE/$COUNT published messages have complete 5-stage chains"
+
+# --- /model ------------------------------------------------------------
+curl -sf "http://$HTTP_ADDR/model" >/dev/null || fail "/model not served"
+
+echo "PASS: http exposition smoke ($COMPLETE/$COUNT complete chains)"

@@ -3,11 +3,15 @@
 //! ```text
 //! rjms-pub --topic NAME [--connect ADDR] [--count N] [--rate MSGS_PER_SEC]
 //!          [--corr-id ID] [--prop key=value]... [--body TEXT] [--create-topic]
+//!          [--print-trace-ids]
 //! ```
 //!
 //! With `--rate`, publishes at that Poisson-free fixed rate; without it,
 //! publishes as fast as the broker's push-back allows (the paper's
-//! saturated-publisher mode).
+//! saturated-publisher mode). `--print-trace-ids` prints each published
+//! message's trace id (`trace <decimal-id>`, one per line, matching the
+//! `trace_id` values in the server's `/traces` JSON) so a script can look
+//! up the matching span chain on the exposition endpoint.
 
 use rjms::broker::Message;
 use rjms::net::client::RemoteBroker;
@@ -23,6 +27,7 @@ struct Args {
     props: Vec<(String, Value)>,
     body: Vec<u8>,
     create_topic: bool,
+    print_trace_ids: bool,
 }
 
 fn parse_prop(s: &str) -> Result<(String, Value), String> {
@@ -50,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         props: Vec::new(),
         body: Vec::new(),
         create_topic: false,
+        print_trace_ids: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,10 +73,12 @@ fn parse_args() -> Result<Args, String> {
             "--prop" => args.props.push(parse_prop(&next("--prop")?)?),
             "--body" => args.body = next("--body")?.into_bytes(),
             "--create-topic" => args.create_topic = true,
+            "--print-trace-ids" => args.print_trace_ids = true,
             "--help" | "-h" => {
                 println!(
                     "usage: rjms-pub --topic NAME [--connect ADDR] [--count N] \
-                     [--rate R] [--corr-id ID] [--prop k=v]... [--body TEXT] [--create-topic]"
+                     [--rate R] [--corr-id ID] [--prop k=v]... [--body TEXT] [--create-topic] \
+                     [--print-trace-ids]"
                 );
                 std::process::exit(0);
             }
@@ -112,7 +120,11 @@ fn main() {
         for (k, v) in &args.props {
             b = b.property(k.clone(), v.clone());
         }
-        if let Err(e) = client.publish(&args.topic, &b.build()) {
+        let message = b.build();
+        if args.print_trace_ids {
+            println!("trace {}", message.trace_id());
+        }
+        if let Err(e) = client.publish(&args.topic, &message) {
             eprintln!("error: publish {i} failed: {e}");
             std::process::exit(1);
         }

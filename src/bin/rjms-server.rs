@@ -3,6 +3,7 @@
 //! ```text
 //! rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]
 //!             [--metrics-interval SECS] [--cost-model corr|app]
+//!             [--http ADDR] [--trace] [--trace-quantile Q]
 //! ```
 //!
 //! Topics can be pre-created with `--topic` (repeatable) or created later
@@ -20,13 +21,32 @@
 //! distributions are checked against the Eq. 1 + M/GI/1 prediction at the
 //! measured arrival rate, filter count, and replication grade. The paper's
 //! Figs. 10–12 as a runtime check.
+//!
+//! `--trace` enables the tail-sampled flight recorder: full per-message
+//! span chains (receive → journal → filter → fan-out → wire-flush) are
+//! kept for messages whose sojourn time exceeds a live quantile threshold
+//! (`--trace-quantile`, default 0.99) plus a uniform 1-in-128 baseline.
+//! On a DRIFT verdict the recorder is dumped so the spans that produced
+//! the anomaly survive for inspection.
+//!
+//! `--http ADDR` serves `/metrics` (Prometheus text), `/snapshot.json`,
+//! `/traces`, and `/model` — see `rjms::http`.
+//!
+//! Periodic reports go to **stderr**, each as one pre-built buffer written
+//! with a single `write_all`, so concurrent stats and metrics reports
+//! never interleave mid-line and stdout stays machine-parseable.
 
-use rjms::broker::{BrokerConfig, CostModel, MetricsConfig, ThroughputProbe};
+use rjms::broker::{BrokerConfig, CostModel, MetricsConfig, ThroughputProbe, TraceConfig};
+use rjms::http::{HttpServer, HttpState};
+use rjms::metrics::clock;
 use rjms::model::model::ServerModel;
 use rjms::model::monitor::{ModelMonitor, ModelVerdict};
 use rjms::model::params::CostParams;
 use rjms::net::server::BrokerServer;
 use rjms::queueing::replication::ReplicationModel;
+use rjms::trace::group_chains;
+use std::fmt::Write as _;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -35,6 +55,9 @@ struct Args {
     stats_every: Option<u64>,
     metrics_interval: Option<u64>,
     cost_model: Option<(CostModel, CostParams)>,
+    http: Option<String>,
+    trace: bool,
+    trace_quantile: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
         stats_every: None,
         metrics_interval: None,
         cost_model: None,
+        http: None,
+        trace: false,
+        trace_quantile: 0.99,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,10 +98,23 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("bad --cost-model `{other}` (corr|app)")),
                 });
             }
+            "--http" => {
+                args.http = Some(it.next().ok_or("--http needs an address")?);
+            }
+            "--trace" => args.trace = true,
+            "--trace-quantile" => {
+                let v = it.next().ok_or("--trace-quantile needs a value in (0, 1)")?;
+                let q: f64 = v.parse().map_err(|e| format!("bad --trace-quantile value: {e}"))?;
+                if !(q > 0.0 && q < 1.0) {
+                    return Err(format!("--trace-quantile must be in (0, 1), got {q}"));
+                }
+                args.trace_quantile = q;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: rjms-server [--listen ADDR] [--topic NAME]... \
-                     [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app]"
+                     [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app] \
+                     [--http ADDR] [--trace] [--trace-quantile Q]"
                 );
                 std::process::exit(0);
             }
@@ -83,6 +122,15 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Writes a pre-built report to stderr in one `write_all`: reports from
+/// the stats and metrics threads never interleave mid-line.
+fn report(text: &str) {
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_all(text.as_bytes());
+    let _ = handle.flush();
 }
 
 fn main() {
@@ -97,6 +145,12 @@ fn main() {
     let mut config = BrokerConfig::default();
     if args.metrics_interval.is_some() {
         config = config.metrics(MetricsConfig::default());
+    }
+    if args.trace {
+        // Trace implies metrics: the tail threshold needs the sojourn
+        // histogram (Broker::start enables a default MetricsConfig too,
+        // but being explicit keeps --metrics-interval-less runs obvious).
+        config = config.trace(TraceConfig::default().tail_quantile(args.trace_quantile));
     }
     if let Some((cost, _)) = args.cost_model {
         config = config.cost_model(cost);
@@ -119,52 +173,93 @@ fn main() {
         println!("topics: {}", args.topics.join(", "));
     }
 
+    // HTTP exposition: /metrics, /snapshot.json, /traces, /model.
+    let mut http_state = HttpState::new().observer(server.broker().observer());
+    if let Some(m) = server.broker().metrics() {
+        http_state = http_state.registry(m);
+    }
+    http_state = http_state.registry(server.metrics());
+    if let Some(recorder) = server.broker().tracer() {
+        http_state = http_state.recorder(recorder);
+    }
+    let model_text = http_state.model_text();
+    let _http =
+        args.http.as_ref().map(|addr| match HttpServer::start(http_state.clone(), addr.as_str()) {
+            Ok(h) => {
+                println!("http exposition on http://{}/", h.local_addr());
+                h
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind http endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        });
+
     // Metrics exporter: dumps every instrument (broker-side dispatch
     // histograms + wire-side gauges) as an aligned text report.
     if let Some(secs) = args.metrics_interval {
         let broker_metrics = server.broker().metrics().expect("metrics enabled above");
         let wire_metrics = server.metrics();
         let observer = server.broker().observer();
+        let recorder = server.broker().tracer();
         let params = args.cost_model.map(|(_, p)| p);
         let started = Instant::now();
         std::thread::Builder::new()
             .name("rjms-metrics-export".to_owned())
             .spawn(move || loop {
                 std::thread::sleep(Duration::from_secs(secs));
-                println!("--- metrics ---");
+                let mut out = String::from("--- metrics ---\n");
                 let snap = broker_metrics.snapshot();
-                print!("{}", snap.render_text());
-                print!("{}", wire_metrics.snapshot().render_text());
+                out.push_str(&snap.render_text());
+                out.push_str(&wire_metrics.snapshot().render_text());
                 // Drift check: Eq. 1 + M/GI/1 at the *measured* operating
                 // point (arrival rate, filters per message, replication
                 // grade) vs the measured distributions.
-                let Some(params) = params else { continue };
-                let counters = observer.snapshot().messages;
-                if counters.received == 0 {
-                    continue;
-                }
-                let n_fltr = (counters.filter_evaluations / counters.received).min(u32::MAX as u64);
-                let grade = counters.dispatched as f64 / counters.received as f64;
-                let monitor = ModelMonitor::new(
-                    ServerModel::new(params, n_fltr as u32),
-                    ReplicationModel::deterministic(grade),
-                );
-                let (Some(waiting), Some(service)) =
-                    (snap.histogram("broker.waiting_ns"), snap.histogram("broker.service_ns"))
-                else {
-                    continue;
-                };
-                match monitor.assess(waiting, service, started.elapsed()) {
-                    ModelVerdict::Calibrated(report) => {
-                        println!("model check: CALIBRATED (all within tolerance)");
-                        print!("{}", report.render_text());
+                'check: {
+                    let Some(params) = params else { break 'check };
+                    let counters = observer.snapshot().messages;
+                    if counters.received == 0 {
+                        break 'check;
                     }
-                    ModelVerdict::Drift(report) => {
-                        println!("model check: DRIFT");
-                        print!("{}", report.render_text());
+                    let n_fltr =
+                        (counters.filter_evaluations / counters.received).min(u32::MAX as u64);
+                    let grade = counters.dispatched as f64 / counters.received as f64;
+                    let monitor = ModelMonitor::new(
+                        ServerModel::new(params, n_fltr as u32),
+                        ReplicationModel::deterministic(grade),
+                    );
+                    let (Some(waiting), Some(service)) =
+                        (snap.histogram("broker.waiting_ns"), snap.histogram("broker.service_ns"))
+                    else {
+                        break 'check;
+                    };
+                    let mut verdict_text = String::new();
+                    match monitor.assess(waiting, service, started.elapsed()) {
+                        ModelVerdict::Calibrated(report) => {
+                            verdict_text
+                                .push_str("model check: CALIBRATED (all within tolerance)\n");
+                            verdict_text.push_str(&report.render_text());
+                        }
+                        ModelVerdict::Drift(report) => {
+                            verdict_text.push_str("model check: DRIFT\n");
+                            verdict_text.push_str(&report.render_text());
+                            // Drift hook: dump the flight recorder so the
+                            // span chains of the slow tail that produced
+                            // the anomaly survive for inspection.
+                            if let Some(r) = &recorder {
+                                verdict_text.push_str(&render_drift_traces(r));
+                            }
+                        }
+                        verdict => {
+                            let _ = writeln!(verdict_text, "model check: {verdict:?}");
+                        }
                     }
-                    verdict => println!("model check: {verdict:?}"),
+                    out.push_str(&verdict_text);
+                    if let Ok(mut m) = model_text.lock() {
+                        *m = verdict_text;
+                    }
                 }
+                report(&out);
             })
             .expect("failed to spawn metrics exporter");
     }
@@ -177,13 +272,38 @@ fn main() {
             let probe = ThroughputProbe::begin(server.broker());
             std::thread::sleep(Duration::from_secs(secs));
             let t = probe.end(server.broker());
-            println!(
-                "received {:.1}/s  dispatched {:.1}/s  overall {:.1}/s  (R = {:.2})",
+            report(&format!(
+                "received {:.1}/s  dispatched {:.1}/s  overall {:.1}/s  (R = {:.2})\n",
                 t.received_per_sec,
                 t.dispatched_per_sec,
                 t.overall_per_sec(),
                 t.replication_grade().unwrap_or(0.0),
-            );
+            ));
         },
     }
+}
+
+/// Summarizes the recorder's slowest chains for a drift report: the spans
+/// behind the tail the model check just flagged.
+fn render_drift_traces(recorder: &rjms::trace::FlightRecorder) -> String {
+    let mut chains = group_chains(recorder.snapshot().events);
+    chains.sort_by_key(|c| std::cmp::Reverse(c.total_duration_ns()));
+    let mut out = String::from("drift traces (slowest sampled chains):\n");
+    for chain in chains.iter().take(8) {
+        let _ = write!(
+            out,
+            "  trace {:016x}  total {:>9}ns ",
+            chain.trace_id,
+            chain.total_duration_ns()
+        );
+        for e in &chain.events {
+            let _ = write!(out, " {}={}ns", e.stage.name(), e.duration_ns);
+        }
+        out.push('\n');
+    }
+    if chains.is_empty() {
+        out.push_str("  (recorder empty)\n");
+    }
+    let _ = writeln!(out, "  ns_per_tick {:.4}", clock::ns_per_tick());
+    out
 }

@@ -101,11 +101,12 @@ fn main() {
                     let props: Vec<String> =
                         m.properties().iter().map(|(k, v)| format!("{k}={v}")).collect();
                     println!(
-                        "[{}] corr={} props={{{}}} body={}B",
+                        "[{}] corr={} props={{{}}} body={}B trace={:016x}",
                         received,
                         m.correlation_id().unwrap_or("-"),
                         props.join(", "),
-                        m.body().len()
+                        m.body().len(),
+                        m.trace_id()
                     );
                 }
                 if Some(received) == args.count {

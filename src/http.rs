@@ -1,0 +1,329 @@
+//! Dependency-free HTTP/1.1 exposition endpoint.
+//!
+//! Serves the broker's observability surfaces to scrapers and humans:
+//!
+//! * `GET /metrics` — Prometheus text format (version 0.0.4) rendered from
+//!   every attached [`MetricsRegistry`]: counters, gauges, and histograms
+//!   with cumulative buckets (`_ns` instruments are rewritten to
+//!   `_seconds` base units).
+//! * `GET /snapshot.json` — the typed broker snapshot (message counters,
+//!   subscription topology, journal state, per-topic totals) plus the full
+//!   JSON form of every registry.
+//! * `GET /traces` — the flight recorder's span chains as JSON (see
+//!   [`rjms_trace`]): tail-sampled slow messages plus the uniform baseline,
+//!   grouped per trace id in pipeline order.
+//! * `GET /model` — the latest analytic-model verdict text (Eq. 1 +
+//!   M/GI/1 drift check), when the host wires one in.
+//!
+//! The server is deliberately minimal — blocking I/O, one thread per
+//! connection, `Connection: close` on every response — because its
+//! audience is a scraper polling every few seconds, not a serving
+//! workload. It has no dependencies beyond the standard library, in
+//! keeping with the offline build environment.
+
+use rjms_broker::{BrokerObserver, BrokerSnapshot};
+use rjms_metrics::{clock, MetricsRegistry};
+use rjms_trace::{group_chains, render_chains_json, FlightRecorder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything the endpoint can expose. Build one with the chained setters,
+/// then hand it to [`HttpServer::start`].
+#[derive(Clone, Default)]
+pub struct HttpState {
+    registries: Vec<MetricsRegistry>,
+    observer: Option<BrokerObserver>,
+    recorder: Option<Arc<FlightRecorder>>,
+    model: Arc<Mutex<String>>,
+}
+
+impl std::fmt::Debug for HttpState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpState")
+            .field("registries", &self.registries.len())
+            .field("observer", &self.observer.is_some())
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl HttpState {
+    /// An empty state: every endpoint answers, with empty bodies where
+    /// nothing is attached.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a metrics registry; `/metrics` and `/snapshot.json`
+    /// concatenate all attached registries in order.
+    #[must_use]
+    pub fn registry(mut self, registry: MetricsRegistry) -> Self {
+        self.registries.push(registry);
+        self
+    }
+
+    /// Attaches the broker counter snapshot source for `/snapshot.json`.
+    #[must_use]
+    pub fn observer(mut self, observer: BrokerObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches the span-event flight recorder for `/traces`.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The shared text buffer behind `/model`. A monitoring thread can
+    /// lock it and replace the contents with each new verdict; the
+    /// endpoint serves whatever is current.
+    pub fn model_text(&self) -> Arc<Mutex<String>> {
+        Arc::clone(&self.model)
+    }
+}
+
+/// The running exposition server; shuts down on [`HttpServer::shutdown`]
+/// or drop.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds and starts serving in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the address cannot be bound.
+    pub fn start(state: HttpState, addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&stopping);
+        let acceptor =
+            std::thread::Builder::new().name("rjms-http".to_owned()).spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let state = state.clone();
+                    // One short-lived thread per request: the endpoint is
+                    // scraped every few seconds, not load-bearing.
+                    let _ = std::thread::Builder::new()
+                        .name("rjms-http-conn".to_owned())
+                        .spawn(move || serve_connection(stream, &state));
+                }
+            })?;
+        Ok(HttpServer { addr, stopping, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the acceptor thread. In-flight responses
+    /// finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.stopping.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, state: &HttpState) {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let Some((method, path)) = read_request_head(&mut stream) else {
+        return;
+    };
+    if method != "GET" {
+        respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET is supported\n");
+        return;
+    }
+    // Ignore any query string: every endpoint is parameterless.
+    let path = path.split('?').next().unwrap_or("");
+    match path {
+        "/" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "rjms exposition endpoints:\n\
+             /metrics        Prometheus text format\n\
+             /snapshot.json  broker + registry snapshot (JSON)\n\
+             /traces         tail-sampled message span chains (JSON)\n\
+             /model          latest analytic-model drift verdict\n",
+        ),
+        "/metrics" => {
+            let mut body = String::new();
+            for registry in &state.registries {
+                body.push_str(&registry.snapshot().render_prometheus());
+            }
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        "/snapshot.json" => {
+            let body = render_snapshot_json(state);
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/traces" => match &state.recorder {
+            Some(recorder) => {
+                let snap = recorder.snapshot();
+                let chains = group_chains(snap.events);
+                let body =
+                    render_chains_json(&chains, clock::ns_per_tick(), snap.recorded, snap.capacity);
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => respond(&mut stream, "404 Not Found", "text/plain", "tracing disabled\n"),
+        },
+        "/model" => {
+            let text = state.model.lock().map(|t| t.clone()).unwrap_or_default();
+            let body = if text.is_empty() { "no model assessment yet\n" } else { &text };
+            respond(&mut stream, "200 OK", "text/plain; charset=utf-8", body);
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown path\n"),
+    }
+}
+
+/// Reads the request head (everything through the blank line) and returns
+/// `(method, path)`. `None` on malformed or timed-out input.
+fn read_request_head(stream: &mut TcpStream) -> Option<(String, String)> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 16 * 1024 {
+            return None; // oversized head: drop the connection
+        }
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next()?.split_whitespace();
+    let method = parts.next()?.to_owned();
+    let path = parts.next()?.to_owned();
+    Some((method, path))
+}
+
+/// Writes status line, headers, and body as one buffer with a single
+/// `write_all`, so concurrent responses never interleave mid-line.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let mut out = String::with_capacity(128 + body.len());
+    out.push_str("HTTP/1.1 ");
+    out.push_str(status);
+    out.push_str("\r\nContent-Type: ");
+    out.push_str(content_type);
+    out.push_str("\r\nContent-Length: ");
+    out.push_str(&body.len().to_string());
+    out.push_str("\r\nConnection: close\r\n\r\n");
+    out.push_str(body);
+    let _ = stream.write_all(out.as_bytes());
+    let _ = stream.flush();
+}
+
+fn render_snapshot_json(state: &HttpState) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"broker\":");
+    match &state.observer {
+        Some(observer) => render_broker_json(&mut out, &observer.snapshot()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"registries\":[");
+    for (i, registry) in state.registries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&registry.snapshot().to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_broker_json(out: &mut String, snap: &BrokerSnapshot) {
+    use std::fmt::Write;
+    let m = &snap.messages;
+    let _ = write!(
+        out,
+        "{{\"messages\":{{\"received\":{},\"dispatched\":{},\"filter_evaluations\":{},\
+         \"dropped\":{},\"retained\":{},\"expired\":{}}}",
+        m.received, m.dispatched, m.filter_evaluations, m.dropped, m.retained, m.expired
+    );
+    let s = &snap.subscriptions;
+    let _ = write!(
+        out,
+        ",\"subscriptions\":{{\"topics\":{},\"live\":{},\"durable\":{},\"expired\":{}}}",
+        s.topics, s.live, s.durable, s.expired
+    );
+    match &snap.journal {
+        Some(j) => {
+            let _ = write!(
+                out,
+                ",\"journal\":{{\"appends\":{},\"bytes_appended\":{},\"fsyncs\":{},\
+                 \"frames_recovered\":{},\"torn_bytes_truncated\":{},\"segments_rotated\":{},\
+                 \"segments_removed\":{}}}",
+                j.appends,
+                j.bytes_appended,
+                j.fsyncs,
+                j.frames_recovered,
+                j.torn_bytes_truncated,
+                j.segments_rotated,
+                j.segments_removed
+            );
+        }
+        None => out.push_str(",\"journal\":null"),
+    }
+    out.push_str(",\"per_topic\":{");
+    for (i, (name, t)) in snap.per_topic.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_escape_into(out, name);
+        let _ = write!(out, ":{{\"received\":{},\"dispatched\":{}}}", t.received, t.dispatched);
+    }
+    out.push_str("}}");
+}
+
+/// Appends `s` as a quoted JSON string (topic names are user input).
+fn json_escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -11,7 +11,10 @@
 //! * [`model`] — the paper's performance model ([`rjms_core`]),
 //! * [`queueing`] — the `M/GI/1-∞` analysis ([`rjms_queueing`]),
 //! * [`desim`] — discrete-event simulation ([`rjms_desim`]),
-//! * [`net`] — the TCP wire layer ([`rjms_net`]).
+//! * [`net`] — the TCP wire layer ([`rjms_net`]),
+//! * [`metrics`] — counters, histograms, the TSC clock ([`rjms_metrics`]),
+//! * [`trace`] — the tail-sampled flight recorder ([`rjms_trace`]),
+//! * [`http`] — the HTTP metrics/trace exposition endpoint (this crate).
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of every
@@ -84,3 +87,17 @@ pub mod desim {
 pub mod net {
     pub use rjms_net::*;
 }
+
+/// Low-overhead instruments: counters, histograms, the TSC clock
+/// (re-export of [`rjms_metrics`]).
+pub mod metrics {
+    pub use rjms_metrics::*;
+}
+
+/// The tail-sampled flight recorder for per-message span chains
+/// (re-export of [`rjms_trace`]).
+pub mod trace {
+    pub use rjms_trace::*;
+}
+
+pub mod http;
