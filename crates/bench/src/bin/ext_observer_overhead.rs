@@ -35,7 +35,7 @@
 //! `--smoke` shrinks the message counts and repetitions for CI; without it
 //! the counts are large enough for stable numbers on an idle machine.
 
-use rjms_bench::{experiment_header, Table};
+use rjms_bench::{experiment_header, BenchReport, Table};
 use rjms_broker::{
     Broker, BrokerConfig, CostModel, Filter, Message, MetricsConfig, OverflowPolicy,
 };
@@ -183,7 +183,18 @@ fn main() {
     );
     println!("null-work overhead (median of paired diffs): {:+.2}%  [informational]", null * 100.0);
 
-    if gated > MAX_OVERHEAD {
+    let pass = gated <= MAX_OVERHEAD;
+    let mut report = BenchReport::new("ext_observer_overhead");
+    report
+        .flag("smoke", smoke)
+        .uint("reps", reps as u64)
+        .num("calibrated_overhead", gated)
+        .num("null_work_overhead", null)
+        .num("budget", MAX_OVERHEAD)
+        .flag("pass", pass);
+    report.emit();
+
+    if !pass {
         println!("FAIL: metrics layer exceeds the overhead budget on the calibrated workload");
         std::process::exit(1);
     }

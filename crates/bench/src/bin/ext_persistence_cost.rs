@@ -9,7 +9,7 @@
 //! server capacity (Eq. 2) and the mean waiting time (Fig. 10 pipeline)
 //! move as durability is tightened from `Never` to `Always`.
 
-use rjms_bench::{experiment_header, Table};
+use rjms_bench::{experiment_header, BenchReport, Table};
 use rjms_broker::persist::encode_publish;
 use rjms_broker::Message;
 use rjms_core::capacity::server_capacity;
@@ -106,6 +106,8 @@ fn main() {
         "capacity vs mem",
         "E[W] rho=0.9",
     ]);
+    let mut artifact = BenchReport::new("ext_persistence_cost");
+    artifact.num("memory_only_capacity", base_capacity);
     for cost in &costs {
         let params = memory_only.with_t_store(cost.t_store);
         let capacity = server_capacity(&params, n_fltr, mean_r, rho);
@@ -113,6 +115,14 @@ fn main() {
             WaitingTimeAnalysis::for_model(&ServerModel::new(params, n_fltr), replication, rho)
                 .expect("stable at rho < 1");
         let report = analysis.report();
+        let tag: String = cost
+            .policy
+            .label()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        artifact.num(&format!("t_store_us_{tag}"), cost.t_store * 1e6);
+        artifact.num(&format!("capacity_ratio_{tag}"), capacity / base_capacity);
         table.row_strings(vec![
             cost.policy.label(),
             format!("{:.2}us", cost.t_store * 1e6),
@@ -124,6 +134,7 @@ fn main() {
         ]);
     }
     table.print();
+    artifact.emit();
 
     println!();
     println!(

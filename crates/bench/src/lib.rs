@@ -13,8 +13,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod report;
 pub mod table;
 
+pub use report::BenchReport;
 pub use table::Table;
 
 /// The experiment ids, one per paper artifact, as `(binary, paper artifact,

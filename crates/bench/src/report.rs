@@ -1,0 +1,129 @@
+//! Machine-readable experiment artifacts.
+//!
+//! Each `ext_*` experiment writes a flat `BENCH_<name>.json` at the
+//! repository root next to its text tables, so CI can upload the headline
+//! numbers as artifacts and runs can be diffed without scraping stdout.
+//! The shape is deliberately trivial — one object, scalar values only:
+//!
+//! ```json
+//! {"bench":"ext_observer_overhead","smoke":true,
+//!  "calibrated_overhead":0.013,"budget":0.05,"pass":true}
+//! ```
+
+use rjms_metrics::json::JsonWriter;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug)]
+enum Field {
+    Num(f64),
+    Uint(u64),
+    Text(String),
+    Flag(bool),
+}
+
+/// Accumulates the headline numbers of one experiment run, then writes
+/// them as `BENCH_<name>.json` at the repository root.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, Field)>,
+}
+
+impl BenchReport {
+    /// A new report for the experiment binary `name`.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_owned(), fields: Vec::new() }
+    }
+
+    /// Adds a float field.
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.fields.push((key.to_owned(), Field::Num(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn uint(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_owned(), Field::Uint(value)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push((key.to_owned(), Field::Text(value.to_owned())));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn flag(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.to_owned(), Field::Flag(value)));
+        self
+    }
+
+    /// The JSON text: `{"bench": <name>, <fields in insertion order>}`.
+    pub fn render(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("bench");
+        w.string(&self.name);
+        for (key, field) in &self.fields {
+            w.key(key);
+            match field {
+                Field::Num(v) => w.float(*v),
+                Field::Uint(v) => w.uint(*v),
+                Field::Text(v) => w.string(v),
+                Field::Flag(v) => w.bool(*v),
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes `BENCH_<name>.json` at the repository root and returns its
+    /// path. Call this *before* any failure `exit(1)` so the artifact
+    /// survives a gate trip.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        // crates/bench -> repository root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let root = root.canonicalize().unwrap_or(root);
+        let path = root.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render() + "\n")?;
+        Ok(path)
+    }
+
+    /// Writes the artifact and prints where it went; errors are reported
+    /// to stderr and swallowed (an unwritable artifact must not fail the
+    /// experiment itself).
+    pub fn emit(&self) {
+        match self.write() {
+            Ok(path) => println!("bench artifact: {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write BENCH_{}.json: {e}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object_in_insertion_order() {
+        let mut r = BenchReport::new("ext_example");
+        r.flag("smoke", true).num("overhead", 0.0125).uint("reps", 7).text("mode", "paired");
+        assert_eq!(
+            r.render(),
+            "{\"bench\":\"ext_example\",\"smoke\":true,\"overhead\":0.0125,\
+             \"reps\":7,\"mode\":\"paired\"}"
+        );
+    }
+
+    #[test]
+    fn write_lands_at_repo_root_and_round_trips() {
+        let mut r = BenchReport::new("test_artifact_tmp");
+        r.num("v", 1.5);
+        let path = r.write().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\":\"test_artifact_tmp\""));
+        assert!(path.parent().unwrap().join("Cargo.toml").exists(), "not at repo root: {path:?}");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -33,7 +33,7 @@ use crate::persist::{encode_publish, JournalRecord};
 use crate::stats::{BrokerSnapshot, BrokerStats, MessageCounters, SubscriptionCounters};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
-use rjms_journal::{Journal, JournalStats};
+use rjms_journal::Journal;
 use rjms_metrics::{labeled, Counter, MetricsRegistry};
 use rjms_trace::{FlightRecorder, SpanEvent, Stage};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -401,51 +401,6 @@ impl Broker {
         }
     }
 
-    /// Subscribes to a topic with a filter; returns the consuming handle.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::TopicNotFound`] for unknown topics and
-    /// [`Error::Stopped`] after shutdown.
-    #[deprecated(since = "0.2.0", note = "use `Broker::subscription(topic).filter(..).open()`")]
-    pub fn subscribe(&self, topic: &str, filter: Filter) -> Result<Subscriber, Error> {
-        self.open_literal(topic, filter, self.inner.config.subscriber_queue_capacity)
-    }
-
-    /// Subscribes to every topic whose name matches a [`TopicPattern`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Stopped`] after shutdown.
-    #[deprecated(since = "0.2.0", note = "use `Broker::subscription(pattern).filter(..).open()`")]
-    pub fn subscribe_pattern(
-        &self,
-        pattern: &TopicPattern,
-        filter: Filter,
-    ) -> Result<Subscriber, Error> {
-        self.open_pattern(pattern, filter, self.inner.config.subscriber_queue_capacity)
-    }
-
-    /// Connects to (or creates) a *durable* subscription.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::DurableNameInUse`] if a consumer is already
-    /// connected under this name, [`Error::TopicNotFound`] /
-    /// [`Error::Stopped`] as for topic subscriptions.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Broker::subscription(topic).durable(name).filter(..).open()`"
-    )]
-    pub fn subscribe_durable(
-        &self,
-        topic: &str,
-        name: &str,
-        filter: Filter,
-    ) -> Result<Subscriber, Error> {
-        self.open_durable(topic, name, filter, self.inner.config.subscriber_queue_capacity)
-    }
-
     /// Opens a non-durable subscription on one literal topic (the paper's
     /// *non-durable* mode: messages are only forwarded to subscribers that
     /// are presently online). The subscription is removed automatically
@@ -727,28 +682,6 @@ impl Broker {
     /// appends wire-flush events to it; exposition layers snapshot it.
     pub fn tracer(&self) -> Option<Arc<FlightRecorder>> {
         self.inner.tracer.clone()
-    }
-
-    /// The broker's statistics counters.
-    #[deprecated(since = "0.2.0", note = "use `Broker::snapshot()`")]
-    pub fn stats(&self) -> Arc<BrokerStats> {
-        Arc::clone(&self.inner.stats)
-    }
-
-    /// A snapshot of the write-ahead journal's counters; `None` without
-    /// persistence.
-    #[deprecated(since = "0.2.0", note = "use `Broker::snapshot().journal`")]
-    pub fn journal_stats(&self) -> Option<JournalStats> {
-        self.inner.journal.as_ref().map(|j| j.lock().stats())
-    }
-
-    /// Per-topic counters; `None` for unknown topics.
-    #[deprecated(since = "0.2.0", note = "use `Broker::snapshot().per_topic`")]
-    pub fn topic_stats(&self, topic: &str) -> Option<TopicStats> {
-        self.inner.topics.read().get(topic).map(|t| TopicStats {
-            received: t.received.load(Ordering::Relaxed),
-            dispatched: t.dispatched.load(Ordering::Relaxed),
-        })
     }
 
     /// The raw shared counters, for crate-internal probes.

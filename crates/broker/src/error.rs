@@ -1,8 +1,8 @@
 //! Broker error types.
 //!
 //! Broker operations fail with the workspace-wide [`rjms_core::Error`]
-//! (re-exported here as [`enum@Error`]); the old per-crate `BrokerError` and
-//! `ReceiveError` names remain as deprecated aliases for one release. The
+//! (re-exported here as [`enum@Error`]); the per-crate `BrokerError` and
+//! `ReceiveError` aliases deprecated in 0.2.0 have been removed. The
 //! one broker-specific type is [`TryPublishError`], which hands the
 //! rejected [`Message`] back to the caller on push-back.
 
@@ -10,15 +10,6 @@ use crate::message::Message;
 use std::fmt;
 
 pub use rjms_core::Error;
-
-/// Deprecated alias for the unified [`enum@Error`].
-#[deprecated(since = "0.2.0", note = "use `rjms_broker::Error` (the unified `rjms_core::Error`)")]
-pub type BrokerError = Error;
-
-/// Deprecated alias for the unified [`enum@Error`]; receive failures are now
-/// [`Error::Disconnected`].
-#[deprecated(since = "0.2.0", note = "use `rjms_broker::Error` (the unified `rjms_core::Error`)")]
-pub type ReceiveError = Error;
 
 /// Error of a non-blocking publish: either the bounded publish queue is
 /// full — push-back, with the message handed back untouched — or the

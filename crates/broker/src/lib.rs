@@ -73,8 +73,6 @@ pub use broker::{
 };
 pub use config::{BrokerConfig, MetricsConfig, OverflowPolicy, PersistenceConfig, TraceConfig};
 pub use cost::CostModel;
-#[allow(deprecated)]
-pub use error::{BrokerError, ReceiveError};
 pub use error::{Error, TryPublishError};
 pub use filter::Filter;
 pub use message::{Message, MessageBuilder, MessageId, Priority};

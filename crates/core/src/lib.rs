@@ -15,6 +15,8 @@
 //! * [`waiting`] — the `M/GI/1-∞` waiting-time analysis: mean,
 //!   distribution and quantiles (Eqs. 4–20, Figs. 10–12),
 //! * [`scenario`] — high-level application scenarios,
+//! * [`slo`] — analytic SLO targets: predicted-quantile latency limits and
+//!   the utilization ceiling where the latency budget is exhausted,
 //! * [`architecture`] — the PSR / SSR distributed architectures
 //!   (Eqs. 21–23, Fig. 15).
 //!
@@ -41,6 +43,7 @@ pub mod monitor;
 pub mod params;
 pub mod report;
 pub mod scenario;
+pub mod slo;
 pub mod sweep;
 pub mod waiting;
 
@@ -55,6 +58,7 @@ pub use monitor::{DriftReport, DriftTolerance, ModelMonitor, ModelVerdict};
 pub use params::{CostParams, FilterType};
 pub use report::plan_report;
 pub use scenario::{ApplicationScenario, ApplicationScenarioBuilder};
+pub use slo::{max_utilization_for_quantile, AnalyticSlo};
 pub use sweep::{Series, SeriesPoint};
 pub use waiting::{WaitingTimeAnalysis, WaitingTimeReport};
 

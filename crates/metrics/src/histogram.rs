@@ -373,6 +373,74 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Number of samples strictly above `threshold`, up to bucket
+    /// resolution: a bucket counts as "above" when its entire value range
+    /// lies above the threshold, so the result can undercount by at most
+    /// one bucket's population (the bucket containing `threshold`).
+    pub fn count_above(&self, threshold: u64) -> u64 {
+        // A bucket counts as "above" when its entire value range lies above
+        // the threshold; the true lower bound is recovered from the shared
+        // log-linear geometry via the stored upper bound.
+        self.buckets
+            .iter()
+            .filter(|b| bucket_bounds(bucket_index(b.upper)).0 > threshold)
+            .map(|b| b.count)
+            .sum()
+    }
+
+    /// The per-window distribution between two cumulative snapshots of the
+    /// *same histogram*: every bucket count, the total, and the sum are the
+    /// differences `self − earlier`. This is the history layer's window
+    /// primitive — cumulative instruments never reset, so the samples that
+    /// arrived inside a window are exactly the bucket-wise delta.
+    ///
+    /// Counts are saturating: if `earlier` does not actually precede `self`
+    /// (or comes from a different instrument), negative deltas clamp to
+    /// zero instead of wrapping. The window's `min`/`max` cannot be
+    /// recovered from cumulative extrema, so they are approximated from the
+    /// delta's own non-empty buckets (inheriting the 3.125% bucket
+    /// resolution); `max` is additionally clamped by the later cumulative's
+    /// true maximum, which makes it exact whenever the window contains the
+    /// all-time largest sample.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<BucketCount> = Vec::new();
+        let mut ei = earlier.buckets.iter().peekable();
+        for b in &self.buckets {
+            // Advance the earlier cursor to the bucket with the same upper
+            // bound, if present (both sides are sorted by upper).
+            let mut earlier_count = 0;
+            while let Some(&e) = ei.peek() {
+                match e.upper.cmp(&b.upper) {
+                    std::cmp::Ordering::Less => {
+                        ei.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        earlier_count = e.count;
+                        ei.next();
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            let count = b.count.saturating_sub(earlier_count);
+            if count > 0 {
+                buckets.push(BucketCount { upper: b.upper, count });
+            }
+        }
+        let count: u64 = buckets.iter().map(|b| b.count).sum();
+        HistogramSnapshot {
+            count,
+            // Wrapping: cumulative sums wrap on overflow, and the delta of
+            // two wrapped cumulatives is still exact under wrapping_sub.
+            // An empty delta (including the earlier-ahead misuse case,
+            // where bucket counts saturate to zero) pins the sum to zero.
+            sum: if count == 0 { 0 } else { self.sum.wrapping_sub(earlier.sum) },
+            min: buckets.first().map(|b| b.upper).unwrap_or(0),
+            max: buckets.last().map(|b| b.upper.min(self.max)).unwrap_or(0),
+            buckets,
+        }
+    }
+
     /// Folds another snapshot into this one (bucket-wise addition; both
     /// sides come from the shared fixed geometry).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
@@ -403,7 +471,10 @@ impl HistogramSnapshot {
         self.buckets = merged;
         self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
         self.count += other.count;
-        self.sum += other.sum;
+        // The live histogram's sum wraps on overflow (relaxed fetch_add),
+        // so merging must wrap the same way to stay consistent with a
+        // single recording of the union.
+        self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }
@@ -604,5 +675,67 @@ mod tests {
     #[should_panic(expected = "quantile requires p")]
     fn quantile_rejects_bad_p() {
         Histogram::new().snapshot().quantile(1.5);
+    }
+
+    #[test]
+    fn delta_recovers_window_samples() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(5_000);
+        let before = h.snapshot();
+        h.record(5_000);
+        h.record(90_000);
+        let after = h.snapshot();
+        let window = after.delta(&before);
+        assert_eq!(window.count, 2);
+        assert_eq!(window.sum, 95_000);
+        // Only the window's samples populate the delta buckets; quantiles
+        // over it reflect {5_000, 90_000} within bucket resolution.
+        let q50 = window.quantile(0.50).unwrap();
+        assert!((4_900..=5_200).contains(&q50), "q50 {q50}");
+        let q99 = window.quantile(0.99).unwrap();
+        assert!((88_000..=93_000).contains(&q99), "q99 {q99}");
+        // Bounds come from the delta's own non-empty buckets.
+        assert!(window.min >= 5_000 && window.min <= 5_200, "min {}", window.min);
+        assert!(window.max >= 90_000 && window.max <= 93_000, "max {}", window.max);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        let h = Histogram::new();
+        h.record(42);
+        let snap = h.snapshot();
+        let window = snap.delta(&snap);
+        assert_eq!(window.count, 0);
+        assert_eq!(window.sum, 0);
+        assert!(window.buckets.is_empty());
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_wrapping() {
+        let a = Histogram::new();
+        a.record(10);
+        let b = Histogram::new();
+        b.record(10);
+        b.record(10);
+        b.record(1_000_000);
+        // "Earlier" has MORE samples in the 10-bucket: clamps to zero
+        // rather than wrapping to u64::MAX.
+        let window = a.snapshot().delta(&b.snapshot());
+        assert_eq!(window.count, 0);
+        assert_eq!(window.sum, 0);
+    }
+
+    #[test]
+    fn count_above_splits_at_bucket_resolution() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 50_000, 80_000, 2_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count_above(10_000), 3);
+        assert_eq!(snap.count_above(1_000_000), 1);
+        assert_eq!(snap.count_above(0), 5);
+        assert_eq!(snap.count_above(u64::MAX), 0);
     }
 }

@@ -1,12 +1,27 @@
 //! Minimal hand-rolled JSON emission.
 //!
 //! The workspace's `serde` shim provides marker traits only, so snapshot
-//! export builds its JSON text directly. Only the constructs the registry
-//! needs are implemented: objects, arrays, strings, integers, and floats.
+//! export builds its JSON text directly. Only the constructs the
+//! observability surfaces need are implemented: objects, arrays, strings,
+//! integers, and floats. The writer is public so downstream exposition
+//! layers (`rjms-obs`, `rjms::http`) render with the same escaping rules
+//! as the registry snapshots.
 
 /// Incrementally builds a JSON document into an owned `String`.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_metrics::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("count");
+/// w.uint(3);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"count":3}"#);
+/// ```
 #[derive(Debug, Default)]
-pub(crate) struct JsonWriter {
+pub struct JsonWriter {
     out: String,
     /// Whether the current nesting level already has an element (needs a
     /// comma before the next one). One entry per open object/array.
@@ -14,11 +29,13 @@ pub(crate) struct JsonWriter {
 }
 
 impl JsonWriter {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
         Self::default()
     }
 
-    pub(crate) fn finish(self) -> String {
+    /// Returns the finished document.
+    pub fn finish(self) -> String {
         debug_assert!(self.needs_comma.is_empty(), "unbalanced JSON nesting");
         self.out
     }
@@ -32,30 +49,34 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn begin_object(&mut self) {
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
         self.pre_value();
         self.out.push('{');
         self.needs_comma.push(false);
     }
 
-    pub(crate) fn end_object(&mut self) {
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
         self.needs_comma.pop();
         self.out.push('}');
     }
 
-    pub(crate) fn begin_array(&mut self) {
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
         self.pre_value();
         self.out.push('[');
         self.needs_comma.push(false);
     }
 
-    pub(crate) fn end_array(&mut self) {
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
         self.needs_comma.pop();
         self.out.push(']');
     }
 
     /// Writes an object key; the next call must write its value.
-    pub(crate) fn key(&mut self, name: &str) {
+    pub fn key(&mut self, name: &str) {
         self.pre_value();
         write_escaped(&mut self.out, name);
         self.out.push(':');
@@ -65,25 +86,39 @@ impl JsonWriter {
         }
     }
 
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn string(&mut self, v: &str) {
+    /// Writes an escaped string value.
+    pub fn string(&mut self, v: &str) {
         self.pre_value();
         write_escaped(&mut self.out, v);
     }
 
-    pub(crate) fn uint(&mut self, v: u64) {
+    /// Writes an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
         self.pre_value();
         self.out.push_str(&v.to_string());
     }
 
-    pub(crate) fn int(&mut self, v: i64) {
+    /// Writes a signed integer value.
+    pub fn int(&mut self, v: i64) {
         self.pre_value();
         self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a `null` value.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.out.push_str("null");
     }
 
     /// Writes a finite float; NaN and infinities become `null` (JSON has no
     /// representation for them).
-    pub(crate) fn float(&mut self, v: f64) {
+    pub fn float(&mut self, v: f64) {
         self.pre_value();
         if v.is_finite() {
             // `{:?}` round-trips f64 exactly and always includes a decimal
@@ -92,6 +127,13 @@ impl JsonWriter {
         } else {
             self.out.push_str("null");
         }
+    }
+
+    /// Writes a pre-rendered JSON fragment verbatim (the caller vouches for
+    /// its validity — e.g. a nested document produced by another writer).
+    pub fn raw(&mut self, fragment: &str) {
+        self.pre_value();
+        self.out.push_str(fragment);
     }
 
     // After `key(..)`, the comma state of the enclosing object was cleared;
@@ -167,5 +209,16 @@ mod tests {
         w.float(2.0);
         w.end_array();
         assert_eq!(w.finish(), "[null,null,2.0]");
+    }
+
+    #[test]
+    fn bool_null_and_raw() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.bool(true);
+        w.null();
+        w.raw(r#"{"nested":1}"#);
+        w.end_array();
+        assert_eq!(w.finish(), r#"[true,null,{"nested":1}]"#);
     }
 }

@@ -41,11 +41,12 @@
 pub mod clock;
 pub mod counter;
 pub mod histogram;
-mod json;
+pub mod json;
 pub mod prometheus;
 pub mod registry;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{Histogram, HistogramSnapshot, LocalHistogram, Stopwatch};
+pub use json::JsonWriter;
 pub use prometheus::labeled;
 pub use registry::{MetricsRegistry, RegistrySnapshot};

@@ -113,33 +113,52 @@ impl RegistrySnapshot {
     /// families. Latency families named `*_ns` are converted to seconds
     /// and renamed `*_seconds` (see module docs).
     pub fn render_prometheus(&self) -> String {
+        use std::collections::BTreeMap;
         let mut out = String::with_capacity(1024);
-        let mut last_type_line = String::new();
-        let mut type_line = |out: &mut String, base: &str, kind: &str| {
-            let line = format!("# TYPE {base} {kind}\n");
-            if line != last_type_line {
-                out.push_str(&line);
-                last_type_line = line;
-            }
-        };
+
+        // The spec allows at most one `# TYPE` line per metric family, with
+        // every series of the family directly below it. Registry iteration
+        // order interleaves families (`t.received` sorts before
+        // `t.received2`, which sorts before `t.received{topic=...}`), so
+        // group series by sanitized base name first, then emit each family
+        // as one contiguous block.
+        // Family name -> (TYPE keyword, [(label pair, rendered value)]).
+        type ScalarFamilies<'a> = BTreeMap<String, (&'static str, Vec<(Option<&'a str>, String)>)>;
+        let mut scalar_families: ScalarFamilies = BTreeMap::new();
         for (name, value) in &self.counters {
             let (base, labels) = split_name(name);
-            type_line(&mut out, &base, "counter");
-            let _ = writeln!(out, "{base}{} {value}", label_block(labels, None));
+            let entry = scalar_families.entry(base).or_insert_with(|| ("counter", Vec::new()));
+            entry.1.push((labels, value.to_string()));
         }
         for (name, value) in &self.gauges {
             let (base, labels) = split_name(name);
-            type_line(&mut out, &base, "gauge");
-            let _ = writeln!(out, "{base}{} {value}", label_block(labels, None));
+            let entry = scalar_families.entry(base).or_insert_with(|| ("gauge", Vec::new()));
+            entry.1.push((labels, value.to_string()));
         }
+        for (base, (kind, series)) in &scalar_families {
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            for (labels, value) in series {
+                let _ = writeln!(out, "{base}{} {value}", label_block(*labels, None));
+            }
+        }
+
+        // Family name -> [(label pair, snapshot, ns-to-seconds flag)].
+        type HistogramFamilies<'a> =
+            BTreeMap<String, Vec<(Option<&'a str>, &'a HistogramSnapshot, bool)>>;
+        let mut histogram_families: HistogramFamilies = BTreeMap::new();
         for (name, h) in &self.histograms {
             let (base, labels) = split_name(name);
             let (base, convert_ns) = match base.strip_suffix("_ns") {
                 Some(stem) => (format!("{stem}_seconds"), true),
                 None => (base, false),
             };
-            type_line(&mut out, &base, "histogram");
-            render_histogram(&mut out, &base, labels, h, convert_ns);
+            histogram_families.entry(base).or_default().push((labels, h, convert_ns));
+        }
+        for (base, series) in &histogram_families {
+            let _ = writeln!(out, "# TYPE {base} histogram");
+            for (labels, h, convert_ns) in series {
+                render_histogram(&mut out, base, *labels, h, *convert_ns);
+            }
         }
         out
     }
@@ -182,6 +201,69 @@ mod tests {
         assert_eq!(text.matches("# TYPE t_received counter").count(), 1);
         assert!(text.contains("t_received{topic=\"a\"} 1\n"));
         assert!(text.contains("t_received{topic=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn interleaved_families_emit_one_type_line_each() {
+        // In BTreeMap order `t.received` < `t.received2` < `t.received{...}`
+        // ('2' = 0x32 sorts before '{' = 0x7b), so a naive in-order renderer
+        // splits the t_received family around t_received2 and emits its
+        // `# TYPE` line twice — forbidden by the text format.
+        let r = MetricsRegistry::new();
+        r.counter("t.received").add(1);
+        r.counter("t.received2").add(2);
+        r.counter(&labeled("t.received", &[("topic", "a")])).add(3);
+        let text = r.snapshot().render_prometheus();
+        assert_eq!(text.matches("# TYPE t_received counter").count(), 1);
+        assert_eq!(text.matches("# TYPE t_received2 counter").count(), 1);
+        // The family block is contiguous: its labeled series sits directly
+        // under the TYPE line, before any other family's TYPE line.
+        let lines: Vec<&str> = text.lines().collect();
+        let type_idx = lines.iter().position(|l| *l == "# TYPE t_received counter").unwrap();
+        assert_eq!(lines[type_idx + 1], "t_received 1");
+        assert_eq!(lines[type_idx + 2], "t_received{topic=\"a\"} 3");
+    }
+
+    /// Parses a label value back out of an exposition line, undoing the
+    /// text-format escapes — the consumer half of the round trip.
+    fn unescape_label_value(line: &str) -> String {
+        let raw = line.split("topic=\"").nth(1).unwrap();
+        // The value ends at the first unescaped quote.
+        let mut value = String::new();
+        let mut chars = raw.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => break,
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => panic!("invalid escape \\{other:?} in {line}"),
+                },
+                c => value.push(c),
+            }
+        }
+        value
+    }
+
+    #[test]
+    fn hostile_topic_name_round_trips_through_exposition() {
+        // A topic name exercising every escape the spec defines (backslash,
+        // double quote, newline) plus braces and a comma, which must pass
+        // through verbatim without confusing the name/label split.
+        let topic = "a\\b\"c\nd{e=\"f\",g}";
+        let r = MetricsRegistry::new();
+        r.counter(&labeled("broker.topic.received", &[("topic", topic)])).add(5);
+        let text = r.snapshot().render_prometheus();
+        assert_eq!(text.matches("# TYPE broker_topic_received counter").count(), 1);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("broker_topic_received{"))
+            .expect("labeled series missing");
+        assert!(line.ends_with(" 5"));
+        // No raw newline may survive inside the sample line.
+        assert!(!line.contains('\n'));
+        assert_eq!(unescape_label_value(line), topic);
     }
 
     #[test]

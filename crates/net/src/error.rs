@@ -5,20 +5,12 @@
 //! failures map to [`Error::Io`], server-side rejections to
 //! [`Error::Remote`], malformed frames to [`Error::Decode`], and the
 //! client's request timeout / torn connection to [`Error::Timeout`] /
-//! [`Error::Closed`]. The old per-crate `NetError` enum survives as a
-//! deprecated alias so existing `-> Result<_, NetError>` signatures keep
-//! compiling for one release.
+//! [`Error::Closed`]. The `NetError` alias deprecated in 0.2.0 has been
+//! removed; match on the unified [`enum@Error`] directly.
 
 use crate::wire::DecodeError;
 
 pub use rjms_core::Error;
-
-/// Deprecated alias for the unified workspace error.
-#[deprecated(
-    since = "0.2.0",
-    note = "net errors are unified into `rjms_net::Error` (re-exported from `rjms_core`)"
-)]
-pub type NetError = Error;
 
 impl From<DecodeError> for Error {
     fn from(e: DecodeError) -> Self {

@@ -51,7 +51,5 @@ pub mod wire;
 
 pub use client::{RemoteBroker, RemoteSubscriber};
 pub use error::Error;
-#[allow(deprecated)]
-pub use error::NetError;
 pub use server::BrokerServer;
 pub use wire::{Request, Response, WireFilter, WireMessage};

@@ -1,0 +1,561 @@
+//! Alert state machine and notification sinks.
+//!
+//! Each objective owns one state machine:
+//!
+//! ```text
+//!        fast ≥ thr                 fast ∧ slow ≥ thr
+//!   Ok ────────────▶ Warning ───────────────────────▶ Firing
+//!    ▲                  │ fast < resolve·thr            │
+//!    │                  ▼                               │ fast ∧ slow <
+//!    │ cooldown        Ok                               │ resolve·thr for
+//!    │                                                  ▼ `resolve_after`
+//!    └───────────────────────────────────────────── Resolved
+//! ```
+//!
+//! Hysteresis: leaving Firing requires the burn to drop below
+//! `resolve_ratio · threshold` (default 0.9×) and *stay* there for
+//! `resolve_after`, so an alert flapping around the threshold does not
+//! spam transitions. After resolving, a per-alert `cooldown` must elapse
+//! before the machine returns to Ok and may fire again.
+//!
+//! Transitions are emitted as [`AlertEvent`]s to a pluggable
+//! [`AlertSink`]; a firing event carries [`Evidence`]: the offending
+//! window's histogram, the latest analytic model prediction, and the ids
+//! of tail-sampled trace chains from the incident window.
+
+use crate::slo::WindowBurn;
+use rjms_core::WaitingTimeReport;
+use rjms_metrics::{HistogramSnapshot, JsonWriter};
+use std::io::Write as IoWrite;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The alert lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Objective healthy.
+    Ok,
+    /// Fast window burning, slow window still fine (onset or blip).
+    Warning,
+    /// Both windows burning: the objective is being violated.
+    Firing,
+    /// Recently stopped firing; in the post-incident cooldown.
+    Resolved,
+}
+
+impl AlertState {
+    /// Stable lowercase name used in JSON and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+}
+
+/// Supporting data attached to a firing alert.
+#[derive(Debug, Clone, Default)]
+pub struct Evidence {
+    /// The offending fast window's histogram delta (nanoseconds).
+    pub window_histogram: Option<HistogramSnapshot>,
+    /// The analytic model's latest prediction at the measured load, when
+    /// the monitor produced one.
+    pub prediction: Option<WaitingTimeReport>,
+    /// One-line summary of the latest model verdict.
+    pub model_verdict: Option<String>,
+    /// Trace ids of tail-sampled chains captured during the window.
+    pub trace_ids: Vec<u64>,
+}
+
+/// One state transition, as delivered to sinks.
+#[derive(Debug, Clone)]
+pub struct AlertEvent {
+    /// Objective name.
+    pub name: String,
+    /// State before the transition.
+    pub from: AlertState,
+    /// State after the transition.
+    pub to: AlertState,
+    /// Elapsed time (history epoch) at the transition.
+    pub at: Duration,
+    /// Fast-window burn at the transition.
+    pub fast_burn: f64,
+    /// Slow-window burn at the transition.
+    pub slow_burn: f64,
+    /// Evidence, populated on transitions into [`AlertState::Firing`].
+    pub evidence: Option<Evidence>,
+}
+
+impl AlertEvent {
+    /// Renders the event as a single log line.
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "[slo] {} {} -> {} at {:.1}s fast_burn={:.2} slow_burn={:.2}",
+            self.name,
+            self.from.name(),
+            self.to.name(),
+            self.at.as_secs_f64(),
+            self.fast_burn,
+            self.slow_burn,
+        );
+        if let Some(e) = &self.evidence {
+            if let Some(h) = &e.window_histogram {
+                let q99 = h.quantile(0.99).unwrap_or(0);
+                line.push_str(&format!(" window_samples={} window_q99_ns={q99}", h.count));
+            }
+            if let Some(p) = &e.prediction {
+                line.push_str(&format!(
+                    " predicted_q99_s={:.6} predicted_rho={:.3}",
+                    p.q99, p.utilization
+                ));
+            }
+            if !e.trace_ids.is_empty() {
+                line.push_str(&format!(" traces={}", e.trace_ids.len()));
+            }
+        }
+        line
+    }
+
+    /// Renders the event as a self-contained JSON object (webhook payload
+    /// and `/alerts` feed entry).
+    pub fn render_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name");
+        w.string(&self.name);
+        w.key("from");
+        w.string(self.from.name());
+        w.key("to");
+        w.string(self.to.name());
+        w.key("at_ms");
+        w.uint(self.at.as_millis() as u64);
+        w.key("fast_burn");
+        w.float(self.fast_burn);
+        w.key("slow_burn");
+        w.float(self.slow_burn);
+        match &self.evidence {
+            None => {
+                w.key("evidence");
+                w.null();
+            }
+            Some(e) => {
+                w.key("evidence");
+                w.begin_object();
+                match &e.window_histogram {
+                    None => {
+                        w.key("window");
+                        w.null();
+                    }
+                    Some(h) => {
+                        w.key("window");
+                        w.begin_object();
+                        w.key("count");
+                        w.uint(h.count);
+                        w.key("q50_ns");
+                        w.uint(h.quantile(0.50).unwrap_or(0));
+                        w.key("q99_ns");
+                        w.uint(h.quantile(0.99).unwrap_or(0));
+                        w.key("q9999_ns");
+                        w.uint(h.quantile(0.9999).unwrap_or(0));
+                        w.key("max_ns");
+                        w.uint(h.max);
+                        w.end_object();
+                    }
+                }
+                match &e.prediction {
+                    None => {
+                        w.key("prediction");
+                        w.null();
+                    }
+                    Some(p) => {
+                        w.key("prediction");
+                        w.begin_object();
+                        w.key("utilization");
+                        w.float(p.utilization);
+                        w.key("mean_waiting_s");
+                        w.float(p.mean_waiting_time);
+                        w.key("q99_s");
+                        w.float(p.q99);
+                        w.key("q9999_s");
+                        w.float(p.q9999);
+                        w.end_object();
+                    }
+                }
+                w.key("model_verdict");
+                match &e.model_verdict {
+                    Some(v) => w.string(v),
+                    None => w.null(),
+                }
+                w.key("trace_ids");
+                w.begin_array();
+                for id in &e.trace_ids {
+                    w.uint(*id);
+                }
+                w.end_array();
+                w.end_object();
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Hysteresis and pacing knobs shared by all machines in an engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertPolicy {
+    /// Burn must stay below `resolve_ratio × threshold` for
+    /// `resolve_after` before a firing alert resolves.
+    pub resolve_ratio: f64,
+    /// How long the burn must stay low to resolve.
+    pub resolve_after: Duration,
+    /// Dwell time in Resolved before returning to Ok.
+    pub cooldown: Duration,
+}
+
+impl Default for AlertPolicy {
+    fn default() -> Self {
+        Self {
+            resolve_ratio: 0.9,
+            resolve_after: Duration::from_secs(60),
+            cooldown: Duration::from_secs(120),
+        }
+    }
+}
+
+/// The per-objective state machine.
+#[derive(Debug)]
+pub struct AlertMachine {
+    name: String,
+    threshold: f64,
+    policy: AlertPolicy,
+    state: AlertState,
+    /// When the current state was entered.
+    since: Duration,
+    /// Start of the contiguous below-resolve-threshold stretch while
+    /// firing, if one is in progress.
+    quiet_since: Option<Duration>,
+}
+
+impl AlertMachine {
+    /// Creates a machine in [`AlertState::Ok`].
+    pub fn new(name: &str, threshold: f64, policy: AlertPolicy) -> Self {
+        Self {
+            name: name.to_string(),
+            threshold,
+            policy,
+            state: AlertState::Ok,
+            since: Duration::ZERO,
+            quiet_since: None,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> AlertState {
+        self.state
+    }
+
+    /// When the current state was entered (history-epoch elapsed time).
+    pub fn since(&self) -> Duration {
+        self.since
+    }
+
+    /// Feeds one evaluation; returns the transition event if the state
+    /// changed. `evidence` is only consulted when the machine fires.
+    pub fn step(
+        &mut self,
+        now: Duration,
+        fast: WindowBurn,
+        slow: WindowBurn,
+        evidence: impl FnOnce() -> Evidence,
+    ) -> Option<AlertEvent> {
+        let fast_hot = fast.burn >= self.threshold;
+        let slow_hot = slow.burn >= self.threshold;
+        let quiet_level = self.policy.resolve_ratio * self.threshold;
+        let quiet = fast.burn < quiet_level && slow.burn < quiet_level;
+        let next = match self.state {
+            AlertState::Ok => {
+                if fast_hot && slow_hot {
+                    AlertState::Firing
+                } else if fast_hot {
+                    AlertState::Warning
+                } else {
+                    AlertState::Ok
+                }
+            }
+            AlertState::Warning => {
+                if fast_hot && slow_hot {
+                    AlertState::Firing
+                } else if fast.burn < quiet_level {
+                    AlertState::Ok
+                } else {
+                    AlertState::Warning
+                }
+            }
+            AlertState::Firing => {
+                if quiet {
+                    let start = *self.quiet_since.get_or_insert(now);
+                    if now.saturating_sub(start) >= self.policy.resolve_after {
+                        AlertState::Resolved
+                    } else {
+                        AlertState::Firing
+                    }
+                } else {
+                    self.quiet_since = None;
+                    AlertState::Firing
+                }
+            }
+            AlertState::Resolved => {
+                if fast_hot && slow_hot {
+                    // Re-fire immediately: the incident came back.
+                    AlertState::Firing
+                } else if now.saturating_sub(self.since) >= self.policy.cooldown {
+                    AlertState::Ok
+                } else {
+                    AlertState::Resolved
+                }
+            }
+        };
+        if next == self.state {
+            return None;
+        }
+        let from = self.state;
+        self.state = next;
+        self.since = now;
+        self.quiet_since = None;
+        Some(AlertEvent {
+            name: self.name.clone(),
+            from,
+            to: next,
+            at: now,
+            fast_burn: fast.burn,
+            slow_burn: slow.burn,
+            evidence: (next == AlertState::Firing).then(evidence),
+        })
+    }
+}
+
+/// Destination for alert transitions.
+pub trait AlertSink: Send {
+    /// Delivers one transition. Implementations must not block the
+    /// evaluation loop for long; failures are swallowed (alerting must
+    /// never take the broker down).
+    fn emit(&mut self, event: &AlertEvent);
+}
+
+/// Writes one line per transition to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl AlertSink for StderrSink {
+    fn emit(&mut self, event: &AlertEvent) {
+        eprintln!("{}", event.render_line());
+    }
+}
+
+/// POSTs the JSON payload to a webhook-style HTTP endpoint over a fresh
+/// blocking connection per event (fire-and-forget; send errors are
+/// dropped).
+#[derive(Debug, Clone)]
+pub struct WebhookSink {
+    /// `host:port` to connect to.
+    pub addr: String,
+    /// Request path, e.g. `/hooks/slo`.
+    pub path: String,
+}
+
+impl AlertSink for WebhookSink {
+    fn emit(&mut self, event: &AlertEvent) {
+        let body = event.render_json();
+        let request = format!(
+            "POST {} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.path,
+            self.addr,
+            body.len(),
+            body
+        );
+        let attempt = (|| -> std::io::Result<()> {
+            let mut stream = std::net::TcpStream::connect(&self.addr)?;
+            stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+            stream.write_all(request.as_bytes())
+        })();
+        let _ = attempt;
+    }
+}
+
+/// Retains events in memory — the `/alerts` feed and the test harness.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<AlertEvent>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything emitted so far.
+    pub fn events(&self) -> Vec<AlertEvent> {
+        self.events.lock().expect("sink lock").clone()
+    }
+}
+
+impl AlertSink for MemorySink {
+    fn emit(&mut self, event: &AlertEvent) {
+        self.events.lock().expect("sink lock").push(event.clone());
+    }
+}
+
+/// Tracks the worst state seen, for CI gating via process exit code
+/// (`0` ok, `1` warning seen, `2` firing seen).
+#[derive(Debug, Clone, Default)]
+pub struct ExitCodeSink {
+    worst: Arc<Mutex<u8>>,
+}
+
+impl ExitCodeSink {
+    /// Creates a sink with a clean slate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exit code implied by the worst transition seen.
+    pub fn code(&self) -> u8 {
+        *self.worst.lock().expect("sink lock")
+    }
+}
+
+impl AlertSink for ExitCodeSink {
+    fn emit(&mut self, event: &AlertEvent) {
+        let severity = match event.to {
+            AlertState::Firing => 2,
+            AlertState::Warning => 1,
+            AlertState::Ok | AlertState::Resolved => 0,
+        };
+        let mut worst = self.worst.lock().expect("sink lock");
+        *worst = (*worst).max(severity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burn(b: f64) -> WindowBurn {
+        WindowBurn { burn: b, samples: 100, bad: 0 }
+    }
+
+    fn policy() -> AlertPolicy {
+        AlertPolicy {
+            resolve_ratio: 0.9,
+            resolve_after: Duration::from_secs(10),
+            cooldown: Duration::from_secs(20),
+        }
+    }
+
+    fn step_at(m: &mut AlertMachine, t: u64, fast: f64, slow: f64) -> Option<AlertEvent> {
+        m.step(Duration::from_secs(t), burn(fast), burn(slow), Evidence::default)
+    }
+
+    #[test]
+    fn full_lifecycle_ok_warning_firing_resolved_ok() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        assert!(step_at(&mut m, 1, 0.1, 0.1).is_none());
+        // Fast hot only → Warning.
+        let e = step_at(&mut m, 2, 3.0, 0.5).unwrap();
+        assert_eq!((e.from, e.to), (AlertState::Ok, AlertState::Warning));
+        // Both hot → Firing, with evidence attached.
+        let e = step_at(&mut m, 3, 3.0, 2.5).unwrap();
+        assert_eq!(e.to, AlertState::Firing);
+        assert!(e.evidence.is_some());
+        // Burn drops; must stay quiet for resolve_after (10 s).
+        assert!(step_at(&mut m, 4, 0.2, 0.2).is_none());
+        assert!(step_at(&mut m, 9, 0.2, 0.2).is_none());
+        let e = step_at(&mut m, 14, 0.2, 0.2).unwrap();
+        assert_eq!(e.to, AlertState::Resolved);
+        assert!(e.evidence.is_none());
+        // Cooldown (20 s) before returning to Ok.
+        assert!(step_at(&mut m, 20, 0.1, 0.1).is_none());
+        let e = step_at(&mut m, 35, 0.1, 0.1).unwrap();
+        assert_eq!(e.to, AlertState::Ok);
+    }
+
+    #[test]
+    fn flapping_burn_resets_the_resolve_clock() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        step_at(&mut m, 1, 3.0, 3.0).unwrap();
+        assert_eq!(m.state(), AlertState::Firing);
+        assert!(step_at(&mut m, 5, 0.2, 0.2).is_none());
+        // Burn spikes again: quiet stretch restarts.
+        assert!(step_at(&mut m, 8, 3.0, 3.0).is_none());
+        assert!(step_at(&mut m, 12, 0.2, 0.2).is_none());
+        // 10 s after the *second* quiet start, not the first.
+        assert!(step_at(&mut m, 18, 0.2, 0.2).is_none());
+        let e = step_at(&mut m, 22, 0.2, 0.2).unwrap();
+        assert_eq!(e.to, AlertState::Resolved);
+    }
+
+    #[test]
+    fn hysteresis_blocks_resolution_near_threshold() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        step_at(&mut m, 1, 3.0, 3.0).unwrap();
+        // 1.85 is below threshold 2.0 but above 0.9×2.0 = 1.8: not quiet.
+        for t in 2..40 {
+            assert!(step_at(&mut m, t, 1.85, 1.85).is_none());
+        }
+        assert_eq!(m.state(), AlertState::Firing);
+    }
+
+    #[test]
+    fn warning_needs_only_fast_window_and_clears() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        let e = step_at(&mut m, 1, 2.5, 0.0).unwrap();
+        assert_eq!(e.to, AlertState::Warning);
+        let e = step_at(&mut m, 2, 0.1, 0.0).unwrap();
+        assert_eq!(e.to, AlertState::Ok);
+    }
+
+    #[test]
+    fn refire_from_resolved_skips_cooldown() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        step_at(&mut m, 1, 3.0, 3.0).unwrap();
+        for t in 2..=12 {
+            step_at(&mut m, t, 0.1, 0.1);
+        }
+        assert_eq!(m.state(), AlertState::Resolved);
+        let e = step_at(&mut m, 13, 3.0, 3.0).unwrap();
+        assert_eq!(e.to, AlertState::Firing);
+    }
+
+    #[test]
+    fn exit_code_sink_tracks_worst() {
+        let mut sink = ExitCodeSink::new();
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        let e = step_at(&mut m, 1, 2.5, 0.0).unwrap();
+        sink.emit(&e);
+        assert_eq!(sink.code(), 1);
+        let e = step_at(&mut m, 2, 3.0, 3.0).unwrap();
+        sink.emit(&e);
+        assert_eq!(sink.code(), 2);
+    }
+
+    #[test]
+    fn event_json_is_well_formed() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        let e = m
+            .step(Duration::from_secs(3), burn(3.0), burn(2.5), || Evidence {
+                window_histogram: None,
+                prediction: None,
+                model_verdict: Some("drift: Q99[W] off by 2.1x".into()),
+                trace_ids: vec![7, 9],
+            })
+            .unwrap();
+        let json = e.render_json();
+        assert!(json.contains("\"to\":\"firing\""));
+        assert!(json.contains("\"trace_ids\":[7,9]"));
+        assert!(json.contains("\"window\":null"));
+    }
+}

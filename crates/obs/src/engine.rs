@@ -1,0 +1,629 @@
+//! The SLO engine: deterministic core plus a production runtime thread.
+//!
+//! [`ObsCore`] is intentionally free of clocks and threads: every
+//! evaluation is an explicit [`ObsCore::tick`] with a caller-supplied
+//! elapsed time, a cumulative registry snapshot, and (optionally) the
+//! flight recorder for trace evidence. That makes the whole engine —
+//! history, burn rates, state machines, evidence capture — drivable from
+//! tests at simulated time, which is how the overload integration test
+//! walks an alert through ok → firing → resolved in milliseconds.
+//!
+//! [`ObsRuntime`] wraps the core in a sampling thread for production: one
+//! registry snapshot per interval, one tick, sinks notified on
+//! transitions, and the shared core handed to the HTTP layer for the
+//! `/history`, `/slo` and `/alerts` endpoints.
+
+use crate::alert::{AlertEvent, AlertMachine, AlertPolicy, AlertSink, AlertState, Evidence};
+use crate::history::{HistoryConfig, MetricHistory, Reduce, Window};
+use crate::slo::{evaluate_window, Objective, SloSpec, WindowBurn, SERVICE_METRIC, WAITING_METRIC};
+use rjms_core::{ModelMonitor, ModelVerdict};
+use rjms_metrics::{JsonWriter, MetricsRegistry, RegistrySnapshot};
+use rjms_trace::{group_chains, FlightRecorder};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Events retained for the `/alerts` feed.
+const EVENT_RING: usize = 256;
+/// Trace chains attached to one piece of firing evidence.
+const EVIDENCE_TRACES: usize = 8;
+
+/// Engine configuration.
+#[derive(Debug)]
+pub struct ObsConfig {
+    /// History ring geometry.
+    pub history: HistoryConfig,
+    /// The objectives to evaluate.
+    pub slos: Vec<SloSpec>,
+    /// Shared hysteresis/pacing policy.
+    pub policy: AlertPolicy,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            history: HistoryConfig::default(),
+            slos: SloSpec::defaults(),
+            policy: AlertPolicy::default(),
+        }
+    }
+}
+
+/// Point-in-time status of one objective (the `/slo` payload row).
+#[derive(Debug, Clone)]
+pub struct ObjectiveStatus {
+    /// Objective name.
+    pub name: String,
+    /// Current alert state.
+    pub state: AlertState,
+    /// When the state was entered.
+    pub since: Duration,
+    /// Latest fast-window evaluation.
+    pub fast: WindowBurn,
+    /// Latest slow-window evaluation.
+    pub slow: WindowBurn,
+    /// The firing threshold.
+    pub threshold: f64,
+    /// Remaining error budget in the slow window, as a fraction of the
+    /// budget (1 = untouched, 0 = exhausted, negative = overspent).
+    pub budget_remaining: f64,
+}
+
+/// The deterministic SLO engine. See the [module docs](self).
+pub struct ObsCore {
+    history: MetricHistory,
+    specs: Vec<SloSpec>,
+    machines: Vec<AlertMachine>,
+    monitor: Option<ModelMonitor>,
+    latest_verdict: Option<ModelVerdict>,
+    latest_status: Vec<ObjectiveStatus>,
+    events: std::collections::VecDeque<AlertEvent>,
+    sinks: Vec<Box<dyn AlertSink>>,
+}
+
+impl std::fmt::Debug for ObsCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsCore")
+            .field("specs", &self.specs.len())
+            .field("samples", &self.history.samples())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl ObsCore {
+    /// Builds an engine from a configuration.
+    pub fn new(config: ObsConfig) -> Self {
+        let machines = config
+            .slos
+            .iter()
+            .map(|s| AlertMachine::new(&s.name, s.burn_threshold, config.policy))
+            .collect();
+        Self {
+            history: MetricHistory::new(config.history),
+            specs: config.slos,
+            machines,
+            monitor: None,
+            latest_verdict: None,
+            latest_status: Vec::new(),
+            events: std::collections::VecDeque::with_capacity(EVENT_RING),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Attaches the analytic model monitor: firing evidence gains the
+    /// model's prediction and the drift-health objective becomes live.
+    pub fn with_monitor(mut self, monitor: ModelMonitor) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Replaces the model monitor at runtime. The measured operating point
+    /// (filters per message, replication grade) is only observable once
+    /// traffic flows, so hosts refresh the monitor as topology data
+    /// arrives.
+    pub fn set_monitor(&mut self, monitor: ModelMonitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Adds a notification sink.
+    pub fn add_sink(&mut self, sink: Box<dyn AlertSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// The metric history (for `/history` readouts).
+    pub fn history(&self) -> &MetricHistory {
+        &self.history
+    }
+
+    /// The latest per-objective status (recomputed by each tick).
+    pub fn status(&self) -> &[ObjectiveStatus] {
+        &self.latest_status
+    }
+
+    /// Recent alert transitions, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &AlertEvent> {
+        self.events.iter()
+    }
+
+    /// The latest model verdict, when a monitor is attached and has seen
+    /// enough samples.
+    pub fn latest_verdict(&self) -> Option<&ModelVerdict> {
+        self.latest_verdict.as_ref()
+    }
+
+    /// Ingests one cumulative snapshot and evaluates every objective.
+    /// Returns the transitions that occurred (already delivered to sinks).
+    pub fn tick(
+        &mut self,
+        elapsed: Duration,
+        snapshot: &RegistrySnapshot,
+        recorder: Option<&FlightRecorder>,
+    ) -> Vec<AlertEvent> {
+        self.history.record(elapsed, snapshot);
+
+        // Model assessment over the fast window of the first latency
+        // objective (they share the default 5 m onset horizon).
+        let assess_span =
+            self.specs.first().map(|s| s.fast_window).unwrap_or(Duration::from_secs(300));
+        let assess_window = self.history.window(assess_span);
+        self.latest_verdict = self.monitor.as_ref().and_then(|m| {
+            let waiting = assess_window.histogram(WAITING_METRIC)?;
+            let service = assess_window.histogram(SERVICE_METRIC)?;
+            Some(m.assess(waiting, service, assess_window.span()))
+        });
+        let drift_red = matches!(
+            self.latest_verdict,
+            Some(ModelVerdict::Drift(_) | ModelVerdict::Overloaded { .. })
+        );
+
+        let mut transitions = Vec::new();
+        let mut status = Vec::with_capacity(self.specs.len());
+        for (spec, machine) in self.specs.iter().zip(self.machines.iter_mut()) {
+            let fast_window = self.history.window(spec.fast_window);
+            let slow_window = self.history.window(spec.slow_window);
+            let fast = evaluate_window(&spec.objective, &fast_window, drift_red);
+            let slow = evaluate_window(&spec.objective, &slow_window, drift_red);
+            let event = machine.step(elapsed, fast, slow, || {
+                build_evidence(spec, &fast_window, self.latest_verdict.as_ref(), recorder)
+            });
+            if let Some(event) = event {
+                transitions.push(event);
+            }
+            status.push(ObjectiveStatus {
+                name: spec.name.clone(),
+                state: machine.state(),
+                since: machine.since(),
+                fast,
+                slow,
+                threshold: spec.burn_threshold,
+                budget_remaining: budget_remaining(&spec.objective, slow),
+            });
+        }
+        self.latest_status = status;
+        for event in &transitions {
+            if self.events.len() == EVENT_RING {
+                self.events.pop_front();
+            }
+            self.events.push_back(event.clone());
+            for sink in &mut self.sinks {
+                sink.emit(event);
+            }
+        }
+        transitions
+    }
+
+    /// Renders the `/slo` JSON payload.
+    pub fn render_slo_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("elapsed_ms");
+        w.uint(self.history.latest().map(|t| t.as_millis() as u64).unwrap_or(0));
+        w.key("model_verdict");
+        match &self.latest_verdict {
+            Some(v) => w.string(&verdict_summary(v)),
+            None => w.null(),
+        }
+        w.key("objectives");
+        w.begin_array();
+        for s in &self.latest_status {
+            w.begin_object();
+            w.key("name");
+            w.string(&s.name);
+            w.key("state");
+            w.string(s.state.name());
+            w.key("since_ms");
+            w.uint(s.since.as_millis() as u64);
+            w.key("threshold");
+            w.float(s.threshold);
+            w.key("fast_burn");
+            w.float(s.fast.burn);
+            w.key("slow_burn");
+            w.float(s.slow.burn);
+            w.key("fast_samples");
+            w.uint(s.fast.samples);
+            w.key("slow_samples");
+            w.uint(s.slow.samples);
+            w.key("fast_bad");
+            w.uint(s.fast.bad);
+            w.key("slow_bad");
+            w.uint(s.slow.bad);
+            w.key("budget_remaining");
+            w.float(s.budget_remaining);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Renders the `/alerts` JSON payload: current per-objective states
+    /// plus the recent transition feed (newest last), evidence included.
+    pub fn render_alerts_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("active");
+        w.begin_array();
+        for s in &self.latest_status {
+            w.begin_object();
+            w.key("name");
+            w.string(&s.name);
+            w.key("state");
+            w.string(s.state.name());
+            w.key("since_ms");
+            w.uint(s.since.as_millis() as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("events");
+        w.begin_array();
+        for event in &self.events {
+            w.raw(&event.render_json());
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Renders the `/history` JSON payload for one metric: the per-slot
+    /// series over `span` under `reduce`, plus the merged-window summary.
+    pub fn render_history_json(&self, metric: &str, span: Duration, reduce: Reduce) -> String {
+        let points = self.history.series(metric, span, reduce);
+        let window = self.history.window(span);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("metric");
+        w.string(metric);
+        w.key("window_ms");
+        w.uint(span.as_millis() as u64);
+        w.key("covered_ms");
+        w.uint(window.span().as_millis() as u64);
+        w.key("reduce");
+        w.string(match reduce {
+            Reduce::Rate => "rate",
+            Reduce::Level => "level",
+            Reduce::Quantile(_) => "quantile",
+            Reduce::Count => "count",
+        });
+        w.key("points");
+        w.begin_array();
+        for p in &points {
+            w.begin_object();
+            w.key("t_ms");
+            w.uint(p.elapsed_ms);
+            w.key("v");
+            w.float(p.value);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("summary");
+        match window.histogram(metric) {
+            Some(h) => {
+                w.begin_object();
+                w.key("count");
+                w.uint(h.count);
+                w.key("q50_ns");
+                w.uint(h.quantile(0.50).unwrap_or(0));
+                w.key("q99_ns");
+                w.uint(h.quantile(0.99).unwrap_or(0));
+                w.key("q9999_ns");
+                w.uint(h.quantile(0.9999).unwrap_or(0));
+                w.key("mean_ns");
+                w.float(h.mean());
+                w.end_object();
+            }
+            None => {
+                let total = window.counters.get(metric).copied();
+                match total {
+                    Some(total) => {
+                        w.begin_object();
+                        w.key("total");
+                        w.uint(total);
+                        w.key("rate");
+                        w.float(window.rate(metric));
+                        w.end_object();
+                    }
+                    None => w.null(),
+                }
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Slow-window error budget remaining, as a fraction of the budget.
+fn budget_remaining(objective: &Objective, slow: WindowBurn) -> f64 {
+    match objective {
+        Objective::LatencyQuantile { .. } => 1.0 - slow.burn,
+        Objective::UtilizationCeiling { .. } => 1.0 - slow.burn,
+        Objective::DriftHealth => 1.0 - slow.burn,
+    }
+}
+
+/// One-line human summary of a model verdict.
+pub fn verdict_summary(verdict: &ModelVerdict) -> String {
+    match verdict {
+        ModelVerdict::Insufficient { samples, required } => {
+            format!("insufficient: {samples}/{required} samples")
+        }
+        ModelVerdict::Overloaded { utilization } => {
+            format!("overloaded: rho = {utilization:.3} >= 1")
+        }
+        ModelVerdict::Calibrated(_) => "calibrated".to_string(),
+        ModelVerdict::Drift(report) => {
+            let quantities: Vec<&str> = report.violations.iter().map(|v| v.quantity).collect();
+            format!("drift: {}", quantities.join(", "))
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Builds firing evidence for one objective from the offending fast
+/// window, the latest model verdict, and the flight recorder's current
+/// tail-sampled chains.
+fn build_evidence(
+    spec: &SloSpec,
+    fast_window: &Window,
+    verdict: Option<&ModelVerdict>,
+    recorder: Option<&FlightRecorder>,
+) -> Evidence {
+    let metric = match &spec.objective {
+        Objective::LatencyQuantile { metric, .. } => metric.as_str(),
+        Objective::UtilizationCeiling { .. } => SERVICE_METRIC,
+        Objective::DriftHealth => WAITING_METRIC,
+    };
+    let trace_ids = recorder
+        .map(|r| {
+            let chains = group_chains(r.snapshot().events);
+            let mut ids: Vec<u64> =
+                chains.iter().filter(|c| c.is_complete()).map(|c| c.trace_id).collect();
+            // Newest chains carry the incident; keep the tail.
+            if ids.len() > EVIDENCE_TRACES {
+                ids.drain(..ids.len() - EVIDENCE_TRACES);
+            }
+            ids
+        })
+        .unwrap_or_default();
+    Evidence {
+        window_histogram: fast_window.histogram(metric).cloned(),
+        prediction: verdict.and_then(|v| v.report()).map(|r| r.predicted),
+        model_verdict: verdict.map(verdict_summary),
+        trace_ids,
+    }
+}
+
+/// Production wrapper: samples the registry on an interval and drives a
+/// shared [`ObsCore`] from a background thread.
+pub struct ObsRuntime {
+    core: Arc<Mutex<ObsCore>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsRuntime").finish_non_exhaustive()
+    }
+}
+
+impl ObsRuntime {
+    /// Starts the sampling thread: one `registry.snapshot()` and one
+    /// [`ObsCore::tick`] every `interval` until [`ObsRuntime::stop`].
+    pub fn start(
+        core: ObsCore,
+        registry: MetricsRegistry,
+        recorder: Option<Arc<FlightRecorder>>,
+        interval: Duration,
+    ) -> Self {
+        let core = Arc::new(Mutex::new(core));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_core = Arc::clone(&core);
+        let thread_stop = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("rjms-obs".into())
+            .spawn(move || {
+                let epoch = Instant::now();
+                while !thread_stop.load(Ordering::Relaxed) {
+                    thread::sleep(interval);
+                    let snapshot = registry.snapshot();
+                    let elapsed = epoch.elapsed();
+                    let mut core = thread_core.lock().expect("obs core lock");
+                    core.tick(elapsed, &snapshot, recorder.as_deref());
+                }
+            })
+            .expect("spawn obs thread");
+        Self { core, stop, handle: Some(handle) }
+    }
+
+    /// The shared core, for HTTP handlers and shutdown-time inspection.
+    pub fn core(&self) -> Arc<Mutex<ObsCore>> {
+        Arc::clone(&self.core)
+    }
+
+    /// Stops the sampling thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::MemorySink;
+    use rjms_metrics::MetricsRegistry;
+
+    fn quick_specs() -> Vec<SloSpec> {
+        vec![SloSpec::latency("w99", WAITING_METRIC, 0.99, 1_000_000)
+            .windows(Duration::from_secs(4), Duration::from_secs(8))]
+    }
+
+    fn quick_policy() -> AlertPolicy {
+        AlertPolicy {
+            resolve_ratio: 0.9,
+            resolve_after: Duration::from_secs(2),
+            cooldown: Duration::from_secs(4),
+        }
+    }
+
+    #[test]
+    fn tick_drives_alert_through_overload_and_back() {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram(WAITING_METRIC);
+        let config = ObsConfig {
+            history: HistoryConfig {
+                fine_interval: Duration::from_secs(1),
+                fine_slots: 32,
+                coarse_factor: 4,
+                coarse_slots: 16,
+            },
+            slos: quick_specs(),
+            policy: quick_policy(),
+        };
+        let mut core = ObsCore::new(config);
+        let sink = MemorySink::new();
+        core.add_sink(Box::new(sink.clone()));
+
+        let mut t = 0u64;
+        let step = |core: &mut ObsCore, violating: bool, t: &mut u64| {
+            for _ in 0..100 {
+                waiting.record(if violating { 50_000_000 } else { 100_000 });
+            }
+            *t += 1;
+            core.tick(Duration::from_secs(*t), &registry.snapshot(), None);
+        };
+        // Healthy warm-up fills both windows with good samples.
+        for _ in 0..9 {
+            step(&mut core, false, &mut t);
+        }
+        assert_eq!(core.status()[0].state, AlertState::Ok);
+        // Saturate: every sample violates the 1 ms limit.
+        for _ in 0..9 {
+            step(&mut core, true, &mut t);
+        }
+        assert_eq!(core.status()[0].state, AlertState::Firing);
+        // Recover; resolve_after = 2 s then cooldown back to Ok.
+        for _ in 0..16 {
+            step(&mut core, false, &mut t);
+        }
+        assert_eq!(core.status()[0].state, AlertState::Ok);
+        let states: Vec<AlertState> = sink.events().iter().map(|e| e.to).collect();
+        assert!(states.contains(&AlertState::Firing));
+        assert!(states.contains(&AlertState::Resolved));
+        assert!(states.contains(&AlertState::Ok));
+    }
+
+    #[test]
+    fn firing_event_carries_window_evidence() {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram(WAITING_METRIC);
+        let config = ObsConfig {
+            history: HistoryConfig {
+                fine_interval: Duration::from_secs(1),
+                fine_slots: 32,
+                coarse_factor: 4,
+                coarse_slots: 16,
+            },
+            slos: quick_specs(),
+            policy: quick_policy(),
+        };
+        let mut core = ObsCore::new(config);
+        let mut transitions = Vec::new();
+        for t in 1..=8u64 {
+            for _ in 0..50 {
+                waiting.record(80_000_000);
+            }
+            transitions.extend(core.tick(Duration::from_secs(t), &registry.snapshot(), None));
+        }
+        let firing = transitions.iter().find(|e| e.to == AlertState::Firing).unwrap();
+        let evidence = firing.evidence.as_ref().unwrap();
+        let h = evidence.window_histogram.as_ref().unwrap();
+        assert!(h.count > 0);
+        assert!(h.quantile(0.99).unwrap() > 1_000_000);
+    }
+
+    #[test]
+    fn json_payloads_are_well_formed() {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram(WAITING_METRIC);
+        registry.counter("broker.messages.received").add(5);
+        let mut core = ObsCore::new(ObsConfig { slos: quick_specs(), ..ObsConfig::default() });
+        for t in 1..=3u64 {
+            waiting.record(500_000);
+            registry.counter("broker.messages.received").add(10);
+            core.tick(Duration::from_secs(t), &registry.snapshot(), None);
+        }
+        let slo = core.render_slo_json();
+        assert!(slo.contains("\"objectives\":["));
+        assert!(slo.contains("\"name\":\"w99\""));
+        let alerts = core.render_alerts_json();
+        assert!(alerts.contains("\"active\":["));
+        assert!(alerts.contains("\"events\":["));
+        let hist = core.render_history_json(
+            WAITING_METRIC,
+            Duration::from_secs(60),
+            Reduce::Quantile(0.99),
+        );
+        assert!(hist.contains("\"points\":["));
+        assert!(hist.contains("\"summary\":{"));
+        let counter_hist = core.render_history_json(
+            "broker.messages.received",
+            Duration::from_secs(60),
+            Reduce::Rate,
+        );
+        assert!(counter_hist.contains("\"total\":"));
+    }
+
+    #[test]
+    fn runtime_thread_ticks_and_stops() {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram(WAITING_METRIC);
+        waiting.record(1_000);
+        let core = ObsCore::new(ObsConfig { slos: quick_specs(), ..ObsConfig::default() });
+        let runtime = ObsRuntime::start(core, registry, None, Duration::from_millis(5));
+        let shared = runtime.core();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if shared.lock().unwrap().history().samples() >= 3 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "runtime never ticked");
+            thread::sleep(Duration::from_millis(5));
+        }
+        runtime.stop();
+    }
+}

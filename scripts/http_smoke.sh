@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # HTTP exposition smoke test: start a traced rjms-server with the HTTP
-# endpoint, drive a workload through the TCP clients, then validate the
-# /metrics, /snapshot.json, /traces, and /model responses.
+# endpoint and the SLO engine, drive a workload through the TCP clients,
+# then validate the /metrics, /snapshot.json, /traces, /model, /history,
+# /slo, and /alerts responses.
 #
 # Usage: scripts/http_smoke.sh [path-to-target-dir]
 # Exits non-zero on any failed check.
@@ -25,7 +26,7 @@ done
 
 fail() { echo "FAIL: $*"; exit 1; }
 
-"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --topic smoke &
+"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --topic smoke &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
@@ -35,6 +36,10 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 curl -sf "http://$HTTP_ADDR/" >/dev/null || fail "http endpoint never came up"
+
+# Let the SLO sampler (1 s interval) record its baseline first, so the
+# workload below lands in a delta slot and is visible in /history.
+sleep 1.2
 
 # Drive the workload: a subscriber consuming $COUNT messages, a publisher
 # sending them with trace ids printed.
@@ -98,5 +103,26 @@ echo "complete chains: $COMPLETE / $COUNT"
 
 # --- /model ------------------------------------------------------------
 curl -sf "http://$HTTP_ADDR/model" >/dev/null || fail "/model not served"
+
+# --- /slo, /history, /alerts: the SLO engine ---------------------------
+curl -sf "http://$HTTP_ADDR/slo" > "$WORKDIR/slo.json" || fail "/slo not served"
+grep -q '"name":"w99"' "$WORKDIR/slo.json" || fail "/slo missing the derived w99 objective"
+grep -q '"model_verdict":' "$WORKDIR/slo.json" || fail "/slo missing the model verdict"
+
+# Poll until the sampler ticks past the workload and the dispatched
+# messages show up as a non-zero point in the waiting-time history.
+HISTORY_OK=0
+for _ in $(seq 1 30); do
+  curl -sf "http://$HTTP_ADDR/history?metric=broker.waiting_ns&window=10m&reduce=count" \
+    > "$WORKDIR/history.json" || fail "/history not served"
+  if grep -q '"v":[1-9]' "$WORKDIR/history.json"; then HISTORY_OK=1; break; fi
+  sleep 0.2
+done
+grep -q '"metric":"broker.waiting_ns"' "$WORKDIR/history.json" \
+  || fail "/history missing the metric name"
+[ "$HISTORY_OK" = 1 ] || fail "/history never showed the dispatched workload"
+
+curl -sf "http://$HTTP_ADDR/alerts" > "$WORKDIR/alerts.json" || fail "/alerts not served"
+grep -q '"events":\[' "$WORKDIR/alerts.json" || fail "/alerts missing the event log"
 
 echo "PASS: http exposition smoke ($COMPLETE/$COUNT complete chains)"

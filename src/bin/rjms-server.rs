@@ -30,7 +30,17 @@
 //! the anomaly survive for inspection.
 //!
 //! `--http ADDR` serves `/metrics` (Prometheus text), `/snapshot.json`,
-//! `/traces`, and `/model` — see `rjms::http`.
+//! `/traces`, `/model`, and — when the SLO engine is on — `/history`,
+//! `/slo`, and `/alerts` — see `rjms::http`.
+//!
+//! `--slo` enables the waiting-time SLO engine (`rjms::obs`): a
+//! background sampler keeps a multi-resolution metric history and
+//! evaluates the default objectives (W99 ≤ 10 ms, W99.99 ≤ 100 ms,
+//! ρ ≤ 0.9, model health) as fast/slow burn rates, with alert
+//! transitions delivered to stderr and any sinks added with
+//! `--alert-sink` (repeatable: `stderr`, or `webhook:HOST:PORT/PATH` for
+//! a JSON POST per transition). `--history SECS` tunes the sampling
+//! interval (default 1 s; implies `--slo`).
 //!
 //! Periodic reports go to **stderr**, each as one pre-built buffer written
 //! with a single `write_all`, so concurrent stats and metrics reports
@@ -43,6 +53,7 @@ use rjms::model::model::ServerModel;
 use rjms::model::monitor::{ModelMonitor, ModelVerdict};
 use rjms::model::params::CostParams;
 use rjms::net::server::BrokerServer;
+use rjms::obs::{HistoryConfig, ObsConfig, ObsCore, ObsRuntime, StderrSink, WebhookSink};
 use rjms::queueing::replication::ReplicationModel;
 use rjms::trace::group_chains;
 use std::fmt::Write as _;
@@ -58,6 +69,9 @@ struct Args {
     http: Option<String>,
     trace: bool,
     trace_quantile: f64,
+    slo: bool,
+    history: Option<u64>,
+    alert_sinks: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +84,9 @@ fn parse_args() -> Result<Args, String> {
         http: None,
         trace: false,
         trace_quantile: 0.99,
+        slo: false,
+        history: None,
+        alert_sinks: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -102,6 +119,22 @@ fn parse_args() -> Result<Args, String> {
                 args.http = Some(it.next().ok_or("--http needs an address")?);
             }
             "--trace" => args.trace = true,
+            "--slo" => args.slo = true,
+            "--history" => {
+                let v = it.next().ok_or("--history needs a number of seconds")?;
+                let secs: u64 = v.parse().map_err(|e| format!("bad --history value: {e}"))?;
+                if secs == 0 {
+                    return Err("--history must be at least 1 second".to_owned());
+                }
+                args.history = Some(secs);
+            }
+            "--alert-sink" => {
+                let v = it.next().ok_or("--alert-sink needs `stderr` or `webhook:ADDR/PATH`")?;
+                if v != "stderr" && !v.starts_with("webhook:") {
+                    return Err(format!("bad --alert-sink `{v}` (stderr|webhook:ADDR/PATH)"));
+                }
+                args.alert_sinks.push(v);
+            }
             "--trace-quantile" => {
                 let v = it.next().ok_or("--trace-quantile needs a value in (0, 1)")?;
                 let q: f64 = v.parse().map_err(|e| format!("bad --trace-quantile value: {e}"))?;
@@ -114,7 +147,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: rjms-server [--listen ADDR] [--topic NAME]... \
                      [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app] \
-                     [--http ADDR] [--trace] [--trace-quantile Q]"
+                     [--http ADDR] [--trace] [--trace-quantile Q] \
+                     [--slo] [--history SECS] [--alert-sink stderr|webhook:ADDR/PATH]..."
                 );
                 std::process::exit(0);
             }
@@ -142,8 +176,11 @@ fn main() {
         }
     };
 
+    let slo_enabled = args.slo || args.history.is_some();
     let mut config = BrokerConfig::default();
-    if args.metrics_interval.is_some() {
+    if args.metrics_interval.is_some() || slo_enabled {
+        // The SLO engine samples the broker's registry, so it needs the
+        // dispatch instruments even without a periodic text report.
         config = config.metrics(MetricsConfig::default());
     }
     if args.trace {
@@ -173,7 +210,38 @@ fn main() {
         println!("topics: {}", args.topics.join(", "));
     }
 
-    // HTTP exposition: /metrics, /snapshot.json, /traces, /model.
+    // SLO engine: background sampler + burn-rate alerting over the
+    // broker's dispatch instruments.
+    let obs_runtime = if slo_enabled {
+        let registry = server.broker().metrics().expect("metrics enabled above");
+        let interval = Duration::from_secs(args.history.unwrap_or(1));
+        let mut core = ObsCore::new(ObsConfig {
+            history: HistoryConfig { fine_interval: interval, ..HistoryConfig::default() },
+            ..ObsConfig::default()
+        });
+        core.add_sink(Box::new(StderrSink));
+        for sink in &args.alert_sinks {
+            match sink.as_str() {
+                "stderr" => {} // always attached above
+                spec => {
+                    let rest = spec.strip_prefix("webhook:").expect("validated in parse_args");
+                    let (addr, path) = match rest.find('/') {
+                        Some(i) => (rest[..i].to_owned(), rest[i..].to_owned()),
+                        None => (rest.to_owned(), "/".to_owned()),
+                    };
+                    core.add_sink(Box::new(WebhookSink { addr, path }));
+                }
+            }
+        }
+        let runtime = ObsRuntime::start(core, registry, server.broker().tracer(), interval);
+        println!("slo engine on ({}s sampling)", interval.as_secs());
+        Some(runtime)
+    } else {
+        None
+    };
+
+    // HTTP exposition: /metrics, /snapshot.json, /traces, /model, and the
+    // SLO surfaces when the engine is on.
     let mut http_state = HttpState::new().observer(server.broker().observer());
     if let Some(m) = server.broker().metrics() {
         http_state = http_state.registry(m);
@@ -181,6 +249,9 @@ fn main() {
     http_state = http_state.registry(server.metrics());
     if let Some(recorder) = server.broker().tracer() {
         http_state = http_state.recorder(recorder);
+    }
+    if let Some(runtime) = &obs_runtime {
+        http_state = http_state.obs(runtime.core());
     }
     let model_text = http_state.model_text();
     let _http =
@@ -203,6 +274,7 @@ fn main() {
         let observer = server.broker().observer();
         let recorder = server.broker().tracer();
         let params = args.cost_model.map(|(_, p)| p);
+        let obs_core = obs_runtime.as_ref().map(|r| r.core());
         let started = Instant::now();
         std::thread::Builder::new()
             .name("rjms-metrics-export".to_owned())
@@ -228,6 +300,16 @@ fn main() {
                         ServerModel::new(params, n_fltr as u32),
                         ReplicationModel::deterministic(grade),
                     );
+                    // Keep the SLO engine's drift objective on the same
+                    // measured operating point as this report.
+                    if let Some(core) = &obs_core {
+                        if let Ok(mut c) = core.lock() {
+                            c.set_monitor(ModelMonitor::new(
+                                ServerModel::new(params, n_fltr as u32),
+                                ReplicationModel::deterministic(grade),
+                            ));
+                        }
+                    }
                     let (Some(waiting), Some(service)) =
                         (snap.histogram("broker.waiting_ns"), snap.histogram("broker.service_ns"))
                     else {

@@ -1,0 +1,272 @@
+//! `rjms-top` — a dependency-free terminal dashboard for the rjms SLO
+//! engine.
+//!
+//! ```text
+//! rjms-top [--url HOST:PORT] [--interval SECS] [--once]
+//! ```
+//!
+//! Polls the broker's HTTP exposition endpoint (`rjms-server --http ADDR
+//! --slo`) and redraws one screen per interval:
+//!
+//! * a **waiting-time pane**: sparkline of the per-slot W99 over the last
+//!   ten minutes plus the merged-window quantile summary,
+//! * a **throughput pane**: sparkline of messages per slot,
+//! * an **SLO table**: per objective, the alert state, fast/slow burn
+//!   rates against the threshold, and an error-budget gauge,
+//! * an **alert feed**: the most recent state transitions with their
+//!   burn rates.
+//!
+//! `--once` renders a single frame without clearing the screen and exits
+//! non-zero if any objective is firing — usable as a scriptable health
+//! probe. Everything is plain `std`: the HTTP client is a blocking
+//! `TcpStream`, the JSON reader is [`rjms::obs::minijson`].
+
+use rjms::obs::minijson::{self, Value};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const SPARK: [char; 8] = [
+    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+];
+const SPARK_WIDTH: usize = 60;
+const FEED_LINES: usize = 8;
+
+struct Args {
+    url: String,
+    interval: u64,
+    once: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { url: "127.0.0.1:7881".to_owned(), interval: 2, once: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--url" => {
+                let v = it.next().ok_or("--url needs HOST:PORT")?;
+                args.url = v.trim_start_matches("http://").trim_end_matches('/').to_owned();
+            }
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs a number of seconds")?;
+                let secs: u64 = v.parse().map_err(|e| format!("bad --interval value: {e}"))?;
+                if secs == 0 {
+                    return Err("--interval must be at least 1 second".to_owned());
+                }
+                args.interval = secs;
+            }
+            "--once" => args.once = true,
+            "--help" | "-h" => {
+                println!("usage: rjms-top [--url HOST:PORT] [--interval SECS] [--once]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// One blocking HTTP/1.1 GET; returns the body of a 200 response.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    let mut stream = stream;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("recv: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").ok_or("malformed response")?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{path}: {status}"));
+    }
+    Ok(body.to_owned())
+}
+
+fn get_json(addr: &str, path: &str) -> Result<Value, String> {
+    let body = http_get(addr, path)?;
+    minijson::parse(&body).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders `points` (a `/history` points array) as a sparkline scaled to
+/// the window maximum, downsampled to at most [`SPARK_WIDTH`] cells.
+fn sparkline(points: &[f64]) -> (String, f64) {
+    if points.is_empty() {
+        return ("(no data)".to_owned(), 0.0);
+    }
+    // Downsample by max within each cell so spikes survive.
+    let cells = points.len().min(SPARK_WIDTH);
+    let per = points.len().div_ceil(cells);
+    let reduced: Vec<f64> =
+        points.chunks(per).map(|c| c.iter().cloned().fold(0.0, f64::max)).collect();
+    let top = reduced.iter().cloned().fold(0.0, f64::max);
+    let line = reduced
+        .iter()
+        .map(|&v| {
+            if top <= 0.0 {
+                SPARK[0]
+            } else {
+                let i = ((v / top) * (SPARK.len() - 1) as f64).round() as usize;
+                SPARK[i.min(SPARK.len() - 1)]
+            }
+        })
+        .collect();
+    (line, top)
+}
+
+fn series_values(history: &Value) -> Vec<f64> {
+    history
+        .get("points")
+        .map(Value::items)
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|p| p.get("v").and_then(Value::as_f64))
+        .collect()
+}
+
+/// `[########........]  63% budget` — the slow-window error budget.
+fn budget_gauge(remaining: f64) -> String {
+    let filled = (remaining.clamp(0.0, 1.0) * 16.0).round() as usize;
+    let bar: String = (0..16).map(|i| if i < filled { '#' } else { '.' }).collect();
+    format!("[{bar}] {:>4.0}%", remaining.clamp(0.0, 1.0) * 100.0)
+}
+
+fn state_tag(state: &str) -> &'static str {
+    // ANSI colors: green ok, yellow warning, red firing, cyan resolved.
+    match state {
+        "ok" => "\x1b[32mok      \x1b[0m",
+        "warning" => "\x1b[33mwarning \x1b[0m",
+        "firing" => "\x1b[31mFIRING  \x1b[0m",
+        "resolved" => "\x1b[36mresolved\x1b[0m",
+        _ => "?       ",
+    }
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.2}ms", ns / 1e6)
+}
+
+fn fmt_elapsed(ms: u64) -> String {
+    let s = ms / 1000;
+    format!("{:02}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
+}
+
+/// Builds one full frame; returns the text and whether anything is firing.
+fn render_frame(addr: &str) -> Result<(String, bool), String> {
+    let slo = get_json(addr, "/slo")?;
+    let alerts = get_json(addr, "/alerts")?;
+    let w99 = get_json(addr, "/history?metric=broker.waiting_ns&window=10m&reduce=q99")?;
+    let load = get_json(addr, "/history?metric=broker.waiting_ns&window=10m&reduce=count")?;
+
+    let mut out = String::new();
+    let elapsed = slo.get("elapsed_ms").and_then(Value::as_u64).unwrap_or(0);
+    let verdict = slo.get("model_verdict").and_then(Value::as_str).unwrap_or("-").to_owned();
+    out.push_str(&format!(
+        "rjms-top \u{2014} {addr}   up {}   model {verdict}\n\n",
+        fmt_elapsed(elapsed)
+    ));
+
+    // Waiting-time pane.
+    let (spark, top) = sparkline(&series_values(&w99));
+    out.push_str(&format!("  W99 (10m)   {spark}  peak {}\n", fmt_ms(top)));
+    if let Some(summary) = w99.get("summary") {
+        let q50 = summary.get("q50_ns").and_then(Value::as_u64).unwrap_or(0);
+        let q99 = summary.get("q99_ns").and_then(Value::as_u64).unwrap_or(0);
+        let q9999 = summary.get("q9999_ns").and_then(Value::as_u64).unwrap_or(0);
+        let count = summary.get("count").and_then(Value::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "              window: n={count}  q50 {}  q99 {}  q99.99 {}\n",
+            fmt_ms(q50 as f64),
+            fmt_ms(q99 as f64),
+            fmt_ms(q9999 as f64),
+        ));
+    }
+    let (spark, top) = sparkline(&series_values(&load));
+    out.push_str(&format!("  msgs/slot   {spark}  peak {top:.0}\n\n"));
+
+    // SLO table.
+    out.push_str(
+        "  objective                 state     fast-burn  slow-burn  thresh  error budget\n",
+    );
+    let mut firing = false;
+    for obj in slo.get("objectives").map(Value::items).unwrap_or_default() {
+        let name = obj.get("name").and_then(Value::as_str).unwrap_or("?");
+        let state = obj.get("state").and_then(Value::as_str).unwrap_or("?");
+        firing |= state == "firing";
+        let fast = obj.get("fast_burn").and_then(Value::as_f64).unwrap_or(0.0);
+        let slow = obj.get("slow_burn").and_then(Value::as_f64).unwrap_or(0.0);
+        let thresh = obj.get("threshold").and_then(Value::as_f64).unwrap_or(0.0);
+        let budget = obj.get("budget_remaining").and_then(Value::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {name:<25} {} {fast:>9.2} {slow:>10.2} {thresh:>7.1}  {}\n",
+            state_tag(state),
+            budget_gauge(budget),
+        ));
+    }
+
+    // Alert feed, newest last in the payload; show the tail.
+    out.push_str("\n  recent transitions\n");
+    let events = alerts.get("events").map(Value::items).unwrap_or_default();
+    if events.is_empty() {
+        out.push_str("    (none)\n");
+    }
+    for event in events.iter().rev().take(FEED_LINES).rev() {
+        let at = event.get("at_ms").and_then(Value::as_u64).unwrap_or(0);
+        let name = event.get("name").and_then(Value::as_str).unwrap_or("?");
+        let from = event.get("from").and_then(Value::as_str).unwrap_or("?");
+        let to = event.get("to").and_then(Value::as_str).unwrap_or("?");
+        let fast = event.get("fast_burn").and_then(Value::as_f64).unwrap_or(0.0);
+        let mut line =
+            format!("    {}  {name:<25} {from} -> {to}  fast-burn {fast:.2}", fmt_elapsed(at));
+        // Firing evidence carries the model's opinion of the same load.
+        if let Some(p) = event.get("evidence").and_then(|e| e.get("prediction")) {
+            if let (Some(rho), Some(q99)) = (
+                p.get("utilization").and_then(Value::as_f64),
+                p.get("q99_s").and_then(Value::as_f64),
+            ) {
+                line.push_str(&format!("  (model: rho {rho:.3}, W99 {})", fmt_ms(q99 * 1e9)));
+            }
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    Ok((out, firing))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.once {
+        match render_frame(&args.url) {
+            Ok((frame, firing)) => {
+                print!("{frame}");
+                std::process::exit(if firing { 1 } else { 0 });
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    loop {
+        match render_frame(&args.url) {
+            // Clear screen + home, then the frame: one flicker-free redraw.
+            Ok((frame, _)) => print!("\x1b[2J\x1b[H{frame}"),
+            Err(e) => eprintln!("rjms-top: {e} (retrying)"),
+        }
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs(args.interval));
+    }
+}

@@ -14,15 +14,27 @@
 //!   grouped per trace id in pipeline order.
 //! * `GET /model` — the latest analytic-model verdict text (Eq. 1 +
 //!   M/GI/1 drift check), when the host wires one in.
+//! * `GET /history?metric=…&window=…&reduce=…` — per-slot series and
+//!   merged-window summary from the SLO engine's metric history
+//!   ([`rjms_obs::history`]), when one is attached.
+//! * `GET /slo` — burn rates, states, and budget remaining for every
+//!   objective.
+//! * `GET /alerts` — active alert states plus the recent transition feed
+//!   with evidence.
 //!
 //! The server is deliberately minimal — blocking I/O, one thread per
 //! connection, `Connection: close` on every response — because its
 //! audience is a scraper polling every few seconds, not a serving
 //! workload. It has no dependencies beyond the standard library, in
-//! keeping with the offline build environment.
+//! keeping with the offline build environment. It is nevertheless
+//! defensive at the parsing layer: unknown paths get 404, non-GET methods
+//! 405, malformed heads 400, an oversized request line 414, an oversized
+//! header block 431, and a stalled or truncated head is abandoned on a
+//! read timeout instead of hanging the connection thread.
 
 use rjms_broker::{BrokerObserver, BrokerSnapshot};
 use rjms_metrics::{clock, MetricsRegistry};
+use rjms_obs::{ObsCore, Reduce};
 use rjms_trace::{group_chains, render_chains_json, FlightRecorder};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -39,6 +51,7 @@ pub struct HttpState {
     observer: Option<BrokerObserver>,
     recorder: Option<Arc<FlightRecorder>>,
     model: Arc<Mutex<String>>,
+    obs: Option<Arc<Mutex<ObsCore>>>,
 }
 
 impl std::fmt::Debug for HttpState {
@@ -85,6 +98,14 @@ impl HttpState {
     /// endpoint serves whatever is current.
     pub fn model_text(&self) -> Arc<Mutex<String>> {
         Arc::clone(&self.model)
+    }
+
+    /// Attaches the SLO engine for `/history`, `/slo`, and `/alerts`
+    /// (typically [`rjms_obs::ObsRuntime::core`]).
+    #[must_use]
+    pub fn obs(mut self, core: Arc<Mutex<ObsCore>>) -> Self {
+        self.obs = Some(core);
+        self
     }
 }
 
@@ -162,15 +183,35 @@ impl Drop for HttpServer {
 
 fn serve_connection(mut stream: TcpStream, state: &HttpState) {
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
-    let Some((method, path)) = read_request_head(&mut stream) else {
-        return;
+    let (method, target) = match read_request_head(&mut stream) {
+        RequestHead::Ok { method, target } => (method, target),
+        RequestHead::Closed => return, // nothing readable: don't guess a reply
+        RequestHead::Malformed => {
+            respond(&mut stream, "400 Bad Request", "text/plain", "malformed request\n");
+            return;
+        }
+        RequestHead::LineTooLong => {
+            respond(&mut stream, "414 URI Too Long", "text/plain", "request line too long\n");
+            return;
+        }
+        RequestHead::HeadTooLarge => {
+            respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain",
+                "request head too large\n",
+            );
+            return;
+        }
     };
     if method != "GET" {
         respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET is supported\n");
         return;
     }
-    // Ignore any query string: every endpoint is parameterless.
-    let path = path.split('?').next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
     match path {
         "/" => respond(
             &mut stream,
@@ -180,7 +221,10 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
              /metrics        Prometheus text format\n\
              /snapshot.json  broker + registry snapshot (JSON)\n\
              /traces         tail-sampled message span chains (JSON)\n\
-             /model          latest analytic-model drift verdict\n",
+             /model          latest analytic-model drift verdict\n\
+             /history        metric history series (?metric=&window=&reduce=)\n\
+             /slo            objective burn rates and budgets (JSON)\n\
+             /alerts         alert states and transition feed (JSON)\n",
         ),
         "/metrics" => {
             let mut body = String::new();
@@ -208,29 +252,177 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
             let body = if text.is_empty() { "no model assessment yet\n" } else { &text };
             respond(&mut stream, "200 OK", "text/plain; charset=utf-8", body);
         }
+        "/slo" => match &state.obs {
+            Some(obs) => {
+                let body = obs.lock().map(|core| core.render_slo_json()).unwrap_or_default();
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => respond(&mut stream, "404 Not Found", "text/plain", "slo engine disabled\n"),
+        },
+        "/alerts" => match &state.obs {
+            Some(obs) => {
+                let body = obs.lock().map(|core| core.render_alerts_json()).unwrap_or_default();
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => respond(&mut stream, "404 Not Found", "text/plain", "slo engine disabled\n"),
+        },
+        "/history" => match &state.obs {
+            Some(obs) => serve_history(&mut stream, obs, query),
+            None => respond(&mut stream, "404 Not Found", "text/plain", "slo engine disabled\n"),
+        },
         _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown path\n"),
     }
 }
 
-/// Reads the request head (everything through the blank line) and returns
-/// `(method, path)`. `None` on malformed or timed-out input.
-fn read_request_head(stream: &mut TcpStream) -> Option<(String, String)> {
+/// Answers `/history?metric=…[&window=…][&reduce=…]`.
+///
+/// `window` accepts plain seconds or an `s`/`m`/`h` suffix (default
+/// `60s`); `reduce` is `rate`, `level`, `count`, or a quantile like `q99`
+/// (default: `q99` for `*_ns` instruments, `rate` otherwise).
+fn serve_history(stream: &mut TcpStream, obs: &Arc<Mutex<ObsCore>>, query: &str) {
+    let Some(metric) = query_param(query, "metric") else {
+        respond(stream, "400 Bad Request", "text/plain", "missing ?metric= parameter\n");
+        return;
+    };
+    let window = match query_param(query, "window") {
+        None => Duration::from_secs(60),
+        Some(raw) => match parse_window(raw) {
+            Some(w) => w,
+            None => {
+                respond(stream, "400 Bad Request", "text/plain", "bad window (try 90s, 5m, 2h)\n");
+                return;
+            }
+        },
+    };
+    let reduce = match query_param(query, "reduce") {
+        None if metric.ends_with("_ns") => Reduce::Quantile(0.99),
+        None => Reduce::Rate,
+        Some(raw) => match parse_reduce(raw) {
+            Some(r) => r,
+            None => {
+                respond(
+                    stream,
+                    "400 Bad Request",
+                    "text/plain",
+                    "bad reduce (rate, level, count, or q99-style quantile)\n",
+                );
+                return;
+            }
+        },
+    };
+    let body =
+        obs.lock().map(|core| core.render_history_json(metric, window, reduce)).unwrap_or_default();
+    respond(stream, "200 OK", "application/json", &body);
+}
+
+/// First value of a `key=value` pair in a query string (no
+/// percent-decoding: metric names are plain dotted identifiers).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// Parses `90`, `90s`, `5m`, or `2h` into a duration.
+fn parse_window(raw: &str) -> Option<Duration> {
+    let (digits, scale) = match raw.as_bytes().last()? {
+        b's' => (&raw[..raw.len() - 1], 1),
+        b'm' => (&raw[..raw.len() - 1], 60),
+        b'h' => (&raw[..raw.len() - 1], 3600),
+        _ => (raw, 1),
+    };
+    let n: u64 = digits.parse().ok()?;
+    (n > 0).then(|| Duration::from_secs(n * scale))
+}
+
+/// Parses `rate`, `level`, `count`, or `q<digits>` (`q99` → 0.99,
+/// `q9999` → 0.9999).
+fn parse_reduce(raw: &str) -> Option<Reduce> {
+    match raw {
+        "rate" => Some(Reduce::Rate),
+        "level" => Some(Reduce::Level),
+        "count" => Some(Reduce::Count),
+        _ => {
+            let digits = raw.strip_prefix('q')?;
+            if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let p: f64 = format!("0.{digits}").parse().ok()?;
+            (p > 0.0 && p < 1.0).then_some(Reduce::Quantile(p))
+        }
+    }
+}
+
+/// Cap on the request line (method + target + version).
+const MAX_REQUEST_LINE: usize = 4 * 1024;
+/// Cap on the whole head (request line + headers + blank line).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Outcome of reading a request head.
+enum RequestHead {
+    /// A parseable request line arrived.
+    Ok {
+        /// The HTTP method token.
+        method: String,
+        /// The request target (path plus optional query).
+        target: String,
+    },
+    /// The peer closed, stalled past the read timeout, or errored before a
+    /// complete head arrived.
+    Closed,
+    /// A complete head arrived but the request line is not HTTP-shaped.
+    Malformed,
+    /// The request line exceeded [`MAX_REQUEST_LINE`].
+    LineTooLong,
+    /// The head exceeded [`MAX_HEAD`].
+    HeadTooLarge,
+}
+
+/// Reads the request head (everything through the blank line), tolerating
+/// arbitrary chunking of the incoming bytes. Bounded: the request line may
+/// not exceed [`MAX_REQUEST_LINE`] bytes and the whole head
+/// [`MAX_HEAD`]; a peer that stalls mid-head trips the stream's read
+/// timeout and is abandoned.
+fn read_request_head(stream: &mut TcpStream) -> RequestHead {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
-        if head.len() > 16 * 1024 {
-            return None; // oversized head: drop the connection
+    loop {
+        // Size caps come before the terminator check so a head that blows
+        // a cap is rejected even when its final chunk also carries the
+        // terminating blank line.
+        if !head[..head.len().min(MAX_REQUEST_LINE)].contains(&b'\n')
+            && head.len() > MAX_REQUEST_LINE
+        {
+            return RequestHead::LineTooLong;
+        }
+        if head.len() > MAX_HEAD {
+            return RequestHead::HeadTooLarge;
+        }
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
         }
         match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return None,
+            Ok(0) | Err(_) => return RequestHead::Closed,
             Ok(n) => head.extend_from_slice(&buf[..n]),
         }
     }
     let head = String::from_utf8_lossy(&head);
-    let mut parts = head.lines().next()?.split_whitespace();
-    let method = parts.next()?.to_owned();
-    let path = parts.next()?.to_owned();
-    Some((method, path))
+    let Some(line) = head.lines().next() else {
+        return RequestHead::Malformed;
+    };
+    if line.len() > MAX_REQUEST_LINE {
+        return RequestHead::LineTooLong;
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return RequestHead::Malformed;
+    };
+    if !version.starts_with("HTTP/") {
+        return RequestHead::Malformed;
+    }
+    RequestHead::Ok { method: method.to_owned(), target: target.to_owned() }
 }
 
 /// Writes status line, headers, and body as one buffer with a single
@@ -326,4 +518,170 @@ fn json_escape_into(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjms_obs::ObsConfig;
+
+    fn server(state: HttpState) -> HttpServer {
+        HttpServer::start(state, "127.0.0.1:0").expect("bind")
+    }
+
+    /// Sends raw bytes (in the given chunks, with a pause between them)
+    /// and returns the full response text.
+    fn raw_request(addr: SocketAddr, chunks: &[&[u8]]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for (i, chunk) in chunks.iter().enumerate() {
+            if i > 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            stream.write_all(chunk).expect("write");
+            stream.flush().ok();
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        raw_request(addr, &[format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes()])
+    }
+
+    fn status_of(response: &str) -> &str {
+        response.split("\r\n").next().unwrap_or("")
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let s = server(HttpState::new());
+        let r = get(s.local_addr(), "/nope");
+        assert_eq!(status_of(&r), "HTTP/1.1 404 Not Found");
+        s.shutdown();
+    }
+
+    #[test]
+    fn non_get_method_is_405() {
+        let s = server(HttpState::new());
+        let r = raw_request(s.local_addr(), &[b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n"]);
+        assert_eq!(status_of(&r), "HTTP/1.1 405 Method Not Allowed");
+        s.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        let s = server(HttpState::new());
+        let r = raw_request(s.local_addr(), &[b"BOGUS\r\n\r\n"]);
+        assert_eq!(status_of(&r), "HTTP/1.1 400 Bad Request");
+        let r = raw_request(s.local_addr(), &[b"GET /metrics NOTHTTP\r\n\r\n"]);
+        assert_eq!(status_of(&r), "HTTP/1.1 400 Bad Request");
+        s.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let s = server(HttpState::new());
+        let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 10));
+        let r = raw_request(s.local_addr(), &[long_path.as_bytes()]);
+        assert_eq!(status_of(&r), "HTTP/1.1 414 URI Too Long");
+        s.shutdown();
+    }
+
+    #[test]
+    fn oversized_header_block_is_431() {
+        let s = server(HttpState::new());
+        let huge = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "b".repeat(MAX_HEAD + 10));
+        let r = raw_request(s.local_addr(), &[huge.as_bytes()]);
+        assert_eq!(status_of(&r), "HTTP/1.1 431 Request Header Fields Too Large");
+        s.shutdown();
+    }
+
+    #[test]
+    fn partial_writes_are_assembled() {
+        let s = server(HttpState::new());
+        let r = raw_request(s.local_addr(), &[b"GET / HT", b"TP/1.1\r\nHo", b"st: t\r\n", b"\r\n"]);
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        s.shutdown();
+    }
+
+    #[test]
+    fn truncated_head_then_close_gets_no_response() {
+        let s = server(HttpState::new());
+        let mut stream = TcpStream::connect(s.local_addr()).expect("connect");
+        stream.write_all(b"GET / HTTP/1.1\r\nHost: t\r\n").expect("write");
+        // Half-close the write side: the server sees EOF mid-head and must
+        // drop the connection rather than answer or hang.
+        stream.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.is_empty(), "unexpected response: {response}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn slo_endpoints_404_without_engine() {
+        let s = server(HttpState::new());
+        for path in ["/slo", "/alerts", "/history?metric=x"] {
+            let r = get(s.local_addr(), path);
+            assert_eq!(status_of(&r), "HTTP/1.1 404 Not Found", "path {path}");
+        }
+        s.shutdown();
+    }
+
+    fn obs_state() -> HttpState {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram("broker.waiting_ns");
+        let mut core = ObsCore::new(ObsConfig::default());
+        for t in 1..=3u64 {
+            waiting.record(500_000);
+            core.tick(Duration::from_secs(t), &registry.snapshot(), None);
+        }
+        HttpState::new().registry(registry).obs(Arc::new(Mutex::new(core)))
+    }
+
+    #[test]
+    fn slo_and_alerts_render_json() {
+        let s = server(obs_state());
+        let r = get(s.local_addr(), "/slo");
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        assert!(r.contains("\"objectives\":["), "body: {r}");
+        let r = get(s.local_addr(), "/alerts");
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        assert!(r.contains("\"active\":["), "body: {r}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn history_requires_metric_and_validates_params() {
+        let s = server(obs_state());
+        let r = get(s.local_addr(), "/history");
+        assert_eq!(status_of(&r), "HTTP/1.1 400 Bad Request");
+        let r = get(s.local_addr(), "/history?metric=broker.waiting_ns&window=soon");
+        assert_eq!(status_of(&r), "HTTP/1.1 400 Bad Request");
+        let r = get(s.local_addr(), "/history?metric=broker.waiting_ns&reduce=zigzag");
+        assert_eq!(status_of(&r), "HTTP/1.1 400 Bad Request");
+        let r = get(s.local_addr(), "/history?metric=broker.waiting_ns&window=5m&reduce=q99");
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        assert!(r.contains("\"points\":["), "body: {r}");
+        assert!(r.contains("\"metric\":\"broker.waiting_ns\""), "body: {r}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn window_and_reduce_parsers() {
+        assert_eq!(parse_window("90"), Some(Duration::from_secs(90)));
+        assert_eq!(parse_window("90s"), Some(Duration::from_secs(90)));
+        assert_eq!(parse_window("5m"), Some(Duration::from_secs(300)));
+        assert_eq!(parse_window("2h"), Some(Duration::from_secs(7200)));
+        assert_eq!(parse_window("0"), None);
+        assert_eq!(parse_window("m"), None);
+        assert_eq!(parse_window("-5s"), None);
+        assert_eq!(parse_reduce("rate"), Some(Reduce::Rate));
+        assert_eq!(parse_reduce("q99"), Some(Reduce::Quantile(0.99)));
+        assert_eq!(parse_reduce("q9999"), Some(Reduce::Quantile(0.9999)));
+        assert_eq!(parse_reduce("q"), None);
+        assert_eq!(parse_reduce("q0"), None);
+        assert_eq!(parse_reduce("p99"), None);
+    }
 }

@@ -14,7 +14,10 @@
 //! * [`net`] — the TCP wire layer ([`rjms_net`]),
 //! * [`metrics`] — counters, histograms, the TSC clock ([`rjms_metrics`]),
 //! * [`trace`] — the tail-sampled flight recorder ([`rjms_trace`]),
-//! * [`http`] — the HTTP metrics/trace exposition endpoint (this crate).
+//! * [`obs`] — the waiting-time SLO engine: metric history, burn-rate
+//!   alerting, evidence-bearing alerts ([`rjms_obs`]),
+//! * [`http`] — the HTTP metrics/trace/SLO exposition endpoint (this
+//!   crate).
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of every
@@ -26,10 +29,13 @@
 //! use rjms::broker::{Broker, BrokerConfig, Filter, Message};
 //! use std::time::Duration;
 //!
-//! # fn main() -> Result<(), rjms::broker::BrokerError> {
+//! # fn main() -> Result<(), rjms::broker::Error> {
 //! let broker = Broker::start(BrokerConfig::default());
 //! broker.create_topic("news")?;
-//! let sub = broker.subscribe("news", Filter::selector("category = 'tech'").unwrap())?;
+//! let sub = broker
+//!     .subscription("news")
+//!     .filter(Filter::selector("category = 'tech'").unwrap())
+//!     .open()?;
 //! broker.publisher("news")?
 //!     .publish(Message::builder().property("category", "tech").build())?;
 //! assert!(sub.receive_timeout(Duration::from_secs(1)).is_some());
@@ -98,6 +104,12 @@ pub mod metrics {
 /// (re-export of [`rjms_trace`]).
 pub mod trace {
     pub use rjms_trace::*;
+}
+
+/// The waiting-time SLO engine: metric history, burn-rate alerting, and
+/// evidence-bearing alert records (re-export of [`rjms_obs`]).
+pub mod obs {
+    pub use rjms_obs::*;
 }
 
 pub mod http;
