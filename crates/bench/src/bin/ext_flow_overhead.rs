@@ -1,0 +1,209 @@
+//! `ext_flow_overhead` — cost of the admission gate on the publish path.
+//!
+//! `rjms-flow` puts one decision on every publish: a token-bucket check
+//! under a mutex, plus (when metrics are bound) a decision-latency
+//! histogram sample. This experiment measures that footprint under the
+//! calibrated Table I workload with the gate's budget set *above* the
+//! offered load — the production regime the ISSUE gates: at or below
+//! `ρ ≈ 0.7` of the budget, admission control must cost less than 5% of
+//! throughput and shed nothing.
+//!
+//! The gate's seed model is the same correlation-ID constants the broker
+//! burns, scaled so `λ_max` lands ~1.5× above the broker's own dispatch
+//! capacity; the run then reports the *measured* budget utilization and
+//! fails if any message was shed or deferred (the pairing would otherwise
+//! compare unequal work).
+//!
+//! Methodology matches the other `ext_*_overhead` gates: fixed message
+//! counts, alternating order between repetitions, median of paired
+//! relative differences, non-zero exit on a blown budget so CI can run it
+//! as a regression gate:
+//!
+//! ```text
+//! cargo run --release -p rjms-bench --bin ext_flow_overhead -- --smoke
+//! ```
+
+use rjms_bench::{experiment_header, BenchReport, Table};
+use rjms_broker::{
+    Broker, BrokerConfig, CostModel, Filter, FlowConfig, Message, MetricsConfig, OverflowPolicy,
+};
+use rjms_core::CostParams;
+use std::time::{Duration, Instant};
+
+/// Acceptance budget: publish throughput with the gate on must stay
+/// within this fraction of the gate-off baseline.
+const MAX_OVERHEAD: f64 = 0.05;
+
+/// Filters installed on the bench topic (one of them matches).
+const N_FILTERS: u32 = 64;
+
+/// Table I correlation-ID constants divided by this factor for the
+/// calibrated workload (see `ext_observer_overhead`).
+const COST_SCALE: f64 = 32.0;
+
+/// The gate's seed model is the calibrated workload scaled by this
+/// factor, so `λ_max ≈ 1.5×` the broker's dispatch capacity and the
+/// offered load sits near `ρ ≈ 0.65` of the budget.
+const GATE_SCALE: f64 = 0.65;
+
+/// One fixed-count run; returns (received msgs/s, budget utilization).
+/// Metrics are on in both variants; `flow` additionally runs every
+/// publish through the admission gate.
+fn measure(flow: bool, cost: CostModel, gate_params: CostParams, n: u64) -> (f64, f64) {
+    let mut config = BrokerConfig::default()
+        .publish_queue_capacity(256)
+        .subscriber_queue_capacity(1 << 18)
+        .overflow_policy(OverflowPolicy::DropNew)
+        .metrics(MetricsConfig::default())
+        .cost_model(cost);
+    if flow {
+        // Long refresh interval: the drift loop must not recalibrate the
+        // budget mid-measurement. One producer, so no per-producer cap.
+        config = config.flow(
+            FlowConfig::default()
+                .params(gate_params)
+                .filters(N_FILTERS)
+                .w99_objective(0.010)
+                .producer_share(1.0)
+                .refresh_interval_ms(60_000),
+        );
+    }
+    let broker = Broker::start(config);
+    broker.create_topic("bench").unwrap();
+    let _subscribers: Vec<_> = (0..N_FILTERS)
+        .map(|i| {
+            broker
+                .subscription("bench")
+                .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                .open()
+                .unwrap()
+        })
+        .collect();
+
+    let publisher = broker.publisher("bench").unwrap();
+    let warmup = n / 10;
+    for _ in 0..warmup {
+        publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+    }
+    while broker.snapshot().messages.received < warmup {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..n {
+        publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+    }
+    while broker.snapshot().messages.received < warmup + n {
+        std::thread::yield_now();
+    }
+    let elapsed = t0.elapsed();
+    let rate = n as f64 / elapsed.as_secs_f64();
+
+    let mut utilization = 0.0;
+    if let Some(gate) = broker.flow() {
+        let snap = gate.snapshot();
+        let (deferred, shed): (u64, u64) =
+            snap.per_class.iter().fold((0, 0), |(d, s), c| (d + c.deferred, s + c.shed));
+        assert_eq!(
+            (deferred, shed),
+            (0, 0),
+            "the gate interfered below budget (deferred {deferred}, shed {shed}): \
+             the off/on pairing would compare unequal work"
+        );
+        utilization = rate / snap.lambda_max;
+    }
+    broker.shutdown();
+    (rate, utilization)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, n) = if smoke { (5, 25_000) } else { (7, 50_000) };
+
+    experiment_header(
+        "ext_flow_overhead",
+        "extension (flow control)",
+        "publish throughput with the admission gate on vs off below budget; gate at 5%",
+    );
+    if smoke {
+        println!("smoke mode: reduced counts and repetitions, CI regression gate\n");
+    }
+
+    let calibrated = CostModel::new(
+        CostModel::CORRELATION_ID.t_rcv / COST_SCALE,
+        CostModel::CORRELATION_ID.t_fltr / COST_SCALE,
+        CostModel::CORRELATION_ID.t_tx / COST_SCALE,
+    );
+    let gate_params = CostParams::new(
+        CostParams::CORRELATION_ID.t_rcv / COST_SCALE * GATE_SCALE,
+        CostParams::CORRELATION_ID.t_fltr / COST_SCALE * GATE_SCALE,
+        CostParams::CORRELATION_ID.t_tx / COST_SCALE * GATE_SCALE,
+    );
+    let per_msg = calibrated.processing_time(N_FILTERS as usize, 1);
+    println!(
+        "calibrated workload: Table I (correlation ID) / {COST_SCALE:.0}, \
+         {N_FILTERS} filters -> E[B] = {:.1} us/msg",
+        per_msg * 1e6
+    );
+    println!(
+        "gate budget: same constants x {GATE_SCALE}, so lambda_max sits ~{:.1}x above capacity\n",
+        1.0 / GATE_SCALE
+    );
+
+    let mut table =
+        Table::new(&["rep", "flow off (msg/s)", "flow on (msg/s)", "overhead", "rho (budget)"]);
+    let mut diffs = Vec::with_capacity(reps);
+    let mut utilizations = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        // Alternate order so slow drift (thermal, background load) cancels.
+        let (off, on, rho) = if rep % 2 == 0 {
+            let (off, _) = measure(false, calibrated, gate_params, n);
+            let (on, rho) = measure(true, calibrated, gate_params, n);
+            (off, on, rho)
+        } else {
+            let (on, rho) = measure(true, calibrated, gate_params, n);
+            let (off, _) = measure(false, calibrated, gate_params, n);
+            (off, on, rho)
+        };
+        let diff = 1.0 - on / off;
+        diffs.push(diff);
+        utilizations.push(rho);
+        table.row(&[
+            &(rep + 1),
+            &format!("{off:.0}"),
+            &format!("{on:.0}"),
+            &format!("{:+.2}%", diff * 100.0),
+            &format!("{rho:.2}"),
+        ]);
+    }
+    table.print();
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let overhead = diffs[diffs.len() / 2];
+    let rho_max = utilizations.iter().cloned().fold(0.0, f64::max);
+
+    println!();
+    println!(
+        "admission-gate overhead (median of paired diffs): {:+.2}%  [GATE: budget {:.0}%]",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!("peak budget utilization across reps: rho = {rho_max:.2} (regime: rho <= 0.7)");
+
+    let pass = overhead <= MAX_OVERHEAD;
+    let mut report = BenchReport::new("ext_flow_overhead");
+    report
+        .flag("smoke", smoke)
+        .uint("reps", reps as u64)
+        .uint("messages", n)
+        .num("overhead", overhead)
+        .num("budget", MAX_OVERHEAD)
+        .num("peak_budget_utilization", rho_max)
+        .flag("pass", pass);
+    report.emit();
+
+    if !pass {
+        println!("FAIL: admission gate exceeds the overhead budget below lambda_max");
+        std::process::exit(1);
+    }
+    println!("PASS: admission gate is within the overhead budget below lambda_max");
+}

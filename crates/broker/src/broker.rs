@@ -33,6 +33,8 @@ use crate::persist::{encode_publish, JournalRecord};
 use crate::stats::{BrokerSnapshot, BrokerStats, MessageCounters, SubscriptionCounters};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
+use rjms_core::{ModelMonitor, ReplicationModel, ServerModel};
+use rjms_flow::{AdmissionOutcome, FlowGate};
 use rjms_journal::Journal;
 use rjms_metrics::{labeled, Counter, MetricsRegistry};
 use rjms_trace::{FlightRecorder, SpanEvent, Stage};
@@ -148,6 +150,13 @@ struct BrokerInner {
     /// dispatcher commits broker-stage chains; the net layer appends
     /// wire-flush events for sampled trace ids.
     tracer: Option<Arc<FlightRecorder>>,
+    /// The admission gate, when flow control is enabled. Publishers
+    /// consult it before enqueueing; the flow-refresh thread re-calibrates
+    /// its arrival budget against the live histograms.
+    flow: Option<Arc<FlowGate>>,
+    /// Id source for publisher handles: the flow gate rate-limits per
+    /// producer, so each [`Broker::publisher`] call gets a fresh identity.
+    next_producer_id: AtomicU64,
 }
 
 impl BrokerInner {
@@ -211,6 +220,9 @@ pub struct Broker {
     inner: Arc<BrokerInner>,
     publish_tx: Sender<DispatchItem>,
     dispatcher: Option<JoinHandle<()>>,
+    /// The flow-refresh thread, when flow control is enabled; joined on
+    /// shutdown like the dispatcher.
+    flow_refresh: Option<JoinHandle<()>>,
 }
 
 impl fmt::Debug for Broker {
@@ -245,6 +257,11 @@ impl Broker {
         if config.trace.is_some() && config.metrics.is_none() {
             config.metrics = Some(MetricsConfig::default());
         }
+        // The flow controller re-calibrates against the live waiting and
+        // service histograms, so it cannot run without metrics either.
+        if config.flow.is_some() && config.metrics.is_none() {
+            config.metrics = Some(MetricsConfig::default());
+        }
         let stats = Arc::new(BrokerStats::new());
         let mut topics = HashMap::new();
         let journal = config.persistence.as_ref().map(|persistence| {
@@ -265,6 +282,11 @@ impl Broker {
 
         let tracer = config.trace.map(|t| Arc::new(FlightRecorder::new(t.capacity)));
 
+        let flow = config.flow.map(|f| Arc::new(FlowGate::new(f)));
+        if let (Some(gate), Some(metrics)) = (&flow, &metrics) {
+            gate.bind_registry(&metrics.registry);
+        }
+
         let (publish_tx, publish_rx) = bounded(config.publish_queue_capacity);
         let inner = Arc::new(BrokerInner {
             config,
@@ -276,13 +298,23 @@ impl Broker {
             journal,
             metrics,
             tracer,
+            flow,
+            next_producer_id: AtomicU64::new(1),
         });
         let dispatcher_inner = Arc::clone(&inner);
         let dispatcher = std::thread::Builder::new()
             .name("rjms-dispatcher".to_owned())
             .spawn(move || dispatch_loop(dispatcher_inner, publish_rx))
             .expect("failed to spawn dispatcher thread");
-        Broker { inner, publish_tx, dispatcher: Some(dispatcher) }
+        let flow_refresh = inner.flow.as_ref().map(|gate| {
+            let gate = Arc::clone(gate);
+            let refresh_inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("rjms-flow-refresh".to_owned())
+                .spawn(move || flow_refresh_loop(&refresh_inner, &gate))
+                .expect("failed to spawn flow-refresh thread")
+        });
+        Broker { inner, publish_tx, dispatcher: Some(dispatcher), flow_refresh }
     }
 
     /// Creates a topic.
@@ -349,7 +381,12 @@ impl Broker {
     pub fn publisher(&self, topic: &str) -> Result<Publisher, Error> {
         self.ensure_running()?;
         let topic = self.lookup(topic)?;
-        Ok(Publisher { topic, publish_tx: self.publish_tx.clone(), inner: Arc::clone(&self.inner) })
+        Ok(Publisher {
+            topic,
+            publish_tx: self.publish_tx.clone(),
+            inner: Arc::clone(&self.inner),
+            producer_id: self.inner.next_producer_id.fetch_add(1, Ordering::Relaxed),
+        })
     }
 
     /// Starts building a subscription on a topic or topic pattern.
@@ -684,6 +721,14 @@ impl Broker {
         self.inner.tracer.clone()
     }
 
+    /// The broker's admission gate, when [`BrokerConfig::flow`] is set;
+    /// `None` otherwise. Exposes the live calibration via
+    /// [`FlowGate::snapshot`] for exposition layers (the `/flow` HTTP
+    /// endpoint, `rjms-top`).
+    pub fn flow(&self) -> Option<Arc<FlowGate>> {
+        self.inner.flow.clone()
+    }
+
     /// The raw shared counters, for crate-internal probes.
     pub(crate) fn raw_stats(&self) -> &BrokerStats {
         &self.inner.stats
@@ -708,6 +753,10 @@ impl Broker {
         // The dispatcher drains queued items and exits on Shutdown.
         let _ = self.publish_tx.send(DispatchItem::Shutdown);
         if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        // The refresh thread polls `stopped` between sleep slices.
+        if let Some(handle) = self.flow_refresh.take() {
             let _ = handle.join();
         }
     }
@@ -771,7 +820,49 @@ fn snapshot_of(inner: &BrokerInner) -> BrokerSnapshot {
             expired: stats.expired_subscriptions(),
         },
         journal: inner.journal.as_ref().map(|j| j.lock().stats()),
+        flow: inner.flow.as_ref().map(|_| stats.flow_counters()),
         per_topic,
+    }
+}
+
+/// Periodically re-calibrates the flow gate's arrival budget from the
+/// live waiting/service histograms: every refresh interval it snapshots
+/// the registry, rebuilds a [`ModelMonitor`] at the *measured* operating
+/// point (mean filter count and replication grade from the broker's own
+/// counters), and feeds the verdict to [`FlowGate::refresh`] — drift
+/// re-derives λ_max from measured moments, overload tightens the budget.
+fn flow_refresh_loop(inner: &BrokerInner, gate: &FlowGate) {
+    let Some(metrics) = &inner.metrics else { return };
+    let config = *gate.config();
+    let interval = Duration::from_millis(config.refresh_interval_ms.max(1));
+    let started = Instant::now();
+    loop {
+        // Sleep in short slices so shutdown is prompt.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline {
+            if inner.stopped.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let snap = metrics.registry.snapshot();
+        let (Some(waiting), Some(service)) =
+            (snap.histogram("broker.waiting_ns"), snap.histogram("broker.service_ns"))
+        else {
+            continue;
+        };
+        let received = inner.stats.received();
+        if received == 0 {
+            continue;
+        }
+        let filters = (inner.stats.filter_evaluations() / received).min(u64::from(u32::MAX));
+        let grade = inner.stats.dispatched() as f64 / received as f64;
+        let monitor = ModelMonitor::new(
+            ServerModel::new(config.params, filters as u32),
+            ReplicationModel::deterministic(grade),
+        );
+        let verdict = monitor.assess(waiting, service, started.elapsed());
+        gate.refresh(&verdict);
     }
 }
 
@@ -1379,6 +1470,10 @@ pub struct Publisher {
     topic: Arc<Topic>,
     publish_tx: Sender<DispatchItem>,
     inner: Arc<BrokerInner>,
+    /// Identity under per-producer flow control. Each
+    /// [`Broker::publisher`] call gets a fresh id; clones share it (they
+    /// share the producer's rate budget).
+    producer_id: u64,
 }
 
 impl fmt::Debug for Publisher {
@@ -1399,16 +1494,47 @@ impl Publisher {
         self.inner.metrics.as_ref().map(|_| rjms_metrics::clock::now())
     }
 
+    /// Runs the admission gate (no-op when flow control is off),
+    /// converting shed/deferred outcomes into typed errors and counting
+    /// them in [`BrokerStats`].
+    fn admit(&self, message: &Message) -> Result<(), Error> {
+        let Some(gate) = &self.inner.flow else { return Ok(()) };
+        // With persistence on, every publish is durable (the paper's
+        // persistent mode) and pins to the top admission class.
+        let durable = self.inner.journal.is_some();
+        match gate.admit(self.producer_id, message.priority().level(), durable) {
+            AdmissionOutcome::Granted => {
+                self.inner.stats.record_flow_granted();
+                Ok(())
+            }
+            AdmissionOutcome::Deferred { class, retry_after } => {
+                self.inner.stats.record_flow_deferred();
+                Err(Error::PublishDeferred {
+                    class,
+                    retry_after_ms: retry_after.as_millis() as u64,
+                })
+            }
+            AdmissionOutcome::Shed { class } => {
+                self.inner.stats.record_flow_shed();
+                Err(Error::PublishShed { class })
+            }
+        }
+    }
+
     /// Publishes a message, blocking while the broker's publish queue is
     /// full (push-back).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Stopped`] once the broker has been shut down.
+    /// With [`BrokerConfig::flow`] set, returns [`Error::PublishShed`] or
+    /// [`Error::PublishDeferred`] when admission control rejects the
+    /// message before it reaches the publish queue.
     pub fn publish(&self, message: Message) -> Result<(), Error> {
         if self.inner.stopped.load(Ordering::Relaxed) {
             return Err(Error::Stopped);
         }
+        self.admit(&message)?;
         self.publish_tx
             .send(DispatchItem::Publish {
                 topic: Arc::clone(&self.topic),
@@ -1424,12 +1550,16 @@ impl Publisher {
     /// # Errors
     ///
     /// [`TryPublishError::Full`] (carrying the rejected message) when the
-    /// queue is full, [`TryPublishError::Stopped`] when the broker has
-    /// been shut down.
+    /// queue is full, [`TryPublishError::Denied`] (also carrying it) when
+    /// admission control rejects it, [`TryPublishError::Stopped`] when
+    /// the broker has been shut down.
     #[allow(clippy::result_large_err)] // the Err hands the message back (push-back)
     pub fn try_publish(&self, message: Message) -> Result<(), TryPublishError> {
         if self.inner.stopped.load(Ordering::Relaxed) {
             return Err(TryPublishError::Stopped);
+        }
+        if let Err(reason) = self.admit(&message) {
+            return Err(TryPublishError::Denied { message, reason });
         }
         self.publish_tx
             .try_send(DispatchItem::Publish {
@@ -1934,6 +2064,87 @@ mod tests {
     fn metrics_disabled_means_no_registry() {
         let b = broker();
         assert!(b.metrics().is_none());
+        b.shutdown();
+    }
+
+    #[test]
+    fn flow_disabled_means_no_gate_and_no_counters() {
+        let b = broker();
+        assert!(b.flow().is_none());
+        assert!(b.snapshot().flow.is_none());
+        b.shutdown();
+    }
+
+    #[test]
+    fn flow_gate_grants_within_budget_and_implies_metrics() {
+        let b = Broker::start(BrokerConfig::default().flow(crate::config::FlowConfig::default()));
+        b.create_topic("t").unwrap();
+        // Flow implies metrics (the refresh loop reads the histograms).
+        assert!(b.metrics().is_some());
+        let gate = b.flow().expect("gate present");
+        assert!(gate.lambda_max() > 0.0);
+        let p = b.publisher("t").unwrap();
+        for _ in 0..5 {
+            p.publish(Message::builder().build()).unwrap();
+        }
+        let snap = b.snapshot();
+        let flow = snap.flow.expect("flow counters present");
+        assert_eq!(flow.granted, 5);
+        assert_eq!(flow.shed + flow.deferred, 0);
+        b.shutdown();
+    }
+
+    #[test]
+    fn flow_gate_sheds_lowest_class_under_burst_overload() {
+        // A one-millisecond burst budget drains after a handful of
+        // back-to-back publishes; priority 0 maps to class 0 and is shed.
+        let config = crate::config::FlowConfig::default().burst_seconds(0.001);
+        let b = Broker::start(BrokerConfig::default().flow(config));
+        b.create_topic("t").unwrap();
+        let p = b.publisher("t").unwrap();
+        let mut shed = 0u64;
+        for _ in 0..10_000 {
+            let m = Message::builder().priority(Priority::new(0)).build();
+            match p.publish(m) {
+                Ok(()) | Err(Error::PublishDeferred { .. }) => {}
+                Err(Error::PublishShed { class }) => {
+                    assert_eq!(class, 0);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(shed > 0, "burst overload should shed class 0");
+        let flow = b.snapshot().flow.expect("flow counters present");
+        assert_eq!(flow.shed, shed);
+        assert!(flow.granted > 0);
+        b.shutdown();
+    }
+
+    #[test]
+    fn try_publish_denied_hands_the_message_back() {
+        let config = crate::config::FlowConfig::default().burst_seconds(0.001);
+        let b = Broker::start(BrokerConfig::default().flow(config));
+        b.create_topic("t").unwrap();
+        let p = b.publisher("t").unwrap();
+        let mut denied = false;
+        for i in 0..10_000 {
+            let m = Message::builder().priority(Priority::new(0)).property("i", i as i64).build();
+            match p.try_publish(m) {
+                Ok(()) => {}
+                Err(TryPublishError::Denied { message, reason }) => {
+                    assert_eq!(message.property("i"), Some(&(i as i64).into()));
+                    assert!(matches!(
+                        reason,
+                        Error::PublishShed { .. } | Error::PublishDeferred { .. }
+                    ));
+                    denied = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(denied, "burst overload should deny a try_publish");
         b.shutdown();
     }
 }

@@ -5,6 +5,8 @@ use rjms_journal::JournalConfig;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
+pub use rjms_flow::FlowConfig;
+
 /// What the dispatcher does when a subscriber's queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum OverflowPolicy {
@@ -259,6 +261,11 @@ pub struct BrokerConfig {
     /// no span events. Enabling tracing auto-enables default metrics,
     /// which the tail sampler's threshold feeds from.
     pub trace: Option<TraceConfig>,
+    /// Optional model-driven admission control (see [`FlowConfig`]);
+    /// `None` admits every publish unconditionally. Enabling flow control
+    /// auto-enables default metrics, which the drift-refresh loop feeds
+    /// from.
+    pub flow: Option<FlowConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -272,6 +279,7 @@ impl Default for BrokerConfig {
             persistence: None,
             metrics: None,
             trace: None,
+            flow: None,
         }
     }
 }
@@ -339,6 +347,22 @@ impl BrokerConfig {
         self.trace = Some(trace);
         self
     }
+
+    /// Enables model-driven admission control (and, implicitly, default
+    /// metrics).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rjms_broker::config::{BrokerConfig, FlowConfig};
+    ///
+    /// let config = BrokerConfig::default().flow(FlowConfig::default().classes(4));
+    /// assert_eq!(config.flow.unwrap().classes, 4);
+    /// ```
+    pub fn flow(mut self, flow: FlowConfig) -> Self {
+        self.flow = Some(flow);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +420,15 @@ mod tests {
     #[should_panic(expected = "checkpoint_every must be > 0")]
     fn zero_checkpoint_interval_rejected() {
         PersistenceConfig::new("/tmp/rjms-cfg-test").checkpoint_every(0);
+    }
+
+    #[test]
+    fn flow_config_builder() {
+        let c = BrokerConfig::default().flow(FlowConfig::default().w99_objective(0.02).classes(2));
+        let f = c.flow.expect("flow set");
+        assert_eq!(f.w99_objective, 0.02);
+        assert_eq!(f.classes, 2);
+        assert!(BrokerConfig::default().flow.is_none());
     }
 
     #[test]

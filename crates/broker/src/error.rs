@@ -22,16 +22,26 @@ pub enum TryPublishError {
     /// The publish queue is full; the message comes back to the caller so
     /// it can retry or shed load (the paper's publisher-side queueing).
     Full(Message),
+    /// Admission control denied the publish (flow control is enabled and
+    /// the broker is over its model-derived arrival budget). The message
+    /// comes back untouched together with the typed reason —
+    /// [`Error::PublishShed`] or [`Error::PublishDeferred`].
+    Denied {
+        /// The rejected message, handed back untouched.
+        message: Message,
+        /// Why admission was denied.
+        reason: Error,
+    },
     /// The broker has been shut down.
     Stopped,
 }
 
 impl TryPublishError {
     /// Consumes the error, returning the rejected message if the queue was
-    /// full.
+    /// full or admission was denied.
     pub fn into_message(self) -> Option<Message> {
         match self {
-            Self::Full(message) => Some(message),
+            Self::Full(message) | Self::Denied { message, .. } => Some(message),
             Self::Stopped => None,
         }
     }
@@ -41,6 +51,7 @@ impl fmt::Display for TryPublishError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Full(_) => f.write_str("publish queue is full"),
+            Self::Denied { reason, .. } => write!(f, "publish denied: {reason}"),
             Self::Stopped => f.write_str("broker has been stopped"),
         }
     }
@@ -52,6 +63,7 @@ impl From<TryPublishError> for Error {
     fn from(e: TryPublishError) -> Self {
         match e {
             TryPublishError::Full(_) => Error::QueueFull,
+            TryPublishError::Denied { reason, .. } => reason,
             TryPublishError::Stopped => Error::Stopped,
         }
     }
@@ -77,5 +89,20 @@ mod tests {
         assert!(matches!(Error::from(TryPublishError::Stopped), Error::Stopped));
         let full = TryPublishError::Full(crate::message::Message::builder().build());
         assert!(matches!(Error::from(full), Error::QueueFull));
+    }
+
+    #[test]
+    fn denied_hands_the_message_and_reason_back() {
+        let denied = TryPublishError::Denied {
+            message: crate::message::Message::builder().build(),
+            reason: Error::PublishShed { class: 0 },
+        };
+        assert!(denied.to_string().contains("shed"));
+        assert!(matches!(Error::from(denied), Error::PublishShed { class: 0 }));
+        let denied = TryPublishError::Denied {
+            message: crate::message::Message::builder().build(),
+            reason: Error::PublishDeferred { class: 1, retry_after_ms: 5 },
+        };
+        assert!(denied.into_message().is_some());
     }
 }

@@ -71,15 +71,18 @@ pub mod stats;
 pub use broker::{
     Broker, BrokerObserver, Publisher, Subscriber, SubscriptionBuilder, SubscriptionId, TopicStats,
 };
-pub use config::{BrokerConfig, MetricsConfig, OverflowPolicy, PersistenceConfig, TraceConfig};
+pub use config::{
+    BrokerConfig, FlowConfig, MetricsConfig, OverflowPolicy, PersistenceConfig, TraceConfig,
+};
 pub use cost::CostModel;
 pub use error::{Error, TryPublishError};
 pub use filter::Filter;
 pub use message::{Message, MessageBuilder, MessageId, Priority};
 pub use pattern::TopicPattern;
+pub use rjms_flow::{AdmissionOutcome, FlowGate, FlowSnapshot};
 pub use rjms_journal::{FsyncPolicy, JournalConfig, JournalStats, RecoveryReport};
 pub use rjms_metrics::MetricsRegistry;
 pub use stats::{
-    BrokerSnapshot, BrokerStats, MessageCounters, StatsSnapshot, SubscriptionCounters, Throughput,
-    ThroughputProbe,
+    BrokerSnapshot, BrokerStats, FlowCounters, MessageCounters, StatsSnapshot,
+    SubscriptionCounters, Throughput, ThroughputProbe,
 };

@@ -58,6 +58,19 @@ pub struct SubscriptionCounters {
     pub expired: u64,
 }
 
+/// Admission-control outcome counters, present when the broker runs with
+/// [`crate::config::FlowConfig`]. Per-class breakdowns live in the flow
+/// gate's own snapshot (`Broker::flow`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowCounters {
+    /// Publishes admitted by the gate.
+    pub granted: u64,
+    /// Publishes deferred with a retry hint.
+    pub deferred: u64,
+    /// Publishes shed to protect the waiting-time objective.
+    pub shed: u64,
+}
+
 /// A typed point-in-time snapshot of the whole broker, returned by
 /// [`Broker::snapshot`]: one value instead of the old `stats` /
 /// `journal_stats` / `topic_stats` getter trio.
@@ -69,6 +82,8 @@ pub struct BrokerSnapshot {
     pub subscriptions: SubscriptionCounters,
     /// Write-ahead journal counters; `None` without persistence.
     pub journal: Option<JournalStats>,
+    /// Admission-control counters; `None` without flow control.
+    pub flow: Option<FlowCounters>,
     /// Per-topic message counters, keyed by topic name.
     pub per_topic: BTreeMap<String, TopicStats>,
 }
@@ -92,6 +107,9 @@ pub struct BrokerStats {
     journal_fsyncs: AtomicU64,
     journal_frames_recovered: AtomicU64,
     journal_segments_rotated: AtomicU64,
+    flow_granted: AtomicU64,
+    flow_deferred: AtomicU64,
+    flow_shed: AtomicU64,
 }
 
 impl BrokerStats {
@@ -136,6 +154,21 @@ impl BrokerStats {
         self.expired_messages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a publish admitted by the flow gate.
+    pub fn record_flow_granted(&self) {
+        self.flow_granted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a publish deferred by the flow gate.
+    pub fn record_flow_deferred(&self) {
+        self.flow_deferred.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a publish shed by the flow gate.
+    pub fn record_flow_shed(&self) {
+        self.flow_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Messages received from publishers so far.
     pub fn received(&self) -> u64 {
         self.received.load(Ordering::Relaxed)
@@ -169,6 +202,30 @@ impl BrokerStats {
     /// Messages discarded due to TTL expiry so far.
     pub fn expired_messages(&self) -> u64 {
         self.expired_messages.load(Ordering::Relaxed)
+    }
+
+    /// Publishes admitted by the flow gate so far (0 without flow control).
+    pub fn flow_granted(&self) -> u64 {
+        self.flow_granted.load(Ordering::Relaxed)
+    }
+
+    /// Publishes deferred by the flow gate so far (0 without flow control).
+    pub fn flow_deferred(&self) -> u64 {
+        self.flow_deferred.load(Ordering::Relaxed)
+    }
+
+    /// Publishes shed by the flow gate so far (0 without flow control).
+    pub fn flow_shed(&self) -> u64 {
+        self.flow_shed.load(Ordering::Relaxed)
+    }
+
+    /// Flow counters as one value.
+    pub fn flow_counters(&self) -> FlowCounters {
+        FlowCounters {
+            granted: self.flow_granted(),
+            deferred: self.flow_deferred(),
+            shed: self.flow_shed(),
+        }
     }
 
     /// Copies the journal's counters into the broker-level gauges. Called

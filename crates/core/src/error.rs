@@ -69,6 +69,23 @@ pub enum Error {
     /// `TryPublishError::Full` carries the rejected message; this variant
     /// is the payload-free form for unified reporting.
     QueueFull,
+    /// Admission control shed the publish: the broker is past its
+    /// model-derived arrival budget and this admission class is the first
+    /// to lose service. The message was not enqueued; retrying immediately
+    /// will not help while the overload lasts.
+    PublishShed {
+        /// The admission class (0 = lowest priority, shed first).
+        class: u8,
+    },
+    /// Admission control deferred the publish: the broker is pacing this
+    /// producer or class. The message was not enqueued; retry after the
+    /// indicated delay.
+    PublishDeferred {
+        /// The admission class of the deferred publish.
+        class: u8,
+        /// Suggested retry delay in milliseconds.
+        retry_after_ms: u64,
+    },
 
     // --- subscriber data plane -----------------------------------------
     /// A blocking receive found the broker stopped and the queue drained.
@@ -127,6 +144,16 @@ impl fmt::Display for Error {
                 write!(f, "durable subscriptions require a literal topic, got pattern `{pattern}`")
             }
             Self::QueueFull => f.write_str("publish queue is full"),
+            Self::PublishShed { class } => {
+                write!(f, "publish shed by admission control (class {class})")
+            }
+            Self::PublishDeferred { class, retry_after_ms } => {
+                write!(
+                    f,
+                    "publish deferred by admission control (class {class}); \
+                     retry after {retry_after_ms} ms"
+                )
+            }
             Self::Disconnected => {
                 f.write_str("subscription closed: broker stopped and queue drained")
             }
@@ -169,6 +196,13 @@ mod tests {
         assert_eq!(Error::Stopped.to_string(), "broker has been stopped");
         assert!(Error::Disconnected.to_string().contains("closed"));
         assert!(Error::QueueFull.to_string().contains("full"));
+        assert_eq!(
+            Error::PublishShed { class: 0 }.to_string(),
+            "publish shed by admission control (class 0)"
+        );
+        let deferred = Error::PublishDeferred { class: 2, retry_after_ms: 40 };
+        assert!(deferred.to_string().contains("class 2"));
+        assert!(deferred.to_string().contains("40 ms"));
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Inverting the waiting-time model into an arrival-rate budget.
+//!
+//! Eq. 1 gives the mean service time `E[B] = t_rcv + n_fltr·t_fltr +
+//! E[R]·t_tx`; the `M/GI/1-∞` machinery (Eqs. 4–20) turns `(B, ρ)` into a
+//! waiting-time distribution. The controller runs that machinery
+//! *backwards*: given a `W99` objective it finds, by bisection over `ρ`
+//! (see [`max_utilization_for_quantile`]), the largest utilization whose
+//! predicted 99th percentile still fits, and publishes the corresponding
+//! arrival-rate budget `λ_max = ρ_max / E[B]`.
+//!
+//! The budget is not static. [`FlowController::refresh`] consumes the
+//! drift verdicts produced by [`ModelMonitor`](rjms_core::ModelMonitor):
+//!
+//! * `Calibrated` — the live broker matches the analytic model; the
+//!   budget returns to (or stays at) the analytic inversion.
+//! * `Drift` — the measured service moments disagree with the model; the
+//!   controller re-inverts with a service time rebuilt from the *measured*
+//!   `E[B]` and `c_var[B]`, so a slower or more variable server
+//!   automatically tightens `λ_max`.
+//! * `Overloaded` — the measured operating point is at or past `ρ = 1`
+//!   and no finite prediction exists; the budget takes a multiplicative
+//!   emergency cut (floored so it can recover).
+//! * `Insufficient` — not enough samples; the budget is left alone.
+
+use crate::config::FlowConfig;
+use rjms_core::{
+    max_utilization_for_quantile, ModelVerdict, ReplicationModel, ServerModel, ServiceTime,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Where the current `λ_max` came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CalibrationSource {
+    /// The analytic model at the configured cost constants.
+    Analytic,
+    /// Re-inverted from measured service moments after a drift verdict.
+    Measured,
+    /// Emergency multiplicative cut after an overloaded verdict.
+    Tightened,
+}
+
+impl CalibrationSource {
+    /// Stable lowercase name for JSON exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Analytic => "analytic",
+            Self::Measured => "measured",
+            Self::Tightened => "tightened",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ControllerState {
+    rho_max: f64,
+    lambda_max: f64,
+    source: CalibrationSource,
+    refreshes: u64,
+}
+
+/// Computes and maintains the maximum sustainable arrival rate `λ_max`
+/// for a `W99` objective. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use rjms_flow::{FlowConfig, FlowController};
+///
+/// let controller = FlowController::new(&FlowConfig::default());
+/// // A finite budget exists for any positive objective.
+/// assert!(controller.lambda_max() > 0.0);
+/// assert!(controller.rho_max() <= 0.999);
+/// ```
+#[derive(Debug)]
+pub struct FlowController {
+    /// Inversion target: `w99_objective / headroom`, seconds.
+    target: f64,
+    objective: f64,
+    headroom: f64,
+    overload_tighten: f64,
+    analytic: ServiceTime,
+    /// `λ_max` of the analytic inversion: the recovery ceiling and the
+    /// floor (times [`Self::TIGHTEN_FLOOR`]) for emergency cuts.
+    analytic_lambda: f64,
+    state: Mutex<ControllerState>,
+}
+
+impl FlowController {
+    /// Emergency cuts never push `λ_max` below this fraction of the
+    /// analytic budget, so the gate keeps admitting a trickle and the
+    /// monitor can gather the samples needed to recover.
+    const TIGHTEN_FLOOR: f64 = 0.05;
+
+    /// Builds the controller from the seed model in `config` and performs
+    /// the initial analytic inversion.
+    pub fn new(config: &FlowConfig) -> Self {
+        let analytic = ServerModel::new(config.params, config.filters)
+            .service_time(ReplicationModel::deterministic(config.replication_grade));
+        let target = config.w99_objective / config.headroom;
+        let (rho_max, lambda_max) = invert(&analytic, target);
+        Self {
+            target,
+            objective: config.w99_objective,
+            headroom: config.headroom,
+            overload_tighten: config.overload_tighten,
+            analytic,
+            analytic_lambda: lambda_max,
+            state: Mutex::new(ControllerState {
+                rho_max,
+                lambda_max,
+                source: CalibrationSource::Analytic,
+                refreshes: 0,
+            }),
+        }
+    }
+
+    /// The maximum sustainable arrival rate, messages per second.
+    pub fn lambda_max(&self) -> f64 {
+        self.state.lock().unwrap().lambda_max
+    }
+
+    /// The utilization ceiling behind the current `λ_max`.
+    pub fn rho_max(&self) -> f64 {
+        self.state.lock().unwrap().rho_max
+    }
+
+    /// The configured `W99` objective, seconds.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The inversion headroom factor.
+    pub fn headroom(&self) -> f64 {
+        self.headroom
+    }
+
+    /// Where the current budget came from.
+    pub fn source(&self) -> CalibrationSource {
+        self.state.lock().unwrap().source
+    }
+
+    /// How many verdicts have changed the budget since construction.
+    pub fn refreshes(&self) -> u64 {
+        self.state.lock().unwrap().refreshes
+    }
+
+    /// Feeds one drift verdict into the budget. Returns the new `λ_max`
+    /// if the verdict changed it, `None` if the budget was left alone.
+    pub fn refresh(&self, verdict: &ModelVerdict) -> Option<f64> {
+        let mut state = self.state.lock().unwrap();
+        let (rho, lambda, source) = match verdict {
+            ModelVerdict::Insufficient { .. } => return None,
+            ModelVerdict::Calibrated(_) => {
+                let (rho, lambda) = invert(&self.analytic, self.target);
+                (rho, lambda, CalibrationSource::Analytic)
+            }
+            ModelVerdict::Drift(report) => {
+                let m = &report.measured;
+                let service = measured_service(m.mean_service_time, m.service_cvar)?;
+                let (rho, lambda) = invert(&service, self.target);
+                (rho, lambda, CalibrationSource::Measured)
+            }
+            ModelVerdict::Overloaded { .. } => {
+                let floor = self.analytic_lambda * Self::TIGHTEN_FLOOR;
+                let cut = (state.lambda_max * self.overload_tighten).max(floor);
+                (state.rho_max, cut, CalibrationSource::Tightened)
+            }
+            // `ModelVerdict` is non_exhaustive: unknown future verdicts
+            // leave the budget untouched.
+            _ => return None,
+        };
+        if lambda == state.lambda_max && source == state.source {
+            return None;
+        }
+        state.rho_max = rho;
+        state.lambda_max = lambda;
+        state.source = source;
+        state.refreshes += 1;
+        Some(lambda)
+    }
+}
+
+/// The core inversion: largest `ρ` whose predicted `W99` fits `target`,
+/// and the arrival rate it implies.
+fn invert(service: &ServiceTime, target: f64) -> (f64, f64) {
+    let rho = max_utilization_for_quantile(service, 0.99, target);
+    (rho, rho / service.mean())
+}
+
+/// Rebuilds a service-time model from measured moments: `B = mean · R`
+/// with `E[R] = 1` and `Var[R] = c_var²` moment-matched onto a scaled
+/// Bernoulli. Returns `None` for degenerate measurements.
+fn measured_service(mean: f64, cvar: f64) -> Option<ServiceTime> {
+    if !(mean.is_finite() && mean > 0.0 && cvar.is_finite() && cvar >= 0.0) {
+        return None;
+    }
+    let replication =
+        ReplicationModel::scaled_bernoulli_from_moments(1.0, 1.0 + cvar * cvar).ok()?;
+    Some(ServiceTime::new(0.0, mean, replication))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjms_core::ModelMonitor;
+    use rjms_metrics::Histogram;
+    use std::time::Duration;
+
+    fn config() -> FlowConfig {
+        FlowConfig::default().w99_objective(0.002).headroom(1.0).filters(100)
+    }
+
+    /// Builds a verdict by feeding synthetic waiting/service histograms
+    /// (given in seconds) through the real monitor. The synthetic waiting
+    /// samples are point masses, which no queueing distribution matches,
+    /// so the waiting tolerances are disabled: the controller only reacts
+    /// to *service* drift here.
+    fn verdict(service_s: f64, waiting_s: f64, rate: f64) -> ModelVerdict {
+        let c = config();
+        let tolerance = rjms_core::DriftTolerance {
+            waiting_mean: f64::INFINITY,
+            waiting_q99: f64::INFINITY,
+            ..Default::default()
+        };
+        let monitor = ModelMonitor::new(
+            ServerModel::new(c.params, c.filters),
+            ReplicationModel::deterministic(c.replication_grade),
+        )
+        .with_tolerance(tolerance);
+        let waiting = Histogram::new();
+        let service = Histogram::new();
+        let n = 2000u64;
+        for _ in 0..n {
+            waiting.record((waiting_s * 1e9) as u64);
+            service.record((service_s * 1e9) as u64);
+        }
+        let elapsed = Duration::from_secs_f64(n as f64 / rate);
+        monitor.assess(&waiting.snapshot(), &service.snapshot(), elapsed)
+    }
+
+    #[test]
+    fn inversion_meets_the_objective() {
+        let c = config();
+        let controller = FlowController::new(&c);
+        let service = ServerModel::new(c.params, c.filters)
+            .service_time(ReplicationModel::deterministic(c.replication_grade));
+        let rho = controller.rho_max();
+        assert!(rho > 0.0 && rho <= 0.999);
+        // The predicted W99 at the ceiling fits the target.
+        let analysis = rjms_core::WaitingTimeAnalysis::for_service_time(service, rho).unwrap();
+        assert!(analysis.distribution().quantile(0.99) <= c.w99_objective / c.headroom * 1.001);
+        assert!((controller.lambda_max() - rho / service.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_objective_means_smaller_budget() {
+        let loose = FlowController::new(&config().w99_objective(0.01));
+        let tight = FlowController::new(&config().w99_objective(0.001));
+        assert!(tight.lambda_max() < loose.lambda_max());
+    }
+
+    #[test]
+    fn drift_with_slower_service_tightens_the_budget() {
+        let c = config();
+        let controller = FlowController::new(&c);
+        let before = controller.lambda_max();
+        let e_b = c.params.mean_service_time(c.filters, c.replication_grade);
+        // Server measured 3x slower than the model at a modest load: the
+        // monitor flags drift and the budget shrinks roughly 3x.
+        let v = verdict(3.0 * e_b, 2.0 * e_b, 0.3 / e_b);
+        assert!(matches!(v, ModelVerdict::Drift(_)), "expected drift, got {v:?}");
+        let after = controller.refresh(&v).expect("drift must refresh the budget");
+        assert!(after < before * 0.5, "budget {after} should tighten well below {before}");
+        assert_eq!(controller.source(), CalibrationSource::Measured);
+
+        // A calibrated verdict restores the analytic budget.
+        let v = verdict(e_b, 0.2 * e_b, 0.3 / e_b);
+        assert!(matches!(v, ModelVerdict::Calibrated(_)), "expected calibrated, got {v:?}");
+        controller.refresh(&v).expect("recovery must refresh the budget");
+        assert_eq!(controller.source(), CalibrationSource::Analytic);
+        assert!((controller.lambda_max() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_applies_emergency_cut_with_floor() {
+        let c = config();
+        let controller = FlowController::new(&c);
+        let before = controller.lambda_max();
+        let e_b = c.params.mean_service_time(c.filters, c.replication_grade);
+        // Measured rho > 1: no finite prediction, budget halves.
+        let v = verdict(e_b, 10.0 * e_b, 1.5 / e_b);
+        assert!(matches!(v, ModelVerdict::Overloaded { .. }), "expected overload, got {v:?}");
+        controller.refresh(&v).expect("overload must cut the budget");
+        assert_eq!(controller.source(), CalibrationSource::Tightened);
+        assert!((controller.lambda_max() - before * c.overload_tighten).abs() < 1e-9);
+        // Repeated cuts bottom out at the floor instead of collapsing to 0.
+        for _ in 0..64 {
+            controller.refresh(&v);
+        }
+        assert!(controller.lambda_max() >= before * FlowController::TIGHTEN_FLOOR - 1e-9);
+    }
+
+    #[test]
+    fn insufficient_samples_leave_the_budget_alone() {
+        let controller = FlowController::new(&config());
+        let before = controller.lambda_max();
+        let v = ModelVerdict::Insufficient { samples: 1, required: 1000 };
+        assert!(controller.refresh(&v).is_none());
+        assert_eq!(controller.lambda_max(), before);
+        assert_eq!(controller.refreshes(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # rjms-flow — model-driven admission control and flow control
+//!
+//! The paper's Eq. 1 waiting-time model tells us, *before* the queue melts
+//! down, what offered load the broker can absorb while keeping `W99` inside
+//! a target. This crate closes that loop: instead of only *measuring* the
+//! waiting time (rjms-metrics, rjms-obs), it *acts* on the model by
+//! refusing work the model says would violate the objective.
+//!
+//! Three layers:
+//!
+//! * [`FlowController`] inverts the `M/GI/1-∞` waiting-time predictor: for
+//!   the current service-time calibration `B` and a configured `W99`
+//!   objective it computes the largest utilization `ρ_max` whose predicted
+//!   99th waiting-time percentile stays inside the objective, and from it
+//!   the maximum sustainable arrival rate `λ_max = ρ_max / E[B]`. Live
+//!   [`ModelVerdict`]s from the drift monitor feed back into the budget: a
+//!   drifting model re-inverts with the *measured* service moments (a
+//!   slower server tightens `λ_max`), an overloaded verdict applies an
+//!   emergency multiplicative cut, and a calibrated verdict restores the
+//!   analytic budget.
+//! * [`FlowGate`] enforces the budget: a global [`TokenBucket`] refilled at
+//!   `λ_max`, per-producer buckets at a configurable share, and priority
+//!   classes that shed the lowest class first while the top (durable /
+//!   persistent) class is deferred but never shed. Every decision is a
+//!   typed [`AdmissionOutcome`].
+//! * [`CreditWindow`] / [`CreditBalance`] carry the server- and client-side
+//!   halves of the credit-based wire flow control that rjms-net layers on
+//!   top (`FEATURE_FLOW`, CreditGrant / PublishDenied opcodes).
+//!
+//! The broker wires a gate in behind `BrokerConfig::flow`; embedded users
+//! can drive a [`FlowGate`] directly with a deterministic clock via
+//! [`FlowGate::admit_at`], which is how the overload integration test and
+//! the property tests exercise it.
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod config;
+pub mod controller;
+pub mod credit;
+pub mod gate;
+
+pub use bucket::TokenBucket;
+pub use config::FlowConfig;
+pub use controller::{CalibrationSource, FlowController};
+pub use credit::{CreditBalance, CreditWindow};
+pub use gate::{AdmissionOutcome, ClassSnapshot, FlowGate, FlowSnapshot};
+
+// Re-exported so callers configuring a gate don't need a direct rjms-core
+// dependency for the verdict type they feed into `FlowGate::refresh`.
+pub use rjms_core::ModelVerdict;

@@ -10,22 +10,32 @@
 use crate::error::Error;
 use crate::wire::{
     decode_response, encode_request, read_frame, Request, Response, WireFilter, WireMessage,
-    FEATURE_TRACE,
+    FEATURE_FLOW, FEATURE_TRACE,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rjms_broker::Message;
+use rjms_flow::CreditBalance;
 use rjms_metrics::{Histogram, MetricsRegistry};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How long [`RemoteBroker`] waits for a request's response.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Client-side credit state for a [`FEATURE_FLOW`] connection: the
+/// balance, plus a condvar publishers park on while the window is
+/// exhausted (a `std` mutex because the `parking_lot` facade carries no
+/// condvar).
+struct CreditState {
+    balance: std::sync::Mutex<CreditBalance>,
+    replenished: Condvar,
+}
 
 /// Shared client state touched by the background reader and subscriber
 /// handles.
@@ -36,6 +46,9 @@ struct ClientShared {
     pending: Mutex<HashMap<u32, Sender<Response>>>,
     /// subscription id → delivery channel.
     subscriptions: Mutex<HashMap<u32, Sender<Message>>>,
+    /// Publish credits; inactive (no pacing) until the server's first
+    /// [`Response::CreditGrant`] arrives.
+    credit: CreditState,
     closed: AtomicBool,
 }
 
@@ -79,6 +92,10 @@ impl RemoteBroker {
             stream: Mutex::new(stream),
             pending: Mutex::new(HashMap::new()),
             subscriptions: Mutex::new(HashMap::new()),
+            credit: CreditState {
+                balance: std::sync::Mutex::new(CreditBalance::new()),
+                replenished: Condvar::new(),
+            },
             closed: AtomicBool::new(false),
         });
         let reader_shared = Arc::clone(&shared);
@@ -100,10 +117,14 @@ impl RemoteBroker {
         // Capability handshake: a server that understands the Hello opcode
         // answers Ok and from then on both sides may use the traced frame
         // variants. Anything else (an older server) leaves the connection
-        // in the pre-trace format.
+        // in the pre-trace format. Flow control is advertised the same
+        // way, but engages only when the server opens the credit window
+        // (its first CreditGrant) — a flow-less server grants nothing and
+        // the connection stays unpaced client-side.
         let request_id = client.next_request_id();
-        client.traced =
-            client.call(Request::Hello { request_id, features: FEATURE_TRACE }, request_id).is_ok();
+        client.traced = client
+            .call(Request::Hello { request_id, features: FEATURE_TRACE | FEATURE_FLOW }, request_id)
+            .is_ok();
         Ok(client)
     }
 
@@ -111,6 +132,19 @@ impl RemoteBroker {
     /// the connect-time handshake.
     pub fn trace_negotiated(&self) -> bool {
         self.traced
+    }
+
+    /// True once the server has opened a publish-credit window (flow
+    /// control negotiated and enabled broker-side). `false` against
+    /// flow-less or older servers, whose connections stay unpaced.
+    pub fn flow_negotiated(&self) -> bool {
+        self.shared.credit.balance.lock().map(|b| b.active()).unwrap_or(false)
+    }
+
+    /// The current publish-credit balance; `None` while the connection is
+    /// unpaced (see [`RemoteBroker::flow_negotiated`]).
+    pub fn credits(&self) -> Option<u64> {
+        self.shared.credit.balance.lock().ok().and_then(|b| b.available())
     }
 
     /// This client's instrument registry: histogram `net.rtt_ns` holds the
@@ -138,16 +172,50 @@ impl RemoteBroker {
     /// # Errors
     ///
     /// [`Error::Remote`] for unknown topics; transport errors otherwise.
+    /// On a flow-controlled connection this blocks while the credit
+    /// window is exhausted, and surfaces server-side admission rejections
+    /// as [`Error::PublishShed`] / [`Error::PublishDeferred`].
     pub fn publish(&self, topic: &str, message: &Message) -> Result<(), Error> {
+        self.take_credit()?;
         let request_id = self.next_request_id();
         let mut wire = WireMessage::from_message(message);
         if !self.traced {
             wire = wire.without_trace();
         }
-        self.call(
-            Request::Publish { request_id, topic: topic.to_owned(), message: wire },
-            request_id,
-        )
+        let request = Request::Publish { request_id, topic: topic.to_owned(), message: wire };
+        match self.call_raw(request, request_id)? {
+            Response::Ok { .. } => Ok(()),
+            Response::Error { message, .. } => Err(Error::Remote { message }),
+            Response::PublishDenied { class, deferred: true, retry_after_ms, .. } => {
+                Err(Error::PublishDeferred { class, retry_after_ms })
+            }
+            Response::PublishDenied { class, .. } => Err(Error::PublishShed { class }),
+            other => Err(Error::Decode { detail: format!("unexpected response {other:?}") }),
+        }
+    }
+
+    /// Spends one publish credit, parking until the server replenishes
+    /// the window. A no-op while the connection is unpaced.
+    fn take_credit(&self) -> Result<(), Error> {
+        let mut balance = self.shared.credit.balance.lock().map_err(|_| Error::Closed)?;
+        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        while !balance.try_consume() {
+            if self.shared.closed.load(Ordering::Relaxed) {
+                return Err(Error::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::Timeout);
+            }
+            balance = self
+                .shared
+                .credit
+                .replenished
+                .wait_timeout(balance, deadline - now)
+                .map_err(|_| Error::Closed)?
+                .0;
+        }
+        Ok(())
     }
 
     /// Subscribes to a remote topic; messages arrive on the returned
@@ -312,6 +380,7 @@ impl RemoteBroker {
 impl Drop for RemoteBroker {
     fn drop(&mut self) {
         self.shared.closed.store(true, Ordering::Relaxed);
+        self.shared.credit.replenished.notify_all();
         if let Ok(stream) = self.shared.stream.lock().try_clone() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
@@ -336,9 +405,18 @@ fn client_reader_loop(mut stream: TcpStream, shared: Arc<ClientShared>) {
                     let _ = tx.send(message.into_message());
                 }
             }
+            Response::CreditGrant { credits } => {
+                // Uncorrelated, like a delivery: top up the balance and
+                // wake any publisher parked on an exhausted window.
+                if let Ok(mut balance) = shared.credit.balance.lock() {
+                    balance.grant(credits);
+                }
+                shared.credit.replenished.notify_all();
+            }
             Response::Ok { request_id }
             | Response::Pong { request_id }
-            | Response::Error { request_id, .. } => {
+            | Response::Error { request_id, .. }
+            | Response::PublishDenied { request_id, .. } => {
                 if let Some(tx) = shared.pending.lock().remove(&request_id) {
                     let _ = tx.send(response);
                 }
@@ -346,9 +424,11 @@ fn client_reader_loop(mut stream: TcpStream, shared: Arc<ClientShared>) {
         }
     }
     shared.closed.store(true, Ordering::Relaxed);
-    // Wake all blocked receivers by dropping their senders.
+    // Wake all blocked receivers by dropping their senders, and any
+    // publisher parked on the credit window.
     shared.subscriptions.lock().clear();
     shared.pending.lock().clear();
+    shared.credit.replenished.notify_all();
 }
 
 /// A remote subscription's consuming handle.

@@ -15,10 +15,11 @@
 
 use crate::wire::{
     decode_request, encode_response, read_frame, Request, Response, WireFilter, WireMessage,
-    FEATURE_TRACE,
+    FEATURE_FLOW, FEATURE_TRACE,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use rjms_broker::{Broker, BrokerConfig, Filter, Publisher, TopicPattern};
+use rjms_broker::{Broker, BrokerConfig, Error, Filter, FlowGate, Publisher, TopicPattern};
+use rjms_flow::CreditWindow;
 use rjms_metrics::{clock, Gauge, MetricsRegistry};
 use rjms_trace::{FlightRecorder, SpanEvent, Stage};
 use std::collections::HashMap;
@@ -198,6 +199,15 @@ struct Connection {
     /// [`Request::Hello`]. Deliveries to pre-handshake clients have their
     /// trace context stripped so they only ever see pre-trace opcodes.
     traced: Arc<AtomicBool>,
+    /// The broker's admission gate, when flow control is enabled.
+    gate: Option<Arc<FlowGate>>,
+    /// Whether the client negotiated [`FEATURE_FLOW`] *and* the broker has
+    /// flow control on. Only then do flow opcodes go on the wire.
+    flow_negotiated: bool,
+    /// Server-side credit accounting for a flow-negotiated peer: counts
+    /// publishes and replenishes the client with [`Response::CreditGrant`]
+    /// every half window.
+    credit: Option<CreditWindow>,
 }
 
 fn handle_connection(
@@ -227,6 +237,7 @@ fn handle_connection(
         .spawn(move || writer_loop(write_stream, out_rx, writer_closed, writer_depth, recorder))
         .expect("failed to spawn writer thread");
 
+    let gate = broker.flow();
     let mut conn = Connection {
         broker,
         out: out_tx,
@@ -234,6 +245,9 @@ fn handle_connection(
         subscriptions: HashMap::new(),
         closed: Arc::clone(&closed),
         traced: Arc::new(AtomicBool::new(false)),
+        gate,
+        flow_negotiated: false,
+        credit: None,
     };
     reader_loop(stream, &mut conn);
 
@@ -317,13 +331,25 @@ fn handle_request(conn: &mut Connection, request: Request) -> bool {
         }
         Request::Hello { request_id, features } => {
             conn.traced.store(features & FEATURE_TRACE != 0, Ordering::Relaxed);
-            (request_id, Ok(()))
+            // Flow control is only negotiated when both sides support it;
+            // otherwise the client is paced by the compatibility throttle.
+            conn.flow_negotiated = features & FEATURE_FLOW != 0 && conn.gate.is_some();
+            if conn.out.send(Response::Ok { request_id }).is_err() {
+                return false;
+            }
+            if let (true, Some(gate)) = (conn.flow_negotiated, &conn.gate) {
+                // Open the credit window with a full initial grant.
+                let window = gate.config().credit_window;
+                conn.credit = Some(CreditWindow::new(window));
+                return conn.out.send(Response::CreditGrant { credits: window }).is_ok();
+            }
+            return true;
         }
         Request::CreateTopic { request_id, topic } => {
             (request_id, conn.broker.create_topic(&topic).map_err(|e| e.to_string()))
         }
         Request::Publish { request_id, topic, message } => {
-            (request_id, publish(conn, &topic, message))
+            return handle_publish(conn, request_id, &topic, message);
         }
         Request::Subscribe { request_id, subscription_id, topic, filter } => {
             (request_id, subscribe(conn, subscription_id, SubscribeTarget::Topic(topic), filter))
@@ -357,13 +383,69 @@ fn handle_request(conn: &mut Connection, request: Request) -> bool {
     conn.out.send(response).is_ok()
 }
 
-fn publish(conn: &mut Connection, topic: &str, message: WireMessage) -> Result<(), String> {
+/// Handles one publish request end to end: credit replenishment for flow
+/// peers, admission, and the outcome response. Returns `false` when the
+/// connection should close.
+fn handle_publish(
+    conn: &mut Connection,
+    request_id: u32,
+    topic: &str,
+    message: WireMessage,
+) -> bool {
+    // The client spent one credit sending this publish, whatever its
+    // outcome; replenish every half window.
+    let grant = conn.credit.as_mut().and_then(CreditWindow::consume);
+    let response = match publish(conn, topic, message) {
+        Ok(()) => Response::Ok { request_id },
+        Err(Error::PublishShed { class }) if conn.flow_negotiated => {
+            Response::PublishDenied { request_id, class, deferred: false, retry_after_ms: 0 }
+        }
+        Err(Error::PublishDeferred { class, retry_after_ms }) if conn.flow_negotiated => {
+            Response::PublishDenied { request_id, class, deferred: true, retry_after_ms }
+        }
+        // Pre-flow peers only ever see the original error frame.
+        Err(e) => Response::Error { request_id, message: e.to_string() },
+    };
+    if conn.out.send(response).is_err() {
+        return false;
+    }
+    match grant {
+        Some(credits) => conn.out.send(Response::CreditGrant { credits }).is_ok(),
+        None => true,
+    }
+}
+
+fn publish(conn: &mut Connection, topic: &str, message: WireMessage) -> Result<(), Error> {
     if !conn.publishers.contains_key(topic) {
-        let publisher = conn.broker.publisher(topic).map_err(|e| e.to_string())?;
+        let publisher = conn.broker.publisher(topic)?;
         conn.publishers.insert(topic.to_owned(), publisher);
     }
     let publisher = conn.publishers.get(topic).expect("just inserted");
-    publisher.publish(message.into_message()).map_err(|e| e.to_string())
+    if conn.flow_negotiated || conn.gate.is_none() {
+        return publisher.publish(message.into_message());
+    }
+    // Compatibility throttle: a pre-flow peer cannot understand the flow
+    // opcodes, so deferred publishes are absorbed server-side — retry up
+    // to `compat_max_wait_ms`, then fall back to a plain error frame.
+    // Shed publishes fail immediately (waiting would not help).
+    let max_wait = conn
+        .gate
+        .as_ref()
+        .map(|g| Duration::from_millis(g.config().compat_max_wait_ms))
+        .unwrap_or_default();
+    let deadline = Instant::now() + max_wait;
+    loop {
+        match publisher.publish(message.clone().into_message()) {
+            Err(Error::PublishDeferred { class, retry_after_ms }) => {
+                let retry = Duration::from_millis(retry_after_ms);
+                if Instant::now() + retry > deadline {
+                    return Err(Error::PublishDeferred { class, retry_after_ms });
+                }
+                std::thread::sleep(retry);
+            }
+            other => return other,
+        }
+    }
 }
 
 enum SubscribeTarget {

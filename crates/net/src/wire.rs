@@ -25,6 +25,16 @@ pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 /// frame, which the feature handshake guarantees.
 pub const FEATURE_TRACE: u32 = 1;
 
+/// [`Request::Hello`] feature bit: the client understands credit-based
+/// flow control — [`Response::CreditGrant`] (opcode 0x86) and
+/// [`Response::PublishDenied`] (opcode 0x87).
+///
+/// Like tracing, flow control travels in *new* opcodes so the handshake
+/// keeps pre-flow peers byte-compatible: a client that never advertises
+/// this bit is paced server-side (the compatibility throttle) and only
+/// ever sees the original response frames.
+pub const FEATURE_FLOW: u32 = 2;
+
 /// A decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
@@ -159,6 +169,28 @@ pub enum Response {
     Pong {
         /// The request this answers.
         request_id: u32,
+    },
+    /// A publish-credit replenishment (not correlated to a request; only
+    /// sent to peers that negotiated [`FEATURE_FLOW`]). The client adds
+    /// `credits` to its balance and may publish while the balance is
+    /// positive.
+    CreditGrant {
+        /// Number of publish credits granted.
+        credits: u32,
+    },
+    /// Admission control rejected a publish (only sent to peers that
+    /// negotiated [`FEATURE_FLOW`]; pre-flow peers get a plain
+    /// [`Response::Error`] after the compatibility throttle).
+    PublishDenied {
+        /// The request this answers.
+        request_id: u32,
+        /// The admission class of the rejected publish.
+        class: u8,
+        /// `true` if deferred (retry after `retry_after_ms`); `false` if
+        /// shed (retrying immediately will not help).
+        deferred: bool,
+        /// Suggested retry delay in milliseconds (0 when shed).
+        retry_after_ms: u64,
     },
 }
 
@@ -533,6 +565,17 @@ pub fn encode_response(resp: &Response) -> Bytes {
             body.put_u8(0x84);
             body.put_u32(*request_id);
         }
+        Response::CreditGrant { credits } => {
+            body.put_u8(0x86);
+            body.put_u32(*credits);
+        }
+        Response::PublishDenied { request_id, class, deferred, retry_after_ms } => {
+            body.put_u8(0x87);
+            body.put_u32(*request_id);
+            body.put_u8(*class);
+            body.put_u8(u8::from(*deferred));
+            body.put_u64(*retry_after_ms);
+        }
     }
     finish_frame(body)
 }
@@ -615,6 +658,18 @@ pub fn decode_response(mut body: Bytes) -> Result<Response, DecodeError> {
             let mut message = get_message(&mut body)?;
             message.trace = Some(get_trace(&mut body)?);
             Response::Delivery { subscription_id, message }
+        }
+        0x86 => Response::CreditGrant { credits: get_u32(&mut body)? },
+        0x87 => {
+            let request_id = get_u32(&mut body)?;
+            let class = get_u8(&mut body)?;
+            let deferred = match get_u8(&mut body)? {
+                0 => false,
+                1 => true,
+                other => return Err(DecodeError::new(format!("invalid deferred tag {other}"))),
+            };
+            let retry_after_ms = get_u64(&mut body)?;
+            Response::PublishDenied { request_id, class, deferred, retry_after_ms }
         }
         other => return Err(DecodeError::new(format!("unknown response opcode {other:#x}"))),
     };
@@ -750,6 +805,48 @@ mod tests {
         roundtrip_response(Response::Delivery { subscription_id: 3, message: sample_message() });
         roundtrip_response(Response::Delivery { subscription_id: 5, message: traced_message() });
         roundtrip_response(Response::Pong { request_id: 4 });
+        roundtrip_response(Response::CreditGrant { credits: 64 });
+        roundtrip_response(Response::PublishDenied {
+            request_id: 7,
+            class: 1,
+            deferred: true,
+            retry_after_ms: 40,
+        });
+        roundtrip_response(Response::PublishDenied {
+            request_id: 8,
+            class: 0,
+            deferred: false,
+            retry_after_ms: 0,
+        });
+    }
+
+    #[test]
+    fn flow_frames_use_new_opcodes_and_reject_truncation() {
+        // New opcodes only: every frame a pre-flow peer can receive stays
+        // byte-identical, exactly as with tracing.
+        let grant = encode_response(&Response::CreditGrant { credits: 1 });
+        assert_eq!(grant[4], 0x86);
+        let denied = encode_response(&Response::PublishDenied {
+            request_id: 1,
+            class: 2,
+            deferred: false,
+            retry_after_ms: 0,
+        });
+        assert_eq!(denied[4], 0x87);
+        for frame in [grant, denied] {
+            let body = frame.slice(4..);
+            for cut in 0..body.len() {
+                assert!(decode_response(body.slice(..cut)).is_err(), "cut at {cut} did not error");
+            }
+        }
+        // An out-of-range deferred tag is rejected.
+        let mut forged = BytesMut::new();
+        forged.put_u8(0x87);
+        forged.put_u32(1);
+        forged.put_u8(0);
+        forged.put_u8(7); // invalid bool tag
+        forged.put_u64(0);
+        assert!(decode_response(forged.freeze()).is_err());
     }
 
     #[test]

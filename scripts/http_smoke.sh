@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # HTTP exposition smoke test: start a traced rjms-server with the HTTP
-# endpoint and the SLO engine, drive a workload through the TCP clients,
-# then validate the /metrics, /snapshot.json, /traces, /model, /history,
-# /slo, and /alerts responses.
+# endpoint, the SLO engine, and flow control, drive a workload through
+# the TCP clients, then validate the /metrics, /snapshot.json, /traces,
+# /model, /flow, /history, /slo, and /alerts responses.
 #
 # Usage: scripts/http_smoke.sh [path-to-target-dir]
 # Exits non-zero on any failed check.
@@ -26,7 +26,7 @@ done
 
 fail() { echo "FAIL: $*"; exit 1; }
 
-"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --topic smoke &
+"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --flow --topic smoke &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
@@ -103,6 +103,18 @@ echo "complete chains: $COMPLETE / $COUNT"
 
 # --- /model ------------------------------------------------------------
 curl -sf "http://$HTTP_ADDR/model" >/dev/null || fail "/model not served"
+
+# --- /flow: admission-control state ------------------------------------
+curl -sf "http://$HTTP_ADDR/flow" > "$WORKDIR/flow.json" || fail "/flow not served"
+grep -q '"lambda_max":' "$WORKDIR/flow.json" || fail "/flow missing the budget"
+grep -q '"per_class":\[' "$WORKDIR/flow.json" || fail "/flow missing per-class counters"
+# The smoke workload sits far below the budget: every publish granted.
+GRANTED=$(tr ',' '\n' < "$WORKDIR/flow.json" | awk -F: '/"granted"/ { n += $2 } END { print n + 0 }')
+SHED=$(tr -d '}]' < "$WORKDIR/flow.json" | tr ',' '\n' | awk -F: '/"shed"/ { n += $2 } END { print n + 0 }')
+[ "$GRANTED" -ge "$COUNT" ] || fail "/flow granted $GRANTED < published $COUNT"
+[ "$SHED" = 0 ] || fail "/flow shed $SHED messages from an under-budget workload"
+grep -q '"flow":{"granted":' "$WORKDIR/snapshot.json" \
+  || fail "/snapshot.json missing the flow counters"
 
 # --- /slo, /history, /alerts: the SLO engine ---------------------------
 curl -sf "http://$HTTP_ADDR/slo" > "$WORKDIR/slo.json" || fail "/slo not served"

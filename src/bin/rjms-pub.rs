@@ -12,8 +12,14 @@
 //! message's trace id (`trace <decimal-id>`, one per line, matching the
 //! `trace_id` values in the server's `/traces` JSON) so a script can look
 //! up the matching span chain on the exposition endpoint.
+//!
+//! Against a flow-enabled server (`rjms-server --flow`) the publisher is
+//! a well-behaved flow citizen: a deferred publish sleeps out the
+//! server's `retry_after` hint and retries, so a burst above the
+//! admission budget is paced down instead of failing; a shed publish
+//! (the gate protecting higher classes) is a hard error.
 
-use rjms::broker::Message;
+use rjms::broker::{Error, Message};
 use rjms::net::client::RemoteBroker;
 use rjms::selector::Value;
 use std::time::{Duration, Instant};
@@ -112,6 +118,7 @@ fn main() {
     }
 
     let started = Instant::now();
+    let mut deferrals = 0u64;
     for i in 0..args.count {
         let mut b = Message::builder().body(args.body.clone());
         if let Some(c) = &args.corr_id {
@@ -124,9 +131,18 @@ fn main() {
         if args.print_trace_ids {
             println!("trace {}", message.trace_id());
         }
-        if let Err(e) = client.publish(&args.topic, &message) {
-            eprintln!("error: publish {i} failed: {e}");
-            std::process::exit(1);
+        loop {
+            match client.publish(&args.topic, &message) {
+                Ok(()) => break,
+                Err(Error::PublishDeferred { retry_after_ms, .. }) => {
+                    deferrals += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                Err(e) => {
+                    eprintln!("error: publish {i} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         if let Some(rate) = args.rate {
             let due = started + Duration::from_secs_f64((i + 1) as f64 / rate);
@@ -141,4 +157,7 @@ fn main() {
         args.count,
         args.count as f64 / elapsed.max(1e-9)
     );
+    if deferrals > 0 {
+        eprintln!("admission control deferred {deferrals} publish attempt(s); all retried");
+    }
 }

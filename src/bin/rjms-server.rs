@@ -4,6 +4,7 @@
 //! rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]
 //!             [--metrics-interval SECS] [--cost-model corr|app]
 //!             [--http ADDR] [--trace] [--trace-quantile Q]
+//!             [--flow] [--flow-w99 MS] [--flow-classes N]
 //! ```
 //!
 //! Topics can be pre-created with `--topic` (repeatable) or created later
@@ -29,9 +30,21 @@
 //! On a DRIFT verdict the recorder is dumped so the spans that produced
 //! the anomaly survive for inspection.
 //!
+//! `--flow` enables model-driven admission control (`rjms::flow`): the
+//! broker inverts Eq. 1 + the M/GI/1 waiting-time model into a maximum
+//! admissible arrival rate `λ_max` for the configured `W99` objective
+//! (`--flow-w99`, milliseconds, default 10; implies `--flow`) and
+//! enforces it with priority-class token buckets (`--flow-classes`,
+//! default 3; implies `--flow`) plus credit-based wire flow control for
+//! `FEATURE_FLOW` clients. A background thread re-assesses model drift
+//! every second and recalibrates — or tightens — the budget. With
+//! `--cost-model app` the flow gate seeds its model from the same
+//! application-property cost constants.
+//!
 //! `--http ADDR` serves `/metrics` (Prometheus text), `/snapshot.json`,
-//! `/traces`, `/model`, and — when the SLO engine is on — `/history`,
-//! `/slo`, and `/alerts` — see `rjms::http`.
+//! `/traces`, `/model`, `/flow` (admission-control state, when `--flow`
+//! is on), and — when the SLO engine is on — `/history`, `/slo`, and
+//! `/alerts` — see `rjms::http`.
 //!
 //! `--slo` enables the waiting-time SLO engine (`rjms::obs`): a
 //! background sampler keeps a multi-resolution metric history and
@@ -46,7 +59,9 @@
 //! with a single `write_all`, so concurrent stats and metrics reports
 //! never interleave mid-line and stdout stays machine-parseable.
 
-use rjms::broker::{BrokerConfig, CostModel, MetricsConfig, ThroughputProbe, TraceConfig};
+use rjms::broker::{
+    BrokerConfig, CostModel, FlowConfig, MetricsConfig, ThroughputProbe, TraceConfig,
+};
 use rjms::http::{HttpServer, HttpState};
 use rjms::metrics::clock;
 use rjms::model::model::ServerModel;
@@ -72,6 +87,9 @@ struct Args {
     slo: bool,
     history: Option<u64>,
     alert_sinks: Vec<String>,
+    flow: bool,
+    flow_w99_ms: Option<u64>,
+    flow_classes: Option<u8>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +105,9 @@ fn parse_args() -> Result<Args, String> {
         slo: false,
         history: None,
         alert_sinks: Vec::new(),
+        flow: false,
+        flow_w99_ms: None,
+        flow_classes: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -120,6 +141,23 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => args.trace = true,
             "--slo" => args.slo = true,
+            "--flow" => args.flow = true,
+            "--flow-w99" => {
+                let v = it.next().ok_or("--flow-w99 needs a number of milliseconds")?;
+                let ms: u64 = v.parse().map_err(|e| format!("bad --flow-w99 value: {e}"))?;
+                if ms == 0 {
+                    return Err("--flow-w99 must be at least 1 millisecond".to_owned());
+                }
+                args.flow_w99_ms = Some(ms);
+            }
+            "--flow-classes" => {
+                let v = it.next().ok_or("--flow-classes needs a count in 1..=10")?;
+                let n: u8 = v.parse().map_err(|e| format!("bad --flow-classes value: {e}"))?;
+                if !(1..=10).contains(&n) {
+                    return Err(format!("--flow-classes must be in 1..=10, got {n}"));
+                }
+                args.flow_classes = Some(n);
+            }
             "--history" => {
                 let v = it.next().ok_or("--history needs a number of seconds")?;
                 let secs: u64 = v.parse().map_err(|e| format!("bad --history value: {e}"))?;
@@ -148,7 +186,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: rjms-server [--listen ADDR] [--topic NAME]... \
                      [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app] \
                      [--http ADDR] [--trace] [--trace-quantile Q] \
-                     [--slo] [--history SECS] [--alert-sink stderr|webhook:ADDR/PATH]..."
+                     [--slo] [--history SECS] [--alert-sink stderr|webhook:ADDR/PATH]... \
+                     [--flow] [--flow-w99 MS] [--flow-classes N]"
                 );
                 std::process::exit(0);
             }
@@ -192,6 +231,22 @@ fn main() {
     if let Some((cost, _)) = args.cost_model {
         config = config.cost_model(cost);
     }
+    let flow_enabled = args.flow || args.flow_w99_ms.is_some() || args.flow_classes.is_some();
+    if flow_enabled {
+        let mut flow = FlowConfig::default();
+        if let Some(ms) = args.flow_w99_ms {
+            flow = flow.w99_objective(ms as f64 / 1e3);
+        }
+        if let Some(n) = args.flow_classes {
+            flow = flow.classes(n);
+        }
+        if let Some((_, params)) = args.cost_model {
+            // Seed the gate's analytic model with the same cost constants
+            // the broker burns, so λ_max matches the machine it polices.
+            flow = flow.params(params);
+        }
+        config = config.flow(flow);
+    }
     let server = match BrokerServer::start(config, args.listen.as_str()) {
         Ok(s) => s,
         Err(e) => {
@@ -208,6 +263,14 @@ fn main() {
     println!("rjms-server listening on {}", server.local_addr());
     if !args.topics.is_empty() {
         println!("topics: {}", args.topics.join(", "));
+    }
+    if let Some(gate) = server.broker().flow() {
+        println!(
+            "flow control on (lambda_max {:.0}/s for W99 <= {:.1} ms, {} classes)",
+            gate.lambda_max(),
+            gate.config().w99_objective * 1e3,
+            gate.config().classes,
+        );
     }
 
     // SLO engine: background sampler + burn-rate alerting over the
@@ -252,6 +315,9 @@ fn main() {
     }
     if let Some(runtime) = &obs_runtime {
         http_state = http_state.obs(runtime.core());
+    }
+    if let Some(gate) = server.broker().flow() {
+        http_state = http_state.flow(gate);
     }
     let model_text = http_state.model_text();
     let _http =

@@ -11,6 +11,9 @@
 //! * a **waiting-time pane**: sparkline of the per-slot W99 over the last
 //!   ten minutes plus the merged-window quantile summary,
 //! * a **throughput pane**: sparkline of messages per slot,
+//! * a **flow pane** (when the server runs `--flow`): the live `λ_max`
+//!   budget and its calibration source, the global bucket fill, and the
+//!   granted/deferred/shed admission counters,
 //! * an **SLO table**: per objective, the alert state, fast/slow burn
 //!   rates against the threshold, and an error-budget gauge,
 //! * an **alert feed**: the most recent state transitions with their
@@ -190,6 +193,34 @@ fn render_frame(addr: &str) -> Result<(String, bool), String> {
     }
     let (spark, top) = sparkline(&series_values(&load));
     out.push_str(&format!("  msgs/slot   {spark}  peak {top:.0}\n\n"));
+
+    // Flow pane: admission-control state, when the server runs --flow.
+    // /flow is 404 on a flow-less server; skip the pane quietly.
+    if let Ok(flow) = get_json(addr, "/flow") {
+        let lambda = flow.get("lambda_max").and_then(Value::as_f64).unwrap_or(0.0);
+        let w99 = flow.get("w99_objective").and_then(Value::as_f64).unwrap_or(0.0);
+        let source = flow.get("source").and_then(Value::as_str).unwrap_or("?");
+        let level = flow.get("bucket_level").and_then(Value::as_f64).unwrap_or(0.0);
+        let burst = flow.get("bucket_burst").and_then(Value::as_f64).unwrap_or(0.0);
+        let fill = if burst > 0.0 { level / burst } else { 0.0 };
+        out.push_str(&format!(
+            "  flow        lambda_max {lambda:.0}/s ({source})  W99 obj {}  bucket {}\n",
+            fmt_ms(w99 * 1e9),
+            budget_gauge(fill),
+        ));
+        let mut granted = 0;
+        let mut deferred = 0;
+        let mut shed = 0;
+        for c in flow.get("per_class").map(Value::items).unwrap_or_default() {
+            granted += c.get("granted").and_then(Value::as_u64).unwrap_or(0);
+            deferred += c.get("deferred").and_then(Value::as_u64).unwrap_or(0);
+            shed += c.get("shed").and_then(Value::as_u64).unwrap_or(0);
+        }
+        let tag = if shed > 0 { "\x1b[31mshedding\x1b[0m" } else { "\x1b[32mopen\x1b[0m" };
+        out.push_str(&format!(
+            "              granted {granted}  deferred {deferred}  shed {shed}  gate {tag}\n\n"
+        ));
+    }
 
     // SLO table.
     out.push_str(

@@ -21,6 +21,9 @@
 //!   objective.
 //! * `GET /alerts` — active alert states plus the recent transition feed
 //!   with evidence.
+//! * `GET /flow` — the admission gate's live calibration (λ_max, its
+//!   source, bucket fill, per-class grant/defer/shed counters) as JSON,
+//!   when flow control is enabled.
 //!
 //! The server is deliberately minimal — blocking I/O, one thread per
 //! connection, `Connection: close` on every response — because its
@@ -32,7 +35,7 @@
 //! header block 431, and a stalled or truncated head is abandoned on a
 //! read timeout instead of hanging the connection thread.
 
-use rjms_broker::{BrokerObserver, BrokerSnapshot};
+use rjms_broker::{BrokerObserver, BrokerSnapshot, FlowGate};
 use rjms_metrics::{clock, MetricsRegistry};
 use rjms_obs::{ObsCore, Reduce};
 use rjms_trace::{group_chains, render_chains_json, FlightRecorder};
@@ -52,6 +55,7 @@ pub struct HttpState {
     recorder: Option<Arc<FlightRecorder>>,
     model: Arc<Mutex<String>>,
     obs: Option<Arc<Mutex<ObsCore>>>,
+    flow: Option<Arc<FlowGate>>,
 }
 
 impl std::fmt::Debug for HttpState {
@@ -105,6 +109,14 @@ impl HttpState {
     #[must_use]
     pub fn obs(mut self, core: Arc<Mutex<ObsCore>>) -> Self {
         self.obs = Some(core);
+        self
+    }
+
+    /// Attaches the admission gate for `/flow` (typically
+    /// [`rjms_broker::Broker::flow`]).
+    #[must_use]
+    pub fn flow(mut self, gate: Arc<FlowGate>) -> Self {
+        self.flow = Some(gate);
         self
     }
 }
@@ -224,7 +236,8 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
              /model          latest analytic-model drift verdict\n\
              /history        metric history series (?metric=&window=&reduce=)\n\
              /slo            objective burn rates and budgets (JSON)\n\
-             /alerts         alert states and transition feed (JSON)\n",
+             /alerts         alert states and transition feed (JSON)\n\
+             /flow           admission-gate calibration and counters (JSON)\n",
         ),
         "/metrics" => {
             let mut body = String::new();
@@ -269,6 +282,13 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
         "/history" => match &state.obs {
             Some(obs) => serve_history(&mut stream, obs, query),
             None => respond(&mut stream, "404 Not Found", "text/plain", "slo engine disabled\n"),
+        },
+        "/flow" => match &state.flow {
+            Some(gate) => {
+                let body = render_flow_json(gate);
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => respond(&mut stream, "404 Not Found", "text/plain", "flow control disabled\n"),
         },
         _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown path\n"),
     }
@@ -492,6 +512,16 @@ fn render_broker_json(out: &mut String, snap: &BrokerSnapshot) {
         }
         None => out.push_str(",\"journal\":null"),
     }
+    match &snap.flow {
+        Some(fc) => {
+            let _ = write!(
+                out,
+                ",\"flow\":{{\"granted\":{},\"deferred\":{},\"shed\":{}}}",
+                fc.granted, fc.deferred, fc.shed
+            );
+        }
+        None => out.push_str(",\"flow\":null"),
+    }
     out.push_str(",\"per_topic\":{");
     for (i, (name, t)) in snap.per_topic.iter().enumerate() {
         if i > 0 {
@@ -501,6 +531,43 @@ fn render_broker_json(out: &mut String, snap: &BrokerSnapshot) {
         let _ = write!(out, ":{{\"received\":{},\"dispatched\":{}}}", t.received, t.dispatched);
     }
     out.push_str("}}");
+}
+
+/// Renders the admission gate's [`FlowSnapshot`](rjms_broker::FlowSnapshot)
+/// as the `/flow` JSON body.
+fn render_flow_json(gate: &FlowGate) -> String {
+    use std::fmt::Write;
+    let s = gate.snapshot();
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"lambda_max\":{},\"rho_max\":{},\"w99_objective\":{},\"headroom\":{},\
+         \"source\":\"{}\",\"refreshes\":{},\"classes\":{},\"bucket_level\":{},\
+         \"bucket_burst\":{},\"credit_window\":{},\"producers\":{},\"per_class\":[",
+        s.lambda_max,
+        s.rho_max,
+        s.w99_objective,
+        s.headroom,
+        s.source,
+        s.refreshes,
+        s.classes,
+        s.bucket_level,
+        s.bucket_burst,
+        s.credit_window,
+        s.producers
+    );
+    for (i, c) in s.per_class.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"class\":{},\"granted\":{},\"deferred\":{},\"shed\":{}}}",
+            c.class, c.granted, c.deferred, c.shed
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Appends `s` as a quoted JSON string (topic names are user input).
@@ -622,9 +689,22 @@ mod tests {
     #[test]
     fn slo_endpoints_404_without_engine() {
         let s = server(HttpState::new());
-        for path in ["/slo", "/alerts", "/history?metric=x"] {
+        for path in ["/slo", "/alerts", "/history?metric=x", "/flow"] {
             let r = get(s.local_addr(), path);
             assert_eq!(status_of(&r), "HTTP/1.1 404 Not Found", "path {path}");
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn flow_endpoint_renders_gate_snapshot() {
+        use rjms_broker::FlowConfig;
+        let gate = Arc::new(FlowGate::new(FlowConfig::default()));
+        let s = server(HttpState::new().flow(gate));
+        let r = get(s.local_addr(), "/flow");
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        for key in ["\"lambda_max\":", "\"source\":\"analytic\"", "\"per_class\":["] {
+            assert!(r.contains(key), "missing {key} in body: {r}");
         }
         s.shutdown();
     }

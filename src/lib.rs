@@ -12,6 +12,8 @@
 //! * [`queueing`] — the `M/GI/1-∞` analysis ([`rjms_queueing`]),
 //! * [`desim`] — discrete-event simulation ([`rjms_desim`]),
 //! * [`net`] — the TCP wire layer ([`rjms_net`]),
+//! * [`flow`] — model-driven admission control and credit-based flow
+//!   control ([`rjms_flow`]),
 //! * [`metrics`] — counters, histograms, the TSC clock ([`rjms_metrics`]),
 //! * [`trace`] — the tail-sampled flight recorder ([`rjms_trace`]),
 //! * [`obs`] — the waiting-time SLO engine: metric history, burn-rate
@@ -92,6 +94,12 @@ pub mod desim {
 /// [`rjms_net`]).
 pub mod net {
     pub use rjms_net::*;
+}
+
+/// Model-driven admission control: λ_max inversion, priority-class token
+/// buckets, and credit windows (re-export of [`rjms_flow`]).
+pub mod flow {
+    pub use rjms_flow::*;
 }
 
 /// Low-overhead instruments: counters, histograms, the TSC clock
