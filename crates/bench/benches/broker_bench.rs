@@ -26,7 +26,8 @@ fn bench_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("broker_dispatch");
     g.measurement_time(Duration::from_secs(5));
     for &(n_fltr, r) in &[(1usize, 1usize), (16, 1), (128, 1), (16, 16), (128, 16)] {
-        let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(65_536));
+        let broker =
+            Broker::start(BrokerConfig::builder().subscriber_queue_capacity(65_536).build());
         broker.create_topic("bench").unwrap();
         // r matching subscribers (filter #0) + (n_fltr - r) non-matching.
         let mut subs = Vec::new();
@@ -64,7 +65,8 @@ fn bench_selector_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("broker_dispatch_selector");
     g.measurement_time(Duration::from_secs(5));
     for &n_fltr in &[16usize, 128] {
-        let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(65_536));
+        let broker =
+            Broker::start(BrokerConfig::builder().subscriber_queue_capacity(65_536).build());
         broker.create_topic("bench").unwrap();
         let mut subs = Vec::new();
         subs.push(

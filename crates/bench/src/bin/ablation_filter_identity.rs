@@ -18,10 +18,11 @@ use std::time::Duration;
 /// filters; one extra matching subscriber keeps the replication grade 1.
 fn measure(filters: Vec<Filter>) -> f64 {
     let broker = Broker::start(
-        BrokerConfig::default()
+        BrokerConfig::builder()
             .publish_queue_capacity(64)
             .subscriber_queue_capacity(1 << 15)
-            .cost_model(CostModel::CORRELATION_ID),
+            .cost_model(CostModel::CORRELATION_ID)
+            .build(),
     );
     broker.create_topic("t").unwrap();
     let stop = Arc::new(AtomicBool::new(false));

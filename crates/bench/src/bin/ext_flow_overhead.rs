@@ -50,7 +50,7 @@ const GATE_SCALE: f64 = 0.65;
 /// Metrics are on in both variants; `flow` additionally runs every
 /// publish through the admission gate.
 fn measure(flow: bool, cost: CostModel, gate_params: CostParams, n: u64) -> (f64, f64) {
-    let mut config = BrokerConfig::default()
+    let mut config = BrokerConfig::builder()
         .publish_queue_capacity(256)
         .subscriber_queue_capacity(1 << 18)
         .overflow_policy(OverflowPolicy::DropNew)
@@ -68,7 +68,7 @@ fn measure(flow: bool, cost: CostModel, gate_params: CostParams, n: u64) -> (f64
                 .refresh_interval_ms(60_000),
         );
     }
-    let broker = Broker::start(config);
+    let broker = Broker::start(config.build());
     broker.create_topic("bench").unwrap();
     let _subscribers: Vec<_> = (0..N_FILTERS)
         .map(|i| {

@@ -49,7 +49,7 @@ const SAMPLE_EVERY: Duration = Duration::from_millis(25);
 /// One fixed-count run; returns received msgs/s. Metrics are always on;
 /// `obs` additionally runs the SLO engine's sampling thread.
 fn measure(obs: bool, cost: Option<CostModel>, n: u64) -> f64 {
-    let mut config = BrokerConfig::default()
+    let mut config = BrokerConfig::builder()
         .publish_queue_capacity(256)
         .subscriber_queue_capacity(1 << 18)
         .overflow_policy(OverflowPolicy::DropNew)
@@ -57,7 +57,7 @@ fn measure(obs: bool, cost: Option<CostModel>, n: u64) -> f64 {
     if let Some(c) = cost {
         config = config.cost_model(c);
     }
-    let broker = Broker::start(config);
+    let broker = Broker::start(config.build());
     broker.create_topic("bench").unwrap();
     let _subscribers: Vec<_> = (0..N_FILTERS)
         .map(|i| {

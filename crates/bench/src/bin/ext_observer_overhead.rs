@@ -61,7 +61,7 @@ const COST_SCALE: f64 = 32.0;
 /// subscriber queues are sized to hold the full count and overflow drops
 /// new copies, so throughput never depends on consumer scheduling.
 fn measure(metrics: Option<MetricsConfig>, cost: Option<CostModel>, n: u64) -> f64 {
-    let mut config = BrokerConfig::default()
+    let mut config = BrokerConfig::builder()
         .publish_queue_capacity(256)
         .subscriber_queue_capacity(1 << 18)
         .overflow_policy(OverflowPolicy::DropNew);
@@ -71,7 +71,7 @@ fn measure(metrics: Option<MetricsConfig>, cost: Option<CostModel>, n: u64) -> f
     if let Some(c) = cost {
         config = config.cost_model(c);
     }
-    let broker = Broker::start(config);
+    let broker = Broker::start(config.build());
     broker.create_topic("bench").unwrap();
 
     // One matching subscriber plus (N_FILTERS - 1) non-matching ones: the

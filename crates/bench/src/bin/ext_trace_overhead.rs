@@ -54,7 +54,7 @@ const COST_SCALE: f64 = 32.0;
 /// One fixed-count run; returns received msgs/s. `trace` toggles the
 /// flight recorder on top of an always-on metrics layer.
 fn measure(trace: bool, cost: Option<CostModel>, n: u64) -> f64 {
-    let mut config = BrokerConfig::default()
+    let mut config = BrokerConfig::builder()
         .publish_queue_capacity(256)
         .subscriber_queue_capacity(1 << 18)
         .overflow_policy(OverflowPolicy::DropNew)
@@ -65,7 +65,7 @@ fn measure(trace: bool, cost: Option<CostModel>, n: u64) -> f64 {
     if let Some(c) = cost {
         config = config.cost_model(c);
     }
-    let broker = Broker::start(config);
+    let broker = Broker::start(config.build());
     broker.create_topic("bench").unwrap();
 
     let _subscribers: Vec<_> = (0..N_FILTERS)

@@ -30,10 +30,14 @@ use crate::message::Message;
 use crate::metrics::{time_stage, BrokerMetrics, DispatchTimer, DispatcherScratch};
 use crate::pattern::TopicPattern;
 use crate::persist::{encode_publish, JournalRecord};
-use crate::stats::{BrokerSnapshot, BrokerStats, MessageCounters, SubscriptionCounters};
+use crate::stats::{
+    BrokerSnapshot, BrokerStats, MessageCounters, ShardSnapshot, SubscriptionCounters,
+};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
-use rjms_core::{ModelMonitor, ReplicationModel, ServerModel};
+use rjms_core::{
+    CostParams, DriftTolerance, ModelMonitor, ModelVerdict, ReplicationModel, ServerModel,
+};
 use rjms_flow::{AdmissionOutcome, FlowGate};
 use rjms_journal::Journal;
 use rjms_metrics::{labeled, Counter, MetricsRegistry};
@@ -67,6 +71,10 @@ struct Subscription {
 /// A topic: a named set of subscriptions plus named durable subscriptions.
 struct Topic {
     name: String,
+    /// The dispatcher shard this topic is pinned to ([`shard_of`]); all of
+    /// a topic's messages flow through one dispatcher, preserving
+    /// per-topic FIFO order under sharded dispatch.
+    shard: usize,
     subscriptions: RwLock<Vec<Arc<Subscription>>>,
     durables: RwLock<Vec<Arc<DurableState>>>,
     received: AtomicU64,
@@ -74,15 +82,53 @@ struct Topic {
 }
 
 impl Topic {
-    fn new(name: &str) -> Self {
+    fn new(name: &str, shard: usize) -> Self {
         Self {
             name: name.to_owned(),
+            shard,
             subscriptions: RwLock::new(Vec::new()),
             durables: RwLock::new(Vec::new()),
             received: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
         }
     }
+}
+
+/// Maps a topic name onto a dispatcher shard: a stable FNV-1a hash of the
+/// name modulo the shard count. The assignment is a pure function of
+/// `(name, shards)`, so it survives restarts and journal recovery, and
+/// workload generators can construct topic names that land on chosen
+/// shards.
+///
+/// With `shards == 1` every topic maps to shard 0 (the single-dispatcher
+/// broker).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::shard_of;
+///
+/// assert_eq!(shard_of("orders.eu", 1), 0);
+/// let s = shard_of("orders.eu", 4);
+/// assert!(s < 4);
+/// // Stable: the same name always lands on the same shard.
+/// assert_eq!(s, shard_of("orders.eu", 4));
+/// ```
+pub fn shard_of(topic: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shards must be > 0");
+    if shards == 1 {
+        return 0;
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in topic.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
 }
 
 /// Per-topic message counters (see [`BrokerSnapshot::per_topic`]).
@@ -131,10 +177,26 @@ enum DispatchItem {
     Shutdown,
 }
 
+/// One dispatcher shard's message counters, recorded by that shard's
+/// dispatcher alone (plain relaxed atomics; no cross-shard contention).
+#[derive(Default)]
+struct ShardStats {
+    received: AtomicU64,
+    dispatched: AtomicU64,
+    filter_evaluations: AtomicU64,
+}
+
 /// Shared broker state.
 struct BrokerInner {
     config: BrokerConfig,
     stats: Arc<BrokerStats>,
+    /// Per-shard message counters, one slot per dispatcher; length equals
+    /// the configured shard count.
+    shard_stats: Vec<ShardStats>,
+    /// When the broker started; per-shard arrival rates in
+    /// [`Broker::shard_reports`] are derived against this origin, matching
+    /// the flow-refresh loop's convention.
+    started: Instant,
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     /// Wildcard subscriptions, attached to future topics on creation.
     patterns: RwLock<Vec<PatternSubscription>>,
@@ -218,10 +280,13 @@ struct PatternSubscription {
 /// ```
 pub struct Broker {
     inner: Arc<BrokerInner>,
-    publish_tx: Sender<DispatchItem>,
-    dispatcher: Option<JoinHandle<()>>,
+    /// One bounded publish queue per dispatcher shard; a topic's messages
+    /// always enter `publish_txs[topic.shard]`.
+    publish_txs: Vec<Sender<DispatchItem>>,
+    /// The dispatcher threads, one per shard; joined on shutdown.
+    dispatchers: Vec<JoinHandle<()>>,
     /// The flow-refresh thread, when flow control is enabled; joined on
-    /// shutdown like the dispatcher.
+    /// shutdown like the dispatchers.
     flow_refresh: Option<JoinHandle<()>>,
 }
 
@@ -252,6 +317,9 @@ impl Broker {
     /// write-ahead log must not silently start empty.
     pub fn start(config: BrokerConfig) -> Broker {
         let mut config = config;
+        // Defensive: the builder rejects zero, but the fields are public.
+        let shards = config.shards.max(1);
+        config.shards = shards;
         // Tracing tail-samples against the live sojourn histogram, so it
         // cannot run without metrics: enable the default set implicitly.
         if config.trace.is_some() && config.metrics.is_none() {
@@ -261,6 +329,12 @@ impl Broker {
         // service histograms, so it cannot run without metrics either.
         if config.flow.is_some() && config.metrics.is_none() {
             config.metrics = Some(MetricsConfig::default());
+        }
+        // The admission budget is split per shard (each dispatcher is one
+        // M/GI/1 server); keep the flow controller's shard count in sync
+        // with the broker's so the aggregate budget scales with N.
+        if let Some(flow) = &mut config.flow {
+            flow.shards = shards as u32;
         }
         let stats = Arc::new(BrokerStats::new());
         let mut topics = HashMap::new();
@@ -287,10 +361,18 @@ impl Broker {
             gate.bind_registry(&metrics.registry);
         }
 
-        let (publish_tx, publish_rx) = bounded(config.publish_queue_capacity);
+        let mut publish_txs = Vec::with_capacity(shards);
+        let mut publish_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = bounded(config.publish_queue_capacity);
+            publish_txs.push(tx);
+            publish_rxs.push(rx);
+        }
         let inner = Arc::new(BrokerInner {
             config,
             stats,
+            shard_stats: (0..shards).map(|_| ShardStats::default()).collect(),
+            started: Instant::now(),
             topics: RwLock::new(topics),
             patterns: RwLock::new(Vec::new()),
             next_subscription_id: AtomicU64::new(1),
@@ -301,11 +383,24 @@ impl Broker {
             flow,
             next_producer_id: AtomicU64::new(1),
         });
-        let dispatcher_inner = Arc::clone(&inner);
-        let dispatcher = std::thread::Builder::new()
-            .name("rjms-dispatcher".to_owned())
-            .spawn(move || dispatch_loop(dispatcher_inner, publish_rx))
-            .expect("failed to spawn dispatcher thread");
+        let dispatchers = publish_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, publish_rx)| {
+                let dispatcher_inner = Arc::clone(&inner);
+                // Keep the historical thread name for the single-dispatcher
+                // broker; sharded dispatchers are numbered.
+                let name = if shards == 1 {
+                    "rjms-dispatcher".to_owned()
+                } else {
+                    format!("rjms-dispatcher-{shard}")
+                };
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || dispatch_loop(dispatcher_inner, shard, publish_rx))
+                    .expect("failed to spawn dispatcher thread")
+            })
+            .collect();
         let flow_refresh = inner.flow.as_ref().map(|gate| {
             let gate = Arc::clone(gate);
             let refresh_inner = Arc::clone(&inner);
@@ -314,7 +409,7 @@ impl Broker {
                 .spawn(move || flow_refresh_loop(&refresh_inner, &gate))
                 .expect("failed to spawn flow-refresh thread")
         });
-        Broker { inner, publish_tx, dispatcher: Some(dispatcher), flow_refresh }
+        Broker { inner, publish_txs, dispatchers, flow_refresh }
     }
 
     /// Creates a topic.
@@ -333,7 +428,7 @@ impl Broker {
         if topics.contains_key(name) {
             return Err(Error::TopicExists { topic: name.to_owned() });
         }
-        let topic = Arc::new(Topic::new(name));
+        let topic = Arc::new(Topic::new(name, shard_of(name, self.inner.config.shards)));
         // Attach live wildcard subscriptions that match the new topic,
         // pruning dead pattern entries on the way.
         {
@@ -381,9 +476,12 @@ impl Broker {
     pub fn publisher(&self, topic: &str) -> Result<Publisher, Error> {
         self.ensure_running()?;
         let topic = self.lookup(topic)?;
+        // Bind the handle to the topic's own shard queue: routing is
+        // resolved once here, not per publish.
+        let publish_tx = self.publish_txs[topic.shard].clone();
         Ok(Publisher {
             topic,
-            publish_tx: self.publish_tx.clone(),
+            publish_tx,
             inner: Arc::clone(&self.inner),
             producer_id: self.inner.next_producer_id.fetch_add(1, Ordering::Relaxed),
         })
@@ -707,6 +805,17 @@ impl Broker {
         BrokerObserver { inner: Arc::clone(&self.inner) }
     }
 
+    /// Per-shard model assessments: each dispatcher shard's measured
+    /// operating point compared against Eq. 1 + M/GI/1 evaluated for that
+    /// shard alone (see [`ShardReport`]).
+    ///
+    /// Requires metrics plus a cost anchor ([`BrokerConfig::flow`] or
+    /// [`BrokerConfig::cost_model`]); returns an empty vector otherwise.
+    /// With `shards == 1` the single report covers the whole broker.
+    pub fn shard_reports(&self) -> Vec<ShardReport> {
+        shard_reports_of(&self.inner)
+    }
+
     /// The broker's metrics registry, when [`BrokerConfig::metrics`] is
     /// set; `None` otherwise. Instrument names are documented in
     /// [`crate::metrics`].
@@ -750,9 +859,11 @@ impl Broker {
         if self.inner.stopped.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The dispatcher drains queued items and exits on Shutdown.
-        let _ = self.publish_tx.send(DispatchItem::Shutdown);
-        if let Some(handle) = self.dispatcher.take() {
+        // Each dispatcher drains its queued items and exits on Shutdown.
+        for tx in &self.publish_txs {
+            let _ = tx.send(DispatchItem::Shutdown);
+        }
+        for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
         // The refresh thread polls `stopped` between sleep slices.
@@ -821,6 +932,24 @@ fn snapshot_of(inner: &BrokerInner) -> BrokerSnapshot {
         },
         journal: inner.journal.as_ref().map(|j| j.lock().stats()),
         flow: inner.flow.as_ref().map(|_| stats.flow_counters()),
+        shards: (inner.config.shards > 1).then(|| {
+            let mut topics_per = vec![0usize; inner.shard_stats.len()];
+            for t in topics.values() {
+                topics_per[t.shard] += 1;
+            }
+            inner
+                .shard_stats
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| ShardSnapshot {
+                    shard,
+                    topics: topics_per[shard],
+                    received: s.received.load(Ordering::Relaxed),
+                    dispatched: s.dispatched.load(Ordering::Relaxed),
+                    filter_evaluations: s.filter_evaluations.load(Ordering::Relaxed),
+                })
+                .collect()
+        }),
         per_topic,
     }
 }
@@ -886,6 +1015,118 @@ impl BrokerObserver {
     pub fn snapshot(&self) -> BrokerSnapshot {
         snapshot_of(&self.inner)
     }
+
+    /// Per-shard model assessments (see [`Broker::shard_reports`]).
+    pub fn shard_reports(&self) -> Vec<ShardReport> {
+        shard_reports_of(&self.inner)
+    }
+}
+
+/// One dispatcher shard's live model assessment: the shard's measured
+/// operating point (arrival rate, filter count, replication grade from its
+/// own counters and histograms) compared against the Eq. 1 + M/GI/1 model
+/// evaluated *per shard* — each dispatcher is one of the `k` servers of
+/// the paper's clustered scenario
+/// ([`ClusterScenario`](rjms_core::ClusterScenario)).
+///
+/// Produced by [`Broker::shard_reports`]; served by the `/shards` HTTP
+/// endpoint.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// Waiting-time samples behind this assessment.
+    pub samples: u64,
+    /// Measured per-shard arrival rate λ, messages per second, over the
+    /// broker's whole lifetime.
+    pub arrival_rate: f64,
+    /// Measured mean filter evaluations per message on this shard.
+    pub filters: f64,
+    /// Measured replication grade `E[R]` on this shard.
+    pub replication_grade: f64,
+    /// The model verdict at the shard's measured operating point; the
+    /// `Calibrated`/`Drift` variants carry the full measured-vs-predicted
+    /// comparison.
+    pub verdict: ModelVerdict,
+}
+
+/// Builds the per-shard model reports behind [`Broker::shard_reports`].
+///
+/// Returns an empty vector when metrics are off (nothing measured) or when
+/// no cost anchor exists (neither [`BrokerConfig::flow`] nor
+/// [`BrokerConfig::cost_model`] is set, so Eq. 1 has no constants to
+/// predict with).
+fn shard_reports_of(inner: &BrokerInner) -> Vec<ShardReport> {
+    let Some(metrics) = &inner.metrics else { return Vec::new() };
+    let params = if let Some(gate) = &inner.flow {
+        gate.config().params
+    } else if let Some(cost) = inner.config.cost_model {
+        CostParams { t_rcv: cost.t_rcv, t_fltr: cost.t_fltr, t_tx: cost.t_tx, t_store: 0.0 }
+    } else {
+        return Vec::new();
+    };
+    let snap = metrics.registry.snapshot();
+    let elapsed = inner.started.elapsed();
+    let shards = inner.config.shards;
+    (0..shards)
+        .map(|shard| {
+            // The single-dispatcher broker publishes no shard-labeled
+            // series; its shard 0 *is* the aggregate.
+            let (waiting, service) = if shards == 1 {
+                (snap.histogram("broker.waiting_ns"), snap.histogram("broker.service_ns"))
+            } else {
+                let label = shard.to_string();
+                let pairs = [("shard", label.as_str())];
+                (
+                    snap.histogram(&labeled("broker.waiting_ns", &pairs)),
+                    snap.histogram(&labeled("broker.service_ns", &pairs)),
+                )
+            };
+            let counters = &inner.shard_stats[shard];
+            let received = counters.received.load(Ordering::Relaxed);
+            let per_message = |total: u64| {
+                if received > 0 {
+                    total as f64 / received as f64
+                } else {
+                    0.0
+                }
+            };
+            let filters = per_message(counters.filter_evaluations.load(Ordering::Relaxed));
+            let grade = per_message(counters.dispatched.load(Ordering::Relaxed));
+            // A shard whose histograms have not materialized yet (no
+            // dispatch flushed) is an idle server, not a missing one.
+            let (Some(waiting), Some(service)) = (waiting, service) else {
+                return ShardReport {
+                    shard,
+                    samples: 0,
+                    arrival_rate: 0.0,
+                    filters,
+                    replication_grade: grade,
+                    verdict: ModelVerdict::Insufficient {
+                        samples: 0,
+                        required: DriftTolerance::default().min_samples,
+                    },
+                };
+            };
+            let monitor = ModelMonitor::new(
+                ServerModel::new(params, filters.round() as u32),
+                ReplicationModel::deterministic(grade),
+            );
+            let arrival_rate = if elapsed.as_secs_f64() > 0.0 {
+                waiting.count as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            };
+            ShardReport {
+                shard,
+                samples: waiting.count,
+                arrival_rate,
+                filters,
+                replication_grade: grade,
+                verdict: monitor.assess(waiting, service, elapsed),
+            }
+        })
+        .collect()
 }
 
 /// Configures and opens one subscription; created by
@@ -961,16 +1202,20 @@ struct PendingCheckpoint {
     deliveries: u64,
 }
 
-/// The dispatcher thread: pops publish items and fans out message copies.
 /// The labeled counter pair of one exported topic series.
 struct TopicCounters {
     received: Arc<Counter>,
     dispatched: Arc<Counter>,
 }
 
-fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
+/// One dispatcher thread: pops publish items from its shard's queue and
+/// fans out message copies. The single-dispatcher broker runs exactly one
+/// of these (shard 0); sharded brokers run one per shard, each with its
+/// own histogram staging and checkpoint bookkeeping.
+fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<DispatchItem>) {
     let cost = inner.config.cost_model;
     let metrics = inner.metrics.as_ref();
+    let shard_stats = &inner.shard_stats[shard];
     let checkpoint_every =
         inner.config.persistence.as_ref().map_or(u64::MAX, |p| p.checkpoint_every);
     // Checkpoint bookkeeping, keyed by (topic, durable name). Only the
@@ -1005,8 +1250,14 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
     // the next dispatch start instead of a second clock read per message.
     let mut last_end: Option<u64> = None;
     // Local staging for the per-message histograms, flushed on idle and
-    // every FLUSH_EVERY samples.
-    let mut scratch = DispatcherScratch::new();
+    // every FLUSH_EVERY samples. Sharded dispatchers additionally stage
+    // into shard-labeled series; the single-dispatcher broker publishes
+    // none, keeping its metric surface byte-identical to the pre-shard
+    // layout.
+    let mut scratch = match metrics {
+        Some(m) if inner.config.shards > 1 => DispatcherScratch::for_shard(m, shard),
+        _ => DispatcherScratch::new(),
+    };
     loop {
         let (item, was_queued) = match publish_rx.try_recv() {
             Ok(item) => (item, true),
@@ -1072,6 +1323,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
         }
 
         inner.stats.record_received();
+        shard_stats.received.fetch_add(1, Ordering::Relaxed);
         time_stage(timed, &mut rcv_ns, || {
             if let Some(c) = &cost {
                 c.spin_receive();
@@ -1219,6 +1471,8 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
 
         inner.stats.record_filter_evaluations(evaluations);
         inner.stats.record_dispatched(copies);
+        shard_stats.filter_evaluations.fetch_add(evaluations, Ordering::Relaxed);
+        shard_stats.dispatched.fetch_add(copies, Ordering::Relaxed);
         topic.received.fetch_add(1, Ordering::Relaxed);
         topic.dispatched.fetch_add(copies, Ordering::Relaxed);
 
@@ -1335,10 +1589,14 @@ fn dispatch_loop(inner: Arc<BrokerInner>, publish_rx: Receiver<DispatchItem>) {
     }
     inner.sync_journal();
 
-    // Drop every subscription's sender so that blocked or future
-    // subscriber receives observe disconnection once their queues drain.
+    // Drop the subscriptions of this shard's topics so that blocked or
+    // future subscriber receives observe disconnection once their queues
+    // drain. Each dispatcher clears only its own shard: another shard may
+    // still be draining its queue into its topics.
     for topic in inner.topics.read().values() {
-        topic.subscriptions.write().clear();
+        if topic.shard == shard {
+            topic.subscriptions.write().clear();
+        }
     }
 }
 
@@ -1405,7 +1663,7 @@ fn recover_topics(journal: &Journal, config: &BrokerConfig) -> HashMap<String, A
 
     let mut topics = HashMap::with_capacity(recovered.len());
     for (topic_name, durables) in recovered {
-        let topic = Arc::new(Topic::new(&topic_name));
+        let topic = Arc::new(Topic::new(&topic_name, shard_of(&topic_name, config.shards.max(1))));
         {
             let mut topic_durables = topic.durables.write();
             for (durable_name, recovery) in durables {
@@ -1890,9 +2148,10 @@ mod tests {
     #[test]
     fn drop_new_policy_drops_on_full_queue() {
         let b = Broker::start(
-            BrokerConfig::default()
+            BrokerConfig::builder()
                 .subscriber_queue_capacity(1)
-                .overflow_policy(OverflowPolicy::DropNew),
+                .overflow_policy(OverflowPolicy::DropNew)
+                .build(),
         );
         b.create_topic("t").unwrap();
         let sub = b.subscription("t").open().unwrap();
@@ -1912,9 +2171,10 @@ mod tests {
     fn try_publish_reports_full_queue() {
         // Tiny publish queue, no subscriber, dispatcher busy: fill it up.
         let b = Broker::start(
-            BrokerConfig::default()
+            BrokerConfig::builder()
                 .publish_queue_capacity(1)
-                .cost_model(crate::cost::CostModel::new(0.05, 0.0, 0.0)),
+                .cost_model(crate::cost::CostModel::new(0.05, 0.0, 0.0))
+                .build(),
         );
         b.create_topic("t").unwrap();
         let p = b.publisher("t").unwrap();
@@ -2024,7 +2284,7 @@ mod tests {
     #[test]
     fn metrics_record_waiting_service_and_stages() {
         let b = Broker::start(
-            BrokerConfig::default().metrics(MetricsConfig::default().stage_sample_every(1)),
+            BrokerConfig::builder().metrics(MetricsConfig::default().stage_sample_every(1)).build(),
         );
         b.create_topic("t").unwrap();
         let sub = b.subscription("t").open().unwrap();
@@ -2077,7 +2337,9 @@ mod tests {
 
     #[test]
     fn flow_gate_grants_within_budget_and_implies_metrics() {
-        let b = Broker::start(BrokerConfig::default().flow(crate::config::FlowConfig::default()));
+        let b = Broker::start(
+            BrokerConfig::builder().flow(crate::config::FlowConfig::default()).build(),
+        );
         b.create_topic("t").unwrap();
         // Flow implies metrics (the refresh loop reads the histograms).
         assert!(b.metrics().is_some());
@@ -2099,7 +2361,7 @@ mod tests {
         // A one-millisecond burst budget drains after a handful of
         // back-to-back publishes; priority 0 maps to class 0 and is shed.
         let config = crate::config::FlowConfig::default().burst_seconds(0.001);
-        let b = Broker::start(BrokerConfig::default().flow(config));
+        let b = Broker::start(BrokerConfig::builder().flow(config).build());
         b.create_topic("t").unwrap();
         let p = b.publisher("t").unwrap();
         let mut shed = 0u64;
@@ -2124,7 +2386,7 @@ mod tests {
     #[test]
     fn try_publish_denied_hands_the_message_back() {
         let config = crate::config::FlowConfig::default().burst_seconds(0.001);
-        let b = Broker::start(BrokerConfig::default().flow(config));
+        let b = Broker::start(BrokerConfig::builder().flow(config).build());
         b.create_topic("t").unwrap();
         let p = b.publisher("t").unwrap();
         let mut denied = false;
@@ -2145,6 +2407,161 @@ mod tests {
             }
         }
         assert!(denied, "burst overload should deny a try_publish");
+        b.shutdown();
+    }
+
+    /// Picks `count` topic names that land on distinct shards, one per
+    /// shard index in order.
+    fn topic_per_shard(shards: usize) -> Vec<String> {
+        let mut names = vec![None; shards];
+        let mut found = 0;
+        for trial in 0.. {
+            let name = format!("topic-{trial}");
+            let shard = shard_of(&name, shards);
+            if names[shard].is_none() {
+                names[shard] = Some(name);
+                found += 1;
+                if found == shards {
+                    break;
+                }
+            }
+        }
+        names.into_iter().map(Option::unwrap).collect()
+    }
+
+    #[test]
+    fn single_dispatcher_snapshot_has_no_shards() {
+        let b = broker();
+        let p = b.publisher("t").unwrap();
+        p.publish(Message::builder().build()).unwrap();
+        let snap = wait_for(&b, |s| s.messages.received == 1);
+        assert!(snap.shards.is_none());
+        b.shutdown();
+    }
+
+    #[test]
+    fn sharded_broker_partitions_topics_and_aggregates_counters() {
+        const SHARDS: usize = 4;
+        let b = Broker::start(
+            BrokerConfig::builder().shards(SHARDS).metrics(MetricsConfig::default()).build(),
+        );
+        let topics = topic_per_shard(SHARDS);
+        let subs: Vec<_> = topics
+            .iter()
+            .map(|t| {
+                b.create_topic(t).unwrap();
+                b.subscription(t.as_str()).open().unwrap()
+            })
+            .collect();
+        // Publish shard+1 messages to the topic on each shard so every
+        // per-shard counter is distinguishable.
+        for (shard, topic) in topics.iter().enumerate() {
+            let p = b.publisher(topic).unwrap();
+            for _ in 0..=shard {
+                p.publish(Message::builder().build()).unwrap();
+            }
+        }
+        let expected_total = (1..=SHARDS as u64).sum::<u64>();
+        for (shard, sub) in subs.iter().enumerate() {
+            for _ in 0..=shard {
+                assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+            }
+        }
+        let snap = wait_for(&b, |s| s.messages.dispatched == expected_total);
+        let shards = snap.shards.as_ref().expect("sharded snapshot");
+        assert_eq!(shards.len(), SHARDS);
+        for (shard, s) in shards.iter().enumerate() {
+            assert_eq!(s.shard, shard);
+            assert_eq!(s.topics, 1);
+            assert_eq!(s.received, shard as u64 + 1);
+            assert_eq!(s.dispatched, shard as u64 + 1);
+        }
+        // Per-shard counters partition the aggregates exactly.
+        assert_eq!(shards.iter().map(|s| s.received).sum::<u64>(), snap.messages.received);
+        assert_eq!(shards.iter().map(|s| s.dispatched).sum::<u64>(), snap.messages.dispatched);
+        // Each shard publishes its own labeled histogram series (samples
+        // land after the dispatcher's idle flush, so poll briefly).
+        let registry = b.metrics().unwrap();
+        let series_count = |shard: usize| {
+            let name = format!("broker.waiting_ns{{shard=\"{shard}\"}}");
+            registry.snapshot().histogram(&name).map_or(0, |h| h.count)
+        };
+        for shard in 0..SHARDS {
+            for _ in 0..200 {
+                if series_count(shard) == shard as u64 + 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(series_count(shard), shard as u64 + 1);
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn sharded_delivery_preserves_per_topic_order() {
+        let b = Broker::start(BrokerConfig::builder().shards(3).build());
+        b.create_topic("ordered").unwrap();
+        let sub = b.subscription("ordered").open().unwrap();
+        let p = b.publisher("ordered").unwrap();
+        for i in 0..50 {
+            p.publish(Message::builder().property("i", i as i64).build()).unwrap();
+        }
+        for i in 0..50 {
+            let m = sub.receive_timeout(Duration::from_secs(2)).expect("message");
+            assert_eq!(m.property("i"), Some(&(i as i64).into()));
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn shard_reports_cover_every_shard() {
+        const SHARDS: usize = 2;
+        let b = Broker::start(
+            BrokerConfig::builder()
+                .shards(SHARDS)
+                .cost_model(crate::cost::CostModel::CORRELATION_ID)
+                .metrics(MetricsConfig::default())
+                .build(),
+        );
+        let topics = topic_per_shard(SHARDS);
+        let subs: Vec<_> = topics
+            .iter()
+            .map(|t| {
+                b.create_topic(t).unwrap();
+                b.subscription(t.as_str()).open().unwrap()
+            })
+            .collect();
+        for topic in &topics {
+            let p = b.publisher(topic).unwrap();
+            for _ in 0..5 {
+                p.publish(Message::builder().build()).unwrap();
+            }
+        }
+        for sub in &subs {
+            for _ in 0..5 {
+                assert!(sub.receive_timeout(Duration::from_secs(2)).is_some());
+            }
+        }
+        // Histogram samples land after the dispatcher's idle flush; poll
+        // until both shards report all five.
+        let mut reports = b.shard_reports();
+        for _ in 0..200 {
+            if reports.len() == SHARDS && reports.iter().all(|r| r.samples == 5) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            reports = b.shard_reports();
+        }
+        assert_eq!(reports.len(), SHARDS);
+        for (shard, r) in reports.iter().enumerate() {
+            assert_eq!(r.shard, shard);
+            assert_eq!(r.samples, 5);
+            assert!(r.arrival_rate > 0.0);
+            assert!((r.replication_grade - 1.0).abs() < 1e-9);
+            // Far too few samples for a calibration verdict.
+            assert!(matches!(r.verdict, ModelVerdict::Insufficient { .. }));
+        }
         b.shutdown();
     }
 }

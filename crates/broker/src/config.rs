@@ -97,7 +97,8 @@ impl PersistenceConfig {
 /// ```
 /// use rjms_broker::config::{BrokerConfig, MetricsConfig};
 ///
-/// let config = BrokerConfig::default().metrics(MetricsConfig::default().stage_sample_every(32));
+/// let config =
+///     BrokerConfig::builder().metrics(MetricsConfig::default().stage_sample_every(32)).build();
 /// assert_eq!(config.metrics.unwrap().stage_sample_every, 32);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -156,7 +157,7 @@ impl MetricsConfig {
 /// ```
 /// use rjms_broker::config::{BrokerConfig, TraceConfig};
 ///
-/// let config = BrokerConfig::default().trace(TraceConfig::default().tail_quantile(0.95));
+/// let config = BrokerConfig::builder().trace(TraceConfig::default().tail_quantile(0.95)).build();
 /// assert_eq!(config.trace.unwrap().tail_quantile, 0.95);
 /// assert!(config.trace.unwrap().capacity > 0);
 /// ```
@@ -225,21 +226,34 @@ impl TraceConfig {
 
 /// Configuration for a [`crate::Broker`].
 ///
+/// Build one with [`BrokerConfig::builder`]; the struct keeps public
+/// fields (and `Default`) as a transition shim for existing call sites,
+/// but the builder is the supported construction surface.
+///
 /// # Examples
 ///
 /// ```
 /// use rjms_broker::config::{BrokerConfig, OverflowPolicy};
 ///
-/// let config = BrokerConfig::default()
+/// let config = BrokerConfig::builder()
 ///     .publish_queue_capacity(512)
-///     .overflow_policy(OverflowPolicy::DropNew);
+///     .overflow_policy(OverflowPolicy::DropNew)
+///     .build();
 /// assert_eq!(config.publish_queue_capacity, 512);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BrokerConfig {
-    /// Capacity of the central publish queue. A full queue blocks
-    /// publishers — the push-back mechanism the paper observed ("the major
-    /// part of the messages are queued at the publisher site").
+    /// Number of dispatcher shards. Topics hash onto shards by name
+    /// (see [`crate::shard_of`]); each shard runs its own dispatcher
+    /// thread with its own publish queue, cost accounting, and — when
+    /// metrics are enabled — its own waiting/service/sojourn histograms
+    /// and analytic server model. `1` (the default) reproduces the
+    /// paper's single CPU-bound server exactly.
+    pub shards: usize,
+    /// Capacity of the central publish queue (per shard). A full queue
+    /// blocks publishers — the push-back mechanism the paper observed
+    /// ("the major part of the messages are queued at the publisher
+    /// site").
     pub publish_queue_capacity: usize,
     /// Capacity of each subscriber's delivery queue.
     pub subscriber_queue_capacity: usize,
@@ -271,6 +285,7 @@ pub struct BrokerConfig {
 impl Default for BrokerConfig {
     fn default() -> Self {
         Self {
+            shards: 1,
             publish_queue_capacity: 1024,
             subscriber_queue_capacity: 4096,
             overflow_policy: OverflowPolicy::Block,
@@ -285,11 +300,19 @@ impl Default for BrokerConfig {
 }
 
 impl BrokerConfig {
+    /// Starts a fluent [`BrokerConfigBuilder`] from the defaults. This is
+    /// the supported way to construct a configuration; the chainable
+    /// setters directly on `BrokerConfig` are deprecated shims.
+    pub fn builder() -> BrokerConfigBuilder {
+        BrokerConfigBuilder { config: BrokerConfig::default() }
+    }
+
     /// Sets the publish-queue capacity.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is 0.
+    #[deprecated(note = "use BrokerConfig::builder().publish_queue_capacity(..).build()")]
     pub fn publish_queue_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "publish queue capacity must be > 0");
         self.publish_queue_capacity = capacity;
@@ -301,6 +324,7 @@ impl BrokerConfig {
     /// # Panics
     ///
     /// Panics if `capacity` is 0.
+    #[deprecated(note = "use BrokerConfig::builder().subscriber_queue_capacity(..).build()")]
     pub fn subscriber_queue_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "subscriber queue capacity must be > 0");
         self.subscriber_queue_capacity = capacity;
@@ -308,12 +332,14 @@ impl BrokerConfig {
     }
 
     /// Sets the overflow policy.
+    #[deprecated(note = "use BrokerConfig::builder().overflow_policy(..).build()")]
     pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
         self.overflow_policy = policy;
         self
     }
 
     /// Enables the synthetic CPU cost model.
+    #[deprecated(note = "use BrokerConfig::builder().cost_model(..).build()")]
     pub fn cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = Some(model);
         self
@@ -324,6 +350,7 @@ impl BrokerConfig {
     /// # Panics
     ///
     /// Panics if `capacity` is 0.
+    #[deprecated(note = "use BrokerConfig::builder().durable_buffer_capacity(..).build()")]
     pub fn durable_buffer_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "durable buffer capacity must be > 0");
         self.durable_buffer_capacity = capacity;
@@ -331,18 +358,21 @@ impl BrokerConfig {
     }
 
     /// Enables write-ahead persistence.
+    #[deprecated(note = "use BrokerConfig::builder().persistence(..).build()")]
     pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
         self.persistence = Some(persistence);
         self
     }
 
     /// Enables live metrics recording.
+    #[deprecated(note = "use BrokerConfig::builder().metrics(..).build()")]
     pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
         self.metrics = Some(metrics);
         self
     }
 
     /// Enables end-to-end tracing (and, implicitly, default metrics).
+    #[deprecated(note = "use BrokerConfig::builder().trace(..).build()")]
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.trace = Some(trace);
         self
@@ -350,18 +380,122 @@ impl BrokerConfig {
 
     /// Enables model-driven admission control (and, implicitly, default
     /// metrics).
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use rjms_broker::config::{BrokerConfig, FlowConfig};
-    ///
-    /// let config = BrokerConfig::default().flow(FlowConfig::default().classes(4));
-    /// assert_eq!(config.flow.unwrap().classes, 4);
-    /// ```
+    #[deprecated(note = "use BrokerConfig::builder().flow(..).build()")]
     pub fn flow(mut self, flow: FlowConfig) -> Self {
         self.flow = Some(flow);
         self
+    }
+}
+
+/// Fluent builder for [`BrokerConfig`], the supported construction
+/// surface. Every section of the broker — sharding, queues, cost model,
+/// persistence, metrics, trace, flow — is a typed method; `build()`
+/// returns the finished config.
+///
+/// # Examples
+///
+/// ```
+/// use rjms_broker::config::{BrokerConfig, FlowConfig, MetricsConfig};
+///
+/// let config = BrokerConfig::builder()
+///     .shards(4)
+///     .metrics(MetricsConfig::default())
+///     .flow(FlowConfig::default().classes(4))
+///     .build();
+/// assert_eq!(config.shards, 4);
+/// assert_eq!(config.flow.unwrap().classes, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BrokerConfigBuilder {
+    config: BrokerConfig,
+}
+
+impl BrokerConfigBuilder {
+    /// Sets the number of dispatcher shards (1 = the paper's single
+    /// CPU-bound server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shards must be > 0");
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard publish-queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn publish_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "publish queue capacity must be > 0");
+        self.config.publish_queue_capacity = capacity;
+        self
+    }
+
+    /// Sets each subscriber's queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn subscriber_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "subscriber queue capacity must be > 0");
+        self.config.subscriber_queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the behaviour on full subscriber queues.
+    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.config.overflow_policy = policy;
+        self
+    }
+
+    /// Enables the synthetic CPU cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.config.cost_model = Some(model);
+        self
+    }
+
+    /// Sets the per-durable-subscription retention buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn durable_buffer_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "durable buffer capacity must be > 0");
+        self.config.durable_buffer_capacity = capacity;
+        self
+    }
+
+    /// Enables write-ahead persistence.
+    pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
+        self.config.persistence = Some(persistence);
+        self
+    }
+
+    /// Enables live metrics recording.
+    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.config.metrics = Some(metrics);
+        self
+    }
+
+    /// Enables end-to-end tracing (and, implicitly, default metrics).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.config.trace = Some(trace);
+        self
+    }
+
+    /// Enables model-driven admission control (and, implicitly, default
+    /// metrics).
+    pub fn flow(mut self, flow: FlowConfig) -> Self {
+        self.config.flow = Some(flow);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> BrokerConfig {
+        self.config
     }
 }
 
@@ -375,15 +509,19 @@ mod tests {
         assert_eq!(c.overflow_policy, OverflowPolicy::Block);
         assert!(c.cost_model.is_none());
         assert!(c.publish_queue_capacity > 0);
+        assert_eq!(c.shards, 1);
     }
 
     #[test]
     fn builder_chains() {
-        let c = BrokerConfig::default()
+        let c = BrokerConfig::builder()
+            .shards(4)
             .publish_queue_capacity(10)
             .subscriber_queue_capacity(20)
             .overflow_policy(OverflowPolicy::DropNew)
-            .cost_model(CostModel::CORRELATION_ID);
+            .cost_model(CostModel::CORRELATION_ID)
+            .build();
+        assert_eq!(c.shards, 4);
         assert_eq!(c.publish_queue_capacity, 10);
         assert_eq!(c.subscriber_queue_capacity, 20);
         assert_eq!(c.overflow_policy, OverflowPolicy::DropNew);
@@ -391,25 +529,50 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_work() {
+        // Back-compat shim for one release: the old chainable setters on
+        // BrokerConfig must produce exactly what the builder produces.
+        let old = BrokerConfig::default()
+            .publish_queue_capacity(10)
+            .overflow_policy(OverflowPolicy::DropNew)
+            .cost_model(CostModel::CORRELATION_ID);
+        let new = BrokerConfig::builder()
+            .publish_queue_capacity(10)
+            .overflow_policy(OverflowPolicy::DropNew)
+            .cost_model(CostModel::CORRELATION_ID)
+            .build();
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn durable_buffer_capacity_configurable() {
-        let c = BrokerConfig::default().durable_buffer_capacity(7);
+        let c = BrokerConfig::builder().durable_buffer_capacity(7).build();
         assert_eq!(c.durable_buffer_capacity, 7);
     }
 
     #[test]
     #[should_panic(expected = "capacity must be > 0")]
     fn zero_capacity_rejected() {
-        BrokerConfig::default().publish_queue_capacity(0);
+        let _ = BrokerConfig::builder().publish_queue_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be > 0")]
+    fn zero_shards_rejected() {
+        let _ = BrokerConfig::builder().shards(0);
     }
 
     #[test]
     fn persistence_config_builders() {
         use rjms_journal::FsyncPolicy;
-        let c = BrokerConfig::default().persistence(
-            PersistenceConfig::new("/tmp/rjms-cfg-test")
-                .checkpoint_every(8)
-                .journal(|j| j.fsync(FsyncPolicy::Always)),
-        );
+        let c = BrokerConfig::builder()
+            .persistence(
+                PersistenceConfig::new("/tmp/rjms-cfg-test")
+                    .checkpoint_every(8)
+                    .journal(|j| j.fsync(FsyncPolicy::Always)),
+            )
+            .build();
         let p = c.persistence.expect("persistence set");
         assert_eq!(p.checkpoint_every, 8);
         assert_eq!(p.journal.fsync, FsyncPolicy::Always);
@@ -424,7 +587,9 @@ mod tests {
 
     #[test]
     fn flow_config_builder() {
-        let c = BrokerConfig::default().flow(FlowConfig::default().w99_objective(0.02).classes(2));
+        let c = BrokerConfig::builder()
+            .flow(FlowConfig::default().w99_objective(0.02).classes(2))
+            .build();
         let f = c.flow.expect("flow set");
         assert_eq!(f.w99_objective, 0.02);
         assert_eq!(f.classes, 2);
@@ -436,8 +601,9 @@ mod tests {
         let t = TraceConfig::default();
         assert_eq!(t.capacity, 8192);
         assert_eq!(t.tail_quantile, 0.99);
-        let c = BrokerConfig::default()
-            .trace(TraceConfig::default().capacity(64).tail_quantile(0.5).uniform_every(0));
+        let c = BrokerConfig::builder()
+            .trace(TraceConfig::default().capacity(64).tail_quantile(0.5).uniform_every(0))
+            .build();
         let t = c.trace.expect("trace set");
         assert_eq!(t.capacity, 64);
         assert_eq!(t.uniform_every, 0);

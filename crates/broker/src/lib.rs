@@ -69,10 +69,12 @@ pub mod persist;
 pub mod stats;
 
 pub use broker::{
-    Broker, BrokerObserver, Publisher, Subscriber, SubscriptionBuilder, SubscriptionId, TopicStats,
+    shard_of, Broker, BrokerObserver, Publisher, ShardReport, Subscriber, SubscriptionBuilder,
+    SubscriptionId, TopicStats,
 };
 pub use config::{
-    BrokerConfig, FlowConfig, MetricsConfig, OverflowPolicy, PersistenceConfig, TraceConfig,
+    BrokerConfig, BrokerConfigBuilder, FlowConfig, MetricsConfig, OverflowPolicy,
+    PersistenceConfig, TraceConfig,
 };
 pub use cost::CostModel;
 pub use error::{Error, TryPublishError};
@@ -83,6 +85,6 @@ pub use rjms_flow::{AdmissionOutcome, FlowGate, FlowSnapshot};
 pub use rjms_journal::{FsyncPolicy, JournalConfig, JournalStats, RecoveryReport};
 pub use rjms_metrics::MetricsRegistry;
 pub use stats::{
-    BrokerSnapshot, BrokerStats, FlowCounters, MessageCounters, StatsSnapshot,
+    BrokerSnapshot, BrokerStats, FlowCounters, MessageCounters, ShardSnapshot, StatsSnapshot,
     SubscriptionCounters, Throughput, ThroughputProbe,
 };

@@ -8,6 +8,9 @@
 //! | `broker.waiting_ns` | histogram | publish-enqueue → dispatch start (the paper's `W`) |
 //! | `broker.service_ns` | histogram | dispatch start → fan-out complete (the paper's `B`) |
 //! | `broker.sojourn_ns` | histogram | publish-enqueue → fan-out complete (`W + B`) |
+//! | `broker.waiting_ns{shard="i"}` | histogram | shard `i`'s waiting times (sharded dispatch only) |
+//! | `broker.service_ns{shard="i"}` | histogram | shard `i`'s service times (sharded dispatch only) |
+//! | `broker.sojourn_ns{shard="i"}` | histogram | shard `i`'s sojourn times (sharded dispatch only) |
 //! | `broker.stage.rcv_ns` | histogram | receive stage (`t_rcv`), sampled |
 //! | `broker.stage.journal_ns` | histogram | write-ahead append (`t_store`), sampled |
 //! | `broker.stage.filter_ns` | histogram | filter-scan stage (`n_fltr · t_fltr`), sampled |
@@ -16,7 +19,7 @@
 //! | `journal.fsync_ns` | histogram | every explicit fsync (always on, from `rjms-journal`) |
 
 use rjms_metrics::clock;
-use rjms_metrics::{Histogram, LocalHistogram, MetricsRegistry};
+use rjms_metrics::{labeled, Histogram, LocalHistogram, MetricsRegistry};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,6 +63,16 @@ impl BrokerMetrics {
     }
 }
 
+/// One shard's labeled histogram triple plus its local staging. Only
+/// allocated for sharded dispatch (`shards > 1`): the single-dispatcher
+/// broker publishes no shard-labeled series, keeping its metric surface
+/// byte-identical to the pre-shard layout.
+struct ShardScratch {
+    waiting: (LocalHistogram, Arc<Histogram>),
+    service: (LocalHistogram, Arc<Histogram>),
+    sojourn: (LocalHistogram, Arc<Histogram>),
+}
+
 /// Single-writer staging for the per-message histograms: the dispatcher
 /// records into plain local buckets and flushes into the shared atomic
 /// instruments every [`FLUSH_EVERY`] samples and on idle, keeping the
@@ -68,6 +81,9 @@ pub(crate) struct DispatcherScratch {
     waiting: LocalHistogram,
     service: LocalHistogram,
     sojourn: LocalHistogram,
+    /// Shard-labeled twins of the three series, staged alongside the
+    /// aggregates so each shard's own distribution stays observable.
+    shard: Option<ShardScratch>,
 }
 
 impl DispatcherScratch {
@@ -76,6 +92,34 @@ impl DispatcherScratch {
             waiting: LocalHistogram::new(),
             service: LocalHistogram::new(),
             sojourn: LocalHistogram::new(),
+            shard: None,
+        }
+    }
+
+    /// Staging that additionally feeds shard `index`'s labeled series
+    /// (`broker.waiting_ns{shard="i"}`, …) in the broker registry.
+    pub(crate) fn for_shard(metrics: &BrokerMetrics, index: usize) -> Self {
+        let label = index.to_string();
+        let hist = |base: &str| metrics.registry.histogram(&labeled(base, &[("shard", &label)]));
+        Self {
+            shard: Some(ShardScratch {
+                waiting: (LocalHistogram::new(), hist("broker.waiting_ns")),
+                service: (LocalHistogram::new(), hist("broker.service_ns")),
+                sojourn: (LocalHistogram::new(), hist("broker.sojourn_ns")),
+            }),
+            ..Self::new()
+        }
+    }
+
+    /// Stages one message's waiting/service/sojourn sample.
+    fn record(&mut self, waiting: u64, service: u64, sojourn: u64) {
+        self.waiting.record(waiting);
+        self.service.record(service);
+        self.sojourn.record(sojourn);
+        if let Some(shard) = &mut self.shard {
+            shard.waiting.0.record(waiting);
+            shard.service.0.record(service);
+            shard.sojourn.0.record(sojourn);
         }
     }
 
@@ -89,6 +133,11 @@ impl DispatcherScratch {
         self.waiting.flush_into(&metrics.waiting);
         self.service.flush_into(&metrics.service);
         self.sojourn.flush_into(&metrics.sojourn);
+        if let Some(shard) = &mut self.shard {
+            shard.waiting.0.flush_into(&shard.waiting.1);
+            shard.service.0.flush_into(&shard.service.1);
+            shard.sojourn.0.flush_into(&shard.sojourn.1);
+        }
     }
 }
 
@@ -144,9 +193,7 @@ impl DispatchTimer {
         let to_ns = |ticks: u64| (ticks as f64 * metrics.ns_per_tick) as u64;
         let waiting = to_ns(self.dispatch_start.saturating_sub(enqueued_at));
         let service = to_ns(end.saturating_sub(self.dispatch_start));
-        scratch.waiting.record(waiting);
-        scratch.service.record(service);
-        scratch.sojourn.record(waiting.saturating_add(service));
+        scratch.record(waiting, service, waiting.saturating_add(service));
         if self.sample_stages {
             metrics.stage_filter.record(self.filter_elapsed);
             metrics.stage_fanout.record(self.fanout_elapsed);
@@ -191,6 +238,21 @@ mod tests {
         assert!(waiting.max >= 2_000_000);
         assert!(service.max >= 2_000_000);
         assert!(sojourn.max >= waiting.max.max(service.max));
+    }
+
+    #[test]
+    fn shard_scratch_feeds_labeled_twins() {
+        let m = BrokerMetrics::new(1);
+        let mut scratch = DispatcherScratch::for_shard(&m, 2);
+        scratch.record(10, 20, 30);
+        scratch.flush(&m);
+        let snap = m.registry.snapshot();
+        // Both the aggregate and the shard-labeled series carry the sample.
+        assert_eq!(snap.histogram("broker.waiting_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("broker.waiting_ns{shard=\"2\"}").unwrap().count, 1);
+        assert_eq!(snap.histogram("broker.sojourn_ns{shard=\"2\"}").unwrap().max, 30);
+        // Plain staging publishes no shard series.
+        assert!(snap.histogram("broker.waiting_ns{shard=\"0\"}").is_none());
     }
 
     #[test]

@@ -71,6 +71,34 @@ pub struct FlowCounters {
     pub shed: u64,
 }
 
+/// One dispatcher shard's counters (sharded dispatch only; see
+/// [`crate::BrokerConfig::shards`] and [`crate::shard_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// Topics hashed onto this shard.
+    pub topics: usize,
+    /// Messages received by this shard's dispatcher.
+    pub received: u64,
+    /// Message copies dispatched by this shard's dispatcher.
+    pub dispatched: u64,
+    /// Filter evaluations performed by this shard's dispatcher.
+    pub filter_evaluations: u64,
+}
+
+impl ShardSnapshot {
+    /// Mean replication grade on this shard; `None` before the first
+    /// message.
+    pub fn replication_grade(&self) -> Option<f64> {
+        if self.received > 0 {
+            Some(self.dispatched as f64 / self.received as f64)
+        } else {
+            None
+        }
+    }
+}
+
 /// A typed point-in-time snapshot of the whole broker, returned by
 /// [`Broker::snapshot`]: one value instead of the old `stats` /
 /// `journal_stats` / `topic_stats` getter trio.
@@ -84,6 +112,10 @@ pub struct BrokerSnapshot {
     pub journal: Option<JournalStats>,
     /// Admission-control counters; `None` without flow control.
     pub flow: Option<FlowCounters>,
+    /// Per-shard dispatcher counters; `None` for the single-dispatcher
+    /// broker (`shards = 1`), keeping its snapshot identical to the
+    /// pre-shard wire format.
+    pub shards: Option<Vec<ShardSnapshot>>,
     /// Per-topic message counters, keyed by topic name.
     pub per_topic: BTreeMap<String, TopicStats>,
 }

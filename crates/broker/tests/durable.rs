@@ -132,7 +132,7 @@ fn reconnect_with_same_filter_keeps_backlog() {
 
 #[test]
 fn retained_buffer_drops_oldest_on_overflow() {
-    let b = Broker::start(BrokerConfig::default().durable_buffer_capacity(3));
+    let b = Broker::start(BrokerConfig::builder().durable_buffer_capacity(3).build());
     b.create_topic("t").unwrap();
     drop(b.subscription("t").durable("w").open().unwrap());
     let p = b.publisher("t").unwrap();

@@ -8,8 +8,9 @@ use std::path::Path;
 use std::time::Duration;
 
 fn persistent_config(dir: &Path) -> BrokerConfig {
-    BrokerConfig::default()
+    BrokerConfig::builder()
         .persistence(PersistenceConfig::new(dir).journal(|j| j.fsync(FsyncPolicy::Always)))
+        .build()
 }
 
 /// Waits until the broker has processed `n` received messages.
@@ -117,9 +118,13 @@ fn torn_tail_recovers_to_last_whole_frame_and_redelivers() {
 #[test]
 fn checkpointed_deliveries_are_not_redelivered_after_clean_shutdown() {
     let dir = scratch_dir("bkr-ckpt");
-    let config = BrokerConfig::default().persistence(
-        PersistenceConfig::new(&dir).checkpoint_every(1).journal(|j| j.fsync(FsyncPolicy::Always)),
-    );
+    let config = BrokerConfig::builder()
+        .persistence(
+            PersistenceConfig::new(&dir)
+                .checkpoint_every(1)
+                .journal(|j| j.fsync(FsyncPolicy::Always)),
+        )
+        .build();
     {
         let b = Broker::start(config.clone());
         b.create_topic("t").unwrap();
@@ -148,11 +153,13 @@ fn checkpointed_deliveries_are_not_redelivered_after_clean_shutdown() {
 fn retained_for_offline_durable_survive_restart_but_delivered_do_not() {
     let dir = scratch_dir("bkr-mixed");
     // Large checkpoint interval: rely on the shutdown flush.
-    let config = BrokerConfig::default().persistence(
-        PersistenceConfig::new(&dir)
-            .checkpoint_every(1_000)
-            .journal(|j| j.fsync(FsyncPolicy::EveryN(4))),
-    );
+    let config = BrokerConfig::builder()
+        .persistence(
+            PersistenceConfig::new(&dir)
+                .checkpoint_every(1_000)
+                .journal(|j| j.fsync(FsyncPolicy::EveryN(4))),
+        )
+        .build();
     {
         let b = Broker::start(config.clone());
         b.create_topic("t").unwrap();

@@ -13,11 +13,10 @@ use std::time::{Duration, Instant};
 fn publisher_is_throttled_to_dispatch_rate() {
     let per_message = Duration::from_millis(2);
     let broker = Broker::start(
-        BrokerConfig::default().publish_queue_capacity(4).cost_model(CostModel::new(
-            per_message.as_secs_f64(),
-            0.0,
-            0.0,
-        )),
+        BrokerConfig::builder()
+            .publish_queue_capacity(4)
+            .cost_model(CostModel::new(per_message.as_secs_f64(), 0.0, 0.0))
+            .build(),
     );
     broker.create_topic("t").unwrap();
     let publisher = broker.publisher("t").unwrap();
@@ -45,7 +44,10 @@ fn publisher_is_throttled_to_dispatch_rate() {
 #[test]
 fn subscriber_crash_unblocks_dispatcher() {
     let broker = Broker::start(
-        BrokerConfig::default().subscriber_queue_capacity(1).overflow_policy(OverflowPolicy::Block),
+        BrokerConfig::builder()
+            .subscriber_queue_capacity(1)
+            .overflow_policy(OverflowPolicy::Block)
+            .build(),
     );
     broker.create_topic("t").unwrap();
 
@@ -86,7 +88,10 @@ fn broker_drop_mid_traffic_is_clean() {
     // so a full queue and a not-yet-draining subscriber would deadlock the
     // drop. See `Broker::shutdown` docs.
     let broker = Broker::start(
-        BrokerConfig::default().publish_queue_capacity(8).subscriber_queue_capacity(1 << 20),
+        BrokerConfig::builder()
+            .publish_queue_capacity(8)
+            .subscriber_queue_capacity(1 << 20)
+            .build(),
     );
     broker.create_topic("t").unwrap();
     let publisher = broker.publisher("t").unwrap();
@@ -118,9 +123,10 @@ fn broker_drop_mid_traffic_is_clean() {
 #[test]
 fn drop_new_policy_keeps_counts_consistent() {
     let broker = Broker::start(
-        BrokerConfig::default()
+        BrokerConfig::builder()
             .subscriber_queue_capacity(2)
-            .overflow_policy(OverflowPolicy::DropNew),
+            .overflow_policy(OverflowPolicy::DropNew)
+            .build(),
     );
     broker.create_topic("t").unwrap();
     let sub = broker.subscription("t").open().unwrap();
@@ -151,7 +157,7 @@ fn drop_new_policy_keeps_counts_consistent() {
 /// corrupt delivery for a stable observer.
 #[test]
 fn subscription_churn_under_load() {
-    let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(1 << 14));
+    let broker = Broker::start(BrokerConfig::builder().subscriber_queue_capacity(1 << 14).build());
     broker.create_topic("t").unwrap();
     let observer = broker.subscription("t").open().unwrap();
     let publisher = broker.publisher("t").unwrap();

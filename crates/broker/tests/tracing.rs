@@ -12,7 +12,7 @@ fn chains_of(broker: &Broker) -> Vec<TraceChain> {
 
 #[test]
 fn tracing_auto_enables_metrics() {
-    let broker = Broker::start(BrokerConfig::default().trace(TraceConfig::default()));
+    let broker = Broker::start(BrokerConfig::builder().trace(TraceConfig::default()).build());
     assert!(broker.metrics().is_some(), "trace implies metrics");
     assert!(broker.tracer().is_some());
     broker.shutdown();
@@ -20,7 +20,7 @@ fn tracing_auto_enables_metrics() {
 
 #[test]
 fn without_trace_config_there_is_no_recorder() {
-    let broker = Broker::start(BrokerConfig::default().metrics(MetricsConfig::default()));
+    let broker = Broker::start(BrokerConfig::builder().metrics(MetricsConfig::default()).build());
     assert!(broker.tracer().is_none());
     broker.shutdown();
 }
@@ -29,7 +29,7 @@ fn without_trace_config_there_is_no_recorder() {
 fn chains_are_complete_and_monotone_for_all_published_messages() {
     // The tail threshold starts at 0 and only refreshes after
     // `refresh_every` messages, so every chain below that count is kept.
-    let broker = Broker::start(BrokerConfig::default().trace(TraceConfig::default()));
+    let broker = Broker::start(BrokerConfig::builder().trace(TraceConfig::default()).build());
     broker.create_topic("t").unwrap();
     let sub = broker.subscription("t").filter(Filter::None).open().unwrap();
     let publisher = broker.publisher("t").unwrap();
@@ -77,7 +77,7 @@ fn chains_are_complete_and_monotone_for_all_published_messages() {
 #[test]
 fn per_topic_counters_are_exported_and_capped() {
     let broker = Broker::start(
-        BrokerConfig::default().metrics(MetricsConfig::default().per_topic_series(2)),
+        BrokerConfig::builder().metrics(MetricsConfig::default().per_topic_series(2)).build(),
     );
     for name in ["a", "b", "c", "d"] {
         broker.create_topic(name).unwrap();
@@ -104,7 +104,7 @@ fn per_topic_counters_are_exported_and_capped() {
 #[test]
 fn per_topic_export_can_be_disabled() {
     let broker = Broker::start(
-        BrokerConfig::default().metrics(MetricsConfig::default().per_topic_series(0)),
+        BrokerConfig::builder().metrics(MetricsConfig::default().per_topic_series(0)).build(),
     );
     broker.create_topic("t").unwrap();
     broker.publisher("t").unwrap().publish(Message::builder().build()).unwrap();

@@ -19,6 +19,10 @@
 //! `n > (t_rcv + m·n_fltr·t_fltr + E[R]·t_tx) / (t_rcv + n_fltr·t_fltr + E[R]·t_tx)`.
 
 use crate::params::CostParams;
+use crate::waiting::WaitingTimeAnalysis;
+use rjms_queueing::mg1::Mg1Error;
+use rjms_queueing::replication::ReplicationModel;
+use rjms_queueing::service::ServiceTime;
 use serde::{Deserialize, Serialize};
 
 /// A distributed deployment scenario: `n` publishers, `m` subscribers, each
@@ -175,8 +179,53 @@ impl ClusterScenario {
         let k = self.brokers as f64;
         let partition_filters = self.subscribers as f64 * self.filters_per_subscriber as f64 / k;
         self.params.t_rcv
+            + self.params.t_store
             + partition_filters * self.params.t_fltr
             + (self.mean_replication / k) * self.params.t_tx
+    }
+
+    /// The full stochastic per-broker service time: Eq. 1 restricted to
+    /// one broker's filter partition (`m·n_fltr/k` filters) with a
+    /// deterministic per-broker replication share `E[R]/k`. This is what
+    /// the M/GI/1 machinery needs to predict *waiting times* on a cluster
+    /// broker, not just its capacity.
+    pub fn per_broker_service(&self) -> ServiceTime {
+        self.validate();
+        let k = self.brokers as f64;
+        let partition_filters = self.subscribers as f64 * self.filters_per_subscriber as f64 / k;
+        let deterministic =
+            self.params.t_rcv + self.params.t_store + partition_filters * self.params.t_fltr;
+        ServiceTime::new(
+            deterministic,
+            self.params.t_tx,
+            ReplicationModel::deterministic(self.mean_replication / k),
+        )
+    }
+
+    /// Predicted waiting-time distribution on one cluster broker carrying
+    /// `per_broker_rate` received messages per second. Each broker is one
+    /// M/GI/1 server, so the prediction holds per broker; a symmetric
+    /// cluster has the same distribution on every broker, which is also
+    /// the waiting time an arbitrary message experiences system-wide.
+    ///
+    /// Note the rate semantics: under multicast ingress every broker sees
+    /// the full publish stream (`per_broker_rate = λ`); under a
+    /// topic-sharded ingress each shard sees its partition
+    /// (`per_broker_rate = λ/k`). The scenario itself is agnostic — it
+    /// models what one broker does with the messages it receives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Mg1Error`] if the implied utilization
+    /// `per_broker_rate · E[B_k]` reaches 1 (no stationary regime).
+    pub fn waiting_time(&self, per_broker_rate: f64) -> Result<WaitingTimeAnalysis, Mg1Error> {
+        assert!(
+            per_broker_rate.is_finite() && per_broker_rate > 0.0,
+            "per-broker rate must be finite and > 0, got {per_broker_rate}"
+        );
+        let service = self.per_broker_service();
+        let rho = per_broker_rate * service.mean();
+        WaitingTimeAnalysis::for_service_time(service, rho)
     }
 
     /// System capacity in received messages per second. Every broker sees
@@ -312,6 +361,55 @@ mod tests {
         let c = cluster(1, 100);
         let expect = 0.9 / CostParams::CORRELATION_ID.mean_service_time(1000, 1.0);
         assert!((c.capacity() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn per_broker_service_matches_scalar_mean() {
+        for k in [1u32, 2, 4, 10] {
+            let c = cluster(k, 100);
+            let service = c.per_broker_service();
+            let mean = c.per_broker_service_time();
+            assert!((service.mean() - mean).abs() / mean < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn single_broker_waiting_matches_server_model() {
+        // k = 1 must reproduce the plain ServerModel analysis exactly.
+        let c = cluster(1, 100);
+        let rate = 0.5 / c.per_broker_service_time();
+        let clustered = c.waiting_time(rate).unwrap().report();
+        let direct = WaitingTimeAnalysis::for_model(
+            &crate::model::ServerModel::new(c.params, 1000),
+            ReplicationModel::deterministic(1.0),
+            0.5,
+        )
+        .unwrap()
+        .report();
+        let rel = (clustered.mean_waiting_time - direct.mean_waiting_time).abs()
+            / direct.mean_waiting_time;
+        assert!(rel < 1e-9, "rel {rel}");
+        assert!((clustered.q99 - direct.q99).abs() / direct.q99 < 1e-9);
+    }
+
+    #[test]
+    fn cluster_waiting_shrinks_with_brokers_at_fixed_per_broker_rate_share() {
+        // Partitioned ingress: each of k brokers carries λ/k of a fixed
+        // total stream. More brokers → smaller partitions → shorter
+        // per-broker service → lower utilization → shorter waits.
+        let total_rate = 0.6 / cluster(1, 1000).per_broker_service_time();
+        let w1 = cluster(1, 1000).waiting_time(total_rate).unwrap().report();
+        let w4 = cluster(4, 1000).waiting_time(total_rate / 4.0).unwrap().report();
+        assert!(w4.mean_waiting_time < w1.mean_waiting_time / 4.0);
+        assert!(w4.q99 < w1.q99);
+    }
+
+    #[test]
+    fn waiting_time_rejects_saturated_rate() {
+        let c = cluster(2, 100);
+        let saturating = 1.0 / c.per_broker_service_time();
+        assert!(c.waiting_time(saturating).is_err());
+        assert!(c.waiting_time(saturating * 0.9).is_ok());
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct FlowController {
     /// `λ_max` of the analytic inversion: the recovery ceiling and the
     /// floor (times [`Self::TIGHTEN_FLOOR`]) for emergency cuts.
     analytic_lambda: f64,
+    /// Number of dispatcher shards sharing the budget. Each shard is one
+    /// M/GI/1 server held at `rho_max`, so every inversion's per-server
+    /// rate is multiplied by this to form the aggregate budget.
+    shards: f64,
     state: Mutex<ControllerState>,
 }
 
@@ -98,7 +102,9 @@ impl FlowController {
         let analytic = ServerModel::new(config.params, config.filters)
             .service_time(ReplicationModel::deterministic(config.replication_grade));
         let target = config.w99_objective / config.headroom;
-        let (rho_max, lambda_max) = invert(&analytic, target);
+        let shards = config.shards.max(1) as f64;
+        let (rho_max, per_shard) = invert(&analytic, target);
+        let lambda_max = per_shard * shards;
         Self {
             target,
             objective: config.w99_objective,
@@ -106,6 +112,7 @@ impl FlowController {
             overload_tighten: config.overload_tighten,
             analytic,
             analytic_lambda: lambda_max,
+            shards,
             state: Mutex::new(ControllerState {
                 rho_max,
                 lambda_max,
@@ -153,13 +160,13 @@ impl FlowController {
             ModelVerdict::Insufficient { .. } => return None,
             ModelVerdict::Calibrated(_) => {
                 let (rho, lambda) = invert(&self.analytic, self.target);
-                (rho, lambda, CalibrationSource::Analytic)
+                (rho, lambda * self.shards, CalibrationSource::Analytic)
             }
             ModelVerdict::Drift(report) => {
                 let m = &report.measured;
                 let service = measured_service(m.mean_service_time, m.service_cvar)?;
                 let (rho, lambda) = invert(&service, self.target);
-                (rho, lambda, CalibrationSource::Measured)
+                (rho, lambda * self.shards, CalibrationSource::Measured)
             }
             ModelVerdict::Overloaded { .. } => {
                 let floor = self.analytic_lambda * Self::TIGHTEN_FLOOR;
@@ -251,6 +258,23 @@ mod tests {
         let analysis = rjms_core::WaitingTimeAnalysis::for_service_time(service, rho).unwrap();
         assert!(analysis.distribution().quantile(0.99) <= c.w99_objective / c.headroom * 1.001);
         assert!((controller.lambda_max() - rho / service.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_budget_scales_linearly() {
+        let one = FlowController::new(&config());
+        let four = FlowController::new(&config().shards(4));
+        // Same per-shard utilisation ceiling, 4x the aggregate rate.
+        assert_eq!(one.rho_max(), four.rho_max());
+        assert!((four.lambda_max() - 4.0 * one.lambda_max()).abs() < 1e-9);
+
+        // Recalibration from a drift verdict keeps the shard multiplier.
+        let c = config();
+        let e_b = c.params.mean_service_time(c.filters, c.replication_grade);
+        let v = verdict(3.0 * e_b, 2.0 * e_b, 0.3 / e_b);
+        let one_after = one.refresh(&v).expect("drift refreshes");
+        let four_after = four.refresh(&v).expect("drift refreshes");
+        assert!((four_after - 4.0 * one_after).abs() < 1e-9);
     }
 
     #[test]

@@ -69,6 +69,12 @@ struct Instruments {
     granted: Vec<Arc<Counter>>,
     deferred: Vec<Arc<Counter>>,
     shed: Vec<Arc<Counter>>,
+    /// Unlabeled aggregate outcome counters. These are what the obs
+    /// history rings record, so `rjms-top` can plot grant/shed *rates* on
+    /// the same timeline as W99 without summing label series.
+    granted_total: Arc<Counter>,
+    deferred_total: Arc<Counter>,
+    shed_total: Arc<Counter>,
 }
 
 /// Point-in-time view of one priority class, for `/flow` exposition.
@@ -197,12 +203,19 @@ impl FlowGate {
         if let Some(instruments) = self.instruments.get() {
             let class = usize::from(self.class_of(priority, durable));
             instruments.decision_ns[class].record(started.elapsed().as_nanos() as u64);
-            let counter = match outcome {
-                AdmissionOutcome::Granted => &instruments.granted[class],
-                AdmissionOutcome::Deferred { .. } => &instruments.deferred[class],
-                AdmissionOutcome::Shed { .. } => &instruments.shed[class],
+            let (counter, total) = match outcome {
+                AdmissionOutcome::Granted => {
+                    (&instruments.granted[class], &instruments.granted_total)
+                }
+                AdmissionOutcome::Deferred { .. } => {
+                    (&instruments.deferred[class], &instruments.deferred_total)
+                }
+                AdmissionOutcome::Shed { .. } => {
+                    (&instruments.shed[class], &instruments.shed_total)
+                }
             };
             counter.inc();
+            total.inc();
         }
         outcome
     }
@@ -303,6 +316,9 @@ impl FlowGate {
             granted: per_class("flow.granted"),
             deferred: per_class("flow.deferred"),
             shed: per_class("flow.shed"),
+            granted_total: registry.counter("flow.granted"),
+            deferred_total: registry.counter("flow.deferred"),
+            shed_total: registry.counter("flow.shed"),
         });
     }
 
@@ -453,5 +469,10 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counters.get("flow.granted{class=\"2\"}"), Some(&1));
         assert!(snap.histogram("flow.decision_ns{class=\"2\"}").is_some());
+        // Unlabeled aggregates track the same decisions for the history
+        // rings (the rjms-top sheds timeline).
+        assert_eq!(snap.counters.get("flow.granted"), Some(&1));
+        assert_eq!(snap.counters.get("flow.shed"), Some(&0));
+        assert_eq!(snap.counters.get("flow.deferred"), Some(&0));
     }
 }

@@ -40,9 +40,11 @@ impl OldClient {
 
 #[test]
 fn old_format_client_interoperates_with_new_server() {
-    let server =
-        BrokerServer::start(BrokerConfig::default().trace(TraceConfig::default()), "127.0.0.1:0")
-            .expect("bind");
+    let server = BrokerServer::start(
+        BrokerConfig::builder().trace(TraceConfig::default()).build(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
     let mut old = OldClient::connect(server.local_addr());
 
     // Pre-trace frames only: no Hello, message without context.
@@ -110,9 +112,11 @@ fn wire_flush_spans_join_broker_chains() {
     // With tracing on and the tail threshold still at its initial zero,
     // every message's chain is kept, and deliveries flushed to a negotiated
     // client gain a fifth wire_flush span recorded by the writer thread.
-    let server =
-        BrokerServer::start(BrokerConfig::default().trace(TraceConfig::default()), "127.0.0.1:0")
-            .expect("bind");
+    let server = BrokerServer::start(
+        BrokerConfig::builder().trace(TraceConfig::default()).build(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
     let client = RemoteBroker::connect(server.local_addr()).unwrap();
     client.create_topic("t").unwrap();
     let sub = client.subscribe("t", WireFilter::None).unwrap();

@@ -17,10 +17,11 @@ use std::time::Duration;
 fn measure(n_fltr: u32, replication: u32, window: Duration) -> (f64, f64) {
     let cost = CostModel::CORRELATION_ID;
     let broker = Broker::start(
-        BrokerConfig::default()
+        BrokerConfig::builder()
             .publish_queue_capacity(64)
             .subscriber_queue_capacity(1 << 16)
-            .cost_model(cost),
+            .cost_model(cost)
+            .build(),
     );
     broker.create_topic("bench").unwrap();
 

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let replication = 5u32;
 
     let server = BrokerServer::start(
-        BrokerConfig::default().publish_queue_capacity(64).cost_model(cost),
+        BrokerConfig::builder().publish_queue_capacity(64).cost_model(cost).build(),
         "127.0.0.1:0",
     )?;
     let addr = server.local_addr();

@@ -19,8 +19,9 @@ fn config(dir: &std::path::Path) -> BrokerConfig {
     // fsync=Always: every accepted publish is on disk before delivery, so
     // even an abort() loses nothing. See the `ext_persistence_cost` bench
     // for what that durability costs per message.
-    BrokerConfig::default()
+    BrokerConfig::builder()
         .persistence(PersistenceConfig::new(dir).journal(|j| j.fsync(FsyncPolicy::Always)))
+        .build()
 }
 
 /// Child: publish a batch to a durable subscriber's backlog, then crash.

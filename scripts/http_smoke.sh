@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# HTTP exposition smoke test: start a traced rjms-server with the HTTP
-# endpoint, the SLO engine, and flow control, drive a workload through
-# the TCP clients, then validate the /metrics, /snapshot.json, /traces,
-# /model, /flow, /history, /slo, and /alerts responses.
+# HTTP exposition smoke test: start a traced two-shard rjms-server with
+# the HTTP endpoint, the SLO engine, and flow control, drive a workload
+# through the TCP clients, then validate the /metrics, /snapshot.json,
+# /traces, /model, /flow, /history, /slo, /alerts, and /shards responses.
 #
 # Usage: scripts/http_smoke.sh [path-to-target-dir]
 # Exits non-zero on any failed check.
@@ -26,7 +26,8 @@ done
 
 fail() { echo "FAIL: $*"; exit 1; }
 
-"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --flow --topic smoke &
+"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --flow --shards 2 \
+  --topic smoke &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
@@ -136,5 +137,16 @@ grep -q '"metric":"broker.waiting_ns"' "$WORKDIR/history.json" \
 
 curl -sf "http://$HTTP_ADDR/alerts" > "$WORKDIR/alerts.json" || fail "/alerts not served"
 grep -q '"events":\[' "$WORKDIR/alerts.json" || fail "/alerts missing the event log"
+
+# --- /shards: per-shard model assessments ------------------------------
+curl -sf "http://$HTTP_ADDR/shards" > "$WORKDIR/shards.json" || fail "/shards not served"
+grep -q '"shard":0' "$WORKDIR/shards.json" || fail "/shards missing shard 0"
+grep -q '"shard":1' "$WORKDIR/shards.json" || fail "/shards missing shard 1"
+grep -q '"verdict":' "$WORKDIR/shards.json" || fail "/shards missing model verdicts"
+# The two-shard server exposes per-shard counters in the broker snapshot,
+# and the one topic lands on exactly one dispatcher.
+grep -q '"shards":\[' "$WORKDIR/snapshot.json" || fail "/snapshot.json missing the shards section"
+SHARD_RECEIVED=$(tr '{' '\n' < "$WORKDIR/shards.json" | awk -F'[:,]' '/"samples"/ { n += $4 } END { print n + 0 }')
+echo "per-shard model samples: $SHARD_RECEIVED"
 
 echo "PASS: http exposition smoke ($COMPLETE/$COUNT complete chains)"

@@ -1,19 +1,32 @@
 //! `rjms-server` — run a standalone broker listening on TCP.
 //!
 //! ```text
-//! rjms-server [--listen ADDR] [--topic NAME]... [--stats-every SECS]
+//! rjms-server [--config FILE] [--listen ADDR] [--topic NAME]...
+//!             [--shards N] [--stats-every SECS]
 //!             [--metrics-interval SECS] [--cost-model corr|app]
 //!             [--http ADDR] [--trace] [--trace-quantile Q]
 //!             [--flow] [--flow-w99 MS] [--flow-classes N]
 //! ```
 //!
+//! `--config FILE` loads a TOML-subset configuration file covering the
+//! whole flag surface (see `rjms::config_file` for the schema). Precedence
+//! is strictly *flags over file over built-in defaults*: any flag given on
+//! the command line overrides the file's value for that setting, list
+//! settings (`--topic`, `--alert-sink`) append to the file's lists, and
+//! feature toggles (`--trace`, `--slo`, `--flow`) OR with the file's
+//! sections — a section's presence enables the feature unless it says
+//! `enabled = false`.
+//!
 //! Topics can be pre-created with `--topic` (repeatable) or created later
-//! by clients. With `--stats-every N` the server prints a throughput line
-//! every N seconds, in the spirit of the paper's measurement logs. With
-//! `--metrics-interval N` the broker's live observability layer is enabled
-//! (waiting/service/sojourn histograms, sampled Eq. 1 stage decomposition)
-//! and a full instrument report — broker and wire-level registries — is
-//! printed every N seconds.
+//! by clients. With `--shards N` the broker runs N dispatcher threads;
+//! topics hash onto shards (`rjms::broker::shard_of`) and each shard is
+//! modeled as its own M/GI/1 server (the clustered scenario of the paper's
+//! §V applied to one process). With `--stats-every N` the server prints a
+//! throughput line every N seconds, in the spirit of the paper's
+//! measurement logs. With `--metrics-interval N` the broker's live
+//! observability layer is enabled (waiting/service/sojourn histograms,
+//! sampled Eq. 1 stage decomposition) and a full instrument report —
+//! broker and wire-level registries — is printed every N seconds.
 //!
 //! With `--cost-model corr|app` the broker burns the paper's Table I
 //! per-message CPU costs (correlation-ID or application-property
@@ -42,9 +55,9 @@
 //! application-property cost constants.
 //!
 //! `--http ADDR` serves `/metrics` (Prometheus text), `/snapshot.json`,
-//! `/traces`, `/model`, `/flow` (admission-control state, when `--flow`
-//! is on), and — when the SLO engine is on — `/history`, `/slo`, and
-//! `/alerts` — see `rjms::http`.
+//! `/traces`, `/model`, `/shards` (per-shard model assessments), `/flow`
+//! (admission-control state, when `--flow` is on), and — when the SLO
+//! engine is on — `/history`, `/slo`, and `/alerts` — see `rjms::http`.
 //!
 //! `--slo` enables the waiting-time SLO engine (`rjms::obs`): a
 //! background sampler keeps a multi-resolution metric history and
@@ -75,9 +88,34 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
+/// Raw command-line flags: `None`/`false` means "not given", so the merge
+/// with a `--config` file can tell explicit flags from defaults.
+#[derive(Default)]
 struct Args {
+    config: Option<String>,
+    listen: Option<String>,
+    topics: Vec<String>,
+    shards: Option<usize>,
+    stats_every: Option<u64>,
+    metrics_interval: Option<u64>,
+    cost_model: Option<(CostModel, CostParams)>,
+    http: Option<String>,
+    trace: bool,
+    trace_quantile: Option<f64>,
+    slo: bool,
+    history: Option<u64>,
+    alert_sinks: Vec<String>,
+    flow: bool,
+    flow_w99_ms: Option<u64>,
+    flow_classes: Option<u8>,
+}
+
+/// The server's effective settings: flags merged over the file merged
+/// over built-in defaults.
+struct Settings {
     listen: String,
     topics: Vec<String>,
+    shards: usize,
     stats_every: Option<u64>,
     metrics_interval: Option<u64>,
     cost_model: Option<(CostModel, CostParams)>,
@@ -92,28 +130,70 @@ struct Args {
     flow_classes: Option<u8>,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        listen: "127.0.0.1:7670".to_owned(),
-        topics: Vec::new(),
-        stats_every: None,
-        metrics_interval: None,
-        cost_model: None,
-        http: None,
-        trace: false,
-        trace_quantile: 0.99,
-        slo: false,
-        history: None,
-        alert_sinks: Vec::new(),
-        flow: false,
-        flow_w99_ms: None,
-        flow_classes: None,
+/// Merges command-line flags over file values over built-in defaults (see
+/// the module docs for the precedence contract).
+fn merge(args: Args, file: rjms::config_file::ServerFileConfig) -> Result<Settings, String> {
+    let cost_model = match (args.cost_model, file.cost_model.as_deref()) {
+        (Some(pair), _) => Some(pair),
+        (None, Some("corr")) => Some((CostModel::CORRELATION_ID, CostParams::CORRELATION_ID)),
+        (None, Some("app")) => {
+            Some((CostModel::APPLICATION_PROPERTY, CostParams::APPLICATION_PROPERTY))
+        }
+        (None, Some(other)) => return Err(format!("bad cost_model `{other}` in config file")),
+        (None, None) => None,
     };
+    let mut topics = file.topics;
+    for topic in args.topics {
+        if !topics.contains(&topic) {
+            topics.push(topic);
+        }
+    }
+    let mut alert_sinks = file.slo.as_ref().map(|s| s.alert_sinks.clone()).unwrap_or_default();
+    for sink in args.alert_sinks {
+        if !alert_sinks.contains(&sink) {
+            alert_sinks.push(sink);
+        }
+    }
+    Ok(Settings {
+        listen: args.listen.or(file.listen).unwrap_or_else(|| "127.0.0.1:7670".to_owned()),
+        topics,
+        shards: args.shards.or(file.shards).unwrap_or(1),
+        stats_every: args.stats_every.or(file.stats_every),
+        metrics_interval: args.metrics_interval.or(file.metrics_interval),
+        cost_model,
+        http: args.http.or(file.http),
+        trace: args.trace || file.trace.as_ref().is_some_and(|t| t.enabled),
+        trace_quantile: args
+            .trace_quantile
+            .or(file.trace.as_ref().and_then(|t| t.tail_quantile))
+            .unwrap_or(0.99),
+        slo: args.slo || file.slo.as_ref().is_some_and(|s| s.enabled),
+        history: args.history.or(file.slo.as_ref().and_then(|s| s.history_secs)),
+        alert_sinks,
+        flow: args.flow || file.flow.as_ref().is_some_and(|f| f.enabled),
+        flow_w99_ms: args.flow_w99_ms.or(file.flow.as_ref().and_then(|f| f.w99_ms)),
+        flow_classes: args.flow_classes.or(file.flow.as_ref().and_then(|f| f.classes)),
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--config" => {
+                args.config = Some(it.next().ok_or("--config needs a file path")?);
+            }
             "--listen" => {
-                args.listen = it.next().ok_or("--listen needs an address")?;
+                args.listen = Some(it.next().ok_or("--listen needs an address")?);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a count")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --shards value: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+                args.shards = Some(n);
             }
             "--topic" => {
                 args.topics.push(it.next().ok_or("--topic needs a name")?);
@@ -179,15 +259,17 @@ fn parse_args() -> Result<Args, String> {
                 if !(q > 0.0 && q < 1.0) {
                     return Err(format!("--trace-quantile must be in (0, 1), got {q}"));
                 }
-                args.trace_quantile = q;
+                args.trace_quantile = Some(q);
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: rjms-server [--listen ADDR] [--topic NAME]... \
+                    "usage: rjms-server [--config FILE] [--listen ADDR] [--topic NAME]... \
+                     [--shards N] \
                      [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app] \
                      [--http ADDR] [--trace] [--trace-quantile Q] \
                      [--slo] [--history SECS] [--alert-sink stderr|webhook:ADDR/PATH]... \
-                     [--flow] [--flow-w99 MS] [--flow-classes N]"
+                     [--flow] [--flow-w99 MS] [--flow-classes N]\n\
+                     flags override --config file values; see rjms::config_file for the schema"
                 );
                 std::process::exit(0);
             }
@@ -214,22 +296,36 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let file = match args.config.as_deref().map(rjms::config_file::load).transpose() {
+        Ok(f) => f.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let args = match merge(args, file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
     let slo_enabled = args.slo || args.history.is_some();
-    let mut config = BrokerConfig::default();
+    let mut builder = BrokerConfig::builder().shards(args.shards);
     if args.metrics_interval.is_some() || slo_enabled {
         // The SLO engine samples the broker's registry, so it needs the
         // dispatch instruments even without a periodic text report.
-        config = config.metrics(MetricsConfig::default());
+        builder = builder.metrics(MetricsConfig::default());
     }
     if args.trace {
         // Trace implies metrics: the tail threshold needs the sojourn
         // histogram (Broker::start enables a default MetricsConfig too,
         // but being explicit keeps --metrics-interval-less runs obvious).
-        config = config.trace(TraceConfig::default().tail_quantile(args.trace_quantile));
+        builder = builder.trace(TraceConfig::default().tail_quantile(args.trace_quantile));
     }
     if let Some((cost, _)) = args.cost_model {
-        config = config.cost_model(cost);
+        builder = builder.cost_model(cost);
     }
     let flow_enabled = args.flow || args.flow_w99_ms.is_some() || args.flow_classes.is_some();
     if flow_enabled {
@@ -245,8 +341,9 @@ fn main() {
             // the broker burns, so λ_max matches the machine it polices.
             flow = flow.params(params);
         }
-        config = config.flow(flow);
+        builder = builder.flow(flow);
     }
+    let config = builder.build();
     let server = match BrokerServer::start(config, args.listen.as_str()) {
         Ok(s) => s,
         Err(e) => {
@@ -263,6 +360,9 @@ fn main() {
     println!("rjms-server listening on {}", server.local_addr());
     if !args.topics.is_empty() {
         println!("topics: {}", args.topics.join(", "));
+    }
+    if args.shards > 1 {
+        println!("sharded dispatch: {} dispatcher threads (topics hash onto shards)", args.shards);
     }
     if let Some(gate) = server.broker().flow() {
         println!(

@@ -12,8 +12,11 @@
 //!   ten minutes plus the merged-window quantile summary,
 //! * a **throughput pane**: sparkline of messages per slot,
 //! * a **flow pane** (when the server runs `--flow`): the live `λ_max`
-//!   budget and its calibration source, the global bucket fill, and the
-//!   granted/deferred/shed admission counters,
+//!   budget and its calibration source, the global bucket fill, the
+//!   granted/deferred/shed admission counters, and a **sheds timeline**
+//!   — granted- and shed-rate sparklines on the same ten-minute window
+//!   as the waiting-time pane, so an operator sees *when* the gate
+//!   started rejecting load relative to the W99 excursion it protects,
 //! * an **SLO table**: per objective, the alert state, fast/slow burn
 //!   rates against the threshold, and an error-budget gauge,
 //! * an **alert feed**: the most recent state transitions with their
@@ -218,8 +221,27 @@ fn render_frame(addr: &str) -> Result<(String, bool), String> {
         }
         let tag = if shed > 0 { "\x1b[31mshedding\x1b[0m" } else { "\x1b[32mopen\x1b[0m" };
         out.push_str(&format!(
-            "              granted {granted}  deferred {deferred}  shed {shed}  gate {tag}\n\n"
+            "              granted {granted}  deferred {deferred}  shed {shed}  gate {tag}\n"
         ));
+        // Sheds timeline: admission rates from the same history rings as
+        // the W99 sparkline, so the panes line up slot for slot.
+        if let Ok(granted) = get_json(addr, "/history?metric=flow.granted&window=10m&reduce=rate") {
+            let (spark, top) = sparkline(&series_values(&granted));
+            out.push_str(&format!("  granted/s   {spark}  peak {top:.0}\n"));
+        }
+        if let Ok(shed) = get_json(addr, "/history?metric=flow.shed&window=10m&reduce=rate") {
+            let values = series_values(&shed);
+            let shedding = values.iter().any(|&v| v > 0.0);
+            let (spark, top) = sparkline(&values);
+            let line = format!("  shed/s      {spark}  peak {top:.0}\n");
+            if shedding {
+                out.push_str(&format!("\x1b[31m{}\x1b[0m", line.trim_end()));
+                out.push('\n');
+            } else {
+                out.push_str(&line);
+            }
+        }
+        out.push('\n');
     }
 
     // SLO table.

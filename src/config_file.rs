@@ -1,0 +1,496 @@
+//! Configuration-file loader for `rjms-server --config`.
+//!
+//! Parses a small, dependency-free TOML subset — exactly what the server's
+//! flag surface needs, nothing more:
+//!
+//! * `key = value` pairs, one per line;
+//! * `[section]` headers (`[trace]`, `[slo]`, `[flow]`);
+//! * values: `"strings"`, `true`/`false`, integers, floats, and
+//!   single-line arrays of strings;
+//! * `#` comments (outside strings) and blank lines.
+//!
+//! A section's *presence* enables its feature (mirroring `--trace`,
+//! `--slo`, `--flow`); an explicit `enabled = false` keeps the section's
+//! tuning while leaving the feature off.
+//!
+//! ```toml
+//! # rjms-server.toml
+//! listen = "127.0.0.1:7670"
+//! topics = ["orders", "audit"]
+//! shards = 4
+//! stats_every = 10        # seconds
+//! metrics_interval = 30   # seconds
+//! cost_model = "corr"     # corr | app
+//! http = "127.0.0.1:9100"
+//!
+//! [trace]
+//! tail_quantile = 0.99
+//!
+//! [slo]
+//! history_secs = 1
+//! alert_sinks = ["stderr", "webhook:127.0.0.1:9200/alerts"]
+//!
+//! [flow]
+//! w99_ms = 10
+//! classes = 3
+//! ```
+//!
+//! Command-line flags override file values (see the `rjms-server` docs for
+//! the full precedence rules).
+
+/// Top-level settings from a server configuration file. Every field is
+/// optional: `None` means "not set in the file", so command-line flags and
+/// built-in defaults can fill the gap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerFileConfig {
+    /// `listen = "ADDR"` — the broker's TCP listen address.
+    pub listen: Option<String>,
+    /// `topics = ["a", "b"]` — topics pre-created at startup.
+    pub topics: Vec<String>,
+    /// `shards = N` — dispatcher shard count (`--shards`).
+    pub shards: Option<usize>,
+    /// `stats_every = SECS` — throughput report interval.
+    pub stats_every: Option<u64>,
+    /// `metrics_interval = SECS` — instrument report interval.
+    pub metrics_interval: Option<u64>,
+    /// `cost_model = "corr" | "app"` — Table I cost constants to burn.
+    pub cost_model: Option<String>,
+    /// `http = "ADDR"` — the exposition endpoint's listen address.
+    pub http: Option<String>,
+    /// `[trace]` section, when present.
+    pub trace: Option<TraceSection>,
+    /// `[slo]` section, when present.
+    pub slo: Option<SloSection>,
+    /// `[flow]` section, when present.
+    pub flow: Option<FlowSection>,
+}
+
+/// The `[trace]` section: tail-sampled flight recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSection {
+    /// `enabled = bool`; defaults to `true` when the section is present.
+    pub enabled: bool,
+    /// `tail_quantile = Q` in `(0, 1)`.
+    pub tail_quantile: Option<f64>,
+}
+
+/// The `[slo]` section: the waiting-time SLO engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSection {
+    /// `enabled = bool`; defaults to `true` when the section is present.
+    pub enabled: bool,
+    /// `history_secs = SECS` — metric-history sampling interval.
+    pub history_secs: Option<u64>,
+    /// `alert_sinks = ["stderr", "webhook:ADDR/PATH", ...]`.
+    pub alert_sinks: Vec<String>,
+}
+
+/// The `[flow]` section: model-driven admission control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSection {
+    /// `enabled = bool`; defaults to `true` when the section is present.
+    pub enabled: bool,
+    /// `w99_ms = MS` — the admission `W99` objective in milliseconds.
+    pub w99_ms: Option<u64>,
+    /// `classes = N` — priority classes in `1..=10`.
+    pub classes: Option<u8>,
+}
+
+/// One parsed right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    StrArray(Vec<String>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::StrArray(_) => "string array",
+        }
+    }
+
+    fn str(self, key: &str) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("`{key}` expects a string, got {}", other.type_name())),
+        }
+    }
+
+    fn boolean(self, key: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            other => Err(format!("`{key}` expects true/false, got {}", other.type_name())),
+        }
+    }
+
+    fn uint<T: TryFrom<u64>>(self, key: &str) -> Result<T, String> {
+        match self {
+            Value::Int(i) if i >= 0 => u64::try_from(i)
+                .ok()
+                .and_then(|u| T::try_from(u).ok())
+                .ok_or_else(|| format!("`{key}` is out of range")),
+            other => {
+                Err(format!("`{key}` expects a non-negative integer, got {}", other.type_name()))
+            }
+        }
+    }
+
+    fn float(self, key: &str) -> Result<f64, String> {
+        match self {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            other => Err(format!("`{key}` expects a number, got {}", other.type_name())),
+        }
+    }
+
+    fn str_array(self, key: &str) -> Result<Vec<String>, String> {
+        match self {
+            Value::StrArray(a) => Ok(a),
+            other => Err(format!("`{key}` expects a string array, got {}", other.type_name())),
+        }
+    }
+}
+
+/// Reads and parses a server configuration file.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending line for I/O
+/// failures, malformed syntax, unknown sections or keys, and type
+/// mismatches.
+pub fn load(path: &str) -> Result<ServerFileConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses configuration text (see the [module docs](self) for the
+/// grammar).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line number on malformed
+/// syntax, unknown sections or keys, and type mismatches.
+pub fn parse(text: &str) -> Result<ServerFileConfig, String> {
+    let mut config = ServerFileConfig::default();
+    let mut section = String::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = index + 1;
+        if let Some(inner) = line.strip_prefix('[') {
+            let name = inner
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated section header"))?
+                .trim();
+            match name {
+                "trace" => {
+                    config.trace = Some(TraceSection { enabled: true, tail_quantile: None });
+                }
+                "slo" => {
+                    config.slo = Some(SloSection {
+                        enabled: true,
+                        history_secs: None,
+                        alert_sinks: Vec::new(),
+                    });
+                }
+                "flow" => {
+                    config.flow = Some(FlowSection { enabled: true, w99_ms: None, classes: None });
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown section `[{other}]` (trace|slo|flow)"
+                    ))
+                }
+            }
+            section = name.to_owned();
+            continue;
+        }
+        let (key, rest) =
+            line.split_once('=').ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = key.trim();
+        let value = parse_value(rest.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+        apply(&mut config, &section, key, value).map_err(|e| format!("line {lineno}: {e}"))?;
+    }
+    Ok(config)
+}
+
+/// Routes one `key = value` into the config, validating section and type.
+fn apply(
+    config: &mut ServerFileConfig,
+    section: &str,
+    key: &str,
+    value: Value,
+) -> Result<(), String> {
+    match section {
+        "" => match key {
+            "listen" => config.listen = Some(value.str(key)?),
+            "topics" => config.topics = value.str_array(key)?,
+            "shards" => {
+                let shards: usize = value.uint(key)?;
+                if shards == 0 {
+                    return Err("`shards` must be at least 1".to_owned());
+                }
+                config.shards = Some(shards);
+            }
+            "stats_every" => config.stats_every = Some(value.uint(key)?),
+            "metrics_interval" => config.metrics_interval = Some(value.uint(key)?),
+            "cost_model" => {
+                let model = value.str(key)?;
+                if model != "corr" && model != "app" {
+                    return Err(format!("`cost_model` must be `corr` or `app`, got `{model}`"));
+                }
+                config.cost_model = Some(model);
+            }
+            "http" => config.http = Some(value.str(key)?),
+            other => return Err(format!("unknown key `{other}` at top level")),
+        },
+        "trace" => {
+            let trace = config.trace.as_mut().expect("section created at header");
+            match key {
+                "enabled" => trace.enabled = value.boolean(key)?,
+                "tail_quantile" => {
+                    let q = value.float(key)?;
+                    if !(q > 0.0 && q < 1.0) {
+                        return Err(format!("`tail_quantile` must be in (0, 1), got {q}"));
+                    }
+                    trace.tail_quantile = Some(q);
+                }
+                other => return Err(format!("unknown key `{other}` in [trace]")),
+            }
+        }
+        "slo" => {
+            let slo = config.slo.as_mut().expect("section created at header");
+            match key {
+                "enabled" => slo.enabled = value.boolean(key)?,
+                "history_secs" => {
+                    let secs: u64 = value.uint(key)?;
+                    if secs == 0 {
+                        return Err("`history_secs` must be at least 1".to_owned());
+                    }
+                    slo.history_secs = Some(secs);
+                }
+                "alert_sinks" => {
+                    let sinks = value.str_array(key)?;
+                    for sink in &sinks {
+                        if sink != "stderr" && !sink.starts_with("webhook:") {
+                            return Err(format!(
+                                "bad alert sink `{sink}` (stderr|webhook:ADDR/PATH)"
+                            ));
+                        }
+                    }
+                    slo.alert_sinks = sinks;
+                }
+                other => return Err(format!("unknown key `{other}` in [slo]")),
+            }
+        }
+        "flow" => {
+            let flow = config.flow.as_mut().expect("section created at header");
+            match key {
+                "enabled" => flow.enabled = value.boolean(key)?,
+                "w99_ms" => {
+                    let ms: u64 = value.uint(key)?;
+                    if ms == 0 {
+                        return Err("`w99_ms` must be at least 1".to_owned());
+                    }
+                    flow.w99_ms = Some(ms);
+                }
+                "classes" => {
+                    let classes: u8 = value.uint(key)?;
+                    if !(1..=10).contains(&classes) {
+                        return Err(format!("`classes` must be in 1..=10, got {classes}"));
+                    }
+                    flow.classes = Some(classes);
+                }
+                other => return Err(format!("unknown key `{other}` in [flow]")),
+            }
+        }
+        _ => unreachable!("sections are validated at their header"),
+    }
+    Ok(())
+}
+
+/// Removes a trailing `#` comment, honoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one right-hand side: string, bool, array, or number.
+fn parse_value(raw: &str) -> Result<Value, String> {
+    if raw.is_empty() {
+        return Err("missing value".to_owned());
+    }
+    if raw.starts_with('"') {
+        return Ok(Value::Str(parse_string(raw)?.0));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array (arrays must be single-line)".to_owned())?
+            .trim();
+        let mut items = Vec::new();
+        let mut rest = inner;
+        while !rest.is_empty() {
+            if !rest.starts_with('"') {
+                return Err(format!("array items must be quoted strings, got `{rest}`"));
+            }
+            let (item, remainder) = parse_string(rest)?;
+            items.push(item);
+            rest = remainder.trim_start();
+            if let Some(after_comma) = rest.strip_prefix(',') {
+                rest = after_comma.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("expected `,` between array items, got `{rest}`"));
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(format!("cannot parse value `{raw}`"))
+}
+
+/// Parses a leading quoted string, returning it and the unconsumed rest.
+fn parse_string(raw: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut escaped = false;
+    for (i, c) in raw.char_indices().skip(1) {
+        match c {
+            _ if escaped => {
+                out.push(match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other, // \" and \\ pass through
+                });
+                escaped = false;
+            }
+            '\\' => escaped = true,
+            '"' => return Ok((out, &raw[i + c.len_utf8()..])),
+            _ => out.push(c),
+        }
+    }
+    Err(format!("unterminated string in `{raw}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_example() {
+        let text = r#"
+            # rjms-server.toml
+            listen = "127.0.0.1:7670"
+            topics = ["orders", "audit"]
+            shards = 4
+            stats_every = 10        # seconds
+            metrics_interval = 30
+            cost_model = "corr"
+            http = "127.0.0.1:9100"
+
+            [trace]
+            tail_quantile = 0.99
+
+            [slo]
+            history_secs = 1
+            alert_sinks = ["stderr", "webhook:127.0.0.1:9200/alerts"]
+
+            [flow]
+            w99_ms = 10
+            classes = 3
+        "#;
+        let c = parse(text).unwrap();
+        assert_eq!(c.listen.as_deref(), Some("127.0.0.1:7670"));
+        assert_eq!(c.topics, vec!["orders", "audit"]);
+        assert_eq!(c.shards, Some(4));
+        assert_eq!(c.stats_every, Some(10));
+        assert_eq!(c.metrics_interval, Some(30));
+        assert_eq!(c.cost_model.as_deref(), Some("corr"));
+        assert_eq!(c.http.as_deref(), Some("127.0.0.1:9100"));
+        let trace = c.trace.unwrap();
+        assert!(trace.enabled);
+        assert_eq!(trace.tail_quantile, Some(0.99));
+        let slo = c.slo.unwrap();
+        assert!(slo.enabled);
+        assert_eq!(slo.history_secs, Some(1));
+        assert_eq!(slo.alert_sinks.len(), 2);
+        let flow = c.flow.unwrap();
+        assert!(flow.enabled);
+        assert_eq!(flow.w99_ms, Some(10));
+        assert_eq!(flow.classes, Some(3));
+    }
+
+    #[test]
+    fn empty_text_is_all_defaults() {
+        assert_eq!(parse("").unwrap(), ServerFileConfig::default());
+        assert_eq!(parse("# only comments\n\n").unwrap(), ServerFileConfig::default());
+    }
+
+    #[test]
+    fn section_presence_enables_and_enabled_false_disables() {
+        let c = parse("[flow]\n").unwrap();
+        assert!(c.flow.unwrap().enabled);
+        let c = parse("[flow]\nenabled = false\nw99_ms = 5\n").unwrap();
+        let flow = c.flow.unwrap();
+        assert!(!flow.enabled);
+        assert_eq!(flow.w99_ms, Some(5));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_sections_and_bad_values() {
+        assert!(parse("frobnicate = 1\n").unwrap_err().contains("unknown key"));
+        assert!(parse("[nope]\n").unwrap_err().contains("unknown section"));
+        assert!(parse("shards = 0\n").unwrap_err().contains("at least 1"));
+        assert!(parse("shards = \"four\"\n").unwrap_err().contains("non-negative integer"));
+        assert!(parse("cost_model = \"fast\"\n").unwrap_err().contains("corr"));
+        assert!(parse("[trace]\ntail_quantile = 1.5\n").unwrap_err().contains("(0, 1)"));
+        assert!(parse("listen 127.0.0.1\n").unwrap_err().contains("key = value"));
+        assert!(parse("listen = \"unterminated\n").unwrap_err().contains("unterminated"));
+        assert!(parse("[slo]\nalert_sinks = [\"smoke-signal\"]\n")
+            .unwrap_err()
+            .contains("bad alert sink"));
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        let c = parse("listen = \"host#port\" # trailing comment\n").unwrap();
+        assert_eq!(c.listen.as_deref(), Some("host#port"));
+    }
+
+    #[test]
+    fn error_messages_name_the_line() {
+        let err = parse("listen = \"ok\"\nbad line\n").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+    }
+}

@@ -24,6 +24,10 @@
 //! * `GET /flow` — the admission gate's live calibration (λ_max, its
 //!   source, bucket fill, per-class grant/defer/shed counters) as JSON,
 //!   when flow control is enabled.
+//! * `GET /shards` — per-shard model assessments (measured operating
+//!   point vs Eq. 1 + M/GI/1 evaluated per dispatcher shard) as JSON,
+//!   when a broker observer is attached and the broker can anchor the
+//!   model (a cost model or flow control).
 //!
 //! The server is deliberately minimal — blocking I/O, one thread per
 //! connection, `Connection: close` on every response — because its
@@ -35,7 +39,8 @@
 //! header block 431, and a stalled or truncated head is abandoned on a
 //! read timeout instead of hanging the connection thread.
 
-use rjms_broker::{BrokerObserver, BrokerSnapshot, FlowGate};
+use rjms_broker::{BrokerObserver, BrokerSnapshot, FlowGate, ShardReport};
+use rjms_core::ModelVerdict;
 use rjms_metrics::{clock, MetricsRegistry};
 use rjms_obs::{ObsCore, Reduce};
 use rjms_trace::{group_chains, render_chains_json, FlightRecorder};
@@ -237,7 +242,8 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
              /history        metric history series (?metric=&window=&reduce=)\n\
              /slo            objective burn rates and budgets (JSON)\n\
              /alerts         alert states and transition feed (JSON)\n\
-             /flow           admission-gate calibration and counters (JSON)\n",
+             /flow           admission-gate calibration and counters (JSON)\n\
+             /shards         per-shard model assessments (JSON)\n",
         ),
         "/metrics" => {
             let mut body = String::new();
@@ -289,6 +295,13 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
                 respond(&mut stream, "200 OK", "application/json", &body);
             }
             None => respond(&mut stream, "404 Not Found", "text/plain", "flow control disabled\n"),
+        },
+        "/shards" => match &state.observer {
+            Some(observer) => {
+                let body = render_shards_json(&observer.shard_reports(), state);
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => respond(&mut stream, "404 Not Found", "text/plain", "no broker attached\n"),
         },
         _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown path\n"),
     }
@@ -522,6 +535,23 @@ fn render_broker_json(out: &mut String, snap: &BrokerSnapshot) {
         }
         None => out.push_str(",\"flow\":null"),
     }
+    // The `shards` key only appears for sharded brokers, keeping the
+    // single-dispatcher snapshot body byte-identical to earlier releases.
+    if let Some(shards) = &snap.shards {
+        out.push_str(",\"shards\":[");
+        for (i, s) in shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{},\"topics\":{},\"received\":{},\"dispatched\":{},\
+                 \"filter_evaluations\":{}}}",
+                s.shard, s.topics, s.received, s.dispatched, s.filter_evaluations
+            );
+        }
+        out.push(']');
+    }
     out.push_str(",\"per_topic\":{");
     for (i, (name, t)) in snap.per_topic.iter().enumerate() {
         if i > 0 {
@@ -531,6 +561,79 @@ fn render_broker_json(out: &mut String, snap: &BrokerSnapshot) {
         let _ = write!(out, ":{{\"received\":{},\"dispatched\":{}}}", t.received, t.dispatched);
     }
     out.push_str("}}");
+}
+
+/// Renders the per-shard model reports as the `/shards` JSON body. When
+/// flow control is attached, each shard also carries its slice of the
+/// admission budget (`lambda_max / shards` — the controller holds every
+/// shard at the same inverted utilisation).
+fn render_shards_json(reports: &[ShardReport], state: &HttpState) -> String {
+    use std::fmt::Write;
+    let lambda_budget = state
+        .flow
+        .as_ref()
+        .filter(|_| !reports.is_empty())
+        .map(|gate| gate.snapshot().lambda_max / reports.len() as f64);
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"shards\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"samples\":{},\"arrival_rate\":{},\"filters\":{},\
+             \"replication_grade\":{}",
+            r.shard, r.samples, r.arrival_rate, r.filters, r.replication_grade
+        );
+        match lambda_budget {
+            Some(b) => {
+                let _ = write!(out, ",\"lambda_budget\":{b}");
+            }
+            None => out.push_str(",\"lambda_budget\":null"),
+        }
+        out.push_str(",\"verdict\":");
+        match &r.verdict {
+            ModelVerdict::Insufficient { samples, required } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"insufficient\",\"samples\":{samples},\"required\":{required}}}"
+                );
+            }
+            ModelVerdict::Overloaded { utilization } => {
+                let _ = write!(out, "{{\"kind\":\"overloaded\",\"utilization\":{utilization}}}");
+            }
+            verdict @ (ModelVerdict::Calibrated(report) | ModelVerdict::Drift(report)) => {
+                let kind = if verdict.is_calibrated() { "calibrated" } else { "drift" };
+                let m = &report.measured;
+                let p = &report.predicted;
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"{kind}\",\"measured\":{{\"utilization\":{},\
+                     \"mean_service_time\":{},\"mean_waiting_time\":{},\"q99\":{}}},\
+                     \"predicted\":{{\"utilization\":{},\"mean_service_time\":{},\
+                     \"mean_waiting_time\":{},\"q99\":{}}},\"violations\":{}}}",
+                    m.utilization,
+                    m.mean_service_time,
+                    m.mean_waiting_time,
+                    m.q99,
+                    p.utilization,
+                    p.mean_service_time,
+                    p.mean_waiting_time,
+                    p.q99,
+                    report.violations.len()
+                );
+            }
+            // `ModelVerdict` is non-exhaustive: future variants degrade to
+            // their kind name only.
+            other => {
+                let _ = write!(out, "{{\"kind\":\"{other:?}\"}}");
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Renders the admission gate's [`FlowSnapshot`](rjms_broker::FlowSnapshot)

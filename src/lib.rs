@@ -19,6 +19,8 @@
 //! * [`obs`] — the waiting-time SLO engine: metric history, burn-rate
 //!   alerting, evidence-bearing alerts ([`rjms_obs`]),
 //! * [`http`] — the HTTP metrics/trace/SLO exposition endpoint (this
+//!   crate),
+//! * [`config_file`] — the `rjms-server --config` file loader (this
 //!   crate).
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the system
@@ -120,4 +122,5 @@ pub mod obs {
     pub use rjms_obs::*;
 }
 
+pub mod config_file;
 pub mod http;

@@ -64,7 +64,7 @@ fn mixed_filter_types_route_correctly() {
 /// (the persistent non-durable guarantee within a session).
 #[test]
 fn no_loss_no_duplication_under_load() {
-    let broker = Broker::start(BrokerConfig::default().subscriber_queue_capacity(1 << 15));
+    let broker = Broker::start(BrokerConfig::builder().subscriber_queue_capacity(1 << 15).build());
     broker.create_topic("t").unwrap();
     let sub = broker.subscription("t").open().unwrap();
 
@@ -118,10 +118,11 @@ fn saturated_broker_follows_linear_cost_model() {
         // short.
         let cost = CostModel::new(5e-6, 2e-5, 5e-5);
         let broker = Broker::start(
-            BrokerConfig::default()
+            BrokerConfig::builder()
                 .publish_queue_capacity(32)
                 .subscriber_queue_capacity(1 << 14)
-                .cost_model(cost),
+                .cost_model(cost)
+                .build(),
         );
         broker.create_topic("bench").unwrap();
         let stop = Arc::new(AtomicBool::new(false));

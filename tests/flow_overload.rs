@@ -178,7 +178,7 @@ mod wire_compat {
 
     #[test]
     fn pre_flow_client_round_trips_unchanged_against_a_flow_enabled_server() {
-        let config = rjms::broker::BrokerConfig::default().flow(FlowConfig::default());
+        let config = rjms::broker::BrokerConfig::builder().flow(FlowConfig::default()).build();
         let server = BrokerServer::start(config, "127.0.0.1:0").expect("bind");
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
         stream.set_nodelay(true).ok();

@@ -29,9 +29,11 @@ struct Fixture {
 }
 
 fn start_traced_stack() -> Fixture {
-    let server =
-        BrokerServer::start(BrokerConfig::default().trace(TraceConfig::default()), "127.0.0.1:0")
-            .expect("bind broker");
+    let server = BrokerServer::start(
+        BrokerConfig::builder().trace(TraceConfig::default()).build(),
+        "127.0.0.1:0",
+    )
+    .expect("bind broker");
     let state = HttpState::new()
         .observer(server.broker().observer())
         .registry(server.broker().metrics().expect("trace implies metrics"))
