@@ -1,0 +1,198 @@
+//! `ext_topic_obs_overhead` — cost of the per-topic workload observatory
+//! on the dispatch path.
+//!
+//! The observatory's dispatch-path footprint is one thread-local
+//! `HashMap` upsert per message (ten floating-point accumulations into
+//! the staged [`CostRegression`] sums) plus a mutex-guarded merge into
+//! the shared table every `FLUSH_EVERY` messages or on idle — the same
+//! staging discipline as the histogram scratch. This experiment measures
+//! that footprint with the observatory off vs on and gates it at 5%,
+//! the same budget as `ext_obs_overhead`.
+//!
+//! Both variants run with metrics **on** (the observatory implies them);
+//! the paired difference isolates the accounting table. The workload
+//! spreads traffic over several topics so the staging map holds more
+//! than one entry and the merge path actually exercises contention.
+//!
+//! Methodology matches `ext_obs_overhead`: fixed message counts,
+//! alternating order between repetitions, median of paired relative
+//! differences, and a non-zero exit when the calibrated workload exceeds
+//! the budget so CI can run it as a regression gate:
+//!
+//! ```text
+//! cargo run --release -p rjms-bench --bin ext_topic_obs_overhead -- --smoke
+//! ```
+
+use rjms_bench::{experiment_header, BenchReport, Table};
+use rjms_broker::{
+    Broker, BrokerConfig, CostModel, Filter, Message, MetricsConfig, OverflowPolicy, TopicObsConfig,
+};
+use std::time::{Duration, Instant};
+
+/// Acceptance budget on the calibrated workload: dispatch throughput with
+/// the observatory recording must stay within this fraction of baseline.
+const MAX_OVERHEAD: f64 = 0.05;
+
+/// Filters installed per bench topic (one of them matches).
+const N_FILTERS: u32 = 64;
+
+/// Topics the traffic is spread over (each gets its own table row).
+const N_TOPICS: usize = 8;
+
+/// Table I correlation-ID constants divided by this factor for the
+/// calibrated workload (see `ext_observer_overhead`).
+const COST_SCALE: f64 = 32.0;
+
+/// One fixed-count run; returns received msgs/s. Metrics are always on;
+/// `obs` additionally records into the per-topic observatory.
+fn measure(obs: bool, cost: Option<CostModel>, n: u64) -> f64 {
+    let mut config = BrokerConfig::builder()
+        .publish_queue_capacity(256)
+        .subscriber_queue_capacity(1 << 18)
+        .overflow_policy(OverflowPolicy::DropNew)
+        .metrics(MetricsConfig::default());
+    if obs {
+        config = config.topic_obs(TopicObsConfig::default());
+    }
+    if let Some(c) = cost {
+        config = config.cost_model(c);
+    }
+    let broker = Broker::start(config.build());
+    let mut publishers = Vec::with_capacity(N_TOPICS);
+    let mut _subscribers = Vec::new();
+    for t in 0..N_TOPICS {
+        let topic = format!("bench-{t}");
+        broker.create_topic(&topic).unwrap();
+        for i in 0..N_FILTERS {
+            _subscribers.push(
+                broker
+                    .subscription(&topic)
+                    .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                    .open()
+                    .unwrap(),
+            );
+        }
+        publishers.push(broker.publisher(&topic).unwrap());
+    }
+
+    let warmup = n / 10;
+    for i in 0..warmup {
+        publishers[i as usize % N_TOPICS]
+            .publish(Message::builder().correlation_id("#0").build())
+            .unwrap();
+    }
+    while broker.snapshot().messages.received < warmup {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let t0 = Instant::now();
+    for i in 0..n {
+        publishers[i as usize % N_TOPICS]
+            .publish(Message::builder().correlation_id("#0").build())
+            .unwrap();
+    }
+    while broker.snapshot().messages.received < warmup + n {
+        std::thread::yield_now();
+    }
+    let elapsed = t0.elapsed();
+    broker.shutdown();
+    n as f64 / elapsed.as_secs_f64()
+}
+
+/// Paired off/on measurements; returns the median relative difference
+/// (positive = the observatory costs throughput).
+fn run_workload(
+    name: &str,
+    cost: Option<CostModel>,
+    n: u64,
+    reps: usize,
+    table: &mut Table,
+) -> f64 {
+    let mut diffs = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        // Alternate order so slow drift (thermal, background load) cancels.
+        let (off, on) = if rep % 2 == 0 {
+            let off = measure(false, cost, n);
+            let on = measure(true, cost, n);
+            (off, on)
+        } else {
+            let on = measure(true, cost, n);
+            let off = measure(false, cost, n);
+            (off, on)
+        };
+        let diff = 1.0 - on / off;
+        diffs.push(diff);
+        table.row(&[
+            &name,
+            &(rep + 1),
+            &format!("{off:.0}"),
+            &format!("{on:.0}"),
+            &format!("{:+.2}%", diff * 100.0),
+        ]);
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    diffs[diffs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Same rep/count calibration as ext_obs_overhead: 5 reps over 25k
+    // messages keep the smoke gate's spread well inside the 5% budget.
+    let (reps, n_calibrated, n_null) =
+        if smoke { (5, 25_000, 60_000) } else { (7, 50_000, 100_000) };
+
+    experiment_header(
+        "ext_topic_obs_overhead",
+        "extension (observability)",
+        "dispatch throughput with the per-topic observatory recording vs not; gate at 5%",
+    );
+    if smoke {
+        println!("smoke mode: reduced counts and repetitions, CI regression gate\n");
+    }
+
+    let calibrated = CostModel::new(
+        CostModel::CORRELATION_ID.t_rcv / COST_SCALE,
+        CostModel::CORRELATION_ID.t_fltr / COST_SCALE,
+        CostModel::CORRELATION_ID.t_tx / COST_SCALE,
+    );
+    let per_msg = calibrated.processing_time(N_FILTERS as usize, 1);
+    println!(
+        "calibrated workload: Table I (correlation ID) / {COST_SCALE:.0}, \
+         {N_FILTERS} filters x {N_TOPICS} topics -> E[B] = {:.1} us/msg",
+        per_msg * 1e6
+    );
+    println!("null-work workload:  no cost model, dispatch machinery only");
+    println!("baseline is metrics-on in both; observatory at its default cap\n");
+
+    let mut table =
+        Table::new(&["workload", "rep", "obs off (msg/s)", "obs on (msg/s)", "overhead"]);
+    let gated = run_workload("calibrated", Some(calibrated), n_calibrated, reps, &mut table);
+    let null = run_workload("null-work", None, n_null, reps, &mut table);
+    table.print();
+
+    println!();
+    println!(
+        "calibrated overhead (median of paired diffs): {:+.2}%  [GATE: budget {:.0}%]",
+        gated * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!("null-work overhead (median of paired diffs): {:+.2}%  [informational]", null * 100.0);
+
+    let pass = gated <= MAX_OVERHEAD;
+    let mut report = BenchReport::new("ext_topic_obs_overhead");
+    report
+        .flag("smoke", smoke)
+        .uint("reps", reps as u64)
+        .uint("topics", N_TOPICS as u64)
+        .num("calibrated_overhead", gated)
+        .num("null_work_overhead", null)
+        .num("budget", MAX_OVERHEAD)
+        .flag("pass", pass);
+    report.emit();
+
+    if !pass {
+        println!("FAIL: per-topic observatory exceeds the overhead budget");
+        std::process::exit(1);
+    }
+    println!("PASS: per-topic observatory is within the overhead budget");
+}

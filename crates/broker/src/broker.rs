@@ -33,6 +33,7 @@ use crate::persist::{encode_publish, JournalRecord};
 use crate::stats::{
     BrokerSnapshot, BrokerStats, MessageCounters, ShardSnapshot, SubscriptionCounters,
 };
+use crate::topic_obs::{TopicObsScratch, TopicObservatory, TopicObservatorySnapshot};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use rjms_core::{
@@ -219,6 +220,11 @@ struct BrokerInner {
     /// Id source for publisher handles: the flow gate rate-limits per
     /// producer, so each [`Broker::publisher`] call gets a fresh identity.
     next_producer_id: AtomicU64,
+    /// The per-topic workload observatory, when enabled. Dispatchers stage
+    /// observations thread-locally and merge on the histogram-flush
+    /// cadence; snapshots feed the `/topics` endpoint and the skew
+    /// analyzer.
+    topic_obs: Option<TopicObservatory>,
 }
 
 impl BrokerInner {
@@ -330,6 +336,11 @@ impl Broker {
         if config.flow.is_some() && config.metrics.is_none() {
             config.metrics = Some(MetricsConfig::default());
         }
+        // The topic observatory regresses over the dispatcher's per-message
+        // service timings, so it too needs metrics.
+        if config.topic_obs.is_some() && config.metrics.is_none() {
+            config.metrics = Some(MetricsConfig::default());
+        }
         // The admission budget is split per shard (each dispatcher is one
         // M/GI/1 server); keep the flow controller's shard count in sync
         // with the broker's so the aggregate budget scales with N.
@@ -361,6 +372,24 @@ impl Broker {
             gate.bind_registry(&metrics.registry);
         }
 
+        // The observatory's verdict anchor follows the same resolution as
+        // the shard reports: the flow model's calibrated params when flow
+        // control is on, the synthetic cost model otherwise, none when the
+        // broker runs at native speed unmodeled.
+        let topic_obs = config.topic_obs.map(|t| {
+            let anchor = if let Some(f) = &config.flow {
+                Some(f.params)
+            } else {
+                config.cost_model.map(|c| CostParams {
+                    t_rcv: c.t_rcv,
+                    t_fltr: c.t_fltr,
+                    t_tx: c.t_tx,
+                    t_store: 0.0,
+                })
+            };
+            TopicObservatory::new(t, anchor, shards)
+        });
+
         let mut publish_txs = Vec::with_capacity(shards);
         let mut publish_rxs = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -382,6 +411,7 @@ impl Broker {
             tracer,
             flow,
             next_producer_id: AtomicU64::new(1),
+            topic_obs,
         });
         let dispatchers = publish_rxs
             .into_iter()
@@ -838,6 +868,14 @@ impl Broker {
         self.inner.flow.clone()
     }
 
+    /// A point-in-time snapshot of the per-topic workload observatory,
+    /// when [`BrokerConfig::topic_obs`] is set; `None` otherwise. Carries
+    /// per-topic arrival rates, fitted Eq. 1 cost parameters and
+    /// drift verdicts (see [`TopicObservatorySnapshot`]).
+    pub fn topic_observatory(&self) -> Option<TopicObservatorySnapshot> {
+        self.inner.topic_obs.as_ref().map(|o| o.snapshot())
+    }
+
     /// The raw shared counters, for crate-internal probes.
     pub(crate) fn raw_stats(&self) -> &BrokerStats {
         &self.inner.stats
@@ -951,6 +989,7 @@ fn snapshot_of(inner: &BrokerInner) -> BrokerSnapshot {
                 .collect()
         }),
         per_topic,
+        topics_overflowed: stats.topics_overflowed(),
     }
 }
 
@@ -986,6 +1025,21 @@ fn flow_refresh_loop(inner: &BrokerInner, gate: &FlowGate) {
         }
         let filters = (inner.stats.filter_evaluations() / received).min(u64::from(u32::MAX));
         let grade = inner.stats.dispatched() as f64 / received as f64;
+        // Journal-aware budget: with persistence on, feed the *measured*
+        // per-message store cost (mean append plus amortized fsync time)
+        // into the gate's analytic seed, closing Eq. 1's t_store term
+        // over the live journal instead of a configured guess.
+        if inner.journal.is_some() {
+            if let Some(append) = snap.histogram("journal.append_ns") {
+                if append.count > 0 {
+                    let mut store_ns = append.mean();
+                    if let Some(fsync) = snap.histogram("journal.fsync_ns") {
+                        store_ns += fsync.mean() * fsync.count as f64 / append.count as f64;
+                    }
+                    gate.reseed_store_cost(store_ns * 1e-9);
+                }
+            }
+        }
         let monitor = ModelMonitor::new(
             ServerModel::new(config.params, filters as u32),
             ReplicationModel::deterministic(grade),
@@ -1019,6 +1073,11 @@ impl BrokerObserver {
     /// Per-shard model assessments (see [`Broker::shard_reports`]).
     pub fn shard_reports(&self) -> Vec<ShardReport> {
         shard_reports_of(&self.inner)
+    }
+
+    /// A per-topic observatory snapshot (see [`Broker::topic_observatory`]).
+    pub fn topic_observatory(&self) -> Option<TopicObservatorySnapshot> {
+        self.inner.topic_obs.as_ref().map(|o| o.snapshot())
     }
 }
 
@@ -1208,6 +1267,19 @@ struct TopicCounters {
     dispatched: Arc<Counter>,
 }
 
+/// Bumps the broker-wide overflow counter for distinct topics the
+/// observatory's accounting table collapsed into `__other__` during one
+/// scratch flush.
+fn record_obs_spill(inner: &BrokerInner, metrics: Option<&BrokerMetrics>, spilled: u64) {
+    if spilled == 0 {
+        return;
+    }
+    inner.stats.record_topics_overflowed(spilled);
+    if let Some(m) = metrics {
+        m.registry.counter("broker.topics_overflowed").add(spilled);
+    }
+}
+
 /// One dispatcher thread: pops publish items from its shard's queue and
 /// fans out message copies. The single-dispatcher broker runs exactly one
 /// of these (shard 0); sharded brokers run one per shard, each with its
@@ -1258,6 +1330,11 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
         Some(m) if inner.config.shards > 1 => DispatcherScratch::for_shard(m, shard),
         _ => DispatcherScratch::new(),
     };
+    // Per-topic workload observations, staged thread-locally like the
+    // histogram scratch and merged into the observatory on the same
+    // idle/FLUSH_EVERY cadence.
+    let observatory = inner.topic_obs.as_ref();
+    let mut obs_scratch = TopicObsScratch::new();
     loop {
         let (item, was_queued) = match publish_rx.try_recv() {
             Ok(item) => (item, true),
@@ -1266,6 +1343,9 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
                 // an up-to-date picture whenever the dispatcher is idle.
                 if let Some(m) = metrics {
                     scratch.flush(m);
+                }
+                if let Some(obs) = observatory {
+                    record_obs_spill(&inner, metrics, obs_scratch.flush(obs));
                 }
                 match publish_rx.recv() {
                     Ok(item) => (item, false),
@@ -1473,7 +1553,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
         inner.stats.record_dispatched(copies);
         shard_stats.filter_evaluations.fetch_add(evaluations, Ordering::Relaxed);
         shard_stats.dispatched.fetch_add(copies, Ordering::Relaxed);
-        topic.received.fetch_add(1, Ordering::Relaxed);
+        let first_message = topic.received.fetch_add(1, Ordering::Relaxed) == 0;
         topic.dispatched.fetch_add(copies, Ordering::Relaxed);
 
         if let Some(m) = metrics {
@@ -1486,6 +1566,15 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
                 {
                     topic.name.as_str()
                 } else {
+                    // Count each topic folded into `__other__` exactly once
+                    // (on its first message) so the overflow counter tracks
+                    // distinct topics, not suppressed traffic. When the
+                    // observatory is on, its accounting-table cap drives
+                    // the counter instead (see `record_obs_spill`).
+                    if first_message && observatory.is_none() {
+                        inner.stats.record_topic_overflowed();
+                        m.registry.counter("broker.topics_overflowed").inc();
+                    }
                     "__other__"
                 };
                 let counters =
@@ -1521,6 +1610,19 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
             last_end = Some(end);
             if scratch.pending() >= crate::metrics::FLUSH_EVERY {
                 scratch.flush(m);
+            }
+            if let Some(obs) = observatory {
+                let service_secs = end.saturating_sub(dispatch_start) as f64 * m.ns_per_tick * 1e-9;
+                obs_scratch.record(
+                    &topic.name,
+                    shard,
+                    evaluations.min(u64::from(u32::MAX)) as u32,
+                    copies.min(u64::from(u32::MAX)) as u32,
+                    service_secs,
+                );
+                if obs_scratch.pending() >= crate::metrics::FLUSH_EVERY {
+                    record_obs_spill(&inner, metrics, obs_scratch.flush(obs));
+                }
             }
 
             // Tail-sampling commit point: the sojourn time is now known.
@@ -1574,6 +1676,9 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
     }
 
     // Final histogram flush: every staged sample is visible after shutdown.
+    if let Some(obs) = observatory {
+        record_obs_spill(&inner, metrics, obs_scratch.flush(obs));
+    }
     if let Some(m) = metrics {
         scratch.flush(m);
     }

@@ -5,6 +5,7 @@ use rjms_journal::JournalConfig;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
+pub use crate::topic_obs::TopicObsConfig;
 pub use rjms_flow::FlowConfig;
 
 /// What the dispatcher does when a subscriber's queue is full.
@@ -226,9 +227,8 @@ impl TraceConfig {
 
 /// Configuration for a [`crate::Broker`].
 ///
-/// Build one with [`BrokerConfig::builder`]; the struct keeps public
-/// fields (and `Default`) as a transition shim for existing call sites,
-/// but the builder is the supported construction surface.
+/// Build one with [`BrokerConfig::builder`], the supported construction
+/// surface; the public fields remain readable for introspection.
 ///
 /// # Examples
 ///
@@ -280,6 +280,11 @@ pub struct BrokerConfig {
     /// auto-enables default metrics, which the drift-refresh loop feeds
     /// from.
     pub flow: Option<FlowConfig>,
+    /// Optional per-topic workload observatory (see [`TopicObsConfig`]);
+    /// `None` keeps the dispatcher free of per-topic accounting. Enabling
+    /// it auto-enables default metrics, which supply the per-message
+    /// service timings the observatory regresses over.
+    pub topic_obs: Option<TopicObsConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -295,95 +300,16 @@ impl Default for BrokerConfig {
             metrics: None,
             trace: None,
             flow: None,
+            topic_obs: None,
         }
     }
 }
 
 impl BrokerConfig {
-    /// Starts a fluent [`BrokerConfigBuilder`] from the defaults. This is
-    /// the supported way to construct a configuration; the chainable
-    /// setters directly on `BrokerConfig` are deprecated shims.
+    /// Starts a fluent [`BrokerConfigBuilder`] from the defaults: the
+    /// supported way to construct a configuration.
     pub fn builder() -> BrokerConfigBuilder {
         BrokerConfigBuilder { config: BrokerConfig::default() }
-    }
-
-    /// Sets the publish-queue capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is 0.
-    #[deprecated(note = "use BrokerConfig::builder().publish_queue_capacity(..).build()")]
-    pub fn publish_queue_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity > 0, "publish queue capacity must be > 0");
-        self.publish_queue_capacity = capacity;
-        self
-    }
-
-    /// Sets each subscriber's queue capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is 0.
-    #[deprecated(note = "use BrokerConfig::builder().subscriber_queue_capacity(..).build()")]
-    pub fn subscriber_queue_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity > 0, "subscriber queue capacity must be > 0");
-        self.subscriber_queue_capacity = capacity;
-        self
-    }
-
-    /// Sets the overflow policy.
-    #[deprecated(note = "use BrokerConfig::builder().overflow_policy(..).build()")]
-    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
-        self.overflow_policy = policy;
-        self
-    }
-
-    /// Enables the synthetic CPU cost model.
-    #[deprecated(note = "use BrokerConfig::builder().cost_model(..).build()")]
-    pub fn cost_model(mut self, model: CostModel) -> Self {
-        self.cost_model = Some(model);
-        self
-    }
-
-    /// Sets the per-durable-subscription retention buffer capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is 0.
-    #[deprecated(note = "use BrokerConfig::builder().durable_buffer_capacity(..).build()")]
-    pub fn durable_buffer_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity > 0, "durable buffer capacity must be > 0");
-        self.durable_buffer_capacity = capacity;
-        self
-    }
-
-    /// Enables write-ahead persistence.
-    #[deprecated(note = "use BrokerConfig::builder().persistence(..).build()")]
-    pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
-        self.persistence = Some(persistence);
-        self
-    }
-
-    /// Enables live metrics recording.
-    #[deprecated(note = "use BrokerConfig::builder().metrics(..).build()")]
-    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
-        self.metrics = Some(metrics);
-        self
-    }
-
-    /// Enables end-to-end tracing (and, implicitly, default metrics).
-    #[deprecated(note = "use BrokerConfig::builder().trace(..).build()")]
-    pub fn trace(mut self, trace: TraceConfig) -> Self {
-        self.trace = Some(trace);
-        self
-    }
-
-    /// Enables model-driven admission control (and, implicitly, default
-    /// metrics).
-    #[deprecated(note = "use BrokerConfig::builder().flow(..).build()")]
-    pub fn flow(mut self, flow: FlowConfig) -> Self {
-        self.flow = Some(flow);
-        self
     }
 }
 
@@ -493,6 +419,13 @@ impl BrokerConfigBuilder {
         self
     }
 
+    /// Enables the per-topic workload observatory (and, implicitly,
+    /// default metrics).
+    pub fn topic_obs(mut self, topic_obs: TopicObsConfig) -> Self {
+        self.config.topic_obs = Some(topic_obs);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> BrokerConfig {
         self.config
@@ -529,20 +462,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_work() {
-        // Back-compat shim for one release: the old chainable setters on
-        // BrokerConfig must produce exactly what the builder produces.
-        let old = BrokerConfig::default()
-            .publish_queue_capacity(10)
-            .overflow_policy(OverflowPolicy::DropNew)
-            .cost_model(CostModel::CORRELATION_ID);
-        let new = BrokerConfig::builder()
-            .publish_queue_capacity(10)
-            .overflow_policy(OverflowPolicy::DropNew)
-            .cost_model(CostModel::CORRELATION_ID)
+    fn topic_obs_config_builder() {
+        let c = BrokerConfig::builder()
+            .topic_obs(TopicObsConfig::default().per_topic_cap(16).flag_ratio(1.5))
             .build();
-        assert_eq!(old, new);
+        let t = c.topic_obs.expect("topic_obs set");
+        assert_eq!(t.per_topic_cap, 16);
+        assert_eq!(t.flag_ratio, 1.5);
+        assert!(BrokerConfig::default().topic_obs.is_none());
     }
 
     #[test]

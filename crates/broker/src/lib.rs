@@ -67,6 +67,7 @@ pub mod metrics;
 pub mod pattern;
 pub mod persist;
 pub mod stats;
+pub mod topic_obs;
 
 pub use broker::{
     shard_of, Broker, BrokerObserver, Publisher, ShardReport, Subscriber, SubscriptionBuilder,
@@ -74,7 +75,7 @@ pub use broker::{
 };
 pub use config::{
     BrokerConfig, BrokerConfigBuilder, FlowConfig, MetricsConfig, OverflowPolicy,
-    PersistenceConfig, TraceConfig,
+    PersistenceConfig, TopicObsConfig, TraceConfig,
 };
 pub use cost::CostModel;
 pub use error::{Error, TryPublishError};
@@ -88,3 +89,4 @@ pub use stats::{
     BrokerSnapshot, BrokerStats, FlowCounters, MessageCounters, ShardSnapshot, StatsSnapshot,
     SubscriptionCounters, Throughput, ThroughputProbe,
 };
+pub use topic_obs::{TopicObsRow, TopicObservatorySnapshot, OTHER_TOPIC};

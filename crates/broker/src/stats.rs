@@ -118,6 +118,15 @@ pub struct BrokerSnapshot {
     pub shards: Option<Vec<ShardSnapshot>>,
     /// Per-topic message counters, keyed by topic name.
     pub per_topic: BTreeMap<String, TopicStats>,
+    /// Distinct topics folded into an `__other__` bucket: the labeled
+    /// metric series when the per-topic series cap
+    /// ([`crate::config::MetricsConfig::per_topic_series`]) is reached —
+    /// or, when the per-topic observatory is enabled, its accounting
+    /// table when [`crate::TopicObsConfig::per_topic_cap`] is (the
+    /// observatory's cap governs the counter while it is on). 0 when
+    /// every topic got its own row (or both features are off).
+    #[serde(default)]
+    pub topics_overflowed: u64,
 }
 
 /// Lock-free counters shared between broker threads and observers.
@@ -142,6 +151,7 @@ pub struct BrokerStats {
     flow_granted: AtomicU64,
     flow_deferred: AtomicU64,
     flow_shed: AtomicU64,
+    topics_overflowed: AtomicU64,
 }
 
 impl BrokerStats {
@@ -201,6 +211,19 @@ impl BrokerStats {
         self.flow_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a topic folded into the `__other__` labeled metric series
+    /// because the per-topic series cap was reached. Called once per
+    /// overflowed topic (on its first message), not per message.
+    pub fn record_topic_overflowed(&self) {
+        self.topics_overflowed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` distinct topics collapsed into the observatory's
+    /// `__other__` bucket by one accounting-table flush.
+    pub fn record_topics_overflowed(&self, n: u64) {
+        self.topics_overflowed.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Messages received from publishers so far.
     pub fn received(&self) -> u64 {
         self.received.load(Ordering::Relaxed)
@@ -249,6 +272,12 @@ impl BrokerStats {
     /// Publishes shed by the flow gate so far (0 without flow control).
     pub fn flow_shed(&self) -> u64 {
         self.flow_shed.load(Ordering::Relaxed)
+    }
+
+    /// Distinct topics folded into `__other__` so far (see
+    /// [`BrokerStats::record_topic_overflowed`]).
+    pub fn topics_overflowed(&self) -> u64 {
+        self.topics_overflowed.load(Ordering::Relaxed)
     }
 
     /// Flow counters as one value.

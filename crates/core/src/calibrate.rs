@@ -257,7 +257,7 @@ pub fn fit_cost_params_fixed_rcv(
 
 /// Solves a 3×3 linear system by Gaussian elimination with partial
 /// pivoting; `None` when (numerically) singular.
-fn solve_3x3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+pub(crate) fn solve_3x3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     // Scale-aware singularity threshold.
     let scale: f64 = a.iter().flat_map(|r| r.iter()).fold(0.0f64, |m, v| m.max(v.abs()));
     if scale == 0.0 {

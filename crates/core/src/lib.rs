@@ -10,6 +10,8 @@
 //!   E[R]·t_tx` (Eq. 1) and the saturated-throughput prediction,
 //! * [`calibrate`] — least-squares fitting of the cost constants from
 //!   throughput measurements (how Table I is derived),
+//! * [`regression`] — the same fit run *online* over a live stream of
+//!   per-message `(n_fltr, R, B)` observations, with drift verdicts,
 //! * [`capacity`] — server capacity `λ_max = ρ/E[B]` (Eq. 2) and the
 //!   filter-benefit rule (Eq. 3) with its break-even match probabilities,
 //! * [`waiting`] — the `M/GI/1-∞` waiting-time analysis: mean,
@@ -41,6 +43,7 @@ pub mod error;
 pub mod model;
 pub mod monitor;
 pub mod params;
+pub mod regression;
 pub mod report;
 pub mod scenario;
 pub mod slo;
@@ -56,6 +59,9 @@ pub use error::Error;
 pub use model::{ServerModel, ThroughputPrediction};
 pub use monitor::{DriftReport, DriftTolerance, ModelMonitor, ModelVerdict};
 pub use params::{CostParams, FilterType};
+pub use regression::{
+    CostRegression, FitMode, FittedCosts, RegressionReport, RegressionTolerance, RegressionVerdict,
+};
 pub use report::plan_report;
 pub use scenario::{ApplicationScenario, ApplicationScenarioBuilder};
 pub use slo::{max_utilization_for_quantile, AnalyticSlo};

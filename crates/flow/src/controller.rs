@@ -24,7 +24,8 @@
 
 use crate::config::FlowConfig;
 use rjms_core::{
-    max_utilization_for_quantile, ModelVerdict, ReplicationModel, ServerModel, ServiceTime,
+    max_utilization_for_quantile, CostParams, ModelVerdict, ReplicationModel, ServerModel,
+    ServiceTime,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
@@ -59,6 +60,21 @@ struct ControllerState {
     refreshes: u64,
 }
 
+/// The analytic seed model the calibrated/overloaded verdicts fall back
+/// to. Kept behind its own lock so the measured journal cost can re-seed
+/// it at runtime (see [`FlowController::reseed_store_cost`]).
+#[derive(Debug)]
+struct SeedModel {
+    /// Eq. 1 service time at the seeded cost constants.
+    analytic: ServiceTime,
+    /// Aggregate `λ_max` of the analytic inversion: the recovery ceiling
+    /// and the floor (times [`FlowController::TIGHTEN_FLOOR`]) for
+    /// emergency cuts.
+    analytic_lambda: f64,
+    /// The `t_store` currently baked into `analytic`.
+    t_store: f64,
+}
+
 /// Computes and maintains the maximum sustainable arrival rate `λ_max`
 /// for a `W99` objective. See the [module docs](self).
 ///
@@ -79,10 +95,13 @@ pub struct FlowController {
     objective: f64,
     headroom: f64,
     overload_tighten: f64,
-    analytic: ServiceTime,
-    /// `λ_max` of the analytic inversion: the recovery ceiling and the
-    /// floor (times [`Self::TIGHTEN_FLOOR`]) for emergency cuts.
-    analytic_lambda: f64,
+    /// Seed cost constants (without `t_store`, which the seed model
+    /// tracks) and operating point, kept so the seed can be rebuilt when
+    /// the measured journal cost arrives.
+    params: CostParams,
+    filters: u32,
+    replication_grade: f64,
+    seed: Mutex<SeedModel>,
     /// Number of dispatcher shards sharing the budget. Each shard is one
     /// M/GI/1 server held at `rho_max`, so every inversion's per-server
     /// rate is multiplied by this to form the aggregate budget.
@@ -110,8 +129,14 @@ impl FlowController {
             objective: config.w99_objective,
             headroom: config.headroom,
             overload_tighten: config.overload_tighten,
-            analytic,
-            analytic_lambda: lambda_max,
+            params: config.params,
+            filters: config.filters,
+            replication_grade: config.replication_grade,
+            seed: Mutex::new(SeedModel {
+                analytic,
+                analytic_lambda: lambda_max,
+                t_store: config.params.t_store,
+            }),
             shards,
             state: Mutex::new(ControllerState {
                 rho_max,
@@ -159,7 +184,8 @@ impl FlowController {
         let (rho, lambda, source) = match verdict {
             ModelVerdict::Insufficient { .. } => return None,
             ModelVerdict::Calibrated(_) => {
-                let (rho, lambda) = invert(&self.analytic, self.target);
+                let seed = self.seed.lock().unwrap();
+                let (rho, lambda) = invert(&seed.analytic, self.target);
                 (rho, lambda * self.shards, CalibrationSource::Analytic)
             }
             ModelVerdict::Drift(report) => {
@@ -169,7 +195,7 @@ impl FlowController {
                 (rho, lambda * self.shards, CalibrationSource::Measured)
             }
             ModelVerdict::Overloaded { .. } => {
-                let floor = self.analytic_lambda * Self::TIGHTEN_FLOOR;
+                let floor = self.seed.lock().unwrap().analytic_lambda * Self::TIGHTEN_FLOOR;
                 let cut = (state.lambda_max * self.overload_tighten).max(floor);
                 (state.rho_max, cut, CalibrationSource::Tightened)
             }
@@ -185,6 +211,51 @@ impl FlowController {
         state.source = source;
         state.refreshes += 1;
         Some(lambda)
+    }
+
+    /// Re-seeds the analytic model with a *measured* per-message store
+    /// cost (seconds) — the journal's mean append + amortized fsync time —
+    /// closing Eq. 1's `t_store` term over the live system instead of a
+    /// configured guess.
+    ///
+    /// Changes smaller than 5% of the seed's mean service time are
+    /// ignored (the measurement jitters; re-inverting on every refresh
+    /// would churn the budget). When the current budget *is* the analytic
+    /// one, the re-seeded inversion is applied immediately and the new
+    /// aggregate `λ_max` is returned; otherwise the new seed only takes
+    /// effect at the next calibrated verdict and `None` is returned.
+    pub fn reseed_store_cost(&self, t_store: f64) -> Option<f64> {
+        if !(t_store.is_finite() && t_store >= 0.0) {
+            return None;
+        }
+        let mut seed = self.seed.lock().unwrap();
+        if (t_store - seed.t_store).abs() < 0.05 * seed.analytic.mean() {
+            return None;
+        }
+        let analytic = ServerModel::new(self.params.with_t_store(t_store), self.filters)
+            .service_time(ReplicationModel::deterministic(self.replication_grade));
+        let (rho, per_shard) = invert(&analytic, self.target);
+        let lambda = per_shard * self.shards;
+        seed.analytic = analytic;
+        seed.analytic_lambda = lambda;
+        seed.t_store = t_store;
+        drop(seed);
+
+        let mut state = self.state.lock().unwrap();
+        if state.source != CalibrationSource::Analytic || state.lambda_max == lambda {
+            return None;
+        }
+        state.rho_max = rho;
+        state.lambda_max = lambda;
+        state.refreshes += 1;
+        Some(lambda)
+    }
+
+    /// The `t_store` currently baked into the analytic seed model,
+    /// seconds: the configured value until the first
+    /// [`FlowController::reseed_store_cost`], the measured one after.
+    pub fn seeded_t_store(&self) -> f64 {
+        self.seed.lock().unwrap().t_store
     }
 }
 
@@ -323,6 +394,54 @@ mod tests {
             controller.refresh(&v);
         }
         assert!(controller.lambda_max() >= before * FlowController::TIGHTEN_FLOOR - 1e-9);
+    }
+
+    #[test]
+    fn reseed_store_cost_tightens_analytic_budget() {
+        let c = config();
+        let controller = FlowController::new(&c);
+        let before = controller.lambda_max();
+        assert_eq!(controller.seeded_t_store(), 0.0);
+        // A measured store cost comparable to E[B] roughly doubles the
+        // service time; the analytic budget shrinks immediately.
+        let e_b = c.params.mean_service_time(c.filters, c.replication_grade);
+        let after = controller.reseed_store_cost(e_b).expect("budget must re-invert");
+        assert!(after < before * 0.7, "budget {after} should tighten below {before}");
+        assert_eq!(controller.seeded_t_store(), e_b);
+        assert_eq!(controller.source(), CalibrationSource::Analytic);
+        assert_eq!(controller.lambda_max(), after);
+
+        // Jitter below 5% of E[B] is ignored.
+        assert!(controller.reseed_store_cost(e_b * 1.01).is_none());
+        assert_eq!(controller.seeded_t_store(), e_b);
+        // Garbage measurements are ignored.
+        assert!(controller.reseed_store_cost(f64::NAN).is_none());
+        assert!(controller.reseed_store_cost(-1.0).is_none());
+    }
+
+    #[test]
+    fn reseed_while_measured_waits_for_recalibration() {
+        let c = config();
+        let controller = FlowController::new(&c);
+        let e_b = c.params.mean_service_time(c.filters, c.replication_grade);
+        // Drift first: the live budget comes from measured moments.
+        let v = verdict(3.0 * e_b, 2.0 * e_b, 0.3 / e_b);
+        controller.refresh(&v).expect("drift refreshes");
+        let measured = controller.lambda_max();
+
+        // Re-seeding must not clobber the measured budget...
+        assert!(controller.reseed_store_cost(e_b).is_none());
+        assert_eq!(controller.lambda_max(), measured);
+        assert_eq!(controller.source(), CalibrationSource::Measured);
+
+        // ...but the next calibrated verdict lands on the new seed, below
+        // the original store-free analytic budget.
+        let analytic_free = FlowController::new(&c).lambda_max();
+        let v = verdict(e_b, 0.2 * e_b, 0.3 / e_b);
+        assert!(matches!(v, ModelVerdict::Calibrated(_)), "expected calibrated, got {v:?}");
+        controller.refresh(&v).expect("recovery refreshes");
+        assert_eq!(controller.source(), CalibrationSource::Analytic);
+        assert!(controller.lambda_max() < analytic_free * 0.7);
     }
 
     #[test]

@@ -288,12 +288,27 @@ impl FlowGate {
     /// re-rates the global and producer buckets.
     pub fn refresh(&self, verdict: &ModelVerdict) {
         if let Some(lambda) = self.controller.refresh(verdict) {
-            let now_ns = self.epoch.elapsed().as_nanos() as u64;
-            self.global.lock().unwrap().set_rate(lambda, now_ns);
-            let producer_rate = lambda * self.config.producer_share;
-            for bucket in self.producers.lock().unwrap().values_mut() {
-                bucket.set_rate(producer_rate, now_ns);
-            }
+            self.apply_rate(lambda);
+        }
+    }
+
+    /// Re-seeds the controller's analytic model with a measured
+    /// per-message store cost (seconds); if that immediately changed the
+    /// budget, re-rates the buckets (see
+    /// [`FlowController::reseed_store_cost`]).
+    pub fn reseed_store_cost(&self, t_store: f64) {
+        if let Some(lambda) = self.controller.reseed_store_cost(t_store) {
+            self.apply_rate(lambda);
+        }
+    }
+
+    /// Applies a new aggregate budget to the global and producer buckets.
+    fn apply_rate(&self, lambda: f64) {
+        let now_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.global.lock().unwrap().set_rate(lambda, now_ns);
+        let producer_rate = lambda * self.config.producer_share;
+        for bucket in self.producers.lock().unwrap().values_mut() {
+            bucket.set_rate(producer_rate, now_ns);
         }
     }
 

@@ -26,7 +26,9 @@
 //! * [`engine`] — [`ObsCore`], the deterministic tick-driven engine, and
 //!   [`ObsRuntime`], its production sampling thread,
 //! * [`minijson`] — the dependency-free JSON parser the operator console
-//!   uses to read the engine's HTTP payloads back.
+//!   uses to read the engine's HTTP payloads back,
+//! * [`topics`] — the shard-skew analyzer and rebalance advisor over the
+//!   broker's per-topic workload observatory.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub mod engine;
 pub mod history;
 pub mod minijson;
 pub mod slo;
+pub mod topics;
 
 pub use alert::{
     AlertEvent, AlertMachine, AlertPolicy, AlertSink, AlertState, Evidence, ExitCodeSink,
@@ -62,3 +65,4 @@ pub use alert::{
 pub use engine::{verdict_summary, ObjectiveStatus, ObsConfig, ObsCore, ObsRuntime};
 pub use history::{HistoryConfig, MetricHistory, Reduce, SeriesPoint, Window};
 pub use slo::{evaluate_window, Objective, SloSpec, WindowBurn};
+pub use topics::{analyze_skew, ShardShare, SkewConfig, SkewReport, TopicLoad, TopicMove};

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # HTTP exposition smoke test: start a traced two-shard rjms-server with
-# the HTTP endpoint, the SLO engine, and flow control, drive a workload
-# through the TCP clients, then validate the /metrics, /snapshot.json,
-# /traces, /model, /flow, /history, /slo, /alerts, and /shards responses.
+# the HTTP endpoint, the SLO engine, flow control, and the per-topic
+# observatory, drive a workload through the TCP clients, then validate
+# the /metrics, /snapshot.json, /traces, /model, /flow, /history, /slo,
+# /alerts, /shards, and /topics responses.
 #
 # Usage: scripts/http_smoke.sh [path-to-target-dir]
 # Exits non-zero on any failed check.
@@ -27,7 +28,7 @@ done
 fail() { echo "FAIL: $*"; exit 1; }
 
 "$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --flow --shards 2 \
-  --topic smoke &
+  --topic-obs --topic smoke &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
@@ -148,5 +149,25 @@ grep -q '"verdict":' "$WORKDIR/shards.json" || fail "/shards missing model verdi
 grep -q '"shards":\[' "$WORKDIR/snapshot.json" || fail "/snapshot.json missing the shards section"
 SHARD_RECEIVED=$(tr '{' '\n' < "$WORKDIR/shards.json" | awk -F'[:,]' '/"samples"/ { n += $4 } END { print n + 0 }')
 echo "per-shard model samples: $SHARD_RECEIVED"
+# With the observatory on, /shards also carries the skew analyzer's advice.
+grep -q '"rebalance":{' "$WORKDIR/shards.json" || fail "/shards missing the rebalance block"
+grep -q '"max_mean_ratio":' "$WORKDIR/shards.json" || fail "/shards rebalance missing the skew ratio"
+grep -q '"moves":\[' "$WORKDIR/shards.json" || fail "/shards rebalance missing the advised moves"
+
+# --- /topics: the per-topic workload observatory -----------------------
+# The accounting scratch flushes on dispatcher idle, so poll until the
+# smoke topic's row shows every published message.
+TOPICS_OK=0
+for _ in $(seq 1 30); do
+  curl -sf "http://$HTTP_ADDR/topics" > "$WORKDIR/topics.json" || fail "/topics not served"
+  if grep -q "\"name\":\"smoke\"[^}]*\"messages\":$COUNT" "$WORKDIR/topics.json"; then
+    TOPICS_OK=1; break
+  fi
+  sleep 0.2
+done
+[ "$TOPICS_OK" = 1 ] || fail "/topics never accounted all $COUNT smoke messages"
+grep -q '"per_topic_cap":' "$WORKDIR/topics.json" || fail "/topics missing the cardinality cap"
+grep -q '"topics":\[' "$WORKDIR/topics.json" || fail "/topics missing the per-topic rows"
+grep -q '"global":{"fitted":' "$WORKDIR/topics.json" || fail "/topics missing the pooled fit"
 
 echo "PASS: http exposition smoke ($COMPLETE/$COUNT complete chains)"

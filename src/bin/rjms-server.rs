@@ -6,6 +6,7 @@
 //!             [--metrics-interval SECS] [--cost-model corr|app]
 //!             [--http ADDR] [--trace] [--trace-quantile Q]
 //!             [--flow] [--flow-w99 MS] [--flow-classes N]
+//!             [--topic-obs] [--topic-obs-cap N] [--topic-obs-target RATIO]
 //! ```
 //!
 //! `--config FILE` loads a TOML-subset configuration file covering the
@@ -54,8 +55,20 @@
 //! `--cost-model app` the flow gate seeds its model from the same
 //! application-property cost constants.
 //!
+//! `--topic-obs` enables the per-topic workload observatory: the
+//! dispatchers keep a bounded per-topic accounting table (cap set by
+//! `--topic-obs-cap`, default 64; implies `--topic-obs`) with an online
+//! least-squares fit of each topic's Eq. 1 cost constants, served on
+//! `/topics`, plus the shard-skew analyzer and rebalance advisor
+//! (`/shards` gains a `rebalance` block; `--topic-obs-target` sets the
+//! max/mean shard-load ratio the advised moves aim under, default 1.10;
+//! implies `--topic-obs`). When `--cost-model` or `--flow` is on, the
+//! fits are compared against those reference constants and each topic
+//! gets a stable/drift verdict.
+//!
 //! `--http ADDR` serves `/metrics` (Prometheus text), `/snapshot.json`,
-//! `/traces`, `/model`, `/shards` (per-shard model assessments), `/flow`
+//! `/traces`, `/model`, `/shards` (per-shard model assessments), `/topics`
+//! (the per-topic observatory, when `--topic-obs` is on), `/flow`
 //! (admission-control state, when `--flow` is on), and — when the SLO
 //! engine is on — `/history`, `/slo`, and `/alerts` — see `rjms::http`.
 //!
@@ -73,7 +86,8 @@
 //! never interleave mid-line and stdout stays machine-parseable.
 
 use rjms::broker::{
-    BrokerConfig, CostModel, FlowConfig, MetricsConfig, ThroughputProbe, TraceConfig,
+    BrokerConfig, CostModel, FlowConfig, MetricsConfig, ThroughputProbe, TopicObsConfig,
+    TraceConfig,
 };
 use rjms::http::{HttpServer, HttpState};
 use rjms::metrics::clock;
@@ -108,6 +122,9 @@ struct Args {
     flow: bool,
     flow_w99_ms: Option<u64>,
     flow_classes: Option<u8>,
+    topic_obs: bool,
+    topic_obs_cap: Option<usize>,
+    topic_obs_target: Option<f64>,
 }
 
 /// The server's effective settings: flags merged over the file merged
@@ -128,6 +145,9 @@ struct Settings {
     flow: bool,
     flow_w99_ms: Option<u64>,
     flow_classes: Option<u8>,
+    topic_obs: bool,
+    topic_obs_cap: Option<usize>,
+    topic_obs_target: Option<f64>,
 }
 
 /// Merges command-line flags over file values over built-in defaults (see
@@ -173,6 +193,11 @@ fn merge(args: Args, file: rjms::config_file::ServerFileConfig) -> Result<Settin
         flow: args.flow || file.flow.as_ref().is_some_and(|f| f.enabled),
         flow_w99_ms: args.flow_w99_ms.or(file.flow.as_ref().and_then(|f| f.w99_ms)),
         flow_classes: args.flow_classes.or(file.flow.as_ref().and_then(|f| f.classes)),
+        topic_obs: args.topic_obs || file.topic_obs.as_ref().is_some_and(|t| t.enabled),
+        topic_obs_cap: args.topic_obs_cap.or(file.topic_obs.as_ref().and_then(|t| t.cap)),
+        topic_obs_target: args
+            .topic_obs_target
+            .or(file.topic_obs.as_ref().and_then(|t| t.target_ratio)),
     })
 }
 
@@ -238,6 +263,23 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.flow_classes = Some(n);
             }
+            "--topic-obs" => args.topic_obs = true,
+            "--topic-obs-cap" => {
+                let v = it.next().ok_or("--topic-obs-cap needs a count")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --topic-obs-cap value: {e}"))?;
+                if n == 0 {
+                    return Err("--topic-obs-cap must be at least 1".to_owned());
+                }
+                args.topic_obs_cap = Some(n);
+            }
+            "--topic-obs-target" => {
+                let v = it.next().ok_or("--topic-obs-target needs a ratio >= 1")?;
+                let r: f64 = v.parse().map_err(|e| format!("bad --topic-obs-target value: {e}"))?;
+                if !(r >= 1.0 && r.is_finite()) {
+                    return Err(format!("--topic-obs-target must be >= 1, got {r}"));
+                }
+                args.topic_obs_target = Some(r);
+            }
             "--history" => {
                 let v = it.next().ok_or("--history needs a number of seconds")?;
                 let secs: u64 = v.parse().map_err(|e| format!("bad --history value: {e}"))?;
@@ -268,7 +310,8 @@ fn parse_args() -> Result<Args, String> {
                      [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app] \
                      [--http ADDR] [--trace] [--trace-quantile Q] \
                      [--slo] [--history SECS] [--alert-sink stderr|webhook:ADDR/PATH]... \
-                     [--flow] [--flow-w99 MS] [--flow-classes N]\n\
+                     [--flow] [--flow-w99 MS] [--flow-classes N] \
+                     [--topic-obs] [--topic-obs-cap N] [--topic-obs-target RATIO]\n\
                      flags override --config file values; see rjms::config_file for the schema"
                 );
                 std::process::exit(0);
@@ -343,6 +386,18 @@ fn main() {
         }
         builder = builder.flow(flow);
     }
+    let topic_obs_enabled =
+        args.topic_obs || args.topic_obs_cap.is_some() || args.topic_obs_target.is_some();
+    if topic_obs_enabled {
+        let mut obs = TopicObsConfig::default();
+        if let Some(cap) = args.topic_obs_cap {
+            obs = obs.per_topic_cap(cap);
+        }
+        if let Some(ratio) = args.topic_obs_target {
+            obs = obs.target_ratio(ratio);
+        }
+        builder = builder.topic_obs(obs);
+    }
     let config = builder.build();
     let server = match BrokerServer::start(config, args.listen.as_str()) {
         Ok(s) => s,
@@ -370,6 +425,12 @@ fn main() {
             gate.lambda_max(),
             gate.config().w99_objective * 1e3,
             gate.config().classes,
+        );
+    }
+    if let Some(snap) = server.broker().observer().topic_observatory() {
+        println!(
+            "topic observatory on (cap {} topics, skew target ratio {:.2}, /topics)",
+            snap.config.per_topic_cap, snap.config.target_ratio,
         );
     }
 
@@ -554,4 +615,47 @@ fn render_drift_traces(recorder: &rjms::trace::FlightRecorder) -> String {
     }
     let _ = writeln!(out, "  ns_per_tick {:.4}", clock::ns_per_tick());
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjms::config_file;
+
+    #[test]
+    fn topic_obs_flags_override_file_values() {
+        let file = config_file::parse("[topic_obs]\ncap = 32\ntarget_ratio = 1.5\n").unwrap();
+        let args =
+            Args { topic_obs_cap: Some(256), topic_obs_target: Some(1.05), ..Args::default() };
+        let settings = merge(args, file).unwrap();
+        assert!(settings.topic_obs, "section presence enables the observatory");
+        assert_eq!(settings.topic_obs_cap, Some(256), "flag beats file cap");
+        assert_eq!(settings.topic_obs_target, Some(1.05), "flag beats file ratio");
+    }
+
+    #[test]
+    fn topic_obs_file_values_fill_flag_gaps() {
+        let file =
+            config_file::parse("[topic_obs]\nenabled = false\ncap = 32\ntarget_ratio = 1.5\n")
+                .unwrap();
+        let settings = merge(Args::default(), file).unwrap();
+        assert!(!settings.topic_obs, "enabled = false keeps tuning without the feature");
+        assert_eq!(settings.topic_obs_cap, Some(32));
+        assert_eq!(settings.topic_obs_target, Some(1.5));
+
+        // `--topic-obs` alone re-enables it over the file's `enabled = false`.
+        let file = config_file::parse("[topic_obs]\nenabled = false\ncap = 32\n").unwrap();
+        let args = Args { topic_obs: true, ..Args::default() };
+        let settings = merge(args, file).unwrap();
+        assert!(settings.topic_obs);
+        assert_eq!(settings.topic_obs_cap, Some(32));
+    }
+
+    #[test]
+    fn topic_obs_defaults_stay_off() {
+        let settings = merge(Args::default(), config_file::ServerFileConfig::default()).unwrap();
+        assert!(!settings.topic_obs);
+        assert_eq!(settings.topic_obs_cap, None);
+        assert_eq!(settings.topic_obs_target, None);
+    }
 }

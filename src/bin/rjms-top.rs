@@ -17,6 +17,12 @@
 //!   — granted- and shed-rate sparklines on the same ten-minute window
 //!   as the waiting-time pane, so an operator sees *when* the gate
 //!   started rejecting load relative to the W99 excursion it protects,
+//! * a **topic pane** (when the server runs `--topic-obs`): a skew gauge
+//!   from the `/shards` rebalance block (max/mean shard-load ratio,
+//!   advised moves and the ratio they would reach), then the hottest
+//!   topics from `/topics` with their arrival rate, fitted Eq. 1 filter
+//!   and replication costs, and the regression verdict against the
+//!   configured cost model,
 //! * an **SLO table**: per objective, the alert state, fast/slow burn
 //!   rates against the threshold, and an error-budget gauge,
 //! * an **alert feed**: the most recent state transitions with their
@@ -37,6 +43,7 @@ const SPARK: [char; 8] = [
 ];
 const SPARK_WIDTH: usize = 60;
 const FEED_LINES: usize = 8;
+const TOPIC_LINES: usize = 6;
 
 struct Args {
     url: String,
@@ -144,6 +151,18 @@ fn budget_gauge(remaining: f64) -> String {
     format!("[{bar}] {:>4.0}%", remaining.clamp(0.0, 1.0) * 100.0)
 }
 
+/// Colors a regression verdict kind from the `/topics` payload.
+fn verdict_tag(kind: Option<&str>) -> &'static str {
+    match kind {
+        Some("stable") => "\x1b[32mstable\x1b[0m",
+        Some("drift") => "\x1b[31mDRIFT\x1b[0m",
+        Some("insufficient") => "warming",
+        Some("unidentifiable") => "\x1b[33mdegenerate\x1b[0m",
+        Some(_) => "?",
+        None => "-",
+    }
+}
+
 fn state_tag(state: &str) -> &'static str {
     // ANSI colors: green ok, yellow warning, red firing, cyan resolved.
     match state {
@@ -240,6 +259,73 @@ fn render_frame(addr: &str) -> Result<(String, bool), String> {
             } else {
                 out.push_str(&line);
             }
+        }
+        out.push('\n');
+    }
+
+    // Topic pane: the per-topic workload observatory, when the server
+    // runs --topic-obs. /topics is 404 on an observatory-less server;
+    // skip the pane quietly.
+    if let Ok(obs) = get_json(addr, "/topics") {
+        let cap = obs.get("per_topic_cap").and_then(Value::as_u64).unwrap_or(0);
+        let overflowed = obs.get("overflowed_topics").and_then(Value::as_u64).unwrap_or(0);
+        let all = obs.get("topics").map(Value::items).unwrap_or_default();
+        out.push_str(&format!("  topics      {} tracked (cap {cap})", all.len()));
+        if overflowed > 0 {
+            out.push_str(&format!("  \x1b[33m{overflowed} overflowed into __other__\x1b[0m"));
+        }
+        // Skew gauge: the /shards rebalance block analyzes the same table.
+        if let Ok(shards) = get_json(addr, "/shards") {
+            if let Some(reb) = shards.get("rebalance") {
+                if let Some(ratio) = reb.get("max_mean_ratio").and_then(Value::as_f64) {
+                    let skewed = matches!(reb.get("skewed"), Some(Value::Bool(true)));
+                    let moves = reb.get("moves").map(Value::items).unwrap_or_default().len();
+                    let tag =
+                        if skewed { "\x1b[31mSKEWED\x1b[0m" } else { "\x1b[32mbalanced\x1b[0m" };
+                    out.push_str(&format!("  shard skew {ratio:.2}x mean {tag}"));
+                    if moves > 0 {
+                        let post = reb.get("post_ratio").and_then(Value::as_f64).unwrap_or(0.0);
+                        out.push_str(&format!(
+                            "  ({moves} move{} advised -> {post:.2}x)",
+                            if moves == 1 { "" } else { "s" }
+                        ));
+                    }
+                }
+            }
+        }
+        out.push('\n');
+        let mut rows: Vec<&Value> = all.iter().collect();
+        rows.sort_by(|a, b| {
+            let ra = a.get("arrival_rate").and_then(Value::as_f64).unwrap_or(0.0);
+            let rb = b.get("arrival_rate").and_then(Value::as_f64).unwrap_or(0.0);
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if !rows.is_empty() {
+            out.push_str(
+                "              topic                shard     msg/s  t_fltr    t_tx    fit\n",
+            );
+        }
+        for row in rows.iter().take(TOPIC_LINES) {
+            let name = row.get("name").and_then(Value::as_str).unwrap_or("?");
+            let shard = row.get("shard").and_then(Value::as_u64).unwrap_or(0);
+            let rate = row.get("arrival_rate").and_then(Value::as_f64).unwrap_or(0.0);
+            let fitted = row.get("fitted");
+            let (t_fltr, t_tx) = match fitted {
+                Some(f) => {
+                    (f.get("t_fltr").and_then(Value::as_f64), f.get("t_tx").and_then(Value::as_f64))
+                }
+                None => (None, None),
+            };
+            let fmt_cost = |c: Option<f64>| match c {
+                Some(v) => format!("{:>6.2}us", v * 1e6),
+                None => "       -".to_owned(),
+            };
+            out.push_str(&format!(
+                "              {name:<20} {shard:>5} {rate:>9.1}  {}  {}  {}\n",
+                fmt_cost(t_fltr),
+                fmt_cost(t_tx),
+                verdict_tag(row.get("verdict").and_then(|v| v.get("kind")).and_then(Value::as_str)),
+            ));
         }
         out.push('\n');
     }

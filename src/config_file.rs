@@ -4,14 +4,14 @@
 //! flag surface needs, nothing more:
 //!
 //! * `key = value` pairs, one per line;
-//! * `[section]` headers (`[trace]`, `[slo]`, `[flow]`);
+//! * `[section]` headers (`[trace]`, `[slo]`, `[flow]`, `[topic_obs]`);
 //! * values: `"strings"`, `true`/`false`, integers, floats, and
 //!   single-line arrays of strings;
 //! * `#` comments (outside strings) and blank lines.
 //!
 //! A section's *presence* enables its feature (mirroring `--trace`,
-//! `--slo`, `--flow`); an explicit `enabled = false` keeps the section's
-//! tuning while leaving the feature off.
+//! `--slo`, `--flow`, `--topic-obs`); an explicit `enabled = false` keeps
+//! the section's tuning while leaving the feature off.
 //!
 //! ```toml
 //! # rjms-server.toml
@@ -33,6 +33,10 @@
 //! [flow]
 //! w99_ms = 10
 //! classes = 3
+//!
+//! [topic_obs]
+//! cap = 64
+//! target_ratio = 1.10
 //! ```
 //!
 //! Command-line flags override file values (see the `rjms-server` docs for
@@ -63,6 +67,8 @@ pub struct ServerFileConfig {
     pub slo: Option<SloSection>,
     /// `[flow]` section, when present.
     pub flow: Option<FlowSection>,
+    /// `[topic_obs]` section, when present.
+    pub topic_obs: Option<TopicObsSection>,
 }
 
 /// The `[trace]` section: tail-sampled flight recording.
@@ -94,6 +100,18 @@ pub struct FlowSection {
     pub w99_ms: Option<u64>,
     /// `classes = N` — priority classes in `1..=10`.
     pub classes: Option<u8>,
+}
+
+/// The `[topic_obs]` section: the per-topic workload observatory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicObsSection {
+    /// `enabled = bool`; defaults to `true` when the section is present.
+    pub enabled: bool,
+    /// `cap = N` — per-topic accounting-table cardinality cap.
+    pub cap: Option<usize>,
+    /// `target_ratio = R` — max/mean shard-load ratio the rebalance
+    /// advisor aims under (`>= 1`).
+    pub target_ratio: Option<f64>,
 }
 
 /// One parsed right-hand side.
@@ -207,9 +225,13 @@ pub fn parse(text: &str) -> Result<ServerFileConfig, String> {
                 "flow" => {
                     config.flow = Some(FlowSection { enabled: true, w99_ms: None, classes: None });
                 }
+                "topic_obs" => {
+                    config.topic_obs =
+                        Some(TopicObsSection { enabled: true, cap: None, target_ratio: None });
+                }
                 other => {
                     return Err(format!(
-                        "line {lineno}: unknown section `[{other}]` (trace|slo|flow)"
+                        "line {lineno}: unknown section `[{other}]` (trace|slo|flow|topic_obs)"
                     ))
                 }
             }
@@ -313,6 +335,27 @@ fn apply(
                     flow.classes = Some(classes);
                 }
                 other => return Err(format!("unknown key `{other}` in [flow]")),
+            }
+        }
+        "topic_obs" => {
+            let obs = config.topic_obs.as_mut().expect("section created at header");
+            match key {
+                "enabled" => obs.enabled = value.boolean(key)?,
+                "cap" => {
+                    let cap: usize = value.uint(key)?;
+                    if cap == 0 {
+                        return Err("`cap` must be at least 1".to_owned());
+                    }
+                    obs.cap = Some(cap);
+                }
+                "target_ratio" => {
+                    let r = value.float(key)?;
+                    if !(r >= 1.0 && r.is_finite()) {
+                        return Err(format!("`target_ratio` must be >= 1, got {r}"));
+                    }
+                    obs.target_ratio = Some(r);
+                }
+                other => return Err(format!("unknown key `{other}` in [topic_obs]")),
             }
         }
         _ => unreachable!("sections are validated at their header"),
@@ -429,6 +472,10 @@ mod tests {
             [flow]
             w99_ms = 10
             classes = 3
+
+            [topic_obs]
+            cap = 128
+            target_ratio = 1.2
         "#;
         let c = parse(text).unwrap();
         assert_eq!(c.listen.as_deref(), Some("127.0.0.1:7670"));
@@ -449,6 +496,61 @@ mod tests {
         assert!(flow.enabled);
         assert_eq!(flow.w99_ms, Some(10));
         assert_eq!(flow.classes, Some(3));
+        let obs = c.topic_obs.unwrap();
+        assert!(obs.enabled);
+        assert_eq!(obs.cap, Some(128));
+        assert_eq!(obs.target_ratio, Some(1.2));
+    }
+
+    #[test]
+    fn topic_obs_section_presence_enables_and_validates() {
+        let c = parse("[topic_obs]\n").unwrap();
+        let obs = c.topic_obs.unwrap();
+        assert!(obs.enabled);
+        assert_eq!(obs.cap, None);
+        assert_eq!(obs.target_ratio, None);
+
+        let c = parse("[topic_obs]\nenabled = false\ncap = 32\n").unwrap();
+        let obs = c.topic_obs.unwrap();
+        assert!(!obs.enabled);
+        assert_eq!(obs.cap, Some(32));
+
+        // An integer ratio is accepted via the numeric coercion.
+        let c = parse("[topic_obs]\ntarget_ratio = 2\n").unwrap();
+        assert_eq!(c.topic_obs.unwrap().target_ratio, Some(2.0));
+
+        assert!(parse("[topic_obs]\ncap = 0\n").unwrap_err().contains("at least 1"));
+        assert!(parse("[topic_obs]\ntarget_ratio = 0.9\n").unwrap_err().contains(">= 1"));
+        assert!(parse("[topic_obs]\ncap = \"many\"\n")
+            .unwrap_err()
+            .contains("non-negative integer"));
+    }
+
+    #[test]
+    fn topic_obs_rejects_unknown_keys_with_line_numbers() {
+        let err = parse("[topic_obs]\ncardinality = 64\n").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+        assert!(err.contains("unknown key `cardinality` in [topic_obs]"), "got: {err}");
+
+        // The unknown-section hint names every section, the new one included.
+        let err = parse("[topics_obs]\n").unwrap_err();
+        assert!(err.contains("line 1"), "got: {err}");
+        assert!(err.contains("topic_obs"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_topic_obs_lines_name_the_line() {
+        let err = parse("[topic_obs]\n\ncap 64\n").unwrap_err();
+        assert!(err.contains("line 3"), "got: {err}");
+        assert!(err.contains("key = value"), "got: {err}");
+
+        let err = parse("[topic_obs\ncap = 64\n").unwrap_err();
+        assert!(err.contains("line 1"), "got: {err}");
+        assert!(err.contains("unterminated section"), "got: {err}");
+
+        let err = parse("[topic_obs]\ncap =\n").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+        assert!(err.contains("missing value"), "got: {err}");
     }
 
     #[test]

@@ -27,7 +27,13 @@
 //! * `GET /shards` — per-shard model assessments (measured operating
 //!   point vs Eq. 1 + M/GI/1 evaluated per dispatcher shard) as JSON,
 //!   when a broker observer is attached and the broker can anchor the
-//!   model (a cost model or flow control).
+//!   model (a cost model or flow control). With the topic observatory on,
+//!   the body also carries a `rebalance` block: per-shard load shares,
+//!   the max/mean skew ratio, and the advisor's topic moves.
+//! * `GET /topics` — the per-topic workload observatory (arrival rates,
+//!   mean filter/replication/service observations, online-fitted Eq. 1
+//!   cost constants and drift verdicts per topic plus the pooled global
+//!   fit), when the broker runs with `topic_obs` enabled.
 //!
 //! The server is deliberately minimal — blocking I/O, one thread per
 //! connection, `Connection: close` on every response — because its
@@ -39,9 +45,13 @@
 //! header block 431, and a stalled or truncated head is abandoned on a
 //! read timeout instead of hanging the connection thread.
 
-use rjms_broker::{BrokerObserver, BrokerSnapshot, FlowGate, ShardReport};
+use rjms_broker::{
+    BrokerObserver, BrokerSnapshot, FlowGate, ShardReport, TopicObsRow, TopicObservatorySnapshot,
+};
+use rjms_core::regression::{FittedCosts, RegressionVerdict};
 use rjms_core::ModelVerdict;
 use rjms_metrics::{clock, MetricsRegistry};
+use rjms_obs::topics::{analyze_skew, SkewConfig, TopicLoad};
 use rjms_obs::{ObsCore, Reduce};
 use rjms_trace::{group_chains, render_chains_json, FlightRecorder};
 use std::io::{Read, Write};
@@ -243,7 +253,8 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
              /slo            objective burn rates and budgets (JSON)\n\
              /alerts         alert states and transition feed (JSON)\n\
              /flow           admission-gate calibration and counters (JSON)\n\
-             /shards         per-shard model assessments (JSON)\n",
+             /shards         per-shard model assessments + rebalance advice (JSON)\n\
+             /topics         per-topic workload observatory (JSON)\n",
         ),
         "/metrics" => {
             let mut body = String::new();
@@ -298,9 +309,28 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
         },
         "/shards" => match &state.observer {
             Some(observer) => {
-                let body = render_shards_json(&observer.shard_reports(), state);
+                let body = render_shards_json(
+                    &observer.shard_reports(),
+                    observer.topic_observatory().as_ref(),
+                    state,
+                );
                 respond(&mut stream, "200 OK", "application/json", &body);
             }
+            None => respond(&mut stream, "404 Not Found", "text/plain", "no broker attached\n"),
+        },
+        "/topics" => match &state.observer {
+            Some(observer) => match observer.topic_observatory() {
+                Some(snap) => {
+                    let body = render_topics_json(&snap);
+                    respond(&mut stream, "200 OK", "application/json", &body);
+                }
+                None => respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "text/plain",
+                    "topic observatory disabled\n",
+                ),
+            },
             None => respond(&mut stream, "404 Not Found", "text/plain", "no broker attached\n"),
         },
         _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown path\n"),
@@ -560,14 +590,21 @@ fn render_broker_json(out: &mut String, snap: &BrokerSnapshot) {
         json_escape_into(out, name);
         let _ = write!(out, ":{{\"received\":{},\"dispatched\":{}}}", t.received, t.dispatched);
     }
-    out.push_str("}}");
+    out.push('}');
+    let _ = write!(out, ",\"topics_overflowed\":{}", snap.topics_overflowed);
+    out.push('}');
 }
 
 /// Renders the per-shard model reports as the `/shards` JSON body. When
 /// flow control is attached, each shard also carries its slice of the
 /// admission budget (`lambda_max / shards` — the controller holds every
-/// shard at the same inverted utilisation).
-fn render_shards_json(reports: &[ShardReport], state: &HttpState) -> String {
+/// shard at the same inverted utilisation). When the topic observatory is
+/// on, the body also carries the skew analyzer's `rebalance` block.
+fn render_shards_json(
+    reports: &[ShardReport],
+    observatory: Option<&TopicObservatorySnapshot>,
+    state: &HttpState,
+) -> String {
     use std::fmt::Write;
     let lambda_budget = state
         .flow
@@ -632,8 +669,181 @@ fn render_shards_json(reports: &[ShardReport], state: &HttpState) -> String {
         }
         out.push('}');
     }
+    out.push(']');
+    out.push_str(",\"rebalance\":");
+    match observatory {
+        Some(snap) => render_rebalance_json(&mut out, snap),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the skew analyzer's report (shares, ratio, advised moves) from
+/// an observatory snapshot.
+fn render_rebalance_json(out: &mut String, snap: &TopicObservatorySnapshot) {
+    use std::fmt::Write;
+    let loads: Vec<TopicLoad> = snap
+        .topics
+        .iter()
+        .map(|t| TopicLoad {
+            name: t.name.clone(),
+            shard: t.shard,
+            arrival_rate: t.arrival_rate,
+            mean_service_time: t.mean_service_time,
+        })
+        .collect();
+    let config = SkewConfig {
+        shards: snap.shards,
+        flag_ratio: snap.config.flag_ratio,
+        target_ratio: snap.config.target_ratio,
+    };
+    let report = analyze_skew(&loads, &config);
+    let _ = write!(
+        out,
+        "{{\"max_mean_ratio\":{},\"skewed\":{},\"flag_ratio\":{},\"target_ratio\":{},\
+         \"post_ratio\":{},\"shares\":[",
+        report.max_mean_ratio,
+        report.skewed,
+        config.flag_ratio,
+        config.target_ratio,
+        report.post_ratio
+    );
+    for (i, s) in report.shares.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"offered_load\":{},\"arrival_share\":{},\"load_share\":{},\
+             \"topics\":{}}}",
+            s.shard, s.offered_load, s.arrival_share, s.load_share, s.topics
+        );
+    }
+    out.push_str("],\"moves\":[");
+    for (i, m) in report.moves.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"topic\":");
+        json_escape_into(out, &m.topic);
+        let _ = write!(out, ",\"from\":{},\"to\":{},\"load\":{}}}", m.from, m.to, m.load);
+    }
+    out.push_str("]}");
+}
+
+/// Renders the observatory snapshot as the `/topics` JSON body.
+fn render_topics_json(snap: &TopicObservatorySnapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"elapsed_secs\":{},\"shards\":{},\"per_topic_cap\":{},\"overflowed_topics\":{},",
+        snap.elapsed.as_secs_f64(),
+        snap.shards,
+        snap.config.per_topic_cap,
+        snap.overflowed_topics
+    );
+    out.push_str("\"anchor\":");
+    match &snap.anchor {
+        Some(a) => {
+            let _ = write!(
+                out,
+                "{{\"t_rcv\":{},\"t_fltr\":{},\"t_tx\":{},\"t_store\":{}}}",
+                a.t_rcv, a.t_fltr, a.t_tx, a.t_store
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"global\":{\"fitted\":");
+    render_fitted_json(&mut out, snap.global_fitted.as_ref());
+    out.push_str(",\"verdict\":");
+    render_regression_verdict_json(&mut out, snap.global_verdict.as_ref());
+    out.push_str("},\"topics\":[");
+    for (i, t) in snap.topics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_topic_row_json(&mut out, t);
+    }
     out.push_str("]}");
     out
+}
+
+/// Renders one observatory row.
+fn render_topic_row_json(out: &mut String, t: &TopicObsRow) {
+    use std::fmt::Write;
+    out.push_str("{\"name\":");
+    json_escape_into(out, &t.name);
+    let _ = write!(
+        out,
+        ",\"shard\":{},\"messages\":{},\"arrival_rate\":{},\"mean_filters\":{},\
+         \"mean_replication\":{},\"mean_service_time\":{},\"fitted\":",
+        t.shard,
+        t.messages,
+        t.arrival_rate,
+        t.mean_filters,
+        t.mean_replication,
+        t.mean_service_time
+    );
+    render_fitted_json(out, t.fitted.as_ref());
+    out.push_str(",\"verdict\":");
+    render_regression_verdict_json(out, t.verdict.as_ref());
+    out.push('}');
+}
+
+/// Renders an adaptive fit (or `null`).
+fn render_fitted_json(out: &mut String, fitted: Option<&FittedCosts>) {
+    use std::fmt::Write;
+    match fitted {
+        Some(f) => {
+            let p = &f.params;
+            let _ = write!(
+                out,
+                "{{\"mode\":\"{}\",\"t_rcv\":{},\"t_fltr\":{},\"t_tx\":{},\"t_store\":{},\
+                 \"residual_rms\":{},\"r_squared\":{},\"observations\":{}}}",
+                f.mode,
+                p.t_rcv,
+                p.t_fltr,
+                p.t_tx,
+                p.t_store,
+                f.residual_rms,
+                f.r_squared,
+                f.observations
+            );
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders a regression verdict (or `null`): its kind plus, for
+/// stable/drift, the out-of-tolerance components.
+fn render_regression_verdict_json(out: &mut String, verdict: Option<&RegressionVerdict>) {
+    use std::fmt::Write;
+    let Some(verdict) = verdict else {
+        out.push_str("null");
+        return;
+    };
+    let _ = write!(out, "{{\"kind\":\"{}\"", verdict.kind());
+    if let RegressionVerdict::Insufficient { samples, required } = verdict {
+        let _ = write!(out, ",\"samples\":{samples},\"required\":{required}");
+    }
+    if let Some(report) = verdict.report() {
+        out.push_str(",\"deviations\":[");
+        for (i, d) in report.deviations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"component\":\"{}\",\"fitted\":{},\"configured\":{},\"error\":{},\
+                 \"tolerance\":{}}}",
+                d.component, d.fitted, d.configured, d.error, d.tolerance
+            );
+        }
+        out.push(']');
+    }
+    out.push('}');
 }
 
 /// Renders the admission gate's [`FlowSnapshot`](rjms_broker::FlowSnapshot)
@@ -849,6 +1059,69 @@ mod tests {
         assert!(r.contains("\"points\":["), "body: {r}");
         assert!(r.contains("\"metric\":\"broker.waiting_ns\""), "body: {r}");
         s.shutdown();
+    }
+
+    #[test]
+    fn topics_endpoint_404_without_observatory() {
+        use rjms_broker::{Broker, BrokerConfig};
+        // Observer attached but the observatory disabled: explicit 404.
+        let broker = Broker::start(BrokerConfig::default());
+        let s = server(HttpState::new().observer(broker.observer()));
+        let r = get(s.local_addr(), "/topics");
+        assert_eq!(status_of(&r), "HTTP/1.1 404 Not Found");
+        assert!(r.contains("topic observatory disabled"), "body: {r}");
+        s.shutdown();
+        broker.shutdown();
+        // No broker attached at all: also 404.
+        let s = server(HttpState::new());
+        let r = get(s.local_addr(), "/topics");
+        assert_eq!(status_of(&r), "HTTP/1.1 404 Not Found");
+        s.shutdown();
+    }
+
+    #[test]
+    fn topics_and_rebalance_render_with_observatory() {
+        use rjms_broker::{Broker, BrokerConfig, Message, TopicObsConfig};
+        let broker =
+            Broker::start(BrokerConfig::builder().topic_obs(TopicObsConfig::default()).build());
+        broker.create_topic("t").unwrap();
+        let sub = broker.subscription("t").open().unwrap();
+        let publisher = broker.publisher("t").unwrap();
+        for _ in 0..32 {
+            publisher.publish(Message::builder().build()).unwrap();
+        }
+        for _ in 0..32 {
+            sub.receive_timeout(Duration::from_secs(1)).expect("delivered");
+        }
+        let s = server(HttpState::new().observer(broker.observer()));
+        // The dispatcher merges its staged observations when idle; poll
+        // until the row shows up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let body = loop {
+            let r = get(s.local_addr(), "/topics");
+            assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+            if r.contains("\"name\":\"t\"") {
+                break r;
+            }
+            assert!(std::time::Instant::now() < deadline, "no observatory row: {r}");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        for key in
+            ["\"per_topic_cap\":64", "\"overflowed_topics\":0", "\"global\":{", "\"arrival_rate\":"]
+        {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+        // The observatory also feeds the /shards rebalance block.
+        let r = get(s.local_addr(), "/shards");
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        for key in ["\"rebalance\":{", "\"max_mean_ratio\":", "\"moves\":[", "\"shares\":["] {
+            assert!(r.contains(key), "missing {key} in {r}");
+        }
+        // And the snapshot carries the overflow counter.
+        let r = get(s.local_addr(), "/snapshot.json");
+        assert!(r.contains("\"topics_overflowed\":0"), "body: {r}");
+        s.shutdown();
+        broker.shutdown();
     }
 
     #[test]
