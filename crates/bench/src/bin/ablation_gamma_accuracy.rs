@@ -2,25 +2,37 @@
 //! waiting-time distribution (Eq. 20)?
 //!
 //! The paper cites [23] for the approximation being "very good"; this
-//! ablation quantifies it on our own stack: for a grid of utilizations and
-//! service-time variabilities, compare the approximated quantiles and tail
-//! probabilities against long discrete-event simulations of the exact
-//! M/G/1 queue.
+//! ablation quantifies it on our own stack twice over. The *reference* is
+//! the exact Pollaczek–Khinchine transform inversion
+//! (`rjms_queueing::inversion`), which carries no simulation noise; long
+//! discrete-event simulations of the same queues are kept as an
+//! independent cross-check of the inversion itself. The headline residual
+//! — the worst W99 error of the Gamma fit against the exact distribution
+//! on the overload-test workload — is gated here and folded into the
+//! saturation forecaster's confidence (`rjms_obs::forecast`).
 
-use rjms_bench::{experiment_header, Table};
+use rjms_bench::{experiment_header, BenchReport, Table};
 use rjms_core::params::CostParams;
 use rjms_desim::mg1sim::{simulate_lindley, Mg1SimConfig};
 use rjms_desim::random::ReplicationService;
+use rjms_queueing::inversion::ExactWaiting;
 use rjms_queueing::mg1::Mg1;
 use rjms_queueing::replication::ReplicationModel;
 use rjms_queueing::service::ServiceTime;
+
+/// Gate on the Gamma fit's W99 error against the exact inversion, across
+/// the whole (rho, cvar) grid. Exceeding it means Eq. 20 has degraded
+/// past "a few percent" and the approximation (or its use in the SLO
+/// planner) needs revisiting.
+const MAX_W99_RESIDUAL: f64 = 0.05;
 
 fn main() {
     experiment_header(
         "ablation_gamma_accuracy",
         "Eq. 20 accuracy (paper cites [23])",
-        "Gamma-approximated vs simulated waiting-time quantiles",
+        "Gamma-approximated vs exact (transform-inverted) and simulated quantiles",
     );
+    let mut report = BenchReport::new("ablation_gamma_accuracy");
 
     let params = CostParams::CORRELATION_ID;
     let n_fltr = 100u32;
@@ -30,12 +42,18 @@ fn main() {
         "rho",
         "cvar[B]",
         "Q99 approx",
-        "Q99 sim",
+        "Q99 exact",
         "err",
+        "Q99 sim",
         "Q99.99 approx",
-        "Q99.99 sim",
+        "Q99.99 exact",
         "err",
     ]);
+
+    // Worst Gamma-vs-exact residuals over the grid; the overload-test
+    // workload (tests/slo_overload.rs, tests/flow_overload.rs) lives on
+    // this same CORRELATION_ID + n_fltr=100 service family.
+    let (mut worst_w99, mut worst_w9999, mut worst_sim_gap) = (0.0f64, 0.0f64, 0.0f64);
 
     for &rho in &[0.5, 0.7, 0.9, 0.95] {
         for &(label, replication) in &[
@@ -48,6 +66,9 @@ fn main() {
             let dist = queue.waiting_time_distribution();
             let (q99_a, q9999_a) = (dist.quantile(0.99), dist.quantile(0.9999));
 
+            let exact = ExactWaiting::for_service(&service, rho).expect("stable");
+            let (q99_e, q9999_e) = (exact.quantile(0.99), exact.quantile(0.9999));
+
             let sampler = ReplicationService { deterministic: d, t_tx: params.t_tx, replication };
             let mut sim = simulate_lindley(
                 &Mg1SimConfig {
@@ -58,19 +79,22 @@ fn main() {
                 },
                 &sampler,
             );
-            let (q99_s, q9999_s) =
-                (sim.waiting_samples.quantile(0.99), sim.waiting_samples.quantile(0.9999));
+            let q99_s = sim.waiting_samples.quantile(0.99);
 
-            let e99 = (q99_a - q99_s).abs() / q99_s.max(1e-12);
-            let e9999 = (q9999_a - q9999_s).abs() / q9999_s.max(1e-12);
+            let e99 = (q99_a - q99_e).abs() / q99_e.max(1e-12);
+            let e9999 = (q9999_a - q9999_e).abs() / q9999_e.max(1e-12);
+            worst_w99 = worst_w99.max(e99);
+            worst_w9999 = worst_w9999.max(e9999);
+            worst_sim_gap = worst_sim_gap.max((q99_s - q99_e).abs() / q99_e.max(1e-12));
             table.row_strings(vec![
                 format!("{rho:.2}"),
                 format!("{label} ({:.3})", service.cvar()),
                 format!("{:.2}ms", q99_a * 1e3),
-                format!("{:.2}ms", q99_s * 1e3),
+                format!("{:.2}ms", q99_e * 1e3),
                 format!("{:.1}%", e99 * 100.0),
+                format!("{:.2}ms", q99_s * 1e3),
                 format!("{:.2}ms", q9999_a * 1e3),
-                format!("{:.2}ms", q9999_s * 1e3),
+                format!("{:.2}ms", q9999_e * 1e3),
                 format!("{:.1}%", e9999 * 100.0),
             ]);
         }
@@ -78,8 +102,29 @@ fn main() {
     table.print();
 
     println!();
-    println!("the two-moment Gamma fit tracks the simulated quantiles across the");
-    println!("whole (rho, cvar) grid — justifying the paper's use of Eq. 20 for");
-    println!("Figs. 11-12 (errors concentrate in the deep tail at high variability,");
-    println!("where the finite simulation is itself noisy).");
+    println!("worst W99 residual (gamma vs exact inversion):    {:.2}%", worst_w99 * 100.0);
+    println!("worst W99.99 residual (gamma vs exact inversion): {:.2}%", worst_w9999 * 100.0);
+    println!("worst W99 gap (simulation vs exact inversion):    {:.2}%", worst_sim_gap * 100.0);
+    println!();
+    println!("the two-moment Gamma fit tracks the exact transform inversion across");
+    println!("the whole (rho, cvar) grid — justifying the paper's use of Eq. 20 for");
+    println!("Figs. 11-12. The simulation column independently validates the");
+    println!("inversion; residual gap there is finite-sample noise, not model error.");
+
+    let pass = worst_w99 <= MAX_W99_RESIDUAL;
+    report
+        .num("w99_residual", worst_w99)
+        .num("w9999_residual", worst_w9999)
+        .num("sim_vs_exact_gap", worst_sim_gap)
+        .num("budget", MAX_W99_RESIDUAL)
+        .flag("pass", pass);
+    report.emit();
+    if !pass {
+        eprintln!(
+            "GATE FAILED: gamma W99 residual {:.2}% exceeds {:.1}% budget",
+            worst_w99 * 100.0,
+            MAX_W99_RESIDUAL * 100.0
+        );
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,203 @@
+//! `ext_forecast_overhead` — cost of the saturation forecaster on the
+//! dispatch path.
+//!
+//! The forecaster is pure sampler-side arithmetic: each engine tick fits
+//! an arrival-rate trend over the history rings, moment-matches the
+//! measured service distribution, and inverts the Eq. 1 + M/GI/1 model
+//! for the saturation and W99-breach rates. None of that touches the
+//! dispatcher directly — like the SLO engine it rides on, its only
+//! dispatch-path footprint is registry contention (the snapshot it reads
+//! from) plus the tick-thread CPU it steals from the broker's cores.
+//! This experiment bounds that footprint.
+//!
+//! Both variants run with metrics **and** the SLO engine on; the paired
+//! difference isolates the forecast stage alone (trend fit, Little's-law
+//! check, model inversions). The sampling interval is forced down to
+//! 25 ms — 40× the production default rate — so the gate bounds a
+//! deliberately adversarial configuration.
+//!
+//! Methodology matches `ext_obs_overhead`: fixed message counts,
+//! alternating order between repetitions, median of paired relative
+//! differences, and a non-zero exit when the calibrated workload exceeds
+//! the budget so CI can run it as a regression gate:
+//!
+//! ```text
+//! cargo run --release -p rjms-bench --bin ext_forecast_overhead -- --smoke
+//! ```
+
+use rjms_bench::{experiment_header, BenchReport, Table};
+use rjms_broker::{
+    Broker, BrokerConfig, CostModel, Filter, Message, MetricsConfig, OverflowPolicy,
+};
+use rjms_obs::{ForecastConfig, ObsConfig, ObsCore, ObsRuntime};
+use std::time::{Duration, Instant};
+
+/// Acceptance budget on the calibrated workload: dispatch throughput with
+/// forecasting on must stay within this fraction of the forecast-off run.
+const MAX_OVERHEAD: f64 = 0.05;
+
+/// Filters installed on the bench topic (one of them matches).
+const N_FILTERS: u32 = 64;
+
+/// Table I correlation-ID constants divided by this factor for the
+/// calibrated workload (see `ext_observer_overhead`).
+const COST_SCALE: f64 = 32.0;
+
+/// Sampling interval during the measurement: 40× the production default,
+/// so every tick's trend fit and model inversion runs 40× as often as it
+/// would in production.
+const SAMPLE_EVERY: Duration = Duration::from_millis(25);
+
+/// One fixed-count run; returns received msgs/s. Metrics and the SLO
+/// engine are always on; `forecast` additionally runs the trend fit and
+/// breach projection on every sampler tick.
+fn measure(forecast: bool, cost: Option<CostModel>, n: u64) -> f64 {
+    let mut config = BrokerConfig::builder()
+        .publish_queue_capacity(256)
+        .subscriber_queue_capacity(1 << 18)
+        .overflow_policy(OverflowPolicy::DropNew)
+        .metrics(MetricsConfig::default());
+    if let Some(c) = cost {
+        config = config.cost_model(c);
+    }
+    let broker = Broker::start(config.build());
+    broker.create_topic("bench").unwrap();
+    let _subscribers: Vec<_> = (0..N_FILTERS)
+        .map(|i| {
+            broker
+                .subscription("bench")
+                .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                .open()
+                .unwrap()
+        })
+        .collect();
+    let obs_config = ObsConfig {
+        forecast: ForecastConfig { enabled: forecast, ..ForecastConfig::default() },
+        ..ObsConfig::default()
+    };
+    let registry = broker.metrics().expect("metrics enabled above");
+    let runtime = ObsRuntime::start(ObsCore::new(obs_config), registry, None, SAMPLE_EVERY);
+
+    let publisher = broker.publisher("bench").unwrap();
+    let warmup = n / 10;
+    for _ in 0..warmup {
+        publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+    }
+    while broker.snapshot().messages.received < warmup {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..n {
+        publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+    }
+    while broker.snapshot().messages.received < warmup + n {
+        std::thread::yield_now();
+    }
+    let elapsed = t0.elapsed();
+    drop(runtime); // joins the sampling thread before shutdown
+    broker.shutdown();
+    n as f64 / elapsed.as_secs_f64()
+}
+
+/// Paired off/on measurements; returns the median relative difference
+/// (positive = forecasting costs throughput).
+fn run_workload(
+    name: &str,
+    cost: Option<CostModel>,
+    n: u64,
+    reps: usize,
+    table: &mut Table,
+) -> f64 {
+    let mut diffs = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        // Alternate order so slow drift (thermal, background load) cancels.
+        let (off, on) = if rep % 2 == 0 {
+            let off = measure(false, cost, n);
+            let on = measure(true, cost, n);
+            (off, on)
+        } else {
+            let on = measure(true, cost, n);
+            let off = measure(false, cost, n);
+            (off, on)
+        };
+        let diff = 1.0 - on / off;
+        diffs.push(diff);
+        table.row(&[
+            &name,
+            &(rep + 1),
+            &format!("{off:.0}"),
+            &format!("{on:.0}"),
+            &format!("{:+.2}%", diff * 100.0),
+        ]);
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    diffs[diffs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Same counts as ext_obs_overhead: 5 reps over 25k messages keeps the
+    // smoke gate's spread well inside the 5% budget while the true
+    // overhead sits near zero.
+    let (reps, n_calibrated, n_null) =
+        if smoke { (5, 25_000, 60_000) } else { (7, 50_000, 100_000) };
+
+    experiment_header(
+        "ext_forecast_overhead",
+        "extension (observability)",
+        "dispatch throughput with the saturation forecaster on vs off; gate at 5%",
+    );
+    if smoke {
+        println!("smoke mode: reduced counts and repetitions, CI regression gate\n");
+    }
+
+    let calibrated = CostModel::new(
+        CostModel::CORRELATION_ID.t_rcv / COST_SCALE,
+        CostModel::CORRELATION_ID.t_fltr / COST_SCALE,
+        CostModel::CORRELATION_ID.t_tx / COST_SCALE,
+    );
+    let per_msg = calibrated.processing_time(N_FILTERS as usize, 1);
+    println!(
+        "calibrated workload: Table I (correlation ID) / {COST_SCALE:.0}, \
+         {N_FILTERS} filters -> E[B] = {:.1} us/msg",
+        per_msg * 1e6
+    );
+    println!("null-work workload:  no cost model, dispatch machinery only");
+    println!(
+        "baseline is metrics + SLO engine in both; sampler at {} ms (production default 1 s)\n",
+        SAMPLE_EVERY.as_millis()
+    );
+
+    let mut table =
+        Table::new(&["workload", "rep", "forecast off (msg/s)", "forecast on (msg/s)", "overhead"]);
+    let gated = run_workload("calibrated", Some(calibrated), n_calibrated, reps, &mut table);
+    let null = run_workload("null-work", None, n_null, reps, &mut table);
+    table.print();
+
+    println!();
+    println!(
+        "calibrated overhead (median of paired diffs): {:+.2}%  [GATE: budget {:.0}%]",
+        gated * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!("null-work overhead (median of paired diffs): {:+.2}%  [informational]", null * 100.0);
+
+    let pass = gated <= MAX_OVERHEAD;
+    let mut report = BenchReport::new("ext_forecast_overhead");
+    report
+        .flag("smoke", smoke)
+        .uint("reps", reps as u64)
+        .num("sample_interval_ms", SAMPLE_EVERY.as_secs_f64() * 1e3)
+        .num("calibrated_overhead", gated)
+        .num("null_work_overhead", null)
+        .num("budget", MAX_OVERHEAD)
+        .flag("pass", pass);
+    report.emit();
+
+    if !pass {
+        println!("FAIL: the forecaster exceeds the overhead budget on the calibrated workload");
+        std::process::exit(1);
+    }
+    println!("PASS: the forecaster is within the overhead budget on the calibrated workload");
+}

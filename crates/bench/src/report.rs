@@ -12,6 +12,7 @@
 
 use rjms_metrics::json::JsonWriter;
 use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 #[derive(Debug)]
 enum Field {
@@ -27,12 +28,15 @@ enum Field {
 pub struct BenchReport {
     name: String,
     fields: Vec<(String, Field)>,
+    started: Instant,
 }
 
 impl BenchReport {
-    /// A new report for the experiment binary `name`.
+    /// A new report for the experiment binary `name`. The construction
+    /// time anchors the `wall_clock_s` provenance field, so create the
+    /// report before the measured work starts.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_owned(), fields: Vec::new() }
+        Self { name: name.to_owned(), fields: Vec::new(), started: Instant::now() }
     }
 
     /// Adds a float field.
@@ -59,7 +63,13 @@ impl BenchReport {
         self
     }
 
-    /// The JSON text: `{"bench": <name>, <fields in insertion order>}`.
+    /// The JSON text: `{"bench": <name>, <fields in insertion order>,
+    /// <provenance fields>}`.
+    ///
+    /// Every artifact closes with three provenance fields so the perf
+    /// trajectory stays attributable across PRs: `git_sha` (HEAD at run
+    /// time, or `GITHUB_SHA`, or `"unknown"`), `unix_time` (seconds since
+    /// the epoch) and `wall_clock_s` (elapsed since [`BenchReport::new`]).
     pub fn render(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -74,6 +84,12 @@ impl BenchReport {
                 Field::Flag(v) => w.bool(*v),
             }
         }
+        w.key("git_sha");
+        w.string(&git_sha());
+        w.key("unix_time");
+        w.uint(SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()));
+        w.key("wall_clock_s");
+        w.float(self.started.elapsed().as_secs_f64());
         w.end_object();
         w.finish()
     }
@@ -101,6 +117,24 @@ impl BenchReport {
     }
 }
 
+/// The commit the artifact was produced from: `git rev-parse HEAD`, then
+/// the `GITHUB_SHA` CI variable, then `"unknown"` — never an error, a
+/// missing sha must not fail an experiment.
+fn git_sha() -> String {
+    let from_git = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_owned())
+        .filter(|sha| !sha.is_empty());
+    from_git
+        .or_else(|| std::env::var("GITHUB_SHA").ok().filter(|sha| !sha.is_empty()))
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,10 +143,29 @@ mod tests {
     fn renders_flat_object_in_insertion_order() {
         let mut r = BenchReport::new("ext_example");
         r.flag("smoke", true).num("overhead", 0.0125).uint("reps", 7).text("mode", "paired");
-        assert_eq!(
-            r.render(),
-            "{\"bench\":\"ext_example\",\"smoke\":true,\"overhead\":0.0125,\
-             \"reps\":7,\"mode\":\"paired\"}"
+        let json = r.render();
+        assert!(
+            json.starts_with(
+                "{\"bench\":\"ext_example\",\"smoke\":true,\"overhead\":0.0125,\
+                 \"reps\":7,\"mode\":\"paired\","
+            ),
+            "user fields must lead in insertion order: {json}"
+        );
+    }
+
+    #[test]
+    fn every_artifact_carries_provenance() {
+        let r = BenchReport::new("ext_example");
+        let json = r.render();
+        assert!(json.contains("\"git_sha\":\""), "missing git_sha: {json}");
+        assert!(!json.contains("\"git_sha\":\"\""), "empty git_sha: {json}");
+        assert!(json.contains("\"unix_time\":"), "missing unix_time: {json}");
+        assert!(json.contains("\"wall_clock_s\":"), "missing wall_clock_s: {json}");
+        // In a git checkout the sha must be the real HEAD, 40 hex chars.
+        let sha = json.split("\"git_sha\":\"").nth(1).unwrap().split('"').next().unwrap();
+        assert!(
+            sha == "unknown" || (sha.len() == 40 && sha.chars().all(|c| c.is_ascii_hexdigit())),
+            "implausible sha {sha:?}"
         );
     }
 

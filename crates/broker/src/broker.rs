@@ -1326,10 +1326,13 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
     // into shard-labeled series; the single-dispatcher broker publishes
     // none, keeping its metric surface byte-identical to the pre-shard
     // layout.
-    let mut scratch = match metrics {
-        Some(m) if inner.config.shards > 1 => DispatcherScratch::for_shard(m, shard),
-        _ => DispatcherScratch::new(),
-    };
+    let mut scratch = metrics.map(|m| {
+        if inner.config.shards > 1 {
+            DispatcherScratch::for_shard(m, shard)
+        } else {
+            DispatcherScratch::new(m)
+        }
+    });
     // Per-topic workload observations, staged thread-locally like the
     // histogram scratch and merged into the observatory on the same
     // idle/FLUSH_EVERY cadence.
@@ -1341,8 +1344,9 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
             Err(TryRecvError::Empty) => {
                 // About to block: publish staged samples so observers see
                 // an up-to-date picture whenever the dispatcher is idle.
-                if let Some(m) = metrics {
-                    scratch.flush(m);
+                if let (Some(m), Some(s)) = (metrics, scratch.as_mut()) {
+                    s.flush(m);
+                    s.mark_idle();
                 }
                 if let Some(obs) = observatory {
                     record_obs_spill(&inner, metrics, obs_scratch.flush(obs));
@@ -1358,6 +1362,13 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
             DispatchItem::Shutdown => break,
             DispatchItem::Publish { topic, message, enqueued_at } => (topic, message, enqueued_at),
         };
+        // Backlog sample at the dispatch epoch: the queue now holds exactly
+        // the messages that arrived during this message's waiting time, so
+        // the window mean of these samples estimates L_q = λ·E[W] — the
+        // measured side of the observatory's Little's-law self-check.
+        if let Some(s) = scratch.as_mut() {
+            s.record_backlog(publish_rx.len() as u64);
+        }
         let timer = metrics.map(|m| {
             stage_countdown -= 1;
             let sample = stage_countdown == 0;
@@ -1595,7 +1606,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
             topic.subscriptions.write().retain(|s| s.active.load(Ordering::Relaxed));
         }
 
-        if let (Some(m), Some(mut timer)) = (metrics, timer) {
+        if let (Some(m), Some(mut timer), Some(scratch)) = (metrics, timer, scratch.as_mut()) {
             if timer.sample_stages {
                 m.stage_rcv.record(rcv_ns);
                 m.stage_journal.record(journal_ns);
@@ -1606,7 +1617,7 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
             // impossible, but recovery replays have none) waiting is zero.
             let dispatch_start = timer.dispatch_start();
             let enqueued_at = enqueued_at.unwrap_or(dispatch_start);
-            let end = timer.finish(m, &mut scratch, enqueued_at);
+            let end = timer.finish(m, scratch, enqueued_at);
             last_end = Some(end);
             if scratch.pending() >= crate::metrics::FLUSH_EVERY {
                 scratch.flush(m);
@@ -1679,8 +1690,9 @@ fn dispatch_loop(inner: Arc<BrokerInner>, shard: usize, publish_rx: Receiver<Dis
     if let Some(obs) = observatory {
         record_obs_spill(&inner, metrics, obs_scratch.flush(obs));
     }
-    if let Some(m) = metrics {
-        scratch.flush(m);
+    if let (Some(m), Some(s)) = (metrics, scratch.as_mut()) {
+        s.flush(m);
+        s.mark_idle();
     }
 
     // Shutdown: write the final checkpoints and force the journal to disk

@@ -8,9 +8,15 @@
 //! | `broker.waiting_ns` | histogram | publish-enqueue → dispatch start (the paper's `W`) |
 //! | `broker.service_ns` | histogram | dispatch start → fan-out complete (the paper's `B`) |
 //! | `broker.sojourn_ns` | histogram | publish-enqueue → fan-out complete (`W + B`) |
+//! | `broker.backlog` | histogram | publish-queue depth sampled at each dispatch (PASTA: its window mean estimates the time-average queue length `L`) |
+//! | `broker.queue_depth` | gauge | latest publish-queue depth |
+//! | `broker.in_flight` | gauge | messages popped but not yet fanned out (0/1 per dispatcher) |
 //! | `broker.waiting_ns{shard="i"}` | histogram | shard `i`'s waiting times (sharded dispatch only) |
 //! | `broker.service_ns{shard="i"}` | histogram | shard `i`'s service times (sharded dispatch only) |
 //! | `broker.sojourn_ns{shard="i"}` | histogram | shard `i`'s sojourn times (sharded dispatch only) |
+//! | `broker.backlog{shard="i"}` | histogram | shard `i`'s queue depth at dispatch (sharded dispatch only) |
+//! | `broker.queue_depth{shard="i"}` | gauge | shard `i`'s latest queue depth (sharded dispatch only) |
+//! | `broker.in_flight{shard="i"}` | gauge | shard `i`'s in-flight message (sharded dispatch only) |
 //! | `broker.stage.rcv_ns` | histogram | receive stage (`t_rcv`), sampled |
 //! | `broker.stage.journal_ns` | histogram | write-ahead append (`t_store`), sampled |
 //! | `broker.stage.filter_ns` | histogram | filter-scan stage (`n_fltr · t_fltr`), sampled |
@@ -19,7 +25,7 @@
 //! | `journal.fsync_ns` | histogram | every explicit fsync (always on, from `rjms-journal`) |
 
 use rjms_metrics::clock;
-use rjms_metrics::{labeled, Histogram, LocalHistogram, MetricsRegistry};
+use rjms_metrics::{labeled, Gauge, Histogram, LocalHistogram, MetricsRegistry};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,6 +40,7 @@ pub(crate) struct BrokerMetrics {
     pub(crate) waiting: Arc<Histogram>,
     pub(crate) service: Arc<Histogram>,
     pub(crate) sojourn: Arc<Histogram>,
+    pub(crate) backlog: Arc<Histogram>,
     pub(crate) stage_rcv: Arc<Histogram>,
     pub(crate) stage_journal: Arc<Histogram>,
     pub(crate) stage_filter: Arc<Histogram>,
@@ -52,6 +59,7 @@ impl BrokerMetrics {
             waiting: registry.histogram("broker.waiting_ns"),
             service: registry.histogram("broker.service_ns"),
             sojourn: registry.histogram("broker.sojourn_ns"),
+            backlog: registry.histogram("broker.backlog"),
             stage_rcv: registry.histogram("broker.stage.rcv_ns"),
             stage_journal: registry.histogram("broker.stage.journal_ns"),
             stage_filter: registry.histogram("broker.stage.filter_ns"),
@@ -71,6 +79,7 @@ struct ShardScratch {
     waiting: (LocalHistogram, Arc<Histogram>),
     service: (LocalHistogram, Arc<Histogram>),
     sojourn: (LocalHistogram, Arc<Histogram>),
+    backlog: (LocalHistogram, Arc<Histogram>),
 }
 
 /// Single-writer staging for the per-message histograms: the dispatcher
@@ -81,33 +90,55 @@ pub(crate) struct DispatcherScratch {
     waiting: LocalHistogram,
     service: LocalHistogram,
     sojourn: LocalHistogram,
-    /// Shard-labeled twins of the three series, staged alongside the
-    /// aggregates so each shard's own distribution stays observable.
+    /// Publish-queue depth at each dispatch. By PASTA, the depth an
+    /// arriving (Poisson) message observes is distributed as the
+    /// time-average queue length, so this histogram's window mean is a
+    /// direct estimate of `L` for the Little's-law self-check.
+    backlog: LocalHistogram,
+    /// Latest queue depth, for at-a-glance gauges and history rings.
+    depth_gauge: Arc<Gauge>,
+    /// 1 while a message is being fanned out, 0 when the dispatcher idles.
+    in_flight_gauge: Arc<Gauge>,
+    /// Shard-labeled twins of the series, staged alongside the aggregates
+    /// so each shard's own distribution stays observable.
     shard: Option<ShardScratch>,
 }
 
 impl DispatcherScratch {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(metrics: &BrokerMetrics) -> Self {
         Self {
             waiting: LocalHistogram::new(),
             service: LocalHistogram::new(),
             sojourn: LocalHistogram::new(),
+            backlog: LocalHistogram::new(),
+            depth_gauge: metrics.registry.gauge("broker.queue_depth"),
+            in_flight_gauge: metrics.registry.gauge("broker.in_flight"),
             shard: None,
         }
     }
 
     /// Staging that additionally feeds shard `index`'s labeled series
-    /// (`broker.waiting_ns{shard="i"}`, …) in the broker registry.
+    /// (`broker.waiting_ns{shard="i"}`, …) in the broker registry. The
+    /// gauges are shard-labeled instead of aggregate — each dispatcher is
+    /// the single writer of its own gauge pair, so shards never stomp one
+    /// another's readings.
     pub(crate) fn for_shard(metrics: &BrokerMetrics, index: usize) -> Self {
         let label = index.to_string();
         let hist = |base: &str| metrics.registry.histogram(&labeled(base, &[("shard", &label)]));
         Self {
+            depth_gauge: metrics
+                .registry
+                .gauge(&labeled("broker.queue_depth", &[("shard", &label)])),
+            in_flight_gauge: metrics
+                .registry
+                .gauge(&labeled("broker.in_flight", &[("shard", &label)])),
             shard: Some(ShardScratch {
                 waiting: (LocalHistogram::new(), hist("broker.waiting_ns")),
                 service: (LocalHistogram::new(), hist("broker.service_ns")),
                 sojourn: (LocalHistogram::new(), hist("broker.sojourn_ns")),
+                backlog: (LocalHistogram::new(), hist("broker.backlog")),
             }),
-            ..Self::new()
+            ..Self::new(metrics)
         }
     }
 
@@ -123,6 +154,25 @@ impl DispatcherScratch {
         }
     }
 
+    /// Stages the publish-queue depth observed when a message was popped
+    /// (excluding the popped message itself, so it estimates the *waiting*
+    /// line `L_q`) and marks the dispatcher busy. The gauge store is a
+    /// single-writer relaxed write to a line nothing else touches.
+    pub(crate) fn record_backlog(&mut self, depth: u64) {
+        self.backlog.record(depth);
+        self.depth_gauge.set(depth as i64);
+        self.in_flight_gauge.set(1);
+        if let Some(shard) = &mut self.shard {
+            shard.backlog.0.record(depth);
+        }
+    }
+
+    /// Marks the dispatcher idle: queue drained, nothing in flight.
+    pub(crate) fn mark_idle(&self) {
+        self.depth_gauge.set(0);
+        self.in_flight_gauge.set(0);
+    }
+
     /// Samples staged since the last flush.
     pub(crate) fn pending(&self) -> u64 {
         self.waiting.pending()
@@ -133,10 +183,12 @@ impl DispatcherScratch {
         self.waiting.flush_into(&metrics.waiting);
         self.service.flush_into(&metrics.service);
         self.sojourn.flush_into(&metrics.sojourn);
+        self.backlog.flush_into(&metrics.backlog);
         if let Some(shard) = &mut self.shard {
             shard.waiting.0.flush_into(&shard.waiting.1);
             shard.service.0.flush_into(&shard.service.1);
             shard.sojourn.0.flush_into(&shard.sojourn.1);
+            shard.backlog.0.flush_into(&shard.backlog.1);
         }
     }
 }
@@ -227,7 +279,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let timer = DispatchTimer::start_at(None, true);
         std::thread::sleep(Duration::from_millis(2));
-        let mut scratch = DispatcherScratch::new();
+        let mut scratch = DispatcherScratch::new(&m);
         timer.finish(&m, &mut scratch, enqueued);
         assert_eq!(scratch.pending(), 1);
         scratch.flush(&m);
@@ -253,6 +305,39 @@ mod tests {
         assert_eq!(snap.histogram("broker.sojourn_ns{shard=\"2\"}").unwrap().max, 30);
         // Plain staging publishes no shard series.
         assert!(snap.histogram("broker.waiting_ns{shard=\"0\"}").is_none());
+    }
+
+    #[test]
+    fn backlog_staging_feeds_histogram_and_gauges() {
+        let m = BrokerMetrics::new(1);
+        let mut scratch = DispatcherScratch::new(&m);
+        scratch.record_backlog(3);
+        scratch.record_backlog(5);
+        assert_eq!(m.registry.gauge("broker.queue_depth").get(), 5);
+        assert_eq!(m.registry.gauge("broker.in_flight").get(), 1);
+        scratch.mark_idle();
+        assert_eq!(m.registry.gauge("broker.queue_depth").get(), 0);
+        assert_eq!(m.registry.gauge("broker.in_flight").get(), 0);
+        scratch.flush(&m);
+        let snap = m.registry.snapshot();
+        let backlog = snap.histogram("broker.backlog").unwrap();
+        assert_eq!(backlog.count, 2);
+        assert_eq!(backlog.max, 5);
+    }
+
+    #[test]
+    fn sharded_backlog_uses_labeled_series_and_gauges() {
+        let m = BrokerMetrics::new(1);
+        let mut scratch = DispatcherScratch::for_shard(&m, 1);
+        scratch.record_backlog(7);
+        scratch.flush(&m);
+        let snap = m.registry.snapshot();
+        // Aggregate and labeled histograms both carry the sample; the
+        // gauges are labeled only (single writer per shard).
+        assert_eq!(snap.histogram("broker.backlog").unwrap().count, 1);
+        assert_eq!(snap.histogram("broker.backlog{shard=\"1\"}").unwrap().count, 1);
+        assert_eq!(m.registry.gauge("broker.queue_depth{shard=\"1\"}").get(), 7);
+        assert_eq!(m.registry.gauge("broker.in_flight{shard=\"1\"}").get(), 1);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! ```text
 //!        fast ≥ thr                 fast ∧ slow ≥ thr
 //!   Ok ────────────▶ Warning ───────────────────────▶ Firing
-//!    ▲                  │ fast < resolve·thr            │
-//!    │                  ▼                               │ fast ∧ slow <
-//!    │ cooldown        Ok                               │ resolve·thr for
-//!    │                                                  ▼ `resolve_after`
-//!    └───────────────────────────────────────────── Resolved
+//!   ▲ ▲▼ forecast       │ fast < resolve·thr            │
+//!   │ Pending           ▼                               │ fast ∧ slow <
+//!   │ cooldown         Ok                               │ resolve·thr for
+//!   │                                                   ▼ `resolve_after`
+//!   └────────────────────────────────────────────── Resolved
 //! ```
 //!
 //! Hysteresis: leaving Firing requires the burn to drop below
@@ -18,10 +18,21 @@
 //! spam transitions. After resolving, a per-alert `cooldown` must elapse
 //! before the machine returns to Ok and may fire again.
 //!
+//! The proactive [`AlertState::Pending`] state sits *before* the burn
+//! windows can see anything: the saturation forecaster
+//! (`crate::forecast`) projects the arrival-rate trend through the
+//! analytic model and, when a breach ETA lands inside the configured
+//! horizon with enough confidence, the machine leaves Ok for Pending —
+//! carrying the forecast as [`ForecastEvidence`] — so operators get the
+//! alert while the objective is still healthy. Pending escalates through
+//! the normal Warning/Firing logic and falls back to Ok when the
+//! forecast clears.
+//!
 //! Transitions are emitted as [`AlertEvent`]s to a pluggable
 //! [`AlertSink`]; a firing event carries [`Evidence`]: the offending
-//! window's histogram, the latest analytic model prediction, and the ids
-//! of tail-sampled trace chains from the incident window.
+//! window's histogram, the latest analytic model prediction, the ids
+//! of tail-sampled trace chains from the incident window and, on
+//! forecast-driven transitions, the forecast itself.
 
 use crate::slo::WindowBurn;
 use rjms_core::WaitingTimeReport;
@@ -35,6 +46,9 @@ use std::time::Duration;
 pub enum AlertState {
     /// Objective healthy.
     Ok,
+    /// Objective still healthy, but the forecaster projects a breach
+    /// inside the horizon: proactive heads-up, fires before any burn.
+    Pending,
     /// Fast window burning, slow window still fine (onset or blip).
     Warning,
     /// Both windows burning: the objective is being violated.
@@ -48,11 +62,33 @@ impl AlertState {
     pub fn name(self) -> &'static str {
         match self {
             AlertState::Ok => "ok",
+            AlertState::Pending => "pending",
             AlertState::Warning => "warning",
             AlertState::Firing => "firing",
             AlertState::Resolved => "resolved",
         }
     }
+}
+
+/// A breach forecast attached to proactive transitions: what the trend
+/// projection says, frozen at the moment the machine left Ok.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastEvidence {
+    /// What is forecast to be breached: `"w99-breach"` or `"saturation"`.
+    pub target: String,
+    /// Projected time from the event until the breach.
+    pub eta: Duration,
+    /// Optimistic band edge (steeper plausible trend → earlier breach).
+    pub eta_early: Duration,
+    /// Pessimistic band edge; `None` when the flatter plausible trend
+    /// never reaches the breach point.
+    pub eta_late: Option<Duration>,
+    /// Measured arrival rate (messages/s) at the event.
+    pub lambda_now: f64,
+    /// Fitted arrival-rate trend (messages/s per second).
+    pub lambda_slope: f64,
+    /// Forecast confidence tag (`"low"`, `"medium"`, `"high"`).
+    pub confidence: String,
 }
 
 /// Supporting data attached to a firing alert.
@@ -67,6 +103,9 @@ pub struct Evidence {
     pub model_verdict: Option<String>,
     /// Trace ids of tail-sampled chains captured during the window.
     pub trace_ids: Vec<u64>,
+    /// The breach forecast, populated on forecast-driven (Pending)
+    /// transitions and on firings that had an active forecast.
+    pub forecast: Option<ForecastEvidence>,
 }
 
 /// One state transition, as delivered to sinks.
@@ -84,7 +123,8 @@ pub struct AlertEvent {
     pub fast_burn: f64,
     /// Slow-window burn at the transition.
     pub slow_burn: f64,
-    /// Evidence, populated on transitions into [`AlertState::Firing`].
+    /// Evidence, populated on transitions into [`AlertState::Firing`]
+    /// and [`AlertState::Pending`].
     pub evidence: Option<Evidence>,
 }
 
@@ -113,6 +153,14 @@ impl AlertEvent {
             }
             if !e.trace_ids.is_empty() {
                 line.push_str(&format!(" traces={}", e.trace_ids.len()));
+            }
+            if let Some(f) = &e.forecast {
+                line.push_str(&format!(
+                    " forecast={} eta_s={:.0} confidence={}",
+                    f.target,
+                    f.eta.as_secs_f64(),
+                    f.confidence
+                ));
             }
         }
         line
@@ -194,6 +242,34 @@ impl AlertEvent {
                     w.uint(*id);
                 }
                 w.end_array();
+                match &e.forecast {
+                    None => {
+                        w.key("forecast");
+                        w.null();
+                    }
+                    Some(f) => {
+                        w.key("forecast");
+                        w.begin_object();
+                        w.key("target");
+                        w.string(&f.target);
+                        w.key("eta_ms");
+                        w.uint(f.eta.as_millis() as u64);
+                        w.key("eta_early_ms");
+                        w.uint(f.eta_early.as_millis() as u64);
+                        w.key("eta_late_ms");
+                        match f.eta_late {
+                            Some(late) => w.uint(late.as_millis() as u64),
+                            None => w.null(),
+                        }
+                        w.key("lambda_now");
+                        w.float(f.lambda_now);
+                        w.key("lambda_slope_per_s");
+                        w.float(f.lambda_slope);
+                        w.key("confidence");
+                        w.string(&f.confidence);
+                        w.end_object();
+                    }
+                }
                 w.end_object();
             }
         }
@@ -270,25 +346,43 @@ impl AlertMachine {
         slow: WindowBurn,
         evidence: impl FnOnce() -> Evidence,
     ) -> Option<AlertEvent> {
+        self.step_with_forecast(now, fast, slow, false, evidence)
+    }
+
+    /// [`AlertMachine::step`] plus the forecaster's verdict: when
+    /// `breach_forecast` is true and the burn windows are still clean, the
+    /// machine raises the proactive [`AlertState::Pending`] instead of
+    /// sitting in Ok. Evidence is consulted on transitions into Firing
+    /// *and* Pending (a pending event should carry the forecast that
+    /// caused it).
+    pub fn step_with_forecast(
+        &mut self,
+        now: Duration,
+        fast: WindowBurn,
+        slow: WindowBurn,
+        breach_forecast: bool,
+        evidence: impl FnOnce() -> Evidence,
+    ) -> Option<AlertEvent> {
         let fast_hot = fast.burn >= self.threshold;
         let slow_hot = slow.burn >= self.threshold;
         let quiet_level = self.policy.resolve_ratio * self.threshold;
         let quiet = fast.burn < quiet_level && slow.burn < quiet_level;
+        let calm = if breach_forecast { AlertState::Pending } else { AlertState::Ok };
         let next = match self.state {
-            AlertState::Ok => {
+            AlertState::Ok | AlertState::Pending => {
                 if fast_hot && slow_hot {
                     AlertState::Firing
                 } else if fast_hot {
                     AlertState::Warning
                 } else {
-                    AlertState::Ok
+                    calm
                 }
             }
             AlertState::Warning => {
                 if fast_hot && slow_hot {
                     AlertState::Firing
                 } else if fast.burn < quiet_level {
-                    AlertState::Ok
+                    calm
                 } else {
                     AlertState::Warning
                 }
@@ -331,7 +425,7 @@ impl AlertMachine {
             at: now,
             fast_burn: fast.burn,
             slow_burn: slow.burn,
-            evidence: (next == AlertState::Firing).then(evidence),
+            evidence: matches!(next, AlertState::Firing | AlertState::Pending).then(evidence),
         })
     }
 }
@@ -410,7 +504,7 @@ impl AlertSink for MemorySink {
 }
 
 /// Tracks the worst state seen, for CI gating via process exit code
-/// (`0` ok, `1` warning seen, `2` firing seen).
+/// (`0` ok, `1` warning or forecast-pending seen, `2` firing seen).
 #[derive(Debug, Clone, Default)]
 pub struct ExitCodeSink {
     worst: Arc<Mutex<u8>>,
@@ -432,7 +526,7 @@ impl AlertSink for ExitCodeSink {
     fn emit(&mut self, event: &AlertEvent) {
         let severity = match event.to {
             AlertState::Firing => 2,
-            AlertState::Warning => 1,
+            AlertState::Warning | AlertState::Pending => 1,
             AlertState::Ok | AlertState::Resolved => 0,
         };
         let mut worst = self.worst.lock().expect("sink lock");
@@ -551,11 +645,158 @@ mod tests {
                 prediction: None,
                 model_verdict: Some("drift: Q99[W] off by 2.1x".into()),
                 trace_ids: vec![7, 9],
+                forecast: None,
             })
             .unwrap();
         let json = e.render_json();
         assert!(json.contains("\"to\":\"firing\""));
         assert!(json.contains("\"trace_ids\":[7,9]"));
         assert!(json.contains("\"window\":null"));
+        assert!(json.contains("\"forecast\":null"));
+    }
+
+    fn forecast_evidence() -> Evidence {
+        Evidence {
+            forecast: Some(ForecastEvidence {
+                target: "w99-breach".into(),
+                eta: Duration::from_secs(45),
+                eta_early: Duration::from_secs(30),
+                eta_late: None,
+                lambda_now: 800.0,
+                lambda_slope: 12.5,
+                confidence: "high".into(),
+            }),
+            ..Evidence::default()
+        }
+    }
+
+    #[test]
+    fn forecast_raises_pending_before_any_burn_and_clears() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        // Clean burns + breach forecast → Pending, with the forecast as
+        // evidence.
+        let e = m
+            .step_with_forecast(
+                Duration::from_secs(1),
+                burn(0.1),
+                burn(0.1),
+                true,
+                forecast_evidence,
+            )
+            .unwrap();
+        assert_eq!((e.from, e.to), (AlertState::Ok, AlertState::Pending));
+        let f = e.evidence.expect("pending carries evidence").forecast.expect("forecast");
+        assert_eq!(f.confidence, "high");
+        // Forecast persists → no re-emission.
+        assert!(m
+            .step_with_forecast(
+                Duration::from_secs(2),
+                burn(0.1),
+                burn(0.1),
+                true,
+                forecast_evidence
+            )
+            .is_none());
+        // Forecast clears → back to Ok.
+        let e = m
+            .step_with_forecast(
+                Duration::from_secs(3),
+                burn(0.1),
+                burn(0.1),
+                false,
+                forecast_evidence,
+            )
+            .unwrap();
+        assert_eq!((e.from, e.to), (AlertState::Pending, AlertState::Ok));
+    }
+
+    #[test]
+    fn pending_escalates_through_warning_and_firing() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        m.step_with_forecast(Duration::from_secs(1), burn(0.1), burn(0.1), true, forecast_evidence)
+            .unwrap();
+        let e = m
+            .step_with_forecast(
+                Duration::from_secs(2),
+                burn(2.5),
+                burn(0.5),
+                true,
+                forecast_evidence,
+            )
+            .unwrap();
+        assert_eq!((e.from, e.to), (AlertState::Pending, AlertState::Warning));
+        let e = m
+            .step_with_forecast(
+                Duration::from_secs(3),
+                burn(3.0),
+                burn(2.5),
+                true,
+                forecast_evidence,
+            )
+            .unwrap();
+        assert_eq!(e.to, AlertState::Firing);
+        // A firing that had an active forecast carries it as evidence.
+        assert!(e.evidence.unwrap().forecast.is_some());
+    }
+
+    #[test]
+    fn warning_deescalates_to_pending_while_forecast_holds() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        m.step_with_forecast(
+            Duration::from_secs(1),
+            burn(2.5),
+            burn(0.1),
+            false,
+            Evidence::default,
+        )
+        .unwrap();
+        assert_eq!(m.state(), AlertState::Warning);
+        let e = m
+            .step_with_forecast(
+                Duration::from_secs(2),
+                burn(0.1),
+                burn(0.1),
+                true,
+                forecast_evidence,
+            )
+            .unwrap();
+        assert_eq!((e.from, e.to), (AlertState::Warning, AlertState::Pending));
+    }
+
+    #[test]
+    fn exit_code_sink_counts_pending_as_warning_severity() {
+        let mut sink = ExitCodeSink::new();
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        let e = m
+            .step_with_forecast(
+                Duration::from_secs(1),
+                burn(0.1),
+                burn(0.1),
+                true,
+                forecast_evidence,
+            )
+            .unwrap();
+        sink.emit(&e);
+        assert_eq!(sink.code(), 1);
+    }
+
+    #[test]
+    fn pending_event_json_carries_the_forecast() {
+        let mut m = AlertMachine::new("w99", 2.0, policy());
+        let e = m
+            .step_with_forecast(
+                Duration::from_secs(1),
+                burn(0.1),
+                burn(0.1),
+                true,
+                forecast_evidence,
+            )
+            .unwrap();
+        let json = e.render_json();
+        assert!(json.contains("\"to\":\"pending\""), "{json}");
+        assert!(json.contains("\"target\":\"w99-breach\""), "{json}");
+        assert!(json.contains("\"eta_ms\":45000"), "{json}");
+        assert!(json.contains("\"eta_late_ms\":null"), "{json}");
+        assert!(json.contains("\"confidence\":\"high\""), "{json}");
     }
 }

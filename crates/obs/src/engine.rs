@@ -14,6 +14,7 @@
 //! `/history`, `/slo` and `/alerts` endpoints.
 
 use crate::alert::{AlertEvent, AlertMachine, AlertPolicy, AlertSink, AlertState, Evidence};
+use crate::forecast::{BreachTargets, Forecast, ForecastConfig, Forecaster, BACKLOG_METRIC};
 use crate::history::{HistoryConfig, MetricHistory, Reduce, Window};
 use crate::slo::{evaluate_window, Objective, SloSpec, WindowBurn, SERVICE_METRIC, WAITING_METRIC};
 use rjms_core::{ModelMonitor, ModelVerdict};
@@ -38,6 +39,10 @@ pub struct ObsConfig {
     pub slos: Vec<SloSpec>,
     /// Shared hysteresis/pacing policy.
     pub policy: AlertPolicy,
+    /// Predictive forecasting knobs (trend window, horizon, confidence
+    /// gate). Forecasting is on by default; set `forecast.enabled =
+    /// false` to run the engine purely reactively.
+    pub forecast: ForecastConfig,
 }
 
 impl Default for ObsConfig {
@@ -46,6 +51,7 @@ impl Default for ObsConfig {
             history: HistoryConfig::default(),
             slos: SloSpec::defaults(),
             policy: AlertPolicy::default(),
+            forecast: ForecastConfig::default(),
         }
     }
 }
@@ -76,7 +82,10 @@ pub struct ObsCore {
     specs: Vec<SloSpec>,
     machines: Vec<AlertMachine>,
     monitor: Option<ModelMonitor>,
+    forecaster: Forecaster,
+    targets: BreachTargets,
     latest_verdict: Option<ModelVerdict>,
+    latest_forecast: Option<Forecast>,
     latest_status: Vec<ObjectiveStatus>,
     events: std::collections::VecDeque<AlertEvent>,
     sinks: Vec<Box<dyn AlertSink>>,
@@ -100,12 +109,16 @@ impl ObsCore {
             .iter()
             .map(|s| AlertMachine::new(&s.name, s.burn_threshold, config.policy))
             .collect();
+        let targets = BreachTargets::from_specs(&config.slos);
         Self {
             history: MetricHistory::new(config.history),
             specs: config.slos,
             machines,
             monitor: None,
+            forecaster: Forecaster::new(config.forecast),
+            targets,
             latest_verdict: None,
+            latest_forecast: None,
             latest_status: Vec::new(),
             events: std::collections::VecDeque::with_capacity(EVENT_RING),
             sinks: Vec::new(),
@@ -153,6 +166,42 @@ impl ObsCore {
         self.latest_verdict.as_ref()
     }
 
+    /// The latest saturation forecast (recomputed by each tick when
+    /// forecasting is enabled and trend data suffices).
+    pub fn latest_forecast(&self) -> Option<&Forecast> {
+        self.latest_forecast.as_ref()
+    }
+
+    /// The forecaster's knobs.
+    pub fn forecast_config(&self) -> &ForecastConfig {
+        self.forecaster.config()
+    }
+
+    /// Computes a forecast over arbitrary instrument names — the HTTP
+    /// layer uses this for per-shard forecasts over the labeled twins
+    /// (`broker.waiting_ns{shard="i"}` etc). The shard's own service
+    /// histogram is moment-matched rather than the aggregate monitor's
+    /// calibration, so each shard is judged at its own operating point.
+    pub fn forecast_for(
+        &self,
+        waiting_metric: &str,
+        service_metric: &str,
+        backlog_metric: &str,
+    ) -> Option<Forecast> {
+        if !self.forecaster.config().enabled {
+            return None;
+        }
+        self.forecaster.forecast(
+            &self.history,
+            waiting_metric,
+            service_metric,
+            backlog_metric,
+            &self.targets,
+            None,
+            self.history.latest().unwrap_or(Duration::ZERO),
+        )
+    }
+
     /// Ingests one cumulative snapshot and evaluates every objective.
     /// Returns the transitions that occurred (already delivered to sinks).
     pub fn tick(
@@ -178,6 +227,23 @@ impl ObsCore {
             Some(ModelVerdict::Drift(_) | ModelVerdict::Overloaded { .. })
         );
 
+        // Predictive pass: fit the λ(t) trend and project time-to-breach
+        // before any burn evaluation, so a clean-but-climbing system can
+        // enter Pending this very tick.
+        let forecast_config = *self.forecaster.config();
+        let forecast = forecast_config.enabled.then(|| {
+            self.forecaster.forecast(
+                &self.history,
+                WAITING_METRIC,
+                SERVICE_METRIC,
+                BACKLOG_METRIC,
+                &self.targets,
+                self.latest_verdict.as_ref(),
+                elapsed,
+            )
+        });
+        let forecast = forecast.flatten();
+
         let mut transitions = Vec::new();
         let mut status = Vec::with_capacity(self.specs.len());
         for (spec, machine) in self.specs.iter().zip(self.machines.iter_mut()) {
@@ -185,8 +251,15 @@ impl ObsCore {
             let slow_window = self.history.window(spec.slow_window);
             let fast = evaluate_window(&spec.objective, &fast_window, drift_red);
             let slow = evaluate_window(&spec.objective, &slow_window, drift_red);
-            let event = machine.step(elapsed, fast, slow, || {
-                build_evidence(spec, &fast_window, self.latest_verdict.as_ref(), recorder)
+            let hint = pending_hint(forecast.as_ref(), &forecast_config, &spec.objective);
+            let event = machine.step_with_forecast(elapsed, fast, slow, hint, || {
+                build_evidence(
+                    spec,
+                    &fast_window,
+                    self.latest_verdict.as_ref(),
+                    forecast.as_ref(),
+                    recorder,
+                )
             });
             if let Some(event) = event {
                 transitions.push(event);
@@ -201,6 +274,7 @@ impl ObsCore {
                 budget_remaining: budget_remaining(&spec.objective, slow),
             });
         }
+        self.latest_forecast = forecast;
         self.latest_status = status;
         for event in &transitions {
             if self.events.len() == EVENT_RING {
@@ -254,6 +328,36 @@ impl ObsCore {
             w.end_object();
         }
         w.end_array();
+        w.key("forecast");
+        match &self.latest_forecast {
+            Some(f) => w.raw(&f.render_json()),
+            None => w.null(),
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Renders the `/forecast` JSON payload: the aggregate forecast plus
+    /// the knobs it was computed under.
+    pub fn render_forecast_json(&self) -> String {
+        let config = self.forecaster.config();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("elapsed_ms");
+        w.uint(self.history.latest().map(|t| t.as_millis() as u64).unwrap_or(0));
+        w.key("enabled");
+        w.bool(config.enabled);
+        w.key("horizon_ms");
+        w.uint(config.horizon.as_millis() as u64);
+        w.key("trend_window_ms");
+        w.uint(config.trend_window.as_millis() as u64);
+        w.key("min_confidence");
+        w.string(config.min_confidence.name());
+        w.key("forecast");
+        match &self.latest_forecast {
+            Some(f) => w.raw(&f.render_json()),
+            None => w.null(),
+        }
         w.end_object();
         w.finish()
     }
@@ -305,6 +409,7 @@ impl ObsCore {
             Reduce::Level => "level",
             Reduce::Quantile(_) => "quantile",
             Reduce::Count => "count",
+            Reduce::Mean => "mean",
         });
         w.key("points");
         w.begin_array();
@@ -380,13 +485,35 @@ pub fn verdict_summary(verdict: &ModelVerdict) -> String {
     }
 }
 
+/// Whether the forecast justifies the proactive `Pending` state for one
+/// objective: latency objectives pend on the projected quantile breach,
+/// the utilization ceiling pends on projected saturation, and drift
+/// health (a model-consistency signal, not a load signal) never pends.
+fn pending_hint(
+    forecast: Option<&Forecast>,
+    config: &ForecastConfig,
+    objective: &Objective,
+) -> bool {
+    let Some(f) = forecast else { return false };
+    if f.confidence < config.min_confidence.max(crate::forecast::Confidence::Low) {
+        return false;
+    }
+    let band = match objective {
+        Objective::LatencyQuantile { .. } => f.eta_breach,
+        Objective::UtilizationCeiling { .. } => f.eta_saturation,
+        Objective::DriftHealth => None,
+    };
+    band.is_some_and(|b| b.eta <= config.horizon)
+}
+
 /// Builds firing evidence for one objective from the offending fast
-/// window, the latest model verdict, and the flight recorder's current
-/// tail-sampled chains.
+/// window, the latest model verdict, the active forecast, and the flight
+/// recorder's current tail-sampled chains.
 fn build_evidence(
     spec: &SloSpec,
     fast_window: &Window,
     verdict: Option<&ModelVerdict>,
+    forecast: Option<&Forecast>,
     recorder: Option<&FlightRecorder>,
 ) -> Evidence {
     let metric = match &spec.objective {
@@ -410,6 +537,7 @@ fn build_evidence(
         window_histogram: fast_window.histogram(metric).cloned(),
         prediction: verdict.and_then(|v| v.report()).map(|r| r.predicted),
         model_verdict: verdict.map(verdict_summary),
+        forecast: forecast.and_then(|f| f.evidence()),
         trace_ids,
     }
 }
@@ -513,6 +641,7 @@ mod tests {
             },
             slos: quick_specs(),
             policy: quick_policy(),
+            forecast: ForecastConfig::default(),
         };
         let mut core = ObsCore::new(config);
         let sink = MemorySink::new();
@@ -560,6 +689,7 @@ mod tests {
             },
             slos: quick_specs(),
             policy: quick_policy(),
+            forecast: ForecastConfig::default(),
         };
         let mut core = ObsCore::new(config);
         let mut transitions = Vec::new();
@@ -606,6 +736,92 @@ mod tests {
             Reduce::Rate,
         );
         assert!(counter_hist.contains("\"total\":"));
+    }
+
+    #[test]
+    fn ramp_raises_pending_before_firing_with_forecast_evidence() {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram(WAITING_METRIC);
+        let service = registry.histogram(SERVICE_METRIC);
+        let backlog = registry.histogram(BACKLOG_METRIC);
+        let config = ObsConfig {
+            history: HistoryConfig {
+                fine_interval: Duration::from_secs(1),
+                fine_slots: 64,
+                coarse_factor: 4,
+                coarse_slots: 32,
+            },
+            slos: vec![SloSpec::latency("w99", WAITING_METRIC, 0.99, 10_000_000)
+                .windows(Duration::from_secs(8), Duration::from_secs(16))],
+            policy: quick_policy(),
+            forecast: ForecastConfig {
+                trend_window: Duration::from_secs(20),
+                horizon: Duration::from_secs(300),
+                ..ForecastConfig::default()
+            },
+        };
+        let mut core = ObsCore::new(config);
+        let mut transitions = Vec::new();
+        let mut t = 0u64;
+        // Healthy waits, 1 ms service, arrival rate ramping linearly:
+        // burn rates stay clean while the trend points at saturation.
+        for step in 1..=20u64 {
+            let n = 50 + 25 * step;
+            for _ in 0..n {
+                waiting.record(500_000);
+                service.record(1_000_000);
+                backlog.record((n as f64 * 0.0005).round() as u64);
+            }
+            t += 1;
+            transitions.extend(core.tick(Duration::from_secs(t), &registry.snapshot(), None));
+        }
+        assert_eq!(core.status()[0].state, AlertState::Pending, "clean ramp must pend");
+        let pending = transitions.iter().find(|e| e.to == AlertState::Pending).unwrap();
+        let evidence = pending.evidence.as_ref().unwrap();
+        let forecast = evidence.forecast.as_ref().expect("pending carries the forecast");
+        assert_eq!(forecast.target, "w99-breach");
+        assert!(forecast.eta > Duration::ZERO);
+        assert!(core.render_forecast_json().contains("\"eta_breach\":{"));
+        assert!(core.render_slo_json().contains("\"forecast\":{"));
+        // The predicted breach arrives: violating samples drive the same
+        // machine through Warning into Firing.
+        for _ in 0..9 {
+            for _ in 0..600 {
+                waiting.record(50_000_000);
+                service.record(1_000_000);
+                backlog.record(30);
+            }
+            t += 1;
+            transitions.extend(core.tick(Duration::from_secs(t), &registry.snapshot(), None));
+        }
+        assert_eq!(core.status()[0].state, AlertState::Firing);
+        let pending_at = transitions.iter().position(|e| e.to == AlertState::Pending).unwrap();
+        let firing_at = transitions.iter().position(|e| e.to == AlertState::Firing).unwrap();
+        assert!(pending_at < firing_at, "forecast must precede the burn alert");
+    }
+
+    #[test]
+    fn forecast_disabled_never_pends() {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram(WAITING_METRIC);
+        let service = registry.histogram(SERVICE_METRIC);
+        let config = ObsConfig {
+            slos: quick_specs(),
+            forecast: ForecastConfig { enabled: false, ..ForecastConfig::default() },
+            ..ObsConfig::default()
+        };
+        let mut core = ObsCore::new(config);
+        for t in 1..=20u64 {
+            for _ in 0..(50 + 25 * t) {
+                waiting.record(100_000);
+                service.record(1_000_000);
+            }
+            core.tick(Duration::from_secs(t), &registry.snapshot(), None);
+        }
+        assert_eq!(core.status()[0].state, AlertState::Ok);
+        assert!(core.latest_forecast().is_none());
+        assert!(core.render_forecast_json().contains("\"enabled\":false"));
+        assert!(core.forecast_for(WAITING_METRIC, SERVICE_METRIC, BACKLOG_METRIC).is_none());
     }
 
     #[test]

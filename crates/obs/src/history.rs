@@ -158,6 +158,10 @@ pub enum Reduce {
     Quantile(f64),
     /// Histogram sample count within the slot.
     Count,
+    /// Histogram sample mean within the slot; 0 when the slot saw none.
+    /// For the backlog instrument this is the slot's average observed
+    /// queue length — the measured `L` of the Little's-law check.
+    Mean,
 }
 
 /// The multi-resolution delta ring. See the [module docs](self).
@@ -331,6 +335,7 @@ impl MetricHistory {
                     Reduce::Count => {
                         slot.histograms.get(metric).map(|h| h.count).unwrap_or(0) as f64
                     }
+                    Reduce::Mean => slot.histograms.get(metric).map(|h| h.mean()).unwrap_or(0.0),
                 };
                 SeriesPoint { elapsed_ms: slot.end.as_millis() as u64, value }
             })
@@ -466,6 +471,24 @@ mod tests {
         let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
         assert_eq!(values, vec![10.0, 20.0, 30.0]);
         assert!(pts.windows(2).all(|w| w[0].elapsed_ms < w[1].elapsed_ms));
+    }
+
+    #[test]
+    fn mean_reduce_is_per_slot_sample_mean() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("broker.backlog");
+        let mut history = MetricHistory::new(cfg(10, 5, 10));
+        history.record(Duration::from_secs(0), &registry.snapshot());
+        // Slot 1: samples {2, 4} → mean 3; slot 2: none → 0; slot 3: {9}.
+        h.record(2);
+        h.record(4);
+        history.record(Duration::from_secs(1), &registry.snapshot());
+        history.record(Duration::from_secs(2), &registry.snapshot());
+        h.record(9);
+        history.record(Duration::from_secs(3), &registry.snapshot());
+        let pts = history.series("broker.backlog", Duration::from_secs(10), Reduce::Mean);
+        let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![3.0, 0.0, 9.0]);
     }
 
     #[test]

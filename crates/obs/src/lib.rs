@@ -23,6 +23,9 @@
 //! * [`alert`] — the ok → warning → firing → resolved state machine with
 //!   hysteresis and cooldown, plus pluggable sinks (stderr, webhook,
 //!   in-memory, CI exit code),
+//! * [`forecast`] — the predictive layer: λ(t) trend estimation over the
+//!   history rings, analytic breach-point inversion, time-to-breach ETAs
+//!   with confidence bands, and the Little's-law telemetry self-check,
 //! * [`engine`] — [`ObsCore`], the deterministic tick-driven engine, and
 //!   [`ObsRuntime`], its production sampling thread,
 //! * [`minijson`] — the dependency-free JSON parser the operator console
@@ -53,6 +56,7 @@
 
 pub mod alert;
 pub mod engine;
+pub mod forecast;
 pub mod history;
 pub mod minijson;
 pub mod slo;
@@ -60,9 +64,13 @@ pub mod topics;
 
 pub use alert::{
     AlertEvent, AlertMachine, AlertPolicy, AlertSink, AlertState, Evidence, ExitCodeSink,
-    MemorySink, StderrSink, WebhookSink,
+    ForecastEvidence, MemorySink, StderrSink, WebhookSink,
 };
 pub use engine::{verdict_summary, ObjectiveStatus, ObsConfig, ObsCore, ObsRuntime};
+pub use forecast::{
+    BreachTargets, Confidence, EtaBand, Forecast, ForecastConfig, Forecaster, LittlesLawCheck,
+    BACKLOG_METRIC,
+};
 pub use history::{HistoryConfig, MetricHistory, Reduce, SeriesPoint, Window};
 pub use slo::{evaluate_window, Objective, SloSpec, WindowBurn};
 pub use topics::{analyze_skew, ShardShare, SkewConfig, SkewReport, TopicLoad, TopicMove};

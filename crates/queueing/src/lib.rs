@@ -16,6 +16,9 @@
 //!   Gamma-approximated waiting-time distribution (Eq. 20),
 //! * [`gamma_dist`] — the two-parameter Gamma distribution used by the
 //!   approximation,
+//! * [`inversion`] — the exact waiting-time distribution by Abate–Whitt
+//!   numerical inversion of the Pollaczek–Khinchine transform, used to
+//!   bound the Gamma approximation's tail error,
 //! * [`special`] — the special functions (`ln Γ`, regularized incomplete
 //!   gamma) everything rests on,
 //! * [`moments`] — the raw-moment calculus shared by all stages.
@@ -43,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod gamma_dist;
+pub mod inversion;
 pub mod mg1;
 pub mod moments;
 pub mod replication;
@@ -50,6 +54,7 @@ pub mod service;
 pub mod special;
 
 pub use gamma_dist::Gamma;
+pub use inversion::ExactWaiting;
 pub use mg1::{Mg1, Mg1Error, WaitingTimeDistribution};
 pub use moments::Moments3;
 pub use replication::{MomentMatchError, ReplicationModel};

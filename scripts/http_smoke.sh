@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # HTTP exposition smoke test: start a traced two-shard rjms-server with
-# the HTTP endpoint, the SLO engine, flow control, and the per-topic
-# observatory, drive a workload through the TCP clients, then validate
-# the /metrics, /snapshot.json, /traces, /model, /flow, /history, /slo,
-# /alerts, /shards, and /topics responses.
+# the HTTP endpoint, the SLO engine, the saturation forecaster, flow
+# control, and the per-topic observatory, drive a workload through the
+# TCP clients, then validate the /metrics, /snapshot.json, /traces,
+# /model, /flow, /history, /slo, /alerts, /forecast, /shards, and
+# /topics responses.
 #
 # Usage: scripts/http_smoke.sh [path-to-target-dir]
 # Exits non-zero on any failed check.
@@ -27,8 +28,8 @@ done
 
 fail() { echo "FAIL: $*"; exit 1; }
 
-"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --flow --shards 2 \
-  --topic-obs --topic smoke &
+"$SERVER" --listen "$LISTEN_ADDR" --http "$HTTP_ADDR" --trace --slo --forecast --flow \
+  --shards 2 --topic-obs --topic smoke &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
@@ -122,6 +123,7 @@ grep -q '"flow":{"granted":' "$WORKDIR/snapshot.json" \
 curl -sf "http://$HTTP_ADDR/slo" > "$WORKDIR/slo.json" || fail "/slo not served"
 grep -q '"name":"w99"' "$WORKDIR/slo.json" || fail "/slo missing the derived w99 objective"
 grep -q '"model_verdict":' "$WORKDIR/slo.json" || fail "/slo missing the model verdict"
+grep -q '"forecast":' "$WORKDIR/slo.json" || fail "/slo missing the forecast block"
 
 # Poll until the sampler ticks past the workload and the dispatched
 # messages show up as a non-zero point in the waiting-time history.
@@ -139,11 +141,23 @@ grep -q '"metric":"broker.waiting_ns"' "$WORKDIR/history.json" \
 curl -sf "http://$HTTP_ADDR/alerts" > "$WORKDIR/alerts.json" || fail "/alerts not served"
 grep -q '"events":\[' "$WORKDIR/alerts.json" || fail "/alerts missing the event log"
 
+# --- /forecast: the saturation forecaster ------------------------------
+# The smoke run is short, so the trend fit may still be warming up
+# ("forecast":null); the knobs and the enabled switch must be present
+# either way.
+curl -sf "http://$HTTP_ADDR/forecast" > "$WORKDIR/forecast.json" || fail "/forecast not served"
+grep -q '"enabled":true' "$WORKDIR/forecast.json" || fail "/forecast reports forecasting disabled"
+grep -q '"horizon_ms":' "$WORKDIR/forecast.json" || fail "/forecast missing the horizon knob"
+grep -q '"trend_window_ms":' "$WORKDIR/forecast.json" || fail "/forecast missing the trend window knob"
+grep -q '"min_confidence":' "$WORKDIR/forecast.json" || fail "/forecast missing the confidence gate"
+grep -q '"forecast":' "$WORKDIR/forecast.json" || fail "/forecast missing the forecast body"
+
 # --- /shards: per-shard model assessments ------------------------------
 curl -sf "http://$HTTP_ADDR/shards" > "$WORKDIR/shards.json" || fail "/shards not served"
 grep -q '"shard":0' "$WORKDIR/shards.json" || fail "/shards missing shard 0"
 grep -q '"shard":1' "$WORKDIR/shards.json" || fail "/shards missing shard 1"
 grep -q '"verdict":' "$WORKDIR/shards.json" || fail "/shards missing model verdicts"
+grep -q '"forecast":' "$WORKDIR/shards.json" || fail "/shards missing per-shard forecast blocks"
 # The two-shard server exposes per-shard counters in the broker snapshot,
 # and the one topic lands on exactly one dispatcher.
 grep -q '"shards":\[' "$WORKDIR/snapshot.json" || fail "/snapshot.json missing the shards section"

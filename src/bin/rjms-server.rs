@@ -5,6 +5,7 @@
 //!             [--shards N] [--stats-every SECS]
 //!             [--metrics-interval SECS] [--cost-model corr|app]
 //!             [--http ADDR] [--trace] [--trace-quantile Q]
+//!             [--forecast] [--forecast-horizon SECS] [--forecast-confidence LEVEL]
 //!             [--flow] [--flow-w99 MS] [--flow-classes N]
 //!             [--topic-obs] [--topic-obs-cap N] [--topic-obs-target RATIO]
 //! ```
@@ -81,6 +82,18 @@
 //! a JSON POST per transition). `--history SECS` tunes the sampling
 //! interval (default 1 s; implies `--slo`).
 //!
+//! Forecasting rides on the SLO engine and is on by default when the
+//! engine runs: the λ(t) trend over the metric history is projected into
+//! the analytic breach points (W99 exhaustion, ρ saturation) and a
+//! high-confidence breach inside the horizon raises the proactive
+//! `pending` alert state before any burn. `--forecast` requests it
+//! explicitly (implies `--slo`); `--forecast-horizon SECS` sets the
+//! look-ahead (default 900) and `--forecast-confidence low|medium|high`
+//! the gate a forecast must clear to page (default medium). The
+//! `[forecast]` config section can also set `trend_window_secs` or turn
+//! the layer off with `enabled = false`. `/forecast`, `/slo`, and
+//! `/shards` expose the projections.
+//!
 //! Periodic reports go to **stderr**, each as one pre-built buffer written
 //! with a single `write_all`, so concurrent stats and metrics reports
 //! never interleave mid-line and stdout stays machine-parseable.
@@ -95,7 +108,10 @@ use rjms::model::model::ServerModel;
 use rjms::model::monitor::{ModelMonitor, ModelVerdict};
 use rjms::model::params::CostParams;
 use rjms::net::server::BrokerServer;
-use rjms::obs::{HistoryConfig, ObsConfig, ObsCore, ObsRuntime, StderrSink, WebhookSink};
+use rjms::obs::{
+    Confidence, ForecastConfig, HistoryConfig, ObsConfig, ObsCore, ObsRuntime, StderrSink,
+    WebhookSink,
+};
 use rjms::queueing::replication::ReplicationModel;
 use rjms::trace::group_chains;
 use std::fmt::Write as _;
@@ -119,6 +135,9 @@ struct Args {
     slo: bool,
     history: Option<u64>,
     alert_sinks: Vec<String>,
+    forecast: bool,
+    forecast_horizon: Option<u64>,
+    forecast_confidence: Option<String>,
     flow: bool,
     flow_w99_ms: Option<u64>,
     flow_classes: Option<u8>,
@@ -142,6 +161,15 @@ struct Settings {
     slo: bool,
     history: Option<u64>,
     alert_sinks: Vec<String>,
+    /// Effective forecasting switch (on by default when the SLO engine
+    /// runs; `[forecast] enabled = false` turns it off).
+    forecast: bool,
+    /// Whether forecasting was explicitly requested (flag or enabled
+    /// file section) — an explicit request implies `--slo`.
+    forecast_requested: bool,
+    forecast_horizon: Option<u64>,
+    forecast_trend_window: Option<u64>,
+    forecast_confidence: Option<Confidence>,
     flow: bool,
     flow_w99_ms: Option<u64>,
     flow_classes: Option<u8>,
@@ -174,6 +202,21 @@ fn merge(args: Args, file: rjms::config_file::ServerFileConfig) -> Result<Settin
             alert_sinks.push(sink);
         }
     }
+    let forecast_requested = args.forecast
+        || args.forecast_horizon.is_some()
+        || args.forecast_confidence.is_some()
+        || file.forecast.as_ref().is_some_and(|f| f.enabled);
+    let forecast_confidence = match args
+        .forecast_confidence
+        .as_deref()
+        .or(file.forecast.as_ref().and_then(|f| f.min_confidence.as_deref()))
+    {
+        None => None,
+        Some(level) => match Confidence::parse(level) {
+            Some(c) => Some(c),
+            None => return Err(format!("bad forecast confidence `{level}` (low|medium|high)")),
+        },
+    };
     Ok(Settings {
         listen: args.listen.or(file.listen).unwrap_or_else(|| "127.0.0.1:7670".to_owned()),
         topics,
@@ -190,6 +233,13 @@ fn merge(args: Args, file: rjms::config_file::ServerFileConfig) -> Result<Settin
         slo: args.slo || file.slo.as_ref().is_some_and(|s| s.enabled),
         history: args.history.or(file.slo.as_ref().and_then(|s| s.history_secs)),
         alert_sinks,
+        forecast: forecast_requested || file.forecast.as_ref().is_none_or(|f| f.enabled),
+        forecast_requested,
+        forecast_horizon: args
+            .forecast_horizon
+            .or(file.forecast.as_ref().and_then(|f| f.horizon_secs)),
+        forecast_trend_window: file.forecast.as_ref().and_then(|f| f.trend_window_secs),
+        forecast_confidence,
         flow: args.flow || file.flow.as_ref().is_some_and(|f| f.enabled),
         flow_w99_ms: args.flow_w99_ms.or(file.flow.as_ref().and_then(|f| f.w99_ms)),
         flow_classes: args.flow_classes.or(file.flow.as_ref().and_then(|f| f.classes)),
@@ -288,6 +338,23 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.history = Some(secs);
             }
+            "--forecast" => args.forecast = true,
+            "--forecast-horizon" => {
+                let v = it.next().ok_or("--forecast-horizon needs a number of seconds")?;
+                let secs: u64 =
+                    v.parse().map_err(|e| format!("bad --forecast-horizon value: {e}"))?;
+                if secs == 0 {
+                    return Err("--forecast-horizon must be at least 1 second".to_owned());
+                }
+                args.forecast_horizon = Some(secs);
+            }
+            "--forecast-confidence" => {
+                let v = it.next().ok_or("--forecast-confidence needs low|medium|high")?;
+                if Confidence::parse(&v).is_none() {
+                    return Err(format!("bad --forecast-confidence `{v}` (low|medium|high)"));
+                }
+                args.forecast_confidence = Some(v);
+            }
             "--alert-sink" => {
                 let v = it.next().ok_or("--alert-sink needs `stderr` or `webhook:ADDR/PATH`")?;
                 if v != "stderr" && !v.starts_with("webhook:") {
@@ -310,6 +377,7 @@ fn parse_args() -> Result<Args, String> {
                      [--stats-every SECS] [--metrics-interval SECS] [--cost-model corr|app] \
                      [--http ADDR] [--trace] [--trace-quantile Q] \
                      [--slo] [--history SECS] [--alert-sink stderr|webhook:ADDR/PATH]... \
+                     [--forecast] [--forecast-horizon SECS] [--forecast-confidence LEVEL] \
                      [--flow] [--flow-w99 MS] [--flow-classes N] \
                      [--topic-obs] [--topic-obs-cap N] [--topic-obs-target RATIO]\n\
                      flags override --config file values; see rjms::config_file for the schema"
@@ -354,7 +422,7 @@ fn main() {
         }
     };
 
-    let slo_enabled = args.slo || args.history.is_some();
+    let slo_enabled = args.slo || args.history.is_some() || args.forecast_requested;
     let mut builder = BrokerConfig::builder().shards(args.shards);
     if args.metrics_interval.is_some() || slo_enabled {
         // The SLO engine samples the broker's registry, so it needs the
@@ -439,8 +507,19 @@ fn main() {
     let obs_runtime = if slo_enabled {
         let registry = server.broker().metrics().expect("metrics enabled above");
         let interval = Duration::from_secs(args.history.unwrap_or(1));
+        let mut forecast = ForecastConfig { enabled: args.forecast, ..ForecastConfig::default() };
+        if let Some(secs) = args.forecast_horizon {
+            forecast.horizon = Duration::from_secs(secs);
+        }
+        if let Some(secs) = args.forecast_trend_window {
+            forecast.trend_window = Duration::from_secs(secs);
+        }
+        if let Some(level) = args.forecast_confidence {
+            forecast.min_confidence = level;
+        }
         let mut core = ObsCore::new(ObsConfig {
             history: HistoryConfig { fine_interval: interval, ..HistoryConfig::default() },
+            forecast,
             ..ObsConfig::default()
         });
         core.add_sink(Box::new(StderrSink));
@@ -458,7 +537,16 @@ fn main() {
             }
         }
         let runtime = ObsRuntime::start(core, registry, server.broker().tracer(), interval);
-        println!("slo engine on ({}s sampling)", interval.as_secs());
+        if forecast.enabled {
+            println!(
+                "slo engine on ({}s sampling, forecast horizon {}s at >= {} confidence)",
+                interval.as_secs(),
+                forecast.horizon.as_secs(),
+                forecast.min_confidence.name(),
+            );
+        } else {
+            println!("slo engine on ({}s sampling, forecasting off)", interval.as_secs());
+        }
         Some(runtime)
     } else {
         None

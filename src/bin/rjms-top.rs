@@ -17,6 +17,11 @@
 //!   — granted- and shed-rate sparklines on the same ten-minute window
 //!   as the waiting-time pane, so an operator sees *when* the gate
 //!   started rejecting load relative to the W99 excursion it protects,
+//! * a **forecast pane** (when the server runs `--forecast`): the fitted
+//!   arrival-rate trend, the model-derived saturation and W99-breach
+//!   rates, an ETA countdown with its confidence band for the soonest
+//!   projected breach, and the Little's-law self-check verdict backing
+//!   the forecast's confidence grade,
 //! * a **topic pane** (when the server runs `--topic-obs`): a skew gauge
 //!   from the `/shards` rebalance block (max/mean shard-load ratio,
 //!   advised moves and the ratio they would reach), then the hottest
@@ -29,8 +34,15 @@
 //!   burn rates.
 //!
 //! `--once` renders a single frame without clearing the screen and exits
-//! non-zero if any objective is firing — usable as a scriptable health
-//! probe. Everything is plain `std`: the HTTP client is a blocking
+//! with a scriptable status code:
+//!
+//! * `0` — every objective is healthy,
+//! * `1` — an objective is **firing**, or one is **pending** (forecast
+//!   predicts a breach inside the horizon) while the forecaster reports
+//!   **high** confidence,
+//! * `2` — transport or usage error (server unreachable, bad flag).
+//!
+//! Everything is plain `std`: the HTTP client is a blocking
 //! `TcpStream`, the JSON reader is [`rjms::obs::minijson`].
 
 use rjms::obs::minijson::{self, Value};
@@ -71,6 +83,11 @@ fn parse_args() -> Result<Args, String> {
             "--once" => args.once = true,
             "--help" | "-h" => {
                 println!("usage: rjms-top [--url HOST:PORT] [--interval SECS] [--once]");
+                println!();
+                println!("--once exit codes:");
+                println!("  0  all objectives healthy");
+                println!("  1  an objective is firing, or pending with a high-confidence forecast");
+                println!("  2  transport or usage error");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -164,10 +181,12 @@ fn verdict_tag(kind: Option<&str>) -> &'static str {
 }
 
 fn state_tag(state: &str) -> &'static str {
-    // ANSI colors: green ok, yellow warning, red firing, cyan resolved.
+    // ANSI colors: green ok, yellow warning, magenta pending (forecast),
+    // red firing, cyan resolved.
     match state {
         "ok" => "\x1b[32mok      \x1b[0m",
         "warning" => "\x1b[33mwarning \x1b[0m",
+        "pending" => "\x1b[35mpending \x1b[0m",
         "firing" => "\x1b[31mFIRING  \x1b[0m",
         "resolved" => "\x1b[36mresolved\x1b[0m",
         _ => "?       ",
@@ -183,8 +202,10 @@ fn fmt_elapsed(ms: u64) -> String {
     format!("{:02}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
 }
 
-/// Builds one full frame; returns the text and whether anything is firing.
-fn render_frame(addr: &str) -> Result<(String, bool), String> {
+/// Builds one full frame; returns the text and the `--once` exit code:
+/// `1` when an objective is firing, or pending while the forecaster
+/// reports high confidence; `0` otherwise.
+fn render_frame(addr: &str) -> Result<(String, i32), String> {
     let slo = get_json(addr, "/slo")?;
     let alerts = get_json(addr, "/alerts")?;
     let w99 = get_json(addr, "/history?metric=broker.waiting_ns&window=10m&reduce=q99")?;
@@ -215,6 +236,92 @@ fn render_frame(addr: &str) -> Result<(String, bool), String> {
     }
     let (spark, top) = sparkline(&series_values(&load));
     out.push_str(&format!("  msgs/slot   {spark}  peak {top:.0}\n\n"));
+
+    // Forecast pane: the model-driven time-to-breach projection, when the
+    // server runs --forecast. /forecast is 404 while the slo engine is
+    // off; skip the pane quietly.
+    let mut forecast_high = false;
+    if let Ok(fc) = get_json(addr, "/forecast") {
+        if matches!(fc.get("enabled"), Some(Value::Bool(true))) {
+            match fc.get("forecast") {
+                Some(f) if !matches!(f, Value::Null) => {
+                    let lambda = f.get("lambda_now").and_then(Value::as_f64).unwrap_or(0.0);
+                    let slope = f.get("lambda_slope_per_s").and_then(Value::as_f64).unwrap_or(0.0);
+                    let rho = f.get("rho_now").and_then(Value::as_f64).unwrap_or(0.0);
+                    let confidence =
+                        f.get("confidence").and_then(Value::as_str).unwrap_or("?").to_owned();
+                    forecast_high = confidence == "high";
+                    let lambda_sat =
+                        f.get("lambda_saturation").and_then(Value::as_f64).unwrap_or(0.0);
+                    out.push_str(&format!(
+                        "  forecast    lambda {lambda:.0}/s  trend {slope:+.2}/s\u{00b2}  rho {rho:.3}  confidence {confidence}\n"
+                    ));
+                    let breach = match f.get("lambda_breach").and_then(Value::as_f64) {
+                        Some(v) => format!("{v:.0}/s"),
+                        None => "-".to_owned(),
+                    };
+                    out.push_str(&format!(
+                        "              breach rates: w99 {breach}  saturation {lambda_sat:.0}/s\n"
+                    ));
+                    // ETA countdowns with their confidence bands; an open
+                    // late edge means the slope's error bars reach zero.
+                    let fmt_band = |band: &Value| {
+                        let eta = band.get("eta_ms").and_then(Value::as_u64).unwrap_or(0);
+                        let early = band.get("early_ms").and_then(Value::as_u64).unwrap_or(eta);
+                        match band.get("late_ms").and_then(Value::as_u64) {
+                            Some(late) => format!(
+                                "{} in {} (band {}..{})",
+                                if eta == 0 { "BREACHED" } else { "breach" },
+                                fmt_elapsed(eta),
+                                fmt_elapsed(early),
+                                fmt_elapsed(late)
+                            ),
+                            None => format!(
+                                "breach in {} (band {}..\u{221e})",
+                                fmt_elapsed(eta),
+                                fmt_elapsed(early)
+                            ),
+                        }
+                    };
+                    for (label, key) in
+                        [("w99-breach", "eta_breach"), ("saturation", "eta_saturation")]
+                    {
+                        if let Some(band) = f.get(key).filter(|b| !matches!(b, Value::Null)) {
+                            let line = format!("              ETA {label:<11} {}", fmt_band(band));
+                            if forecast_high {
+                                out.push_str(&format!("\x1b[31m{line}\x1b[0m\n"));
+                            } else {
+                                out.push_str(&line);
+                                out.push('\n');
+                            }
+                        }
+                    }
+                    // The Little's-law self-check backing the grade.
+                    if let Some(ll) = f.get("littles_law").filter(|v| !matches!(v, Value::Null)) {
+                        let measured = ll.get("measured_l").and_then(Value::as_f64).unwrap_or(0.0);
+                        let predicted =
+                            ll.get("predicted_l").and_then(Value::as_f64).unwrap_or(0.0);
+                        let err = ll.get("error").and_then(Value::as_f64).unwrap_or(0.0);
+                        let tag = if matches!(ll.get("consistent"), Some(Value::Bool(true))) {
+                            "\x1b[32mconsistent\x1b[0m"
+                        } else {
+                            "\x1b[33mDISAGREES\x1b[0m"
+                        };
+                        out.push_str(&format!(
+                            "              littles-law L {measured:.1} vs lambda*E[W] {predicted:.1} (err {:.0}%) {tag}\n",
+                            err * 100.0
+                        ));
+                    }
+                    out.push('\n');
+                }
+                _ => {
+                    out.push_str(
+                        "  forecast    (warming up \u{2014} not enough trend history)\n\n",
+                    );
+                }
+            }
+        }
+    }
 
     // Flow pane: admission-control state, when the server runs --flow.
     // /flow is 404 on a flow-less server; skip the pane quietly.
@@ -335,10 +442,12 @@ fn render_frame(addr: &str) -> Result<(String, bool), String> {
         "  objective                 state     fast-burn  slow-burn  thresh  error budget\n",
     );
     let mut firing = false;
+    let mut pending = false;
     for obj in slo.get("objectives").map(Value::items).unwrap_or_default() {
         let name = obj.get("name").and_then(Value::as_str).unwrap_or("?");
         let state = obj.get("state").and_then(Value::as_str).unwrap_or("?");
         firing |= state == "firing";
+        pending |= state == "pending";
         let fast = obj.get("fast_burn").and_then(Value::as_f64).unwrap_or(0.0);
         let slow = obj.get("slow_burn").and_then(Value::as_f64).unwrap_or(0.0);
         let thresh = obj.get("threshold").and_then(Value::as_f64).unwrap_or(0.0);
@@ -376,7 +485,10 @@ fn render_frame(addr: &str) -> Result<(String, bool), String> {
         line.push('\n');
         out.push_str(&line);
     }
-    Ok((out, firing))
+    // Exit-code policy: firing is always actionable; a pending objective
+    // only is when the forecaster stands behind its projection.
+    let code = if firing || (pending && forecast_high) { 1 } else { 0 };
+    Ok((out, code))
 }
 
 fn main() {
@@ -389,9 +501,9 @@ fn main() {
     };
     if args.once {
         match render_frame(&args.url) {
-            Ok((frame, firing)) => {
+            Ok((frame, code)) => {
                 print!("{frame}");
-                std::process::exit(if firing { 1 } else { 0 });
+                std::process::exit(code);
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -4,7 +4,8 @@
 //! flag surface needs, nothing more:
 //!
 //! * `key = value` pairs, one per line;
-//! * `[section]` headers (`[trace]`, `[slo]`, `[flow]`, `[topic_obs]`);
+//! * `[section]` headers (`[trace]`, `[slo]`, `[forecast]`, `[flow]`,
+//!   `[topic_obs]`);
 //! * values: `"strings"`, `true`/`false`, integers, floats, and
 //!   single-line arrays of strings;
 //! * `#` comments (outside strings) and blank lines.
@@ -29,6 +30,11 @@
 //! [slo]
 //! history_secs = 1
 //! alert_sinks = ["stderr", "webhook:127.0.0.1:9200/alerts"]
+//!
+//! [forecast]
+//! horizon_secs = 900
+//! trend_window_secs = 300
+//! min_confidence = "medium"   # low | medium | high
 //!
 //! [flow]
 //! w99_ms = 10
@@ -65,6 +71,8 @@ pub struct ServerFileConfig {
     pub trace: Option<TraceSection>,
     /// `[slo]` section, when present.
     pub slo: Option<SloSection>,
+    /// `[forecast]` section, when present.
+    pub forecast: Option<ForecastSection>,
     /// `[flow]` section, when present.
     pub flow: Option<FlowSection>,
     /// `[topic_obs]` section, when present.
@@ -89,6 +97,24 @@ pub struct SloSection {
     pub history_secs: Option<u64>,
     /// `alert_sinks = ["stderr", "webhook:ADDR/PATH", ...]`.
     pub alert_sinks: Vec<String>,
+}
+
+/// The `[forecast]` section: model-driven time-to-breach forecasting
+/// (implies the SLO engine; forecasting is on by default when the engine
+/// runs, so the section exists to tune it or switch it off).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastSection {
+    /// `enabled = bool`; defaults to `true` when the section is present.
+    pub enabled: bool,
+    /// `horizon_secs = SECS` — a projected breach inside this look-ahead
+    /// raises the proactive `pending` alert state.
+    pub horizon_secs: Option<u64>,
+    /// `trend_window_secs = SECS` — trailing window the λ(t) trend is
+    /// fitted over.
+    pub trend_window_secs: Option<u64>,
+    /// `min_confidence = "low" | "medium" | "high"` — the confidence gate
+    /// a forecast must clear to raise `pending`.
+    pub min_confidence: Option<String>,
 }
 
 /// The `[flow]` section: model-driven admission control.
@@ -222,6 +248,14 @@ pub fn parse(text: &str) -> Result<ServerFileConfig, String> {
                         alert_sinks: Vec::new(),
                     });
                 }
+                "forecast" => {
+                    config.forecast = Some(ForecastSection {
+                        enabled: true,
+                        horizon_secs: None,
+                        trend_window_secs: None,
+                        min_confidence: None,
+                    });
+                }
                 "flow" => {
                     config.flow = Some(FlowSection { enabled: true, w99_ms: None, classes: None });
                 }
@@ -231,7 +265,8 @@ pub fn parse(text: &str) -> Result<ServerFileConfig, String> {
                 }
                 other => {
                     return Err(format!(
-                        "line {lineno}: unknown section `[{other}]` (trace|slo|flow|topic_obs)"
+                        "line {lineno}: unknown section `[{other}]` \
+                         (trace|slo|forecast|flow|topic_obs)"
                     ))
                 }
             }
@@ -314,6 +349,36 @@ fn apply(
                     slo.alert_sinks = sinks;
                 }
                 other => return Err(format!("unknown key `{other}` in [slo]")),
+            }
+        }
+        "forecast" => {
+            let forecast = config.forecast.as_mut().expect("section created at header");
+            match key {
+                "enabled" => forecast.enabled = value.boolean(key)?,
+                "horizon_secs" => {
+                    let secs: u64 = value.uint(key)?;
+                    if secs == 0 {
+                        return Err("`horizon_secs` must be at least 1".to_owned());
+                    }
+                    forecast.horizon_secs = Some(secs);
+                }
+                "trend_window_secs" => {
+                    let secs: u64 = value.uint(key)?;
+                    if secs == 0 {
+                        return Err("`trend_window_secs` must be at least 1".to_owned());
+                    }
+                    forecast.trend_window_secs = Some(secs);
+                }
+                "min_confidence" => {
+                    let level = value.str(key)?;
+                    if !matches!(level.as_str(), "low" | "medium" | "high") {
+                        return Err(format!(
+                            "`min_confidence` must be `low`, `medium`, or `high`, got `{level}`"
+                        ));
+                    }
+                    forecast.min_confidence = Some(level);
+                }
+                other => return Err(format!("unknown key `{other}` in [forecast]")),
             }
         }
         "flow" => {
@@ -469,6 +534,11 @@ mod tests {
             history_secs = 1
             alert_sinks = ["stderr", "webhook:127.0.0.1:9200/alerts"]
 
+            [forecast]
+            horizon_secs = 600
+            trend_window_secs = 120
+            min_confidence = "high"
+
             [flow]
             w99_ms = 10
             classes = 3
@@ -492,6 +562,11 @@ mod tests {
         assert!(slo.enabled);
         assert_eq!(slo.history_secs, Some(1));
         assert_eq!(slo.alert_sinks.len(), 2);
+        let forecast = c.forecast.unwrap();
+        assert!(forecast.enabled);
+        assert_eq!(forecast.horizon_secs, Some(600));
+        assert_eq!(forecast.trend_window_secs, Some(120));
+        assert_eq!(forecast.min_confidence.as_deref(), Some("high"));
         let flow = c.flow.unwrap();
         assert!(flow.enabled);
         assert_eq!(flow.w99_ms, Some(10));
@@ -551,6 +626,28 @@ mod tests {
         let err = parse("[topic_obs]\ncap =\n").unwrap_err();
         assert!(err.contains("line 2"), "got: {err}");
         assert!(err.contains("missing value"), "got: {err}");
+    }
+
+    #[test]
+    fn forecast_section_presence_enables_and_validates() {
+        let c = parse("[forecast]\n").unwrap();
+        let f = c.forecast.unwrap();
+        assert!(f.enabled);
+        assert_eq!(f.horizon_secs, None);
+        assert_eq!(f.min_confidence, None);
+
+        let c = parse("[forecast]\nenabled = false\nhorizon_secs = 300\n").unwrap();
+        let f = c.forecast.unwrap();
+        assert!(!f.enabled);
+        assert_eq!(f.horizon_secs, Some(300));
+
+        assert!(parse("[forecast]\nhorizon_secs = 0\n").unwrap_err().contains("at least 1"));
+        assert!(parse("[forecast]\ntrend_window_secs = 0\n").unwrap_err().contains("at least 1"));
+        assert!(parse("[forecast]\nmin_confidence = \"sure\"\n")
+            .unwrap_err()
+            .contains("`min_confidence`"));
+        let err = parse("[forecast]\neta = 5\n").unwrap_err();
+        assert!(err.contains("unknown key `eta` in [forecast]"), "got: {err}");
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   merged-window summary from the SLO engine's metric history
 //!   ([`rjms_obs::history`]), when one is attached.
 //! * `GET /slo` — burn rates, states, and budget remaining for every
-//!   objective.
+//!   objective, plus the engine's latest saturation forecast.
+//! * `GET /forecast` — the predictive layer on its own: λ(t) trend,
+//!   analytic breach points, time-to-breach ETAs with confidence bands,
+//!   and the Little's-law telemetry self-check.
 //! * `GET /alerts` — active alert states plus the recent transition feed
 //!   with evidence.
 //! * `GET /flow` — the admission gate's live calibration (λ_max, its
@@ -50,9 +53,10 @@ use rjms_broker::{
 };
 use rjms_core::regression::{FittedCosts, RegressionVerdict};
 use rjms_core::ModelVerdict;
-use rjms_metrics::{clock, MetricsRegistry};
+use rjms_metrics::{clock, labeled, MetricsRegistry};
+use rjms_obs::slo::{SERVICE_METRIC, WAITING_METRIC};
 use rjms_obs::topics::{analyze_skew, SkewConfig, TopicLoad};
-use rjms_obs::{ObsCore, Reduce};
+use rjms_obs::{ObsCore, Reduce, BACKLOG_METRIC};
 use rjms_trace::{group_chains, render_chains_json, FlightRecorder};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -251,6 +255,7 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
              /model          latest analytic-model drift verdict\n\
              /history        metric history series (?metric=&window=&reduce=)\n\
              /slo            objective burn rates and budgets (JSON)\n\
+             /forecast       time-to-breach saturation forecast (JSON)\n\
              /alerts         alert states and transition feed (JSON)\n\
              /flow           admission-gate calibration and counters (JSON)\n\
              /shards         per-shard model assessments + rebalance advice (JSON)\n\
@@ -285,6 +290,13 @@ fn serve_connection(mut stream: TcpStream, state: &HttpState) {
         "/slo" => match &state.obs {
             Some(obs) => {
                 let body = obs.lock().map(|core| core.render_slo_json()).unwrap_or_default();
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => respond(&mut stream, "404 Not Found", "text/plain", "slo engine disabled\n"),
+        },
+        "/forecast" => match &state.obs {
+            Some(obs) => {
+                let body = obs.lock().map(|core| core.render_forecast_json()).unwrap_or_default();
                 respond(&mut stream, "200 OK", "application/json", &body);
             }
             None => respond(&mut stream, "404 Not Found", "text/plain", "slo engine disabled\n"),
@@ -367,7 +379,7 @@ fn serve_history(stream: &mut TcpStream, obs: &Arc<Mutex<ObsCore>>, query: &str)
                     stream,
                     "400 Bad Request",
                     "text/plain",
-                    "bad reduce (rate, level, count, or q99-style quantile)\n",
+                    "bad reduce (rate, level, count, mean, or q99-style quantile)\n",
                 );
                 return;
             }
@@ -399,13 +411,14 @@ fn parse_window(raw: &str) -> Option<Duration> {
     (n > 0).then(|| Duration::from_secs(n * scale))
 }
 
-/// Parses `rate`, `level`, `count`, or `q<digits>` (`q99` → 0.99,
-/// `q9999` → 0.9999).
+/// Parses `rate`, `level`, `count`, `mean`, or `q<digits>` (`q99` →
+/// 0.99, `q9999` → 0.9999).
 fn parse_reduce(raw: &str) -> Option<Reduce> {
     match raw {
         "rate" => Some(Reduce::Rate),
         "level" => Some(Reduce::Level),
         "count" => Some(Reduce::Count),
+        "mean" => Some(Reduce::Mean),
         _ => {
             let digits = raw.strip_prefix('q')?;
             if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
@@ -599,13 +612,16 @@ fn render_broker_json(out: &mut String, snap: &BrokerSnapshot) {
 /// flow control is attached, each shard also carries its slice of the
 /// admission budget (`lambda_max / shards` — the controller holds every
 /// shard at the same inverted utilisation). When the topic observatory is
-/// on, the body also carries the skew analyzer's `rebalance` block.
+/// on, the body also carries the skew analyzer's `rebalance` block. When
+/// the SLO engine is attached, each shard carries its own saturation
+/// forecast computed over its labeled instrument twins.
 fn render_shards_json(
     reports: &[ShardReport],
     observatory: Option<&TopicObservatorySnapshot>,
     state: &HttpState,
 ) -> String {
     use std::fmt::Write;
+    let obs_core = state.obs.as_ref().and_then(|o| o.lock().ok());
     let lambda_budget = state
         .flow
         .as_ref()
@@ -666,6 +682,16 @@ fn render_shards_json(
             other => {
                 let _ = write!(out, "{{\"kind\":\"{other:?}\"}}");
             }
+        }
+        out.push_str(",\"forecast\":");
+        let forecast = obs_core.as_ref().and_then(|core| {
+            let shard = r.shard.to_string();
+            let twin = |base: &str| labeled(base, &[("shard", &shard)]);
+            core.forecast_for(&twin(WAITING_METRIC), &twin(SERVICE_METRIC), &twin(BACKLOG_METRIC))
+        });
+        match forecast {
+            Some(f) => out.push_str(&f.render_json()),
+            None => out.push_str("null"),
         }
         out.push('}');
     }
@@ -1002,7 +1028,7 @@ mod tests {
     #[test]
     fn slo_endpoints_404_without_engine() {
         let s = server(HttpState::new());
-        for path in ["/slo", "/alerts", "/history?metric=x", "/flow"] {
+        for path in ["/slo", "/alerts", "/forecast", "/history?metric=x", "/flow"] {
             let r = get(s.local_addr(), path);
             assert_eq!(status_of(&r), "HTTP/1.1 404 Not Found", "path {path}");
         }
@@ -1039,9 +1065,39 @@ mod tests {
         let r = get(s.local_addr(), "/slo");
         assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
         assert!(r.contains("\"objectives\":["), "body: {r}");
+        assert!(r.contains("\"forecast\":"), "body: {r}");
         let r = get(s.local_addr(), "/alerts");
         assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
         assert!(r.contains("\"active\":["), "body: {r}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn forecast_endpoint_renders_knobs_and_forecast() {
+        let s = server(obs_state());
+        let r = get(s.local_addr(), "/forecast");
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        for key in ["\"enabled\":true", "\"horizon_ms\":", "\"min_confidence\":", "\"forecast\":"] {
+            assert!(r.contains(key), "missing {key} in body: {r}");
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn history_serves_backlog_mean_series() {
+        let registry = MetricsRegistry::new();
+        let waiting = registry.histogram("broker.waiting_ns");
+        let backlog = registry.histogram("broker.backlog");
+        let mut core = ObsCore::new(ObsConfig::default());
+        for t in 1..=3u64 {
+            waiting.record(500_000);
+            backlog.record(4);
+            core.tick(Duration::from_secs(t), &registry.snapshot(), None);
+        }
+        let s = server(HttpState::new().registry(registry).obs(Arc::new(Mutex::new(core))));
+        let r = get(s.local_addr(), "/history?metric=broker.backlog&reduce=mean");
+        assert_eq!(status_of(&r), "HTTP/1.1 200 OK");
+        assert!(r.contains("\"reduce\":\"mean\""), "body: {r}");
         s.shutdown();
     }
 
@@ -1134,6 +1190,7 @@ mod tests {
         assert_eq!(parse_window("m"), None);
         assert_eq!(parse_window("-5s"), None);
         assert_eq!(parse_reduce("rate"), Some(Reduce::Rate));
+        assert_eq!(parse_reduce("mean"), Some(Reduce::Mean));
         assert_eq!(parse_reduce("q99"), Some(Reduce::Quantile(0.99)));
         assert_eq!(parse_reduce("q9999"), Some(Reduce::Quantile(0.9999)));
         assert_eq!(parse_reduce("q"), None);

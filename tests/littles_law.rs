@@ -1,0 +1,200 @@
+//! Little's-law cross-check integration test: real broker, paced Poisson
+//! workload.
+//!
+//! Two topics are pinned (via [`rjms::broker::shard_of`]) onto the two
+//! dispatcher shards of a cost-model-calibrated broker, and each shard is
+//! driven at `ρ ≈ 0.75` by an exponentially paced publisher. The backlog
+//! instrument samples the publish-queue depth at every dispatch (PASTA),
+//! so its window mean is an independent measurement of the queue length
+//! `L` that must agree with `λ·E[W]` from the waiting histogram if the
+//! telemetry is trustworthy. The forecaster's self-check must report that
+//! agreement — on the aggregate instruments and on each shard's labeled
+//! twins — within a tolerance generous enough for a few seconds of real
+//! scheduling noise.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rjms::broker::{
+    shard_of, Broker, BrokerConfig, CostModel, Filter, Message, MetricsConfig, OverflowPolicy,
+};
+use rjms::desim::random::sample_exponential;
+use rjms::metrics::labeled;
+use rjms::obs::slo::{SERVICE_METRIC, WAITING_METRIC};
+use rjms::obs::{AlertPolicy, ForecastConfig, HistoryConfig, ObsConfig, ObsCore, BACKLOG_METRIC};
+use std::time::{Duration, Instant};
+
+/// Filters per topic (one of them matches every message).
+const N_FILTERS: u32 = 32;
+
+/// Table I correlation-ID constants divided by this factor, so the
+/// calibrated service time is long enough to queue against but the test
+/// still finishes in seconds.
+const COST_SCALE: f64 = 4.0;
+
+/// Per-shard operating point: busy enough that the time-average queue
+/// length is meaningfully above zero.
+const TARGET_RHO: f64 = 0.75;
+
+const TICK: Duration = Duration::from_millis(500);
+const TOTAL_TICKS: u64 = 12;
+
+#[test]
+fn paced_poisson_workload_satisfies_littles_law_per_shard() {
+    let cost = CostModel::new(
+        CostModel::CORRELATION_ID.t_rcv / COST_SCALE,
+        CostModel::CORRELATION_ID.t_fltr / COST_SCALE,
+        CostModel::CORRELATION_ID.t_tx / COST_SCALE,
+    );
+    let e_b = cost.processing_time(N_FILTERS as usize, 1);
+
+    // One topic per shard, found by probing the stable topic hash.
+    let topic_for = |shard: usize| {
+        (0..64)
+            .map(|i| format!("t{i}"))
+            .find(|name| shard_of(name, 2) == shard)
+            .expect("some name hashes onto the shard")
+    };
+    let topics = [topic_for(0), topic_for(1)];
+
+    let broker = Broker::start(
+        BrokerConfig::builder()
+            .shards(2)
+            .publish_queue_capacity(1 << 14)
+            .subscriber_queue_capacity(1 << 18)
+            .overflow_policy(OverflowPolicy::DropNew)
+            .metrics(MetricsConfig::default())
+            .cost_model(cost)
+            .build(),
+    );
+    let _subscribers: Vec<_> = topics
+        .iter()
+        .flat_map(|topic| {
+            broker.create_topic(topic).unwrap();
+            (0..N_FILTERS)
+                .map(|i| {
+                    broker
+                        .subscription(topic)
+                        .filter(Filter::correlation_id(&format!("#{i}")).unwrap())
+                        .open()
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let registry = broker.metrics().expect("metrics enabled above");
+    let mut core = ObsCore::new(ObsConfig {
+        history: HistoryConfig {
+            fine_interval: TICK,
+            fine_slots: 64,
+            coarse_factor: 4,
+            coarse_slots: 32,
+        },
+        slos: Vec::new(),
+        policy: AlertPolicy::default(),
+        forecast: ForecastConfig {
+            trend_window: Duration::from_secs(4),
+            ..ForecastConfig::default()
+        },
+    });
+
+    let publishers: Vec<_> = topics.iter().map(|t| broker.publisher(t).unwrap()).collect();
+
+    // The spun cost model is a floor, not the whole service time — real
+    // filter evaluation, per-subscriber enqueueing, and (on a small host)
+    // the two dispatcher threads contending for the same cores all ride
+    // on top. Pacing against the modeled E[B] alone can push ρ past 1, so
+    // calibrate the actual drain rate with both shards busy at once: a
+    // burst through each topic, timed until the last message dispatches.
+    // The burst lands in the first history slots, well clear of the trend
+    // window measured below.
+    let calibration = 1_000u64;
+    let burst = Instant::now();
+    for _ in 0..calibration {
+        for publisher in &publishers {
+            publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+        }
+    }
+    while broker.snapshot().messages.received < 2 * calibration {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Per-shard service time with both dispatchers running: combined
+    // drain throughput split across the two shards.
+    let e_b_actual = burst.elapsed().as_secs_f64() / calibration as f64;
+    assert!(
+        e_b_actual >= e_b,
+        "calibrated dispatch time {e_b_actual:.6}s below the spun cost floor {e_b:.6}s"
+    );
+
+    // One Poisson stream per shard. The pacer sleeps between batches so
+    // it does not steal dispatcher CPU; each wakeup publishes whatever
+    // arrivals the exponential clocks produced meanwhile. Batching
+    // coarsens the micro-scale arrival process but Little's law is
+    // distribution-free (H = λG), which is exactly what the self-check
+    // measures.
+    let rate = TARGET_RHO / e_b_actual;
+    let mut rng = StdRng::seed_from_u64(2006);
+    let mut next_arrival = [Duration::ZERO, Duration::ZERO];
+    let mut next_tick = TICK;
+    let mut ticks = 0u64;
+    let t0 = Instant::now();
+    while ticks < TOTAL_TICKS {
+        std::thread::sleep(Duration::from_millis(2));
+        let now = t0.elapsed();
+        for (shard, publisher) in publishers.iter().enumerate() {
+            while next_arrival[shard] <= now {
+                publisher.publish(Message::builder().correlation_id("#0").build()).unwrap();
+                next_arrival[shard] += Duration::from_secs_f64(sample_exponential(&mut rng, rate));
+            }
+        }
+        if now >= next_tick {
+            core.tick(next_tick, &registry.snapshot(), None);
+            next_tick += TICK;
+            ticks += 1;
+        }
+    }
+
+    // Aggregate instruments: the self-check must be present and the two
+    // L estimates must agree to within a factor that catches real
+    // telemetry breakage (wrong units, dead instruments, mislabeled
+    // shards) without flaking on scheduling skew: on a small CI host the
+    // pacer and sampler threads preempt the dispatchers, inflating
+    // measured waits relative to the batch-structured queue depths. The
+    // engine's own 10% gate is exercised under controlled telemetry by
+    // the staged-ramp test (tests/forecast_ramp.rs).
+    let forecast = core.latest_forecast().cloned().expect("steady traffic must produce a forecast");
+    let check = forecast.littles_law.expect("backlog telemetry must feed the self-check");
+    assert!(
+        check.measured_l > 0.0 && check.predicted_l > 0.0,
+        "both L estimates must be live: measured {} predicted {}",
+        check.measured_l,
+        check.predicted_l
+    );
+    let near_empty = check.measured_l.max(check.predicted_l) < 0.5;
+    assert!(
+        near_empty || check.error <= 0.50,
+        "aggregate Little's-law disagreement {:.1}% (measured L {:.2}, λ·E[W] {:.2})",
+        check.error * 100.0,
+        check.measured_l,
+        check.predicted_l
+    );
+
+    // Per-shard labeled twins: every shard carries its own check.
+    for label in ["0", "1"] {
+        let twin = |base: &str| labeled(base, &[("shard", label)]);
+        let forecast = core
+            .forecast_for(&twin(WAITING_METRIC), &twin(SERVICE_METRIC), &twin(BACKLOG_METRIC))
+            .unwrap_or_else(|| panic!("shard {label} produced no forecast"));
+        let check =
+            forecast.littles_law.unwrap_or_else(|| panic!("shard {label} backlog twin missing"));
+        let near_empty = check.measured_l.max(check.predicted_l) < 0.5;
+        assert!(
+            near_empty || check.error <= 0.50,
+            "shard {label} Little's-law disagreement {:.1}% (measured L {:.2}, λ·E[W] {:.2})",
+            check.error * 100.0,
+            check.measured_l,
+            check.predicted_l
+        );
+    }
+    broker.shutdown();
+}

@@ -23,7 +23,9 @@ use rjms::model::monitor::ModelMonitor;
 use rjms::model::params::CostParams;
 use rjms::model::slo::AnalyticSlo;
 use rjms::obs::minijson::{self, Value};
-use rjms::obs::{AlertEvent, AlertPolicy, AlertState, HistoryConfig, ObsConfig, ObsCore, SloSpec};
+use rjms::obs::{
+    AlertEvent, AlertPolicy, AlertState, ForecastConfig, HistoryConfig, ObsConfig, ObsCore, SloSpec,
+};
 use rjms::queueing::replication::ReplicationModel;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -89,6 +91,7 @@ fn overload_drives_w99_through_the_alert_lifecycle() {
             resolve_after: Duration::from_secs(2),
             cooldown: Duration::from_secs(4),
         },
+        forecast: ForecastConfig::default(),
     };
     let monitor = ModelMonitor::new(ServerModel::new(params, n_fltr), replication);
     let core = Arc::new(Mutex::new(ObsCore::new(config).with_monitor(monitor)));
