@@ -10,6 +10,7 @@
 //! This library crate carries the shared plumbing: a fixed-width text-table
 //! writer and the experiment registry used to index the binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -894,6 +894,9 @@ impl Broker {
     }
 
     fn shutdown_in_place(&mut self) {
+        // ORD: SeqCst swap — shutdown runs once per broker lifetime, so
+        // the strongest ordering is free and makes the stop flag a clean
+        // happens-before anchor for every dispatcher's load.
         if self.inner.stopped.swap(true, Ordering::SeqCst) {
             return;
         }

@@ -1,0 +1,40 @@
+//! CI entry point for the memory-ordering contract scanner.
+//!
+//! Usage: `cargo run -p rjms-conc --bin lint-atomics [root]`
+//!
+//! Scans every `.rs` file under the workspace root (or an explicit
+//! `root` argument), prints each violation as `file:line: [rule]
+//! message`, and exits non-zero if any were found. The same scan also
+//! runs as a unit test in the default `cargo test` pass; this binary
+//! exists so CI can surface the violations as a dedicated job with
+//! readable output.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rjms_conc::lint;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(lint::workspace_root);
+    let report = match lint::scan_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("lint-atomics: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    eprintln!(
+        "lint-atomics: scanned {} files under {}: {} violation(s)",
+        report.files_scanned,
+        root.display(),
+        report.violations.len()
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

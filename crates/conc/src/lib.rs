@@ -1,0 +1,86 @@
+//! # rjms-conc — the workspace's concurrency-correctness substrate
+//!
+//! Every lock-free structure in this workspace (metrics counters and
+//! histograms, the trace seqlock ring, the flow-gate accounting) backs a
+//! number that feeds the paper's Eq. 1 comparison: a torn histogram
+//! bucket or a lost ring slot silently corrupts W99 estimates, SLO
+//! verdicts, and forecasts. This crate is how those structures get
+//! *mechanically* checked rather than eyeball-reviewed:
+//!
+//! * [`sync`] / [`thread`] / [`hint`] — a facade over `std::sync` that
+//!   compiles to the real types normally and to `loom` model-checker
+//!   types under `--cfg loom`. The hot-path crates (`rjms-metrics`,
+//!   `rjms-trace`, `rjms-flow`) import their atomics and locks from here,
+//!   so `RUSTFLAGS="--cfg loom" cargo test -p <crate> --test loom` runs
+//!   their concurrency models under exhaustive interleaving exploration.
+//! * [`lint`] — the `lint-atomics` scanner (also a `cargo run -p
+//!   rjms-conc --bin lint-atomics` binary) that enforces the workspace
+//!   memory-ordering contract of `DESIGN.md` §3.14: every non-`Relaxed`
+//!   ordering and every `unsafe` block carries a justification comment,
+//!   `Relaxed` stores in fence-carrying files are annotated, and atomics
+//!   may only appear in whitelisted modules. A unit test runs the scanner
+//!   in the default `cargo test` pass, so violations fail locally before
+//!   they fail CI.
+//!
+//! The division of labour between the three checking layers (loom models,
+//! Miri/TSan sanitizer jobs, and this lint) is documented in
+//! `DESIGN.md` §3.14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+
+/// Loom-switchable `std::sync` facade.
+///
+/// Under `--cfg loom` the atomics, `Mutex`, and `OnceLock` come from the
+/// loom shim and every operation becomes a model scheduling point;
+/// normally they are plain `std::sync` re-exports with zero overhead.
+pub mod sync {
+    #[cfg(loom)]
+    pub use loom::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+    #[cfg(not(loom))]
+    pub use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+    /// Loom-switchable `std::sync::atomic` facade.
+    pub mod atomic {
+        #[cfg(loom)]
+        pub use loom::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+
+        #[cfg(not(loom))]
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Loom-switchable `std::thread` facade (spawn/join/yield subset).
+pub mod thread {
+    #[cfg(loom)]
+    pub use loom::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Loom-switchable `std::hint` facade.
+pub mod hint {
+    #[cfg(loom)]
+    pub use loom::hint::spin_loop;
+
+    #[cfg(not(loom))]
+    pub use std::hint::spin_loop;
+}
+
+/// Runs `f` under the loom model checker when built with `--cfg loom`,
+/// or once directly otherwise — letting a single test body serve as both
+/// a loom model and a plain smoke test.
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) {
+    #[cfg(loom)]
+    loom::model(f);
+    #[cfg(not(loom))]
+    f();
+}

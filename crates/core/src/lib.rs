@@ -33,6 +33,7 @@
 //! assert!(cap > 100.0 && cap < 200.0); // ≈ 126 msgs/s
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

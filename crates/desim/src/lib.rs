@@ -28,6 +28,7 @@
 //! assert!((result.waiting.mean() - 1.0).abs() < 0.15);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

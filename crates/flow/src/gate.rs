@@ -16,9 +16,11 @@ use crate::controller::FlowController;
 use rjms_core::ModelVerdict;
 use rjms_metrics::{labeled, Counter, Histogram, MetricsRegistry};
 use serde::{Deserialize, Serialize};
+// Sync primitives come through the rjms-conc facade so the loom models
+// in `tests/loom.rs` exercise exactly this code (DESIGN.md §3.14).
+use rjms_conc::sync::atomic::{AtomicU64, Ordering};
+use rjms_conc::sync::{Arc, Mutex, OnceLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Producer buckets tracked before the gate stops allocating new ones

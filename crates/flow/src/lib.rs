@@ -32,6 +32,7 @@
 //! [`FlowGate::admit_at`], which is how the overload integration test and
 //! the property tests exercise it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bucket;

@@ -20,6 +20,7 @@
 //! consumer progress; `rjms-core` turns the measured append cost into the
 //! `t_store` term of the extended capacity model.
 
+#![forbid(unsafe_code)]
 pub mod config;
 mod crc32;
 pub mod frame;

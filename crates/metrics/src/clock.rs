@@ -19,8 +19,9 @@ use std::time::Instant;
 /// The current reading of the instrumentation clock, in ticks.
 ///
 /// Only differences between readings are meaningful; convert them with
-/// [`ticks_to_ns`].
-#[cfg(target_arch = "x86_64")]
+/// [`ticks_to_ns`]. Miri cannot execute the `rdtsc` intrinsic, so under
+/// Miri the `Instant` fallback below is used on every architecture.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[inline]
 pub fn now() -> u64 {
     // SAFETY: RDTSC has no preconditions; it is available on every x86-64.
@@ -30,7 +31,7 @@ pub fn now() -> u64 {
 /// The current reading of the instrumentation clock, in ticks.
 ///
 /// Fallback: nanoseconds since an arbitrary process-local epoch.
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(any(not(target_arch = "x86_64"), miri))]
 #[inline]
 pub fn now() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -51,7 +52,7 @@ pub fn ticks_to_ns(ticks: u64) -> u64 {
     (ticks as f64 * ns_per_tick()) as u64
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 fn calibrate() -> f64 {
     let started = Instant::now();
     let first = now();
@@ -65,7 +66,7 @@ fn calibrate() -> f64 {
     }
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(any(not(target_arch = "x86_64"), miri))]
 fn calibrate() -> f64 {
     1.0
 }

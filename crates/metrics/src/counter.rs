@@ -1,6 +1,8 @@
 //! Lock-free monotonic counters and settable gauges.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+// Atomics come through the rjms-conc facade so the loom models in
+// `tests/loom.rs` exercise exactly this code (DESIGN.md §3.14).
+use rjms_conc::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing, lock-free event counter.
 ///

@@ -13,12 +13,22 @@
 //! geometry — all of them — are mergeable, so per-shard instruments can be
 //! combined into fleet-wide views.
 
+// Atomics come through the rjms-conc facade so the loom models in
+// `tests/loom.rs` exercise exactly this code (DESIGN.md §3.14).
+use rjms_conc::sync::atomic::{AtomicU64, Ordering};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Number of linear sub-buckets per power-of-two octave (as a bit shift).
+///
+/// Under `cfg(loom)` the geometry collapses to pure power-of-two buckets
+/// (65 instead of 1920): every atomic access is a scheduling point for
+/// the model checker, and the interleaving space must stay exhaustively
+/// explorable. The bucket-index arithmetic is identical in both shapes.
+#[cfg(not(loom))]
 const SUB_BITS: u32 = 5;
+#[cfg(loom)]
+const SUB_BITS: u32 = 0;
 /// Number of linear sub-buckets per octave.
 const SUB: u64 = 1 << SUB_BITS;
 /// Total bucket count: 32 unit buckets + 32 per octave for octaves 5..=63.
@@ -641,6 +651,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "40k-record stress loop; the loom model and lighter tests cover Miri"
+    )]
     fn concurrent_recording_loses_nothing() {
         let h = std::sync::Arc::new(Histogram::new());
         let handles: Vec<_> = (0..4)

@@ -1,0 +1,100 @@
+//! Loom models for the metrics hot path (DESIGN.md §3.14).
+//!
+//! Built only under `RUSTFLAGS="--cfg loom"`; the CI `loom` job runs
+//! `cargo test --release -p rjms-metrics --test loom` with that flag.
+//! Under `cfg(loom)` the histogram geometry collapses to 65 power-of-two
+//! buckets and every atomic access becomes a model scheduling point, so
+//! these bodies are explored across every interleaving within the
+//! preemption bound instead of running once.
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+use rjms_metrics::{Counter, Gauge, Histogram, LocalHistogram};
+
+/// Counter increments are atomic RMWs: no interleaving loses one.
+#[test]
+fn counter_increments_are_never_lost() {
+    loom::model(|| {
+        let c = Arc::new(Counter::new());
+        let t = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                c.inc();
+                c.add(2);
+            })
+        };
+        c.add(4);
+        t.join().unwrap();
+        assert_eq!(c.get(), 7, "counter lost an update");
+    });
+}
+
+/// Gauge adjustments commute with a concurrent set-then-adjust: the final
+/// value is one of the two serializations, never a mixture.
+#[test]
+fn gauge_adjustments_serialize() {
+    loom::model(|| {
+        let g = Arc::new(Gauge::new());
+        let t = {
+            let g = Arc::clone(&g);
+            thread::spawn(move || g.add(10))
+        };
+        g.add(-3);
+        t.join().unwrap();
+        assert_eq!(g.get(), 7, "gauge lost an adjustment");
+    });
+}
+
+/// A snapshot racing two records sees a monotone prefix: its count never
+/// exceeds what was recorded, and the post-join snapshot is exact with
+/// `min <= every recorded value <= max`.
+#[test]
+fn histogram_snapshot_is_a_monotone_prefix_of_records() {
+    loom::model(|| {
+        let h = Arc::new(Histogram::new());
+        let writer = {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                h.record(3);
+                h.record(200);
+            })
+        };
+        let racing = h.snapshot();
+        assert!(racing.count <= 2, "snapshot invented {} samples", racing.count);
+        writer.join().unwrap();
+
+        let settled = h.snapshot();
+        assert_eq!(settled.count, 2);
+        assert_eq!(settled.sum, 203);
+        assert_eq!(settled.min, 3, "min must bound every recorded value");
+        assert_eq!(settled.max, 200, "max must bound every recorded value");
+    });
+}
+
+/// A `LocalHistogram` flush races a direct record on the shared
+/// histogram: nothing is lost and the extrema converge to the union.
+#[test]
+fn local_flush_merges_losslessly_with_direct_records() {
+    loom::model(|| {
+        let shared = Arc::new(Histogram::new());
+        let staging = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                let mut local = LocalHistogram::new();
+                local.record(1);
+                local.record(1);
+                local.record(40);
+                local.flush_into(&shared);
+            })
+        };
+        shared.record(7);
+        staging.join().unwrap();
+
+        let snap = shared.snapshot();
+        assert_eq!(snap.count, 4, "flush or direct record lost samples");
+        assert_eq!(snap.sum, 49);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 40);
+    });
+}

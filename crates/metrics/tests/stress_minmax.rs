@@ -1,0 +1,78 @@
+//! Native stress test for the histogram's racy min/max tracking
+//! (DESIGN.md §3.14).
+//!
+//! `Histogram::record` updates `min`/`max` with relaxed `fetch_min`/
+//! `fetch_max` RMWs, and `snapshot` reads them with independent relaxed
+//! loads — the extrema are not sampled atomically with the buckets. The
+//! contract is therefore *bounding*, not exact-at-an-instant: any
+//! snapshot's extrema must bound every value recorded before the
+//! snapshot began, and the settled snapshot must converge to the true
+//! extrema. This test hammers that contract from several writers while a
+//! reader snapshots continuously; the loom model in `tests/loom.rs`
+//! explores the same protocol exhaustively at small scale, this one
+//! shakes it at native scale and speed.
+
+use rjms_metrics::Histogram;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const WRITERS: u64 = 4;
+const ROUNDS: u64 = 5_000;
+/// Every recorded value lands in `[LO, HI]`; LO and HI themselves are
+/// each recorded once, first, so the true extrema are known exactly.
+const LO: u64 = 3;
+const HI: u64 = 900_000;
+
+#[test]
+#[cfg_attr(miri, ignore = "20k-record native stress loop; the loom model covers Miri")]
+fn racing_snapshots_always_bound_recorded_values() {
+    let h = Arc::new(Histogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Pin the true extrema up front so every racing snapshot with a
+    // nonzero count has a fully determined answer for min and max once
+    // these two records are visible.
+    h.record(LO);
+    h.record(HI);
+
+    let reader = {
+        let h = Arc::clone(&h);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = h.snapshot();
+                assert!(snap.count >= 2, "the two seed records must never disappear");
+                assert!(snap.min >= LO, "min {} dipped below every recorded value", snap.min);
+                assert!(snap.max <= HI, "max {} exceeded every recorded value", snap.max);
+                assert!(snap.min <= snap.max, "min {} > max {}", snap.min, snap.max);
+                seen += 1;
+            }
+            seen
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    // A spread of interior values, never escaping [LO, HI].
+                    let v = LO + 1 + (w * ROUNDS + i) * 41 % (HI - LO - 1);
+                    h.record(v);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots_taken = reader.join().unwrap();
+    assert!(snapshots_taken > 0, "the reader must have raced at least once");
+
+    let settled = h.snapshot();
+    assert_eq!(settled.count, 2 + WRITERS * ROUNDS, "a record was lost");
+    assert_eq!(settled.min, LO, "settled min must converge to the true minimum");
+    assert_eq!(settled.max, HI, "settled max must converge to the true maximum");
+}

@@ -155,6 +155,9 @@ impl BrokerServer {
     }
 
     fn shutdown_in_place(&mut self) {
+        // ORD: SeqCst swap — shutdown runs once per server lifetime, so
+        // the strongest ordering is free and makes the stop flag a clean
+        // happens-before anchor for the accept loop's load.
         if self.stopping.swap(true, Ordering::SeqCst) {
             return;
         }

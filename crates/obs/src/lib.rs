@@ -51,6 +51,7 @@
 //! assert!(status.iter().all(|s| s.state.name() == "ok"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -90,7 +90,7 @@ impl std::error::Error for ParseError {}
 /// Parses one JSON document (trailing whitespace allowed, trailing garbage
 /// rejected).
 pub fn parse(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { text: input, bytes: input.as_bytes(), pos: 0 };
     p.skip_ws();
     let value = p.value(0)?;
     p.skip_ws();
@@ -105,6 +105,9 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 const MAX_DEPTH: usize = 64;
 
 struct Parser<'a> {
+    /// The input as `&str`, for checked char-boundary slicing in
+    /// [`Parser::string`]; `bytes` is the same buffer viewed bytewise.
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -249,11 +252,17 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so boundaries
-                    // are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    // Consume one UTF-8 scalar through the checked &str
+                    // view. `pos` always sits on a scalar boundary here
+                    // (it only ever advances by whole scalars or past
+                    // ASCII bytes), so `get` never fails in practice —
+                    // but a checked slice keeps any future bookkeeping
+                    // bug a parse error instead of undefined behaviour.
+                    let c = self
+                        .text
+                        .get(self.pos..)
+                        .and_then(|rest| rest.chars().next())
+                        .ok_or_else(|| self.err("string not on a UTF-8 boundary"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -311,6 +320,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "200k-byte input is interpreter-slow; depth guard is UB-free logic")]
     fn rejects_deep_nesting_without_crashing() {
         let deep = "[".repeat(100_000) + &"]".repeat(100_000);
         assert!(parse(&deep).is_err());
@@ -321,5 +331,23 @@ mod tests {
         assert_eq!(parse("{}").unwrap(), Value::Object(BTreeMap::new()));
         assert_eq!(parse("[]").unwrap(), Value::Array(Vec::new()));
         assert_eq!(parse(" 42 ").unwrap().as_f64(), Some(42.0));
+    }
+
+    /// Regression test for the string scanner's scalar stepping: the loop
+    /// once rebuilt a `&str` from the byte tail with an unchecked UTF-8
+    /// conversion; it now slices the original `&str` with a checked
+    /// `get`, so every multibyte advance stays on validated boundaries.
+    /// This is the path the Miri CI job watches (DESIGN.md §3.14).
+    #[test]
+    fn multibyte_scalars_step_on_boundaries() {
+        let mixed = "é中𝄞 ascii \u{7f}é";
+        let doc = format!("{{\"k\":\"{mixed}\",\"tail\":[\"𝄞\",\"¢¢\"]}}");
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(mixed));
+        assert_eq!(v.get("tail").unwrap().items()[0].as_str(), Some("𝄞"));
+        assert_eq!(v.get("tail").unwrap().items()[1].as_str(), Some("¢¢"));
+        // Multibyte content mixed with escapes still resolves correctly.
+        let v = parse("\"α\\nβ\\tγ\"").unwrap();
+        assert_eq!(v.as_str(), Some("α\nβ\tγ"));
     }
 }

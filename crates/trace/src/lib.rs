@@ -43,6 +43,7 @@
 //! assert!(chains[0].is_complete());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,18 +1,39 @@
 //! The lock-free span-event ring and the sampled-trace-id set.
 //!
 //! Writers claim a slot with one `fetch_add` and publish the event under a
-//! per-slot sequence counter (a seqlock): the sequence is odd while the
-//! slot is being written and `2·claim + 2` once complete, so a reader can
+//! per-slot sequence counter (a seqlock): a compare-exchange advances the
+//! sequence to the odd value `2·claim + 1` while the slot is being written
+//! and a release store sets `2·claim + 2` once complete, so a reader can
 //! copy the five event words and validate the copy by re-reading the
-//! sequence. Torn copies are discarded, never trusted. The only corruption
-//! window is a writer that stalls mid-write for a full ring lap while
-//! another writer reclaims the same physical slot — with capacities in the
-//! thousands and five word-stores per event that window is immaterial for
-//! a diagnostic recorder, and the failure mode is a dropped event, not
-//! undefined behaviour (every word is an atomic).
+//! sequence. Torn copies are discarded, never trusted.
+//!
+//! The compare-exchange claim makes slot write sections mutually
+//! exclusive: a writer that stalls mid-write for a full ring lap keeps
+//! ownership of its slot, and a lapping writer whose claim fails *drops*
+//! its event instead of interleaving word stores with the stalled one.
+//! (An earlier revision marked the slot with a plain store; the loom
+//! model `slot_reclaim_drops_but_never_tears` in `tests/loom.rs` found
+//! the resulting lap race, where mixed words from two writers survive the
+//! sequence validation.) With capacities in the thousands the drop window
+//! requires a writer to stall for a full lap, which is immaterial for a
+//! diagnostic recorder — and the failure mode is a dropped event, never a
+//! corrupt one.
 
+// Atomics come through the rjms-conc facade so the loom models in
+// `tests/loom.rs` exercise exactly this seqlock code (DESIGN.md §3.14).
+use rjms_conc::sync::atomic::{fence, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Smallest ring the recorder will allocate.
+///
+/// Under `cfg(loom)` the floor drops to 2 slots: every atomic access is a
+/// model scheduling point, and the wrap-around/reclaim interleavings only
+/// stay exhaustively explorable with a tiny ring. The claim/publish/read
+/// protocol is identical at any capacity.
+#[cfg(not(loom))]
+const MIN_CAPACITY: usize = 16;
+#[cfg(loom)]
+const MIN_CAPACITY: usize = 2;
 
 /// One stage of a message's dispatch pipeline (the Eq. 1 terms plus the
 /// wire flush on the way out).
@@ -149,6 +170,9 @@ impl SampledSet {
             }
         }
         // Probe window full: evict the home slot (bounded memory wins).
+        // ORD: Relaxed — the sampled set publishes nothing through this
+        // store; membership is a standalone heuristic and a racy miss
+        // only costs one wire-flush event (not part of the seqlock).
         self.slots[h].store(id, Ordering::Relaxed);
     }
 
@@ -196,7 +220,7 @@ impl FlightRecorder {
     /// Creates a recorder holding `capacity` events (rounded up to a power
     /// of two, minimum 16). Memory use is fixed at construction.
     pub fn new(capacity: usize) -> FlightRecorder {
-        let size = capacity.next_power_of_two().max(16);
+        let size = capacity.next_power_of_two().max(MIN_CAPACITY);
         FlightRecorder {
             slots: (0..size).map(|_| Slot::empty()).collect::<Vec<_>>().into_boxed_slice(),
             mask: size - 1,
@@ -218,15 +242,49 @@ impl FlightRecorder {
     /// Appends one event, overwriting the oldest when full. Lock-free and
     /// allocation-free; safe from any thread.
     pub fn record(&self, event: SpanEvent) {
+        // ORD: Relaxed is enough for the claim — fetch_add is an atomic
+        // RMW, so every writer still gets a unique claim index; nothing
+        // is published through `head` itself (the per-slot seqlock below
+        // carries all the publish edges).
         let claim = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[claim as usize & self.mask];
-        slot.seq.store(2 * claim + 1, Ordering::Relaxed);
+        // Claim the slot's write section. The sequence may only advance
+        // from its previous even (complete) value to this writer's odd
+        // (in-progress) value in one atomic step; if the slot is still
+        // owned by a writer that stalled for a full ring lap (odd), or a
+        // newer lapping claim already moved the sequence past ours, this
+        // event is dropped rather than interleaving two writers' word
+        // stores in one slot. `recorded` still counts the claim, so the
+        // snapshot reports the gap.
+        // ORD: Relaxed load + CAS — mutual exclusion comes from the
+        // atomicity of compare_exchange (one writer per even value); the
+        // publish edges are the fence below and the final Release store.
+        let prev = slot.seq.load(Ordering::Relaxed);
+        if prev % 2 == 1
+            || prev > 2 * claim
+            || slot
+                .seq
+                .compare_exchange(prev, 2 * claim + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return;
+        }
+        // ORD: Release fence — pairs with the reader's Acquire fence so
+        // the odd seq value is visible before any partially-written word.
         fence(Ordering::Release);
+        // The fence above and the Release publish below carry all the
+        // ordering edges; a reader only trusts these words after
+        // re-reading an unchanged even sequence.
+        // ORD: Relaxed word stores inside the seqlock write window.
         slot.words[0].store(event.trace_id, Ordering::Relaxed);
         slot.words[1].store(event.stage.to_u64(), Ordering::Relaxed);
         slot.words[2].store(event.start_ticks, Ordering::Relaxed);
+        // ORD: (same seqlock write window as the stores above.)
         slot.words[3].store(event.duration_ns, Ordering::Relaxed);
         slot.words[4].store(event.aux, Ordering::Relaxed);
+        // ORD: Release publish of the even (complete) sequence — pairs
+        // with the reader's Acquire load of `seq`; observing this value
+        // guarantees all five word stores are visible.
         slot.seq.store(2 * claim + 2, Ordering::Release);
     }
 
@@ -249,6 +307,8 @@ impl FlightRecorder {
             // Bounded retries: a slot rewritten mid-copy is retried a few
             // times, then skipped (it will appear in the next snapshot).
             for _ in 0..4 {
+                // ORD: Acquire pairs with the writer's Release publish —
+                // an even value here means the slot's words are visible.
                 let s1 = slot.seq.load(Ordering::Acquire);
                 if s1 == 0 || s1 % 2 == 1 {
                     break;
@@ -260,6 +320,10 @@ impl FlightRecorder {
                     slot.words[3].load(Ordering::Relaxed),
                     slot.words[4].load(Ordering::Relaxed),
                 ];
+                // Orders the word loads above before the seq re-read
+                // below, so an unchanged sequence validates the copy.
+                // ORD: Acquire fence pairing the writer's Release fence;
+                // the validated re-read itself can then be Relaxed.
                 fence(Ordering::Acquire);
                 let s2 = slot.seq.load(Ordering::Relaxed);
                 if s1 != s2 {
@@ -371,6 +435,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "80k-event stress loop; the loom model and lighter tests cover Miri")]
     fn concurrent_writers_never_produce_torn_events() {
         // Invariant: every event carries trace_id == aux. A torn copy
         // mixing two writers' words would (with high probability across

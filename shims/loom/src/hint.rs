@@ -1,0 +1,7 @@
+//! Model-aware replacement for `std::hint`.
+
+/// In a model, a spin-loop hint is a scheduling point — the spinning
+/// thread must let the thread it is waiting on make progress.
+pub fn spin_loop() {
+    crate::rt::yield_point();
+}

@@ -1,0 +1,59 @@
+//! # loom (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the `loom` model checker. Like
+//! the real crate it runs a closure many times, exploring a different
+//! thread interleaving on each run, and fails the test on the first
+//! execution whose assertions panic — reporting the schedule that broke.
+//!
+//! ## What it checks, and what it does not
+//!
+//! The shim models **sequential consistency**: exactly one model thread
+//! runs at a time, every atomic operation / mutex acquisition / spawn /
+//! join is a *scheduling point*, and a depth-first search over the
+//! scheduling decisions enumerates every interleaving reachable within a
+//! configurable **preemption bound** (default 2, like CHESS; override per
+//! model with [`model::Builder`] or globally with `LOOM_MAX_PREEMPTIONS`).
+//! Exhaustive-within-bound exploration catches lost updates, torn
+//! multi-word publications, check-then-act races, lock-ordering deadlocks
+//! and accounting violations.
+//!
+//! What it deliberately does **not** model is C11 *weak memory*: the real
+//! loom can additionally reorder relaxed operations between threads. The
+//! `Ordering` argument is accepted (and linted by `lint-atomics` for an
+//! `// ORD:` justification) but executed sequentially consistent, so a
+//! model that is racy only under store-buffer reordering will pass here.
+//! That residual risk is exactly what the ThreadSanitizer CI job covers;
+//! the division of labour is spelled out in `DESIGN.md` §3.14.
+//!
+//! ## Usage
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicU64, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let a = Arc::new(AtomicU64::new(0));
+//!     let b = Arc::clone(&a);
+//!     let t = loom::thread::spawn(move || {
+//!         b.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     a.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! Model bodies must join every thread they spawn, and may freely use
+//! `std` sync primitives *as long as no loom scheduling point occurs while
+//! a `std` lock is held* (only one model thread runs at a time, so a
+//! std lock acquired and released between scheduling points can never
+//! contend; one held across a scheduling point can deadlock the token
+//! hand-off).
+
+pub mod hint;
+pub mod model;
+pub(crate) mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

@@ -1,0 +1,117 @@
+//! The exploration driver: runs a model body repeatedly, depth-first over
+//! the tree of scheduling decisions.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+
+/// Default preemption bound when neither [`Builder::preemption_bound`] nor
+/// `LOOM_MAX_PREEMPTIONS` says otherwise. Two preemptions reach the vast
+/// majority of interleaving bugs (the CHESS observation) while keeping
+/// exhaustive exploration tractable for CI-sized models.
+const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// Default cap on explored executions; a model that exceeds it panics
+/// with advice to shrink, rather than hanging CI.
+const DEFAULT_MAX_ITERATIONS: usize = 200_000;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Configures and runs a model, mirroring `loom::model::Builder`.
+///
+/// # Examples
+///
+/// ```
+/// let mut builder = loom::model::Builder::new();
+/// builder.preemption_bound = Some(3);
+/// builder.check(|| {
+///     // model body
+/// });
+/// ```
+#[derive(Debug, Default)]
+pub struct Builder {
+    /// Maximum times the scheduler may switch away from a still-runnable
+    /// thread per execution. `None` falls back to `LOOM_MAX_PREEMPTIONS`
+    /// or the shim default of 2. (Divergence from real loom, where `None`
+    /// means unbounded: the shim always bounds, because its search has no
+    /// partial-order reduction to tame the unbounded tree.)
+    pub preemption_bound: Option<usize>,
+    /// Cap on the number of executions explored before the model fails
+    /// with a "too large" diagnostic. `None` falls back to
+    /// `LOOM_MAX_ITERATIONS` or 200 000.
+    pub max_iterations: Option<usize>,
+}
+
+impl Builder {
+    /// A builder with every knob at its default.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Exhaustively checks `f` within the configured bounds, panicking on
+    /// the first failing interleaving with the schedule that reached it.
+    pub fn check<F: Fn()>(&self, f: F) {
+        // One model at a time per process: the scheduler state is global,
+        // and `cargo test` runs tests on several threads.
+        static MODEL_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let _serial =
+            MODEL_LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner());
+
+        let bound = self
+            .preemption_bound
+            .or_else(|| env_usize("LOOM_MAX_PREEMPTIONS"))
+            .unwrap_or(DEFAULT_PREEMPTION_BOUND);
+        let max_iterations = self
+            .max_iterations
+            .or_else(|| env_usize("LOOM_MAX_ITERATIONS"))
+            .unwrap_or(DEFAULT_MAX_ITERATIONS);
+
+        let mut replay: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= max_iterations,
+                "loom: exceeded {max_iterations} executions without exhausting the \
+                 schedule space; shrink the model or raise LOOM_MAX_ITERATIONS"
+            );
+            rt::begin_execution(replay.clone(), bound);
+            let outcome = catch_unwind(AssertUnwindSafe(&f));
+            if let Err(payload) = outcome {
+                rt::note_main_panic(payload);
+            }
+            rt::finish_main();
+            let (decisions, failure) = rt::end_execution();
+            if let Some(message) = failure {
+                let schedule: Vec<usize> = decisions.iter().map(|d| d.chosen).collect();
+                panic!(
+                    "loom: model failed on execution {executions} \
+                     (schedule {schedule:?}, preemption bound {bound})\n{message}"
+                );
+            }
+            // Depth-first advance: bump the deepest decision that still
+            // has an unexplored alternative, drop everything below it.
+            let mut next: Vec<usize> = decisions.iter().map(|d| d.chosen).collect();
+            let mut advanced = false;
+            while let Some(chosen) = next.pop() {
+                if chosen + 1 < decisions[next.len()].candidates {
+                    next.push(chosen + 1);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break; // every schedule within the bound has been explored
+            }
+            replay = next;
+        }
+    }
+}
+
+/// Exhaustively model-checks `f` with default bounds. See the
+/// [crate docs](crate) for semantics and limitations.
+pub fn model<F: Fn()>(f: F) {
+    Builder::new().check(f);
+}

@@ -1,0 +1,411 @@
+//! The execution engine behind [`crate::model`]: a token-passing
+//! scheduler over real OS threads plus a depth-first search over the
+//! scheduling decisions.
+//!
+//! Exactly one model thread holds the *token* (is `current`) at any time;
+//! every scheduling point ([`yield_point`]) offers the scheduler a chance
+//! to hand the token to another runnable thread. Each point where more
+//! than one thread could run is a [`Decision`]; an execution is fully
+//! described by the sequence of decisions taken, so replaying a decision
+//! prefix and then deviating explores a different interleaving. The
+//! search is exhaustive within the configured preemption bound: schedules
+//! that switch away from a still-runnable thread more than `bound` times
+//! are pruned (the CHESS result — most concurrency bugs need very few
+//! preemptions — makes small bounds effective).
+//!
+//! Threads that block (loom mutex contention, joining an unfinished
+//! thread) hand the token over without consuming preemption budget. If
+//! every live thread is blocked the execution is declared a deadlock and
+//! reported like any other model failure.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// What a parked model thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    /// A loom mutex (keyed by address) held by another thread.
+    Mutex(usize),
+    /// Completion of another model thread.
+    Join(usize),
+}
+
+/// Lifecycle state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// One branch point of an execution: `candidates` threads were runnable
+/// and the `chosen`-th (in candidate order) received the token.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    pub(crate) candidates: usize,
+    pub(crate) chosen: usize,
+}
+
+/// Sentinel panic payload used to unwind threads of an execution that has
+/// already failed elsewhere; it must never overwrite the original report.
+struct Aborted;
+
+#[derive(Default)]
+struct Exec {
+    /// True between `begin_execution` and `end_execution`.
+    active: bool,
+    threads: Vec<St>,
+    /// Completed threads' return values, boxed for [`crate::thread::JoinHandle`].
+    results: Vec<Option<Box<dyn Any + Send>>>,
+    /// The thread currently holding the token.
+    current: usize,
+    /// Loom mutexes currently held: address → holder tid.
+    locked: HashMap<usize, usize>,
+    /// Decision prefix to replay before deviating (DFS state).
+    replay: Vec<usize>,
+    /// Decision points consumed so far this execution.
+    depth: usize,
+    /// Decisions actually taken this execution.
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    bound: usize,
+    /// First failure of the execution (assertion panic or deadlock).
+    panic: Option<String>,
+    /// Threads not yet `Finished`.
+    live: usize,
+}
+
+struct Rt {
+    st: Mutex<Exec>,
+    cv: Condvar,
+}
+
+fn rt() -> &'static Rt {
+    static RT: OnceLock<Rt> = OnceLock::new();
+    RT.get_or_init(|| Rt { st: Mutex::new(Exec::default()), cv: Condvar::new() })
+}
+
+fn lock() -> MutexGuard<'static, Exec> {
+    // A failed model panics while holding the state lock poisoned; the
+    // state is reset by the next `begin_execution`, so poisoning carries
+    // no information here.
+    rt().st.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn current_tid() -> Option<usize> {
+    TID.with(|t| t.get())
+}
+
+pub(crate) fn set_tid(tid: usize) {
+    TID.with(|t| t.set(Some(tid)));
+}
+
+pub(crate) fn clear_tid() {
+    TID.with(|t| t.set(None));
+}
+
+/// Records the first failure and frees every blocked thread so it can
+/// observe the abort and unwind.
+fn set_panic(st: &mut Exec, msg: String) {
+    if st.panic.is_none() {
+        st.panic = Some(msg);
+    }
+    for t in &mut st.threads {
+        if matches!(t, St::Blocked(_)) {
+            *t = St::Runnable;
+        }
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+fn payload_to_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Unwinds the calling model thread out of an execution that has already
+/// failed. The sentinel is caught by the thread's `catch_unwind` (the
+/// model body for tid 0, the spawn wrapper otherwise).
+fn abort(st: MutexGuard<'_, Exec>) -> ! {
+    drop(st);
+    std::panic::resume_unwind(Box::new(Aborted));
+}
+
+/// Picks the next token holder. Must only be called by the thread that
+/// currently holds the token (`me`), after updating its own state.
+fn schedule(st: &mut Exec, me: usize) {
+    loop {
+        let me_runnable = st.threads.get(me).is_some_and(|s| *s == St::Runnable);
+        let mut candidates: Vec<usize> = Vec::new();
+        if me_runnable {
+            // Put the current thread first so choice 0 — the DFS default —
+            // is "keep running", making the preemption-free schedule the
+            // first one explored.
+            candidates.push(me);
+        }
+        for (tid, s) in st.threads.iter().enumerate() {
+            if tid != me && *s == St::Runnable {
+                candidates.push(tid);
+            }
+        }
+        if candidates.is_empty() {
+            if st.live > 0 {
+                set_panic(st, "deadlock: every live thread is blocked".to_string());
+                continue; // set_panic released the blocked threads; retry
+            }
+            return; // nothing left to run
+        }
+        let candidates = if me_runnable && st.preemptions >= st.bound {
+            vec![me] // preemption budget spent: must keep running
+        } else {
+            candidates
+        };
+        let chosen = if candidates.len() > 1 {
+            let i = st.replay.get(st.depth).copied().unwrap_or(0).min(candidates.len() - 1);
+            st.decisions.push(Decision { candidates: candidates.len(), chosen: i });
+            st.depth += 1;
+            i
+        } else {
+            0
+        };
+        let next = candidates[chosen];
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        st.current = next;
+        return;
+    }
+}
+
+/// Hands the token over via [`schedule`] and parks until it comes back.
+fn pass_token_and_wait(mut st: MutexGuard<'static, Exec>, me: usize) -> MutexGuard<'static, Exec> {
+    schedule(&mut st, me);
+    rt().cv.notify_all();
+    loop {
+        if st.panic.is_some() {
+            abort(st);
+        }
+        if st.current == me && st.threads[me] == St::Runnable {
+            return st;
+        }
+        st = rt().cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// A scheduling point: the modelled thread is about to perform a visible
+/// operation and the scheduler may switch first. No-op outside a model
+/// (so instrumented code keeps working in ordinary builds of loom-cfg'd
+/// test binaries) and during unwinding (drop glue running while a model
+/// failure propagates must not re-enter the scheduler).
+pub(crate) fn yield_point() {
+    let Some(me) = current_tid() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let st = lock();
+    if !st.active {
+        return;
+    }
+    if st.panic.is_some() {
+        abort(st);
+    }
+    drop(pass_token_and_wait(st, me));
+}
+
+/// Blocks until the loom mutex at `addr` is free, then marks it held.
+/// Callers must emit a [`yield_point`] before attempting acquisition.
+pub(crate) fn acquire_mutex(addr: usize) {
+    let Some(me) = current_tid() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    loop {
+        let mut st = lock();
+        if !st.active {
+            return;
+        }
+        if st.panic.is_some() {
+            abort(st);
+        }
+        if let std::collections::hash_map::Entry::Vacant(e) = st.locked.entry(addr) {
+            e.insert(me);
+            return;
+        }
+        st.threads[me] = St::Blocked(Block::Mutex(addr));
+        drop(pass_token_and_wait(st, me));
+    }
+}
+
+/// Releases the loom mutex at `addr` and lets contenders race for it at
+/// the next scheduling point.
+pub(crate) fn release_mutex(addr: usize) {
+    if current_tid().is_none() {
+        return;
+    }
+    {
+        let mut st = lock();
+        if !st.active {
+            return;
+        }
+        st.locked.remove(&addr);
+        for t in &mut st.threads {
+            if *t == St::Blocked(Block::Mutex(addr)) {
+                *t = St::Runnable;
+            }
+        }
+    }
+    yield_point();
+}
+
+/// Registers a new model thread (spawned by the current token holder)
+/// and returns its tid. The thread becomes schedulable at the parent's
+/// next scheduling point.
+pub(crate) fn register_thread() -> usize {
+    let mut st = lock();
+    assert!(st.active, "loom::thread::spawn outside of loom::model");
+    let tid = st.threads.len();
+    st.threads.push(St::Runnable);
+    st.results.push(None);
+    st.live += 1;
+    tid
+}
+
+/// Parks a freshly spawned OS thread until the scheduler first hands it
+/// the token.
+pub(crate) fn wait_first_schedule(me: usize) {
+    let mut st = lock();
+    loop {
+        if st.panic.is_some() {
+            abort(st);
+        }
+        if st.current == me && st.threads[me] == St::Runnable {
+            return;
+        }
+        st = rt().cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Marks a spawned thread finished, stores its result (or failure), wakes
+/// joiners, and passes the token on.
+pub(crate) fn finish_thread(
+    me: usize,
+    result: Option<Box<dyn Any + Send>>,
+    panicked: Option<Box<dyn Any + Send>>,
+) {
+    let mut st = lock();
+    if let Some(payload) = panicked {
+        if !payload.is::<Aborted>() {
+            set_panic(&mut st, payload_to_string(payload.as_ref()));
+        }
+    }
+    st.results[me] = result;
+    st.threads[me] = St::Finished;
+    st.live -= 1;
+    for t in &mut st.threads {
+        if *t == St::Blocked(Block::Join(me)) {
+            *t = St::Runnable;
+        }
+    }
+    schedule(&mut st, me);
+    drop(st);
+    rt().cv.notify_all();
+}
+
+/// Blocks until thread `tid` finishes and takes its boxed return value.
+/// `None` means the joined thread panicked (the execution is failing).
+pub(crate) fn join_thread(tid: usize) -> Option<Box<dyn Any + Send>> {
+    yield_point();
+    let me = current_tid()?;
+    let mut st = lock();
+    loop {
+        if !st.active {
+            return None;
+        }
+        if st.panic.is_some() {
+            abort(st);
+        }
+        if st.threads[tid] == St::Finished {
+            return st.results[tid].take();
+        }
+        st.threads[me] = St::Blocked(Block::Join(tid));
+        st = pass_token_and_wait(st, me);
+    }
+}
+
+/// Resets the engine for one execution of the model body on the calling
+/// thread (which becomes tid 0 and holds the token).
+pub(crate) fn begin_execution(replay: Vec<usize>, bound: usize) {
+    let mut st = lock();
+    assert!(!st.active, "nested loom::model executions are not supported");
+    *st = Exec {
+        active: true,
+        threads: vec![St::Runnable],
+        results: vec![None],
+        current: 0,
+        locked: HashMap::new(),
+        replay,
+        depth: 0,
+        decisions: Vec::new(),
+        preemptions: 0,
+        bound,
+        panic: None,
+        live: 1,
+    };
+    drop(st);
+    set_tid(0);
+}
+
+/// Records a panic that escaped the model body on the main thread.
+pub(crate) fn note_main_panic(payload: Box<dyn Any + Send>) {
+    if payload.is::<Aborted>() {
+        return; // original failure already recorded
+    }
+    let mut st = lock();
+    set_panic(&mut st, payload_to_string(payload.as_ref()));
+    drop(st);
+    rt().cv.notify_all();
+}
+
+/// Called after the model body returns (or unwinds): marks tid 0 finished
+/// and drives every remaining thread to completion so the execution ends
+/// in a quiescent state.
+pub(crate) fn finish_main() {
+    let mut st = lock();
+    if !st.active {
+        return;
+    }
+    st.threads[0] = St::Finished;
+    st.live -= 1;
+    for t in &mut st.threads {
+        if *t == St::Blocked(Block::Join(0)) {
+            *t = St::Runnable;
+        }
+    }
+    if st.live > 0 {
+        schedule(&mut st, 0);
+        rt().cv.notify_all();
+        while st.live > 0 {
+            st = rt().cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Tears the execution down, returning the decisions taken and the
+/// failure (if any) for the explorer in [`crate::model`].
+pub(crate) fn end_execution() -> (Vec<Decision>, Option<String>) {
+    let mut st = lock();
+    st.active = false;
+    clear_tid();
+    (std::mem::take(&mut st.decisions), st.panic.take())
+}

@@ -1,0 +1,204 @@
+//! Model-aware atomics.
+//!
+//! Every operation is a scheduling point, so the explorer can interleave
+//! threads between any two atomic accesses. Operations execute with
+//! sequentially consistent semantics regardless of the `Ordering`
+//! argument — the shim checks interleavings, not weak-memory reorderings
+//! (see the [crate docs](crate) for why, and what covers the gap).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $int:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $int) -> Self {
+                Self { inner: std::sync::atomic::$std::new(v) }
+            }
+
+            /// Loads the value (modelled sequentially consistent).
+            pub fn load(&self, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value (modelled sequentially consistent).
+            pub fn store(&self, v: $int, _order: Ordering) {
+                rt::yield_point();
+                self.inner.store(v, Ordering::SeqCst)
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$int, $int> {
+                rt::yield_point();
+                self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Like [`Self::compare_exchange`]; the shim never fails
+            /// spuriously (a strictly smaller behaviour set than real
+            /// hardware, which the real loom also explores).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+
+            /// Atomic bitwise and, returning the previous value.
+            pub fn fetch_and(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.fetch_and(v, Ordering::SeqCst)
+            }
+
+            /// Atomic bitwise or, returning the previous value.
+            pub fn fetch_or(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.fetch_or(v, Ordering::SeqCst)
+            }
+
+            /// Atomic bitwise xor, returning the previous value.
+            pub fn fetch_xor(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.fetch_xor(v, Ordering::SeqCst)
+            }
+
+            /// Atomic minimum, returning the previous value.
+            pub fn fetch_min(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.fetch_min(v, Ordering::SeqCst)
+            }
+
+            /// Atomic maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.inner.fetch_max(v, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the contained value.
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Model-aware `AtomicU64`.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// Model-aware `AtomicU32`.
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+atomic_int!(
+    /// Model-aware `AtomicUsize`.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+atomic_int!(
+    /// Model-aware `AtomicI64`.
+    AtomicI64,
+    AtomicI64,
+    i64
+);
+
+/// Model-aware `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self { inner: std::sync::atomic::AtomicBool::new(v) }
+    }
+
+    /// Loads the value (modelled sequentially consistent).
+    pub fn load(&self, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Stores a value (modelled sequentially consistent).
+    pub fn store(&self, v: bool, _order: Ordering) {
+        rt::yield_point();
+        self.inner.store(v, Ordering::SeqCst)
+    }
+
+    /// Swaps the value, returning the previous one.
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.inner.swap(v, Ordering::SeqCst)
+    }
+
+    /// Atomic compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::yield_point();
+        self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomic bitwise or, returning the previous value.
+    pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.inner.fetch_or(v, Ordering::SeqCst)
+    }
+
+    /// Atomic bitwise and, returning the previous value.
+    pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.inner.fetch_and(v, Ordering::SeqCst)
+    }
+}
+
+/// A memory fence is a pure ordering construct; under the shim's
+/// sequentially consistent execution it reduces to a scheduling point.
+pub fn fence(_order: Ordering) {
+    rt::yield_point();
+}

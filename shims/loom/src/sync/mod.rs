@@ -1,0 +1,16 @@
+//! Model-aware replacements for `std::sync` types.
+//!
+//! [`Arc`] is re-exported unchanged (reference counting needs no
+//! modelling under sequential consistency); [`Mutex`] and [`OnceLock`]
+//! participate in the scheduler so contention, hand-off order, and
+//! initialization races are explored.
+
+pub mod atomic;
+
+mod mutex;
+mod once;
+
+pub use mutex::{Mutex, MutexGuard};
+pub use once::OnceLock;
+pub use std::sync::Arc;
+pub use std::sync::LockResult;

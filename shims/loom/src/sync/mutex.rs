@@ -1,0 +1,72 @@
+//! Model-aware mutex.
+//!
+//! The scheduler tracks ownership by address, so acquisition order and
+//! contention are explored like any other scheduling decision; the data
+//! itself lives in an inner `std::sync::Mutex`, whose lock can never
+//! contend (only the token-holding thread touches it) and exists purely
+//! to provide safe interior mutability and a borrowing guard.
+
+use crate::rt;
+use std::ops::{Deref, DerefMut};
+use std::sync::LockResult;
+
+/// Model-aware `std::sync::Mutex` replacement.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `t`.
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(t) }
+    }
+
+    /// Acquires the mutex, blocking the model thread (and handing the
+    /// token on) while another thread holds it. Never poisons.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::yield_point();
+        let addr = self as *const Mutex<T> as usize;
+        rt::acquire_mutex(addr);
+        let guard = self
+            .inner
+            .try_lock()
+            .expect("loom mutex: std lock held across a scheduling point (see crate docs)");
+        Ok(MutexGuard { inner: Some(guard), addr })
+    }
+
+    /// Consumes the mutex, returning the guarded data.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases at drop like std's.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    /// `Some` until drop; the option lets drop release the inner std
+    /// guard *before* notifying the model scheduler.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    addr: usize,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard alive")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        rt::release_mutex(self.addr);
+    }
+}

@@ -1,0 +1,40 @@
+//! Model-aware `OnceLock`.
+//!
+//! Wraps `std::sync::OnceLock` with scheduling points around each access.
+//! Under the token-passing scheduler the inner std operations can never
+//! block mid-initialization (only one model thread runs at a time and no
+//! scheduling point sits inside them), so initialization races surface as
+//! explored `set` orderings rather than real blocking.
+
+use crate::rt;
+
+/// Model-aware `std::sync::OnceLock` replacement.
+#[derive(Debug, Default)]
+pub struct OnceLock<T> {
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell.
+    pub const fn new() -> OnceLock<T> {
+        OnceLock { inner: std::sync::OnceLock::new() }
+    }
+
+    /// The stored value, if initialized.
+    pub fn get(&self) -> Option<&T> {
+        rt::yield_point();
+        self.inner.get()
+    }
+
+    /// Stores `value` if the cell is empty; returns it back otherwise.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        rt::yield_point();
+        self.inner.set(value)
+    }
+
+    /// Gets the value, initializing it with `f` if empty.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        rt::yield_point();
+        self.inner.get_or_init(f)
+    }
+}

@@ -1,0 +1,61 @@
+//! Model-aware replacement for `std::thread` (spawn/join/yield subset).
+
+use crate::rt;
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle to a model thread, returned by [`spawn`].
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    _t: PhantomData<T>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. `Err` means
+    /// the thread panicked (the model execution is failing and the
+    /// scheduler will surface the original panic message).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        match rt::join_thread(self.tid) {
+            Some(boxed) => Ok(*boxed.downcast::<T>().expect("join result type")),
+            None => Err(Box::new("loom: joined thread panicked".to_string())
+                as Box<dyn Any + Send + 'static>),
+        }
+    }
+}
+
+/// Spawns a model thread. Only valid inside [`crate::model`]; the spawned
+/// thread becomes schedulable at the parent's next scheduling point, and
+/// the model body must join it before returning.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    rt::yield_point();
+    let tid = rt::register_thread();
+    std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            rt::set_tid(tid);
+            // The first-schedule wait sits inside the catch so an aborted
+            // execution still reaches finish_thread and the scheduler
+            // never loses track of a live thread.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                rt::wait_first_schedule(tid);
+                f()
+            }));
+            match result {
+                Ok(v) => rt::finish_thread(tid, Some(Box::new(v) as Box<dyn Any + Send>), None),
+                Err(payload) => rt::finish_thread(tid, None, Some(payload)),
+            }
+        })
+        .expect("failed to spawn loom model thread");
+    JoinHandle { tid, _t: PhantomData }
+}
+
+/// A bare scheduling point (models `std::thread::yield_now`).
+pub fn yield_now() {
+    rt::yield_point();
+}

@@ -65,6 +65,7 @@
 //! println!("99.99% of messages wait less than {:.1} ms", report.q9999 * 1e3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// The threaded publish/subscribe broker (re-export of [`rjms_broker`]).
